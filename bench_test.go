@@ -1,0 +1,443 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus ablations of the design choices called out in
+// DESIGN.md. Custom metrics report the headline ratios so `go test
+// -bench=.` doubles as a reproduction run:
+//
+//	Table I  -> BenchmarkTable1SPECWorkloads
+//	Table II -> BenchmarkTable2RateParameters
+//	Fig. 1   -> BenchmarkFig1ModelVerification   (exp_over_sim metric)
+//	Fig. 2   -> BenchmarkFig2BatchComparison     (olb/ps_total_vs_wbg)
+//	Fig. 3   -> BenchmarkFig3OnlineComparison    (olb/od_total_vs_lmc)
+//	A1       -> BenchmarkAblationEnvelopeVsNaive
+//	A2       -> BenchmarkAblationDynamicCost
+//	A3       -> BenchmarkAblationWBGOptimality
+//	A4       -> BenchmarkAblationLMCvsReplan
+package dvfsched_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"dvfsched/internal/batch"
+	"dvfsched/internal/dynsched"
+	"dvfsched/internal/envelope"
+	"dvfsched/internal/exact"
+	"dvfsched/internal/experiments"
+	"dvfsched/internal/model"
+	"dvfsched/internal/online"
+	"dvfsched/internal/platform"
+	"dvfsched/internal/rt"
+	"dvfsched/internal/sched"
+	"dvfsched/internal/sim"
+	"dvfsched/internal/workload"
+)
+
+var batchParams = experiments.BatchParams
+
+// BenchmarkTable1SPECWorkloads regenerates Table I.
+func BenchmarkTable1SPECWorkloads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.Table1String()
+		if len(s) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+	b.ReportMetric(float64(len(workload.SPEC2006Int())), "workloads")
+}
+
+// BenchmarkTable2RateParameters regenerates Table II and its
+// dominating-range envelope.
+func BenchmarkTable2RateParameters(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if s := experiments.Table2String(); len(s) == 0 {
+			b.Fatal("empty table")
+		}
+		env := envelope.MustCompute(batchParams, platform.TableII())
+		if env.NumRanges() == 0 {
+			b.Fatal("empty envelope")
+		}
+	}
+}
+
+// BenchmarkFig1ModelVerification reruns the Fig. 1 experiment; the
+// exp_over_sim metric is the paper's ~1.08 model gap.
+func BenchmarkFig1ModelVerification(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig1(experiments.Fig1Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = res.TotalRatio
+	}
+	b.ReportMetric(ratio, "exp_over_sim")
+}
+
+// BenchmarkFig2BatchComparison reruns the Fig. 2 experiment; the
+// metrics are OLB's and Power Saving's total cost normalized to WBG
+// (paper: ~1.37 and ~1.3).
+func BenchmarkFig2BatchComparison(b *testing.B) {
+	var olb, ps float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig2(experiments.Fig2Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		olb, ps = res.OLBvsWBG[2], res.PSvsWBG[2]
+	}
+	b.ReportMetric(olb, "olb_total_vs_wbg")
+	b.ReportMetric(ps, "ps_total_vs_wbg")
+}
+
+// fig3BenchTrace is a 1/6-scale Judgegirl trace with the full trace's
+// burst structure, so the benchmark iterates in fractions of a second.
+func fig3BenchTrace(b *testing.B) model.TaskSet {
+	b.Helper()
+	judge := workload.DefaultJudgeConfig()
+	judge.Interactive = 8400
+	judge.NonInteractive = 550
+	judge.Duration = 1100
+	tasks, err := judge.Generate(rand.New(rand.NewSource(20140901)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tasks
+}
+
+// BenchmarkFig3OnlineComparison reruns the Fig. 3 experiment; the
+// metrics are OLB's and On-demand's total cost normalized to LMC
+// (paper: ~1.20 and ~1.32).
+func BenchmarkFig3OnlineComparison(b *testing.B) {
+	tasks := fig3BenchTrace(b)
+	var olb, od float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig3(experiments.Fig3Config{Tasks: tasks})
+		if err != nil {
+			b.Fatal(err)
+		}
+		olb, od = res.OLBvsLMC[2], res.ODvsLMC[2]
+	}
+	b.ReportMetric(olb, "olb_total_vs_lmc")
+	b.ReportMetric(od, "od_total_vs_lmc")
+}
+
+// BenchmarkAblationEnvelopeVsNaive (A1) compares Algorithm 1's Θ(|P|)
+// dominating-range construction plus binary-search lookups against the
+// naive Θ(|P|) scan per position, over 4096 positions.
+func BenchmarkAblationEnvelopeVsNaive(b *testing.B) {
+	const positions = 4096
+	for _, size := range []int{4, 64, 1024} {
+		rates := make([]float64, size)
+		for i := range rates {
+			rates[i] = 0.5 + float64(i)*0.01
+		}
+		rt, err := model.UniformRateTable(1.0, rates...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(named("envelope", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				env := envelope.MustCompute(batchParams, rt)
+				for k := 1; k <= positions; k++ {
+					_ = env.LevelFor(k)
+				}
+			}
+		})
+		b.Run(named("naive", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for k := 1; k <= positions; k++ {
+					_, _ = batchParams.BestBackwardLevel(k, rt)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDynamicCost (A2) compares the three cost engines of
+// Section IV-A under a mixed insert/delete/cost workload: the paper's
+// maintained aggregates (Θ(1) cost reads), direct range-tree queries
+// (O(|P̂| log N)), and the naive O(N) walk.
+func BenchmarkAblationDynamicCost(b *testing.B) {
+	const n = 8192
+	build := func(b *testing.B) (*dynsched.Scheduler, []*dynsched.Handle) {
+		b.Helper()
+		s, err := dynsched.New(batchParams, platform.TableII())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(1))
+		handles := make([]*dynsched.Handle, n)
+		for i := range handles {
+			h, err := s.Insert(0.1 + rng.Float64()*100)
+			if err != nil {
+				b.Fatal(err)
+			}
+			handles[i] = h
+		}
+		return s, handles
+	}
+	bench := func(cost func(*dynsched.Scheduler) float64) func(*testing.B) {
+		return func(b *testing.B) {
+			s, _ := build(b)
+			rng := rand.New(rand.NewSource(2))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h, err := s.Insert(0.1 + rng.Float64()*100)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if c := cost(s); c <= 0 {
+					b.Fatal("non-positive cost")
+				}
+				if err := s.Delete(h); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("maintained", bench(func(s *dynsched.Scheduler) float64 { return s.Cost() }))
+	b.Run("rangetree-queries", bench(func(s *dynsched.Scheduler) float64 { return s.CostByQueries() }))
+	b.Run("naive-walk", bench(func(s *dynsched.Scheduler) float64 { return s.CostNaive() }))
+
+	// Read-heavy regime: the cost is consulted far more often than
+	// the queue changes (e.g. pricing many candidate placements per
+	// arrival). Here the Θ(1) maintained read separates from the
+	// O(|P-hat| log N) query path.
+	readHeavy := func(cost func(*dynsched.Scheduler) float64) func(*testing.B) {
+		return func(b *testing.B) {
+			s, _ := build(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if c := cost(s); c <= 0 {
+					b.Fatal("non-positive cost")
+				}
+			}
+		}
+	}
+	b.Run("read-only/maintained", readHeavy(func(s *dynsched.Scheduler) float64 { return s.Cost() }))
+	b.Run("read-only/rangetree-queries", readHeavy(func(s *dynsched.Scheduler) float64 { return s.CostByQueries() }))
+}
+
+// BenchmarkAblationWBGOptimality (A3) runs the polynomial Workload
+// Based Greedy against the exhaustive optimum on 8-task instances; the
+// cost_ratio metric stays at 1.0 (Theorem 5).
+func BenchmarkAblationWBGOptimality(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	tasks := make(model.TaskSet, 8)
+	for i := range tasks {
+		tasks[i] = model.Task{ID: i, Cycles: 0.5 + rng.Float64()*20, Deadline: model.NoDeadline}
+	}
+	tables := []*model.RateTable{platform.TableII(), platform.TableII()}
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		plan, err := batch.WBG(batchParams, batch.HomogeneousCores(2, platform.TableII()), tasks)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, _, algo := plan.Cost()
+		opt, err := exact.OptimalMultiCoreCost(batchParams, tables, tasks)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = algo / opt
+	}
+	b.ReportMetric(ratio, "cost_ratio")
+}
+
+// BenchmarkAblationLMCvsReplan (A4) compares migration-free LMC with
+// full WBG replanning on every arrival (with a migration penalty), the
+// trade-off Section IV motivates.
+func BenchmarkAblationLMCvsReplan(b *testing.B) {
+	judge := workload.DefaultJudgeConfig()
+	judge.Interactive, judge.NonInteractive, judge.Duration = 1000, 200, 300
+	tasks, err := judge.Generate(rand.New(rand.NewSource(4)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	plat := platform.Homogeneous(4, platform.TableII(), platform.Ideal{})
+	var lmcCost, replanCost float64
+	b.Run("lmc", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p, err := online.NewLMC(experiments.OnlineParams)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := sim.Run(sim.Config{Platform: plat, Policy: p}, tasks, experiments.OnlineParams)
+			if err != nil {
+				b.Fatal(err)
+			}
+			lmcCost = res.TotalCost
+		}
+		b.ReportMetric(lmcCost, "total_cost")
+	})
+	b.Run("wbg-replan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := sim.Run(sim.Config{
+				Platform: plat,
+				Policy:   &online.Replan{Params: experiments.OnlineParams, MigrationCycles: 0.5},
+			}, tasks, experiments.OnlineParams)
+			if err != nil {
+				b.Fatal(err)
+			}
+			replanCost = res.TotalCost
+		}
+		b.ReportMetric(replanCost, "total_cost")
+	})
+}
+
+// BenchmarkAblationSJFvsDVFS (A5) decomposes LMC's online advantage:
+// against FIFO-at-max OLB, how much does SJF ordering alone recover
+// (olb-sjf at max frequency), and how much does DVFS add on top (full
+// LMC)? Total costs are reported per policy.
+func BenchmarkAblationSJFvsDVFS(b *testing.B) {
+	judge := workload.DefaultJudgeConfig()
+	judge.Interactive, judge.NonInteractive, judge.Duration = 2000, 300, 500
+	tasks, err := judge.Generate(rand.New(rand.NewSource(14)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	plat := platform.Homogeneous(4, platform.TableII(), platform.Ideal{})
+	policies := map[string]func() sim.Policy{
+		"olb-fifo-max": func() sim.Policy { return &sched.OLB{MaxFrequency: true} },
+		"olb-sjf-max":  func() sim.Policy { return &sched.OLB{MaxFrequency: true, ShortestFirst: true} },
+		"lmc": func() sim.Policy {
+			p, err := online.NewLMC(experiments.OnlineParams)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return p
+		},
+	}
+	for _, name := range []string{"olb-fifo-max", "olb-sjf-max", "lmc"} {
+		mk := policies[name]
+		b.Run(name, func(b *testing.B) {
+			var cost float64
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(sim.Config{Platform: plat, Policy: mk()}, tasks, experiments.OnlineParams)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cost = res.TotalCost
+			}
+			b.ReportMetric(cost, "total_cost")
+		})
+	}
+}
+
+// BenchmarkRTDVSComparison (extension) compares the cited real-time
+// DVS baselines — race-to-idle, static EDF-DVS, and cycle-conserving
+// EDF-DVS — over a hyperperiod, reporting each mode's energy.
+func BenchmarkRTDVSComparison(b *testing.B) {
+	rates := model.MustRateTable([]model.RateLevel{
+		{Rate: 50, Energy: 1, Time: 0.02},
+		{Rate: 100, Energy: 4, Time: 0.01},
+		{Rate: 150, Energy: 9, Time: 1.0 / 150},
+		{Rate: 200, Energy: 16, Time: 0.005},
+	})
+	tasks := rt.TaskSet{
+		{ID: 1, WCET: 0.3, Period: 0.005, BCETFraction: 0.4},
+		{ID: 2, WCET: 0.6, Period: 0.02, BCETFraction: 0.5},
+		{ID: 3, WCET: 1.0, Period: 0.05, BCETFraction: 0.3},
+		{ID: 4, WCET: 2.0, Period: 0.2, BCETFraction: 0.5},
+	}
+	for _, mode := range []rt.SpeedMode{rt.RaceToIdle, rt.StaticDVS, rt.CycleConservingDVS} {
+		b.Run(mode.String(), func(b *testing.B) {
+			var energy float64
+			for i := 0; i < b.N; i++ {
+				res, err := rt.RunEDF(tasks, rates, 1.0, rand.New(rand.NewSource(9)), mode)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Misses != 0 {
+					b.Fatalf("%d misses", res.Misses)
+				}
+				energy = res.EnergyJ
+			}
+			b.ReportMetric(energy, "joules")
+		})
+	}
+}
+
+// BenchmarkWBGThroughput measures planning throughput on large
+// batches: tasks scheduled per second across a 16-core box.
+func BenchmarkWBGThroughput(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	tasks := make(model.TaskSet, 10000)
+	for i := range tasks {
+		tasks[i] = model.Task{ID: i, Cycles: 0.1 + rng.Float64()*100, Deadline: model.NoDeadline}
+	}
+	cores := batch.HomogeneousCores(16, platform.IntelI7950())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := batch.WBG(batchParams, cores, tasks); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(tasks)), "tasks/op")
+}
+
+// BenchmarkDynschedChurn measures the paper's dynamic structure under
+// sustained insert/delete churn at 64k resident tasks.
+func BenchmarkDynschedChurn(b *testing.B) {
+	s, err := dynsched.New(batchParams, platform.TableII())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	const resident = 65536
+	handles := make([]*dynsched.Handle, resident)
+	for i := range handles {
+		h, err := s.Insert(0.1 + rng.Float64()*100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		handles[i] = h
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := rng.Intn(resident)
+		if err := s.Delete(handles[j]); err != nil {
+			b.Fatal(err)
+		}
+		h, err := s.Insert(0.1 + rng.Float64()*100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		handles[j] = h
+	}
+}
+
+// BenchmarkSimulatorEventRate measures raw engine throughput:
+// simulated task completions per benchmark op on a contended
+// platform.
+func BenchmarkSimulatorEventRate(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	tasks := make(model.TaskSet, 2000)
+	for i := range tasks {
+		tasks[i] = model.Task{ID: i, Cycles: 0.1 + rng.Float64(), Arrival: rng.Float64() * 10, Deadline: model.NoDeadline}
+	}
+	plat := platform.Homogeneous(8, platform.TableII(), platform.DefaultRealistic())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := online.NewLMC(experiments.OnlineParams)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(sim.Config{Platform: plat, Policy: p}, tasks, experiments.OnlineParams); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(tasks)), "tasks/op")
+}
+
+func named(kind string, n int) string {
+	switch n {
+	case 4:
+		return kind + "/P=4"
+	case 64:
+		return kind + "/P=64"
+	default:
+		return kind + "/P=1024"
+	}
+}

@@ -1,0 +1,135 @@
+// Command batchsim runs the batch-mode experiments: the Fig. 1 model
+// verification and the Fig. 2 scheduler comparison, on the paper's
+// SPEC workloads or on a user trace. -gantt additionally renders the
+// WBG plan's execution timeline.
+//
+// Usage:
+//
+//	batchsim -fig1 [-cores 4]
+//	batchsim -fig2 [-cores 4] [-trace tasks.jsonl] [-ideal]
+//	batchsim -gantt [-trace tasks.jsonl]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"dvfsched/internal/batch"
+	"dvfsched/internal/experiments"
+	"dvfsched/internal/model"
+	"dvfsched/internal/platform"
+	"dvfsched/internal/report"
+	"dvfsched/internal/sim"
+	"dvfsched/internal/trace"
+	"dvfsched/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("batchsim: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("batchsim", flag.ContinueOnError)
+	var (
+		fig1      = fs.Bool("fig1", false, "run the Fig. 1 model verification")
+		fig2      = fs.Bool("fig2", false, "run the Fig. 2 scheduler comparison")
+		gantt     = fs.Bool("gantt", false, "render the WBG plan's execution timeline")
+		cores     = fs.Int("cores", 4, "number of cores")
+		traceFile = fs.String("trace", "", "JSONL batch trace (default: SPEC workloads)")
+		ideal     = fs.Bool("ideal", false, "use the ideal execution model instead of the contended one")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if !*fig1 && !*fig2 && !*gantt {
+		*fig1, *fig2 = true, true
+	}
+
+	var tasks model.TaskSet
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			return err
+		}
+		var rerr error
+		tasks, rerr = trace.Read(f)
+		f.Close()
+		if rerr != nil {
+			return rerr
+		}
+	}
+	var exec platform.ExecutionModel
+	if *ideal {
+		exec = platform.Ideal{}
+	}
+
+	if *fig1 {
+		res, err := experiments.Fig1(experiments.Fig1Config{Tasks: tasks, Cores: *cores, Exec: exec})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "Fig. 1 — model verification (Sim = analytic, Exp = executed):")
+		printOutcome(w, res.Sim)
+		printOutcome(w, res.Exp)
+		fmt.Fprintf(w, "Exp/Sim: time %.3f  energy %.3f  total %.3f\n", res.TimeRatio, res.EnergyRatio, res.TotalRatio)
+		fmt.Fprintf(w, "power meter: %.1f J sampled vs %.1f J exact\n\n", res.MeterEnergyJ, res.Exp.EnergyJ)
+	}
+	if *fig2 {
+		res, err := experiments.Fig2(experiments.Fig2Config{Tasks: tasks, Cores: *cores, Exec: exec})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "Fig. 2 — batch-mode scheduler comparison:")
+		printOutcome(w, res.WBG)
+		printOutcome(w, res.OLB)
+		printOutcome(w, res.PS)
+		fmt.Fprintf(w, "OLB/WBG: time %.3f  energy %.3f  total %.3f\n", res.OLBvsWBG[0], res.OLBvsWBG[1], res.OLBvsWBG[2])
+		fmt.Fprintf(w, "PS /WBG: time %.3f  energy %.3f  total %.3f\n", res.PSvsWBG[0], res.PSvsWBG[1], res.PSvsWBG[2])
+	}
+	if *gantt {
+		return renderGantt(w, tasks, *cores, exec)
+	}
+	return nil
+}
+
+// renderGantt executes the WBG plan with timeline recording and draws
+// it.
+func renderGantt(w io.Writer, tasks model.TaskSet, cores int, exec platform.ExecutionModel) error {
+	if tasks == nil {
+		tasks = workload.SPECTasks()
+	}
+	if exec == nil {
+		exec = platform.Ideal{}
+	}
+	params := experiments.BatchParams
+	plan, err := batch.WBG(params, batch.HomogeneousCores(cores, platform.TableII()), tasks)
+	if err != nil {
+		return err
+	}
+	fp, err := sim.NewFixedPlan(plan)
+	if err != nil {
+		return err
+	}
+	res, err := sim.Run(sim.Config{
+		Platform:       platform.Homogeneous(cores, platform.TableII(), exec),
+		Policy:         fp,
+		RecordTimeline: true,
+	}, tasks, params)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "WBG execution timeline (%d tasks, makespan %.1f s):\n", len(tasks), res.Makespan)
+	return report.Gantt(w, res.Timeline)
+}
+
+func printOutcome(w io.Writer, o experiments.Outcome) {
+	fmt.Fprintf(w, "  %-14s energy %12.1f J | makespan %9.1f s | turnaround %11.1f s | cost %10.1f cents\n",
+		o.Policy, o.EnergyJ, o.MakespanS, o.TurnaroundS, o.TotalCost)
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dvfsched/internal/trace"
+	"dvfsched/internal/workload"
+)
+
+// smallTraceFile writes a scaled-down SPEC trace for quick runs.
+func smallTraceFile(t *testing.T) string {
+	t.Helper()
+	tasks := workload.SPECTasks()
+	for i := range tasks {
+		tasks[i].Cycles /= 30
+	}
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, tasks); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "spec.jsonl")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunBothFigures(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-trace", smallTraceFile(t)}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Fig. 1", "Exp/Sim", "Fig. 2", "wbg", "olb", "power-saving"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestRunGantt(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-gantt", "-trace", smallTraceFile(t)}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "core  0") || !strings.Contains(out.String(), "timeline") {
+		t.Errorf("gantt missing:\n%s", out.String())
+	}
+}
+
+func TestRunIdealFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig1", "-ideal", "-trace", smallTraceFile(t)}, &out); err != nil {
+		t.Fatal(err)
+	}
+	// Under the ideal model, Exp/Sim must be exactly 1.
+	if !strings.Contains(out.String(), "total 1.000") {
+		t.Errorf("ideal model not neutral:\n%s", out.String())
+	}
+}
+
+func TestRunMissingTrace(t *testing.T) {
+	if err := run([]string{"-trace", "/no/such/file"}, &bytes.Buffer{}); err == nil {
+		t.Error("missing trace accepted")
+	}
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dvfsched/internal/batch"
+	"dvfsched/internal/model"
+	"dvfsched/internal/trace"
+)
+
+func TestRunSpecDefault(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"core 0", "core 3", "h264ref/ref", "predicted:", "cost:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunWithTraceFile(t *testing.T) {
+	tasks := model.TaskSet{
+		{ID: 1, Name: "x", Cycles: 5, Deadline: model.NoDeadline},
+		{ID: 2, Name: "y", Cycles: 50, Deadline: model.NoDeadline},
+	}
+	path := filepath.Join(t.TempDir(), "batch.jsonl")
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, tasks); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-trace", path, "-cores", "2", "-platform", "i7"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "x") || !strings.Contains(out.String(), "y") {
+		t.Errorf("trace task names missing:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-platform", "nope"},
+		{"-re", "0"},
+		{"-cores", "0"},
+		{"-trace", "/does/not/exist.jsonl"},
+		{"-trace", "x", "-spec"},
+	}
+	for _, args := range cases {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunRejectsOnlineTrace(t *testing.T) {
+	tasks := model.TaskSet{{ID: 1, Cycles: 5, Arrival: 2, Deadline: model.NoDeadline}}
+	path := filepath.Join(t.TempDir(), "online.jsonl")
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, tasks); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-trace", path}, &bytes.Buffer{}); err == nil {
+		t.Error("online trace accepted by the batch scheduler")
+	}
+}
+
+func TestRateTable(t *testing.T) {
+	for _, name := range []string{"table2", "i7", "exynos"} {
+		rt, err := rateTable(name)
+		if err != nil || rt.Len() == 0 {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-json", "-cores", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := batch.ReadPlanJSON(&out)
+	if err != nil {
+		t.Fatalf("output is not a valid plan: %v", err)
+	}
+	if plan.NumTasks() != 24 {
+		t.Errorf("plan tasks = %d, want the 24 SPEC workloads", plan.NumTasks())
+	}
+}
+
+func TestRunRangesFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-ranges", "-platform", "i7"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "dominating position ranges") ||
+		!strings.Contains(out.String(), "GHz") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}

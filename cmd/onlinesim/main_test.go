@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dvfsched/internal/trace"
+	"dvfsched/internal/workload"
+)
+
+func TestRunScaledSynthetic(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scale", "0.1", "-cores", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Fig. 3", "lmc", "olb", "ondemand-rr", "OLB/LMC", "OD /LMC"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunWithTraceFile(t *testing.T) {
+	judge := workload.DefaultJudgeConfig()
+	judge.Interactive, judge.NonInteractive, judge.Duration = 200, 30, 60
+	tasks, err := judge.Generate(rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, tasks); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "judge.jsonl")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-trace", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "lmc") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunBadArgs(t *testing.T) {
+	cases := [][]string{
+		{"-scale", "0"},
+		{"-scale", "1.5"},
+		{"-trace", "/no/such/file"},
+		{"-re", "0", "-scale", "0.05"},
+	}
+	for _, args := range cases {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

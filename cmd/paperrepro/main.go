@@ -1,0 +1,173 @@
+// Command paperrepro regenerates every table and figure of the paper's
+// evaluation section, printing paper-vs-measured comparisons and the
+// normalized-cost bar charts the figures show.
+//
+// Usage:
+//
+//	paperrepro [-table1] [-table2] [-fig1] [-fig2] [-fig3] [-seed N] [-scale F]
+//
+// With no flags, everything is reproduced. -scale shrinks the Fig. 3
+// trace (1 = the paper's 50525+768 tasks) for quick runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"dvfsched/internal/experiments"
+	"dvfsched/internal/report"
+	"dvfsched/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("paperrepro: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("paperrepro", flag.ContinueOnError)
+	var (
+		t1    = fs.Bool("table1", false, "print Table I (SPEC workload characterization)")
+		t2    = fs.Bool("table2", false, "print Table II (rate parameters)")
+		f1    = fs.Bool("fig1", false, "run Fig. 1 (model verification)")
+		f2    = fs.Bool("fig2", false, "run Fig. 2 (batch-mode comparison)")
+		f3    = fs.Bool("fig3", false, "run Fig. 3 (online-mode comparison)")
+		seed  = fs.Int64("seed", 0, "trace seed for Fig. 3 (0 = default)")
+		scale = fs.Float64("scale", 1, "Fig. 3 trace scale factor (0 < scale <= 1)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *scale <= 0 || *scale > 1 {
+		return fmt.Errorf("scale must be in (0, 1], got %v", *scale)
+	}
+	all := !*t1 && !*t2 && !*f1 && !*f2 && !*f3
+
+	if *t1 || all {
+		fmt.Fprintln(w, "== Table I: average execution times of the SPEC2006int workloads ==")
+		fmt.Fprint(w, experiments.Table1String())
+		fmt.Fprintln(w)
+	}
+	if *t2 || all {
+		fmt.Fprintln(w, "== Table II: parameters in batch mode ==")
+		fmt.Fprint(w, experiments.Table2String())
+		fmt.Fprintln(w)
+	}
+	if *f1 || all {
+		if err := runFig1(w); err != nil {
+			return err
+		}
+	}
+	if *f2 || all {
+		if err := runFig2(w); err != nil {
+			return err
+		}
+	}
+	if *f3 || all {
+		if err := runFig3(w, *seed, *scale); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runFig1(w io.Writer) error {
+	res, err := experiments.Fig1(experiments.Fig1Config{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "== Fig. 1: comparison of the simulation and experimental results ==")
+	printOutcome(w, res.Sim)
+	printOutcome(w, res.Exp)
+	norm := map[string][3]float64{
+		"Sim": {1, 1, 1},
+		"Exp": {res.TimeRatio, res.EnergyRatio, res.TotalRatio},
+	}
+	if err := chart(w, "normalized to Sim", []string{"Sim", "Exp"}, norm); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Exp/Sim total %.3f (paper: ~1.08); meter %.1f J vs exact %.1f J\n\n",
+		res.TotalRatio, res.MeterEnergyJ, res.Exp.EnergyJ)
+	return nil
+}
+
+func runFig2(w io.Writer) error {
+	res, err := experiments.Fig2(experiments.Fig2Config{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "== Fig. 2: cost comparison of batch scheduling methods ==")
+	printOutcome(w, res.WBG)
+	printOutcome(w, res.OLB)
+	printOutcome(w, res.PS)
+	norm := map[string][3]float64{
+		"WBG": {1, 1, 1},
+		"OLB": {res.OLBvsWBG[0], res.OLBvsWBG[1], res.OLBvsWBG[2]},
+		"PS":  {res.PSvsWBG[0], res.PSvsWBG[1], res.PSvsWBG[2]},
+	}
+	if err := chart(w, "normalized to WBG", []string{"WBG", "OLB", "PS"}, norm); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "OLB/WBG total %.3f (paper 1.37); PS/WBG total %.3f (paper ~1.3)\n\n",
+		res.OLBvsWBG[2], res.PSvsWBG[2])
+	return nil
+}
+
+func runFig3(w io.Writer, seed int64, scale float64) error {
+	cfg := experiments.Fig3Config{Seed: seed}
+	if scale < 1 {
+		judge := workload.DefaultJudgeConfig()
+		judge.Interactive = int(float64(judge.Interactive) * scale)
+		judge.NonInteractive = int(float64(judge.NonInteractive) * scale)
+		judge.Duration *= scale
+		cfg.Judge = judge
+	}
+	res, err := experiments.Fig3(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "== Fig. 3: cost comparison of online scheduling methods ==")
+	printOutcome(w, res.LMC)
+	printOutcome(w, res.OLB)
+	printOutcome(w, res.OD)
+	norm := map[string][3]float64{
+		"LMC": {1, 1, 1},
+		"OLB": {res.OLBvsLMC[0], res.OLBvsLMC[1], res.OLBvsLMC[2]},
+		"OD":  {res.ODvsLMC[0], res.ODvsLMC[1], res.ODvsLMC[2]},
+	}
+	if err := chart(w, "normalized to LMC", []string{"LMC", "OLB", "OD"}, norm); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "OLB/LMC: time %.3f energy %.3f total %.3f (paper 1.45 / 1.12 / 1.20)\n",
+		res.OLBvsLMC[0], res.OLBvsLMC[1], res.OLBvsLMC[2])
+	fmt.Fprintf(w, "OD /LMC: time %.3f energy %.3f total %.3f (paper 1.85 / 1.12 / 1.32)\n",
+		res.ODvsLMC[0], res.ODvsLMC[1], res.ODvsLMC[2])
+	return nil
+}
+
+// chart prints the three-panel normalized bar chart of one figure.
+func chart(w io.Writer, title string, policies []string, norm map[string][3]float64) error {
+	metrics := []string{"time cost", "energy cost", "total cost"}
+	return report.Grouped(w, title, policies, metrics, func(m, p string) float64 {
+		v := norm[p]
+		switch m {
+		case "time cost":
+			return v[0]
+		case "energy cost":
+			return v[1]
+		default:
+			return v[2]
+		}
+	})
+}
+
+func printOutcome(w io.Writer, o experiments.Outcome) {
+	fmt.Fprintf(w, "%-14s energy %12.1f J | makespan %10.1f s | turnaround %12.1f s | cost: energy %10.1f + time %10.1f = %10.1f cents | switches %d, preemptions %d\n",
+		o.Policy, o.EnergyJ, o.MakespanS, o.TurnaroundS, o.EnergyCost, o.TimeCost, o.TotalCost, o.Switches, o.Preemptions)
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunTables(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-table1", "-table2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Table I", "Table II", "perlbench", "3.375", "0.330"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	if strings.Contains(s, "Fig. 1") {
+		t.Error("figures ran without being requested")
+	}
+}
+
+func TestRunFig1And2(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig1", "-fig2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Fig. 1", "Exp/Sim", "Fig. 2", "normalized to WBG", "[total cost]", "#"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestRunFig3Scaled(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig3", "-scale", "0.15"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Fig. 3", "lmc", "olb", "ondemand-rr", "normalized to LMC"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestRunBadScale(t *testing.T) {
+	for _, scale := range []string{"0", "-1", "2"} {
+		if err := run([]string{"-fig3", "-scale", scale}, &bytes.Buffer{}); err == nil {
+			t.Errorf("scale %s accepted", scale)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+// Command sweep runs the sensitivity studies that extend the paper's
+// evaluation: the Rt/Re price sweep, the frequency-granularity sweep,
+// the length-estimator sweep, the core-count sweep, and the idle-power
+// (race-to-idle crossover) study. Each prints one series, as an
+// aligned table or as CSV for plotting.
+//
+// Usage:
+//
+//	sweep -kind price|granularity|estimator|cores|idle
+//	      [-seed N] [-quick] [-format table|csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"dvfsched/internal/experiments"
+	"dvfsched/internal/model"
+	"dvfsched/internal/report"
+	"dvfsched/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweep: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	var (
+		kind   = fs.String("kind", "price", "sweep kind: price, granularity, estimator, cores, idle")
+		seed   = fs.Int64("seed", 1, "seed for trace-driven sweeps")
+		quick  = fs.Bool("quick", false, "smaller workloads and fewer points, for smoke tests")
+		format = fs.String("format", "table", "output format: table or csv")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *format != "table" && *format != "csv" {
+		return fmt.Errorf("unknown format %q (want table or csv)", *format)
+	}
+
+	// The batch sweeps accept a task override; quick mode shrinks the
+	// SPEC workloads 20x.
+	var batchTasks model.TaskSet
+	if *quick {
+		batchTasks = workload.SPECTasks()
+		for i := range batchTasks {
+			batchTasks[i].Cycles /= 20
+		}
+	}
+
+	header, rows, err := series(*kind, *seed, *quick, batchTasks)
+	if err != nil {
+		return err
+	}
+	if *format == "csv" {
+		return report.CSVFloats(w, header, rows)
+	}
+	for _, h := range header {
+		fmt.Fprintf(w, "%16s", h)
+	}
+	fmt.Fprintln(w)
+	for _, row := range rows {
+		for _, v := range row {
+			fmt.Fprintf(w, "%16.3f", v)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// series produces the selected sweep as a header plus numeric rows.
+func series(kind string, seed int64, quick bool, batchTasks model.TaskSet) ([]string, [][]float64, error) {
+	switch kind {
+	case "price":
+		ratios := []float64{0.25, 0.5, 1, 2, 4, 8, 16, 32}
+		if quick {
+			ratios = []float64{0.5, 4, 32}
+		}
+		rows, err := experiments.PriceSweep(ratios, batchTasks)
+		if err != nil {
+			return nil, nil, err
+		}
+		out := make([][]float64, len(rows))
+		for i, r := range rows {
+			out[i] = []float64{r.RtOverRe, r.OLBvsWBG, r.PSvsWBG, r.WBGEnergyShare, r.WBGMinRateShare}
+		}
+		return []string{"rt_over_re", "olb_vs_wbg", "ps_vs_wbg", "energy_share", "min_rate_share"}, out, nil
+	case "granularity":
+		rows, err := experiments.GranularitySweep(batchTasks)
+		if err != nil {
+			return nil, nil, err
+		}
+		out := make([][]float64, len(rows))
+		for i, r := range rows {
+			out[i] = []float64{float64(r.Levels), r.EnergyVsAllMax, r.TotalVsAllMax}
+		}
+		return []string{"levels", "energy_vs_allmax", "total_vs_allmax"}, out, nil
+	case "estimator":
+		sigmas := []float64{0.2, 0.4, 0.6, 0.8, 1.0, 1.2}
+		if quick {
+			sigmas = []float64{0.2, 1.0}
+		}
+		rows, err := experiments.EstimatorSweep(sigmas, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		out := make([][]float64, len(rows))
+		for i, r := range rows {
+			out[i] = []float64{r.Sigma, r.EstimatedVsOracle}
+		}
+		return []string{"sigma", "estimated_vs_oracle"}, out, nil
+	case "cores":
+		coreCounts := []int{2, 4, 8, 16}
+		if quick {
+			coreCounts = []int{2, 4}
+		}
+		rows, err := experiments.CoreSweep(coreCounts, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		out := make([][]float64, len(rows))
+		for i, r := range rows {
+			out[i] = []float64{float64(r.Cores), r.OLBvsLMC, r.ODvsLMC}
+		}
+		return []string{"cores", "olb_vs_lmc", "od_vs_lmc"}, out, nil
+	case "idle":
+		watts := []float64{0, 1, 2, 5, 10, 20, 50}
+		if quick {
+			watts = []float64{0, 10, 50}
+		}
+		rows, err := experiments.IdlePowerStudy(watts, batchTasks)
+		if err != nil {
+			return nil, nil, err
+		}
+		out := make([][]float64, len(rows))
+		for i, r := range rows {
+			out[i] = []float64{r.IdleWatts, r.WBGEnergyJ, r.RaceEnergyJ, r.WBGvsRace}
+		}
+		return []string{"idle_watts", "wbg_joules", "race_joules", "wbg_vs_race"}, out, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown sweep kind %q", kind)
+	}
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunQuickSweeps(t *testing.T) {
+	wants := map[string]string{
+		"price":       "rt_over_re",
+		"granularity": "levels",
+		"estimator":   "sigma",
+		"idle":        "wbg_vs_race",
+	}
+	for kind, want := range wants {
+		var out bytes.Buffer
+		if err := run([]string{"-kind", kind, "-quick"}, &out); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("%s: missing %q:\n%s", kind, want, out.String())
+		}
+		if len(strings.Split(strings.TrimSpace(out.String()), "\n")) < 3 {
+			t.Errorf("%s: too few rows", kind)
+		}
+	}
+}
+
+func TestRunCoresQuick(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-kind", "cores", "-quick"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "olb_vs_lmc") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunCSVFormat(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-kind", "granularity", "-quick", "-format", "csv"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.HasPrefix(s, "levels,energy_vs_allmax,total_vs_allmax") {
+		t.Errorf("bad CSV header:\n%s", s)
+	}
+	if len(strings.Split(strings.TrimSpace(s), "\n")) != 5 {
+		t.Errorf("want header + 4 rows:\n%s", s)
+	}
+}
+
+func TestRunBadFormat(t *testing.T) {
+	if err := run([]string{"-format", "xml"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestRunUnknownKind(t *testing.T) {
+	if err := run([]string{"-kind", "bogus"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}

@@ -1,0 +1,75 @@
+// Command tracegen synthesizes task traces in the JSONL format used by
+// the other tools: Judgegirl-like online-judge traces (the paper's
+// Fig. 3 workload) or synthetic batch sets.
+//
+// Usage:
+//
+//	tracegen -kind judge [-interactive 50525] [-noninteractive 768]
+//	         [-duration 1800] [-seed 1] > trace.jsonl
+//	tracegen -kind uniform|exp|bimodal|pareto [-n 100] [-seed 1] > batch.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"os"
+
+	"dvfsched/internal/model"
+	"dvfsched/internal/trace"
+	"dvfsched/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	var (
+		kind     = fs.String("kind", "judge", "trace kind: judge, uniform, exp, bimodal, pareto")
+		seed     = fs.Int64("seed", 1, "random seed")
+		n        = fs.Int("n", 100, "number of batch tasks (non-judge kinds)")
+		inter    = fs.Int("interactive", 50525, "judge: interactive tasks")
+		nonInter = fs.Int("noninteractive", 768, "judge: code submissions")
+		duration = fs.Float64("duration", 1800, "judge: trace length in seconds")
+		mean     = fs.Float64("mean", 10, "exp: mean Gcycles")
+		lo       = fs.Float64("lo", 1, "uniform: lower bound Gcycles")
+		hi       = fs.Float64("hi", 100, "uniform: upper bound Gcycles")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	var tasks model.TaskSet
+	var err error
+	switch *kind {
+	case "judge":
+		cfg := workload.DefaultJudgeConfig()
+		cfg.Interactive = *inter
+		cfg.NonInteractive = *nonInter
+		cfg.Duration = *duration
+		tasks, err = cfg.Generate(rng)
+	case "uniform":
+		tasks, err = workload.Uniform(rng, *n, *lo, *hi)
+	case "exp":
+		tasks, err = workload.Exponential(rng, *n, *mean)
+	case "bimodal":
+		tasks, err = workload.Bimodal(rng, *n, *mean, *mean*20, 0.2)
+	case "pareto":
+		tasks, err = workload.Pareto(rng, *n, *lo, 1.5)
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		return err
+	}
+	return trace.Write(w, tasks)
+}

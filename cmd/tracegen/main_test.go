@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"dvfsched/internal/trace"
+)
+
+func TestRunAllKinds(t *testing.T) {
+	kinds := map[string][]string{
+		"judge":   {"-kind", "judge", "-interactive", "30", "-noninteractive", "5", "-duration", "60"},
+		"uniform": {"-kind", "uniform", "-n", "20"},
+		"exp":     {"-kind", "exp", "-n", "20", "-mean", "4"},
+		"bimodal": {"-kind", "bimodal", "-n", "20", "-mean", "2"},
+		"pareto":  {"-kind", "pareto", "-n", "20", "-lo", "1"},
+	}
+	for name, args := range kinds {
+		var out bytes.Buffer
+		if err := run(args, &out); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		tasks, err := trace.Read(&out)
+		if err != nil {
+			t.Fatalf("%s: output is not a valid trace: %v", name, err)
+		}
+		if len(tasks) == 0 {
+			t.Errorf("%s: empty trace", name)
+		}
+	}
+}
+
+func TestRunDeterministicSeed(t *testing.T) {
+	gen := func() string {
+		var out bytes.Buffer
+		if err := run([]string{"-kind", "exp", "-n", "10", "-seed", "42"}, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	if gen() != gen() {
+		t.Error("same seed produced different traces")
+	}
+}
+
+func TestRunBadInputs(t *testing.T) {
+	cases := [][]string{
+		{"-kind", "unknown"},
+		{"-kind", "uniform", "-n", "0"},
+		{"-kind", "exp", "-mean", "-3"},
+		{"-kind", "judge", "-duration", "0"},
+	}
+	for _, args := range cases {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// Command traceinfo summarizes a JSONL task trace: counts, demand
+// distribution, arrival span, and offered load — the quantities that
+// determine which scheduling regime (under-loaded vs saturated) an
+// experiment will exercise.
+//
+// Usage:
+//
+//	traceinfo trace.jsonl
+//	tracegen -kind judge | traceinfo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"dvfsched/internal/trace"
+	"dvfsched/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("traceinfo: ")
+	flag.Parse()
+	if err := run(flag.Args(), os.Stdin, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, stdin io.Reader, w io.Writer) error {
+	var r io.Reader
+	switch len(args) {
+	case 0:
+		r = stdin
+	case 1:
+		f, err := os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	default:
+		return fmt.Errorf("expected at most one trace file, got %d arguments", len(args))
+	}
+	tasks, err := trace.Read(r)
+	if err != nil {
+		return err
+	}
+	summary, err := workload.Describe(tasks)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, summary)
+	return nil
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dvfsched/internal/trace"
+	"dvfsched/internal/workload"
+)
+
+func sampleTrace(t *testing.T) []byte {
+	t.Helper()
+	judge := workload.DefaultJudgeConfig()
+	judge.Interactive, judge.NonInteractive, judge.Duration = 100, 20, 60
+	tasks, err := judge.Generate(rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, tasks); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRunFromStdin(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, bytes.NewReader(sampleTrace(t)), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"tasks:", "100 interactive", "20 non-interactive", "offered load", "cores needed"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.jsonl")
+	if err := os.WriteFile(path, sampleTrace(t), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{path}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "demand:") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"a", "b"}, nil, &bytes.Buffer{}); err == nil {
+		t.Error("two files accepted")
+	}
+	if err := run([]string{"/no/such/file"}, nil, &bytes.Buffer{}); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run(nil, strings.NewReader("garbage"), &bytes.Buffer{}); err == nil {
+		t.Error("garbage trace accepted")
+	}
+}

@@ -1,0 +1,24 @@
+// Package dvfsched reproduces "An Energy-efficient Task Scheduler for
+// Multi-core Platforms with per-core DVFS Based on Task Characteristics"
+// (Lin et al., ICPP 2014).
+//
+// The library decides, simultaneously, the assignment of tasks to CPU
+// cores, the execution order of tasks on each core, and the per-task
+// processing rate (DVFS frequency), so as to minimize the monetary cost
+//
+//	C = Re * energy + Rt * sum-of-turnaround-times
+//
+// It provides the paper's batch-mode optimal algorithms (Longest Task
+// Last, Workload Based Greedy), its online-mode Least Marginal Cost
+// heuristic, the dominating-position-range machinery (Algorithm 1), the
+// dynamic insertion/deletion structures (Algorithms 4-6), baseline
+// schedulers (Opportunistic Load Balancing, Power Saving, On-demand), a
+// discrete-event multi-core simulator with per-core DVFS and a simulated
+// power meter, and workload generators reproducing the paper's SPEC
+// CPU2006 and Judgegirl evaluations.
+//
+// See the packages under internal/ for the implementation, cmd/ for
+// command-line tools, and examples/ for runnable scenarios. DESIGN.md
+// maps every paper contribution and experiment to a module;
+// EXPERIMENTS.md records reproduced results.
+package dvfsched

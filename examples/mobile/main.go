@@ -1,0 +1,76 @@
+// Mobile: run a phone's background work queue on an Exynos-4412 under
+// three strategies — race-to-idle (max frequency), the Power Saving
+// mode (frequencies capped to the lower half), and the paper's optimal
+// batch schedule — and compare battery drain against responsiveness.
+//
+// Run with:
+//
+//	go run ./examples/mobile
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dvfsched/internal/batch"
+	"dvfsched/internal/envelope"
+	"dvfsched/internal/model"
+	"dvfsched/internal/platform"
+	"dvfsched/internal/sched"
+	"dvfsched/internal/sim"
+)
+
+func main() {
+	// On a phone, waiting is cheap and energy is precious.
+	params := model.CostParams{Re: 2.0, Rt: 0.05}
+	rates := platform.ExynosT4412()
+
+	// Background work: sync, photo backup, ML inference, indexing.
+	tasks := model.TaskSet{
+		{ID: 1, Name: "mail-sync", Cycles: 2, Deadline: model.NoDeadline},
+		{ID: 2, Name: "photo-backup", Cycles: 120, Deadline: model.NoDeadline},
+		{ID: 3, Name: "asr-model", Cycles: 45, Deadline: model.NoDeadline},
+		{ID: 4, Name: "app-update", Cycles: 80, Deadline: model.NoDeadline},
+		{ID: 5, Name: "index", Cycles: 12, Deadline: model.NoDeadline},
+		{ID: 6, Name: "thumbnails", Cycles: 25, Deadline: model.NoDeadline},
+	}
+
+	env := envelope.MustCompute(params, rates)
+	fmt.Println("Exynos-4412 dominating ranges under battery-heavy pricing:")
+	fmt.Println(" ", env)
+
+	// Optimal plan on the four A9 cores.
+	plan, err := batch.WBG(params, batch.HomogeneousCores(4, rates), tasks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wj, wm, _ := plan.EnergyTime()
+	_, _, wcost := plan.Cost()
+
+	// Race-to-idle: all cores pinned at 1.7 GHz.
+	plat := platform.Homogeneous(4, rates, platform.Ideal{})
+	race, err := sim.Run(sim.Config{Platform: plat, Policy: &sched.OLB{MaxFrequency: true}}, tasks, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Power Saving: lower half of the ladder, on-demand-style cap.
+	psPlat, err := sched.PowerSavePlatform(plat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ps, err := sim.Run(sim.Config{Platform: psPlat, Policy: &sched.OLB{MaxFrequency: true}}, tasks, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-14s %10s %12s %12s\n", "strategy", "energy (J)", "makespan (s)", "cost (¢)")
+	fmt.Printf("%-14s %10.1f %12.1f %12.1f\n", "WBG (optimal)", wj, wm, wcost)
+	fmt.Printf("%-14s %10.1f %12.1f %12.1f\n", "race-to-idle", race.TotalEnergy, race.Makespan, race.TotalCost)
+	fmt.Printf("%-14s %10.1f %12.1f %12.1f\n", "power-saving", ps.TotalEnergy, ps.Makespan, ps.TotalCost)
+	fmt.Printf("\nWBG uses %.0f%% less battery than race-to-idle and %.0f%% less than the\n",
+		100*(1-wj/race.TotalEnergy), 100*(1-wj/ps.TotalEnergy))
+	fmt.Println("blanket power-saving cap: with waiting priced low, the dominating ranges")
+	fmt.Println("push background work onto the lowest frequency steps, position by position,")
+	fmt.Println("instead of applying one static cap to everything.")
+}

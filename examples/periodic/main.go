@@ -1,0 +1,61 @@
+// Periodic: the classic real-time DVS setting the paper's related
+// work builds on — periodic tasks with implicit deadlines under
+// preemptive EDF — comparing race-to-idle, static EDF-DVS, and
+// cycle-conserving EDF-DVS (Pillai & Shin) over a second of a flight
+// controller's schedule.
+//
+// Run with:
+//
+//	go run ./examples/periodic
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"dvfsched/internal/model"
+	"dvfsched/internal/rt"
+)
+
+func main() {
+	// A 200 Gcyc/s core with four steps and quadratic energy.
+	rates := model.MustRateTable([]model.RateLevel{
+		{Rate: 50, Energy: 1, Time: 0.02},
+		{Rate: 100, Energy: 4, Time: 0.01},
+		{Rate: 150, Energy: 9, Time: 1.0 / 150},
+		{Rate: 200, Energy: 16, Time: 0.005},
+	})
+
+	// Flight-control periodic tasks; jobs typically finish well under
+	// their WCET (BCETFraction).
+	tasks := rt.TaskSet{
+		{ID: 1, Name: "attitude", WCET: 0.3, Period: 0.005, BCETFraction: 0.4},
+		{ID: 2, Name: "navigation", WCET: 0.6, Period: 0.02, BCETFraction: 0.5},
+		{ID: 3, Name: "telemetry", WCET: 1.0, Period: 0.05, BCETFraction: 0.3},
+		{ID: 4, Name: "housekeeping", WCET: 2.0, Period: 0.2, BCETFraction: 0.5},
+	}
+	static, err := rt.StaticOptimalLevel(tasks, rates)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h, err := rt.Hyperperiod(tasks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("utilization %.1f Gcyc/s, hyperperiod %.3f s, static level %.0f Gcyc/s\n\n",
+		tasks.CycleUtilization(), h, static.Rate)
+
+	fmt.Printf("%-18s %10s %8s %10s\n", "policy", "energy (J)", "misses", "switches")
+	for _, mode := range []rt.SpeedMode{rt.RaceToIdle, rt.StaticDVS, rt.CycleConservingDVS} {
+		res, err := rt.RunEDF(tasks, rates, 1.0, rand.New(rand.NewSource(99)), mode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s %10.1f %8d %10d\n", mode, res.EnergyJ, res.Misses, res.Switches)
+	}
+	fmt.Println("\nEvery mode meets every deadline (the EDF bound U·T(p) ≤ 1 holds);")
+	fmt.Println("cycle-conserving reclaims the slack of early completions, job by job.")
+	fmt.Println("The paper generalizes away from this periodic setting to arbitrary")
+	fmt.Println("batch and online tasks — see examples/quickstart and examples/onlinejudge.")
+}

@@ -1,0 +1,77 @@
+// Realtime: schedule a deadline-constrained batch — the NP-complete
+// Deadline-SingleCore setting of Theorem 1 — with the exact
+// pseudo-polynomial dynamic program and the fast slack-reclamation
+// heuristic, and compare both against racing at maximum frequency.
+//
+// Run with:
+//
+//	go run ./examples/realtime
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dvfsched/internal/deadline"
+	"dvfsched/internal/model"
+	"dvfsched/internal/platform"
+)
+
+func main() {
+	rates := platform.TableII()
+
+	// A control loop's periodic jobs, flattened into one hyperperiod:
+	// every job must finish by its deadline (seconds).
+	tasks := model.TaskSet{
+		{ID: 1, Name: "sensor-fuse", Cycles: 20, Deadline: 12},
+		{ID: 2, Name: "plan", Cycles: 45, Deadline: 40},
+		{ID: 3, Name: "actuate", Cycles: 10, Deadline: 48},
+		{ID: 4, Name: "log-flush", Cycles: 60, Deadline: 110},
+		{ID: 5, Name: "telemetry", Cycles: 35, Deadline: 150},
+		{ID: 6, Name: "model-update", Cycles: 90, Deadline: 260},
+	}
+
+	// Exact minimum-energy schedule on a 50 ms grid.
+	dp, err := deadline.MinEnergyDP(tasks, rates, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Fast heuristic.
+	greedy, err := deadline.SlackReclaim(tasks, rates)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Race-to-idle reference.
+	var raceJ, raceEnd float64
+	for _, a := range deadline.EDFOrder(tasks) {
+		raceJ += model.TaskEnergy(a.Cycles, rates.Max())
+		raceEnd += model.TaskTime(a.Cycles, rates.Max())
+	}
+
+	fmt.Println("deadline-feasible schedules (EDF order):")
+	fmt.Printf("  %-14s %10s %10s\n", "method", "energy (J)", "end (s)")
+	fmt.Printf("  %-14s %10.1f %10.1f\n", "DP (exact)", dp.EnergyJ, dp.MakespanS)
+	fmt.Printf("  %-14s %10.1f %10.1f\n", "slack-reclaim", greedy.EnergyJ, greedy.MakespanS)
+	fmt.Printf("  %-14s %10.1f %10.1f\n", "race-to-idle", raceJ, raceEnd)
+
+	fmt.Println("\nexact DP's per-task rates:")
+	for _, a := range dp.Order {
+		fmt.Printf("  %-14s %6.0f Gcyc @ %.1f GHz, deadline %5.0fs\n",
+			a.Task.Name, a.Task.Cycles, a.Level.Rate, a.Task.Deadline)
+	}
+	fmt.Printf("\nDP saves %.0f%% energy vs racing; the heuristic gets within %.1f%% of the DP\n",
+		100*(1-dp.EnergyJ/raceJ), 100*(greedy.EnergyJ/dp.EnergyJ-1))
+	fmt.Println("while running in O(n² |P|) instead of pseudo-polynomial time —")
+	fmt.Println("the practical answer to Theorem 1's NP-completeness.")
+
+	// Theorem 1 is a bi-criteria problem (time bound AND energy
+	// budget); the full trade-off is the Pareto frontier.
+	points, err := deadline.Pareto(tasks, rates, 8, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nenergy/time Pareto frontier (deadlines respected everywhere):")
+	for _, p := range points {
+		fmt.Printf("  %8.1f J -> finishes at %6.1f s\n", p.EnergyJ, p.MakespanS)
+	}
+}

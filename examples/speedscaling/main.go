@@ -1,0 +1,67 @@
+// Speed scaling: the continuous-speed foundations the paper builds
+// on. Jobs with release times and deadlines run on a processor with
+// power s^alpha; compare the offline optimum (YDS), the online
+// Average Rate and Optimal Available heuristics, and the
+// discretization of the optimum onto the paper's hardware levels.
+//
+// Run with:
+//
+//	go run ./examples/speedscaling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dvfsched/internal/platform"
+	"dvfsched/internal/speedscale"
+)
+
+func main() {
+	const alpha = 3.0
+	// A bursty evening of encode jobs (work in Gcycles).
+	jobs := []speedscale.Job{
+		{ID: 1, Work: 9, Release: 0, Deadline: 12},
+		{ID: 2, Work: 4, Release: 2, Deadline: 4},
+		{ID: 3, Work: 3, Release: 3, Deadline: 6},
+		{ID: 4, Work: 6, Release: 8, Deadline: 18},
+		{ID: 5, Work: 2, Release: 15, Deadline: 16},
+	}
+
+	plan, err := speedscale.YDS(jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("YDS critical intervals (densest first):")
+	for _, ci := range plan {
+		fmt.Printf("  speed %.2f Gcyc/s, jobs %v, %.2f s over %d segment(s)\n",
+			ci.Speed, ci.Jobs, ci.Duration(), len(ci.Segments))
+	}
+
+	opt := speedscale.Energy(plan, alpha)
+	avr, err := speedscale.AVREnergy(jobs, alpha)
+	if err != nil {
+		log.Fatal(err)
+	}
+	oa, err := speedscale.OAEnergy(jobs, alpha)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nenergy (power = s^%.0f):\n", alpha)
+	fmt.Printf("  %-18s %8.1f (1.00x)\n", "YDS (optimal)", opt)
+	fmt.Printf("  %-18s %8.1f (%.2fx)\n", "Optimal Available", oa, oa/opt)
+	fmt.Printf("  %-18s %8.1f (%.2fx)\n", "Average Rate", avr, avr/opt)
+
+	levels, joules, err := speedscale.DiscretizeYDS(jobs, plan, platform.TableII())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nrounded onto the paper's Table II hardware levels:")
+	for id := 1; id <= 5; id++ {
+		fmt.Printf("  job %d: %.2f Gcyc/s -> %.1f GHz\n", id, speedscale.SpeedOf(plan, id), levels[id].Rate)
+	}
+	fmt.Printf("discrete energy with Table II's measured E(p): %.1f J\n", joules)
+	fmt.Println("\nThe paper swaps this continuous, single-job-window world for discrete")
+	fmt.Println("per-core rates and queue-position costs; package batch and online take")
+	fmt.Println("over from here.")
+}

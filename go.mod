@@ -1,0 +1,3 @@
+module dvfsched
+
+go 1.22

@@ -1,0 +1,180 @@
+package dvfsched_test
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dvfsched/internal/core"
+	"dvfsched/internal/experiments"
+	"dvfsched/internal/model"
+	"dvfsched/internal/platform"
+	"dvfsched/internal/trace"
+	"dvfsched/internal/workload"
+)
+
+// TestEndToEndPipeline exercises the full user path: synthesize a
+// trace, persist it as JSONL, load it back, schedule it through the
+// high-level facade, and check conservation properties of the result.
+func TestEndToEndPipeline(t *testing.T) {
+	judge := workload.DefaultJudgeConfig()
+	judge.Interactive, judge.NonInteractive, judge.Duration = 300, 40, 90
+	tasks, err := judge.Generate(rand.New(rand.NewSource(123)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, tasks); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := trace.Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(tasks) {
+		t.Fatalf("round trip lost tasks: %d vs %d", len(loaded), len(tasks))
+	}
+
+	sched, err := core.New(experiments.OnlineParams,
+		platform.Homogeneous(4, platform.TableII(), platform.Ideal{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sched.RunOnline(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Conservation: every task done, energy bounded by the extremes.
+	var minJ, maxJ float64
+	for _, ts := range res.Tasks {
+		if !ts.Done {
+			t.Fatalf("task %d unfinished", ts.Task.ID)
+		}
+		minJ += ts.Task.Cycles * platform.TableII().Min().Energy
+		maxJ += ts.Task.Cycles * platform.TableII().Max().Energy
+	}
+	if res.ActiveEnergy < minJ-1e-6 || res.ActiveEnergy > maxJ+1e-6 {
+		t.Errorf("energy %v outside physical bounds [%v, %v]", res.ActiveEnergy, minJ, maxJ)
+	}
+	if res.TotalCost <= 0 || math.IsNaN(res.TotalCost) {
+		t.Errorf("bad total cost %v", res.TotalCost)
+	}
+}
+
+// TestBatchPipelineAgainstAnalyticBound verifies that executing the
+// facade's batch plan on an ideal platform reproduces the analytic
+// cost, and that a contended platform can only cost more.
+func TestBatchPipelineAgainstAnalyticBound(t *testing.T) {
+	tasks := workload.SPECTasks()
+	for i := range tasks {
+		tasks[i].Cycles /= 50 // keep the test fast
+	}
+	ideal, err := core.New(experiments.BatchParams,
+		platform.Homogeneous(4, platform.TableII(), platform.Ideal{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := ideal.PlanBatch(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, analytic := plan.Cost()
+	res, err := ideal.ExecuteBatch(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.TotalCost-analytic) > 1e-6*analytic {
+		t.Errorf("ideal execution %v != analytic %v", res.TotalCost, analytic)
+	}
+
+	contended, err := core.New(experiments.BatchParams,
+		platform.Homogeneous(4, platform.TableII(), platform.DefaultRealistic()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := contended.ExecuteBatch(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.TotalCost <= res.TotalCost {
+		t.Errorf("contention did not raise cost: %v <= %v", res2.TotalCost, res.TotalCost)
+	}
+}
+
+// TestTraceReaderHostileInputs feeds the JSONL reader a corpus of
+// malformed documents; it must reject them all without panicking.
+func TestTraceReaderHostileInputs(t *testing.T) {
+	corpus := []string{
+		"{",
+		`{"id":1}`,
+		`{"id":1,"cycles":0,"arrival":0}`,
+		`{"id":1,"cycles":1e999,"arrival":0}`,
+		`{"id":1,"cycles":5,"arrival":-2}`,
+		`{"id":1,"cycles":5,"arrival":0,"deadline":-1}`,
+		`{"id":1,"cycles":5,"arrival":3,"deadline":2}`,
+		`[1,2,3]`,
+		`"just a string"`,
+		`{"id":1,"cycles":5,"arrival":0}` + "\n" + `{"id":1,"cycles":5,"arrival":0}`, // dup ID
+		"\x00\x01\x02",
+	}
+	for i, doc := range corpus {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("input %d panicked: %v", i, r)
+				}
+			}()
+			if _, err := trace.Read(bytes.NewReader([]byte(doc))); err == nil {
+				t.Errorf("input %d accepted: %q", i, doc)
+			}
+		}()
+	}
+}
+
+// TestTraceRoundTripRandom is a randomized round-trip property at the
+// module boundary.
+func TestTraceRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(50)
+		tasks := make(model.TaskSet, n)
+		for i := range tasks {
+			tasks[i] = model.Task{
+				ID:          i,
+				Name:        "t",
+				Cycles:      rng.Float64()*100 + 0.001,
+				Arrival:     rng.Float64() * 10,
+				Deadline:    model.NoDeadline,
+				Interactive: rng.Intn(2) == 0,
+			}
+			if rng.Intn(3) == 0 {
+				tasks[i].Deadline = tasks[i].Arrival + 1 + rng.Float64()
+			}
+		}
+		var buf bytes.Buffer
+		if err := trace.Write(&buf, tasks); err != nil {
+			t.Fatal(err)
+		}
+		back, err := trace.Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range tasks {
+			if tasks[i] != back[i] {
+				t.Fatalf("trial %d: task %d mutated", trial, i)
+			}
+		}
+	}
+}

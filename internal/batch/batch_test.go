@@ -1,0 +1,256 @@
+package batch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dvfsched/internal/model"
+)
+
+func table2() *model.RateTable {
+	return model.MustRateTable([]model.RateLevel{
+		{Rate: 1.6, Energy: 3.375, Time: 0.625},
+		{Rate: 2.0, Energy: 4.22, Time: 0.5},
+		{Rate: 2.4, Energy: 5.0, Time: 0.42},
+		{Rate: 2.8, Energy: 6.0, Time: 0.36},
+		{Rate: 3.0, Energy: 7.1, Time: 0.33},
+	})
+}
+
+var paperParams = model.CostParams{Re: 0.1, Rt: 0.4}
+
+func randomTasks(rng *rand.Rand, n int) model.TaskSet {
+	ts := make(model.TaskSet, n)
+	for i := range ts {
+		ts[i] = model.Task{ID: i, Cycles: 0.1 + rng.Float64()*100, Deadline: model.NoDeadline}
+	}
+	return ts
+}
+
+func TestSingleCoreOrdersShortestFirst(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tasks := randomTasks(rng, 50)
+	plan, err := SingleCore(paperParams, table2(), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	seq := plan.Cores[0].Sequence
+	if len(seq) != 50 {
+		t.Fatalf("len = %d", len(seq))
+	}
+	for i := 1; i < len(seq); i++ {
+		if seq[i].Task.Cycles < seq[i-1].Task.Cycles {
+			t.Fatalf("execution order not non-decreasing at %d", i)
+		}
+	}
+	// Rates must be non-increasing along the execution order (front
+	// tasks have larger backward positions, hence faster rates).
+	for i := 1; i < len(seq); i++ {
+		if seq[i].Level.Rate > seq[i-1].Level.Rate {
+			t.Fatalf("rates increase along execution order at %d", i)
+		}
+	}
+}
+
+func TestSingleCoreMatchesPerPositionOptimum(t *testing.T) {
+	// Each task's level must equal the naive argmin for its backward
+	// position.
+	rng := rand.New(rand.NewSource(2))
+	tasks := randomTasks(rng, 23)
+	rt := table2()
+	plan, err := SingleCore(paperParams, rt, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := plan.Cores[0].Sequence
+	n := len(seq)
+	for i, a := range seq {
+		k := n - i // backward position
+		want, _ := paperParams.BestBackwardLevel(k, rt)
+		if a.Level.Rate != want.Rate {
+			t.Fatalf("position %d (backward %d): got %v want %v", i, k, a.Level.Rate, want.Rate)
+		}
+	}
+}
+
+func TestSingleCoreRejectsInvalid(t *testing.T) {
+	if _, err := SingleCore(paperParams, table2(), nil); err == nil {
+		t.Error("empty task set accepted")
+	}
+	if _, err := SingleCore(model.CostParams{}, table2(), randomTasks(rand.New(rand.NewSource(3)), 2)); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestHomogeneousEqualsWBGCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		tasks := randomTasks(rng, 1+rng.Intn(40))
+		r := 1 + rng.Intn(6)
+		hp, err := Homogeneous(paperParams, table2(), r, tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wp, err := WBG(paperParams, HomogeneousCores(r, table2()), tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _, hc := hp.Cost()
+		_, _, wc := wp.Cost()
+		if math.Abs(hc-wc) > 1e-9*math.Max(1, hc) {
+			t.Fatalf("trial %d: homogeneous cost %v != WBG cost %v", trial, hc, wc)
+		}
+		if err := hp.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if err := wp.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestWBGSchedulesAllTasksOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tasks := randomTasks(rng, 24)
+	plan, err := WBG(paperParams, HomogeneousCores(4, table2()), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumTasks() != 24 {
+		t.Errorf("NumTasks = %d", plan.NumTasks())
+	}
+	if err := plan.Validate(); err != nil {
+		t.Error(err)
+	}
+	// Each core's order is shortest-first.
+	for _, c := range plan.Cores {
+		for i := 1; i < len(c.Sequence); i++ {
+			if c.Sequence[i].Task.Cycles < c.Sequence[i-1].Task.Cycles {
+				t.Errorf("core %d not shortest-first", c.Core)
+			}
+		}
+	}
+}
+
+func TestWBGHeterogeneousPrefersCheaperCore(t *testing.T) {
+	// An efficient core (low E, low T) should receive all the load
+	// while positions on it stay cheaper than the inefficient core's
+	// first position.
+	cheap := model.MustRateTable([]model.RateLevel{{Rate: 2, Energy: 1, Time: 0.5}})
+	pricey := model.MustRateTable([]model.RateLevel{{Rate: 1, Energy: 10, Time: 1}})
+	tasks := model.TaskSet{
+		{ID: 1, Cycles: 1, Deadline: model.NoDeadline},
+		{ID: 2, Cycles: 2, Deadline: model.NoDeadline},
+	}
+	plan, err := WBG(model.CostParams{Re: 1, Rt: 0.1}, []CoreSpec{{Rates: pricey}, {Rates: cheap}}, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C_cheap(k) = 1 + 0.05k; C_pricey(k) = 10 + 0.1k. Both tasks
+	// should go to the cheap core.
+	if len(plan.Cores[1].Sequence) != 2 || len(plan.Cores[0].Sequence) != 0 {
+		t.Errorf("assignment: core0=%d core1=%d tasks", len(plan.Cores[0].Sequence), len(plan.Cores[1].Sequence))
+	}
+}
+
+func TestWBGRejectsInvalid(t *testing.T) {
+	tasks := model.TaskSet{{ID: 1, Cycles: 1, Deadline: model.NoDeadline}}
+	if _, err := WBG(paperParams, nil, tasks); err == nil {
+		t.Error("no cores accepted")
+	}
+	if _, err := WBG(paperParams, HomogeneousCores(2, table2()), nil); err == nil {
+		t.Error("empty tasks accepted")
+	}
+	if _, err := Homogeneous(paperParams, table2(), 0, tasks); err == nil {
+		t.Error("zero cores accepted")
+	}
+}
+
+func TestPlanCostMatchesEnergyTime(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tasks := randomTasks(rng, 12)
+	plan, err := WBG(paperParams, HomogeneousCores(3, table2()), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eCost, tCost, total := plan.Cost()
+	joules, _, turnaround := plan.EnergyTime()
+	if math.Abs(eCost-paperParams.Re*joules) > 1e-9 {
+		t.Errorf("energy cost %v != Re*joules %v", eCost, paperParams.Re*joules)
+	}
+	if math.Abs(tCost-paperParams.Rt*turnaround) > 1e-9 {
+		t.Errorf("time cost %v != Rt*turnaround %v", tCost, paperParams.Rt*turnaround)
+	}
+	if math.Abs(total-(eCost+tCost)) > 1e-12 {
+		t.Errorf("total mismatch")
+	}
+}
+
+func TestPlanValidateCatchesDuplicates(t *testing.T) {
+	l := model.RateLevel{Rate: 1, Energy: 1, Time: 1}
+	p := &Plan{Params: paperParams, Cores: []CorePlan{{
+		Core: 0,
+		Sequence: []model.Assignment{
+			{Task: model.Task{ID: 1, Cycles: 1}, Level: l},
+			{Task: model.Task{ID: 1, Cycles: 1}, Level: l},
+		},
+	}}}
+	if err := p.Validate(); err == nil {
+		t.Error("duplicate task not caught")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tasks := randomTasks(rng, 30)
+	p1, _ := WBG(paperParams, HomogeneousCores(4, table2()), tasks)
+	p2, _ := WBG(paperParams, HomogeneousCores(4, table2()), tasks)
+	for j := range p1.Cores {
+		if len(p1.Cores[j].Sequence) != len(p2.Cores[j].Sequence) {
+			t.Fatal("nondeterministic core sizes")
+		}
+		for i := range p1.Cores[j].Sequence {
+			if p1.Cores[j].Sequence[i].Task.ID != p2.Cores[j].Sequence[i].Task.ID {
+				t.Fatal("nondeterministic assignment")
+			}
+		}
+	}
+}
+
+// Property: swapping any two adjacent tasks in the WBG single-core
+// order never decreases the cost (local optimality of Theorem 3).
+func TestSingleCoreLocalOptimality(t *testing.T) {
+	rt := table2()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tasks := randomTasks(rng, 2+rng.Intn(10))
+		plan, err := SingleCore(paperParams, rt, tasks)
+		if err != nil {
+			return false
+		}
+		seq := plan.Cores[0].Sequence
+		_, _, best := paperParams.SequenceCost(seq, 0)
+		n := len(seq)
+		for i := 0; i+1 < n; i++ {
+			alt := make([]model.Assignment, n)
+			copy(alt, seq)
+			// Swap the tasks but keep the positions' rates
+			// (rates are a function of position).
+			alt[i].Task, alt[i+1].Task = alt[i+1].Task, alt[i].Task
+			_, _, c := paperParams.SequenceCost(alt, 0)
+			if c < best-1e-9 {
+				t.Logf("seed %d: swap %d improved %v -> %v", seed, i, best, c)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

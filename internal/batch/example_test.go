@@ -1,0 +1,38 @@
+package batch_test
+
+import (
+	"fmt"
+
+	"dvfsched/internal/batch"
+	"dvfsched/internal/model"
+	"dvfsched/internal/platform"
+)
+
+// Schedule four jobs on two cores with Workload Based Greedy: each
+// core runs shortest-first, and rates follow queue positions.
+func ExampleWBG() {
+	params := model.CostParams{Re: 0.1, Rt: 0.4}
+	tasks := model.TaskSet{
+		{ID: 1, Name: "a", Cycles: 10, Deadline: model.NoDeadline},
+		{ID: 2, Name: "b", Cycles: 500, Deadline: model.NoDeadline},
+		{ID: 3, Name: "c", Cycles: 40, Deadline: model.NoDeadline},
+		{ID: 4, Name: "d", Cycles: 200, Deadline: model.NoDeadline},
+	}
+	plan, err := batch.WBG(params, batch.HomogeneousCores(2, platform.TableII()), tasks)
+	if err != nil {
+		panic(err)
+	}
+	for _, core := range plan.Cores {
+		fmt.Printf("core %d:", core.Core)
+		for _, a := range core.Sequence {
+			fmt.Printf(" %s@%.1f", a.Task.Name, a.Level.Rate)
+		}
+		fmt.Println()
+	}
+	_, _, total := plan.Cost()
+	fmt.Printf("total cost %.1f cents\n", total)
+	// Output:
+	// core 0: c@2.0 b@1.6
+	// core 1: a@2.0 d@1.6
+	// total cost 452.4 cents
+}

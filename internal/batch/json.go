@@ -1,0 +1,95 @@
+package batch
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dvfsched/internal/model"
+)
+
+// assignmentJSON is the wire form of one scheduled task.
+type assignmentJSON struct {
+	TaskID int     `json:"task"`
+	Name   string  `json:"name,omitempty"`
+	Cycles float64 `json:"cycles"`
+	Rate   float64 `json:"rate"`
+	Energy float64 `json:"energy"`
+	Time   float64 `json:"time"`
+}
+
+// planJSON is the self-contained wire form of a plan: enough to
+// re-execute it without the original trace.
+type planJSON struct {
+	Re    float64            `json:"re"`
+	Rt    float64            `json:"rt"`
+	Cores [][]assignmentJSON `json:"cores"`
+}
+
+// WriteJSON serializes the plan, self-contained, as indented JSON.
+func (p *Plan) WriteJSON(w io.Writer) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	doc := planJSON{Re: p.Params.Re, Rt: p.Params.Rt, Cores: make([][]assignmentJSON, len(p.Cores))}
+	for i, cp := range p.Cores {
+		doc.Cores[i] = make([]assignmentJSON, len(cp.Sequence))
+		for j, a := range cp.Sequence {
+			doc.Cores[i][j] = assignmentJSON{
+				TaskID: a.Task.ID,
+				Name:   a.Task.Name,
+				Cycles: a.Task.Cycles,
+				Rate:   a.Level.Rate,
+				Energy: a.Level.Energy,
+				Time:   a.Level.Time,
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ReadPlanJSON parses a plan written by WriteJSON and validates it.
+func ReadPlanJSON(r io.Reader) (*Plan, error) {
+	var doc planJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("batch: decoding plan: %w", err)
+	}
+	params := model.CostParams{Re: doc.Re, Rt: doc.Rt}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	plan := &Plan{Params: params, Cores: make([]CorePlan, len(doc.Cores))}
+	for i, seq := range doc.Cores {
+		cp := CorePlan{Core: i, Sequence: make([]model.Assignment, len(seq))}
+		for j, a := range seq {
+			task := model.Task{ID: a.TaskID, Name: a.Name, Cycles: a.Cycles, Deadline: model.NoDeadline}
+			if err := task.Validate(); err != nil {
+				return nil, err
+			}
+			cp.Sequence[j] = model.Assignment{
+				Task:  task,
+				Level: model.RateLevel{Rate: a.Rate, Energy: a.Energy, Time: a.Time},
+			}
+		}
+		plan.Cores[i] = cp
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}
+
+// Tasks reconstructs the task set the plan schedules.
+func (p *Plan) Tasks() model.TaskSet {
+	var out model.TaskSet
+	for _, cp := range p.Cores {
+		for _, a := range cp.Sequence {
+			out = append(out, a.Task)
+		}
+	}
+	return out
+}

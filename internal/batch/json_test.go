@@ -1,0 +1,101 @@
+package batch_test
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dvfsched/internal/batch"
+	"dvfsched/internal/model"
+	"dvfsched/internal/platform"
+	"dvfsched/internal/sim"
+)
+
+var jsonParams = model.CostParams{Re: 0.1, Rt: 0.4}
+
+func jsonTasks(rng *rand.Rand, n int) model.TaskSet {
+	ts := make(model.TaskSet, n)
+	for i := range ts {
+		ts[i] = model.Task{ID: i, Cycles: 0.1 + rng.Float64()*100, Deadline: model.NoDeadline}
+	}
+	return ts
+}
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tasks := jsonTasks(rng, 9)
+	plan, err := batch.WBG(jsonParams, batch.HomogeneousCores(3, platform.TableII()), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := plan.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := batch.ReadPlanJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, want := plan.Cost()
+	_, _, got := back.Cost()
+	if math.Abs(want-got) > 1e-9*want {
+		t.Errorf("cost changed: %v vs %v", got, want)
+	}
+	if back.NumTasks() != plan.NumTasks() {
+		t.Error("task count changed")
+	}
+	if len(back.Tasks()) != 9 {
+		t.Errorf("Tasks() = %d", len(back.Tasks()))
+	}
+}
+
+func TestPlanJSONExecutable(t *testing.T) {
+	// A deserialized plan must execute in the simulator using its own
+	// reconstructed task set.
+	rng := rand.New(rand.NewSource(2))
+	tasks := jsonTasks(rng, 6)
+	plan, err := batch.WBG(jsonParams, batch.HomogeneousCores(2, platform.TableII()), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := plan.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := batch.ReadPlanJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := sim.NewFixedPlan(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, want := back.Cost()
+	res, err := sim.Run(sim.Config{
+		Platform: platform.Homogeneous(2, platform.TableII(), platform.Ideal{}),
+		Policy:   fp,
+	}, back.Tasks(), jsonParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.TotalCost-want) > 1e-6*want {
+		t.Errorf("executed %v != planned %v", res.TotalCost, want)
+	}
+}
+
+func TestReadPlanJSONRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"not json",
+		`{"re":0,"rt":1,"cores":[]}`,
+		`{"re":1,"rt":1,"cores":[[{"task":1,"cycles":-5,"rate":1,"energy":1,"time":1}]]}`,
+		`{"re":1,"rt":1,"cores":[[{"task":1,"cycles":5,"rate":1,"energy":1,"time":1},{"task":1,"cycles":5,"rate":1,"energy":1,"time":1}]]}`,
+		`{"re":1,"rt":1,"unknown":true,"cores":[]}`,
+	}
+	for i, doc := range cases {
+		if _, err := batch.ReadPlanJSON(strings.NewReader(doc)); err == nil {
+			t.Errorf("case %d accepted: %s", i, doc)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package batch
+
+import (
+	"container/heap"
+	"fmt"
+
+	"dvfsched/internal/envelope"
+	"dvfsched/internal/model"
+)
+
+// CoreSpec describes one core available to the scheduler. Cores may
+// differ in their rate tables (heterogeneous systems) but share the
+// cost constants.
+type CoreSpec struct {
+	// Rates is the core's discrete rate set with its E and T
+	// functions.
+	Rates *model.RateTable
+}
+
+// HomogeneousCores returns r identical CoreSpecs sharing one table.
+func HomogeneousCores(r int, rates *model.RateTable) []CoreSpec {
+	cores := make([]CoreSpec, r)
+	for i := range cores {
+		cores[i] = CoreSpec{Rates: rates}
+	}
+	return cores
+}
+
+// slot is a candidate (core, backward position) pair in the greedy
+// heap, ordered by the per-cycle cost C_j(k).
+type slot struct {
+	cost float64
+	core int
+	k    int // backward position on that core
+}
+
+type slotHeap []slot
+
+func (h slotHeap) Len() int { return len(h) }
+func (h slotHeap) Less(i, j int) bool {
+	if h[i].cost != h[j].cost {
+		return h[i].cost < h[j].cost
+	}
+	if h[i].core != h[j].core {
+		return h[i].core < h[j].core // deterministic tie-break
+	}
+	return h[i].k < h[j].k
+}
+func (h slotHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *slotHeap) Push(x interface{}) { *h = append(*h, x.(slot)) }
+func (h *slotHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// WBG implements Algorithm 3, Workload Based Greedy: the optimal batch
+// schedule for tasks without deadlines on R possibly-heterogeneous
+// cores (Theorem 5). Tasks are considered in non-increasing cycle
+// order; each is assigned to the (core, backward position) slot with
+// the least per-cycle cost C_j(k), taken from a min-heap seeded with
+// C_j(1) for every core. It runs in O(|J| (log |J| + log R) + R|P|).
+func WBG(params model.CostParams, cores []CoreSpec, tasks model.TaskSet) (*Plan, error) {
+	if len(cores) == 0 {
+		return nil, fmt.Errorf("batch: no cores")
+	}
+	if err := tasks.Validate(); err != nil {
+		return nil, err
+	}
+	envs := make([]*envelope.Envelope, len(cores))
+	for i, c := range cores {
+		env, err := envelope.Compute(params, c.Rates)
+		if err != nil {
+			return nil, fmt.Errorf("batch: core %d: %w", i, err)
+		}
+		envs[i] = env
+	}
+
+	sorted := tasks.Clone()
+	sorted.SortByCyclesDesc()
+
+	h := make(slotHeap, 0, len(cores))
+	for j := range cores {
+		h = append(h, slot{cost: envs[j].Cost(1), core: j, k: 1})
+	}
+	heap.Init(&h)
+
+	// backward[j] collects core j's tasks in backward-position order
+	// (index 0 is backward position 1, i.e. the task that runs last).
+	backward := make([][]model.Assignment, len(cores))
+	for _, task := range sorted {
+		s := heap.Pop(&h).(slot)
+		level := envs[s.core].LevelFor(s.k)
+		backward[s.core] = append(backward[s.core], model.Assignment{Task: task, Level: level})
+		heap.Push(&h, slot{cost: envs[s.core].Cost(s.k + 1), core: s.core, k: s.k + 1})
+	}
+
+	plan := &Plan{Params: params, Cores: make([]CorePlan, len(cores))}
+	for j, bw := range backward {
+		seq := make([]model.Assignment, len(bw))
+		for i, a := range bw {
+			seq[len(bw)-1-i] = a // reverse: backward pos 1 runs last
+		}
+		plan.Cores[j] = CorePlan{Core: j, Sequence: seq}
+	}
+	return plan, nil
+}
+
+// Homogeneous implements the round-robin technique of Theorem 4 for R
+// identical cores: the i-th longest task (0-indexed) is placed at
+// backward position i/R + 1 of core i mod R. For identical cores this
+// coincides with WBG but runs without a heap.
+func Homogeneous(params model.CostParams, rates *model.RateTable, r int, tasks model.TaskSet) (*Plan, error) {
+	if r <= 0 {
+		return nil, fmt.Errorf("batch: need at least one core, got %d", r)
+	}
+	env, err := envelope.Compute(params, rates)
+	if err != nil {
+		return nil, err
+	}
+	if err := tasks.Validate(); err != nil {
+		return nil, err
+	}
+	sorted := tasks.Clone()
+	sorted.SortByCyclesDesc()
+
+	backward := make([][]model.Assignment, r)
+	ri := 0
+	for i, task := range sorted {
+		k := i/r + 1
+		for !env.Range(ri).Contains(k) {
+			ri++
+		}
+		j := i % r
+		backward[j] = append(backward[j], model.Assignment{Task: task, Level: env.Range(ri).Level})
+	}
+	plan := &Plan{Params: params, Cores: make([]CorePlan, r)}
+	for j, bw := range backward {
+		seq := make([]model.Assignment, len(bw))
+		for i, a := range bw {
+			seq[len(bw)-1-i] = a
+		}
+		plan.Cores[j] = CorePlan{Core: j, Sequence: seq}
+	}
+	return plan, nil
+}

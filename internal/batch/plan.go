@@ -1,0 +1,94 @@
+// Package batch implements the paper's batch-mode scheduling
+// algorithms (Section III): the optimal single-core ordering of
+// Algorithm 2 ("Longest Task Last"), the round-robin assignment for
+// homogeneous multi-cores (Theorem 4), and the Workload Based Greedy
+// algorithm for heterogeneous multi-cores (Algorithm 3, Theorem 5).
+//
+// A batch plan fixes, for every core, the execution order of its tasks
+// and the processing rate of each task; rates do not change while a
+// task runs (the batch-mode DVFS assumption).
+package batch
+
+import (
+	"fmt"
+
+	"dvfsched/internal/model"
+)
+
+// CorePlan is the schedule of one core: tasks in execution order with
+// their chosen rate levels.
+type CorePlan struct {
+	// Core is the core index the plan targets.
+	Core int
+	// Sequence lists assignments in execution order (index 0 runs
+	// first).
+	Sequence []model.Assignment
+}
+
+// Cost evaluates the analytic cost model (Eq. 8) for this core.
+func (cp CorePlan) Cost(params model.CostParams) (energyCost, timeCost, total float64) {
+	return params.SequenceCost(cp.Sequence, 0)
+}
+
+// Plan is a complete batch schedule across all cores.
+type Plan struct {
+	// Params are the cost constants the plan was optimized for.
+	Params model.CostParams
+	// Cores holds one CorePlan per core, indexed by core.
+	Cores []CorePlan
+}
+
+// Cost returns the total analytic energy cost, temporal cost, and
+// their sum across all cores, in cents.
+func (p *Plan) Cost() (energyCost, timeCost, total float64) {
+	for _, c := range p.Cores {
+		e, t, _ := c.Cost(p.Params)
+		energyCost += e
+		timeCost += t
+	}
+	return energyCost, timeCost, energyCost + timeCost
+}
+
+// EnergyTime returns the physical totals: energy in joules, makespan in
+// seconds (max over cores), and the sum of turnaround times in seconds.
+func (p *Plan) EnergyTime() (joules, makespan, turnaroundSum float64) {
+	for _, c := range p.Cores {
+		j, mk, ta := model.SequenceEnergyTime(c.Sequence)
+		joules += j
+		turnaroundSum += ta
+		if mk > makespan {
+			makespan = mk
+		}
+	}
+	return joules, makespan, turnaroundSum
+}
+
+// NumTasks returns the number of tasks scheduled by the plan.
+func (p *Plan) NumTasks() int {
+	n := 0
+	for _, c := range p.Cores {
+		n += len(c.Sequence)
+	}
+	return n
+}
+
+// Validate checks structural sanity: every task appears exactly once
+// and every assignment uses a positive rate.
+func (p *Plan) Validate() error {
+	seen := make(map[int]bool)
+	for ci, c := range p.Cores {
+		if c.Core != ci {
+			return fmt.Errorf("batch: core plan %d labeled %d", ci, c.Core)
+		}
+		for _, a := range c.Sequence {
+			if seen[a.Task.ID] {
+				return fmt.Errorf("batch: task %d scheduled twice", a.Task.ID)
+			}
+			seen[a.Task.ID] = true
+			if a.Level.Rate <= 0 || a.Level.Time <= 0 || a.Level.Energy <= 0 {
+				return fmt.Errorf("batch: task %d has invalid rate level %+v", a.Task.ID, a.Level)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+// Package core is the high-level facade over the paper's primary
+// contribution: one type for batch-mode scheduling (Section III) and
+// one for online-mode scheduling (Section IV), wired to the platform
+// models and the simulator. Examples and tools that don't need the
+// lower-level knobs use this API.
+package core
+
+import (
+	"fmt"
+
+	"dvfsched/internal/batch"
+	"dvfsched/internal/envelope"
+	"dvfsched/internal/model"
+	"dvfsched/internal/online"
+	"dvfsched/internal/platform"
+	"dvfsched/internal/sim"
+)
+
+// Scheduler holds the pricing and platform a user schedules against.
+type Scheduler struct {
+	params model.CostParams
+	plat   *platform.Platform
+}
+
+// New builds a scheduler for the given cost constants and platform.
+func New(params model.CostParams, plat *platform.Platform) (*Scheduler, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if plat == nil {
+		return nil, fmt.Errorf("core: nil platform")
+	}
+	if err := plat.Validate(); err != nil {
+		return nil, err
+	}
+	return &Scheduler{params: params, plat: plat}, nil
+}
+
+// Params returns the cost constants.
+func (s *Scheduler) Params() model.CostParams { return s.params }
+
+// Platform returns the platform.
+func (s *Scheduler) Platform() *platform.Platform { return s.plat }
+
+// PlanBatch computes the cost-optimal batch schedule for tasks without
+// deadlines (Workload Based Greedy, Theorem 5). All tasks must have
+// Arrival 0 and no deadline.
+func (s *Scheduler) PlanBatch(tasks model.TaskSet) (*batch.Plan, error) {
+	for _, t := range tasks {
+		if t.Arrival != 0 {
+			return nil, fmt.Errorf("core: task %d arrives at %v; batch tasks arrive at 0", t.ID, t.Arrival)
+		}
+		if t.HasDeadline() {
+			return nil, fmt.Errorf("core: task %d has a deadline; use package deadline", t.ID)
+		}
+		if t.Interactive {
+			return nil, fmt.Errorf("core: task %d is interactive; use RunOnline", t.ID)
+		}
+	}
+	cores := make([]batch.CoreSpec, s.plat.NumCores())
+	for i, rt := range s.plat.Cores {
+		cores[i] = batch.CoreSpec{Rates: rt}
+	}
+	return batch.WBG(s.params, cores, tasks)
+}
+
+// ExecuteBatch plans tasks with WBG and executes the plan on the
+// platform's simulator, returning the measured result.
+func (s *Scheduler) ExecuteBatch(tasks model.TaskSet) (*sim.Result, error) {
+	plan, err := s.PlanBatch(tasks)
+	if err != nil {
+		return nil, err
+	}
+	fp, err := sim.NewFixedPlan(plan)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(sim.Config{Platform: s.plat, Policy: fp}, tasks, s.params)
+}
+
+// RunOnline schedules an online trace (mixed interactive and
+// non-interactive tasks with arbitrary arrivals) with Least Marginal
+// Cost on the platform's simulator.
+func (s *Scheduler) RunOnline(tasks model.TaskSet) (*sim.Result, error) {
+	lmc, err := online.NewLMC(s.params)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(sim.Config{Platform: s.plat, Policy: lmc}, tasks, s.params)
+}
+
+// DominatingRanges returns the dominating position ranges of core i:
+// which frequency a task should use as a function of how much work
+// runs after it (Algorithm 1).
+func (s *Scheduler) DominatingRanges(i int) (*envelope.Envelope, error) {
+	if i < 0 || i >= s.plat.NumCores() {
+		return nil, fmt.Errorf("core: core %d out of range", i)
+	}
+	return envelope.Compute(s.params, s.plat.Cores[i])
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dvfsched/internal/model"
+	"dvfsched/internal/platform"
+)
+
+func newScheduler(t *testing.T) *Scheduler {
+	t.Helper()
+	s, err := New(model.CostParams{Re: 0.1, Rt: 0.4},
+		platform.Homogeneous(4, platform.TableII(), platform.Ideal{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(model.CostParams{}, platform.Homogeneous(1, platform.TableII(), nil)); err == nil {
+		t.Error("invalid params accepted")
+	}
+	if _, err := New(model.CostParams{Re: 1, Rt: 1}, nil); err == nil {
+		t.Error("nil platform accepted")
+	}
+	if _, err := New(model.CostParams{Re: 1, Rt: 1}, &platform.Platform{}); err == nil {
+		t.Error("empty platform accepted")
+	}
+}
+
+func TestPlanBatchRejectsNonBatchTasks(t *testing.T) {
+	s := newScheduler(t)
+	cases := map[string]model.Task{
+		"late arrival": {ID: 1, Cycles: 1, Arrival: 5, Deadline: model.NoDeadline},
+		"deadline":     {ID: 1, Cycles: 1, Deadline: 10},
+		"interactive":  {ID: 1, Cycles: 1, Interactive: true, Deadline: model.NoDeadline},
+	}
+	for name, task := range cases {
+		if _, err := s.PlanBatch(model.TaskSet{task}); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestExecuteBatchMatchesPlanUnderIdeal(t *testing.T) {
+	s := newScheduler(t)
+	tasks := model.TaskSet{
+		{ID: 1, Cycles: 10, Deadline: model.NoDeadline},
+		{ID: 2, Cycles: 100, Deadline: model.NoDeadline},
+		{ID: 3, Cycles: 40, Deadline: model.NoDeadline},
+	}
+	plan, err := s.PlanBatch(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, want := plan.Cost()
+	res, err := s.ExecuteBatch(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.TotalCost-want) > 1e-6*want {
+		t.Errorf("executed cost %v != planned %v", res.TotalCost, want)
+	}
+}
+
+func TestRunOnline(t *testing.T) {
+	s := newScheduler(t)
+	tasks := model.TaskSet{
+		{ID: 1, Cycles: 50, Deadline: model.NoDeadline},
+		{ID: 2, Cycles: 0.01, Arrival: 1, Interactive: true, Deadline: 2},
+	}
+	res, err := s.RunOnline(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ts := range res.Tasks {
+		if !ts.Done {
+			t.Errorf("task %d unfinished", ts.Task.ID)
+		}
+	}
+	if res.Preemptions != 1 {
+		t.Errorf("preemptions = %d, want 1", res.Preemptions)
+	}
+}
+
+func TestDominatingRanges(t *testing.T) {
+	s := newScheduler(t)
+	env, err := s.DominatingRanges(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.NumRanges() == 0 {
+		t.Error("no ranges")
+	}
+	if _, err := s.DominatingRanges(99); err == nil {
+		t.Error("out-of-range core accepted")
+	}
+	if _, err := s.DominatingRanges(-1); err == nil {
+		t.Error("negative core accepted")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	s := newScheduler(t)
+	if s.Params().Re != 0.1 || s.Platform().NumCores() != 4 {
+		t.Error("accessors wrong")
+	}
+}

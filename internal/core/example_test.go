@@ -1,0 +1,29 @@
+package core_test
+
+import (
+	"fmt"
+
+	"dvfsched/internal/core"
+	"dvfsched/internal/model"
+	"dvfsched/internal/platform"
+)
+
+// The facade plans and executes a batch in two calls.
+func ExampleScheduler_ExecuteBatch() {
+	sched, err := core.New(model.CostParams{Re: 0.1, Rt: 0.4},
+		platform.Homogeneous(2, platform.TableII(), platform.Ideal{}))
+	if err != nil {
+		panic(err)
+	}
+	tasks := model.TaskSet{
+		{ID: 1, Cycles: 8, Deadline: model.NoDeadline},
+		{ID: 2, Cycles: 80, Deadline: model.NoDeadline},
+	}
+	res, err := sched.ExecuteBatch(tasks)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("done in %.1f s using %.1f J\n", res.Makespan, res.ActiveEnergy)
+	// Output:
+	// done in 50.0 s using 297.0 J
+}

@@ -1,0 +1,314 @@
+// Package deadline provides practical solvers for the deadline-
+// constrained batch problems of Section III-A. Theorems 1 and 2 prove
+// Deadline-SingleCore and Deadline-MultiCore NP-complete, so this
+// package offers what an NP-completeness result licenses:
+//
+//   - MinEnergyDP: an exact pseudo-polynomial dynamic program over a
+//     discretized time horizon (single core, per-task deadlines),
+//   - SlackReclaim: a fast greedy heuristic in the spirit of the
+//     RT-DVS slack-reclamation schemes the paper cites (start at
+//     maximum frequency, then spend slack on the cheapest downgrades),
+//   - MultiCore: longest-processing-time partitioning across cores
+//     with per-core slack reclamation.
+//
+// All solvers schedule in earliest-deadline-first order, which is
+// optimal for ordering on one core when every task is released at
+// time zero.
+package deadline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dvfsched/internal/model"
+)
+
+// Schedule is a single core's deadline-feasible schedule: tasks in
+// execution order with chosen rate levels.
+type Schedule struct {
+	// Order lists tasks in execution order with their rates.
+	Order []model.Assignment
+	// EnergyJ is the schedule's total energy in joules.
+	EnergyJ float64
+	// MakespanS is the completion time of the last task.
+	MakespanS float64
+}
+
+// EDFOrder returns the tasks sorted earliest-deadline-first (ties by
+// ID), the order every solver here uses.
+func EDFOrder(tasks model.TaskSet) model.TaskSet {
+	out := tasks.Clone()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Deadline != out[j].Deadline {
+			return out[i].Deadline < out[j].Deadline
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Feasible reports whether executing the assignments in order meets
+// every finite deadline, and returns the completion time.
+func Feasible(order []model.Assignment) (bool, float64) {
+	elapsed := 0.0
+	for _, a := range order {
+		elapsed += model.TaskTime(a.Task.Cycles, a.Level)
+		if a.Task.HasDeadline() && elapsed > a.Task.Deadline+1e-9 {
+			return false, elapsed
+		}
+	}
+	return true, elapsed
+}
+
+func validate(tasks model.TaskSet, rates *model.RateTable) error {
+	if err := tasks.Validate(); err != nil {
+		return err
+	}
+	if err := rates.Validate(); err != nil {
+		return err
+	}
+	for _, t := range tasks {
+		if t.Arrival != 0 {
+			return fmt.Errorf("deadline: task %d arrives at %v; batch-mode solvers need arrival 0", t.ID, t.Arrival)
+		}
+	}
+	return nil
+}
+
+// horizon returns the DP time horizon: the largest finite deadline, or
+// (if some tasks are unconstrained) the time to run everything at the
+// slowest rate, whichever is larger.
+func horizon(tasks model.TaskSet, rates *model.RateTable) float64 {
+	h := 0.0
+	for _, t := range tasks {
+		if t.HasDeadline() && t.Deadline > h {
+			h = t.Deadline
+		}
+	}
+	slowest := tasks.TotalCycles() * rates.Min().Time
+	if slowest > h {
+		h = slowest
+	}
+	return h
+}
+
+// MaxDPBuckets caps the discretization size of MinEnergyDP.
+const MaxDPBuckets = 2_000_000
+
+// MinEnergyDP finds a minimum-energy, deadline-feasible single-core
+// schedule by dynamic programming over a time grid of the given
+// resolution (seconds per bucket). Durations round up to whole
+// buckets, so any schedule it returns is genuinely feasible; energy is
+// exact for the chosen rates and within one downgrade step of the
+// continuous optimum as resolution tends to zero. It returns an error
+// if no feasible schedule exists even at maximum frequency, or if the
+// grid would exceed MaxDPBuckets.
+func MinEnergyDP(tasks model.TaskSet, rates *model.RateTable, resolution float64) (*Schedule, error) {
+	if err := validate(tasks, rates); err != nil {
+		return nil, err
+	}
+	if resolution <= 0 {
+		return nil, fmt.Errorf("deadline: resolution must be positive, got %v", resolution)
+	}
+	order := EDFOrder(tasks)
+	bucketsF := math.Ceil(horizon(order, rates)/resolution) + 1
+	if bucketsF > MaxDPBuckets {
+		return nil, fmt.Errorf("deadline: DP grid of %.0f buckets exceeds limit %d; coarsen the resolution", bucketsF, MaxDPBuckets)
+	}
+	buckets := int(bucketsF)
+
+	const inf = math.MaxFloat64
+	cur := make([]float64, buckets)
+	next := make([]float64, buckets)
+	for i := range cur {
+		cur[i] = inf
+	}
+	cur[0] = 0
+	// choice[i][t] is the level index used by task i to arrive at
+	// bucket t.
+	choice := make([][]int16, len(order))
+
+	for i, t := range order {
+		for j := range next {
+			next[j] = inf
+		}
+		ch := make([]int16, buckets)
+		for j := range ch {
+			ch[j] = -1
+		}
+		limit := buckets - 1
+		if t.HasDeadline() {
+			if dl := int(math.Floor(t.Deadline / resolution)); dl < limit {
+				limit = dl
+			}
+		}
+		for li := 0; li < rates.Len(); li++ {
+			l := rates.Level(li)
+			durBuckets := int(math.Ceil(model.TaskTime(t.Cycles, l) / resolution))
+			if durBuckets < 1 {
+				durBuckets = 1
+			}
+			energy := model.TaskEnergy(t.Cycles, l)
+			for from := 0; from+durBuckets <= limit; from++ {
+				if cur[from] == inf {
+					continue
+				}
+				to := from + durBuckets
+				if e := cur[from] + energy; e < next[to] {
+					next[to] = e
+					ch[to] = int16(li)
+				}
+			}
+		}
+		choice[i] = ch
+		cur, next = next, cur
+	}
+
+	bestT, bestE := -1, inf
+	for t, e := range cur {
+		if e < bestE {
+			bestE, bestT = e, t
+		}
+	}
+	if bestT < 0 {
+		return nil, fmt.Errorf("deadline: no feasible schedule (even the fastest rates miss a deadline)")
+	}
+
+	// Reconstruct rate choices backwards through the bucket chain.
+	levels := make([]model.RateLevel, len(order))
+	t := bestT
+	for i := len(order) - 1; i >= 0; i-- {
+		li := choice[i][t]
+		if li < 0 {
+			return nil, fmt.Errorf("deadline: internal reconstruction error at task %d", order[i].ID)
+		}
+		l := rates.Level(int(li))
+		levels[i] = l
+		dur := int(math.Ceil(model.TaskTime(order[i].Cycles, l) / resolution))
+		if dur < 1 {
+			dur = 1
+		}
+		t -= dur
+	}
+	sched := &Schedule{Order: make([]model.Assignment, len(order))}
+	for i, task := range order {
+		sched.Order[i] = model.Assignment{Task: task, Level: levels[i]}
+		sched.EnergyJ += model.TaskEnergy(task.Cycles, levels[i])
+		sched.MakespanS += model.TaskTime(task.Cycles, levels[i])
+	}
+	if ok, _ := Feasible(sched.Order); !ok {
+		return nil, fmt.Errorf("deadline: internal error: DP produced an infeasible schedule")
+	}
+	return sched, nil
+}
+
+// SlackReclaim computes a deadline-feasible single-core schedule
+// greedily: every task starts at the maximum rate (if that misses a
+// deadline, no schedule exists); then, while any single task can step
+// one rate level down without violating feasibility, the step saving
+// the most energy is taken. O(n^2 |P|) worst case.
+func SlackReclaim(tasks model.TaskSet, rates *model.RateTable) (*Schedule, error) {
+	if err := validate(tasks, rates); err != nil {
+		return nil, err
+	}
+	order := EDFOrder(tasks)
+	idx := make([]int, len(order))
+	assign := make([]model.Assignment, len(order))
+	for i, t := range order {
+		idx[i] = rates.Len() - 1
+		assign[i] = model.Assignment{Task: t, Level: rates.Max()}
+	}
+	if ok, _ := Feasible(assign); !ok {
+		return nil, fmt.Errorf("deadline: no feasible schedule (even the fastest rates miss a deadline)")
+	}
+	for {
+		best, bestSave := -1, 0.0
+		for i := range assign {
+			if idx[i] == 0 {
+				continue
+			}
+			lower := rates.Level(idx[i] - 1)
+			save := model.TaskEnergy(order[i].Cycles, assign[i].Level) - model.TaskEnergy(order[i].Cycles, lower)
+			if save <= bestSave {
+				continue
+			}
+			old := assign[i].Level
+			assign[i].Level = lower
+			if ok, _ := Feasible(assign); ok {
+				best, bestSave = i, save
+			}
+			assign[i].Level = old
+		}
+		if best < 0 {
+			break
+		}
+		idx[best]--
+		assign[best].Level = rates.Level(idx[best])
+	}
+	sched := &Schedule{Order: assign}
+	for _, a := range assign {
+		sched.EnergyJ += model.TaskEnergy(a.Task.Cycles, a.Level)
+		sched.MakespanS += model.TaskTime(a.Task.Cycles, a.Level)
+	}
+	return sched, nil
+}
+
+// MultiCore partitions tasks across the given cores longest-
+// processing-time-first (balancing the load at maximum frequency) and
+// then reclaims slack independently on each core. Cores may have
+// different rate tables. Returns one schedule per core.
+func MultiCore(tasks model.TaskSet, coreRates []*model.RateTable) ([]*Schedule, error) {
+	if len(coreRates) == 0 {
+		return nil, fmt.Errorf("deadline: no cores")
+	}
+	for i, rt := range coreRates {
+		if err := rt.Validate(); err != nil {
+			return nil, fmt.Errorf("deadline: core %d: %w", i, err)
+		}
+	}
+	if err := tasks.Validate(); err != nil {
+		return nil, err
+	}
+	// LPT: heaviest first onto the core that would finish it soonest
+	// at max rate.
+	sorted := tasks.Clone()
+	sorted.SortByCyclesDesc()
+	perCore := make([]model.TaskSet, len(coreRates))
+	load := make([]float64, len(coreRates))
+	for _, t := range sorted {
+		best, bestFinish := 0, math.Inf(1)
+		for j, rt := range coreRates {
+			finish := load[j] + model.TaskTime(t.Cycles, rt.Max())
+			if finish < bestFinish {
+				best, bestFinish = j, finish
+			}
+		}
+		perCore[best] = append(perCore[best], t)
+		load[best] += model.TaskTime(t.Cycles, coreRates[best].Max())
+	}
+	out := make([]*Schedule, len(coreRates))
+	for j, sub := range perCore {
+		if len(sub) == 0 {
+			out[j] = &Schedule{}
+			continue
+		}
+		s, err := SlackReclaim(sub, coreRates[j])
+		if err != nil {
+			return nil, fmt.Errorf("deadline: core %d: %w", j, err)
+		}
+		out[j] = s
+	}
+	return out, nil
+}
+
+// TotalEnergy sums the energy of a multi-core schedule.
+func TotalEnergy(scheds []*Schedule) float64 {
+	var e float64
+	for _, s := range scheds {
+		if s != nil {
+			e += s.EnergyJ
+		}
+	}
+	return e
+}

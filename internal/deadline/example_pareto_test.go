@@ -1,0 +1,32 @@
+package deadline_test
+
+import (
+	"fmt"
+
+	"dvfsched/internal/deadline"
+	"dvfsched/internal/model"
+)
+
+// The bi-criteria view of Theorem 1: sweep energy budgets to trace
+// the energy/makespan trade-off.
+func ExamplePareto() {
+	rates := model.MustRateTable([]model.RateLevel{
+		{Rate: 0.5, Energy: 1, Time: 2},
+		{Rate: 1.0, Energy: 4, Time: 1},
+	})
+	tasks := model.TaskSet{
+		{ID: 1, Cycles: 10, Deadline: 60},
+		{ID: 2, Cycles: 10, Deadline: 60},
+	}
+	points, err := deadline.Pareto(tasks, rates, 5, 0.25)
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range points {
+		fmt.Printf("%.0f J -> %.0f s\n", p.EnergyJ, p.MakespanS)
+	}
+	// Output:
+	// 20 J -> 40 s
+	// 50 J -> 30 s
+	// 80 J -> 20 s
+}

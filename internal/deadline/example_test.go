@@ -1,0 +1,34 @@
+package deadline_test
+
+import (
+	"fmt"
+
+	"dvfsched/internal/deadline"
+	"dvfsched/internal/model"
+)
+
+// Minimize energy under deadlines with the exact pseudo-polynomial DP:
+// with enough slack both tasks run slow; tightening one deadline
+// forces a faster rate for it.
+func ExampleMinEnergyDP() {
+	rates := model.MustRateTable([]model.RateLevel{
+		{Rate: 0.5, Energy: 1, Time: 2},
+		{Rate: 1.0, Energy: 4, Time: 1},
+	})
+	tasks := model.TaskSet{
+		{ID: 1, Cycles: 10, Deadline: 15}, // tight: must run fast
+		{ID: 2, Cycles: 10, Deadline: 60}, // loose: can run slow
+	}
+	s, err := deadline.MinEnergyDP(tasks, rates, 0.5)
+	if err != nil {
+		panic(err)
+	}
+	for _, a := range s.Order {
+		fmt.Printf("task %d @ %.1f GHz (deadline %.0f s)\n", a.Task.ID, a.Level.Rate, a.Task.Deadline)
+	}
+	fmt.Printf("energy %.0f J, done at %.0f s\n", s.EnergyJ, s.MakespanS)
+	// Output:
+	// task 1 @ 1.0 GHz (deadline 15 s)
+	// task 2 @ 0.5 GHz (deadline 60 s)
+	// energy 50 J, done at 30 s
+}

@@ -1,0 +1,177 @@
+package deadline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dvfsched/internal/model"
+)
+
+// MinTimeDP is the dual of MinEnergyDP, matching the bi-criteria
+// decision problem of Theorem 1 (a time bound and an energy budget):
+// it finds the schedule minimizing total completion time subject to a
+// total energy budget (joules) and every per-task deadline, by dynamic
+// programming over an energy grid of the given resolution (joules per
+// bucket). Energies round up to whole buckets, so returned schedules
+// genuinely respect the budget.
+func MinTimeDP(tasks model.TaskSet, rates *model.RateTable, energyBudget, resolution float64) (*Schedule, error) {
+	if err := validate(tasks, rates); err != nil {
+		return nil, err
+	}
+	if resolution <= 0 || energyBudget <= 0 {
+		return nil, fmt.Errorf("deadline: budget and resolution must be positive")
+	}
+	bucketsF := math.Ceil(energyBudget/resolution) + 1
+	if bucketsF > MaxDPBuckets {
+		return nil, fmt.Errorf("deadline: DP grid of %.0f buckets exceeds limit %d; coarsen the resolution", bucketsF, MaxDPBuckets)
+	}
+	buckets := int(bucketsF)
+	order := EDFOrder(tasks)
+
+	const inf = math.MaxFloat64
+	// cur[e] = minimal elapsed time after the processed prefix using
+	// at most e energy buckets.
+	cur := make([]float64, buckets)
+	next := make([]float64, buckets)
+	for i := 1; i < buckets; i++ {
+		cur[i] = 0
+	}
+	choice := make([][]int16, len(order))
+
+	for i, t := range order {
+		for j := range next {
+			next[j] = inf
+		}
+		ch := make([]int16, buckets)
+		for j := range ch {
+			ch[j] = -1
+		}
+		for li := 0; li < rates.Len(); li++ {
+			l := rates.Level(li)
+			dur := model.TaskTime(t.Cycles, l)
+			eBuckets := int(math.Ceil(model.TaskEnergy(t.Cycles, l) / resolution))
+			if eBuckets < 1 {
+				eBuckets = 1
+			}
+			for from := 0; from+eBuckets < buckets; from++ {
+				if cur[from] == inf {
+					continue
+				}
+				elapsed := cur[from] + dur
+				if t.HasDeadline() && elapsed > t.Deadline+1e-9 {
+					continue
+				}
+				to := from + eBuckets
+				if elapsed < next[to] {
+					next[to] = elapsed
+					ch[to] = int16(li)
+				}
+			}
+		}
+		// Using less energy never hurts: make next monotone so later
+		// tasks can start from any budget at least as large.
+		best := inf
+		var bestCh int16 = -1
+		for e := 0; e < buckets; e++ {
+			if next[e] < best {
+				best = next[e]
+				bestCh = ch[e]
+			} else if next[e] > best {
+				next[e] = best
+				ch[e] = bestCh
+			}
+		}
+		choice[i] = ch
+		cur, next = next, cur
+	}
+
+	if cur[buckets-1] == inf {
+		return nil, fmt.Errorf("deadline: no schedule fits the %.3f J budget and the deadlines", energyBudget)
+	}
+
+	// Reconstruct: walk back through the monotone tables.
+	levels := make([]model.RateLevel, len(order))
+	e := buckets - 1
+	for i := len(order) - 1; i >= 0; i-- {
+		li := choice[i][e]
+		if li < 0 {
+			return nil, fmt.Errorf("deadline: internal reconstruction error at task %d", order[i].ID)
+		}
+		l := rates.Level(int(li))
+		levels[i] = l
+		eb := int(math.Ceil(model.TaskEnergy(order[i].Cycles, l) / resolution))
+		if eb < 1 {
+			eb = 1
+		}
+		e -= eb
+		if e < 0 {
+			e = 0
+		}
+	}
+	sched := &Schedule{Order: make([]model.Assignment, len(order))}
+	for i, task := range order {
+		sched.Order[i] = model.Assignment{Task: task, Level: levels[i]}
+		sched.EnergyJ += model.TaskEnergy(task.Cycles, levels[i])
+		sched.MakespanS += model.TaskTime(task.Cycles, levels[i])
+	}
+	if sched.EnergyJ > energyBudget+resolution*float64(len(order))+1e-9 {
+		return nil, fmt.Errorf("deadline: internal error: budget overrun")
+	}
+	if ok, _ := Feasible(sched.Order); !ok {
+		return nil, fmt.Errorf("deadline: internal error: infeasible schedule")
+	}
+	return sched, nil
+}
+
+// ParetoPoint is one energy/makespan trade-off of a task set.
+type ParetoPoint struct {
+	// EnergyJ and MakespanS are the schedule's totals.
+	EnergyJ, MakespanS float64
+}
+
+// Pareto enumerates the energy/time Pareto frontier of a deadline-
+// feasible task set by sweeping energy budgets between the all-max
+// and minimum-energy schedules. Points come sorted by increasing
+// energy (decreasing makespan) with dominated points removed.
+func Pareto(tasks model.TaskSet, rates *model.RateTable, steps int, resolution float64) ([]ParetoPoint, error) {
+	if steps < 2 {
+		return nil, fmt.Errorf("deadline: need at least 2 steps")
+	}
+	minE, err := MinEnergyDP(tasks, rates, resolution)
+	if err != nil {
+		return nil, err
+	}
+	var maxE float64
+	for _, t := range tasks {
+		maxE += model.TaskEnergy(t.Cycles, rates.Max())
+	}
+	lo, hi := minE.EnergyJ, maxE
+	var points []ParetoPoint
+	for i := 0; i < steps; i++ {
+		budget := lo + (hi-lo)*float64(i)/float64(steps-1)
+		// Each task's energy rounds up to a whole bucket inside the
+		// DP, so grant the budget that rounding slack; the schedule's
+		// true energy is reported exactly.
+		res := budget / 4096
+		s, err := MinTimeDP(tasks, rates, budget+res*float64(len(tasks)+2), res)
+		if err != nil {
+			continue
+		}
+		points = append(points, ParetoPoint{EnergyJ: s.EnergyJ, MakespanS: s.MakespanS})
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("deadline: no feasible points")
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i].EnergyJ < points[j].EnergyJ })
+	// Drop dominated points.
+	out := points[:0]
+	bestTime := math.Inf(1)
+	for _, p := range points {
+		if p.MakespanS < bestTime-1e-9 {
+			out = append(out, p)
+			bestTime = p.MakespanS
+		}
+	}
+	return out, nil
+}

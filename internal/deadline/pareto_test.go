@@ -1,0 +1,138 @@
+package deadline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dvfsched/internal/model"
+	"dvfsched/internal/platform"
+)
+
+func TestMinTimeDPBudgetExtremes(t *testing.T) {
+	// 10 Gcyc, two rates: slow 20 s/10 J, fast 10 s/40 J.
+	tasks := model.TaskSet{{ID: 1, Cycles: 10, Deadline: model.NoDeadline}}
+	// A lavish budget buys the fast rate.
+	s, err := MinTimeDP(tasks, twoRates(), 100, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Order[0].Level.Rate != 1.0 || math.Abs(s.MakespanS-10) > 1e-9 {
+		t.Errorf("lavish budget: %+v", s)
+	}
+	// A tight budget forces the slow rate.
+	s, err = MinTimeDP(tasks, twoRates(), 15, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Order[0].Level.Rate != 0.5 || math.Abs(s.MakespanS-20) > 1e-9 {
+		t.Errorf("tight budget: %+v", s)
+	}
+	// Below the minimum-energy schedule: infeasible.
+	if _, err := MinTimeDP(tasks, twoRates(), 5, 0.1); err == nil {
+		t.Error("impossible budget accepted")
+	}
+}
+
+func TestMinTimeDPRespectsDeadlines(t *testing.T) {
+	// Tight deadline forces fast even though the budget would prefer
+	// slow for minimal... the budget must still cover fast.
+	tasks := model.TaskSet{{ID: 1, Cycles: 10, Deadline: 12}}
+	s, err := MinTimeDP(tasks, twoRates(), 100, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Order[0].Level.Rate != 1.0 {
+		t.Errorf("deadline ignored: %+v", s)
+	}
+	// Budget too small for the only feasible rate: error.
+	if _, err := MinTimeDP(tasks, twoRates(), 20, 0.1); err == nil {
+		t.Error("deadline-infeasible budget accepted")
+	}
+}
+
+func TestMinTimeDPValidation(t *testing.T) {
+	tasks := model.TaskSet{{ID: 1, Cycles: 1, Deadline: model.NoDeadline}}
+	if _, err := MinTimeDP(tasks, twoRates(), 0, 0.1); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if _, err := MinTimeDP(tasks, twoRates(), 10, 0); err == nil {
+		t.Error("zero resolution accepted")
+	}
+	if _, err := MinTimeDP(tasks, twoRates(), 1e12, 1e-9); err == nil {
+		t.Error("grid explosion accepted")
+	}
+}
+
+// Property: the two DPs are consistent — running MinTimeDP at the
+// budget MinEnergyDP found yields a feasible schedule no slower than
+// the all-slow bound, and MinTimeDP's makespan decreases (weakly) as
+// the budget grows.
+func TestEnergyTimeDualityProperty(t *testing.T) {
+	rates := twoRates()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		tasks := make(model.TaskSet, n)
+		elapsed := 0.0
+		for i := range tasks {
+			cyc := float64(1 + rng.Intn(5))
+			elapsed += cyc
+			tasks[i] = model.Task{ID: i, Cycles: cyc, Deadline: elapsed*1.5 + 5}
+		}
+		minE, err := MinEnergyDP(tasks, rates, 0.125)
+		if err != nil {
+			return true
+		}
+		prev := math.Inf(1)
+		for _, mult := range []float64{1.0, 1.5, 2.5, 4.0} {
+			s, err := MinTimeDP(tasks, rates, minE.EnergyJ*mult+1e-6, 0.05)
+			if err != nil {
+				t.Logf("seed %d mult %v: %v", seed, mult, err)
+				return false
+			}
+			if ok, _ := Feasible(s.Order); !ok {
+				return false
+			}
+			if s.MakespanS > prev+1e-9 {
+				t.Logf("seed %d: makespan rose with budget: %v -> %v", seed, prev, s.MakespanS)
+				return false
+			}
+			prev = s.MakespanS
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParetoFrontier(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tasks := make(model.TaskSet, 6)
+	elapsed := 0.0
+	for i := range tasks {
+		cyc := 1 + rng.Float64()*10
+		elapsed += cyc * platform.TableII().Max().Time
+		tasks[i] = model.Task{ID: i, Cycles: cyc, Deadline: elapsed * 3}
+	}
+	points, err := Pareto(tasks, platform.TableII(), 8, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) < 2 {
+		t.Fatalf("frontier too small: %v", points)
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].EnergyJ <= points[i-1].EnergyJ {
+			t.Errorf("energies not increasing: %v", points)
+		}
+		if points[i].MakespanS >= points[i-1].MakespanS {
+			t.Errorf("makespans not decreasing: %v", points)
+		}
+	}
+	if _, err := Pareto(tasks, platform.TableII(), 1, 0.05); err == nil {
+		t.Error("steps=1 accepted")
+	}
+}

@@ -1,0 +1,312 @@
+// Package dynsched implements the paper's dynamic single-core
+// scheduling structure (Section IV-A, Algorithms 4-6): a schedule of
+// batch tasks kept in the optimal shortest-first order under arbitrary
+// insertions and deletions, with the total cost C maintained
+// incrementally.
+//
+// Tasks live in a range tree sorted by length descending, so a task's
+// rank is its backward position k^B (rank 1 executes last). Each
+// dominating position range D_i = [lo_i, hi_i] (package envelope)
+// tracks its occupied boundary positions [a_i, b_i], the aggregates
+// x_i = ξ([a_i, b_i]) and d_i = Δ([a_i, b_i]), and handles to its
+// boundary nodes α_i and β_i. An insertion or deletion shifts at most
+// one task across each range boundary, so updates cost
+// O(|P-hat| + log N) and the total cost is read back in Θ(1) per
+// range set (Eq. 32):
+//
+//	C = Σ_i Re·E(p̂_i)·x_i + Rt·T(p̂_i)·(d_i + (a_i-1)·x_i).
+package dynsched
+
+import (
+	"fmt"
+	"math"
+
+	"dvfsched/internal/envelope"
+	"dvfsched/internal/model"
+	"dvfsched/internal/rangetree"
+)
+
+// Handle identifies a task inside a Scheduler.
+type Handle struct {
+	node   *rangetree.Node
+	cycles float64
+}
+
+// Cycles returns the task length the handle was inserted with.
+func (h *Handle) Cycles() float64 { return h.cycles }
+
+// rangeState is the per-dominating-range bookkeeping of Algorithm 4.
+type rangeState struct {
+	lo, hi int // static bounds of D_i (hi may be envelope.Unbounded)
+	a, b   int // occupied positions; empty iff b < a
+	x, d   float64
+	alpha  *rangetree.Node // node at position a, nil if empty
+	beta   *rangetree.Node // node at position b, nil if empty
+}
+
+// Scheduler maintains one core's dynamic schedule.
+type Scheduler struct {
+	params model.CostParams
+	env    *envelope.Envelope
+	tree   *rangetree.Tree
+	ranges []rangeState
+	cost   float64
+}
+
+// New initializes the structure (Algorithm 4).
+func New(params model.CostParams, rates *model.RateTable) (*Scheduler, error) {
+	env, err := envelope.Compute(params, rates)
+	if err != nil {
+		return nil, err
+	}
+	return NewFromEnvelope(env), nil
+}
+
+// NewFromEnvelope builds a scheduler sharing an already-computed
+// envelope (cores with identical rate tables can share one).
+func NewFromEnvelope(env *envelope.Envelope) *Scheduler {
+	s := &Scheduler{
+		params: env.Params(),
+		env:    env,
+		tree:   rangetree.New(),
+		ranges: make([]rangeState, env.NumRanges()),
+	}
+	for i := range s.ranges {
+		r := env.Range(i)
+		s.ranges[i] = rangeState{lo: r.Lo, hi: r.Hi, a: r.Lo, b: r.Lo - 1}
+	}
+	return s
+}
+
+// Len returns the number of scheduled tasks.
+func (s *Scheduler) Len() int { return s.tree.Len() }
+
+// Cost returns the maintained total cost C in cents. Θ(1): the value
+// is updated during Insert and Delete.
+func (s *Scheduler) Cost() float64 { return s.cost }
+
+// Envelope returns the dominating-range envelope in use.
+func (s *Scheduler) Envelope() *envelope.Envelope { return s.env }
+
+// refreshCost recomputes C from the per-range aggregates (Algorithm 5
+// line 22 / Algorithm 6 line 32). O(|P-hat|).
+func (s *Scheduler) refreshCost() {
+	var c float64
+	for i := range s.ranges {
+		r := &s.ranges[i]
+		if r.b < r.a {
+			continue
+		}
+		l := s.env.Range(i).Level
+		c += s.params.Re*l.Energy*r.x + s.params.Rt*l.Time*(r.d+float64(r.a-1)*r.x)
+	}
+	s.cost = c
+}
+
+// Insert adds a task of the given length (Algorithm 5) and returns its
+// handle. O(|P-hat| + log N).
+func (s *Scheduler) Insert(cycles float64) (*Handle, error) {
+	if cycles <= 0 || math.IsNaN(cycles) || math.IsInf(cycles, 0) {
+		return nil, fmt.Errorf("dynsched: cycles must be positive and finite, got %v", cycles)
+	}
+	node := s.tree.Insert(cycles)
+	kb := s.tree.Rank(node)
+	i := s.env.RangeIndexFor(kb)
+	r := &s.ranges[i]
+
+	if kb == r.a {
+		r.alpha = node
+	}
+	if kb > r.b {
+		r.beta = node
+	}
+	r.b++
+	r.x += cycles
+	// The new task contributes local rank kb-a+1; tasks at ranks
+	// kb+1..b (post-insertion) shifted down by one local position.
+	r.d += float64(kb-r.a+1)*cycles + s.tree.RangeXi(kb+1, r.b)
+
+	// Cascade the overflow: the last task of a full range becomes the
+	// first task of the next range.
+	for r.hi != envelope.Unbounded && r.b > r.hi {
+		ptr := r.beta
+		r.d -= float64(r.b-r.a+1) * ptr.Cycles()
+		r.x -= ptr.Cycles()
+		r.b--
+		r.beta = ptr.Prev()
+		if r.b < r.a {
+			r.alpha, r.beta = nil, nil
+		}
+
+		i++
+		nr := &s.ranges[i]
+		nr.alpha = ptr
+		if nr.b < nr.a {
+			nr.beta = ptr
+		}
+		nr.b++
+		nr.x += ptr.Cycles()
+		nr.d += nr.x // prepend: every local rank shifts by one
+		r = nr
+	}
+	s.refreshCost()
+	return &Handle{node: node, cycles: cycles}, nil
+}
+
+// Delete removes a task previously inserted (Algorithm 6).
+// O(|P-hat| + log N). The handle must not be reused.
+func (s *Scheduler) Delete(h *Handle) error {
+	if h == nil || h.node == nil {
+		return fmt.Errorf("dynsched: nil or already-deleted handle")
+	}
+	kb := s.tree.Rank(h.node)
+	// i starts at the last non-empty range (Algorithm 6 line 2).
+	i := len(s.ranges) - 1
+	for i > 0 && s.ranges[i].b < s.ranges[i].a {
+		i--
+	}
+	// Pull the first task of each later range down to fill the hole
+	// the deletion opens (lines 3-19).
+	for s.ranges[i].a > kb {
+		r := &s.ranges[i]
+		tptr := r.alpha
+		r.d -= r.x
+		r.x -= tptr.Cycles()
+		r.b--
+		if r.a <= r.b {
+			r.alpha = tptr.Next()
+		} else {
+			r.alpha, r.beta = nil, nil
+		}
+
+		i--
+		pr := &s.ranges[i]
+		pr.beta = tptr
+		if pr.b < pr.a {
+			pr.alpha = tptr
+		}
+		pr.b++
+		pr.x += tptr.Cycles()
+		pr.d += float64(pr.b-pr.a+1) * tptr.Cycles()
+	}
+
+	r := &s.ranges[i]
+	// Remove the task's own contribution and the shift of everything
+	// after it inside the range (pre-deletion ranks kb+1..b).
+	r.d -= float64(kb-r.a+1)*h.cycles + s.tree.RangeXi(kb+1, r.b)
+	r.x -= h.cycles
+	r.b--
+	if r.a > r.b {
+		r.alpha, r.beta = nil, nil
+	} else if r.alpha == h.node {
+		r.alpha = h.node.Next()
+	} else if r.beta == h.node {
+		r.beta = h.node.Prev()
+	}
+
+	s.tree.Delete(h.node)
+	h.node = nil
+	s.refreshCost()
+	return nil
+}
+
+// Rank returns the current backward position of the task.
+func (s *Scheduler) Rank(h *Handle) int { return s.tree.Rank(h.node) }
+
+// LevelFor returns the processing rate the task should currently use,
+// i.e. the dominating rate of its backward position.
+func (s *Scheduler) LevelFor(h *Handle) model.RateLevel {
+	return s.env.LevelFor(s.tree.Rank(h.node))
+}
+
+// CostByQueries evaluates Eq. 32 directly with O(|P-hat|) range-tree
+// queries, without using the maintained aggregates. It is the simpler
+// O(|P-hat|·log N) variant; Cost() should always agree with it.
+func (s *Scheduler) CostByQueries() float64 {
+	n := s.tree.Len()
+	var c float64
+	for i := 0; i < s.env.NumRanges(); i++ {
+		r := s.env.Range(i)
+		lo, hi := r.Lo, r.Hi
+		if hi > n {
+			hi = n
+		}
+		if lo > hi {
+			break
+		}
+		xiV := s.tree.RangeXi(lo, hi)
+		gamma := s.tree.RangeGamma(lo, hi)
+		c += s.params.Re*r.Level.Energy*xiV + s.params.Rt*r.Level.Time*gamma
+	}
+	return c
+}
+
+// CostNaive recomputes the cost by walking every task: Σ C^B(k)·L_k.
+// O(N); the baseline the paper's data structures beat.
+func (s *Scheduler) CostNaive() float64 {
+	var c float64
+	k := 1
+	for n := s.tree.First(); n != nil; n = n.Next() {
+		c += s.env.Cost(k) * n.Cycles()
+		k++
+	}
+	return c
+}
+
+// MarginalInsertCost returns the cost increase that inserting a task
+// of the given length would cause, without changing the schedule
+// observably (it performs a trial insert and delete).
+func (s *Scheduler) MarginalInsertCost(cycles float64) (float64, error) {
+	before := s.cost
+	h, err := s.Insert(cycles)
+	if err != nil {
+		return 0, err
+	}
+	after := s.cost
+	if err := s.Delete(h); err != nil {
+		return 0, err
+	}
+	return after - before, nil
+}
+
+// checkInvariants cross-checks the maintained per-range aggregates
+// against direct tree queries. Test helper.
+func (s *Scheduler) checkInvariants() error {
+	n := s.tree.Len()
+	pos := 1
+	for i := range s.ranges {
+		r := &s.ranges[i]
+		wantA := r.lo
+		wantB := r.hi
+		if wantB > n {
+			wantB = n
+		}
+		if wantB < wantA { // empty range
+			if r.b >= r.a {
+				return fmt.Errorf("dynsched: range %d should be empty, has [%d,%d]", i, r.a, r.b)
+			}
+			continue
+		}
+		if r.a != wantA || r.b != wantB {
+			return fmt.Errorf("dynsched: range %d bounds [%d,%d], want [%d,%d]", i, r.a, r.b, wantA, wantB)
+		}
+		if got := s.tree.RangeXi(r.a, r.b); math.Abs(got-r.x) > 1e-6*math.Max(1, got) {
+			return fmt.Errorf("dynsched: range %d x=%v, queries say %v", i, r.x, got)
+		}
+		if got := s.tree.RangeDelta(r.a, r.b); math.Abs(got-r.d) > 1e-6*math.Max(1, got) {
+			return fmt.Errorf("dynsched: range %d d=%v, queries say %v", i, r.d, got)
+		}
+		if s.tree.Rank(r.alpha) != r.a {
+			return fmt.Errorf("dynsched: range %d alpha rank %d != a=%d", i, s.tree.Rank(r.alpha), r.a)
+		}
+		if s.tree.Rank(r.beta) != r.b {
+			return fmt.Errorf("dynsched: range %d beta rank %d != b=%d", i, s.tree.Rank(r.beta), r.b)
+		}
+		pos = r.b + 1
+	}
+	_ = pos
+	if q := s.CostByQueries(); math.Abs(q-s.cost) > 1e-6*math.Max(1, q) {
+		return fmt.Errorf("dynsched: maintained cost %v != query cost %v", s.cost, q)
+	}
+	return nil
+}

@@ -1,0 +1,265 @@
+package dynsched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dvfsched/internal/batch"
+	"dvfsched/internal/model"
+)
+
+func table2() *model.RateTable {
+	return model.MustRateTable([]model.RateLevel{
+		{Rate: 1.6, Energy: 3.375, Time: 0.625},
+		{Rate: 2.0, Energy: 4.22, Time: 0.5},
+		{Rate: 2.4, Energy: 5.0, Time: 0.42},
+		{Rate: 2.8, Energy: 6.0, Time: 0.36},
+		{Rate: 3.0, Energy: 7.1, Time: 0.33},
+	})
+}
+
+var paperParams = model.CostParams{Re: 0.1, Rt: 0.4}
+
+func approxEq(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-6*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(model.CostParams{}, table2()); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestInsertRejectsBadCycles(t *testing.T) {
+	s, err := New(paperParams, table2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := s.Insert(v); err == nil {
+			t.Errorf("Insert(%v) accepted", v)
+		}
+	}
+}
+
+func TestDeleteNilHandle(t *testing.T) {
+	s, _ := New(paperParams, table2())
+	if err := s.Delete(nil); err == nil {
+		t.Error("nil handle accepted")
+	}
+	h, _ := s.Insert(1)
+	if err := s.Delete(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(h); err == nil {
+		t.Error("double delete accepted")
+	}
+}
+
+func TestCostMatchesStaticOptimum(t *testing.T) {
+	// Inserting a whole batch must reproduce the cost of the static
+	// optimal single-core plan (Algorithm 2): same order, same rates.
+	rng := rand.New(rand.NewSource(1))
+	s, err := New(paperParams, table2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := make(model.TaskSet, 40)
+	for i := range tasks {
+		tasks[i] = model.Task{ID: i, Cycles: 0.1 + rng.Float64()*50, Deadline: model.NoDeadline}
+		if _, err := s.Insert(tasks[i].Cycles); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plan, err := batch.SingleCore(paperParams, table2(), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, want := plan.Cost()
+	if !approxEq(s.Cost(), want) {
+		t.Errorf("dynamic cost %v != static optimal %v", s.Cost(), want)
+	}
+}
+
+func TestThreeCostEnginesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s, _ := New(paperParams, table2())
+	var handles []*Handle
+	for step := 0; step < 3000; step++ {
+		if len(handles) == 0 || rng.Float64() < 0.6 {
+			h, err := s.Insert(0.1 + rng.Float64()*100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			handles = append(handles, h)
+		} else {
+			i := rng.Intn(len(handles))
+			if err := s.Delete(handles[i]); err != nil {
+				t.Fatal(err)
+			}
+			handles[i] = handles[len(handles)-1]
+			handles = handles[:len(handles)-1]
+		}
+		if step%97 == 0 {
+			maintained, queried, naive := s.Cost(), s.CostByQueries(), s.CostNaive()
+			if !approxEq(maintained, queried) || !approxEq(maintained, naive) {
+				t.Fatalf("step %d: cost engines disagree: %v / %v / %v", step, maintained, queried, naive)
+			}
+			if err := s.checkInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+}
+
+func TestLevelForMatchesEnvelope(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s, _ := New(paperParams, table2())
+	var handles []*Handle
+	for i := 0; i < 200; i++ {
+		h, _ := s.Insert(0.1 + rng.Float64()*10)
+		handles = append(handles, h)
+	}
+	for _, h := range handles {
+		k := s.Rank(h)
+		if s.LevelFor(h).Rate != s.Envelope().LevelFor(k).Rate {
+			t.Fatalf("LevelFor mismatch at rank %d", k)
+		}
+	}
+}
+
+func TestMarginalInsertCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s, _ := New(paperParams, table2())
+	for i := 0; i < 100; i++ {
+		if _, err := s.Insert(0.1 + rng.Float64()*10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := s.Cost()
+	nBefore := s.Len()
+	mc, err := s.MarginalInsertCost(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != nBefore {
+		t.Fatal("MarginalInsertCost changed the schedule size")
+	}
+	if !approxEq(s.Cost(), before) {
+		t.Fatalf("MarginalInsertCost drifted the cost: %v -> %v", before, s.Cost())
+	}
+	// Verify against a real insertion.
+	h, _ := s.Insert(5)
+	if !approxEq(s.Cost()-before, mc) {
+		t.Errorf("marginal cost %v, actual delta %v", mc, s.Cost()-before)
+	}
+	if err := s.Delete(h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarginalCostIncreasesWithLength(t *testing.T) {
+	s, _ := New(paperParams, table2())
+	for i := 0; i < 20; i++ {
+		s.Insert(float64(i + 1))
+	}
+	small, _ := s.MarginalInsertCost(0.5)
+	large, _ := s.MarginalInsertCost(50)
+	if small <= 0 || large <= small {
+		t.Errorf("marginal costs: small=%v large=%v", small, large)
+	}
+}
+
+func TestEmptySchedulerCostZero(t *testing.T) {
+	s, _ := New(paperParams, table2())
+	if s.Cost() != 0 || s.CostByQueries() != 0 || s.CostNaive() != 0 {
+		t.Error("empty scheduler non-zero cost")
+	}
+	h, _ := s.Insert(3)
+	s.Delete(h)
+	if !approxEq(s.Cost(), 0) {
+		t.Errorf("cost after insert+delete = %v, want ~0", s.Cost())
+	}
+	if s.Len() != 0 {
+		t.Error("Len != 0")
+	}
+}
+
+// Property: random interleavings keep all invariants and the maintained
+// cost equal to the naive recomputation.
+func TestDynamicInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, _ := New(paperParams, table2())
+		var handles []*Handle
+		for step := 0; step < 120; step++ {
+			if len(handles) == 0 || rng.Float64() < 0.55 {
+				h, err := s.Insert(0.01 + rng.Float64()*rng.Float64()*200)
+				if err != nil {
+					return false
+				}
+				handles = append(handles, h)
+			} else {
+				i := rng.Intn(len(handles))
+				if err := s.Delete(handles[i]); err != nil {
+					return false
+				}
+				handles[i] = handles[len(handles)-1]
+				handles = handles[:len(handles)-1]
+			}
+		}
+		if err := s.checkInvariants(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return approxEq(s.Cost(), s.CostNaive())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with few rate levels and heavy Rt, several dominating
+// ranges are active; the cascades across boundaries must stay exact.
+func TestCascadeHeavyProperty(t *testing.T) {
+	rt := model.MustRateTable([]model.RateLevel{
+		{Rate: 1, Energy: 1, Time: 1},
+		{Rate: 2, Energy: 4, Time: 0.5},
+		{Rate: 4, Energy: 16, Time: 0.25},
+	})
+	cp := model.CostParams{Re: 1, Rt: 1}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, err := New(cp, rt)
+		if err != nil {
+			return false
+		}
+		var handles []*Handle
+		for step := 0; step < 200; step++ {
+			if len(handles) == 0 || rng.Float64() < 0.5 {
+				h, err := s.Insert(0.5 + float64(rng.Intn(8)))
+				if err != nil {
+					return false
+				}
+				handles = append(handles, h)
+			} else {
+				i := rng.Intn(len(handles))
+				if err := s.Delete(handles[i]); err != nil {
+					return false
+				}
+				handles[i] = handles[len(handles)-1]
+				handles = handles[:len(handles)-1]
+			}
+			if err := s.checkInvariants(); err != nil {
+				t.Logf("seed %d step %d: %v", seed, step, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,33 @@
+package dynsched_test
+
+import (
+	"fmt"
+
+	"dvfsched/internal/dynsched"
+	"dvfsched/internal/model"
+	"dvfsched/internal/platform"
+)
+
+// Maintain a single core's optimal queue cost under dynamic insertion
+// and deletion (Algorithms 4-6); Cost is read back in constant time.
+func ExampleScheduler() {
+	s, err := dynsched.New(model.CostParams{Re: 0.1, Rt: 0.4}, platform.TableII())
+	if err != nil {
+		panic(err)
+	}
+	a, _ := s.Insert(100)
+	b, _ := s.Insert(10)
+	fmt.Printf("two tasks: cost %.2f cents\n", s.Cost())
+	fmt.Printf("the 100-Gcyc task runs last at %.1f GHz, the 10-Gcyc one first at %.1f GHz\n",
+		s.LevelFor(a).Rate, s.LevelFor(b).Rate)
+	mc, _ := s.MarginalInsertCost(50)
+	fmt.Printf("inserting a 50-Gcyc task would add %.2f cents\n", mc)
+	s.Delete(a)
+	s.Delete(b)
+	fmt.Printf("emptied: cost %.0f\n", s.Cost())
+	// Output:
+	// two tasks: cost 66.97 cents
+	// the 100-Gcyc task runs last at 1.6 GHz, the 10-Gcyc one first at 2.0 GHz
+	// inserting a 50-Gcyc task would add 42.92 cents
+	// emptied: cost 0
+}

@@ -1,0 +1,183 @@
+// Package envelope implements Algorithm 1 of the paper: computing the
+// dominating position ranges D_p for every processing rate p in Θ(|P|).
+//
+// For backward position k (k = 1 is the last task to execute on a
+// core), the per-cycle cost of rate p_i is the line
+//
+//	f_i(k) = C^B(k, p_i) = Re*E(p_i) + Rt*T(p_i)*k.
+//
+// The best rate for position k is the lower envelope of these lines.
+// Because each line corresponds to the dual point
+// (x, y) = (Rt*T(p_i), Re*E(p_i)) with x strictly decreasing and y
+// strictly increasing in i, the envelope is a lower convex hull and
+// each rate that appears on it dominates one consecutive range of
+// positions ("dominating position range"). Ties at a breakpoint go to
+// the higher rate, as the paper specifies.
+package envelope
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"dvfsched/internal/model"
+)
+
+// Unbounded is the Hi value of the last range, which extends to
+// infinity.
+const Unbounded = math.MaxInt
+
+// Range is one dominating position range: level is the best (cheapest
+// per-cycle) rate for every backward position k in [Lo, Hi].
+type Range struct {
+	// Level is the dominating rate level.
+	Level model.RateLevel
+	// LevelIndex is the level's index in the source RateTable.
+	LevelIndex int
+	// Lo is the first backward position dominated (inclusive, >= 1).
+	Lo int
+	// Hi is the last backward position dominated (inclusive);
+	// Unbounded for the final range.
+	Hi int
+}
+
+// Contains reports whether backward position k falls in the range.
+func (r Range) Contains(k int) bool { return k >= r.Lo && k <= r.Hi }
+
+func (r Range) String() string {
+	if r.Hi == Unbounded {
+		return fmt.Sprintf("[%d, inf) -> %.3g GHz", r.Lo, r.Level.Rate)
+	}
+	return fmt.Sprintf("[%d, %d] -> %.3g GHz", r.Lo, r.Hi, r.Level.Rate)
+}
+
+// Envelope holds the dominating position ranges for one (RateTable,
+// CostParams) pair. It is immutable after Compute and safe for
+// concurrent readers.
+type Envelope struct {
+	params model.CostParams
+	ranges []Range
+}
+
+type hullPoint struct {
+	levelIndex int
+	x, y       float64 // x = Rt*T(p), y = Re*E(p)
+}
+
+func cross(t0, t1, t2 hullPoint) float64 {
+	return (t1.x-t0.x)*(t2.y-t0.y) - (t2.x-t0.x)*(t1.y-t0.y)
+}
+
+// Compute runs Algorithm 1. It is Θ(|P|): one monotone-hull pass over
+// the levels plus one pass emitting breakpoints.
+func Compute(cp model.CostParams, rt *model.RateTable) (*Envelope, error) {
+	if err := cp.Validate(); err != nil {
+		return nil, err
+	}
+	if err := rt.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Lower hull of the dual points, scanned in ascending rate order
+	// (x strictly decreasing, y strictly increasing).
+	stack := make([]hullPoint, 0, rt.Len())
+	for i := 0; i < rt.Len(); i++ {
+		l := rt.Level(i)
+		t := hullPoint{levelIndex: i, x: cp.Rt * l.Time, y: cp.Re * l.Energy}
+		for len(stack) >= 2 && cross(stack[len(stack)-2], stack[len(stack)-1], t) >= 0 {
+			stack = stack[:len(stack)-1]
+		}
+		stack = append(stack, t)
+	}
+
+	// Emit ranges between consecutive hull breakpoints. The
+	// breakpoint between hull lines i and i+1 is
+	// k* = (y[i+1]-y[i]) / (x[i]-x[i+1]); line i dominates k < k*,
+	// line i+1 dominates k >= k* (tie at integer k* goes to the
+	// faster line i+1 thanks to the ceiling).
+	var ranges []Range
+	lb := 1
+	for i := 0; i+1 < len(stack); i++ {
+		nlb := int(math.Ceil((stack[i+1].y - stack[i].y) / (stack[i].x - stack[i+1].x)))
+		if nlb > lb {
+			ranges = append(ranges, Range{
+				Level:      rt.Level(stack[i].levelIndex),
+				LevelIndex: stack[i].levelIndex,
+				Lo:         lb,
+				Hi:         nlb - 1,
+			})
+			lb = nlb
+		}
+		// If nlb <= lb this hull line dominates no integer
+		// position at or after lb; it contributes no range
+		// (D_p = empty, p not in P-hat).
+	}
+	last := stack[len(stack)-1]
+	ranges = append(ranges, Range{
+		Level:      rt.Level(last.levelIndex),
+		LevelIndex: last.levelIndex,
+		Lo:         lb,
+		Hi:         Unbounded,
+	})
+	return &Envelope{params: cp, ranges: ranges}, nil
+}
+
+// MustCompute is Compute that panics on error, for use with
+// already-validated presets.
+func MustCompute(cp model.CostParams, rt *model.RateTable) *Envelope {
+	e, err := Compute(cp, rt)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Params returns the cost parameters the envelope was built with.
+func (e *Envelope) Params() model.CostParams { return e.params }
+
+// NumRanges returns |P-hat|, the number of rates with a non-empty
+// dominating range.
+func (e *Envelope) NumRanges() int { return len(e.ranges) }
+
+// Ranges returns a copy of the dominating position ranges in ascending
+// position (and therefore ascending rate) order.
+func (e *Envelope) Ranges() []Range {
+	out := make([]Range, len(e.ranges))
+	copy(out, e.ranges)
+	return out
+}
+
+// Range returns the i-th range (0-indexed, ascending positions).
+func (e *Envelope) Range(i int) Range { return e.ranges[i] }
+
+// RangeIndexFor returns the index of the range containing backward
+// position k, in O(log |P-hat|). k must be >= 1.
+func (e *Envelope) RangeIndexFor(k int) int {
+	if k < 1 {
+		panic(fmt.Sprintf("envelope: backward position %d < 1", k))
+	}
+	// The first range with Lo > k is the successor; we want its
+	// predecessor.
+	i := sort.Search(len(e.ranges), func(i int) bool { return e.ranges[i].Lo > k })
+	return i - 1
+}
+
+// LevelFor returns the cost-optimal rate level for backward position k.
+func (e *Envelope) LevelFor(k int) model.RateLevel {
+	return e.ranges[e.RangeIndexFor(k)].Level
+}
+
+// Cost returns C^B(k) = min over p of C^B(k, p), evaluated via the
+// dominating range.
+func (e *Envelope) Cost(k int) float64 {
+	return e.params.BackwardPositionCost(k, e.LevelFor(k))
+}
+
+func (e *Envelope) String() string {
+	parts := make([]string, len(e.ranges))
+	for i, r := range e.ranges {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, ", ")
+}

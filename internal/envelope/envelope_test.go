@@ -1,0 +1,179 @@
+package envelope
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dvfsched/internal/model"
+)
+
+func table2() *model.RateTable {
+	return model.MustRateTable([]model.RateLevel{
+		{Rate: 1.6, Energy: 3.375, Time: 0.625},
+		{Rate: 2.0, Energy: 4.22, Time: 0.5},
+		{Rate: 2.4, Energy: 5.0, Time: 0.42},
+		{Rate: 2.8, Energy: 6.0, Time: 0.36},
+		{Rate: 3.0, Energy: 7.1, Time: 0.33},
+	})
+}
+
+var paperParams = model.CostParams{Re: 0.1, Rt: 0.4}
+
+func TestComputeValidatesInputs(t *testing.T) {
+	if _, err := Compute(model.CostParams{}, table2()); err == nil {
+		t.Error("invalid params accepted")
+	}
+	if _, err := Compute(paperParams, &model.RateTable{}); err == nil {
+		t.Error("invalid table accepted")
+	}
+}
+
+func TestSingleLevel(t *testing.T) {
+	rt := model.MustRateTable([]model.RateLevel{{Rate: 2, Energy: 1, Time: 0.5}})
+	e := MustCompute(paperParams, rt)
+	if e.NumRanges() != 1 {
+		t.Fatalf("NumRanges = %d, want 1", e.NumRanges())
+	}
+	r := e.Range(0)
+	if r.Lo != 1 || r.Hi != Unbounded || r.Level.Rate != 2 {
+		t.Errorf("range = %+v", r)
+	}
+	if e.LevelFor(1).Rate != 2 || e.LevelFor(1_000_000).Rate != 2 {
+		t.Error("LevelFor wrong for single level")
+	}
+}
+
+func TestTwoLevelKnownBreakpoint(t *testing.T) {
+	// Breakpoint k* = Re(E2-E1)/(Rt(T1-T2)). With Re=Rt=1, E={1,3},
+	// T={2,1}: k* = 2/1 = 2, so p1 dominates k=1 and p2 dominates
+	// k>=2 (tie at exactly k*=2 goes to the higher rate).
+	cp := model.CostParams{Re: 1, Rt: 1}
+	rt := model.MustRateTable([]model.RateLevel{
+		{Rate: 1, Energy: 1, Time: 2},
+		{Rate: 2, Energy: 3, Time: 1},
+	})
+	e := MustCompute(cp, rt)
+	if e.NumRanges() != 2 {
+		t.Fatalf("NumRanges = %d, want 2; envelope: %v", e.NumRanges(), e)
+	}
+	if r := e.Range(0); r.Lo != 1 || r.Hi != 1 || r.Level.Rate != 1 {
+		t.Errorf("range 0 = %v", r)
+	}
+	if r := e.Range(1); r.Lo != 2 || r.Hi != Unbounded || r.Level.Rate != 2 {
+		t.Errorf("range 1 = %v", r)
+	}
+}
+
+func TestDominatedLevelExcluded(t *testing.T) {
+	// The middle level is strictly worse than some mix of the outer
+	// two at every integer position: make it barely cheaper in
+	// neither dimension.
+	cp := model.CostParams{Re: 1, Rt: 1}
+	rt := model.MustRateTable([]model.RateLevel{
+		{Rate: 1, Energy: 1, Time: 2},
+		{Rate: 1.5, Energy: 2.9, Time: 1.6}, // above the hull chord
+		{Rate: 2, Energy: 3, Time: 1},
+	})
+	e := MustCompute(cp, rt)
+	for _, r := range e.Ranges() {
+		if r.Level.Rate == 1.5 {
+			t.Errorf("dominated level appears in envelope: %v", e)
+		}
+	}
+}
+
+func TestRangesPartitionPositions(t *testing.T) {
+	e := MustCompute(paperParams, table2())
+	rs := e.Ranges()
+	if rs[0].Lo != 1 {
+		t.Errorf("first range starts at %d, want 1", rs[0].Lo)
+	}
+	for i := 1; i < len(rs); i++ {
+		if rs[i].Lo != rs[i-1].Hi+1 {
+			t.Errorf("gap between ranges %d and %d: %v", i-1, i, rs)
+		}
+		if rs[i].Level.Rate <= rs[i-1].Level.Rate {
+			t.Errorf("rates not ascending across ranges: %v", rs)
+		}
+	}
+	if rs[len(rs)-1].Hi != Unbounded {
+		t.Error("last range not unbounded")
+	}
+}
+
+func TestEnvelopeMatchesNaiveTable2(t *testing.T) {
+	e := MustCompute(paperParams, table2())
+	rt := table2()
+	for k := 1; k <= 10_000; k++ {
+		want, wantCost := paperParams.BestBackwardLevel(k, rt)
+		got := e.LevelFor(k)
+		if got.Rate != want.Rate {
+			t.Fatalf("k=%d: envelope chose %v, naive chose %v", k, got.Rate, want.Rate)
+		}
+		if c := e.Cost(k); math.Abs(c-wantCost) > 1e-12 {
+			t.Fatalf("k=%d: Cost=%v, want %v", k, c, wantCost)
+		}
+	}
+}
+
+func TestRangeIndexForPanicsBelowOne(t *testing.T) {
+	e := MustCompute(paperParams, table2())
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for k=0")
+		}
+	}()
+	e.RangeIndexFor(0)
+}
+
+func TestRangeContains(t *testing.T) {
+	r := Range{Lo: 3, Hi: 7}
+	for k, want := range map[int]bool{2: false, 3: true, 7: true, 8: false} {
+		if r.Contains(k) != want {
+			t.Errorf("Contains(%d) = %v", k, !want)
+		}
+	}
+}
+
+func TestStringNonEmpty(t *testing.T) {
+	e := MustCompute(paperParams, table2())
+	if e.String() == "" || e.Range(0).String() == "" {
+		t.Error("empty String")
+	}
+}
+
+// Property: for random valid tables and params, the envelope agrees
+// with the naive per-position argmin on every position up to well past
+// all breakpoints.
+func TestEnvelopeMatchesNaiveRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		levels := make([]model.RateLevel, n)
+		rate, energy := 0.5+rng.Float64(), 0.5+rng.Float64()
+		for i := range levels {
+			levels[i] = model.RateLevel{Rate: rate, Energy: energy, Time: 1 / rate}
+			rate += 0.1 + rng.Float64()
+			energy += 0.1 + rng.Float64()*3
+		}
+		rt := model.MustRateTable(levels)
+		cp := model.CostParams{Re: 0.05 + rng.Float64(), Rt: 0.05 + rng.Float64()}
+		e, err := Compute(cp, rt)
+		if err != nil {
+			return false
+		}
+		for k := 1; k <= 2000; k++ {
+			want, _ := cp.BestBackwardLevel(k, rt)
+			if e.LevelFor(k).Rate != want.Rate {
+				t.Logf("seed %d k=%d: envelope %v naive %v (%v)", seed, k, e.LevelFor(k).Rate, want.Rate, e)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,25 @@
+package envelope_test
+
+import (
+	"fmt"
+
+	"dvfsched/internal/envelope"
+	"dvfsched/internal/model"
+	"dvfsched/internal/platform"
+)
+
+// Compute the dominating position ranges of the paper's Table II
+// platform: which frequency is cheapest for a task as a function of
+// its backward position (how much work runs after it).
+func ExampleCompute() {
+	params := model.CostParams{Re: 0.1, Rt: 0.4}
+	env, err := envelope.Compute(params, platform.TableII())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(env)
+	fmt.Printf("a task with 11 tasks behind it runs at %.1f GHz\n", env.LevelFor(12).Rate)
+	// Output:
+	// [1, 1] -> 1.6 GHz, [2, 2] -> 2 GHz, [3, 4] -> 2.4 GHz, [5, 9] -> 2.8 GHz, [10, inf) -> 3 GHz
+	// a task with 11 tasks behind it runs at 3.0 GHz
+}

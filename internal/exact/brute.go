@@ -1,0 +1,149 @@
+// Package exact provides exponential-time exact solvers used as test
+// oracles for the polynomial algorithms in package batch, plus the
+// Partition reduction underlying the paper's NP-completeness results
+// (Theorems 1 and 2).
+package exact
+
+import (
+	"fmt"
+	"math"
+
+	"dvfsched/internal/model"
+)
+
+// bestPositionCosts precomputes C^B(k) = min_p C^B(k, p) for k = 1..n
+// by the naive scan. By Eq. 11 the total cost of an order decomposes
+// into independent per-position terms, so the optimal rate for a
+// position never depends on which task sits there; brute-force search
+// therefore only needs to enumerate orders.
+func bestPositionCosts(params model.CostParams, rates *model.RateTable, n int) []float64 {
+	costs := make([]float64, n+1)
+	for k := 1; k <= n; k++ {
+		_, costs[k] = params.BestBackwardLevel(k, rates)
+	}
+	return costs
+}
+
+// sequenceCostBackward returns the cost of executing tasks in the given
+// forward order using the optimal per-position rates.
+func sequenceCostBackward(costs []float64, order model.TaskSet) float64 {
+	n := len(order)
+	var c float64
+	for i, t := range order {
+		c += costs[n-i] * t.Cycles // backward position of forward index i is n-i
+	}
+	return c
+}
+
+// permute calls fn with every permutation of tasks (Heap's algorithm);
+// fn must not retain the slice.
+func permute(tasks model.TaskSet, fn func(model.TaskSet)) {
+	n := len(tasks)
+	c := make([]int, n)
+	fn(tasks)
+	i := 0
+	for i < n {
+		if c[i] < i {
+			if i%2 == 0 {
+				tasks[0], tasks[i] = tasks[i], tasks[0]
+			} else {
+				tasks[c[i]], tasks[i] = tasks[i], tasks[c[i]]
+			}
+			fn(tasks)
+			c[i]++
+			i = 0
+		} else {
+			c[i] = 0
+			i++
+		}
+	}
+}
+
+// MaxBruteTasks bounds the instance sizes the exhaustive solvers
+// accept (n! and R^n growth).
+const MaxBruteTasks = 10
+
+// OptimalSingleCoreCost exhaustively searches all n! execution orders
+// (with per-position-optimal rates, exact by Eq. 11) and returns the
+// minimum total cost. It is the oracle for Algorithm 2 / Theorem 3.
+func OptimalSingleCoreCost(params model.CostParams, rates *model.RateTable, tasks model.TaskSet) (float64, error) {
+	if len(tasks) == 0 || len(tasks) > MaxBruteTasks {
+		return 0, fmt.Errorf("exact: need 1..%d tasks, got %d", MaxBruteTasks, len(tasks))
+	}
+	if err := params.Validate(); err != nil {
+		return 0, err
+	}
+	if err := rates.Validate(); err != nil {
+		return 0, err
+	}
+	costs := bestPositionCosts(params, rates, len(tasks))
+	best := math.Inf(1)
+	work := tasks.Clone()
+	permute(work, func(order model.TaskSet) {
+		if c := sequenceCostBackward(costs, order); c < best {
+			best = c
+		}
+	})
+	return best, nil
+}
+
+// OptimalMultiCoreCost exhaustively searches all R^n task-to-core
+// assignments and, within each core, all execution orders, returning
+// the minimum total cost. It is the oracle for Workload Based Greedy /
+// Theorems 4 and 5. Cores may be heterogeneous.
+func OptimalMultiCoreCost(params model.CostParams, rateTables []*model.RateTable, tasks model.TaskSet) (float64, error) {
+	r := len(rateTables)
+	if r == 0 {
+		return 0, fmt.Errorf("exact: no cores")
+	}
+	if len(tasks) == 0 || len(tasks) > MaxBruteTasks {
+		return 0, fmt.Errorf("exact: need 1..%d tasks, got %d", MaxBruteTasks, len(tasks))
+	}
+	costsPerCore := make([][]float64, r)
+	for j, rt := range rateTables {
+		if err := rt.Validate(); err != nil {
+			return 0, fmt.Errorf("exact: core %d: %w", j, err)
+		}
+		costsPerCore[j] = bestPositionCosts(params, rt, len(tasks))
+	}
+	n := len(tasks)
+	assign := make([]int, n)
+	best := math.Inf(1)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			var total float64
+			for j := 0; j < r; j++ {
+				var sub model.TaskSet
+				for t := 0; t < n; t++ {
+					if assign[t] == j {
+						sub = append(sub, tasks[t])
+					}
+				}
+				if len(sub) == 0 {
+					continue
+				}
+				coreBest := math.Inf(1)
+				permute(sub, func(order model.TaskSet) {
+					if c := sequenceCostBackward(costsPerCore[j], order); c < coreBest {
+						coreBest = c
+					}
+				})
+				total += coreBest
+				if total >= best {
+					return
+				}
+			}
+			if total < best {
+				best = total
+			}
+			return
+		}
+		for j := 0; j < r; j++ {
+			assign[i] = j
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return best, nil
+}

@@ -1,0 +1,272 @@
+package exact
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dvfsched/internal/batch"
+	"dvfsched/internal/model"
+)
+
+func table2() *model.RateTable {
+	return model.MustRateTable([]model.RateLevel{
+		{Rate: 1.6, Energy: 3.375, Time: 0.625},
+		{Rate: 2.0, Energy: 4.22, Time: 0.5},
+		{Rate: 2.4, Energy: 5.0, Time: 0.42},
+		{Rate: 2.8, Energy: 6.0, Time: 0.36},
+		{Rate: 3.0, Energy: 7.1, Time: 0.33},
+	})
+}
+
+var paperParams = model.CostParams{Re: 0.1, Rt: 0.4}
+
+func randomTasks(rng *rand.Rand, n int) model.TaskSet {
+	ts := make(model.TaskSet, n)
+	for i := range ts {
+		ts[i] = model.Task{ID: i, Cycles: 0.1 + rng.Float64()*20, Deadline: model.NoDeadline}
+	}
+	return ts
+}
+
+func TestOptimalSingleCoreCostBounds(t *testing.T) {
+	if _, err := OptimalSingleCoreCost(paperParams, table2(), nil); err == nil {
+		t.Error("empty set accepted")
+	}
+	rng := rand.New(rand.NewSource(1))
+	if _, err := OptimalSingleCoreCost(paperParams, table2(), randomTasks(rng, MaxBruteTasks+1)); err == nil {
+		t.Error("oversized set accepted")
+	}
+}
+
+// Theorem 3 / Algorithm 2: the polynomial SingleCore schedule is
+// exhaustively optimal.
+func TestSingleCoreAlgorithmIsOptimal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tasks := randomTasks(rng, 1+rng.Intn(7))
+		plan, err := batch.SingleCore(paperParams, table2(), tasks)
+		if err != nil {
+			return false
+		}
+		_, _, algo := plan.Cost()
+		opt, err := OptimalSingleCoreCost(paperParams, table2(), tasks)
+		if err != nil {
+			return false
+		}
+		if algo > opt+1e-9*math.Max(1, opt) {
+			t.Logf("seed %d: algorithm %v > optimal %v", seed, algo, opt)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Theorems 4 & 5: WBG is exhaustively optimal on homogeneous and
+// heterogeneous multi-cores.
+func TestWBGIsOptimalHomogeneous(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		r := 1 + rng.Intn(3)
+		tasks := randomTasks(rng, n)
+		plan, err := batch.WBG(paperParams, batch.HomogeneousCores(r, table2()), tasks)
+		if err != nil {
+			return false
+		}
+		_, _, algo := plan.Cost()
+		tables := make([]*model.RateTable, r)
+		for j := range tables {
+			tables[j] = table2()
+		}
+		opt, err := OptimalMultiCoreCost(paperParams, tables, tasks)
+		if err != nil {
+			return false
+		}
+		if algo > opt+1e-9*math.Max(1, opt) {
+			t.Logf("seed %d: WBG %v > optimal %v (n=%d r=%d)", seed, algo, opt, n, r)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWBGIsOptimalHeterogeneous(t *testing.T) {
+	slow := model.MustRateTable([]model.RateLevel{
+		{Rate: 0.8, Energy: 2, Time: 1.25},
+		{Rate: 1.6, Energy: 5, Time: 0.625},
+	})
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		tasks := randomTasks(rng, n)
+		cores := []batch.CoreSpec{{Rates: table2()}, {Rates: slow}}
+		plan, err := batch.WBG(paperParams, cores, tasks)
+		if err != nil {
+			return false
+		}
+		_, _, algo := plan.Cost()
+		opt, err := OptimalMultiCoreCost(paperParams, []*model.RateTable{table2(), slow}, tasks)
+		if err != nil {
+			return false
+		}
+		if algo > opt+1e-9*math.Max(1, opt) {
+			t.Logf("seed %d: WBG %v > optimal %v (n=%d)", seed, algo, opt, n)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolvePartitionKnownInstances(t *testing.T) {
+	cases := []struct {
+		a    []int
+		want bool
+	}{
+		{[]int{1, 1}, true},
+		{[]int{1, 2}, false},
+		{[]int{3, 1, 1, 2, 2, 1}, true},
+		{[]int{2, 2, 2, 1}, false}, // odd sum
+		{[]int{5}, false},
+		{[]int{4, 4}, true},
+		{[]int{7, 3, 2, 1, 1}, true}, // 7 vs 3+2+1+1
+	}
+	for _, c := range cases {
+		got, err := SolvePartition(c.a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("SolvePartition(%v) = %v, want %v", c.a, got, c.want)
+		}
+	}
+	if _, err := SolvePartition(nil); err == nil {
+		t.Error("empty instance accepted")
+	}
+	if _, err := SolvePartition([]int{0}); err == nil {
+		t.Error("non-positive element accepted")
+	}
+}
+
+// Theorem 1: the reduction maps yes-instances of Partition to feasible
+// Deadline-SingleCore instances and no-instances to infeasible ones.
+func TestPartitionReductionEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(9)
+		a := make([]int, n)
+		for i := range a {
+			a[i] = 1 + rng.Intn(9)
+		}
+		wantFeasible, err := SolvePartition(a)
+		if err != nil {
+			return false
+		}
+		inst, err := PartitionToDeadlineSingleCore(a)
+		if err != nil {
+			return false
+		}
+		got, err := SolveDeadlineSingleCore(inst)
+		if err != nil {
+			return false
+		}
+		if got != wantFeasible {
+			t.Logf("seed %d a=%v: partition=%v deadline=%v", seed, a, wantFeasible, got)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionReductionRejectsBadInput(t *testing.T) {
+	if _, err := PartitionToDeadlineSingleCore(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := PartitionToDeadlineSingleCore([]int{-1}); err == nil {
+		t.Error("negative input accepted")
+	}
+}
+
+func TestSolveDeadlineRespectsTightDeadlines(t *testing.T) {
+	// One task of 10 Gcycles, fastest rate T = 1 ns/cyc -> 10 s
+	// minimum. Deadline 5 s must be infeasible, 20 s feasible.
+	rates := model.MustRateTable([]model.RateLevel{
+		{Rate: 0.5, Energy: 1, Time: 2},
+		{Rate: 1.0, Energy: 4, Time: 1},
+	})
+	mk := func(deadline, budget float64) DeadlineInstance {
+		return DeadlineInstance{
+			Tasks:        model.TaskSet{{ID: 0, Cycles: 10, Deadline: deadline}},
+			Rates:        rates,
+			EnergyBudget: budget,
+		}
+	}
+	if ok, _ := SolveDeadlineSingleCore(mk(5, 1e9)); ok {
+		t.Error("impossible deadline reported feasible")
+	}
+	if ok, _ := SolveDeadlineSingleCore(mk(20, 1e9)); !ok {
+		t.Error("easy deadline reported infeasible")
+	}
+	// Energy budget binding: running at pl uses 10 J, at ph 40 J.
+	if ok, _ := SolveDeadlineSingleCore(mk(20, 5)); ok {
+		t.Error("energy budget violated")
+	}
+	if ok, _ := SolveDeadlineSingleCore(mk(20, 10)); !ok {
+		t.Error("slow-rate solution not found")
+	}
+}
+
+func TestSolveDeadlineEDFOrdering(t *testing.T) {
+	// Two tasks; only the EDF order (task 2 first) is feasible.
+	rates := model.MustRateTable([]model.RateLevel{{Rate: 1, Energy: 1, Time: 1}})
+	inst := DeadlineInstance{
+		Tasks: model.TaskSet{
+			{ID: 0, Cycles: 5, Deadline: 8},
+			{ID: 1, Cycles: 2, Deadline: 2},
+		},
+		Rates:        rates,
+		EnergyBudget: 100,
+	}
+	ok, err := SolveDeadlineSingleCore(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("EDF-feasible instance reported infeasible")
+	}
+}
+
+func TestSolveDeadlineBounds(t *testing.T) {
+	rates := model.MustRateTable([]model.RateLevel{{Rate: 1, Energy: 1, Time: 1}})
+	if _, err := SolveDeadlineSingleCore(DeadlineInstance{Rates: rates}); err == nil {
+		t.Error("empty instance accepted")
+	}
+	tasks := make(model.TaskSet, MaxDeadlineTasks+1)
+	for i := range tasks {
+		tasks[i] = model.Task{ID: i, Cycles: 1, Deadline: 100}
+	}
+	if _, err := SolveDeadlineSingleCore(DeadlineInstance{Tasks: tasks, Rates: rates, EnergyBudget: 1e9}); err == nil {
+		t.Error("oversized instance accepted")
+	}
+	bad := DeadlineInstance{
+		Tasks:        model.TaskSet{{ID: 0, Cycles: 1, Arrival: 5, Deadline: 10}},
+		Rates:        rates,
+		EnergyBudget: 1e9,
+	}
+	if _, err := SolveDeadlineSingleCore(bad); err == nil {
+		t.Error("non-zero arrival accepted")
+	}
+}

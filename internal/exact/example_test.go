@@ -1,0 +1,34 @@
+package exact_test
+
+import (
+	"fmt"
+
+	"dvfsched/internal/exact"
+)
+
+// Theorem 1's reduction: a Partition instance becomes a
+// Deadline-SingleCore instance that is feasible exactly when the
+// integers split into two equal halves.
+func ExamplePartitionToDeadlineSingleCore() {
+	yes := []int{3, 1, 1, 2, 2, 1} // splits into 5 + 5
+	no := []int{3, 1, 1}           // sum 5 is odd
+
+	for _, a := range [][]int{yes, no} {
+		inst, err := exact.PartitionToDeadlineSingleCore(a)
+		if err != nil {
+			panic(err)
+		}
+		feasible, err := exact.SolveDeadlineSingleCore(inst)
+		if err != nil {
+			panic(err)
+		}
+		partitionable, err := exact.SolvePartition(a)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%v: partitionable=%v, schedule feasible=%v\n", a, partitionable, feasible)
+	}
+	// Output:
+	// [3 1 1 2 2 1]: partitionable=true, schedule feasible=true
+	// [3 1 1]: partitionable=false, schedule feasible=false
+}

@@ -1,0 +1,137 @@
+package exact
+
+import (
+	"fmt"
+	"sort"
+
+	"dvfsched/internal/model"
+)
+
+// DeadlineInstance is an instance of the Deadline-SingleCore decision
+// problem of Theorem 1: can every task meet its deadline while total
+// energy stays within the budget?
+type DeadlineInstance struct {
+	// Tasks to run on the single core; all arrive at time 0.
+	Tasks model.TaskSet
+	// Rates is the core's discrete rate set.
+	Rates *model.RateTable
+	// EnergyBudget is the bound E in joules.
+	EnergyBudget float64
+}
+
+// PartitionToDeadlineSingleCore performs the reduction in the proof of
+// Theorem 1. Given positive integers a, it builds a Deadline-SingleCore
+// instance with one task per integer (L_i = a_i), two rates with
+// T(pl) = 2, T(ph) = 1, E(pl) = 1, E(ph) = 4 (dynamic energy
+// proportional to frequency squared), a common deadline of 1.5*S and an
+// energy budget of 2.5*S, where S = sum(a). The instance is feasible
+// iff a can be partitioned into two halves of equal sum.
+func PartitionToDeadlineSingleCore(a []int) (DeadlineInstance, error) {
+	if len(a) == 0 {
+		return DeadlineInstance{}, fmt.Errorf("exact: empty partition instance")
+	}
+	var s int
+	tasks := make(model.TaskSet, len(a))
+	for i, v := range a {
+		if v <= 0 {
+			return DeadlineInstance{}, fmt.Errorf("exact: partition element %d is %d, must be positive", i, v)
+		}
+		s += v
+		tasks[i] = model.Task{ID: i, Cycles: float64(v)}
+	}
+	deadline := 1.5 * float64(s)
+	for i := range tasks {
+		tasks[i].Deadline = deadline
+	}
+	rates := model.MustRateTable([]model.RateLevel{
+		{Rate: 0.5, Energy: 1, Time: 2}, // pl
+		{Rate: 1.0, Energy: 4, Time: 1}, // ph: twice as fast, 4x energy
+	})
+	return DeadlineInstance{
+		Tasks:        tasks,
+		Rates:        rates,
+		EnergyBudget: 2.5 * float64(s),
+	}, nil
+}
+
+// MaxDeadlineTasks bounds the exhaustive deadline solver (|P|^n rate
+// assignments).
+const MaxDeadlineTasks = 16
+
+// SolveDeadlineSingleCore decides a Deadline-SingleCore instance by
+// enumerating all |P|^n rate assignments. For each assignment,
+// earliest-deadline-first ordering is optimal on a single core with
+// common release times, so feasibility of the assignment reduces to an
+// EDF completion-time check plus the energy budget.
+func SolveDeadlineSingleCore(inst DeadlineInstance) (bool, error) {
+	n := len(inst.Tasks)
+	if n == 0 || n > MaxDeadlineTasks {
+		return false, fmt.Errorf("exact: need 1..%d tasks, got %d", MaxDeadlineTasks, n)
+	}
+	if err := inst.Rates.Validate(); err != nil {
+		return false, err
+	}
+	for _, t := range inst.Tasks {
+		if t.Arrival != 0 {
+			return false, fmt.Errorf("exact: task %d has non-zero arrival; batch-mode instances only", t.ID)
+		}
+	}
+	// EDF order is independent of the rate assignment.
+	order := inst.Tasks.Clone()
+	sort.SliceStable(order, func(i, j int) bool { return order[i].Deadline < order[j].Deadline })
+
+	p := inst.Rates.Len()
+	choice := make([]int, n)
+	var feasible func(i int) bool
+	feasible = func(i int) bool {
+		if i == n {
+			var elapsed, energy float64
+			for idx, t := range order {
+				l := inst.Rates.Level(choice[idx])
+				elapsed += model.TaskTime(t.Cycles, l)
+				if t.HasDeadline() && elapsed > t.Deadline+1e-9 {
+					return false
+				}
+				energy += model.TaskEnergy(t.Cycles, l)
+			}
+			return energy <= inst.EnergyBudget+1e-9
+		}
+		for c := 0; c < p; c++ {
+			choice[i] = c
+			if feasible(i + 1) {
+				return true
+			}
+		}
+		return false
+	}
+	return feasible(0), nil
+}
+
+// SolvePartition decides the Partition problem exactly with a
+// subset-sum dynamic program in O(n*S) time.
+func SolvePartition(a []int) (bool, error) {
+	if len(a) == 0 {
+		return false, fmt.Errorf("exact: empty partition instance")
+	}
+	var s int
+	for i, v := range a {
+		if v <= 0 {
+			return false, fmt.Errorf("exact: partition element %d is %d, must be positive", i, v)
+		}
+		s += v
+	}
+	if s%2 != 0 {
+		return false, nil
+	}
+	half := s / 2
+	reach := make([]bool, half+1)
+	reach[0] = true
+	for _, v := range a {
+		for t := half; t >= v; t-- {
+			if reach[t-v] {
+				reach[t] = true
+			}
+		}
+	}
+	return reach[half], nil
+}

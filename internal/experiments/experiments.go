@@ -1,0 +1,133 @@
+// Package experiments reproduces the paper's evaluation (Section V):
+// Table I (workload characterization), Table II (rate parameters),
+// Fig. 1 (cost-model verification against a non-ideal platform),
+// Fig. 2 (batch-mode comparison of Workload Based Greedy against
+// Opportunistic Load Balancing and Power Saving), and Fig. 3
+// (online-mode comparison of Least Marginal Cost against OLB and
+// On-demand). Each experiment is a pure function from an explicit
+// config to a result struct; cmd/paperrepro and the repository
+// benchmarks print them.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"dvfsched/internal/model"
+	"dvfsched/internal/platform"
+	"dvfsched/internal/sim"
+	"dvfsched/internal/stats"
+	"dvfsched/internal/workload"
+)
+
+// BatchParams are the paper's batch-mode cost constants: Re = 0.1
+// cents/joule, Rt = 0.4 cents/second.
+var BatchParams = model.CostParams{Re: 0.1, Rt: 0.4}
+
+// OnlineParams are the paper's online-mode cost constants: Re = 0.4
+// cents/joule, Rt = 0.1 cents/second.
+var OnlineParams = model.CostParams{Re: 0.4, Rt: 0.1}
+
+// Outcome is one policy's measured result, the quantity behind one bar
+// group in the paper's figures.
+type Outcome struct {
+	// Policy names the scheduling strategy.
+	Policy string
+	// EnergyJ is total energy in joules.
+	EnergyJ float64
+	// MakespanS is the last completion time in seconds.
+	MakespanS float64
+	// TurnaroundS is the summed turnaround time in seconds.
+	TurnaroundS float64
+	// EnergyCost, TimeCost and TotalCost are in cents.
+	EnergyCost, TimeCost, TotalCost float64
+	// Switches counts DVFS transitions; Preemptions counts task
+	// preemptions.
+	Switches, Preemptions int
+	// InteractiveP99S is the 99th-percentile interactive response
+	// time in seconds (0 if no interactive tasks ran). The paper's
+	// response time is the acknowledgment latency of a user request.
+	InteractiveP99S float64
+	// SubmitMeanS is the mean non-interactive turnaround in seconds.
+	SubmitMeanS float64
+}
+
+// FromSimResult converts a simulation result into an Outcome.
+func FromSimResult(r *sim.Result) Outcome {
+	var inter, non []float64
+	for _, ts := range r.Tasks {
+		if ts.Task.Interactive {
+			inter = append(inter, ts.Turnaround())
+		} else {
+			non = append(non, ts.Turnaround())
+		}
+	}
+	o := Outcome{
+		Policy:      r.Policy,
+		EnergyJ:     r.TotalEnergy,
+		MakespanS:   r.Makespan,
+		TurnaroundS: r.TurnaroundSum,
+		EnergyCost:  r.EnergyCost,
+		TimeCost:    r.TimeCost,
+		TotalCost:   r.TotalCost,
+		Switches:    r.Switches,
+		Preemptions: r.Preemptions,
+		SubmitMeanS: stats.Mean(non),
+	}
+	if len(inter) > 0 {
+		o.InteractiveP99S = stats.Percentile(inter, 99)
+	}
+	return o
+}
+
+// Normalized returns this outcome's (time, energy, total) cost ratios
+// against a reference outcome, the paper's normalized-cost axes.
+func (o Outcome) Normalized(ref Outcome) (time, energy, total float64) {
+	return o.TimeCost / ref.TimeCost, o.EnergyCost / ref.EnergyCost, o.TotalCost / ref.TotalCost
+}
+
+// Table1String renders Table I: the average execution times of the
+// SPEC CPU2006 integer workloads.
+func Table1String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %12s %12s\n", "Benchmark", "train (s)", "ref (s)")
+	byBench := map[string][2]float64{}
+	var order []string
+	for _, w := range workload.SPEC2006Int() {
+		v, seen := byBench[w.Benchmark]
+		if !seen {
+			order = append(order, w.Benchmark)
+		}
+		if w.Input == "train" {
+			v[0] = w.Seconds
+		} else {
+			v[1] = w.Seconds
+		}
+		byBench[w.Benchmark] = v
+	}
+	for _, name := range order {
+		v := byBench[name]
+		fmt.Fprintf(&b, "%-12s %12.3f %12.3f\n", name, v[0], v[1])
+	}
+	return b.String()
+}
+
+// Table2String renders Table II: the batch-mode rate parameters.
+func Table2String() string {
+	rt := platform.TableII()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s", "p_k")
+	for i := 0; i < rt.Len(); i++ {
+		fmt.Fprintf(&b, " %8.1f", rt.Level(i).Rate)
+	}
+	fmt.Fprintf(&b, "\n%-8s", "E(p_k)")
+	for i := 0; i < rt.Len(); i++ {
+		fmt.Fprintf(&b, " %8.3f", rt.Level(i).Energy)
+	}
+	fmt.Fprintf(&b, "\n%-8s", "T(p_k)")
+	for i := 0; i < rt.Len(); i++ {
+		fmt.Fprintf(&b, " %8.3f", rt.Level(i).Time)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dvfsched/internal/batch"
+	"dvfsched/internal/model"
+	"dvfsched/internal/platform"
+	"dvfsched/internal/power"
+	"dvfsched/internal/sim"
+	"dvfsched/internal/workload"
+)
+
+// Fig1Config parameterizes the model-verification experiment of
+// Fig. 1. The paper uses the 24 SPEC workloads, two frequencies
+// (1.6 and 3.0 GHz), Re = 0.1, Rt = 0.4, and a quad-core i7-950.
+type Fig1Config struct {
+	// Tasks is the batch workload; defaults to the Table I tasks.
+	Tasks model.TaskSet
+	// Cores is the core count; defaults to 4.
+	Cores int
+	// Rates restricts the frequency choices; defaults to {1.6, 3.0}.
+	Rates *model.RateTable
+	// Params are the cost constants; default BatchParams.
+	Params model.CostParams
+	// Exec is the non-ideal execution model standing in for the real
+	// machine; defaults to platform.DefaultRealistic().
+	Exec platform.ExecutionModel
+	// MeterSampleInterval is the simulated power meter's period in
+	// seconds (1 Hz default, like the paper's wall meter).
+	MeterSampleInterval float64
+}
+
+func (c *Fig1Config) fillDefaults() error {
+	if c.Tasks == nil {
+		c.Tasks = workload.SPECTasks()
+	}
+	if c.Cores == 0 {
+		c.Cores = 4
+	}
+	if c.Rates == nil {
+		full := platform.TableII()
+		two, err := full.Restrict(func(l model.RateLevel) bool {
+			return l.Rate == 1.6 || l.Rate == 3.0
+		})
+		if err != nil {
+			return err
+		}
+		c.Rates = two
+	}
+	if c.Params == (model.CostParams{}) {
+		c.Params = BatchParams
+	}
+	if c.Exec == nil {
+		c.Exec = platform.DefaultRealistic()
+	}
+	if c.MeterSampleInterval == 0 {
+		c.MeterSampleInterval = 1
+	}
+	return nil
+}
+
+// Fig1Result compares the analytic cost model ("Sim") against
+// executing the same WBG plan on the non-ideal platform ("Exp"), as
+// cost components in cents and as Exp/Sim ratios. The paper measures
+// the experiment about 8% above the simulation.
+type Fig1Result struct {
+	Sim, Exp Outcome
+	// TimeRatio, EnergyRatio and TotalRatio are Exp normalized to
+	// Sim.
+	TimeRatio, EnergyRatio, TotalRatio float64
+	// MeterEnergyJ is the sampled power-meter reading of the
+	// experiment's energy (vs Exp.EnergyJ, the exact integral).
+	MeterEnergyJ float64
+}
+
+// Fig1 runs the model-verification experiment.
+func Fig1(cfg Fig1Config) (*Fig1Result, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	plan, err := batch.WBG(cfg.Params, batch.HomogeneousCores(cfg.Cores, cfg.Rates), cfg.Tasks)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig1 plan: %w", err)
+	}
+
+	// "Sim": the analytic model's prediction for the plan.
+	eCost, tCost, total := plan.Cost()
+	joules, makespan, turnaround := plan.EnergyTime()
+	simOut := Outcome{
+		Policy: "wbg-analytic", EnergyJ: joules, MakespanS: makespan, TurnaroundS: turnaround,
+		EnergyCost: eCost, TimeCost: tCost, TotalCost: total,
+	}
+
+	// "Exp": the same plan executed on the contended, non-ideally
+	// scaling platform, measured by the simulated power meter.
+	fp, err := sim.NewFixedPlan(plan)
+	if err != nil {
+		return nil, err
+	}
+	meter := power.NewMeter(cfg.MeterSampleInterval, 0)
+	plat := platform.Homogeneous(cfg.Cores, cfg.Rates, cfg.Exec)
+	res, err := sim.Run(sim.Config{Platform: plat, Policy: fp, Meter: meter}, cfg.Tasks, cfg.Params)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig1 execution: %w", err)
+	}
+	expOut := FromSimResult(res)
+	expOut.Policy = "wbg-executed"
+
+	out := &Fig1Result{Sim: simOut, Exp: expOut, MeterEnergyJ: meter.SampledEnergy()}
+	out.TimeRatio, out.EnergyRatio, out.TotalRatio = expOut.Normalized(simOut)
+	return out, nil
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dvfsched/internal/model"
+	"dvfsched/internal/platform"
+)
+
+// Fig1SensRow is one point of the model-gap sensitivity study.
+type Fig1SensRow struct {
+	// MemFraction is the memory-bound cycle share of the execution
+	// model.
+	MemFraction float64
+	// TotalRatio is the resulting Exp/Sim total-cost ratio.
+	TotalRatio float64
+}
+
+// Fig1Sensitivity shows how the Fig. 1 model gap depends on the
+// platform's memory-boundedness: with no memory-bound cycles the
+// analytic model is exact (ratio 1), and the gap grows with the
+// fraction. The paper's ~8% gap corresponds to one point on this
+// curve; the calibration in platform.DefaultRealistic picks it.
+func Fig1Sensitivity(memFractions []float64, tasks model.TaskSet) ([]Fig1SensRow, error) {
+	if len(memFractions) == 0 {
+		return nil, fmt.Errorf("experiments: empty fraction list")
+	}
+	base := platform.DefaultRealistic()
+	rows := make([]Fig1SensRow, 0, len(memFractions))
+	for _, f := range memFractions {
+		if f < 0 || f >= 1 {
+			return nil, fmt.Errorf("experiments: mem fraction %v outside [0, 1)", f)
+		}
+		exec := base
+		exec.MemFraction = f
+		res, err := Fig1(Fig1Config{Tasks: tasks, Exec: exec})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig1SensRow{MemFraction: f, TotalRatio: res.TotalRatio})
+	}
+	return rows, nil
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dvfsched/internal/batch"
+	"dvfsched/internal/governor"
+	"dvfsched/internal/model"
+	"dvfsched/internal/platform"
+	"dvfsched/internal/sched"
+	"dvfsched/internal/sim"
+	"dvfsched/internal/workload"
+)
+
+// Fig2Config parameterizes the batch-mode comparison of Fig. 2: the 24
+// SPEC workloads run under Workload Based Greedy, Opportunistic Load
+// Balancing (on-demand governor), and Power Saving (on-demand governor
+// over the lower half of the frequency range), all on the same
+// non-ideal platform.
+type Fig2Config struct {
+	// Tasks is the batch workload; defaults to the Table I tasks.
+	Tasks model.TaskSet
+	// Cores is the core count; defaults to 4.
+	Cores int
+	// Rates is the full frequency menu; defaults to Table II.
+	Rates *model.RateTable
+	// Params are the cost constants; default BatchParams.
+	Params model.CostParams
+	// Exec is the execution model; defaults to
+	// platform.DefaultRealistic() (the experiments ran on the real
+	// machine).
+	Exec platform.ExecutionModel
+	// GovernorTick is the load sampling period of the on-demand
+	// governor; defaults to the paper's 1 s.
+	GovernorTick float64
+}
+
+func (c *Fig2Config) fillDefaults() {
+	if c.Tasks == nil {
+		c.Tasks = workload.SPECTasks()
+	}
+	if c.Cores == 0 {
+		c.Cores = 4
+	}
+	if c.Rates == nil {
+		c.Rates = platform.TableII()
+	}
+	if c.Params == (model.CostParams{}) {
+		c.Params = BatchParams
+	}
+	if c.Exec == nil {
+		c.Exec = platform.DefaultRealistic()
+	}
+	if c.GovernorTick == 0 {
+		c.GovernorTick = 1
+	}
+}
+
+// Fig2Result holds the three scheduling strategies' outcomes plus
+// their cost ratios against WBG. The paper reports WBG consuming 46%
+// less energy than OLB (4% slowdown) and 27% less than Power Saving
+// (13% speedup), for ~27% lower total cost.
+type Fig2Result struct {
+	WBG, OLB, PS Outcome
+	// OLBvsWBG and PSvsWBG are (time, energy, total) cost ratios
+	// normalized to WBG.
+	OLBvsWBG, PSvsWBG [3]float64
+}
+
+// Fig2 runs the batch-mode comparison.
+func Fig2(cfg Fig2Config) (*Fig2Result, error) {
+	cfg.fillDefaults()
+	plat := platform.Homogeneous(cfg.Cores, cfg.Rates, cfg.Exec)
+
+	// Workload Based Greedy: plan, then execute the plan.
+	plan, err := batch.WBG(cfg.Params, batch.HomogeneousCores(cfg.Cores, cfg.Rates), cfg.Tasks)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig2 WBG plan: %w", err)
+	}
+	fp, err := sim.NewFixedPlan(plan)
+	if err != nil {
+		return nil, err
+	}
+	wbgRes, err := sim.Run(sim.Config{Platform: plat, Policy: fp}, cfg.Tasks, cfg.Params)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig2 WBG run: %w", err)
+	}
+	wbg := FromSimResult(wbgRes)
+	wbg.Policy = "wbg"
+
+	// Opportunistic Load Balancing with the on-demand governor.
+	olbRes, err := sim.Run(sim.Config{
+		Platform:     plat,
+		Policy:       &sched.OLB{Governor: governor.DefaultOnDemand()},
+		TickInterval: cfg.GovernorTick,
+	}, cfg.Tasks, cfg.Params)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig2 OLB run: %w", err)
+	}
+	olb := FromSimResult(olbRes)
+	olb.Policy = "olb"
+
+	// Power Saving: frequencies limited to the lower half.
+	psPlat, err := sched.PowerSavePlatform(plat)
+	if err != nil {
+		return nil, err
+	}
+	psRes, err := sim.Run(sim.Config{
+		Platform:     psPlat,
+		Policy:       &sched.OLB{Governor: governor.DefaultOnDemand()},
+		TickInterval: cfg.GovernorTick,
+	}, cfg.Tasks, cfg.Params)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig2 PS run: %w", err)
+	}
+	ps := FromSimResult(psRes)
+	ps.Policy = "power-saving"
+
+	out := &Fig2Result{WBG: wbg, OLB: olb, PS: ps}
+	t, e, tot := olb.Normalized(wbg)
+	out.OLBvsWBG = [3]float64{t, e, tot}
+	t, e, tot = ps.Normalized(wbg)
+	out.PSvsWBG = [3]float64{t, e, tot}
+	return out, nil
+}

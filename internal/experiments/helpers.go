@@ -1,0 +1,17 @@
+package experiments
+
+import (
+	"dvfsched/internal/batch"
+	"dvfsched/internal/model"
+	"dvfsched/internal/platform"
+)
+
+// planWBG builds a 4-core WBG plan on the Table II menu.
+func planWBG(params model.CostParams, tasks model.TaskSet) (*batch.Plan, error) {
+	return planWBGWith(params, platform.TableII(), tasks)
+}
+
+// planWBGWith builds a 4-core WBG plan on the given menu.
+func planWBGWith(params model.CostParams, rt *model.RateTable, tasks model.TaskSet) (*batch.Plan, error) {
+	return batch.WBG(params, batch.HomogeneousCores(4, rt), tasks)
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dvfsched/internal/model"
+	"dvfsched/internal/online"
+	"dvfsched/internal/platform"
+	"dvfsched/internal/sched"
+	"dvfsched/internal/sim"
+	"dvfsched/internal/workload"
+)
+
+// HeteroResult compares the online policies on a heterogeneous
+// (big.LITTLE-style) platform, where Least Marginal Cost's per-core
+// marginal pricing matters most: each core type has its own cost
+// curve, so placement is no longer symmetric.
+type HeteroResult struct {
+	// LMC, OLB and OD are the policy outcomes.
+	LMC, OLB, OD Outcome
+	// BigShare is the fraction of non-interactive cycles LMC placed
+	// on the big (i7) cores.
+	BigShare float64
+}
+
+// HeteroConfig parameterizes the heterogeneous online experiment.
+type HeteroConfig struct {
+	// BigCores and LittleCores are the counts of i7-950 and
+	// Exynos-4412 cores; defaults 2 and 4.
+	BigCores, LittleCores int
+	// Seed drives the trace synthesizer.
+	Seed int64
+	// Judge configures the trace; the zero value scales the default
+	// down to a quarter (the little cores are slow).
+	Judge workload.JudgeConfig
+	// Params are the cost constants; default OnlineParams.
+	Params model.CostParams
+}
+
+// HeteroOnline runs the heterogeneous online comparison.
+func HeteroOnline(cfg HeteroConfig) (*HeteroResult, error) {
+	if cfg.BigCores == 0 {
+		cfg.BigCores = 2
+	}
+	if cfg.LittleCores == 0 {
+		cfg.LittleCores = 4
+	}
+	if cfg.BigCores < 0 || cfg.LittleCores < 0 || cfg.BigCores+cfg.LittleCores == 0 {
+		return nil, fmt.Errorf("experiments: bad core mix %d+%d", cfg.BigCores, cfg.LittleCores)
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 7
+	}
+	if cfg.Judge == (workload.JudgeConfig{}) {
+		cfg.Judge = workload.DefaultJudgeConfig()
+		cfg.Judge.Interactive /= 4
+		cfg.Judge.NonInteractive /= 4
+		cfg.Judge.Duration /= 2
+		cfg.Judge.SubmitMedianMin /= 2
+		cfg.Judge.SubmitMedianMax /= 2
+	}
+	if cfg.Params == (model.CostParams{}) {
+		cfg.Params = OnlineParams
+	}
+	tasks, err := cfg.Judge.Generate(rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		return nil, err
+	}
+
+	cores := make([]*model.RateTable, 0, cfg.BigCores+cfg.LittleCores)
+	for i := 0; i < cfg.BigCores; i++ {
+		cores = append(cores, platform.IntelI7950())
+	}
+	for i := 0; i < cfg.LittleCores; i++ {
+		cores = append(cores, platform.ExynosT4412())
+	}
+	plat := &platform.Platform{Cores: cores}
+
+	lmcPolicy, err := online.NewLMC(cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	lmcRes, err := sim.Run(sim.Config{Platform: plat, Policy: lmcPolicy, RecordTimeline: true}, tasks, cfg.Params)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: hetero LMC: %w", err)
+	}
+	olbRes, err := sim.Run(sim.Config{Platform: plat, Policy: &sched.OLB{MaxFrequency: true}}, tasks, cfg.Params)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: hetero OLB: %w", err)
+	}
+	odRes, err := sim.Run(sim.Config{Platform: plat, Policy: &sched.OnDemandRR{}, TickInterval: 1}, tasks, cfg.Params)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: hetero OD: %w", err)
+	}
+
+	out := &HeteroResult{
+		LMC: FromSimResult(lmcRes),
+		OLB: FromSimResult(olbRes),
+		OD:  FromSimResult(odRes),
+	}
+	// Attribute LMC's executed cycles to core classes via the
+	// timeline.
+	interactiveIDs := map[int]bool{}
+	for _, t := range tasks {
+		if t.Interactive {
+			interactiveIDs[t.ID] = true
+		}
+	}
+	var big, total float64
+	for _, seg := range lmcRes.Timeline {
+		if interactiveIDs[seg.TaskID] {
+			continue
+		}
+		gcyc := (seg.End - seg.Start) * seg.Rate
+		total += gcyc
+		if seg.Core < cfg.BigCores {
+			big += gcyc
+		}
+	}
+	if total > 0 {
+		out.BigShare = big / total
+	}
+	return out, nil
+}

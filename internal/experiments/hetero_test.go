@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"testing"
+
+	"dvfsched/internal/workload"
+)
+
+func heteroTestConfig() HeteroConfig {
+	judge := workload.DefaultJudgeConfig()
+	// Heavy enough that the little cores saturate and the marginal
+	// cost pushes overflow onto the big cores.
+	judge.Interactive, judge.NonInteractive, judge.Duration = 2000, 500, 500
+	judge.SubmitMedianMin, judge.SubmitMedianMax = 8, 40
+	return HeteroConfig{Judge: judge, Seed: 3}
+}
+
+func TestHeteroOnlineLMCWinsTotalCost(t *testing.T) {
+	res, err := HeteroOnline(heteroTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.LMC.TotalCost < res.OLB.TotalCost && res.LMC.TotalCost < res.OD.TotalCost) {
+		t.Errorf("LMC total %v not lowest (OLB %v, OD %v)",
+			res.LMC.TotalCost, res.OLB.TotalCost, res.OD.TotalCost)
+	}
+	// The big-core share must be a meaningful split, not degenerate.
+	if res.BigShare <= 0 || res.BigShare >= 1 {
+		t.Errorf("big-core share degenerate: %v", res.BigShare)
+	}
+	// Interactive responses stay fast under LMC (preemption +
+	// marginal-cost placement).
+	if res.LMC.InteractiveP99S <= 0 {
+		t.Error("no interactive latency recorded")
+	}
+	if res.LMC.InteractiveP99S > res.OD.InteractiveP99S {
+		t.Errorf("LMC interactive p99 %v above OD %v", res.LMC.InteractiveP99S, res.OD.InteractiveP99S)
+	}
+}
+
+func TestHeteroOnlineValidation(t *testing.T) {
+	if _, err := HeteroOnline(HeteroConfig{BigCores: -1, LittleCores: 1}); err == nil {
+		t.Error("negative cores accepted")
+	}
+}
+
+func TestOutcomeResponseMetrics(t *testing.T) {
+	res, err := Fig3(Fig3Config{Judge: func() (j workload.JudgeConfig) {
+		j = workload.DefaultJudgeConfig()
+		j.Interactive, j.NonInteractive, j.Duration = 500, 60, 120
+		return j
+	}(), Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LMC preempts for interactive work; the baselines queue it
+	// behind running submissions, so LMC's p99 response must be far
+	// smaller.
+	if res.LMC.InteractiveP99S >= res.OLB.InteractiveP99S {
+		t.Errorf("LMC p99 %v not below OLB %v", res.LMC.InteractiveP99S, res.OLB.InteractiveP99S)
+	}
+	if res.LMC.SubmitMeanS <= 0 {
+		t.Error("no submission turnaround recorded")
+	}
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dvfsched/internal/governor"
+	"dvfsched/internal/model"
+	"dvfsched/internal/platform"
+	"dvfsched/internal/sched"
+	"dvfsched/internal/sim"
+	"dvfsched/internal/workload"
+)
+
+// IdleRow is one point of the idle-power study.
+type IdleRow struct {
+	// IdleWatts is the per-core idle draw.
+	IdleWatts float64
+	// WBGEnergyJ and RaceEnergyJ are total energies including idle.
+	WBGEnergyJ, RaceEnergyJ float64
+	// WBGvsRace is their ratio; above 1 means race-to-idle wins.
+	WBGvsRace float64
+}
+
+// IdlePowerStudy examines the assumption behind the paper's
+// measurements: idle power is subtracted, so throttling always saves
+// energy. With idle power charged instead (no deep sleep states), the
+// slower WBG schedule keeps the machine on longer, and beyond some
+// idle draw the race-to-idle baseline becomes the true energy winner —
+// the classic race-to-idle crossover.
+func IdlePowerStudy(idleWatts []float64, tasks model.TaskSet) ([]IdleRow, error) {
+	if len(idleWatts) == 0 {
+		return nil, fmt.Errorf("experiments: empty idle-watts list")
+	}
+	if tasks == nil {
+		tasks = workload.SPECTasks()
+	}
+	plan, err := planWBG(BatchParams, tasks)
+	if err != nil {
+		return nil, err
+	}
+	var rows []IdleRow
+	for _, w := range idleWatts {
+		if w < 0 {
+			return nil, fmt.Errorf("experiments: negative idle watts %v", w)
+		}
+		plat := platform.Homogeneous(4, platform.TableII(), platform.Ideal{})
+		plat.IdleWatts = w
+
+		fp, err := sim.NewFixedPlan(plan)
+		if err != nil {
+			return nil, err
+		}
+		wbg, err := sim.Run(sim.Config{Platform: plat, Policy: fp}, tasks, BatchParams)
+		if err != nil {
+			return nil, err
+		}
+		race, err := sim.Run(sim.Config{
+			Platform:     plat,
+			Policy:       &sched.OLB{Governor: governor.Performance{}},
+			TickInterval: 1,
+		}, tasks, BatchParams)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, IdleRow{
+			IdleWatts:   w,
+			WBGEnergyJ:  wbg.TotalEnergy,
+			RaceEnergyJ: race.TotalEnergy,
+			WBGvsRace:   wbg.TotalEnergy / race.TotalEnergy,
+		})
+	}
+	return rows, nil
+}

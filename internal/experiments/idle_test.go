@@ -1,0 +1,37 @@
+package experiments
+
+import "testing"
+
+func TestIdlePowerStudyCrossover(t *testing.T) {
+	tasks := smallSPEC()
+	rows, err := IdlePowerStudy([]float64{0, 5, 50, 500}, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// With idle subtracted (0 W), throttling wins decisively.
+	if rows[0].WBGvsRace >= 1 {
+		t.Errorf("WBG not winning at 0 idle watts: %v", rows[0].WBGvsRace)
+	}
+	// The ratio rises monotonically with idle draw...
+	for i := 1; i < len(rows); i++ {
+		if rows[i].WBGvsRace <= rows[i-1].WBGvsRace {
+			t.Errorf("ratio not increasing: %v -> %v", rows[i-1].WBGvsRace, rows[i].WBGvsRace)
+		}
+	}
+	// ...and eventually race-to-idle becomes the energy winner.
+	if rows[len(rows)-1].WBGvsRace <= 1 {
+		t.Errorf("no crossover even at 500 W idle: %v", rows[len(rows)-1].WBGvsRace)
+	}
+}
+
+func TestIdlePowerStudyValidation(t *testing.T) {
+	if _, err := IdlePowerStudy(nil, smallSPEC()); err == nil {
+		t.Error("empty list accepted")
+	}
+	if _, err := IdlePowerStudy([]float64{-1}, smallSPEC()); err == nil {
+		t.Error("negative watts accepted")
+	}
+}

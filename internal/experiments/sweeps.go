@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dvfsched/internal/model"
+	"dvfsched/internal/online"
+	"dvfsched/internal/platform"
+	"dvfsched/internal/sim"
+	"dvfsched/internal/workload"
+)
+
+// PriceSweepRow is one point of the Rt/Re sensitivity sweep.
+type PriceSweepRow struct {
+	// RtOverRe is the time-to-energy price ratio.
+	RtOverRe float64
+	// OLBvsWBG and PSvsWBG are total-cost ratios normalized to WBG.
+	OLBvsWBG, PSvsWBG float64
+	// WBGEnergyShare is energy cost's share of WBG's total cost.
+	WBGEnergyShare float64
+	// WBGMinRateShare is the fraction of WBG's cycles run at the
+	// slowest rate (how aggressively the optimum throttles).
+	WBGMinRateShare float64
+}
+
+// PriceSweep reruns the Fig. 2 comparison across Rt/Re ratios,
+// exposing the crossover the cost model predicts: when waiting is
+// cheap (low ratio) the optimum throttles hard and beats the
+// race-to-idle baselines by a wide margin; as waiting grows expensive
+// the optimum converges to running everything fast and the advantage
+// shrinks.
+func PriceSweep(ratios []float64, tasks model.TaskSet) ([]PriceSweepRow, error) {
+	if len(ratios) == 0 {
+		return nil, fmt.Errorf("experiments: empty ratio list")
+	}
+	if tasks == nil {
+		tasks = workload.SPECTasks()
+	}
+	rows := make([]PriceSweepRow, 0, len(ratios))
+	for _, r := range ratios {
+		if r <= 0 {
+			return nil, fmt.Errorf("experiments: non-positive ratio %v", r)
+		}
+		params := model.CostParams{Re: 0.1, Rt: 0.1 * r}
+		res, err := Fig2(Fig2Config{Tasks: tasks, Params: params})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: price sweep at ratio %v: %w", r, err)
+		}
+		row := PriceSweepRow{
+			RtOverRe:       r,
+			OLBvsWBG:       res.OLBvsWBG[2],
+			PSvsWBG:        res.PSvsWBG[2],
+			WBGEnergyShare: res.WBG.EnergyCost / res.WBG.TotalCost,
+		}
+		row.WBGMinRateShare = minRateShare(params, tasks)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// minRateShare computes the fraction of cycles the WBG plan runs at
+// the slowest rate.
+func minRateShare(params model.CostParams, tasks model.TaskSet) float64 {
+	plan, err := planWBG(params, tasks)
+	if err != nil {
+		return 0
+	}
+	var min, total float64
+	for _, cp := range plan.Cores {
+		for _, a := range cp.Sequence {
+			total += a.Task.Cycles
+			if a.Level.Rate == platform.TableII().Min().Rate {
+				min += a.Task.Cycles
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return min / total
+}
+
+// GranularityRow is one point of the frequency-granularity sweep.
+type GranularityRow struct {
+	// Levels is the number of discrete rates available.
+	Levels int
+	// EnergyVsAllMax is WBG's energy relative to running every task
+	// at the top rate.
+	EnergyVsAllMax float64
+	// TotalVsAllMax is the same for total cost.
+	TotalVsAllMax float64
+}
+
+// GranularitySweep measures how much of WBG's saving survives as the
+// frequency menu coarsens: the 12-step i7 ladder, the paper's 5-step
+// Table II, a 3-step subset, and a 2-step subset.
+func GranularitySweep(tasks model.TaskSet) ([]GranularityRow, error) {
+	if tasks == nil {
+		tasks = workload.SPECTasks()
+	}
+	full := platform.TableII()
+	three, err := full.Restrict(func(l model.RateLevel) bool {
+		return l.Rate == 1.6 || l.Rate == 2.4 || l.Rate == 3.0
+	})
+	if err != nil {
+		return nil, err
+	}
+	two, err := full.Restrict(func(l model.RateLevel) bool {
+		return l.Rate == 1.6 || l.Rate == 3.0
+	})
+	if err != nil {
+		return nil, err
+	}
+	menus := []*model.RateTable{two, three, full, platform.IntelI7950()}
+
+	var rows []GranularityRow
+	for _, rt := range menus {
+		plan, err := planWBGWith(BatchParams, rt, tasks)
+		if err != nil {
+			return nil, err
+		}
+		joules, _, _ := plan.EnergyTime()
+		_, _, total := plan.Cost()
+
+		maxOnly, err := rt.Restrict(func(l model.RateLevel) bool { return l.Rate == rt.Max().Rate })
+		if err != nil {
+			return nil, err
+		}
+		base, err := planWBGWith(BatchParams, maxOnly, tasks)
+		if err != nil {
+			return nil, err
+		}
+		baseJ, _, _ := base.EnergyTime()
+		_, _, baseTotal := base.Cost()
+		rows = append(rows, GranularityRow{
+			Levels:         rt.Len(),
+			EnergyVsAllMax: joules / baseJ,
+			TotalVsAllMax:  total / baseTotal,
+		})
+	}
+	return rows, nil
+}
+
+// EstimatorRow is one point of the length-estimation sweep.
+type EstimatorRow struct {
+	// Sigma is the lognormal shape of submission lengths (higher =
+	// harder to predict from the mean).
+	Sigma float64
+	// EstimatedVsOracle is the estimated-length LMC's total cost
+	// normalized to the oracle-length LMC.
+	EstimatedVsOracle float64
+}
+
+// EstimatorSweep quantifies the cost of the paper's deployment
+// shortcut — predicting each submission's length as the mean of past
+// completions — as workload variability grows.
+func EstimatorSweep(sigmas []float64, seed int64) ([]EstimatorRow, error) {
+	if len(sigmas) == 0 {
+		return nil, fmt.Errorf("experiments: empty sigma list")
+	}
+	var rows []EstimatorRow
+	for _, sigma := range sigmas {
+		judge := workload.DefaultJudgeConfig()
+		judge.Interactive, judge.NonInteractive, judge.Duration = 2000, 300, 500
+		judge.SubmitSigma = sigma
+		tasks, err := judge.Generate(rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return nil, err
+		}
+		plat := platform.Homogeneous(4, platform.TableII(), platform.Ideal{})
+		run := func(p sim.Policy) (float64, error) {
+			res, err := sim.Run(sim.Config{Platform: plat, Policy: p}, tasks, OnlineParams)
+			if err != nil {
+				return 0, err
+			}
+			return res.TotalCost, nil
+		}
+		oracle, err := online.NewLMC(OnlineParams)
+		if err != nil {
+			return nil, err
+		}
+		oc, err := run(oracle)
+		if err != nil {
+			return nil, err
+		}
+		estimated, err := online.NewLMCEstimated(OnlineParams)
+		if err != nil {
+			return nil, err
+		}
+		ec, err := run(estimated)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, EstimatorRow{Sigma: sigma, EstimatedVsOracle: ec / oc})
+	}
+	return rows, nil
+}
+
+// CoreSweepRow is one point of the core-count scaling sweep.
+type CoreSweepRow struct {
+	// Cores is the platform size.
+	Cores int
+	// OLBvsLMC and ODvsLMC are total-cost ratios normalized to LMC.
+	OLBvsLMC, ODvsLMC float64
+}
+
+// CoreSweep reruns the Fig. 3 comparison across platform sizes with a
+// load scaled proportionally, showing where LMC's advantage grows or
+// shrinks with parallelism.
+func CoreSweep(cores []int, seed int64) ([]CoreSweepRow, error) {
+	if len(cores) == 0 {
+		return nil, fmt.Errorf("experiments: empty core list")
+	}
+	var rows []CoreSweepRow
+	for _, n := range cores {
+		if n <= 0 {
+			return nil, fmt.Errorf("experiments: bad core count %d", n)
+		}
+		judge := workload.DefaultJudgeConfig()
+		judge.Interactive = 1500 * n
+		judge.NonInteractive = 130 * n
+		judge.Duration = 600
+		tasks, err := judge.Generate(rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return nil, err
+		}
+		res, err := Fig3(Fig3Config{Tasks: tasks, Cores: n})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: core sweep at %d: %w", n, err)
+		}
+		rows = append(rows, CoreSweepRow{Cores: n, OLBvsLMC: res.OLBvsLMC[2], ODvsLMC: res.ODvsLMC[2]})
+	}
+	return rows, nil
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestPriceSweepCrossover(t *testing.T) {
+	tasks := smallSPEC()
+	rows, err := PriceSweep([]float64{0.5, 4, 32}, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// When waiting is cheap the optimum throttles hard; as Rt/Re
+	// grows it throttles less.
+	if rows[0].WBGMinRateShare <= rows[2].WBGMinRateShare {
+		t.Errorf("min-rate share did not shrink with Rt/Re: %v -> %v",
+			rows[0].WBGMinRateShare, rows[2].WBGMinRateShare)
+	}
+	// WBG never loses to the baselines at any price point.
+	for _, r := range rows {
+		if r.OLBvsWBG < 1 || r.PSvsWBG < 1 {
+			t.Errorf("ratio below 1 at Rt/Re=%v: OLB %v PS %v", r.RtOverRe, r.OLBvsWBG, r.PSvsWBG)
+		}
+		if r.WBGEnergyShare <= 0 || r.WBGEnergyShare >= 1 {
+			t.Errorf("energy share out of range: %v", r.WBGEnergyShare)
+		}
+	}
+	// Energy's share of the total falls as time gets pricier.
+	if rows[0].WBGEnergyShare <= rows[2].WBGEnergyShare {
+		t.Errorf("energy share did not fall: %v -> %v", rows[0].WBGEnergyShare, rows[2].WBGEnergyShare)
+	}
+	if _, err := PriceSweep(nil, tasks); err == nil {
+		t.Error("empty ratios accepted")
+	}
+	if _, err := PriceSweep([]float64{-1}, tasks); err == nil {
+		t.Error("negative ratio accepted")
+	}
+}
+
+func TestGranularitySweepMonotone(t *testing.T) {
+	rows, err := GranularitySweep(smallSPEC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		if r.EnergyVsAllMax >= 1 {
+			t.Errorf("row %d: no energy saving vs all-max (%v)", i, r.EnergyVsAllMax)
+		}
+		if r.TotalVsAllMax >= 1 {
+			t.Errorf("row %d: no total saving vs all-max (%v)", i, r.TotalVsAllMax)
+		}
+		if i > 0 && rows[i].Levels <= rows[i-1].Levels {
+			t.Error("levels not increasing")
+		}
+	}
+	// A finer menu can only help the optimizer: the 12-step ladder's
+	// total must not be worse than the 2-step subset's.
+	if rows[len(rows)-1].TotalVsAllMax > rows[0].TotalVsAllMax+0.02 {
+		t.Errorf("finer menu did worse: %v vs %v", rows[len(rows)-1].TotalVsAllMax, rows[0].TotalVsAllMax)
+	}
+}
+
+func TestEstimatorSweep(t *testing.T) {
+	rows, err := EstimatorSweep([]float64{0.2, 1.0}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// Estimation can't beat the oracle by more than noise, and
+		// shouldn't blow up.
+		if r.EstimatedVsOracle < 0.95 || r.EstimatedVsOracle > 5 {
+			t.Errorf("sigma %v: ratio %v out of range", r.Sigma, r.EstimatedVsOracle)
+		}
+	}
+	if _, err := EstimatorSweep(nil, 1); err == nil {
+		t.Error("empty sigmas accepted")
+	}
+}
+
+func TestCoreSweep(t *testing.T) {
+	rows, err := CoreSweep([]int{2, 4}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.OLBvsLMC <= 1 || r.ODvsLMC <= 1 {
+			t.Errorf("%d cores: LMC not winning (OLB %v, OD %v)", r.Cores, r.OLBvsLMC, r.ODvsLMC)
+		}
+	}
+	if _, err := CoreSweep([]int{0}, 1); err == nil {
+		t.Error("zero cores accepted")
+	}
+	if _, err := CoreSweep(nil, 1); err == nil {
+		t.Error("empty list accepted")
+	}
+}

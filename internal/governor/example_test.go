@@ -1,0 +1,26 @@
+package governor_test
+
+import (
+	"fmt"
+
+	"dvfsched/internal/governor"
+	"dvfsched/internal/platform"
+)
+
+// The on-demand governor jumps to the top frequency at 85% load and
+// steps down one level per quiet period, exactly as the paper
+// configures Linux's governor for its baselines.
+func ExampleOnDemand() {
+	g := governor.DefaultOnDemand()
+	rt := platform.TableII()
+	idx := 0 // start at 1.6 GHz
+	for _, busy := range []float64{0.9, 0.5, 0.2, 0.95} {
+		idx = g.Next(rt, idx, busy)
+		fmt.Printf("load %.0f%% -> %.1f GHz\n", busy*100, rt.Level(idx).Rate)
+	}
+	// Output:
+	// load 90% -> 3.0 GHz
+	// load 50% -> 2.8 GHz
+	// load 20% -> 2.4 GHz
+	// load 95% -> 3.0 GHz
+}

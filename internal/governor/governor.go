@@ -1,0 +1,136 @@
+// Package governor reimplements the Linux cpufreq governor policies
+// the paper uses as baselines (Section V): On-demand, which jumps to
+// the maximum frequency when a core's load crosses a threshold and
+// steps down one level otherwise; Performance and Powersave, which pin
+// the extremes; Userspace, which pins a chosen level; and
+// Conservative, which steps in both directions.
+//
+// A governor is a pure decision function from (rate table, current
+// level, observed busy fraction) to the next level index; the
+// simulator's tick callback applies it.
+package governor
+
+import (
+	"fmt"
+
+	"dvfsched/internal/model"
+)
+
+// Governor decides a core's next frequency level once per sampling
+// period.
+type Governor interface {
+	// Name identifies the governor.
+	Name() string
+	// Next returns the next level index given the current index and
+	// the busy fraction (0..1) observed over the last period.
+	Next(rt *model.RateTable, currentIdx int, busyFraction float64) int
+}
+
+// OnDemand mirrors Linux's ondemand governor as the paper describes
+// it: load at or above UpThreshold jumps straight to the highest
+// frequency; below it, the frequency drops one level per period.
+type OnDemand struct {
+	// UpThreshold is the load fraction that triggers max frequency;
+	// the paper uses 0.85.
+	UpThreshold float64
+}
+
+// DefaultOnDemand returns the paper's 85%-threshold configuration.
+func DefaultOnDemand() OnDemand { return OnDemand{UpThreshold: 0.85} }
+
+// Name implements Governor.
+func (OnDemand) Name() string { return "ondemand" }
+
+// Next implements Governor.
+func (g OnDemand) Next(rt *model.RateTable, currentIdx int, busy float64) int {
+	if busy >= g.UpThreshold {
+		return rt.Len() - 1
+	}
+	if currentIdx > 0 {
+		return currentIdx - 1
+	}
+	return 0
+}
+
+// Performance always selects the highest frequency.
+type Performance struct{}
+
+// Name implements Governor.
+func (Performance) Name() string { return "performance" }
+
+// Next implements Governor.
+func (Performance) Next(rt *model.RateTable, _ int, _ float64) int { return rt.Len() - 1 }
+
+// Powersave always selects the lowest frequency.
+type Powersave struct{}
+
+// Name implements Governor.
+func (Powersave) Name() string { return "powersave" }
+
+// Next implements Governor.
+func (Powersave) Next(*model.RateTable, int, float64) int { return 0 }
+
+// Userspace pins a fixed level, like writing scaling_setspeed with the
+// userspace governor as the paper's experiment setup does.
+type Userspace struct {
+	// Index is the pinned level index.
+	Index int
+}
+
+// Name implements Governor.
+func (Userspace) Name() string { return "userspace" }
+
+// Next implements Governor.
+func (g Userspace) Next(rt *model.RateTable, _ int, _ float64) int {
+	if g.Index < 0 {
+		return 0
+	}
+	if g.Index >= rt.Len() {
+		return rt.Len() - 1
+	}
+	return g.Index
+}
+
+// Conservative steps one level up above UpThreshold and one level down
+// below DownThreshold, like Linux's conservative governor.
+type Conservative struct {
+	// UpThreshold triggers a one-step increase (e.g. 0.8).
+	UpThreshold float64
+	// DownThreshold triggers a one-step decrease (e.g. 0.2).
+	DownThreshold float64
+}
+
+// DefaultConservative returns the common 80/20 configuration.
+func DefaultConservative() Conservative {
+	return Conservative{UpThreshold: 0.8, DownThreshold: 0.2}
+}
+
+// Name implements Governor.
+func (Conservative) Name() string { return "conservative" }
+
+// Next implements Governor.
+func (g Conservative) Next(rt *model.RateTable, currentIdx int, busy float64) int {
+	switch {
+	case busy >= g.UpThreshold && currentIdx < rt.Len()-1:
+		return currentIdx + 1
+	case busy <= g.DownThreshold && currentIdx > 0:
+		return currentIdx - 1
+	default:
+		return currentIdx
+	}
+}
+
+// Validate checks a governor's configuration.
+func Validate(g Governor) error {
+	switch v := g.(type) {
+	case OnDemand:
+		if v.UpThreshold <= 0 || v.UpThreshold > 1 {
+			return fmt.Errorf("governor: ondemand threshold %v outside (0,1]", v.UpThreshold)
+		}
+	case Conservative:
+		if v.UpThreshold <= 0 || v.UpThreshold > 1 || v.DownThreshold < 0 || v.DownThreshold >= v.UpThreshold {
+			return fmt.Errorf("governor: conservative thresholds (%v, %v) invalid", v.DownThreshold, v.UpThreshold)
+		}
+	}
+	return nil
+}

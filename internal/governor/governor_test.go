@@ -1,0 +1,107 @@
+package governor
+
+import (
+	"testing"
+
+	"dvfsched/internal/model"
+)
+
+func table2() *model.RateTable {
+	return model.MustRateTable([]model.RateLevel{
+		{Rate: 1.6, Energy: 3.375, Time: 0.625},
+		{Rate: 2.0, Energy: 4.22, Time: 0.5},
+		{Rate: 2.4, Energy: 5.0, Time: 0.42},
+		{Rate: 2.8, Energy: 6.0, Time: 0.36},
+		{Rate: 3.0, Energy: 7.1, Time: 0.33},
+	})
+}
+
+func TestOnDemand(t *testing.T) {
+	g := DefaultOnDemand()
+	rt := table2()
+	if got := g.Next(rt, 0, 0.9); got != rt.Len()-1 {
+		t.Errorf("high load -> %d, want max index", got)
+	}
+	if got := g.Next(rt, 0, 0.85); got != rt.Len()-1 {
+		t.Errorf("load at threshold should jump to max, got %d", got)
+	}
+	if got := g.Next(rt, 3, 0.5); got != 2 {
+		t.Errorf("low load -> %d, want one step down", got)
+	}
+	if got := g.Next(rt, 0, 0.1); got != 0 {
+		t.Errorf("bottom stays bottom, got %d", got)
+	}
+}
+
+func TestPerformanceAndPowersave(t *testing.T) {
+	rt := table2()
+	if (Performance{}).Next(rt, 0, 0) != rt.Len()-1 {
+		t.Error("performance not max")
+	}
+	if (Powersave{}).Next(rt, 4, 1.0) != 0 {
+		t.Error("powersave not min")
+	}
+}
+
+func TestUserspaceClamps(t *testing.T) {
+	rt := table2()
+	if (Userspace{Index: 2}).Next(rt, 0, 0) != 2 {
+		t.Error("userspace ignored index")
+	}
+	if (Userspace{Index: -5}).Next(rt, 0, 0) != 0 {
+		t.Error("negative index not clamped")
+	}
+	if (Userspace{Index: 99}).Next(rt, 0, 0) != rt.Len()-1 {
+		t.Error("large index not clamped")
+	}
+}
+
+func TestConservativeSteps(t *testing.T) {
+	g := DefaultConservative()
+	rt := table2()
+	if got := g.Next(rt, 2, 0.9); got != 3 {
+		t.Errorf("high load -> %d, want 3", got)
+	}
+	if got := g.Next(rt, 2, 0.1); got != 1 {
+		t.Errorf("low load -> %d, want 1", got)
+	}
+	if got := g.Next(rt, 2, 0.5); got != 2 {
+		t.Errorf("mid load -> %d, want unchanged", got)
+	}
+	if got := g.Next(rt, rt.Len()-1, 1.0); got != rt.Len()-1 {
+		t.Error("top should stay top")
+	}
+	if got := g.Next(rt, 0, 0.0); got != 0 {
+		t.Error("bottom should stay bottom")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := []Governor{
+		DefaultOnDemand(), DefaultConservative(), Performance{}, Powersave{}, Userspace{Index: 1},
+	}
+	for _, g := range good {
+		if err := Validate(g); err != nil {
+			t.Errorf("%s: %v", g.Name(), err)
+		}
+	}
+	bad := []Governor{
+		OnDemand{UpThreshold: 0},
+		OnDemand{UpThreshold: 1.5},
+		Conservative{UpThreshold: 0.2, DownThreshold: 0.8},
+		Conservative{UpThreshold: 0, DownThreshold: 0},
+	}
+	for _, g := range bad {
+		if err := Validate(g); err == nil {
+			t.Errorf("%s config accepted: %+v", g.Name(), g)
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	for _, g := range []Governor{DefaultOnDemand(), Performance{}, Powersave{}, Userspace{}, DefaultConservative()} {
+		if g.Name() == "" {
+			t.Error("empty governor name")
+		}
+	}
+}

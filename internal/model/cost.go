@@ -1,0 +1,102 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// CostParams holds the two monetary conversion constants of the cost
+// model (Section III-B).
+type CostParams struct {
+	// Re is the cost of one joule of energy, in cents (the
+	// electricity-bill rate).
+	Re float64
+	// Rt is the amount paid per second a user waits for a task, in
+	// cents (an opportunity cost).
+	Rt float64
+}
+
+// Validate checks that both constants are positive, as the model
+// requires.
+func (cp CostParams) Validate() error {
+	if cp.Re <= 0 || math.IsNaN(cp.Re) || math.IsInf(cp.Re, 0) {
+		return fmt.Errorf("model: Re must be positive and finite, got %v", cp.Re)
+	}
+	if cp.Rt <= 0 || math.IsNaN(cp.Rt) || math.IsInf(cp.Rt, 0) {
+		return fmt.Errorf("model: Rt must be positive and finite, got %v", cp.Rt)
+	}
+	return nil
+}
+
+// TaskEnergy returns e_k = L_k * E(p) in joules (Eq. 1).
+func TaskEnergy(cycles float64, level RateLevel) float64 { return cycles * level.Energy }
+
+// TaskTime returns t_k = L_k * T(p) in seconds (Eq. 2).
+func TaskTime(cycles float64, level RateLevel) float64 { return cycles * level.Time }
+
+// PositionCost is C(k, p) = Re*E(p) + (n-k+1)*Rt*T(p) (Eq. 12): the
+// per-cycle cost of running the task at forward position k of n at rate
+// p, accounting for the delay it inflicts on itself and on the n-k
+// tasks behind it.
+func (cp CostParams) PositionCost(k, n int, level RateLevel) float64 {
+	return cp.Re*level.Energy + float64(n-k+1)*cp.Rt*level.Time
+}
+
+// BackwardPositionCost is C^B(k, p) = Re*E(p) + k*Rt*T(p) (Eq. 20): the
+// per-cycle cost at backward position k (k = 1 is the last task to run,
+// so only its own waiting time matters). Backward indexing removes the
+// dependence on n.
+func (cp CostParams) BackwardPositionCost(k int, level RateLevel) float64 {
+	return cp.Re*level.Energy + float64(k)*cp.Rt*level.Time
+}
+
+// BestBackwardLevel returns C^B(k) = min over p of C^B(k, p) and the
+// level achieving it, choosing the higher processing rate in case of a
+// tie (the paper's tie-break rule). It is the naive Θ(|P|) evaluation;
+// package envelope computes all positions at once.
+func (cp CostParams) BestBackwardLevel(k int, rt *RateTable) (RateLevel, float64) {
+	best := rt.Min()
+	bestCost := cp.BackwardPositionCost(k, best)
+	for i := 1; i < rt.Len(); i++ {
+		l := rt.Level(i)
+		if c := cp.BackwardPositionCost(k, l); c <= bestCost {
+			// <= prefers the higher rate on ties because levels
+			// are scanned in ascending rate order.
+			best, bestCost = l, c
+		}
+	}
+	return best, bestCost
+}
+
+// Assignment pairs a task with the rate level chosen for it.
+type Assignment struct {
+	Task  Task
+	Level RateLevel
+}
+
+// SequenceCost evaluates the analytic cost model (Eq. 8) for one core
+// executing seq in order: each task's energy cost plus Rt times its
+// turnaround time (waiting for all predecessors plus its own run).
+// startTime shifts every turnaround by the core's first-available time.
+// It returns the energy cost, temporal cost, and their sum, in cents.
+func (cp CostParams) SequenceCost(seq []Assignment, startTime float64) (energyCost, timeCost, total float64) {
+	elapsed := startTime
+	for _, a := range seq {
+		energyCost += cp.Re * TaskEnergy(a.Task.Cycles, a.Level)
+		elapsed += TaskTime(a.Task.Cycles, a.Level)
+		timeCost += cp.Rt * elapsed
+	}
+	return energyCost, timeCost, energyCost + timeCost
+}
+
+// SequenceEnergyTime returns the raw physical totals of a sequence: the
+// energy in joules and the makespan in seconds, plus the sum of
+// turnaround times in seconds.
+func SequenceEnergyTime(seq []Assignment) (joules, makespan, turnaroundSum float64) {
+	for _, a := range seq {
+		joules += TaskEnergy(a.Task.Cycles, a.Level)
+		makespan += TaskTime(a.Task.Cycles, a.Level)
+		turnaroundSum += makespan
+	}
+	return joules, makespan, turnaroundSum
+}

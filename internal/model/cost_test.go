@@ -1,0 +1,165 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCostParamsValidate(t *testing.T) {
+	if err := (CostParams{Re: 0.1, Rt: 0.4}).Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	bad := []CostParams{
+		{Re: 0, Rt: 1},
+		{Re: 1, Rt: 0},
+		{Re: -1, Rt: 1},
+		{Re: math.NaN(), Rt: 1},
+		{Re: 1, Rt: math.Inf(1)},
+	}
+	for _, cp := range bad {
+		if err := cp.Validate(); err == nil {
+			t.Errorf("expected error for %+v", cp)
+		}
+	}
+}
+
+func TestTaskEnergyAndTime(t *testing.T) {
+	l := RateLevel{Rate: 2, Energy: 4.22, Time: 0.5}
+	if e := TaskEnergy(10, l); math.Abs(e-42.2) > 1e-12 {
+		t.Errorf("TaskEnergy = %v, want 42.2", e)
+	}
+	if d := TaskTime(10, l); d != 5 {
+		t.Errorf("TaskTime = %v, want 5", d)
+	}
+}
+
+func TestPositionCostRelations(t *testing.T) {
+	cp := CostParams{Re: 0.1, Rt: 0.4}
+	l := RateLevel{Rate: 2, Energy: 4.22, Time: 0.5}
+	n := 10
+	// C(k, p) with forward index k equals C^B(n-k+1, p).
+	for k := 1; k <= n; k++ {
+		fwd := cp.PositionCost(k, n, l)
+		bwd := cp.BackwardPositionCost(n-k+1, l)
+		if math.Abs(fwd-bwd) > 1e-12 {
+			t.Fatalf("C(%d,%d)=%v != C^B(%d)=%v", k, n, fwd, n-k+1, bwd)
+		}
+	}
+	// C^B(1) = Re*E + Rt*T.
+	if got, want := cp.BackwardPositionCost(1, l), 0.1*4.22+0.4*0.5; math.Abs(got-want) > 1e-12 {
+		t.Errorf("C^B(1) = %v, want %v", got, want)
+	}
+}
+
+func TestBestBackwardLevelMonotone(t *testing.T) {
+	// Lemma 2 restated backward: C^B(k) is increasing in k, and the
+	// chosen rate is non-decreasing in k (more tasks behind -> faster).
+	cp := CostParams{Re: 0.1, Rt: 0.4}
+	rt := MustRateTable(table2Levels())
+	prevCost := -1.0
+	prevRate := 0.0
+	for k := 1; k <= 200; k++ {
+		l, c := cp.BestBackwardLevel(k, rt)
+		if c <= prevCost {
+			t.Fatalf("C^B(k) not increasing at k=%d: %v <= %v", k, c, prevCost)
+		}
+		if l.Rate < prevRate {
+			t.Fatalf("optimal rate decreased at k=%d: %v < %v", k, l.Rate, prevRate)
+		}
+		prevCost, prevRate = c, l.Rate
+	}
+	// For huge k the fastest rate must win; for k=1 with heavily
+	// energy-weighted params the slowest must win.
+	if l, _ := cp.BestBackwardLevel(1_000_000, rt); l.Rate != rt.Max().Rate {
+		t.Errorf("k=1e6 chose %v, want max %v", l.Rate, rt.Max().Rate)
+	}
+	energyHeavy := CostParams{Re: 100, Rt: 0.0001}
+	if l, _ := energyHeavy.BestBackwardLevel(1, rt); l.Rate != rt.Min().Rate {
+		t.Errorf("energy-heavy k=1 chose %v, want min %v", l.Rate, rt.Min().Rate)
+	}
+}
+
+func TestBestBackwardLevelTieBreaksHigh(t *testing.T) {
+	// Two rates engineered to tie at k = 1: Re(E2-E1) = Rt(T1-T2).
+	cp := CostParams{Re: 1, Rt: 1}
+	rt := MustRateTable([]RateLevel{
+		{Rate: 1, Energy: 1, Time: 2},
+		{Rate: 2, Energy: 2, Time: 1},
+	})
+	l, _ := cp.BestBackwardLevel(1, rt)
+	if l.Rate != 2 {
+		t.Errorf("tie broke to %v, want the higher rate 2", l.Rate)
+	}
+}
+
+func TestSequenceCost(t *testing.T) {
+	cp := CostParams{Re: 0.1, Rt: 0.4}
+	l1 := RateLevel{Rate: 1, Energy: 1, Time: 1}
+	l2 := RateLevel{Rate: 2, Energy: 4, Time: 0.5}
+	seq := []Assignment{
+		{Task: Task{Cycles: 2}, Level: l1}, // runs [0,2): energy 2, turnaround 2
+		{Task: Task{Cycles: 4}, Level: l2}, // runs [2,4): energy 16, turnaround 4
+	}
+	e, tc, total := cp.SequenceCost(seq, 0)
+	wantE := 0.1 * (2 + 16)
+	wantT := 0.4 * (2 + 4)
+	if math.Abs(e-wantE) > 1e-12 || math.Abs(tc-wantT) > 1e-12 {
+		t.Errorf("SequenceCost = (%v, %v), want (%v, %v)", e, tc, wantE, wantT)
+	}
+	if math.Abs(total-(wantE+wantT)) > 1e-12 {
+		t.Errorf("total = %v", total)
+	}
+	// A non-zero start time delays every turnaround.
+	_, tc2, _ := cp.SequenceCost(seq, 10)
+	if math.Abs(tc2-0.4*(12+14)) > 1e-12 {
+		t.Errorf("shifted time cost = %v", tc2)
+	}
+	// Empty sequence costs nothing.
+	if _, _, tot := cp.SequenceCost(nil, 5); tot != 0 {
+		t.Errorf("empty sequence cost = %v", tot)
+	}
+}
+
+func TestSequenceEnergyTime(t *testing.T) {
+	l := RateLevel{Rate: 1, Energy: 2, Time: 1}
+	seq := []Assignment{
+		{Task: Task{Cycles: 1}, Level: l},
+		{Task: Task{Cycles: 3}, Level: l},
+	}
+	j, mk, ta := SequenceEnergyTime(seq)
+	if j != 8 || mk != 4 || ta != 1+4 {
+		t.Errorf("got (%v,%v,%v), want (8,4,5)", j, mk, ta)
+	}
+}
+
+// Property (Eq. 8 vs Eq. 9 equivalence): summing waiting-time costs per
+// task equals attributing each task's delay to all tasks at or behind
+// it.
+func TestCostRewriteEquivalence(t *testing.T) {
+	cp := CostParams{Re: 0.1, Rt: 0.4}
+	rt := MustRateTable(table2Levels())
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		seq := make([]Assignment, n)
+		for i := range seq {
+			seq[i] = Assignment{
+				Task:  Task{ID: i, Cycles: 0.1 + rng.Float64()*10},
+				Level: rt.Level(rng.Intn(rt.Len())),
+			}
+		}
+		_, _, direct := cp.SequenceCost(seq, 0)
+		// Eq. 11: C = sum over k of C(k, p_k) * L_k.
+		var rewritten float64
+		for k := 1; k <= n; k++ {
+			a := seq[k-1]
+			rewritten += cp.PositionCost(k, n, a.Level) * a.Task.Cycles
+		}
+		return math.Abs(direct-rewritten) <= 1e-9*math.Max(1, math.Abs(direct))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

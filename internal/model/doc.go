@@ -1,0 +1,12 @@
+// Package model defines the paper's core abstractions: tasks, discrete
+// per-core processing rates with their energy/time-per-cycle functions,
+// and the monetary cost model combining energy cost and temporal cost.
+//
+// Units are chosen so Table II of the paper reads literally:
+//
+//   - task lengths L are in Gcycles (10^9 cycles),
+//   - processing rates p are in GHz,
+//   - T(p) is in ns/cycle, so time[s] = L * T(p),
+//   - E(p) is in nJ/cycle, so energy[J] = L * E(p),
+//   - Re is cents per joule, Rt is cents per second, costs are in cents.
+package model

@@ -1,0 +1,36 @@
+package model_test
+
+import (
+	"fmt"
+
+	"dvfsched/internal/model"
+)
+
+// The cost model prices a task's energy and the waiting it causes:
+// the per-cycle position cost C^B(k, p) falls out of Eq. 11.
+func ExampleCostParams_BackwardPositionCost() {
+	params := model.CostParams{Re: 0.1, Rt: 0.4}
+	slow := model.RateLevel{Rate: 1.6, Energy: 3.375, Time: 0.625}
+	fast := model.RateLevel{Rate: 3.0, Energy: 7.1, Time: 0.33}
+	// A task that runs last (k=1) is cheapest slow; one with 19
+	// tasks behind it (k=20) is cheapest fast.
+	fmt.Printf("k=1:  slow %.3f, fast %.3f\n",
+		params.BackwardPositionCost(1, slow), params.BackwardPositionCost(1, fast))
+	fmt.Printf("k=20: slow %.3f, fast %.3f\n",
+		params.BackwardPositionCost(20, slow), params.BackwardPositionCost(20, fast))
+	// Output:
+	// k=1:  slow 0.588, fast 0.842
+	// k=20: slow 5.338, fast 3.350
+}
+
+// A rate table validates the paper's monotonicity assumptions:
+// faster levels must cost more energy per cycle and less time.
+func ExampleNewRateTable() {
+	_, err := model.NewRateTable([]model.RateLevel{
+		{Rate: 1, Energy: 2, Time: 1},
+		{Rate: 2, Energy: 1, Time: 0.5}, // E(p) must increase
+	})
+	fmt.Println(err != nil)
+	// Output:
+	// true
+}

@@ -1,0 +1,175 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// RateLevel is one discrete processing rate a core can use, together
+// with its per-cycle energy and time functions E(p) and T(p).
+type RateLevel struct {
+	// Rate is p in GHz.
+	Rate float64
+	// Energy is E(p) in nJ/cycle. E must be strictly increasing in p.
+	Energy float64
+	// Time is T(p) in ns/cycle. T must be strictly decreasing in p.
+	// For a simple clock model T(p) = 1/p.
+	Time float64
+}
+
+// RateTable is the non-empty set P = {p1 < p2 < ... < p|P|} of discrete
+// processing rates of one core, with E and T defined per level. The
+// zero value is not usable; construct with NewRateTable or a platform
+// preset and call Validate.
+type RateTable struct {
+	levels []RateLevel
+}
+
+// NewRateTable builds a RateTable from levels, sorting them by rate.
+// It returns an error if the table violates the paper's model
+// assumptions: rates positive and distinct, 0 < E(p1) < E(p2) < ... and
+// 0 < ... < T(p2) < T(p1).
+func NewRateTable(levels []RateLevel) (*RateTable, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("model: rate table must be non-empty")
+	}
+	ls := make([]RateLevel, len(levels))
+	copy(ls, levels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Rate < ls[j].Rate })
+	rt := &RateTable{levels: ls}
+	if err := rt.Validate(); err != nil {
+		return nil, err
+	}
+	return rt, nil
+}
+
+// MustRateTable is NewRateTable that panics on error; intended for
+// package-level platform presets built from literal tables.
+func MustRateTable(levels []RateLevel) *RateTable {
+	rt, err := NewRateTable(levels)
+	if err != nil {
+		panic(err)
+	}
+	return rt
+}
+
+// UniformRateTable builds a table with T(p) = 1/p and E(p) = base*p^2
+// (dynamic power proportional to the square of frequency, the classical
+// model the paper's NP-completeness construction assumes), for the
+// given rates in GHz.
+func UniformRateTable(base float64, rates ...float64) (*RateTable, error) {
+	levels := make([]RateLevel, 0, len(rates))
+	for _, p := range rates {
+		if p <= 0 {
+			return nil, fmt.Errorf("model: non-positive rate %v", p)
+		}
+		levels = append(levels, RateLevel{Rate: p, Energy: base * p * p, Time: 1 / p})
+	}
+	return NewRateTable(levels)
+}
+
+// Validate checks the monotonicity assumptions of Section II-B/C.
+func (rt *RateTable) Validate() error {
+	if rt == nil || len(rt.levels) == 0 {
+		return fmt.Errorf("model: rate table must be non-empty")
+	}
+	for i, l := range rt.levels {
+		if l.Rate <= 0 || math.IsNaN(l.Rate) || math.IsInf(l.Rate, 0) {
+			return fmt.Errorf("model: level %d: rate must be positive and finite, got %v", i, l.Rate)
+		}
+		if l.Energy <= 0 || math.IsNaN(l.Energy) {
+			return fmt.Errorf("model: level %d: E(p) must be positive, got %v", i, l.Energy)
+		}
+		if l.Time <= 0 || math.IsNaN(l.Time) {
+			return fmt.Errorf("model: level %d: T(p) must be positive, got %v", i, l.Time)
+		}
+		if i > 0 {
+			prev := rt.levels[i-1]
+			if l.Rate == prev.Rate {
+				return fmt.Errorf("model: duplicate rate %v", l.Rate)
+			}
+			if l.Energy <= prev.Energy {
+				return fmt.Errorf("model: E(p) must be strictly increasing: E(%v)=%v <= E(%v)=%v",
+					l.Rate, l.Energy, prev.Rate, prev.Energy)
+			}
+			if l.Time >= prev.Time {
+				return fmt.Errorf("model: T(p) must be strictly decreasing: T(%v)=%v >= T(%v)=%v",
+					l.Rate, l.Time, prev.Rate, prev.Time)
+			}
+		}
+	}
+	return nil
+}
+
+// Len returns |P|.
+func (rt *RateTable) Len() int { return len(rt.levels) }
+
+// Level returns the i-th level, 0-indexed from slowest.
+func (rt *RateTable) Level(i int) RateLevel { return rt.levels[i] }
+
+// Levels returns a copy of all levels in ascending rate order.
+func (rt *RateTable) Levels() []RateLevel {
+	out := make([]RateLevel, len(rt.levels))
+	copy(out, rt.levels)
+	return out
+}
+
+// Min returns the slowest level p1.
+func (rt *RateTable) Min() RateLevel { return rt.levels[0] }
+
+// Max returns the fastest level p|P| (used for interactive tasks by
+// Least Marginal Cost, and by Opportunistic Load Balancing).
+func (rt *RateTable) Max() RateLevel { return rt.levels[len(rt.levels)-1] }
+
+// IndexOf returns the index of the level with the given rate, or -1.
+func (rt *RateTable) IndexOf(rate float64) int {
+	for i, l := range rt.levels {
+		if l.Rate == rate {
+			return i
+		}
+	}
+	return -1
+}
+
+// NearestBelow returns the highest level whose rate does not exceed
+// rate, or the slowest level if rate is below all of them. Governors
+// use it to clamp requested frequencies to hardware steps.
+func (rt *RateTable) NearestBelow(rate float64) RateLevel {
+	best := rt.levels[0]
+	for _, l := range rt.levels {
+		if l.Rate <= rate {
+			best = l
+		}
+	}
+	return best
+}
+
+// Restrict returns a new table keeping only levels for which keep
+// returns true. It is how the Power Saving baseline limits a core to
+// the lower half of its frequency range.
+func (rt *RateTable) Restrict(keep func(RateLevel) bool) (*RateTable, error) {
+	var ls []RateLevel
+	for _, l := range rt.levels {
+		if keep(l) {
+			ls = append(ls, l)
+		}
+	}
+	return NewRateTable(ls)
+}
+
+// RestrictMaxRate keeps only levels with Rate <= maxRate.
+func (rt *RateTable) RestrictMaxRate(maxRate float64) (*RateTable, error) {
+	return rt.Restrict(func(l RateLevel) bool { return l.Rate <= maxRate })
+}
+
+func (rt *RateTable) String() string {
+	s := "P={"
+	for i, l := range rt.levels {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%.3g", l.Rate)
+	}
+	return s + "} GHz"
+}

@@ -1,0 +1,190 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// table2Levels mirrors Table II of the paper.
+func table2Levels() []RateLevel {
+	return []RateLevel{
+		{Rate: 1.6, Energy: 3.375, Time: 0.625},
+		{Rate: 2.0, Energy: 4.22, Time: 0.5},
+		{Rate: 2.4, Energy: 5.0, Time: 0.42},
+		{Rate: 2.8, Energy: 6.0, Time: 0.36},
+		{Rate: 3.0, Energy: 7.1, Time: 0.33},
+	}
+}
+
+func TestNewRateTableSortsAndValidates(t *testing.T) {
+	levels := table2Levels()
+	// Shuffle input order; NewRateTable must sort.
+	levels[0], levels[4] = levels[4], levels[0]
+	rt, err := NewRateTable(levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", rt.Len())
+	}
+	if rt.Min().Rate != 1.6 || rt.Max().Rate != 3.0 {
+		t.Errorf("Min/Max = %v/%v", rt.Min().Rate, rt.Max().Rate)
+	}
+	for i := 1; i < rt.Len(); i++ {
+		if rt.Level(i).Rate <= rt.Level(i-1).Rate {
+			t.Error("levels not sorted ascending")
+		}
+	}
+}
+
+func TestNewRateTableRejectsBadTables(t *testing.T) {
+	cases := []struct {
+		name   string
+		levels []RateLevel
+	}{
+		{"empty", nil},
+		{"zero rate", []RateLevel{{Rate: 0, Energy: 1, Time: 1}}},
+		{"negative energy", []RateLevel{{Rate: 1, Energy: -1, Time: 1}}},
+		{"zero time", []RateLevel{{Rate: 1, Energy: 1, Time: 0}}},
+		{"duplicate rate", []RateLevel{
+			{Rate: 1, Energy: 1, Time: 1},
+			{Rate: 1, Energy: 2, Time: 0.5},
+		}},
+		{"non-increasing energy", []RateLevel{
+			{Rate: 1, Energy: 2, Time: 1},
+			{Rate: 2, Energy: 1, Time: 0.5},
+		}},
+		{"non-decreasing time", []RateLevel{
+			{Rate: 1, Energy: 1, Time: 0.5},
+			{Rate: 2, Energy: 2, Time: 0.5},
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := NewRateTable(c.levels); err == nil {
+				t.Errorf("expected error for %v", c.levels)
+			}
+		})
+	}
+}
+
+func TestMustRateTablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustRateTable did not panic on invalid input")
+		}
+	}()
+	MustRateTable(nil)
+}
+
+func TestUniformRateTable(t *testing.T) {
+	rt, err := UniformRateTable(1.0, 2, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Len() != 3 {
+		t.Fatalf("Len = %d", rt.Len())
+	}
+	// E(p) = p^2, T(p) = 1/p.
+	l := rt.Level(1) // rate 2
+	if l.Rate != 2 || l.Energy != 4 || l.Time != 0.5 {
+		t.Errorf("level = %+v", l)
+	}
+	if _, err := UniformRateTable(1.0, -1); err == nil {
+		t.Error("expected error for negative rate")
+	}
+	if _, err := UniformRateTable(1.0); err == nil {
+		t.Error("expected error for empty rates")
+	}
+}
+
+func TestIndexOfAndNearestBelow(t *testing.T) {
+	rt := MustRateTable(table2Levels())
+	if i := rt.IndexOf(2.4); i != 2 {
+		t.Errorf("IndexOf(2.4) = %d, want 2", i)
+	}
+	if i := rt.IndexOf(9.9); i != -1 {
+		t.Errorf("IndexOf(9.9) = %d, want -1", i)
+	}
+	if l := rt.NearestBelow(2.5); l.Rate != 2.4 {
+		t.Errorf("NearestBelow(2.5) = %v, want 2.4", l.Rate)
+	}
+	if l := rt.NearestBelow(0.5); l.Rate != 1.6 {
+		t.Errorf("NearestBelow(0.5) = %v, want slowest 1.6", l.Rate)
+	}
+	if l := rt.NearestBelow(99); l.Rate != 3.0 {
+		t.Errorf("NearestBelow(99) = %v, want 3.0", l.Rate)
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	rt := MustRateTable(table2Levels())
+	// The Power Saving baseline keeps the lower half: 1.6, 2.0, 2.4.
+	ps, err := rt.RestrictMaxRate(2.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Len() != 3 || ps.Max().Rate != 2.4 {
+		t.Errorf("restricted table: len=%d max=%v", ps.Len(), ps.Max().Rate)
+	}
+	if _, err := rt.RestrictMaxRate(0.1); err == nil {
+		t.Error("restricting away all levels should error")
+	}
+	// Original table unchanged.
+	if rt.Len() != 5 {
+		t.Error("Restrict mutated the receiver")
+	}
+}
+
+func TestLevelsReturnsCopy(t *testing.T) {
+	rt := MustRateTable(table2Levels())
+	ls := rt.Levels()
+	ls[0].Rate = 99
+	if rt.Level(0).Rate == 99 {
+		t.Error("Levels() exposed internal slice")
+	}
+}
+
+func TestRateTableString(t *testing.T) {
+	rt := MustRateTable(table2Levels())
+	if rt.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+// Property: for random valid uniform tables, NearestBelow(r) is always
+// <= r when r >= slowest rate, and IndexOf finds every level.
+func TestRateTableProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		rates := make([]float64, n)
+		used := map[float64]bool{}
+		for i := range rates {
+			r := 0.1 + rng.Float64()*5
+			for used[r] {
+				r += 0.01
+			}
+			used[r] = true
+			rates[i] = r
+		}
+		rt, err := UniformRateTable(1.0, rates...)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < rt.Len(); i++ {
+			if rt.IndexOf(rt.Level(i).Rate) != i {
+				return false
+			}
+		}
+		q := rt.Min().Rate + rng.Float64()*(rt.Max().Rate-rt.Min().Rate)
+		if rt.NearestBelow(q).Rate > q {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,147 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Task is a sequence of instructions to be executed by one core, as in
+// Section II-A of the paper: j_k = (L_k, A_k, D_k).
+type Task struct {
+	// ID identifies the task. The scheduling algorithms treat it as
+	// opaque; generators assign sequential IDs.
+	ID int
+	// Name is an optional human-readable label (e.g. the SPEC
+	// benchmark the task models).
+	Name string
+	// Cycles is L_k, the number of Gcycles needed to complete the
+	// task. It must be positive.
+	Cycles float64
+	// Arrival is A_k in seconds. Batch-mode tasks all have Arrival 0.
+	Arrival float64
+	// Deadline is D_k in seconds. Tasks without a time constraint use
+	// NoDeadline (+Inf).
+	Deadline float64
+	// Interactive marks online-mode tasks initiated by a user that
+	// must be completed as soon as possible. Interactive tasks have
+	// higher priority than non-interactive ones and may preempt them.
+	Interactive bool
+}
+
+// NoDeadline is the Deadline value of a task with no time constraint.
+var NoDeadline = math.Inf(1)
+
+// HasDeadline reports whether the task carries a finite deadline.
+func (t Task) HasDeadline() bool { return !math.IsInf(t.Deadline, 1) }
+
+// Validate checks the task invariants from the task model.
+func (t Task) Validate() error {
+	switch {
+	case t.Cycles <= 0 || math.IsNaN(t.Cycles) || math.IsInf(t.Cycles, 0):
+		return fmt.Errorf("model: task %d: cycles must be positive and finite, got %v", t.ID, t.Cycles)
+	case t.Arrival < 0 || math.IsNaN(t.Arrival):
+		return fmt.Errorf("model: task %d: arrival must be non-negative, got %v", t.ID, t.Arrival)
+	case t.HasDeadline() && t.Deadline <= t.Arrival:
+		return fmt.Errorf("model: task %d: deadline %v must exceed arrival %v", t.ID, t.Deadline, t.Arrival)
+	case math.IsNaN(t.Deadline):
+		return fmt.Errorf("model: task %d: deadline is NaN", t.ID)
+	}
+	return nil
+}
+
+func (t Task) String() string {
+	kind := "batch"
+	if t.Interactive {
+		kind = "interactive"
+	}
+	if t.Name != "" {
+		return fmt.Sprintf("task %d (%s, %s, %.3f Gcyc)", t.ID, t.Name, kind, t.Cycles)
+	}
+	return fmt.Sprintf("task %d (%s, %.3f Gcyc)", t.ID, kind, t.Cycles)
+}
+
+// TaskSet is an ordered collection of tasks.
+type TaskSet []Task
+
+// Validate checks every task and that IDs are unique.
+func (ts TaskSet) Validate() error {
+	if len(ts) == 0 {
+		return errors.New("model: empty task set")
+	}
+	seen := make(map[int]bool, len(ts))
+	for _, t := range ts {
+		if err := t.Validate(); err != nil {
+			return err
+		}
+		if seen[t.ID] {
+			return fmt.Errorf("model: duplicate task ID %d", t.ID)
+		}
+		seen[t.ID] = true
+	}
+	return nil
+}
+
+// TotalCycles returns the sum of L_k over the set, in Gcycles.
+func (ts TaskSet) TotalCycles() float64 {
+	var sum float64
+	for _, t := range ts {
+		sum += t.Cycles
+	}
+	return sum
+}
+
+// Clone returns a deep copy of the set.
+func (ts TaskSet) Clone() TaskSet {
+	out := make(TaskSet, len(ts))
+	copy(out, ts)
+	return out
+}
+
+// SortByCyclesAsc sorts tasks in non-decreasing order of cycles (the
+// optimal single-core execution order of Theorem 3), breaking ties by ID
+// for determinism.
+func (ts TaskSet) SortByCyclesAsc() {
+	sort.SliceStable(ts, func(i, j int) bool {
+		if ts[i].Cycles != ts[j].Cycles {
+			return ts[i].Cycles < ts[j].Cycles
+		}
+		return ts[i].ID < ts[j].ID
+	})
+}
+
+// SortByCyclesDesc sorts tasks in non-increasing order of cycles (the
+// assignment order used by Workload Based Greedy), breaking ties by ID.
+func (ts TaskSet) SortByCyclesDesc() {
+	sort.SliceStable(ts, func(i, j int) bool {
+		if ts[i].Cycles != ts[j].Cycles {
+			return ts[i].Cycles > ts[j].Cycles
+		}
+		return ts[i].ID < ts[j].ID
+	})
+}
+
+// ByArrival sorts tasks by arrival time (stable, ties by ID), the order
+// an online scheduler observes them.
+func (ts TaskSet) ByArrival() {
+	sort.SliceStable(ts, func(i, j int) bool {
+		if ts[i].Arrival != ts[j].Arrival {
+			return ts[i].Arrival < ts[j].Arrival
+		}
+		return ts[i].ID < ts[j].ID
+	})
+}
+
+// Split partitions the set into interactive and non-interactive subsets,
+// preserving order.
+func (ts TaskSet) Split() (interactive, nonInteractive TaskSet) {
+	for _, t := range ts {
+		if t.Interactive {
+			interactive = append(interactive, t)
+		} else {
+			nonInteractive = append(nonInteractive, t)
+		}
+	}
+	return interactive, nonInteractive
+}

@@ -1,0 +1,152 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTaskValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		task Task
+		ok   bool
+	}{
+		{"valid batch", Task{ID: 1, Cycles: 10, Deadline: NoDeadline}, true},
+		{"valid with deadline", Task{ID: 2, Cycles: 1, Arrival: 0, Deadline: 5}, true},
+		{"zero cycles", Task{ID: 3, Cycles: 0, Deadline: NoDeadline}, false},
+		{"negative cycles", Task{ID: 4, Cycles: -1, Deadline: NoDeadline}, false},
+		{"NaN cycles", Task{ID: 5, Cycles: math.NaN(), Deadline: NoDeadline}, false},
+		{"inf cycles", Task{ID: 6, Cycles: math.Inf(1), Deadline: NoDeadline}, false},
+		{"negative arrival", Task{ID: 7, Cycles: 1, Arrival: -1, Deadline: NoDeadline}, false},
+		{"deadline before arrival", Task{ID: 8, Cycles: 1, Arrival: 10, Deadline: 5}, false},
+		{"deadline equals arrival", Task{ID: 9, Cycles: 1, Arrival: 5, Deadline: 5}, false},
+		{"NaN deadline", Task{ID: 10, Cycles: 1, Deadline: math.NaN()}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.task.Validate()
+			if c.ok && err != nil {
+				t.Fatalf("expected valid, got %v", err)
+			}
+			if !c.ok && err == nil {
+				t.Fatalf("expected error for %+v", c.task)
+			}
+		})
+	}
+}
+
+func TestTaskHasDeadline(t *testing.T) {
+	if (Task{Deadline: NoDeadline}).HasDeadline() {
+		t.Error("NoDeadline task reports HasDeadline")
+	}
+	if !(Task{Deadline: 3}).HasDeadline() {
+		t.Error("finite deadline not detected")
+	}
+}
+
+func TestTaskString(t *testing.T) {
+	s := Task{ID: 7, Name: "bzip", Cycles: 1.5, Interactive: true}.String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+	s2 := Task{ID: 8, Cycles: 2}.String()
+	if s2 == "" || s2 == s {
+		t.Fatal("unexpected String output")
+	}
+}
+
+func TestTaskSetValidate(t *testing.T) {
+	if err := (TaskSet{}).Validate(); err == nil {
+		t.Error("empty set should be invalid")
+	}
+	dup := TaskSet{
+		{ID: 1, Cycles: 1, Deadline: NoDeadline},
+		{ID: 1, Cycles: 2, Deadline: NoDeadline},
+	}
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate IDs should be invalid")
+	}
+	good := TaskSet{
+		{ID: 1, Cycles: 1, Deadline: NoDeadline},
+		{ID: 2, Cycles: 2, Deadline: NoDeadline},
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid set rejected: %v", err)
+	}
+}
+
+func TestTaskSetTotalCycles(t *testing.T) {
+	ts := TaskSet{{Cycles: 1.5}, {Cycles: 2.5}, {Cycles: 3}}
+	if got := ts.TotalCycles(); got != 7 {
+		t.Errorf("TotalCycles = %v, want 7", got)
+	}
+	if got := (TaskSet{}).TotalCycles(); got != 0 {
+		t.Errorf("empty TotalCycles = %v, want 0", got)
+	}
+}
+
+func TestTaskSetSorts(t *testing.T) {
+	mk := func() TaskSet {
+		return TaskSet{
+			{ID: 1, Cycles: 3},
+			{ID: 2, Cycles: 1},
+			{ID: 3, Cycles: 2},
+			{ID: 4, Cycles: 2},
+		}
+	}
+	asc := mk()
+	asc.SortByCyclesAsc()
+	wantAsc := []int{2, 3, 4, 1}
+	for i, id := range wantAsc {
+		if asc[i].ID != id {
+			t.Fatalf("asc[%d].ID = %d, want %d", i, asc[i].ID, id)
+		}
+	}
+	desc := mk()
+	desc.SortByCyclesDesc()
+	wantDesc := []int{1, 3, 4, 2}
+	for i, id := range wantDesc {
+		if desc[i].ID != id {
+			t.Fatalf("desc[%d].ID = %d, want %d", i, desc[i].ID, id)
+		}
+	}
+}
+
+func TestTaskSetByArrival(t *testing.T) {
+	ts := TaskSet{
+		{ID: 1, Arrival: 5},
+		{ID: 2, Arrival: 1},
+		{ID: 3, Arrival: 5},
+	}
+	ts.ByArrival()
+	want := []int{2, 1, 3}
+	for i, id := range want {
+		if ts[i].ID != id {
+			t.Fatalf("ByArrival[%d].ID = %d, want %d", i, ts[i].ID, id)
+		}
+	}
+}
+
+func TestTaskSetClone(t *testing.T) {
+	ts := TaskSet{{ID: 1, Cycles: 1}}
+	c := ts.Clone()
+	c[0].Cycles = 99
+	if ts[0].Cycles != 1 {
+		t.Error("Clone is not a deep copy of the slice")
+	}
+}
+
+func TestTaskSetSplit(t *testing.T) {
+	ts := TaskSet{
+		{ID: 1, Interactive: true},
+		{ID: 2},
+		{ID: 3, Interactive: true},
+	}
+	in, non := ts.Split()
+	if len(in) != 2 || len(non) != 1 {
+		t.Fatalf("Split sizes = %d, %d; want 2, 1", len(in), len(non))
+	}
+	if in[0].ID != 1 || in[1].ID != 3 || non[0].ID != 2 {
+		t.Error("Split did not preserve order")
+	}
+}

@@ -1,0 +1,48 @@
+package online
+
+import (
+	"math/rand"
+	"testing"
+
+	"dvfsched/internal/sim"
+	"dvfsched/internal/workload"
+)
+
+func TestAgingBoundsStarvation(t *testing.T) {
+	judge := workload.DefaultJudgeConfig()
+	judge.Interactive, judge.NonInteractive, judge.Duration = 500, 250, 200
+	judge.SubmitMedianMin, judge.SubmitMedianMax = 10, 60
+	tasks, err := judge.Generate(rand.New(rand.NewSource(17)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(aging float64) (maxWait, totalCost float64) {
+		l, err := NewLMC(onlineParams)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.AgingThreshold = aging
+		res, err := sim.Run(sim.Config{Platform: plat(4), Policy: l}, tasks, onlineParams)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ts := range res.Tasks {
+			if ts.Task.Interactive {
+				continue
+			}
+			if w := ts.Turnaround(); w > maxWait {
+				maxWait = w
+			}
+		}
+		return maxWait, res.TotalCost
+	}
+	plainMax, plainCost := run(0)
+	agedMax, agedCost := run(60)
+	if agedMax >= plainMax {
+		t.Errorf("aging did not reduce the worst wait: %v vs %v", agedMax, plainMax)
+	}
+	// Bounding starvation costs something, but not catastrophically.
+	if agedCost > plainCost*1.5 {
+		t.Errorf("aging cost blew up: %v vs %v", agedCost, plainCost)
+	}
+}

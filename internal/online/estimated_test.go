@@ -1,0 +1,94 @@
+package online
+
+import (
+	"math/rand"
+	"testing"
+
+	"dvfsched/internal/sim"
+	"dvfsched/internal/workload"
+)
+
+func TestEstimatedLMCName(t *testing.T) {
+	l, err := NewLMCEstimated(onlineParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Name() != "lmc-estimated" {
+		t.Errorf("name = %q", l.Name())
+	}
+	base, _ := NewLMC(onlineParams)
+	if base.Name() != "lmc" {
+		t.Errorf("base name = %q", base.Name())
+	}
+}
+
+func TestEstimatedLMCCompletesTrace(t *testing.T) {
+	judge := workload.DefaultJudgeConfig()
+	judge.Interactive, judge.NonInteractive, judge.Duration = 600, 120, 150
+	tasks, err := judge.Generate(rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLMCEstimated(onlineParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(sim.Config{Platform: plat(4), Policy: l}, tasks, onlineParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ts := range res.Tasks {
+		if !ts.Done {
+			t.Errorf("task %d unfinished", ts.Task.ID)
+		}
+	}
+}
+
+func TestEstimatedLMCDegradesGracefully(t *testing.T) {
+	// The estimated variant cannot order submissions shortest-first
+	// (all estimates converge to the mean), so it should cost at
+	// least as much as the oracle version — but still complete and
+	// stay within a sane factor.
+	judge := workload.DefaultJudgeConfig()
+	judge.Interactive, judge.NonInteractive, judge.Duration = 1000, 200, 250
+	tasks, err := judge.Generate(rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(p sim.Policy) float64 {
+		res, err := sim.Run(sim.Config{Platform: plat(4), Policy: p}, tasks, onlineParams)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TotalCost
+	}
+	oracle, _ := NewLMC(onlineParams)
+	estimated, _ := NewLMCEstimated(onlineParams)
+	oc := run(oracle)
+	ec := run(estimated)
+	if ec < oc*0.99 {
+		t.Errorf("estimated LMC (%v) beat the oracle (%v) by more than noise", ec, oc)
+	}
+	if ec > oc*3 {
+		t.Errorf("estimated LMC degraded too much: %v vs %v", ec, oc)
+	}
+}
+
+func TestEstimateForFallsBackWithoutHistory(t *testing.T) {
+	l, _ := NewLMCEstimated(onlineParams)
+	ts := &sim.TaskState{}
+	ts.Task.Cycles = 7
+	if got := l.estimateFor(ts); got != 7 {
+		t.Errorf("no-history estimate = %v, want the true value", got)
+	}
+	l.compSum, l.compN = 20, 4
+	if got := l.estimateFor(ts); got != 5 {
+		t.Errorf("estimate = %v, want mean 5", got)
+	}
+	// Oracle mode ignores history.
+	base, _ := NewLMC(onlineParams)
+	base.compSum, base.compN = 20, 4
+	if got := base.estimateFor(ts); got != 7 {
+		t.Errorf("oracle estimate = %v, want 7", got)
+	}
+}

@@ -1,0 +1,200 @@
+package online
+
+import (
+	"math"
+	"sort"
+
+	"dvfsched/internal/batch"
+	"dvfsched/internal/envelope"
+	"dvfsched/internal/model"
+	"dvfsched/internal/sim"
+)
+
+// Replan is the strawman Section IV argues against: on every
+// non-interactive arrival it redistributes ALL waiting tasks across
+// cores with Workload Based Greedy (Theorem 5 says the rearrangement
+// is cost-optimal), migrating queued tasks between cores as needed.
+// Each migration charges MigrationCycles of extra work, modeling the
+// cache/queue movement overhead that motivates the migration-free
+// Least Marginal Cost heuristic.
+type Replan struct {
+	// Params are the cost constants.
+	Params model.CostParams
+	// MigrationCycles is the Gcycle penalty a task pays whenever a
+	// replan moves it to a different core.
+	MigrationCycles float64
+
+	envs    []*envelope.Envelope
+	specs   []batch.CoreSpec
+	queues  [][]*sim.TaskState // waiting non-interactive, execution order
+	paused  [][]*sim.TaskState
+	inter   [][]*sim.TaskState
+	homeOf  map[*sim.TaskState]int
+	replans int
+}
+
+// Name implements sim.Policy.
+func (r *Replan) Name() string { return "wbg-replan" }
+
+// Replans reports how many full redistributions ran.
+func (r *Replan) Replans() int { return r.replans }
+
+// Init implements sim.Policy.
+func (r *Replan) Init(e *sim.Engine) {
+	n := e.NumCores()
+	r.envs = make([]*envelope.Envelope, n)
+	r.specs = make([]batch.CoreSpec, n)
+	r.queues = make([][]*sim.TaskState, n)
+	r.paused = make([][]*sim.TaskState, n)
+	r.inter = make([][]*sim.TaskState, n)
+	r.homeOf = make(map[*sim.TaskState]int)
+	cache := map[*model.RateTable]*envelope.Envelope{}
+	for i := 0; i < n; i++ {
+		rt := e.RateTable(i)
+		env, ok := cache[rt]
+		if !ok {
+			env = envelope.MustCompute(r.Params, rt)
+			cache[rt] = env
+		}
+		r.envs[i] = env
+		r.specs[i] = batch.CoreSpec{Rates: rt}
+	}
+}
+
+// OnArrival implements sim.Policy.
+func (r *Replan) OnArrival(e *sim.Engine, t *sim.TaskState) {
+	if t.Task.Interactive {
+		r.placeInteractive(e, t)
+		return
+	}
+	// Gather every waiting non-interactive task plus the newcomer and
+	// redistribute with WBG.
+	pool := []*sim.TaskState{t}
+	for _, q := range r.queues {
+		pool = append(pool, q...)
+	}
+	r.replans++
+	byID := make(map[int]*sim.TaskState, len(pool))
+	tasks := make(model.TaskSet, len(pool))
+	for i, ts := range pool {
+		byID[ts.Task.ID] = ts
+		tasks[i] = model.Task{ID: ts.Task.ID, Cycles: ts.Remaining, Deadline: model.NoDeadline}
+	}
+	plan, err := batch.WBG(r.Params, r.specs, tasks)
+	if err != nil {
+		panic(err)
+	}
+	for j := range r.queues {
+		r.queues[j] = r.queues[j][:0]
+	}
+	for _, cp := range plan.Cores {
+		for _, a := range cp.Sequence {
+			ts := byID[a.Task.ID]
+			if home, ok := r.homeOf[ts]; ok && home != cp.Core {
+				ts.Remaining += r.MigrationCycles // pay to move
+			}
+			r.homeOf[ts] = cp.Core
+			r.queues[cp.Core] = append(r.queues[cp.Core], ts)
+		}
+	}
+	// Queues may have reshuffled; keep each in execution order
+	// (WBG already emits shortest-first) and refresh running rates.
+	for j := 0; j < e.NumCores(); j++ {
+		if e.Idle(j) {
+			r.dispatch(e, j)
+		} else {
+			r.adjustRunning(e, j)
+		}
+	}
+}
+
+func (r *Replan) placeInteractive(e *sim.Engine, t *sim.TaskState) {
+	best, bestCost := -1, math.Inf(1)
+	for j := 0; j < e.NumCores(); j++ {
+		run := e.Running(j)
+		if run != nil && run.Task.Interactive {
+			continue
+		}
+		pm := e.RateTable(j).Max()
+		nj := float64(len(r.queues[j]) + len(r.paused[j]))
+		c := r.Params.Re*t.Task.Cycles*pm.Energy + r.Params.Rt*t.Task.Cycles*pm.Time*(1+nj)
+		if c < bestCost {
+			best, bestCost = j, c
+		}
+	}
+	if best < 0 {
+		best = 0
+		for j := 1; j < e.NumCores(); j++ {
+			if len(r.inter[j]) < len(r.inter[best]) {
+				best = j
+			}
+		}
+		r.inter[best] = append(r.inter[best], t)
+		return
+	}
+	if !e.Idle(best) {
+		prev, err := e.Preempt(best)
+		if err != nil {
+			panic(err)
+		}
+		r.paused[best] = append(r.paused[best], prev)
+	}
+	if err := e.Start(best, t, e.RateTable(best).Max()); err != nil {
+		panic(err)
+	}
+}
+
+func (r *Replan) adjustRunning(e *sim.Engine, j int) {
+	run := e.Running(j)
+	if run == nil || run.Task.Interactive {
+		return
+	}
+	level := r.envs[j].LevelFor(1 + len(r.queues[j]) + len(r.paused[j]))
+	if e.CurrentLevel(j).Rate != level.Rate {
+		if err := e.SetLevel(j, level); err != nil {
+			panic(err)
+		}
+	}
+}
+
+func (r *Replan) dispatch(e *sim.Engine, j int) {
+	if !e.Idle(j) {
+		return
+	}
+	switch {
+	case len(r.inter[j]) > 0:
+		t := r.inter[j][0]
+		r.inter[j] = r.inter[j][1:]
+		if err := e.Start(j, t, e.RateTable(j).Max()); err != nil {
+			panic(err)
+		}
+	case len(r.paused[j]) > 0:
+		t := r.paused[j][len(r.paused[j])-1]
+		r.paused[j] = r.paused[j][:len(r.paused[j])-1]
+		level := r.envs[j].LevelFor(1 + len(r.queues[j]) + len(r.paused[j]))
+		if err := e.Start(j, t, level); err != nil {
+			panic(err)
+		}
+	case len(r.queues[j]) > 0:
+		// Shortest (front) first; re-sort defensively in case
+		// remaining-cycle updates changed relative order.
+		sort.SliceStable(r.queues[j], func(a, b int) bool {
+			return r.queues[j][a].Remaining < r.queues[j][b].Remaining
+		})
+		t := r.queues[j][0]
+		r.queues[j] = r.queues[j][1:]
+		delete(r.homeOf, t)
+		level := r.envs[j].LevelFor(1 + len(r.queues[j]) + len(r.paused[j]))
+		if err := e.Start(j, t, level); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// OnCompletion implements sim.Policy.
+func (r *Replan) OnCompletion(e *sim.Engine, coreID int, _ *sim.TaskState) {
+	r.dispatch(e, coreID)
+}
+
+// OnTick implements sim.Policy.
+func (r *Replan) OnTick(*sim.Engine) {}

@@ -1,0 +1,104 @@
+package online
+
+import (
+	"math/rand"
+	"testing"
+
+	"dvfsched/internal/model"
+	"dvfsched/internal/sim"
+	"dvfsched/internal/workload"
+)
+
+func TestReplanCompletesMixedTrace(t *testing.T) {
+	judge := workload.DefaultJudgeConfig()
+	judge.Interactive, judge.NonInteractive, judge.Duration = 400, 60, 120
+	tasks, err := judge.Generate(rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Replan{Params: onlineParams}
+	res, err := sim.Run(sim.Config{Platform: plat(4), Policy: p}, tasks, onlineParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ts := range res.Tasks {
+		if !ts.Done {
+			t.Errorf("task %d unfinished", ts.Task.ID)
+		}
+	}
+	if p.Replans() != 60 {
+		t.Errorf("replans = %d, want one per submission", p.Replans())
+	}
+}
+
+func TestReplanMigrationPenaltyHurts(t *testing.T) {
+	judge := workload.DefaultJudgeConfig()
+	judge.Interactive, judge.NonInteractive, judge.Duration = 200, 120, 120
+	tasks, err := judge.Generate(rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(penalty float64) float64 {
+		res, err := sim.Run(sim.Config{
+			Platform: plat(4),
+			Policy:   &Replan{Params: onlineParams, MigrationCycles: penalty},
+		}, tasks, onlineParams)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TotalCost
+	}
+	free := run(0)
+	costly := run(2.0)
+	if costly <= free {
+		t.Errorf("migration penalty did not raise cost: %v <= %v", costly, free)
+	}
+}
+
+func TestReplanFreeBeatsOrMatchesLMC(t *testing.T) {
+	// With zero migration overhead, redistributing everything with
+	// WBG on each arrival is at least as good as migration-free LMC
+	// (Theorem 5) — that is the paper's argument for why LMC is a
+	// heuristic trade-off, not an optimum.
+	judge := workload.DefaultJudgeConfig()
+	judge.Interactive, judge.NonInteractive, judge.Duration = 500, 150, 150
+	tasks, err := judge.Generate(rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lmc, err := NewLMC(onlineParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lmcRes, err := sim.Run(sim.Config{Platform: plat(4), Policy: lmc}, tasks, onlineParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repRes, err := sim.Run(sim.Config{
+		Platform: plat(4),
+		Policy:   &Replan{Params: onlineParams},
+	}, tasks, onlineParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Allow a small slack: the online setting violates the batch
+	// theorems' assumptions (running tasks cannot move), so strict
+	// dominance is not guaranteed on every trace.
+	if repRes.TotalCost > lmcRes.TotalCost*1.05 {
+		t.Errorf("free replanning much worse than LMC: %v vs %v", repRes.TotalCost, lmcRes.TotalCost)
+	}
+}
+
+func TestReplanHandlesInteractiveOnly(t *testing.T) {
+	tasks := make(model.TaskSet, 30)
+	for i := range tasks {
+		tasks[i] = model.Task{ID: i, Cycles: 0.01, Arrival: float64(i) * 0.001, Interactive: true, Deadline: model.NoDeadline}
+	}
+	res, err := sim.Run(sim.Config{Platform: plat(2), Policy: &Replan{Params: onlineParams}}, tasks, onlineParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 {
+		t.Error("no progress")
+	}
+}

@@ -1,0 +1,23 @@
+package power_test
+
+import (
+	"fmt"
+
+	"dvfsched/internal/power"
+)
+
+// The meter integrates piecewise-constant power exactly and as a
+// sampled instrument with idle-baseline subtraction, the paper's
+// measurement procedure.
+func ExampleMeter() {
+	m := power.NewMeter(0.5, 120) // 2 Hz sampling, 120 W idle machine
+	m.Record(0, 10, 21.3)         // core 0 at 3.0 GHz
+	m.Record(0, 5, 5.4)           // core 1 at 1.6 GHz, shorter task
+	fmt.Printf("exact:   %.1f J\n", m.Energy())
+	fmt.Printf("sampled: %.1f J\n", m.SampledEnergy())
+	fmt.Printf("busy:    %.1f s\n", m.BusyDuration())
+	// Output:
+	// exact:   240.0 J
+	// sampled: 240.0 J
+	// busy:    10.0 s
+}

@@ -1,0 +1,138 @@
+// Package power simulates the external power meter (a DW-6091 in the
+// paper's testbed) used to measure energy. The simulator reports each
+// core's active power draw as piecewise-constant segments; the meter
+// integrates them exactly (ground truth) and also the way the physical
+// instrument does — sampling total machine power (idle baseline plus
+// activity) at a fixed period and subtracting the idle reading, as
+// Section V of the paper describes.
+package power
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// segment is a half-open interval of constant active power from one
+// source (e.g. one core).
+type segment struct {
+	start, end float64
+	watts      float64
+}
+
+// Meter accumulates power segments reported by the simulator.
+type Meter struct {
+	// SampleInterval is the meter's sampling period in seconds; 0
+	// makes SampledEnergy fall back to the exact integral.
+	SampleInterval float64
+	// IdleWatts is the idle machine's draw, added to every
+	// instantaneous reading and subtracted over the measurement
+	// window, mirroring the paper's idle-power correction.
+	IdleWatts float64
+
+	segments []segment
+}
+
+// NewMeter returns a meter with the given sampling period and idle
+// baseline.
+func NewMeter(sampleInterval, idleWatts float64) *Meter {
+	return &Meter{SampleInterval: sampleInterval, IdleWatts: idleWatts}
+}
+
+// Record adds a constant-power interval [start, end) of the given
+// active watts. Segments from different cores may overlap; they sum.
+func (m *Meter) Record(start, end, watts float64) error {
+	if end < start || watts < 0 || math.IsNaN(start) || math.IsNaN(end) || math.IsNaN(watts) {
+		return fmt.Errorf("power: bad segment [%v, %v) @ %v W", start, end, watts)
+	}
+	if end == start || watts == 0 {
+		return nil
+	}
+	m.segments = append(m.segments, segment{start: start, end: end, watts: watts})
+	return nil
+}
+
+// Span returns the earliest start and latest end recorded; zeros if
+// nothing was recorded.
+func (m *Meter) Span() (start, end float64) {
+	if len(m.segments) == 0 {
+		return 0, 0
+	}
+	start, end = math.Inf(1), math.Inf(-1)
+	for _, s := range m.segments {
+		if s.start < start {
+			start = s.start
+		}
+		if s.end > end {
+			end = s.end
+		}
+	}
+	return start, end
+}
+
+// Energy returns the exact integral of active power over all recorded
+// segments, in joules: the ground truth the sampled reading
+// approximates.
+func (m *Meter) Energy() float64 {
+	var j float64
+	for _, s := range m.segments {
+		j += s.watts * (s.end - s.start)
+	}
+	return j
+}
+
+// SampledEnergy integrates power the way the physical meter does: it
+// reads total machine power (idle + activity) every SampleInterval
+// seconds, multiplies by the interval (rectangle rule), and subtracts
+// the idle baseline over the measurement window.
+func (m *Meter) SampledEnergy() float64 {
+	if m.SampleInterval <= 0 || len(m.segments) == 0 {
+		return m.Energy()
+	}
+	start, end := m.Span()
+	var j float64
+	for t := start; t < end; t += m.SampleInterval {
+		j += (m.IdleWatts + m.ActivePowerAt(t)) * m.SampleInterval
+	}
+	return j - m.IdleWatts*(end-start)
+}
+
+// ActivePowerAt returns the instantaneous active power at time t (sum
+// of all segments covering t), excluding the idle baseline.
+func (m *Meter) ActivePowerAt(t float64) float64 {
+	var w float64
+	for _, s := range m.segments {
+		if t >= s.start && t < s.end {
+			w += s.watts
+		}
+	}
+	return w
+}
+
+// BusyDuration returns the length of the union of all segments: the
+// wall-clock time during which anything drew active power.
+func (m *Meter) BusyDuration() float64 {
+	if len(m.segments) == 0 {
+		return 0
+	}
+	ivs := make([][2]float64, len(m.segments))
+	for i, s := range m.segments {
+		ivs[i] = [2]float64{s.start, s.end}
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i][0] < ivs[j][0] })
+	var total float64
+	curStart, curEnd := ivs[0][0], ivs[0][1]
+	for _, iv := range ivs[1:] {
+		if iv[0] > curEnd {
+			total += curEnd - curStart
+			curStart, curEnd = iv[0], iv[1]
+		} else if iv[1] > curEnd {
+			curEnd = iv[1]
+		}
+	}
+	total += curEnd - curStart
+	return total
+}
+
+// Reset clears all recorded segments.
+func (m *Meter) Reset() { m.segments = m.segments[:0] }

@@ -1,0 +1,107 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRecordValidation(t *testing.T) {
+	m := NewMeter(1, 0)
+	if err := m.Record(5, 4, 1); err == nil {
+		t.Error("end < start accepted")
+	}
+	if err := m.Record(0, 1, -2); err == nil {
+		t.Error("negative watts accepted")
+	}
+	if err := m.Record(math.NaN(), 1, 1); err == nil {
+		t.Error("NaN accepted")
+	}
+	if err := m.Record(1, 1, 5); err != nil {
+		t.Error("zero-length segment should be a no-op, not an error")
+	}
+	if m.Energy() != 0 {
+		t.Error("no-op segments changed energy")
+	}
+}
+
+func TestExactEnergy(t *testing.T) {
+	m := NewMeter(0, 0)
+	m.Record(0, 2, 10)  // 20 J
+	m.Record(1, 3, 5)   // 10 J, overlapping
+	m.Record(10, 11, 1) // 1 J, disjoint
+	if got := m.Energy(); math.Abs(got-31) > 1e-12 {
+		t.Errorf("Energy = %v, want 31", got)
+	}
+}
+
+func TestActivePowerAt(t *testing.T) {
+	m := NewMeter(0, 0)
+	m.Record(0, 2, 10)
+	m.Record(1, 3, 5)
+	cases := map[float64]float64{0.5: 10, 1.5: 15, 2.5: 5, 3.5: 0}
+	for at, want := range cases {
+		if got := m.ActivePowerAt(at); got != want {
+			t.Errorf("ActivePowerAt(%v) = %v, want %v", at, got, want)
+		}
+	}
+}
+
+func TestSampledEnergyApproximatesExact(t *testing.T) {
+	m := NewMeter(0.1, 50) // 10 Hz sampling, 50 W idle baseline
+	// A workload-like pattern: two cores with staggered activity.
+	m.Record(0, 10, 20)
+	m.Record(2, 7, 15)
+	m.Record(12, 20, 8)
+	exact := m.Energy()
+	sampled := m.SampledEnergy()
+	if rel := math.Abs(sampled-exact) / exact; rel > 0.02 {
+		t.Errorf("sampled %v vs exact %v (rel err %.3f)", sampled, exact, rel)
+	}
+}
+
+func TestSampledFallsBackWithoutInterval(t *testing.T) {
+	m := NewMeter(0, 10)
+	m.Record(0, 1, 5)
+	if m.SampledEnergy() != m.Energy() {
+		t.Error("zero interval should fall back to exact")
+	}
+}
+
+func TestSpanAndBusyDuration(t *testing.T) {
+	m := NewMeter(0, 0)
+	if s, e := m.Span(); s != 0 || e != 0 {
+		t.Error("empty span non-zero")
+	}
+	if m.BusyDuration() != 0 {
+		t.Error("empty busy duration non-zero")
+	}
+	m.Record(1, 3, 1)
+	m.Record(2, 5, 1) // overlaps -> union [1,5]
+	m.Record(8, 9, 1) // disjoint -> +1
+	s, e := m.Span()
+	if s != 1 || e != 9 {
+		t.Errorf("span = [%v, %v]", s, e)
+	}
+	if got := m.BusyDuration(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("BusyDuration = %v, want 5", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := NewMeter(0, 0)
+	m.Record(0, 1, 5)
+	m.Reset()
+	if m.Energy() != 0 {
+		t.Error("Reset did not clear segments")
+	}
+}
+
+func TestIdleSubtractionCancels(t *testing.T) {
+	// With sampling aligned to segment boundaries, the idle add and
+	// subtract must cancel exactly.
+	m := NewMeter(0.5, 100)
+	m.Record(0, 4, 10)
+	if got := m.SampledEnergy(); math.Abs(got-40) > 1e-9 {
+		t.Errorf("SampledEnergy = %v, want 40", got)
+	}
+}

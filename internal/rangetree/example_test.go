@@ -1,0 +1,26 @@
+package rangetree_test
+
+import (
+	"fmt"
+
+	"dvfsched/internal/rangetree"
+)
+
+// The tree keeps task lengths in descending rank order and answers
+// the paper's ξ and Δ range queries in O(log N).
+func ExampleTree() {
+	tr := rangetree.New()
+	tr.Insert(10)
+	tr.Insert(30)
+	tr.Insert(20)
+	// Ranks: 30 -> 1, 20 -> 2, 10 -> 3.
+	fmt.Printf("xi([1,3])    = %.0f\n", tr.RangeXi(1, 3))
+	fmt.Printf("gamma([1,3]) = %.0f\n", tr.RangeGamma(1, 3)) // 1*30+2*20+3*10
+	fmt.Printf("delta([2,3]) = %.0f\n", tr.RangeDelta(2, 3)) // 1*20+2*10
+	fmt.Printf("rank-2 value = %.0f\n", tr.Select(2).Cycles())
+	// Output:
+	// xi([1,3])    = 60
+	// gamma([1,3]) = 100
+	// delta([2,3]) = 40
+	// rank-2 value = 20
+}

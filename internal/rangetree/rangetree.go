@@ -1,0 +1,430 @@
+// Package rangetree implements the sorted dynamic structure of Section
+// IV-A: a balanced binary search tree over task lengths L^B_k, kept in
+// descending order (rank 1 is the longest task, i.e. backward position
+// 1, the task that executes last), where every subtree maintains
+//
+//	size, ξ = Σ L, and Δ = Σ (local rank)·L,
+//
+// the associative aggregates of Eqs. 28-34. The tree supports
+// insertion, deletion, rank/select, predecessor/successor in O(1) via
+// threaded list pointers, and the range queries
+//
+//	ξ([a,b]) = Σ_{k=a..b} L^B_k
+//	Δ([a,b]) = Σ_{k=a..b} (k-a+1)·L^B_k
+//	γ([a,b]) = Σ_{k=a..b} k·L^B_k = Δ([a,b]) + (a-1)·ξ([a,b])
+//
+// in O(log N). Balance comes from treap priorities drawn from a
+// deterministic SplitMix64 stream, so runs are reproducible.
+package rangetree
+
+import "fmt"
+
+// Node is a handle to one stored task length. Handles stay valid until
+// the node is deleted.
+type Node struct {
+	cycles float64
+	seq    uint64 // tie-break: equal lengths order by insertion
+	prio   uint64
+
+	left, right, parent *Node
+	prev, next          *Node // in-order threading
+
+	size  int
+	xi    float64 // Σ cycles over subtree
+	delta float64 // Σ (local in-order rank)·cycles over subtree
+}
+
+// Cycles returns the stored task length.
+func (n *Node) Cycles() float64 { return n.cycles }
+
+// Prev returns the in-order predecessor (next-larger task), or nil.
+func (n *Node) Prev() *Node { return n.prev }
+
+// Next returns the in-order successor (next-smaller task), or nil.
+func (n *Node) Next() *Node { return n.next }
+
+func size(n *Node) int {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+func xi(n *Node) float64 {
+	if n == nil {
+		return 0
+	}
+	return n.xi
+}
+
+func delta(n *Node) float64 {
+	if n == nil {
+		return 0
+	}
+	return n.delta
+}
+
+// pull recomputes n's aggregates from its children (Eqs. 33-34).
+func (n *Node) pull() {
+	szL := size(n.left)
+	n.size = szL + size(n.right) + 1
+	n.xi = xi(n.left) + n.cycles + xi(n.right)
+	n.delta = delta(n.left) + float64(szL+1)*n.cycles + delta(n.right) + float64(szL+1)*xi(n.right)
+}
+
+// before reports whether a precedes b in the descending-length order.
+func before(a, b *Node) bool {
+	if a.cycles != b.cycles {
+		return a.cycles > b.cycles
+	}
+	return a.seq < b.seq
+}
+
+// Tree is the range tree. The zero value is not usable; call New.
+type Tree struct {
+	root     *Node
+	seq      uint64
+	rngState uint64
+}
+
+// New returns an empty tree with the default priority seed.
+func New() *Tree { return NewSeeded(0x5ca1ab1e) }
+
+// NewSeeded returns an empty tree whose treap priorities derive from
+// seed, for reproducible shapes.
+func NewSeeded(seed uint64) *Tree { return &Tree{rngState: seed} }
+
+func (t *Tree) nextPrio() uint64 {
+	t.rngState += 0x9e3779b97f4a7c15
+	z := t.rngState
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// Len returns the number of stored tasks.
+func (t *Tree) Len() int { return size(t.root) }
+
+// TotalXi returns ξ([1, Len]).
+func (t *Tree) TotalXi() float64 { return xi(t.root) }
+
+// TotalGamma returns γ([1, Len]) = Σ k·L^B_k.
+func (t *Tree) TotalGamma() float64 { return delta(t.root) }
+
+// rotateUp lifts c above its parent, preserving in-order order and
+// fixing aggregates locally.
+func (t *Tree) rotateUp(c *Node) {
+	p := c.parent
+	g := p.parent
+	if p.left == c {
+		p.left = c.right
+		if c.right != nil {
+			c.right.parent = p
+		}
+		c.right = p
+	} else {
+		p.right = c.left
+		if c.left != nil {
+			c.left.parent = p
+		}
+		c.left = p
+	}
+	p.parent = c
+	c.parent = g
+	if g == nil {
+		t.root = c
+	} else if g.left == p {
+		g.left = c
+	} else {
+		g.right = c
+	}
+	p.pull()
+	c.pull()
+}
+
+// Insert adds a task length and returns its handle. O(log N).
+func (t *Tree) Insert(cycles float64) *Node {
+	t.seq++
+	n := &Node{cycles: cycles, seq: t.seq, prio: t.nextPrio()}
+	n.pull()
+	if t.root == nil {
+		t.root = n
+		return n
+	}
+	var pred, succ *Node
+	cur := t.root
+	for {
+		if before(n, cur) {
+			succ = cur
+			if cur.left == nil {
+				cur.left = n
+				break
+			}
+			cur = cur.left
+		} else {
+			pred = cur
+			if cur.right == nil {
+				cur.right = n
+				break
+			}
+			cur = cur.right
+		}
+	}
+	n.parent = cur
+	// Thread the in-order list.
+	n.prev, n.next = pred, succ
+	if pred != nil {
+		pred.next = n
+	}
+	if succ != nil {
+		succ.prev = n
+	}
+	// Refresh aggregates on the search path, then restore the heap
+	// property; rotations keep ancestors' aggregates valid.
+	for a := cur; a != nil; a = a.parent {
+		a.pull()
+	}
+	for n.parent != nil && n.parent.prio < n.prio {
+		t.rotateUp(n)
+	}
+	return n
+}
+
+// Delete removes a node previously returned by Insert. Deleting a node
+// twice, or a node from another tree, corrupts the structure; handles
+// are owned by the caller. O(log N).
+func (t *Tree) Delete(n *Node) {
+	// Rotate n down to a leaf, always lifting the higher-priority
+	// child to preserve the heap property.
+	for n.left != nil || n.right != nil {
+		c := n.left
+		if c == nil || (n.right != nil && n.right.prio > c.prio) {
+			c = n.right
+		}
+		t.rotateUp(c)
+	}
+	p := n.parent
+	if p == nil {
+		t.root = nil
+	} else {
+		if p.left == n {
+			p.left = nil
+		} else {
+			p.right = nil
+		}
+		for a := p; a != nil; a = a.parent {
+			a.pull()
+		}
+	}
+	// Unthread.
+	if n.prev != nil {
+		n.prev.next = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	}
+	n.left, n.right, n.parent, n.prev, n.next = nil, nil, nil, nil, nil
+	n.size, n.xi, n.delta = 0, 0, 0
+}
+
+// Rank returns the 1-based in-order rank of n (its backward position
+// k^B). O(log N).
+func (t *Tree) Rank(n *Node) int {
+	r := size(n.left) + 1
+	for cur := n; cur.parent != nil; cur = cur.parent {
+		if cur.parent.right == cur {
+			r += size(cur.parent.left) + 1
+		}
+	}
+	return r
+}
+
+// Select returns the node of rank k (1-based), or nil if out of range.
+// O(log N).
+func (t *Tree) Select(k int) *Node {
+	if k < 1 || k > t.Len() {
+		return nil
+	}
+	cur := t.root
+	for {
+		szL := size(cur.left)
+		switch {
+		case k <= szL:
+			cur = cur.left
+		case k == szL+1:
+			return cur
+		default:
+			k -= szL + 1
+			cur = cur.right
+		}
+	}
+}
+
+// First returns the rank-1 node (longest task), or nil.
+func (t *Tree) First() *Node {
+	cur := t.root
+	if cur == nil {
+		return nil
+	}
+	for cur.left != nil {
+		cur = cur.left
+	}
+	return cur
+}
+
+// Last returns the highest-rank node (shortest task), or nil.
+func (t *Tree) Last() *Node {
+	cur := t.root
+	if cur == nil {
+		return nil
+	}
+	for cur.right != nil {
+		cur = cur.right
+	}
+	return cur
+}
+
+// PrefixXi returns ξ([1, k]); k is clamped to [0, Len].
+func (t *Tree) PrefixXi(k int) float64 {
+	if k >= t.Len() {
+		return xi(t.root)
+	}
+	var acc float64
+	cur := t.root
+	for cur != nil && k > 0 {
+		szL := size(cur.left)
+		if k <= szL {
+			cur = cur.left
+			continue
+		}
+		acc += xi(cur.left) + cur.cycles
+		k -= szL + 1
+		cur = cur.right
+	}
+	return acc
+}
+
+// PrefixGamma returns γ([1, k]) = Σ_{r<=k} r·L^B_r; k is clamped.
+func (t *Tree) PrefixGamma(k int) float64 {
+	if k >= t.Len() {
+		return delta(t.root)
+	}
+	var acc float64
+	offset := 0
+	cur := t.root
+	for cur != nil && k > 0 {
+		szL := size(cur.left)
+		if k <= szL {
+			cur = cur.left
+			continue
+		}
+		acc += delta(cur.left) + float64(offset)*xi(cur.left)
+		rank := offset + szL + 1
+		acc += float64(rank) * cur.cycles
+		k -= szL + 1
+		offset = rank
+		cur = cur.right
+	}
+	return acc
+}
+
+// RangeXi returns ξ([a, b]); empty or inverted ranges yield 0.
+func (t *Tree) RangeXi(a, b int) float64 {
+	if a < 1 {
+		a = 1
+	}
+	if b > t.Len() {
+		b = t.Len()
+	}
+	if a > b {
+		return 0
+	}
+	return t.PrefixXi(b) - t.PrefixXi(a-1)
+}
+
+// RangeGamma returns γ([a, b]) = Σ_{k=a..b} k·L^B_k.
+func (t *Tree) RangeGamma(a, b int) float64 {
+	if a < 1 {
+		a = 1
+	}
+	if b > t.Len() {
+		b = t.Len()
+	}
+	if a > b {
+		return 0
+	}
+	return t.PrefixGamma(b) - t.PrefixGamma(a-1)
+}
+
+// RangeDelta returns Δ([a, b]) = Σ_{k=a..b} (k-a+1)·L^B_k (Eq. 29).
+func (t *Tree) RangeDelta(a, b int) float64 {
+	return t.RangeGamma(a, b) - float64(a-1)*t.RangeXi(a, b)
+}
+
+// checkInvariants verifies BST order, heap order, threading, and
+// aggregate consistency. Test helper; O(N).
+func (t *Tree) checkInvariants() error {
+	var walk func(n *Node) (int, float64, error)
+	walk = func(n *Node) (int, float64, error) {
+		if n == nil {
+			return 0, 0, nil
+		}
+		if n.left != nil {
+			if n.left.parent != n {
+				return 0, 0, fmt.Errorf("rangetree: bad parent link (left of %v)", n.cycles)
+			}
+			if n.prio < n.left.prio {
+				return 0, 0, fmt.Errorf("rangetree: heap violation")
+			}
+			if !before(n.left, n) && before(n, n.left) {
+				return 0, 0, fmt.Errorf("rangetree: BST violation left")
+			}
+		}
+		if n.right != nil {
+			if n.right.parent != n {
+				return 0, 0, fmt.Errorf("rangetree: bad parent link (right of %v)", n.cycles)
+			}
+			if n.prio < n.right.prio {
+				return 0, 0, fmt.Errorf("rangetree: heap violation")
+			}
+		}
+		szL, xiL, err := walk(n.left)
+		if err != nil {
+			return 0, 0, err
+		}
+		szR, xiR, err := walk(n.right)
+		if err != nil {
+			return 0, 0, err
+		}
+		if n.size != szL+szR+1 {
+			return 0, 0, fmt.Errorf("rangetree: size mismatch at %v", n.cycles)
+		}
+		got := xiL + n.cycles + xiR
+		if diff := n.xi - got; diff > 1e-6 || diff < -1e-6 {
+			return 0, 0, fmt.Errorf("rangetree: xi mismatch at %v: %v vs %v", n.cycles, n.xi, got)
+		}
+		return n.size, got, nil
+	}
+	_, _, err := walk(t.root)
+	if err != nil {
+		return err
+	}
+	// Threading matches in-order traversal.
+	var prev *Node
+	for n := t.First(); n != nil; n = n.Next() {
+		if n.Prev() != prev {
+			return fmt.Errorf("rangetree: broken threading")
+		}
+		if prev != nil && before(n, prev) {
+			return fmt.Errorf("rangetree: threading out of order")
+		}
+		prev = n
+	}
+	if prev != t.Last() {
+		return fmt.Errorf("rangetree: Last() disagrees with threading")
+	}
+	return nil
+}

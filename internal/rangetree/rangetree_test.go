@@ -1,0 +1,319 @@
+package rangetree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// oracle is a plain-slice reference implementation kept in descending
+// order with FIFO ties.
+type oracle struct {
+	vals []float64 // rank order: vals[0] has rank 1
+}
+
+func (o *oracle) insert(v float64) int {
+	// Insert after all existing values >= v (FIFO among equals).
+	i := sort.Search(len(o.vals), func(i int) bool { return o.vals[i] < v })
+	o.vals = append(o.vals, 0)
+	copy(o.vals[i+1:], o.vals[i:])
+	o.vals[i] = v
+	return i + 1
+}
+
+func (o *oracle) remove(rank int) {
+	o.vals = append(o.vals[:rank-1], o.vals[rank:]...)
+}
+
+func (o *oracle) xi(a, b int) float64 {
+	if a < 1 {
+		a = 1
+	}
+	if b > len(o.vals) {
+		b = len(o.vals)
+	}
+	var s float64
+	for k := a; k <= b; k++ {
+		s += o.vals[k-1]
+	}
+	return s
+}
+
+func (o *oracle) gamma(a, b int) float64 {
+	if a < 1 {
+		a = 1
+	}
+	if b > len(o.vals) {
+		b = len(o.vals)
+	}
+	var s float64
+	for k := a; k <= b; k++ {
+		s += float64(k) * o.vals[k-1]
+	}
+	return s
+}
+
+func approxEq(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-6*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 || tr.TotalXi() != 0 || tr.TotalGamma() != 0 {
+		t.Error("empty tree has non-zero aggregates")
+	}
+	if tr.First() != nil || tr.Last() != nil || tr.Select(1) != nil {
+		t.Error("empty tree returned nodes")
+	}
+	if tr.PrefixXi(5) != 0 || tr.RangeXi(1, 10) != 0 || tr.RangeDelta(2, 3) != 0 {
+		t.Error("empty tree range queries non-zero")
+	}
+}
+
+func TestInsertDescendingOrder(t *testing.T) {
+	tr := New()
+	for _, v := range []float64{5, 1, 9, 3, 7} {
+		tr.Insert(v)
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{9, 7, 5, 3, 1}
+	for k, w := range want {
+		n := tr.Select(k + 1)
+		if n == nil || n.Cycles() != w {
+			t.Fatalf("Select(%d) = %v, want %v", k+1, n, w)
+		}
+		if tr.Rank(n) != k+1 {
+			t.Fatalf("Rank(Select(%d)) = %d", k+1, tr.Rank(n))
+		}
+	}
+	if tr.First().Cycles() != 9 || tr.Last().Cycles() != 1 {
+		t.Error("First/Last wrong")
+	}
+}
+
+func TestTiesAreFIFO(t *testing.T) {
+	tr := New()
+	a := tr.Insert(5)
+	b := tr.Insert(5)
+	c := tr.Insert(5)
+	if tr.Rank(a) != 1 || tr.Rank(b) != 2 || tr.Rank(c) != 3 {
+		t.Errorf("ranks = %d,%d,%d; equal keys must keep insertion order",
+			tr.Rank(a), tr.Rank(b), tr.Rank(c))
+	}
+}
+
+func TestThreading(t *testing.T) {
+	tr := New()
+	for _, v := range []float64{2, 8, 4, 6} {
+		tr.Insert(v)
+	}
+	var got []float64
+	for n := tr.First(); n != nil; n = n.Next() {
+		got = append(got, n.Cycles())
+	}
+	want := []float64{8, 6, 4, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("in-order = %v, want %v", got, want)
+		}
+	}
+	// Backwards.
+	var rev []float64
+	for n := tr.Last(); n != nil; n = n.Prev() {
+		rev = append(rev, n.Cycles())
+	}
+	for i := range want {
+		if rev[i] != want[len(want)-1-i] {
+			t.Fatalf("reverse order = %v", rev)
+		}
+	}
+}
+
+func TestDeleteRoot(t *testing.T) {
+	tr := New()
+	n := tr.Insert(1)
+	tr.Delete(n)
+	if tr.Len() != 0 || tr.First() != nil {
+		t.Error("tree not empty after deleting sole node")
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAggregatesSmall(t *testing.T) {
+	tr := New()
+	for _, v := range []float64{10, 20, 30} { // ranks: 30->1, 20->2, 10->3
+		tr.Insert(v)
+	}
+	if !approxEq(tr.TotalXi(), 60) {
+		t.Errorf("TotalXi = %v", tr.TotalXi())
+	}
+	// γ = 1*30 + 2*20 + 3*10 = 100.
+	if !approxEq(tr.TotalGamma(), 100) {
+		t.Errorf("TotalGamma = %v", tr.TotalGamma())
+	}
+	// ξ([2,3]) = 20+10 = 30; Δ([2,3]) = 1*20+2*10 = 40.
+	if !approxEq(tr.RangeXi(2, 3), 30) {
+		t.Errorf("RangeXi(2,3) = %v", tr.RangeXi(2, 3))
+	}
+	if !approxEq(tr.RangeDelta(2, 3), 40) {
+		t.Errorf("RangeDelta(2,3) = %v", tr.RangeDelta(2, 3))
+	}
+	// γ([2,3]) = Δ + (a-1)ξ = 40 + 30 = 70.
+	if !approxEq(tr.RangeGamma(2, 3), 70) {
+		t.Errorf("RangeGamma(2,3) = %v", tr.RangeGamma(2, 3))
+	}
+}
+
+func TestRangeQueryClamping(t *testing.T) {
+	tr := New()
+	tr.Insert(1)
+	tr.Insert(2)
+	if tr.RangeXi(0, 99) != tr.TotalXi() {
+		t.Error("clamped full range != total")
+	}
+	if tr.RangeXi(2, 1) != 0 {
+		t.Error("inverted range != 0")
+	}
+	if tr.RangeGamma(5, 9) != 0 {
+		t.Error("out-of-range gamma != 0")
+	}
+}
+
+func TestRandomizedAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tr := NewSeeded(7)
+	var o oracle
+	handles := make([]*Node, 0, 512)
+	for step := 0; step < 4000; step++ {
+		if len(handles) == 0 || rng.Float64() < 0.6 {
+			v := math.Floor(rng.Float64()*1000) / 4
+			h := tr.Insert(v)
+			wantRank := o.insert(v)
+			if got := tr.Rank(h); got != wantRank {
+				t.Fatalf("step %d: insert rank %d, oracle %d", step, got, wantRank)
+			}
+			handles = append(handles, h)
+		} else {
+			i := rng.Intn(len(handles))
+			h := handles[i]
+			o.remove(tr.Rank(h))
+			tr.Delete(h)
+			handles[i] = handles[len(handles)-1]
+			handles = handles[:len(handles)-1]
+		}
+		if tr.Len() != len(o.vals) {
+			t.Fatalf("step %d: Len %d vs oracle %d", step, tr.Len(), len(o.vals))
+		}
+		if step%137 == 0 {
+			if err := tr.checkInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			a := 1 + rng.Intn(len(o.vals)+1)
+			b := a + rng.Intn(len(o.vals)+1)
+			if !approxEq(tr.RangeXi(a, b), o.xi(a, b)) {
+				t.Fatalf("step %d: RangeXi(%d,%d) = %v, oracle %v", step, a, b, tr.RangeXi(a, b), o.xi(a, b))
+			}
+			if !approxEq(tr.RangeGamma(a, b), o.gamma(a, b)) {
+				t.Fatalf("step %d: RangeGamma(%d,%d) = %v, oracle %v", step, a, b, tr.RangeGamma(a, b), o.gamma(a, b))
+			}
+		}
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectOutOfRange(t *testing.T) {
+	tr := New()
+	tr.Insert(1)
+	if tr.Select(0) != nil || tr.Select(2) != nil || tr.Select(-3) != nil {
+		t.Error("out-of-range Select returned node")
+	}
+}
+
+func TestBalanceDepth(t *testing.T) {
+	// Sorted insertion must still produce logarithmic height thanks
+	// to treap priorities.
+	tr := New()
+	const n = 1 << 14
+	for i := 0; i < n; i++ {
+		tr.Insert(float64(i))
+	}
+	var depth func(*Node) int
+	depth = func(nd *Node) int {
+		if nd == nil {
+			return 0
+		}
+		l, r := depth(nd.left), depth(nd.right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	d := depth(tr.root)
+	if d > 4*15 { // 4x log2(n) is a generous treap bound
+		t.Errorf("depth %d too large for n=%d", d, n)
+	}
+}
+
+// Property: Δ([a,b]) computed by the tree matches the definition for
+// random contents and ranges.
+func TestDeltaDefinition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := NewSeeded(uint64(seed) ^ 0xabc)
+		n := 1 + rng.Intn(60)
+		vals := make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			v := rng.Float64() * 100
+			tr.Insert(v)
+			vals = append(vals, v)
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(vals)))
+		a := 1 + rng.Intn(n)
+		b := a + rng.Intn(n-a+1)
+		var want float64
+		for k := a; k <= b; k++ {
+			want += float64(k-a+1) * vals[k-1]
+		}
+		return approxEq(tr.RangeDelta(a, b), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: merging two adjacent ranges obeys Eq. 34.
+func TestMergeIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := NewSeeded(uint64(seed))
+		n := 2 + rng.Intn(50)
+		for i := 0; i < n; i++ {
+			tr.Insert(rng.Float64() * 10)
+		}
+		l := 1 + rng.Intn(n-1)
+		m := l + rng.Intn(n-l)
+		r := m + 1 + rng.Intn(n-m)
+		if r > n {
+			r = n
+		}
+		if m+1 > r {
+			return true
+		}
+		xiLM, xiMR := tr.RangeXi(l, m), tr.RangeXi(m+1, r)
+		dLM, dMR := tr.RangeDelta(l, m), tr.RangeDelta(m+1, r)
+		wantXi := xiLM + xiMR
+		wantD := dLM + dMR + float64(m+1-l)*xiMR
+		return approxEq(tr.RangeXi(l, r), wantXi) && approxEq(tr.RangeDelta(l, r), wantD)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,43 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV writes a header plus string rows in RFC-4180 form, for piping
+// sweep series into plotting tools.
+func CSV(w io.Writer, header []string, rows [][]string) error {
+	if len(header) == 0 {
+		return fmt.Errorf("report: empty CSV header")
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, row := range rows {
+		if len(row) != len(header) {
+			return fmt.Errorf("report: row %d has %d fields, header has %d", i, len(row), len(header))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CSVFloats writes numeric rows with full float64 precision.
+func CSVFloats(w io.Writer, header []string, rows [][]float64) error {
+	srows := make([][]string, len(rows))
+	for i, row := range rows {
+		srow := make([]string, len(row))
+		for j, v := range row {
+			srow[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		srows[i] = srow
+	}
+	return CSV(w, header, srows)
+}

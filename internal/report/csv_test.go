@@ -1,0 +1,45 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := CSV(&buf, []string{"a", "b"}, [][]string{{"1", "x,y"}, {"2", "z"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.HasPrefix(s, "a,b\n") {
+		t.Errorf("header wrong:\n%s", s)
+	}
+	if !strings.Contains(s, `"x,y"`) {
+		t.Errorf("quoting wrong:\n%s", s)
+	}
+}
+
+func TestCSVValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := CSV(&buf, nil, nil); err == nil {
+		t.Error("empty header accepted")
+	}
+	if err := CSV(&buf, []string{"a"}, [][]string{{"1", "2"}}); err == nil {
+		t.Error("ragged row accepted")
+	}
+}
+
+func TestCSVFloats(t *testing.T) {
+	var buf bytes.Buffer
+	if err := CSVFloats(&buf, []string{"x", "y"}, [][]float64{{1.5, 2}, {0.25, 1e-9}}); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"1.5,2", "0.25,1e-09"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q:\n%s", want, s)
+		}
+	}
+}

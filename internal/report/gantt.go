@@ -1,0 +1,76 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"dvfsched/internal/sim"
+)
+
+// ganttWidth is the character width of the rendered time axis.
+const ganttWidth = 72
+
+// Gantt renders a recorded simulation timeline as one text lane per
+// core. Each column is a time slice; the character shown is the task
+// ID's last decimal digit (multiple tasks in a slice render '*', idle
+// renders '.'). A legend with the time span follows the lanes.
+func Gantt(w io.Writer, timeline []sim.TimelineSegment) error {
+	if len(timeline) == 0 {
+		return fmt.Errorf("report: empty timeline (was sim.Config.RecordTimeline set?)")
+	}
+	maxCore := 0
+	start, end := timeline[0].Start, timeline[0].End
+	for _, s := range timeline {
+		if s.Core > maxCore {
+			maxCore = s.Core
+		}
+		if s.Start < start {
+			start = s.Start
+		}
+		if s.End > end {
+			end = s.End
+		}
+	}
+	if end <= start {
+		return fmt.Errorf("report: degenerate timeline span [%v, %v]", start, end)
+	}
+	span := end - start
+	lanes := make([][]rune, maxCore+1)
+	owner := make([][]int, maxCore+1)
+	for i := range lanes {
+		lanes[i] = []rune(strings.Repeat(".", ganttWidth))
+		owner[i] = make([]int, ganttWidth)
+		for j := range owner[i] {
+			owner[i][j] = -1
+		}
+	}
+	segs := make([]sim.TimelineSegment, len(timeline))
+	copy(segs, timeline)
+	sort.SliceStable(segs, func(i, j int) bool { return segs[i].Start < segs[j].Start })
+	for _, s := range segs {
+		lo := int((s.Start - start) / span * ganttWidth)
+		hi := int((s.End - start) / span * ganttWidth)
+		if hi == lo {
+			hi = lo + 1
+		}
+		if hi > ganttWidth {
+			hi = ganttWidth
+		}
+		for c := lo; c < hi; c++ {
+			switch owner[s.Core][c] {
+			case -1, s.TaskID:
+				owner[s.Core][c] = s.TaskID
+				lanes[s.Core][c] = rune('0' + s.TaskID%10)
+			default:
+				lanes[s.Core][c] = '*'
+			}
+		}
+	}
+	for i, lane := range lanes {
+		fmt.Fprintf(w, "core %2d |%s|\n", i, string(lane))
+	}
+	fmt.Fprintf(w, "        %-*s%.1fs\n", ganttWidth-4, fmt.Sprintf("%.1fs", start), end)
+	return nil
+}

@@ -1,0 +1,71 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dvfsched/internal/sim"
+)
+
+func TestGanttRendersLanes(t *testing.T) {
+	timeline := []sim.TimelineSegment{
+		{Core: 0, TaskID: 1, Start: 0, End: 5, Rate: 3.0},
+		{Core: 1, TaskID: 2, Start: 0, End: 2, Rate: 1.6},
+		{Core: 1, TaskID: 3, Start: 2, End: 10, Rate: 2.0},
+	}
+	var buf bytes.Buffer
+	if err := Gantt(&buf, timeline); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, "core  0") || !strings.Contains(s, "core  1") {
+		t.Errorf("missing lanes:\n%s", s)
+	}
+	if !strings.Contains(s, "1") || !strings.Contains(s, "3") {
+		t.Errorf("missing task digits:\n%s", s)
+	}
+	// Core 0 is idle for the second half: its lane must contain dots.
+	lane0 := strings.Split(s, "\n")[0]
+	if !strings.Contains(lane0, ".") {
+		t.Errorf("idle time not shown:\n%s", lane0)
+	}
+}
+
+func TestGanttValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Gantt(&buf, nil); err == nil {
+		t.Error("empty timeline accepted")
+	}
+	bad := []sim.TimelineSegment{{Core: 0, TaskID: 1, Start: 5, End: 5}}
+	if err := Gantt(&buf, bad); err == nil {
+		t.Error("degenerate span accepted")
+	}
+}
+
+func TestGanttFromSimulation(t *testing.T) {
+	// End-to-end: record a real run's timeline and render it.
+	res := runRecordedSim(t)
+	var buf bytes.Buffer
+	if err := Gantt(&buf, res.Timeline); err != nil {
+		t.Fatal(err)
+	}
+	if len(strings.Split(strings.TrimSpace(buf.String()), "\n")) < 3 {
+		t.Errorf("unexpected gantt:\n%s", buf.String())
+	}
+}
+
+func TestGanttCollisionRendersStar(t *testing.T) {
+	// Two different tasks mapped to the same cell render '*'.
+	timeline := []sim.TimelineSegment{
+		{Core: 0, TaskID: 1, Start: 0, End: 0.001},
+		{Core: 0, TaskID: 2, Start: 0.0005, End: 100},
+	}
+	var buf bytes.Buffer
+	if err := Gantt(&buf, timeline); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "*") {
+		t.Errorf("collision not marked:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,92 @@
+// Package report renders experiment results as text: horizontal bar
+// charts for the paper's normalized-cost figures and aligned series
+// tables for the sweeps. Output is deterministic and plain ASCII so
+// it diffs cleanly in logs.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Bar is one labeled value of a chart.
+type Bar struct {
+	// Label names the bar (a policy, a configuration).
+	Label string
+	// Value is the bar's magnitude; bars scale to the maximum.
+	Value float64
+}
+
+// barWidth is the character width of the longest bar.
+const barWidth = 44
+
+// Bars renders a horizontal bar chart. Values must be non-negative
+// and finite; the longest bar spans barWidth characters.
+func Bars(w io.Writer, title string, bars []Bar) error {
+	if len(bars) == 0 {
+		return fmt.Errorf("report: no bars")
+	}
+	maxV, maxL := 0.0, 0
+	for _, b := range bars {
+		if b.Value < 0 || math.IsNaN(b.Value) || math.IsInf(b.Value, 0) {
+			return fmt.Errorf("report: bad value %v for %q", b.Value, b.Label)
+		}
+		if b.Value > maxV {
+			maxV = b.Value
+		}
+		if len(b.Label) > maxL {
+			maxL = len(b.Label)
+		}
+	}
+	if title != "" {
+		fmt.Fprintf(w, "%s\n", title)
+	}
+	for _, b := range bars {
+		n := 0
+		if maxV > 0 {
+			n = int(math.Round(b.Value / maxV * barWidth))
+		}
+		fmt.Fprintf(w, "  %-*s |%-*s| %.3f\n", maxL, b.Label, barWidth, strings.Repeat("#", n), b.Value)
+	}
+	return nil
+}
+
+// Grouped renders one chart per metric for a set of policies, the
+// layout of the paper's three-panel cost figures. metrics maps a
+// metric name to per-policy values; policies fixes the ordering.
+func Grouped(w io.Writer, title string, policies []string, metrics []string, value func(metric, policy string) float64) error {
+	if len(policies) == 0 || len(metrics) == 0 {
+		return fmt.Errorf("report: empty grouped chart")
+	}
+	if title != "" {
+		fmt.Fprintf(w, "%s\n", title)
+	}
+	for _, m := range metrics {
+		bars := make([]Bar, 0, len(policies))
+		for _, p := range policies {
+			bars = append(bars, Bar{Label: p, Value: value(m, p)})
+		}
+		if err := Bars(w, "  ["+m+"]", bars); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Series renders a two-column numeric series with a header, for the
+// sweep outputs.
+func Series(w io.Writer, title, xName, yName string, xs, ys []float64) error {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return fmt.Errorf("report: series lengths %d vs %d", len(xs), len(ys))
+	}
+	if title != "" {
+		fmt.Fprintf(w, "%s\n", title)
+	}
+	fmt.Fprintf(w, "  %12s %12s\n", xName, yName)
+	for i := range xs {
+		fmt.Fprintf(w, "  %12.3f %12.3f\n", xs[i], ys[i])
+	}
+	return nil
+}

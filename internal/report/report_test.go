@@ -1,0 +1,84 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBarsBasic(t *testing.T) {
+	var buf bytes.Buffer
+	err := Bars(&buf, "chart", []Bar{
+		{Label: "wbg", Value: 1.0},
+		{Label: "olb", Value: 2.0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, "chart") || !strings.Contains(s, "wbg") || !strings.Contains(s, "olb") {
+		t.Errorf("missing labels:\n%s", s)
+	}
+	// The larger bar must be longer.
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if strings.Count(lines[1], "#") >= strings.Count(lines[2], "#") {
+		t.Errorf("bar lengths not proportional:\n%s", s)
+	}
+	if !strings.Contains(s, "2.000") {
+		t.Errorf("value missing:\n%s", s)
+	}
+}
+
+func TestBarsValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Bars(&buf, "", nil); err == nil {
+		t.Error("empty chart accepted")
+	}
+	if err := Bars(&buf, "", []Bar{{Label: "x", Value: -1}}); err == nil {
+		t.Error("negative value accepted")
+	}
+	if err := Bars(&buf, "", []Bar{{Label: "x", Value: math.NaN()}}); err == nil {
+		t.Error("NaN accepted")
+	}
+	// All-zero values are fine (zero-length bars).
+	if err := Bars(&buf, "", []Bar{{Label: "x", Value: 0}}); err != nil {
+		t.Errorf("zero bar rejected: %v", err)
+	}
+}
+
+func TestGrouped(t *testing.T) {
+	vals := map[string]map[string]float64{
+		"time":   {"lmc": 1.0, "olb": 1.5},
+		"energy": {"lmc": 1.0, "olb": 1.8},
+	}
+	var buf bytes.Buffer
+	err := Grouped(&buf, "Fig. 3", []string{"lmc", "olb"}, []string{"time", "energy"},
+		func(m, p string) float64 { return vals[m][p] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"Fig. 3", "[time]", "[energy]", "1.800"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q:\n%s", want, s)
+		}
+	}
+	if err := Grouped(&buf, "", nil, []string{"x"}, nil); err == nil {
+		t.Error("empty policies accepted")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Series(&buf, "sweep", "x", "y", []float64{1, 2}, []float64{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, "sweep") || !strings.Contains(s, "4.000") {
+		t.Errorf("series output wrong:\n%s", s)
+	}
+	if err := Series(&buf, "", "x", "y", []float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}

@@ -1,0 +1,41 @@
+package report
+
+import (
+	"testing"
+
+	"dvfsched/internal/batch"
+	"dvfsched/internal/model"
+	"dvfsched/internal/platform"
+	"dvfsched/internal/sim"
+)
+
+// runRecordedSim executes a small WBG plan with timeline recording on.
+func runRecordedSim(t *testing.T) *sim.Result {
+	t.Helper()
+	params := model.CostParams{Re: 0.1, Rt: 0.4}
+	tasks := model.TaskSet{
+		{ID: 1, Cycles: 10, Deadline: model.NoDeadline},
+		{ID: 2, Cycles: 30, Deadline: model.NoDeadline},
+		{ID: 3, Cycles: 20, Deadline: model.NoDeadline},
+	}
+	plan, err := batch.WBG(params, batch.HomogeneousCores(2, platform.TableII()), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := sim.NewFixedPlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(sim.Config{
+		Platform:       platform.Homogeneous(2, platform.TableII(), platform.Ideal{}),
+		Policy:         fp,
+		RecordTimeline: true,
+	}, tasks, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Timeline) == 0 {
+		t.Fatal("no timeline recorded")
+	}
+	return res
+}

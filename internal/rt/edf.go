@@ -1,0 +1,206 @@
+package rt
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"dvfsched/internal/model"
+	"dvfsched/internal/platform"
+	"dvfsched/internal/sim"
+)
+
+// SpeedMode selects the frequency policy of the EDF scheduler.
+type SpeedMode int
+
+const (
+	// StaticDVS pins the static optimal level (slowest schedulable).
+	StaticDVS SpeedMode = iota
+	// CycleConservingDVS recomputes the utilization with actual
+	// consumptions at completions (Pillai & Shin).
+	CycleConservingDVS
+	// RaceToIdle pins the maximum level.
+	RaceToIdle
+)
+
+func (m SpeedMode) String() string {
+	switch m {
+	case StaticDVS:
+		return "static-dvs"
+	case CycleConservingDVS:
+		return "cycle-conserving"
+	case RaceToIdle:
+		return "race-to-idle"
+	default:
+		return "unknown"
+	}
+}
+
+// edfPolicy is a single-core preemptive EDF scheduler (sim.Policy)
+// with a DVS speed mode.
+type edfPolicy struct {
+	tasks   map[int]PeriodicTask // task ID -> definition
+	jobTask map[int]int          // job (sim task) ID -> task ID
+	mode    SpeedMode
+	static  model.RateLevel
+	c       map[int]float64 // cycle-conserving per-task demand estimate
+	ready   []*sim.TaskState
+}
+
+func (p *edfPolicy) Name() string { return "edf+" + p.mode.String() }
+
+func (p *edfPolicy) Init(e *sim.Engine) {
+	if e.NumCores() != 1 {
+		panic("rt: the EDF policy is single-core; partition first")
+	}
+}
+
+// level returns the current frequency for dispatching.
+func (p *edfPolicy) level(e *sim.Engine) model.RateLevel {
+	rt := e.RateTable(0)
+	switch p.mode {
+	case RaceToIdle:
+		return rt.Max()
+	case StaticDVS:
+		return p.static
+	default: // CycleConservingDVS
+		var u float64
+		for id, t := range p.tasks {
+			u += p.c[id] / t.Period
+		}
+		for i := 0; i < rt.Len(); i++ {
+			if u*rt.Level(i).Time <= 1+1e-12 {
+				return rt.Level(i)
+			}
+		}
+		return rt.Max()
+	}
+}
+
+func (p *edfPolicy) OnArrival(e *sim.Engine, ts *sim.TaskState) {
+	taskID := p.jobTask[ts.Task.ID]
+	if p.mode == CycleConservingDVS {
+		// At release, assume the worst case again.
+		p.c[taskID] = p.tasks[taskID].WCET
+	}
+	level := p.level(e)
+	run := e.Running(0)
+	switch {
+	case run == nil:
+		if err := e.Start(0, ts, level); err != nil {
+			panic(err)
+		}
+	case run.Task.Deadline > ts.Task.Deadline:
+		prev, err := e.Preempt(0)
+		if err != nil {
+			panic(err)
+		}
+		p.push(prev)
+		if err := e.Start(0, ts, level); err != nil {
+			panic(err)
+		}
+	default:
+		p.push(ts)
+		// A release can raise the cycle-conserving utilization; keep
+		// the running job at the refreshed level.
+		if e.CurrentLevel(0).Rate != level.Rate {
+			if err := e.SetLevel(0, level); err != nil {
+				panic(err)
+			}
+		}
+	}
+}
+
+func (p *edfPolicy) OnCompletion(e *sim.Engine, _ int, done *sim.TaskState) {
+	if p.mode == CycleConservingDVS {
+		// The completed job used only its actual cycles; until its
+		// next release its task cannot demand more.
+		p.c[p.jobTask[done.Task.ID]] = done.Task.Cycles
+	}
+	if len(p.ready) == 0 {
+		return
+	}
+	next := p.ready[0]
+	p.ready = p.ready[1:]
+	if err := e.Start(0, next, p.level(e)); err != nil {
+		panic(err)
+	}
+}
+
+func (p *edfPolicy) OnTick(*sim.Engine) {}
+
+// push inserts a job into the deadline-sorted ready list.
+func (p *edfPolicy) push(ts *sim.TaskState) {
+	i := sort.Search(len(p.ready), func(i int) bool {
+		return p.ready[i].Task.Deadline > ts.Task.Deadline
+	})
+	p.ready = append(p.ready, nil)
+	copy(p.ready[i+1:], p.ready[i:])
+	p.ready[i] = ts
+}
+
+// Result summarizes an EDF-DVS run over one hyperperiod (or any
+// horizon).
+type Result struct {
+	// Mode is the speed policy used.
+	Mode SpeedMode
+	// Jobs is the number of jobs released.
+	Jobs int
+	// Misses counts deadline violations (0 when the set is
+	// schedulable).
+	Misses int
+	// EnergyJ is the total energy in joules.
+	EnergyJ float64
+	// Switches counts frequency transitions.
+	Switches int
+}
+
+// RunEDF expands the periodic set over the horizon (a nil rng means
+// worst-case demands), schedules it with preemptive EDF under the
+// chosen speed mode on one core with the given rates, and reports
+// energy and deadline misses.
+func RunEDF(ts TaskSet, rates *model.RateTable, horizon float64, rng *rand.Rand, mode SpeedMode) (*Result, error) {
+	jobs, err := Expand(ts, horizon, rng)
+	if err != nil {
+		return nil, err
+	}
+	static, err := StaticOptimalLevel(ts, rates)
+	if err != nil && mode != RaceToIdle {
+		return nil, err
+	}
+	pol := &edfPolicy{
+		tasks:   map[int]PeriodicTask{},
+		jobTask: map[int]int{},
+		mode:    mode,
+		static:  static,
+		c:       map[int]float64{},
+	}
+	for _, t := range ts {
+		pol.tasks[t.ID] = t
+		pol.c[t.ID] = t.WCET
+	}
+	simTasks := make(model.TaskSet, len(jobs))
+	for i, j := range jobs {
+		simTasks[i] = model.Task{
+			ID:       i,
+			Cycles:   j.Cycles,
+			Arrival:  j.Release,
+			Deadline: j.Deadline,
+		}
+		pol.jobTask[i] = j.Task
+	}
+	plat := platform.Homogeneous(1, rates, platform.Ideal{})
+	// Cost params are irrelevant to the RT comparison; any valid
+	// values work since we read raw energy.
+	res, err := sim.Run(sim.Config{Platform: plat, Policy: pol}, simTasks, model.CostParams{Re: 1, Rt: 1})
+	if err != nil {
+		return nil, fmt.Errorf("rt: %w", err)
+	}
+	out := &Result{Mode: mode, Jobs: len(jobs), EnergyJ: res.ActiveEnergy, Switches: res.Switches}
+	for _, t := range res.Tasks {
+		if t.Completion > t.Task.Deadline+1e-6 {
+			out.Misses++
+		}
+	}
+	return out, nil
+}

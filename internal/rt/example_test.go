@@ -1,0 +1,34 @@
+package rt_test
+
+import (
+	"fmt"
+
+	"dvfsched/internal/model"
+	"dvfsched/internal/rt"
+)
+
+// Find the static EDF-DVS level of a periodic task set and expand one
+// hyperperiod of jobs.
+func ExampleStaticOptimalLevel() {
+	rates := model.MustRateTable([]model.RateLevel{
+		{Rate: 50, Energy: 1, Time: 0.02},
+		{Rate: 100, Energy: 4, Time: 0.01},
+		{Rate: 200, Energy: 16, Time: 0.005},
+	})
+	tasks := rt.TaskSet{
+		{ID: 1, WCET: 0.3, Period: 0.01, BCETFraction: 1}, // 30 Gcyc/s
+		{ID: 2, WCET: 1.0, Period: 0.02, BCETFraction: 1}, // 50 Gcyc/s
+	}
+	level, err := rt.StaticOptimalLevel(tasks, rates)
+	if err != nil {
+		panic(err)
+	}
+	h, _ := rt.Hyperperiod(tasks)
+	jobs, _ := rt.Expand(tasks, h, nil)
+	fmt.Printf("U = %.0f Gcyc/s -> slowest schedulable level %.0f Gcyc/s\n",
+		tasks.CycleUtilization(), level.Rate)
+	fmt.Printf("%d jobs per %.0f ms hyperperiod\n", len(jobs), h*1000)
+	// Output:
+	// U = 80 Gcyc/s -> slowest schedulable level 100 Gcyc/s
+	// 3 jobs per 20 ms hyperperiod
+}

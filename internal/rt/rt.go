@@ -1,0 +1,241 @@
+// Package rt implements the periodic real-time DVS setting the paper
+// positions itself against (Section VI cites Yao et al., Pillai &
+// Shin's RT-DVS, and Aydin et al.): periodic tasks with implicit
+// deadlines on one core, scheduled by preemptive EDF, with two
+// classic frequency policies —
+//
+//   - Static EDF-DVS: the lowest single frequency at which the task
+//     set remains schedulable (utilization test U·T(p) ≤ 1),
+//   - Cycle-conserving EDF-DVS: the utilization estimate uses each
+//     task's worst case at release and its actual consumption at
+//     completion, so the frequency drops whenever jobs finish early.
+//
+// Multi-core use is partitioned (first-fit by utilization), matching
+// how the cited single-core schemes extend to multi-cores.
+package rt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"dvfsched/internal/model"
+)
+
+// PeriodicTask is a periodic real-time task with an implicit deadline
+// (deadline = period).
+type PeriodicTask struct {
+	// ID identifies the task.
+	ID int
+	// Name is an optional label.
+	Name string
+	// WCET is the worst-case execution demand in Gcycles.
+	WCET float64
+	// Period is the release period in seconds.
+	Period float64
+	// BCETFraction is the best case as a fraction of WCET (0..1];
+	// actual job demands are drawn uniformly from
+	// [BCETFraction*WCET, WCET]. 1 means every job uses its WCET.
+	BCETFraction float64
+}
+
+// Validate checks the task definition.
+func (t PeriodicTask) Validate() error {
+	switch {
+	case t.WCET <= 0 || math.IsNaN(t.WCET) || math.IsInf(t.WCET, 0):
+		return fmt.Errorf("rt: task %d: WCET must be positive, got %v", t.ID, t.WCET)
+	case t.Period <= 0 || math.IsNaN(t.Period) || math.IsInf(t.Period, 0):
+		return fmt.Errorf("rt: task %d: period must be positive, got %v", t.ID, t.Period)
+	case t.BCETFraction <= 0 || t.BCETFraction > 1:
+		return fmt.Errorf("rt: task %d: BCET fraction must be in (0,1], got %v", t.ID, t.BCETFraction)
+	}
+	return nil
+}
+
+// TaskSet is a set of periodic tasks.
+type TaskSet []PeriodicTask
+
+// Validate checks every task and ID uniqueness.
+func (ts TaskSet) Validate() error {
+	if len(ts) == 0 {
+		return fmt.Errorf("rt: empty task set")
+	}
+	seen := map[int]bool{}
+	for _, t := range ts {
+		if err := t.Validate(); err != nil {
+			return err
+		}
+		if seen[t.ID] {
+			return fmt.Errorf("rt: duplicate task ID %d", t.ID)
+		}
+		seen[t.ID] = true
+	}
+	return nil
+}
+
+// CycleUtilization returns U_cyc = Σ WCET_i / Period_i in Gcycles per
+// second: the processing rate the set demands in the worst case.
+func (ts TaskSet) CycleUtilization() float64 {
+	var u float64
+	for _, t := range ts {
+		u += t.WCET / t.Period
+	}
+	return u
+}
+
+// Schedulable reports whether preemptive EDF meets every deadline at
+// the given level: U_cyc · T(p) ≤ 1 (the classic EDF bound with
+// per-cycle time T).
+func (ts TaskSet) Schedulable(level model.RateLevel) bool {
+	return ts.CycleUtilization()*level.Time <= 1+1e-12
+}
+
+// StaticOptimalLevel returns the slowest level at which the set is
+// schedulable (static EDF-DVS), or an error if even the fastest level
+// is overloaded.
+func StaticOptimalLevel(ts TaskSet, rates *model.RateTable) (model.RateLevel, error) {
+	if err := ts.Validate(); err != nil {
+		return model.RateLevel{}, err
+	}
+	if err := rates.Validate(); err != nil {
+		return model.RateLevel{}, err
+	}
+	for i := 0; i < rates.Len(); i++ {
+		if ts.Schedulable(rates.Level(i)) {
+			return rates.Level(i), nil
+		}
+	}
+	return model.RateLevel{}, fmt.Errorf("rt: utilization %.3f Gcyc/s exceeds the fastest level", ts.CycleUtilization())
+}
+
+// msPeriod converts a period to integer milliseconds, required for an
+// exact hyperperiod.
+func msPeriod(p float64) (int64, error) {
+	ms := p * 1000
+	r := math.Round(ms)
+	if math.Abs(ms-r) > 1e-6 || r <= 0 {
+		return 0, fmt.Errorf("rt: period %v s is not a whole number of milliseconds", p)
+	}
+	return int64(r), nil
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Hyperperiod returns the least common multiple of the periods, in
+// seconds. Periods must be whole milliseconds and the LCM must fit.
+func Hyperperiod(ts TaskSet) (float64, error) {
+	if err := ts.Validate(); err != nil {
+		return 0, err
+	}
+	lcm := int64(1)
+	for _, t := range ts {
+		ms, err := msPeriod(t.Period)
+		if err != nil {
+			return 0, err
+		}
+		g := gcd(lcm, ms)
+		next := lcm / g
+		if next > math.MaxInt64/ms {
+			return 0, fmt.Errorf("rt: hyperperiod overflow")
+		}
+		lcm = next * ms
+	}
+	return float64(lcm) / 1000, nil
+}
+
+// Job is one released instance of a periodic task.
+type Job struct {
+	// Task is the generating task's ID.
+	Task int
+	// Release and Deadline bound the job's window in seconds.
+	Release, Deadline float64
+	// Cycles is the job's actual demand in Gcycles (≤ WCET).
+	Cycles float64
+	// WCET is the generating task's worst case, for the
+	// cycle-conserving bookkeeping.
+	WCET float64
+}
+
+// Expand releases every job of the set over [0, horizon). Actual
+// demands are drawn from [BCETFraction·WCET, WCET] using rng; a nil
+// rng yields worst-case demands.
+func Expand(ts TaskSet, horizon float64, rng *rand.Rand) ([]Job, error) {
+	if err := ts.Validate(); err != nil {
+		return nil, err
+	}
+	if horizon <= 0 {
+		return nil, fmt.Errorf("rt: horizon must be positive")
+	}
+	var jobs []Job
+	for _, t := range ts {
+		for k := 0; ; k++ {
+			release := float64(k) * t.Period
+			if release >= horizon-1e-12 {
+				break
+			}
+			cycles := t.WCET
+			if rng != nil && t.BCETFraction < 1 {
+				lo := t.BCETFraction * t.WCET
+				cycles = lo + rng.Float64()*(t.WCET-lo)
+			}
+			jobs = append(jobs, Job{
+				Task:     t.ID,
+				Release:  release,
+				Deadline: release + t.Period,
+				Cycles:   cycles,
+				WCET:     t.WCET,
+			})
+		}
+	}
+	sort.SliceStable(jobs, func(i, j int) bool {
+		if jobs[i].Release != jobs[j].Release {
+			return jobs[i].Release < jobs[j].Release
+		}
+		return jobs[i].Task < jobs[j].Task
+	})
+	return jobs, nil
+}
+
+// PartitionFirstFit assigns tasks to cores first-fit by decreasing
+// utilization, the standard partitioned extension of single-core
+// EDF-DVS. Every core uses the same rate table; a set that fits no
+// core yields an error.
+func PartitionFirstFit(ts TaskSet, rates *model.RateTable, cores int) ([]TaskSet, error) {
+	if cores <= 0 {
+		return nil, fmt.Errorf("rt: need at least one core")
+	}
+	if err := ts.Validate(); err != nil {
+		return nil, err
+	}
+	if err := rates.Validate(); err != nil {
+		return nil, err
+	}
+	sorted := make(TaskSet, len(ts))
+	copy(sorted, ts)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return sorted[i].WCET/sorted[i].Period > sorted[j].WCET/sorted[j].Period
+	})
+	parts := make([]TaskSet, cores)
+	maxT := rates.Max().Time
+	for _, t := range sorted {
+		placed := false
+		for j := range parts {
+			u := append(parts[j], t).CycleUtilization()
+			if u*maxT <= 1+1e-12 {
+				parts[j] = append(parts[j], t)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil, fmt.Errorf("rt: task %d does not fit on any of %d cores", t.ID, cores)
+		}
+	}
+	return parts, nil
+}

@@ -1,0 +1,251 @@
+package rt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dvfsched/internal/model"
+	"dvfsched/internal/platform"
+)
+
+func sampleSet() TaskSet {
+	return TaskSet{
+		{ID: 1, Name: "control", WCET: 0.5, Period: 0.01, BCETFraction: 0.4},
+		{ID: 2, Name: "sense", WCET: 0.8, Period: 0.02, BCETFraction: 0.5},
+		{ID: 3, Name: "log", WCET: 2.0, Period: 0.1, BCETFraction: 0.3},
+	}
+}
+
+func TestTaskValidation(t *testing.T) {
+	bad := []PeriodicTask{
+		{ID: 1, WCET: 0, Period: 1, BCETFraction: 1},
+		{ID: 1, WCET: 1, Period: 0, BCETFraction: 1},
+		{ID: 1, WCET: 1, Period: 1, BCETFraction: 0},
+		{ID: 1, WCET: 1, Period: 1, BCETFraction: 1.5},
+	}
+	for _, task := range bad {
+		if err := task.Validate(); err == nil {
+			t.Errorf("accepted %+v", task)
+		}
+	}
+	dup := TaskSet{
+		{ID: 1, WCET: 1, Period: 1, BCETFraction: 1},
+		{ID: 1, WCET: 1, Period: 2, BCETFraction: 1},
+	}
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate IDs accepted")
+	}
+	if err := (TaskSet{}).Validate(); err == nil {
+		t.Error("empty set accepted")
+	}
+}
+
+func TestCycleUtilization(t *testing.T) {
+	ts := sampleSet()
+	// 0.5/0.01 + 0.8/0.02 + 2/0.1 = 50 + 40 + 20 = 110 Gcyc/s.
+	if got := ts.CycleUtilization(); math.Abs(got-110) > 1e-9 {
+		t.Errorf("utilization = %v, want 110", got)
+	}
+}
+
+func TestStaticOptimalLevel(t *testing.T) {
+	rates := model.MustRateTable([]model.RateLevel{
+		{Rate: 100, Energy: 1, Time: 0.01}, // 100 Gcyc/s
+		{Rate: 120, Energy: 1.5, Time: 1.0 / 120},
+		{Rate: 200, Energy: 3, Time: 0.005},
+	})
+	// Utilization 110 Gcyc/s: 100 is too slow, 120 is the slowest
+	// feasible.
+	l, err := StaticOptimalLevel(sampleSet(), rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Rate != 120 {
+		t.Errorf("static level = %v, want 120", l.Rate)
+	}
+	heavy := TaskSet{{ID: 1, WCET: 300, Period: 1, BCETFraction: 1}}
+	if _, err := StaticOptimalLevel(heavy, rates); err == nil {
+		t.Error("overloaded set accepted")
+	}
+}
+
+func TestHyperperiod(t *testing.T) {
+	h, err := Hyperperiod(sampleSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h-0.1) > 1e-9 { // lcm(10ms, 20ms, 100ms) = 100ms
+		t.Errorf("hyperperiod = %v, want 0.1", h)
+	}
+	odd := TaskSet{{ID: 1, WCET: 1, Period: 0.0105111, BCETFraction: 1}}
+	if _, err := Hyperperiod(odd); err == nil {
+		t.Error("non-millisecond period accepted")
+	}
+}
+
+func TestExpandJobWindows(t *testing.T) {
+	ts := sampleSet()
+	jobs, err := Expand(ts, 0.1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 + 5 + 1 = 16 jobs in one hyperperiod.
+	if len(jobs) != 16 {
+		t.Fatalf("jobs = %d, want 16", len(jobs))
+	}
+	for _, j := range jobs {
+		if j.Deadline-j.Release <= 0 {
+			t.Error("non-positive window")
+		}
+		if j.Cycles != j.WCET {
+			t.Error("nil rng must give worst-case demands")
+		}
+	}
+	withRng, err := Expand(ts, 0.1, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawEarly := false
+	for _, j := range withRng {
+		if j.Cycles > j.WCET+1e-12 {
+			t.Error("actual demand exceeds WCET")
+		}
+		if j.Cycles < j.WCET {
+			sawEarly = true
+		}
+	}
+	if !sawEarly {
+		t.Error("rng never produced early completion")
+	}
+}
+
+func TestPartitionFirstFit(t *testing.T) {
+	rates := platform.TableII() // max 3.0 GHz = 3 Gcyc/s
+	ts := TaskSet{
+		{ID: 1, WCET: 2, Period: 1, BCETFraction: 1},   // U=2
+		{ID: 2, WCET: 1.5, Period: 1, BCETFraction: 1}, // U=1.5
+		{ID: 3, WCET: 1, Period: 1, BCETFraction: 1},   // U=1
+		{ID: 4, WCET: 0.5, Period: 1, BCETFraction: 1}, // U=0.5
+	}
+	parts, err := PartitionFirstFit(ts, rates, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range parts {
+		if len(p) > 0 && !p.Schedulable(rates.Max()) {
+			t.Error("partition not schedulable at max rate")
+		}
+	}
+	if _, err := PartitionFirstFit(ts, rates, 1); err == nil {
+		t.Error("overloaded single core accepted")
+	}
+	if _, err := PartitionFirstFit(ts, rates, 0); err == nil {
+		t.Error("zero cores accepted")
+	}
+}
+
+func rtRates() *model.RateTable {
+	// A small ladder in Gcyc/s with quadratic energy.
+	return model.MustRateTable([]model.RateLevel{
+		{Rate: 50, Energy: 1, Time: 0.02},
+		{Rate: 100, Energy: 4, Time: 0.01},
+		{Rate: 150, Energy: 9, Time: 1.0 / 150},
+		{Rate: 200, Energy: 16, Time: 0.005},
+	})
+}
+
+func TestRunEDFNoMissesAllModes(t *testing.T) {
+	ts := sampleSet() // 110 Gcyc/s -> static level 150
+	for _, mode := range []SpeedMode{RaceToIdle, StaticDVS, CycleConservingDVS} {
+		res, err := RunEDF(ts, rtRates(), 1.0, rand.New(rand.NewSource(2)), mode)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if res.Misses != 0 {
+			t.Errorf("%v: %d deadline misses", mode, res.Misses)
+		}
+		if res.Jobs != 160 {
+			t.Errorf("%v: jobs = %d", mode, res.Jobs)
+		}
+	}
+}
+
+func TestDVSEnergyOrdering(t *testing.T) {
+	// With early completions, cycle-conserving <= static <= race.
+	ts := sampleSet()
+	rng := func() *rand.Rand { return rand.New(rand.NewSource(3)) }
+	race, err := RunEDF(ts, rtRates(), 1.0, rng(), RaceToIdle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := RunEDF(ts, rtRates(), 1.0, rng(), StaticDVS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := RunEDF(ts, rtRates(), 1.0, rng(), CycleConservingDVS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(cc.EnergyJ < static.EnergyJ && static.EnergyJ < race.EnergyJ) {
+		t.Errorf("energy ordering violated: cc=%v static=%v race=%v",
+			cc.EnergyJ, static.EnergyJ, race.EnergyJ)
+	}
+	if cc.Switches == 0 {
+		t.Error("cycle-conserving never changed frequency")
+	}
+}
+
+func TestRunEDFOverloadedStaticErrors(t *testing.T) {
+	heavy := TaskSet{{ID: 1, WCET: 300, Period: 1, BCETFraction: 1}}
+	if _, err := RunEDF(heavy, rtRates(), 1, nil, StaticDVS); err == nil {
+		t.Error("overloaded static run accepted")
+	}
+}
+
+// Property: for random schedulable sets, EDF with static DVS never
+// misses a deadline (the U*T(p) <= 1 bound).
+func TestEDFSchedulabilityProperty(t *testing.T) {
+	rates := rtRates()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		ts := make(TaskSet, n)
+		// Target utilization below the max rate.
+		for i := range ts {
+			period := float64(1+rng.Intn(20)) / 100 // 10..200 ms
+			u := (20 + rng.Float64()*160/float64(n)) / float64(n)
+			ts[i] = PeriodicTask{
+				ID: i, WCET: u * period, Period: period,
+				BCETFraction: 0.3 + rng.Float64()*0.7,
+			}
+		}
+		if !ts.Schedulable(rates.Max()) {
+			return true // skip overloaded draws
+		}
+		for _, mode := range []SpeedMode{StaticDVS, CycleConservingDVS} {
+			res, err := RunEDF(ts, rates, 0.6, rand.New(rand.NewSource(seed+1)), mode)
+			if err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
+			}
+			if res.Misses != 0 {
+				t.Logf("seed %d mode %v: %d misses (U=%v)", seed, mode, res.Misses, ts.CycleUtilization())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpeedModeString(t *testing.T) {
+	for _, m := range []SpeedMode{StaticDVS, CycleConservingDVS, RaceToIdle, SpeedMode(99)} {
+		if m.String() == "" {
+			t.Error("empty mode string")
+		}
+	}
+}

@@ -1,0 +1,196 @@
+// Package sched implements the baseline scheduling policies the paper
+// compares against: Opportunistic Load Balancing (OLB), the Power
+// Saving mode, and Linux On-demand with round-robin placement. All are
+// sim.Policy implementations.
+package sched
+
+import (
+	"sort"
+
+	"dvfsched/internal/governor"
+	"dvfsched/internal/model"
+	"dvfsched/internal/platform"
+	"dvfsched/internal/sim"
+)
+
+// OLB is Opportunistic Load Balancing: every task goes to the core
+// with the earliest ready-to-execute time (any idle core, else a FIFO
+// queue drained on completions), aiming to keep cores fully utilized
+// and finish as early as possible.
+//
+// In the paper's batch experiments OLB's frequencies are driven by the
+// Linux on-demand governor (set Governor and a sim tick interval); in
+// the online experiments OLB pins every core at the highest frequency
+// (leave Governor nil and set MaxFrequency).
+//
+// Interactive tasks have priority: they are placed before queued
+// non-interactive tasks ("tasks on a core with the same priority will
+// be executed in a FIFO fashion", Section V-B). The paper's baselines
+// do not preempt; set Preemptive to let an interactive arrival preempt
+// a running non-interactive task (assumption 4 of Section IV allows
+// it).
+type OLB struct {
+	// MaxFrequency pins all work at each core's top rate.
+	MaxFrequency bool
+	// Governor, if non-nil, adjusts core frequencies on every tick.
+	Governor governor.Governor
+	// Preemptive lets interactive arrivals preempt non-interactive
+	// work when no core is idle.
+	Preemptive bool
+	// ShortestFirst keeps the non-interactive queue in non-decreasing
+	// cycle order instead of FIFO. It isolates, as an ablation, how
+	// much of LMC's advantage is SJF ordering rather than DVFS.
+	ShortestFirst bool
+
+	interactive []*sim.TaskState // FIFO of waiting interactive tasks
+	batch       []*sim.TaskState // FIFO of waiting non-interactive tasks
+	paused      []*sim.TaskState // preempted tasks, resumed LIFO
+}
+
+// Name implements sim.Policy.
+func (o *OLB) Name() string {
+	name := "olb"
+	if o.ShortestFirst {
+		name = "olb-sjf"
+	}
+	if o.Governor != nil {
+		return name + "+" + o.Governor.Name()
+	}
+	return name
+}
+
+// Init implements sim.Policy.
+func (o *OLB) Init(e *sim.Engine) {
+	if o.MaxFrequency {
+		for i := 0; i < e.NumCores(); i++ {
+			if err := e.SetLevel(i, e.RateTable(i).Max()); err != nil {
+				panic(err)
+			}
+		}
+	}
+}
+
+// levelFor returns the dispatch level for a core: top rate when
+// MaxFrequency, otherwise the core's current governor-chosen setting.
+func (o *OLB) levelFor(e *sim.Engine, core int) model.RateLevel {
+	if o.MaxFrequency {
+		return e.RateTable(core).Max()
+	}
+	return e.CurrentLevel(core)
+}
+
+// OnArrival implements sim.Policy.
+func (o *OLB) OnArrival(e *sim.Engine, t *sim.TaskState) {
+	if t.Task.Interactive {
+		o.interactive = append(o.interactive, t)
+		if !o.drain(e) && o.Preemptive {
+			// No idle core: preempt a non-interactive task.
+			for i := 0; i < e.NumCores(); i++ {
+				r := e.Running(i)
+				if r != nil && !r.Task.Interactive {
+					prev, err := e.Preempt(i)
+					if err != nil {
+						panic(err)
+					}
+					o.paused = append(o.paused, prev)
+					o.drain(e)
+					break
+				}
+			}
+		}
+		return
+	}
+	if o.ShortestFirst {
+		pos := sort.Search(len(o.batch), func(i int) bool {
+			return o.batch[i].Task.Cycles > t.Task.Cycles
+		})
+		o.batch = append(o.batch, nil)
+		copy(o.batch[pos+1:], o.batch[pos:])
+		o.batch[pos] = t
+	} else {
+		o.batch = append(o.batch, t)
+	}
+	o.drain(e)
+}
+
+// OnCompletion implements sim.Policy.
+func (o *OLB) OnCompletion(e *sim.Engine, _ int, _ *sim.TaskState) { o.drain(e) }
+
+// OnTick implements sim.Policy.
+func (o *OLB) OnTick(e *sim.Engine) {
+	if o.Governor == nil {
+		return
+	}
+	for i := 0; i < e.NumCores(); i++ {
+		rt := e.RateTable(i)
+		cur := rt.IndexOf(e.CurrentLevel(i).Rate)
+		next := o.Governor.Next(rt, cur, e.BusyFraction(i))
+		if next != cur {
+			if err := e.SetLevel(i, rt.Level(next)); err != nil {
+				panic(err)
+			}
+		}
+	}
+}
+
+// next pops the highest-priority waiting task: interactive first, then
+// preempted tasks (resumed before fresh ones), then the FIFO batch.
+func (o *OLB) next() *sim.TaskState {
+	if len(o.interactive) > 0 {
+		t := o.interactive[0]
+		o.interactive = o.interactive[1:]
+		return t
+	}
+	if len(o.paused) > 0 {
+		t := o.paused[len(o.paused)-1]
+		o.paused = o.paused[:len(o.paused)-1]
+		return t
+	}
+	if len(o.batch) > 0 {
+		t := o.batch[0]
+		o.batch = o.batch[1:]
+		return t
+	}
+	return nil
+}
+
+// drain starts waiting tasks on idle cores; it reports whether all
+// interactive tasks found a core.
+func (o *OLB) drain(e *sim.Engine) bool {
+	for i := 0; i < e.NumCores(); i++ {
+		if !e.Idle(i) {
+			continue
+		}
+		t := o.next()
+		if t == nil {
+			break
+		}
+		if err := e.Start(i, t, o.levelFor(e, i)); err != nil {
+			panic(err)
+		}
+	}
+	return len(o.interactive) == 0
+}
+
+// PowerSavePlatform derives the paper's Power Saving configuration
+// from a platform: every core's frequency choices are restricted to
+// the lower half of its range (for Table II: 1.6, 2.0 and 2.4 GHz).
+func PowerSavePlatform(p *platform.Platform) (*platform.Platform, error) {
+	cores := make([]*model.RateTable, len(p.Cores))
+	for i, rt := range p.Cores {
+		half := (rt.Len() + 1) / 2
+		restricted, err := rt.Restrict(func(l model.RateLevel) bool {
+			return rt.IndexOf(l.Rate) < half
+		})
+		if err != nil {
+			return nil, err
+		}
+		cores[i] = restricted
+	}
+	return &platform.Platform{
+		Cores:         cores,
+		Exec:          p.Exec,
+		SwitchLatency: p.SwitchLatency,
+		IdleWatts:     p.IdleWatts,
+	}, nil
+}

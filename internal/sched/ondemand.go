@@ -1,0 +1,115 @@
+package sched
+
+import (
+	"dvfsched/internal/governor"
+	"dvfsched/internal/sim"
+)
+
+// OnDemandRR is the paper's online-mode "On-demand" baseline: arriving
+// tasks are assigned to cores round-robin (the governor itself does not
+// place tasks), each core runs its queue FIFO within priority class,
+// and the Linux on-demand governor drives each core's frequency from
+// its load. Interactive tasks are queued ahead of non-interactive ones
+// on their assigned core; with Preemptive set they additionally
+// preempt a running non-interactive task.
+type OnDemandRR struct {
+	// Governor drives frequencies; defaults to the paper's 85%
+	// on-demand governor.
+	Governor governor.Governor
+	// Preemptive lets interactive arrivals preempt non-interactive
+	// work on their assigned core.
+	Preemptive bool
+
+	next   int
+	queues []coreQueue
+}
+
+type coreQueue struct {
+	interactive []*sim.TaskState
+	batch       []*sim.TaskState
+	paused      []*sim.TaskState
+}
+
+func (q *coreQueue) next() *sim.TaskState {
+	if len(q.interactive) > 0 {
+		t := q.interactive[0]
+		q.interactive = q.interactive[1:]
+		return t
+	}
+	if len(q.paused) > 0 {
+		t := q.paused[len(q.paused)-1]
+		q.paused = q.paused[:len(q.paused)-1]
+		return t
+	}
+	if len(q.batch) > 0 {
+		t := q.batch[0]
+		q.batch = q.batch[1:]
+		return t
+	}
+	return nil
+}
+
+// Name implements sim.Policy.
+func (o *OnDemandRR) Name() string { return "ondemand-rr" }
+
+// Init implements sim.Policy.
+func (o *OnDemandRR) Init(e *sim.Engine) {
+	if o.Governor == nil {
+		o.Governor = governor.DefaultOnDemand()
+	}
+	o.queues = make([]coreQueue, e.NumCores())
+}
+
+// OnArrival implements sim.Policy.
+func (o *OnDemandRR) OnArrival(e *sim.Engine, t *sim.TaskState) {
+	core := o.next
+	o.next = (o.next + 1) % e.NumCores()
+	q := &o.queues[core]
+	if t.Task.Interactive {
+		q.interactive = append(q.interactive, t)
+		if o.Preemptive && !e.Idle(core) {
+			if r := e.Running(core); r != nil && !r.Task.Interactive {
+				prev, err := e.Preempt(core)
+				if err != nil {
+					panic(err)
+				}
+				q.paused = append(q.paused, prev)
+			}
+		}
+	} else {
+		q.batch = append(q.batch, t)
+	}
+	o.dispatch(e, core)
+}
+
+// OnCompletion implements sim.Policy.
+func (o *OnDemandRR) OnCompletion(e *sim.Engine, coreID int, _ *sim.TaskState) {
+	o.dispatch(e, coreID)
+}
+
+// OnTick implements sim.Policy.
+func (o *OnDemandRR) OnTick(e *sim.Engine) {
+	for i := 0; i < e.NumCores(); i++ {
+		rt := e.RateTable(i)
+		cur := rt.IndexOf(e.CurrentLevel(i).Rate)
+		next := o.Governor.Next(rt, cur, e.BusyFraction(i))
+		if next != cur {
+			if err := e.SetLevel(i, rt.Level(next)); err != nil {
+				panic(err)
+			}
+		}
+	}
+}
+
+func (o *OnDemandRR) dispatch(e *sim.Engine, core int) {
+	if !e.Idle(core) {
+		return
+	}
+	t := o.queues[core].next()
+	if t == nil {
+		return
+	}
+	if err := e.Start(core, t, e.CurrentLevel(core)); err != nil {
+		panic(err)
+	}
+}

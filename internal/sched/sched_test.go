@@ -1,0 +1,215 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"dvfsched/internal/governor"
+	"dvfsched/internal/model"
+	"dvfsched/internal/platform"
+	"dvfsched/internal/sim"
+)
+
+var paperParams = model.CostParams{Re: 0.1, Rt: 0.4}
+
+func plat(n int) *platform.Platform {
+	return platform.Homogeneous(n, platform.TableII(), platform.Ideal{})
+}
+
+func batchTasks(n int) model.TaskSet {
+	ts := make(model.TaskSet, n)
+	for i := range ts {
+		ts[i] = model.Task{ID: i, Cycles: 5 + float64((i*13)%40), Deadline: model.NoDeadline}
+	}
+	return ts
+}
+
+func TestOLBMaxFrequencyCompletesAll(t *testing.T) {
+	res, err := sim.Run(sim.Config{Platform: plat(4), Policy: &OLB{MaxFrequency: true}}, batchTasks(20), paperParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tasks) != 20 {
+		t.Fatalf("tasks = %d", len(res.Tasks))
+	}
+	for _, ts := range res.Tasks {
+		if !ts.Done {
+			t.Errorf("task %d not done", ts.Task.ID)
+		}
+	}
+	// All work ran at the top rate: energy = sum cycles * E(max).
+	var cycles float64
+	for _, ts := range res.Tasks {
+		cycles += ts.Task.Cycles
+	}
+	want := cycles * 7.1
+	if math.Abs(res.ActiveEnergy-want) > 1e-6*want {
+		t.Errorf("energy %v, want %v", res.ActiveEnergy, want)
+	}
+}
+
+func TestOLBGovernorRampsUp(t *testing.T) {
+	// With the on-demand governor and a 1 s tick, a saturated core
+	// reaches max frequency after the first tick, so makespan is
+	// between the all-max and all-min extremes.
+	res, err := sim.Run(sim.Config{
+		Platform:     plat(1),
+		Policy:       &OLB{Governor: governor.DefaultOnDemand()},
+		TickInterval: 1,
+	}, batchTasks(4), paperParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cycles float64
+	for _, ts := range res.Tasks {
+		cycles += ts.Task.Cycles
+	}
+	atMax := cycles * 0.33
+	atMin := cycles * 0.625
+	if res.Makespan <= atMax || res.Makespan >= atMin {
+		t.Errorf("makespan %v outside (%v, %v)", res.Makespan, atMax, atMin)
+	}
+	if res.Switches == 0 {
+		t.Error("governor never switched frequency")
+	}
+}
+
+func TestOLBInteractivePreempts(t *testing.T) {
+	tasks := model.TaskSet{
+		{ID: 1, Cycles: 1000, Deadline: model.NoDeadline},
+		{ID: 2, Cycles: 1, Arrival: 10, Interactive: true, Deadline: model.NoDeadline},
+	}
+	res, err := sim.Run(sim.Config{Platform: plat(1), Policy: &OLB{MaxFrequency: true, Preemptive: true}}, tasks, paperParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter := res.Tasks[1]
+	if math.Abs(inter.Completion-(10+0.33)) > 1e-9 {
+		t.Errorf("interactive completion %v, want 10.33", inter.Completion)
+	}
+	if res.Preemptions != 1 {
+		t.Errorf("preemptions = %d, want 1", res.Preemptions)
+	}
+	if !res.Tasks[0].Done {
+		t.Error("preempted task never resumed")
+	}
+}
+
+func TestOLBInteractiveWaitsWhenAllInteractive(t *testing.T) {
+	tasks := model.TaskSet{
+		{ID: 1, Cycles: 10, Interactive: true, Deadline: model.NoDeadline},
+		{ID: 2, Cycles: 10, Arrival: 0.1, Interactive: true, Deadline: model.NoDeadline},
+	}
+	res, err := sim.Run(sim.Config{Platform: plat(1), Policy: &OLB{MaxFrequency: true}}, tasks, paperParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second interactive cannot preempt the first; it runs after.
+	if res.Tasks[1].Completion <= res.Tasks[0].Completion {
+		t.Error("same-priority preemption happened")
+	}
+	if res.Preemptions != 0 {
+		t.Errorf("preemptions = %d", res.Preemptions)
+	}
+}
+
+func TestPowerSavePlatformRestrictsTable(t *testing.T) {
+	ps, err := PowerSavePlatform(plat(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rt := range ps.Cores {
+		if rt.Len() != 3 {
+			t.Errorf("core %d: %d levels, want 3", i, rt.Len())
+		}
+		if rt.Max().Rate != 2.4 {
+			t.Errorf("core %d: max %v, want 2.4", i, rt.Max().Rate)
+		}
+	}
+	// Original untouched.
+	if plat(4).Cores[0].Len() != 5 {
+		t.Error("source platform mutated")
+	}
+	// And it runs.
+	res, err := sim.Run(sim.Config{
+		Platform:     ps,
+		Policy:       &OLB{Governor: governor.DefaultOnDemand()},
+		TickInterval: 1,
+	}, batchTasks(8), paperParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 {
+		t.Error("no progress")
+	}
+}
+
+func TestOnDemandRRRoundRobins(t *testing.T) {
+	res, err := sim.Run(sim.Config{
+		Platform:     plat(2),
+		Policy:       &OnDemandRR{},
+		TickInterval: 1,
+	}, batchTasks(10), paperParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ts := range res.Tasks {
+		if !ts.Done {
+			t.Errorf("task %d not done", ts.Task.ID)
+		}
+	}
+}
+
+func TestOnDemandRRInteractivePreemptsOwnCore(t *testing.T) {
+	// Task 0 -> core 0, task 1 (interactive, arrives later) -> core 1,
+	// task 2 -> core 0... With one core the interactive must preempt.
+	tasks := model.TaskSet{
+		{ID: 1, Cycles: 1000, Deadline: model.NoDeadline},
+		{ID: 2, Cycles: 1, Arrival: 5, Interactive: true, Deadline: model.NoDeadline},
+	}
+	res, err := sim.Run(sim.Config{Platform: plat(1), Policy: &OnDemandRR{Preemptive: true}, TickInterval: 1}, tasks, paperParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Preemptions != 1 {
+		t.Errorf("preemptions = %d, want 1", res.Preemptions)
+	}
+	inter := res.Tasks[1]
+	if inter.Completion > 6 {
+		t.Errorf("interactive served too late: %v", inter.Completion)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if (&OLB{}).Name() != "olb" {
+		t.Error("OLB name")
+	}
+	if (&OLB{Governor: governor.DefaultOnDemand()}).Name() != "olb+ondemand" {
+		t.Error("OLB+gov name")
+	}
+	if (&OnDemandRR{}).Name() != "ondemand-rr" {
+		t.Error("OnDemandRR name")
+	}
+}
+
+func TestOLBShortestFirstOrdering(t *testing.T) {
+	// Single core busy with the first arrival; later arrivals queue
+	// and must drain shortest-first.
+	tasks := model.TaskSet{
+		{ID: 0, Cycles: 50, Deadline: model.NoDeadline},
+		{ID: 1, Cycles: 40, Arrival: 0.1, Deadline: model.NoDeadline},
+		{ID: 2, Cycles: 10, Arrival: 0.2, Deadline: model.NoDeadline},
+		{ID: 3, Cycles: 20, Arrival: 0.3, Deadline: model.NoDeadline},
+	}
+	res, err := sim.Run(sim.Config{Platform: plat(1), Policy: &OLB{MaxFrequency: true, ShortestFirst: true}}, tasks, paperParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := func(id int) float64 { return res.Tasks[id].Completion }
+	if !(c(2) < c(3) && c(3) < c(1)) {
+		t.Errorf("SJF order wrong: %v %v %v", c(1), c(2), c(3))
+	}
+	if (&OLB{ShortestFirst: true}).Name() != "olb-sjf" {
+		t.Error("name")
+	}
+}

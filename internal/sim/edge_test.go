@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"dvfsched/internal/model"
+	"dvfsched/internal/platform"
+)
+
+// TestSimultaneousCompletionAndArrival: a completion and an arrival at
+// the same instant must process the completion first, so the arrival
+// sees a free core.
+func TestSimultaneousCompletionAndArrival(t *testing.T) {
+	tasks := model.TaskSet{
+		{ID: 1, Cycles: 10, Deadline: model.NoDeadline},               // ends at 3.3 s exactly
+		{ID: 2, Cycles: 10, Arrival: 3.3, Deadline: model.NoDeadline}, // arrives at 3.3 s
+	}
+	res, err := Run(Config{Platform: singleCorePlatform(), Policy: newFIFO()}, tasks, paperParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := res.Tasks[1]
+	// Task 2 must start immediately at its arrival, not queue.
+	if math.Abs(second.FirstStart-3.3) > 1e-9 {
+		t.Errorf("second task started at %v, want 3.3", second.FirstStart)
+	}
+}
+
+// TestArrivalTieOrdering: two tasks arriving at the same instant are
+// delivered in input (ID) order.
+func TestArrivalTieOrdering(t *testing.T) {
+	tasks := model.TaskSet{
+		{ID: 1, Cycles: 5, Arrival: 1, Deadline: model.NoDeadline},
+		{ID: 2, Cycles: 5, Arrival: 1, Deadline: model.NoDeadline},
+	}
+	res, err := Run(Config{Platform: singleCorePlatform(), Policy: newFIFO()}, tasks, paperParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tasks[0].Completion >= res.Tasks[1].Completion {
+		t.Errorf("tie not FIFO: %v vs %v", res.Tasks[0].Completion, res.Tasks[1].Completion)
+	}
+}
+
+// TestMaxTimeAborts: a run whose events exceed MaxTime errors out
+// instead of spinning.
+func TestMaxTimeAborts(t *testing.T) {
+	tasks := model.TaskSet{{ID: 1, Cycles: 1e6, Deadline: model.NoDeadline}} // 625000 s at min
+	p := &fifo{level: func(rt *model.RateTable) model.RateLevel { return rt.Min() }}
+	if _, err := Run(Config{Platform: singleCorePlatform(), Policy: p, MaxTime: 10}, tasks, paperParams); err == nil {
+		t.Error("MaxTime not enforced")
+	}
+}
+
+// preemptChurn preempts the running task on every tick and restarts
+// it, hammering the settle/reschedule paths.
+type preemptChurn struct {
+	fifo
+	stash *TaskState
+}
+
+func (p *preemptChurn) Name() string { return "test-preempt-churn" }
+func (p *preemptChurn) OnTick(e *Engine) {
+	if p.stash == nil && !e.Idle(0) {
+		ts, err := e.Preempt(0)
+		if err != nil {
+			panic(err)
+		}
+		p.stash = ts
+		return
+	}
+	if p.stash != nil && e.Idle(0) {
+		ts := p.stash
+		p.stash = nil
+		if err := e.Start(0, ts, e.RateTable(0).Max()); err != nil {
+			panic(err)
+		}
+	}
+}
+
+func TestPreemptionChurnConservesWorkAndEnergy(t *testing.T) {
+	tasks := model.TaskSet{{ID: 1, Cycles: 30, Deadline: model.NoDeadline}} // ~10 s of work at max
+	p := &preemptChurn{fifo: *newFIFO()}
+	res, err := Run(Config{Platform: singleCorePlatform(), Policy: p, TickInterval: 0.25}, tasks, paperParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := res.Tasks[0]
+	if !ts.Done {
+		t.Fatal("task unfinished")
+	}
+	// Energy is exactly cycles * E regardless of the churn.
+	if math.Abs(res.ActiveEnergy-30*7.1) > 1e-6 {
+		t.Errorf("energy %v, want %v", res.ActiveEnergy, 30*7.1)
+	}
+	// Runtime = work time + paused time; paused every other tick.
+	if ts.Preemptions < 10 {
+		t.Errorf("churn too weak: %d preemptions", ts.Preemptions)
+	}
+}
+
+// TestTimelineCoversBusyTime: recorded segments must sum to each
+// core's busy time.
+func TestTimelineCoversBusyTime(t *testing.T) {
+	tasks := model.TaskSet{
+		{ID: 1, Cycles: 10, Deadline: model.NoDeadline},
+		{ID: 2, Cycles: 20, Deadline: model.NoDeadline},
+		{ID: 3, Cycles: 5, Arrival: 2, Deadline: model.NoDeadline},
+	}
+	plat := platform.Homogeneous(2, platform.TableII(), platform.Ideal{})
+	res, err := Run(Config{Platform: plat, Policy: newFIFO(), RecordTimeline: true}, tasks, paperParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perCore := map[int]float64{}
+	for _, seg := range res.Timeline {
+		perCore[seg.Core] += seg.End - seg.Start
+	}
+	var residencyTotal float64
+	for core, r := range res.Residency {
+		var sum float64
+		for _, v := range r {
+			sum += v
+		}
+		residencyTotal += sum
+		if math.Abs(perCore[core]-sum) > 1e-9 {
+			t.Errorf("core %d: timeline %v != residency %v", core, perCore[core], sum)
+		}
+	}
+	// And both match the executed work time.
+	var workTime float64
+	for _, ts := range res.Tasks {
+		workTime += ts.Task.Cycles * 0.33 // all at max under test fifo
+	}
+	if math.Abs(residencyTotal-workTime) > 1e-6 {
+		t.Errorf("residency %v != work time %v", residencyTotal, workTime)
+	}
+}

@@ -1,0 +1,522 @@
+// Package sim is a deterministic discrete-event simulator of a
+// multi-core platform with per-core DVFS. It provides the mechanics —
+// virtual time, task execution with contention-dependent speed, energy
+// accounting, frequency switching, and preemption — while scheduling
+// policies (package sched, online) decide task placement, ordering and
+// rates through the Engine API.
+//
+// The engine plays the role of the paper's testbed: the event-driven
+// simulator of Section V-B, and, with a platform.Realistic execution
+// model, the physical x86 machine of Section V-A.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"dvfsched/internal/model"
+	"dvfsched/internal/platform"
+	"dvfsched/internal/power"
+)
+
+// TaskState tracks one task through the simulation. Policies receive
+// TaskStates on arrival and completion and may stash them in their own
+// queues.
+type TaskState struct {
+	// Task is the immutable task definition.
+	Task model.Task
+	// Remaining is the number of Gcycles left to execute.
+	Remaining float64
+	// Energy is the joules consumed by this task so far.
+	Energy float64
+	// Started reports whether the task ever ran.
+	Started bool
+	// FirstStart is the time the task first started running.
+	FirstStart float64
+	// Done reports whether the task completed.
+	Done bool
+	// Completion is the completion time (valid once Done).
+	Completion float64
+	// Preemptions counts how many times the task was preempted.
+	Preemptions int
+}
+
+// Turnaround returns completion minus arrival, in seconds.
+func (t *TaskState) Turnaround() float64 { return t.Completion - t.Task.Arrival }
+
+// Policy decides scheduling. All callbacks run on the simulator's
+// single goroutine; policies must not retain the Engine past Run.
+type Policy interface {
+	// Name identifies the policy in results.
+	Name() string
+	// Init is called once before the first event.
+	Init(e *Engine)
+	// OnArrival is called when a task arrives.
+	OnArrival(e *Engine, t *TaskState)
+	// OnCompletion is called after a task finishes on the given core;
+	// the core is idle when the callback runs.
+	OnCompletion(e *Engine, coreID int, t *TaskState)
+	// OnTick is called every Config.TickInterval of virtual time (if
+	// non-zero); BusyFraction is refreshed at this point. Governor-
+	// driven policies adjust frequencies here.
+	OnTick(e *Engine)
+}
+
+// Config configures a simulation run.
+type Config struct {
+	// Platform describes cores and the execution model.
+	Platform *platform.Platform
+	// Policy is the scheduling policy under test.
+	Policy Policy
+	// TickInterval enables periodic OnTick callbacks (seconds);
+	// 0 disables them.
+	TickInterval float64
+	// Meter, if non-nil, records per-core power segments.
+	Meter *power.Meter
+	// MaxTime aborts runs whose virtual time exceeds it; 0 means the
+	// default of 1e9 seconds.
+	MaxTime float64
+	// RecordTimeline captures per-core execution segments into
+	// Result.Timeline (adds memory proportional to event count).
+	RecordTimeline bool
+}
+
+// TimelineSegment is one recorded stretch of execution: task TaskID
+// ran on Core at Rate GHz during [Start, End).
+type TimelineSegment struct {
+	Core       int
+	TaskID     int
+	Start, End float64
+	Rate       float64
+}
+
+// event kinds, in tie-break order at equal times: completions free
+// cores before ticks observe them and before new arrivals are placed.
+const (
+	evCompletion = iota
+	evTick
+	evArrival
+)
+
+type event struct {
+	time  float64
+	kind  int
+	order uint64 // global arrival order for full determinism
+	core  int
+	seq   uint64 // completion validity check
+	task  *TaskState
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	if h[i].kind != h[j].kind {
+		return h[i].kind < h[j].kind
+	}
+	return h[i].order < h[j].order
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// runSeg is the execution segment of the task currently on a core.
+type runSeg struct {
+	ts         *TaskState
+	level      model.RateLevel
+	tpc, epc   float64 // effective ns/cycle, nJ/cycle (set by reschedule)
+	execStart  float64 // first instant cycles advance (after any switch stall)
+	lastSettle float64
+	seq        uint64
+}
+
+type coreState struct {
+	id     int
+	rates  *model.RateTable
+	level  model.RateLevel
+	run    *runSeg
+	isBusy bool
+	// busy accounting
+	busyMark     float64
+	busyInWindow float64
+	busyTotal    float64
+	lastFraction float64
+	switches     int
+	residency    map[float64]float64 // busy seconds per rate (GHz)
+}
+
+func (c *coreState) accountBusy(now float64) {
+	if c.isBusy {
+		c.busyInWindow += now - c.busyMark
+		c.busyTotal += now - c.busyMark
+	}
+	c.busyMark = now
+}
+
+// Engine is the simulation state exposed to policies.
+type Engine struct {
+	cfg      Config
+	exec     platform.ExecutionModel
+	clock    float64
+	events   eventHeap
+	orderCtr uint64
+	seqCtr   uint64
+	cores    []*coreState
+	active   int
+	tasks    []*TaskState
+	undone   int
+	timeline []TimelineSegment
+	err      error
+}
+
+// Clock returns the current virtual time in seconds.
+func (e *Engine) Clock() float64 { return e.clock }
+
+// NumCores returns the number of cores.
+func (e *Engine) NumCores() int { return len(e.cores) }
+
+// RateTable returns core i's rate table.
+func (e *Engine) RateTable(i int) *model.RateTable { return e.cores[i].rates }
+
+// CurrentLevel returns core i's current frequency level.
+func (e *Engine) CurrentLevel(i int) model.RateLevel { return e.cores[i].level }
+
+// Running returns the task currently executing on core i, or nil.
+func (e *Engine) Running(i int) *TaskState {
+	if e.cores[i].run == nil {
+		return nil
+	}
+	return e.cores[i].run.ts
+}
+
+// Idle reports whether core i has no running task.
+func (e *Engine) Idle(i int) bool { return e.cores[i].run == nil }
+
+// BusyFraction returns core i's busy fraction over the last completed
+// tick window (valid during OnTick).
+func (e *Engine) BusyFraction(i int) float64 { return e.cores[i].lastFraction }
+
+// ActiveCores returns the number of cores currently executing.
+func (e *Engine) ActiveCores() int { return e.active }
+
+// settleAll charges elapsed time to every running task and emits meter
+// segments up to the current clock.
+func (e *Engine) settleAll() {
+	for _, c := range e.cores {
+		seg := c.run
+		if seg == nil {
+			continue
+		}
+		from := seg.lastSettle
+		if e.clock <= from {
+			continue
+		}
+		elapsed := e.clock - from
+		progress := elapsed / seg.tpc
+		if progress > seg.ts.Remaining {
+			progress = seg.ts.Remaining
+		}
+		seg.ts.Remaining -= progress
+		seg.ts.Energy += progress * seg.epc
+		if e.cfg.Meter != nil {
+			// nJ/cycle over ns/cycle is watts.
+			if err := e.cfg.Meter.Record(from, e.clock, seg.epc/seg.tpc); err != nil && e.err == nil {
+				e.err = err
+			}
+		}
+		c.residency[seg.level.Rate] += elapsed
+		if e.cfg.RecordTimeline {
+			e.timeline = append(e.timeline, TimelineSegment{
+				Core:   c.id,
+				TaskID: seg.ts.Task.ID,
+				Start:  from,
+				End:    e.clock,
+				Rate:   seg.level.Rate,
+			})
+		}
+		seg.lastSettle = e.clock
+	}
+}
+
+// rescheduleAll recomputes effective speeds (which depend on the
+// active-core count) and requeues completion events. Must follow
+// settleAll within the same instant.
+func (e *Engine) rescheduleAll() {
+	for _, c := range e.cores {
+		seg := c.run
+		if seg == nil {
+			continue
+		}
+		seg.tpc = e.exec.TimePerCycle(seg.level, e.active)
+		seg.epc = e.exec.EnergyPerCycle(seg.level, e.active)
+		e.seqCtr++
+		seg.seq = e.seqCtr
+		start := seg.lastSettle
+		if start < e.clock {
+			start = e.clock
+		}
+		end := start + seg.ts.Remaining*seg.tpc
+		e.orderCtr++
+		heap.Push(&e.events, event{time: end, kind: evCompletion, order: e.orderCtr, core: c.id, seq: seg.seq})
+	}
+}
+
+// Start begins executing a task on an idle core at the given level.
+// If the level differs from the core's current setting, the switch
+// latency stalls execution first.
+func (e *Engine) Start(i int, ts *TaskState, level model.RateLevel) error {
+	c := e.cores[i]
+	if c.run != nil {
+		return fmt.Errorf("sim: core %d busy, cannot start task %d", i, ts.Task.ID)
+	}
+	if ts.Done {
+		return fmt.Errorf("sim: task %d already done", ts.Task.ID)
+	}
+	if c.rates.IndexOf(level.Rate) < 0 {
+		return fmt.Errorf("sim: core %d does not support rate %v", i, level.Rate)
+	}
+	e.settleAll()
+	stall := 0.0
+	if c.level.Rate != level.Rate {
+		stall = e.cfg.Platform.SwitchLatency
+		c.switches++
+	}
+	c.level = level
+	if !ts.Started {
+		ts.Started = true
+		ts.FirstStart = e.clock
+	}
+	c.run = &runSeg{
+		ts:         ts,
+		level:      level,
+		execStart:  e.clock + stall,
+		lastSettle: e.clock + stall,
+	}
+	c.accountBusy(e.clock)
+	c.isBusy = true
+	e.active++
+	e.rescheduleAll()
+	return nil
+}
+
+// Preempt pauses the task running on core i and returns it with its
+// Remaining cycles updated. The policy is responsible for resuming it
+// later via Start.
+func (e *Engine) Preempt(i int) (*TaskState, error) {
+	c := e.cores[i]
+	if c.run == nil {
+		return nil, fmt.Errorf("sim: core %d idle, nothing to preempt", i)
+	}
+	e.settleAll()
+	ts := c.run.ts
+	ts.Preemptions++
+	c.run = nil
+	c.accountBusy(e.clock)
+	c.isBusy = false
+	e.active--
+	e.rescheduleAll()
+	return ts, nil
+}
+
+// SetLevel changes core i's frequency. A running task continues at the
+// new speed after the switch stall.
+func (e *Engine) SetLevel(i int, level model.RateLevel) error {
+	c := e.cores[i]
+	if c.rates.IndexOf(level.Rate) < 0 {
+		return fmt.Errorf("sim: core %d does not support rate %v", i, level.Rate)
+	}
+	if c.level.Rate == level.Rate {
+		return nil
+	}
+	c.switches++
+	c.level = level
+	if c.run == nil {
+		return nil
+	}
+	e.settleAll()
+	c.run.level = level
+	c.run.execStart = e.clock + e.cfg.Platform.SwitchLatency
+	if c.run.lastSettle < c.run.execStart {
+		c.run.lastSettle = c.run.execStart
+	}
+	e.rescheduleAll()
+	return nil
+}
+
+// Result summarizes a run.
+type Result struct {
+	// Policy is the policy name.
+	Policy string
+	// Tasks holds final per-task states sorted by task ID.
+	Tasks []*TaskState
+	// ActiveEnergy is the energy consumed executing tasks, in joules.
+	ActiveEnergy float64
+	// IdleEnergy is IdleWatts integrated over core idle time up to
+	// the makespan.
+	IdleEnergy float64
+	// TotalEnergy is active plus idle energy.
+	TotalEnergy float64
+	// Makespan is the latest completion time, in seconds.
+	Makespan float64
+	// TurnaroundSum is the sum of per-task turnaround times.
+	TurnaroundSum float64
+	// EnergyCost, TimeCost and TotalCost apply the cost model to the
+	// measured energy and turnarounds, in cents.
+	EnergyCost, TimeCost, TotalCost float64
+	// Switches counts frequency switches across cores.
+	Switches int
+	// Preemptions counts task preemptions.
+	Preemptions int
+	// Timeline holds recorded execution segments (only when
+	// Config.RecordTimeline was set), ordered by settle time.
+	Timeline []TimelineSegment
+	// Residency maps, per core, each rate (GHz) to the busy seconds
+	// spent at it — the frequency-residency histogram cpufreq stats
+	// expose on real hardware.
+	Residency []map[float64]float64
+}
+
+// Run simulates the tasks under the configured policy and returns the
+// outcome. It is deterministic for identical inputs.
+func Run(cfg Config, tasks model.TaskSet, params model.CostParams) (*Result, error) {
+	if cfg.Platform == nil {
+		return nil, fmt.Errorf("sim: nil platform")
+	}
+	if err := cfg.Platform.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("sim: nil policy")
+	}
+	if err := tasks.Validate(); err != nil {
+		return nil, err
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.TickInterval < 0 {
+		return nil, fmt.Errorf("sim: negative tick interval")
+	}
+	maxTime := cfg.MaxTime
+	if maxTime == 0 {
+		maxTime = 1e9
+	}
+
+	e := &Engine{cfg: cfg, exec: cfg.Platform.ExecModel()}
+	e.cores = make([]*coreState, cfg.Platform.NumCores())
+	for i, rt := range cfg.Platform.Cores {
+		e.cores[i] = &coreState{id: i, rates: rt, level: rt.Min(), residency: map[float64]float64{}}
+	}
+	e.tasks = make([]*TaskState, 0, len(tasks))
+	sorted := tasks.Clone()
+	sorted.ByArrival()
+	for _, t := range sorted {
+		ts := &TaskState{Task: t, Remaining: t.Cycles}
+		e.tasks = append(e.tasks, ts)
+		e.orderCtr++
+		heap.Push(&e.events, event{time: t.Arrival, kind: evArrival, order: e.orderCtr, task: ts})
+	}
+	e.undone = len(e.tasks)
+	if cfg.TickInterval > 0 {
+		e.orderCtr++
+		heap.Push(&e.events, event{time: cfg.TickInterval, kind: evTick, order: e.orderCtr})
+	}
+
+	cfg.Policy.Init(e)
+
+	for e.events.Len() > 0 && e.undone > 0 {
+		ev := heap.Pop(&e.events).(event)
+		if ev.time > maxTime {
+			return nil, fmt.Errorf("sim: exceeded max time %v (policy %q stuck?)", maxTime, cfg.Policy.Name())
+		}
+		if ev.time < e.clock {
+			return nil, fmt.Errorf("sim: time went backwards (%v -> %v)", e.clock, ev.time)
+		}
+		e.clock = ev.time
+		switch ev.kind {
+		case evCompletion:
+			c := e.cores[ev.core]
+			if c.run == nil || c.run.seq != ev.seq {
+				continue // superseded by a reschedule
+			}
+			e.settleAll()
+			ts := c.run.ts
+			if ts.Remaining > 1e-6 {
+				return nil, fmt.Errorf("sim: task %d completed with %v Gcycles left", ts.Task.ID, ts.Remaining)
+			}
+			ts.Remaining = 0
+			ts.Done = true
+			ts.Completion = e.clock
+			c.run = nil
+			c.accountBusy(e.clock)
+			c.isBusy = false
+			e.active--
+			e.undone--
+			e.rescheduleAll()
+			cfg.Policy.OnCompletion(e, ev.core, ts)
+		case evTick:
+			for _, c := range e.cores {
+				c.accountBusy(e.clock)
+				c.lastFraction = c.busyInWindow / cfg.TickInterval
+				c.busyInWindow = 0
+			}
+			cfg.Policy.OnTick(e)
+			if e.undone > 0 {
+				e.orderCtr++
+				heap.Push(&e.events, event{time: e.clock + cfg.TickInterval, kind: evTick, order: e.orderCtr})
+			}
+		case evArrival:
+			cfg.Policy.OnArrival(e, ev.task)
+		}
+		if e.err != nil {
+			return nil, e.err
+		}
+	}
+	if e.undone > 0 {
+		return nil, fmt.Errorf("sim: %d tasks never completed under policy %q (deadlock?)", e.undone, cfg.Policy.Name())
+	}
+
+	res := &Result{Policy: cfg.Policy.Name(), Timeline: e.timeline}
+	res.Tasks = append(res.Tasks, e.tasks...)
+	sort.Slice(res.Tasks, func(i, j int) bool { return res.Tasks[i].Task.ID < res.Tasks[j].Task.ID })
+	var busyTotal float64
+	for _, c := range e.cores {
+		c.accountBusy(e.clock)
+		busyTotal += c.busyTotal
+		res.Switches += c.switches
+		res.Residency = append(res.Residency, c.residency)
+	}
+	for _, ts := range res.Tasks {
+		res.ActiveEnergy += ts.Energy
+		res.TurnaroundSum += ts.Turnaround()
+		res.Preemptions += ts.Preemptions
+		if ts.Completion > res.Makespan {
+			res.Makespan = ts.Completion
+		}
+	}
+	if cfg.Platform.IdleWatts > 0 {
+		idleTime := float64(len(e.cores))*res.Makespan - busyTotal
+		if idleTime > 0 {
+			res.IdleEnergy = cfg.Platform.IdleWatts * idleTime
+		}
+	}
+	res.TotalEnergy = res.ActiveEnergy + res.IdleEnergy
+	res.EnergyCost = params.Re * res.TotalEnergy
+	res.TimeCost = params.Rt * res.TurnaroundSum
+	res.TotalCost = res.EnergyCost + res.TimeCost
+	if math.IsNaN(res.TotalCost) || math.IsInf(res.TotalCost, 0) {
+		return nil, fmt.Errorf("sim: non-finite cost")
+	}
+	return res, nil
+}

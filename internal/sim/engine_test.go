@@ -1,0 +1,411 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"dvfsched/internal/batch"
+	"dvfsched/internal/model"
+	"dvfsched/internal/platform"
+	"dvfsched/internal/power"
+)
+
+var paperParams = model.CostParams{Re: 0.1, Rt: 0.4}
+
+func table2() *model.RateTable { return platform.TableII() }
+
+// fifo is a minimal test policy: FIFO queue, any idle core, fixed
+// level choice.
+type fifo struct {
+	queue []*TaskState
+	level func(rt *model.RateTable) model.RateLevel
+}
+
+func newFIFO() *fifo {
+	return &fifo{level: func(rt *model.RateTable) model.RateLevel { return rt.Max() }}
+}
+
+func (f *fifo) Name() string   { return "test-fifo" }
+func (f *fifo) Init(e *Engine) {}
+func (f *fifo) OnArrival(e *Engine, t *TaskState) {
+	f.queue = append(f.queue, t)
+	f.drain(e)
+}
+func (f *fifo) OnCompletion(e *Engine, coreID int, _ *TaskState) { f.drain(e) }
+func (f *fifo) OnTick(e *Engine)                                 {}
+func (f *fifo) drain(e *Engine) {
+	for i := 0; i < e.NumCores() && len(f.queue) > 0; i++ {
+		if e.Idle(i) {
+			t := f.queue[0]
+			f.queue = f.queue[1:]
+			if err := e.Start(i, t, f.level(e.RateTable(i))); err != nil {
+				panic(err)
+			}
+		}
+	}
+}
+
+func singleCorePlatform() *platform.Platform {
+	return platform.Homogeneous(1, table2(), platform.Ideal{})
+}
+
+func TestSingleTaskIdealPhysics(t *testing.T) {
+	tasks := model.TaskSet{{ID: 1, Cycles: 10, Deadline: model.NoDeadline}}
+	res, err := Run(Config{Platform: singleCorePlatform(), Policy: newFIFO()}, tasks, paperParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Max level: 3.0 GHz, T = 0.33 ns/cyc, E = 7.1 nJ/cyc.
+	wantTime := 10 * 0.33
+	wantEnergy := 10 * 7.1
+	if math.Abs(res.Makespan-wantTime) > 1e-9 {
+		t.Errorf("Makespan = %v, want %v", res.Makespan, wantTime)
+	}
+	if math.Abs(res.ActiveEnergy-wantEnergy) > 1e-9 {
+		t.Errorf("ActiveEnergy = %v, want %v", res.ActiveEnergy, wantEnergy)
+	}
+	ts := res.Tasks[0]
+	if !ts.Done || ts.Remaining != 0 || !ts.Started {
+		t.Errorf("task state: %+v", ts)
+	}
+	if math.Abs(res.TotalCost-(0.1*wantEnergy+0.4*wantTime)) > 1e-9 {
+		t.Errorf("TotalCost = %v", res.TotalCost)
+	}
+}
+
+func TestFixedPlanMatchesAnalyticCost(t *testing.T) {
+	// Under the Ideal execution model, simulating a WBG plan must
+	// reproduce the analytic Eq. 8 cost exactly.
+	tasks := make(model.TaskSet, 24)
+	for i := range tasks {
+		tasks[i] = model.Task{ID: i, Cycles: 5 + float64(i*7%13)*20, Deadline: model.NoDeadline}
+	}
+	plan, err := batch.WBG(paperParams, batch.HomogeneousCores(4, table2()), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := NewFixedPlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Platform: platform.Homogeneous(4, table2(), platform.Ideal{}), Policy: fp}, tasks, paperParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, want := plan.Cost()
+	if math.Abs(res.TotalCost-want) > 1e-6*want {
+		t.Errorf("simulated cost %v != analytic %v", res.TotalCost, want)
+	}
+	wantJ, _, wantTA := plan.EnergyTime()
+	if math.Abs(res.ActiveEnergy-wantJ) > 1e-6*wantJ {
+		t.Errorf("energy %v != %v", res.ActiveEnergy, wantJ)
+	}
+	if math.Abs(res.TurnaroundSum-wantTA) > 1e-6*wantTA {
+		t.Errorf("turnaround %v != %v", res.TurnaroundSum, wantTA)
+	}
+}
+
+func TestRealisticSlowerThanIdeal(t *testing.T) {
+	tasks := make(model.TaskSet, 8)
+	for i := range tasks {
+		tasks[i] = model.Task{ID: i, Cycles: 50, Deadline: model.NoDeadline}
+	}
+	ideal, err := Run(Config{Platform: platform.Homogeneous(4, table2(), platform.Ideal{}), Policy: newFIFO()}, tasks, paperParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	real, err := Run(Config{Platform: platform.Homogeneous(4, table2(), platform.DefaultRealistic()), Policy: newFIFO()}, tasks, paperParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if real.Makespan <= ideal.Makespan {
+		t.Errorf("realistic makespan %v not above ideal %v", real.Makespan, ideal.Makespan)
+	}
+	if real.ActiveEnergy <= ideal.ActiveEnergy {
+		t.Errorf("realistic energy %v not above ideal %v", real.ActiveEnergy, ideal.ActiveEnergy)
+	}
+}
+
+func TestContentionDependsOnActiveCores(t *testing.T) {
+	// Two equal tasks on two cores (co-run) must take longer than
+	// the same task alone.
+	exec := platform.Realistic{MemFraction: 0.3, MemTime: 1.0, ContentionPenalty: 0.5}
+	solo, err := Run(Config{Platform: platform.Homogeneous(2, table2(), exec), Policy: newFIFO()},
+		model.TaskSet{{ID: 1, Cycles: 10, Deadline: model.NoDeadline}}, paperParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	duo, err := Run(Config{Platform: platform.Homogeneous(2, table2(), exec), Policy: newFIFO()},
+		model.TaskSet{
+			{ID: 1, Cycles: 10, Deadline: model.NoDeadline},
+			{ID: 2, Cycles: 10, Deadline: model.NoDeadline},
+		}, paperParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if duo.Makespan <= solo.Makespan {
+		t.Errorf("co-run makespan %v not above solo %v", duo.Makespan, solo.Makespan)
+	}
+}
+
+// preemptor exercises Preempt: an interactive arrival preempts core 0
+// and the preempted task resumes afterwards.
+type preemptor struct {
+	fifo
+	waiting []*TaskState
+}
+
+func (p *preemptor) Name() string { return "test-preemptor" }
+func (p *preemptor) OnArrival(e *Engine, t *TaskState) {
+	if t.Task.Interactive && !e.Idle(0) {
+		prev, err := e.Preempt(0)
+		if err != nil {
+			panic(err)
+		}
+		p.waiting = append(p.waiting, prev)
+		if err := e.Start(0, t, e.RateTable(0).Max()); err != nil {
+			panic(err)
+		}
+		return
+	}
+	p.fifo.OnArrival(e, t)
+}
+func (p *preemptor) OnCompletion(e *Engine, coreID int, done *TaskState) {
+	if len(p.waiting) > 0 && e.Idle(0) {
+		next := p.waiting[0]
+		p.waiting = p.waiting[1:]
+		if err := e.Start(0, next, e.RateTable(0).Max()); err != nil {
+			panic(err)
+		}
+		return
+	}
+	p.fifo.OnCompletion(e, coreID, done)
+}
+
+func TestPreemptionConservesWork(t *testing.T) {
+	p := &preemptor{fifo: *newFIFO()}
+	tasks := model.TaskSet{
+		{ID: 1, Cycles: 100, Deadline: model.NoDeadline},                              // long batch task
+		{ID: 2, Cycles: 1, Arrival: 5, Interactive: true, Deadline: model.NoDeadline}, // preempts at t=5
+	}
+	res, err := Run(Config{Platform: singleCorePlatform(), Policy: p}, tasks, paperParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchTask, inter := res.Tasks[0], res.Tasks[1]
+	if batchTask.Preemptions != 1 {
+		t.Errorf("preemptions = %d, want 1", batchTask.Preemptions)
+	}
+	// The interactive task runs immediately at t=5 for 0.33 s.
+	if math.Abs(inter.Completion-(5+1*0.33)) > 1e-9 {
+		t.Errorf("interactive completion = %v", inter.Completion)
+	}
+	// Total work is conserved: batch completion = own 33 s + 0.33 s pause.
+	if math.Abs(batchTask.Completion-(100*0.33+0.33)) > 1e-9 {
+		t.Errorf("batch completion = %v", batchTask.Completion)
+	}
+	wantEnergy := 100*7.1 + 1*7.1
+	if math.Abs(res.ActiveEnergy-wantEnergy) > 1e-9 {
+		t.Errorf("energy = %v, want %v", res.ActiveEnergy, wantEnergy)
+	}
+}
+
+// levelChanger switches the core to min frequency at the first tick.
+type levelChanger struct {
+	fifo
+	switched bool
+}
+
+func (l *levelChanger) Name() string { return "test-levelchanger" }
+func (l *levelChanger) OnTick(e *Engine) {
+	if !l.switched && !e.Idle(0) {
+		l.switched = true
+		if err := e.SetLevel(0, e.RateTable(0).Min()); err != nil {
+			panic(err)
+		}
+	}
+}
+
+func TestSetLevelMidRun(t *testing.T) {
+	lc := &levelChanger{fifo: *newFIFO()}
+	// 100 Gcycles at 3.0 GHz would take 33 s; after 1 s (~3.03 Gcyc
+	// done) we drop to 1.6 GHz (0.625 ns/cyc).
+	tasks := model.TaskSet{{ID: 1, Cycles: 100, Deadline: model.NoDeadline}}
+	res, err := Run(Config{Platform: singleCorePlatform(), Policy: lc, TickInterval: 1}, tasks, paperParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doneAtSwitch := 1.0 / 0.33
+	want := 1.0 + (100-doneAtSwitch)*0.625
+	if math.Abs(res.Makespan-want) > 1e-6 {
+		t.Errorf("Makespan = %v, want %v", res.Makespan, want)
+	}
+	wantEnergy := doneAtSwitch*7.1 + (100-doneAtSwitch)*3.375
+	if math.Abs(res.ActiveEnergy-wantEnergy) > 1e-6 {
+		t.Errorf("energy = %v, want %v", res.ActiveEnergy, wantEnergy)
+	}
+	if res.Switches == 0 {
+		t.Error("switch not counted")
+	}
+}
+
+func TestSwitchLatencyDelaysExecution(t *testing.T) {
+	plat := singleCorePlatform()
+	plat.SwitchLatency = 0.5
+	tasks := model.TaskSet{{ID: 1, Cycles: 10, Deadline: model.NoDeadline}}
+	res, err := Run(Config{Platform: plat, Policy: newFIFO()}, tasks, paperParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Core starts at min level; starting at max incurs the stall.
+	want := 0.5 + 10*0.33
+	if math.Abs(res.Makespan-want) > 1e-9 {
+		t.Errorf("Makespan = %v, want %v", res.Makespan, want)
+	}
+}
+
+func TestMeterAgreesWithEnergyAccounting(t *testing.T) {
+	meter := power.NewMeter(0, 0)
+	tasks := make(model.TaskSet, 6)
+	for i := range tasks {
+		tasks[i] = model.Task{ID: i, Cycles: 10 + float64(i), Deadline: model.NoDeadline}
+	}
+	res, err := Run(Config{Platform: platform.Homogeneous(2, table2(), platform.Ideal{}), Policy: newFIFO(), Meter: meter}, tasks, paperParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(meter.Energy()-res.ActiveEnergy) > 1e-6*res.ActiveEnergy {
+		t.Errorf("meter %v vs engine %v", meter.Energy(), res.ActiveEnergy)
+	}
+}
+
+func TestBusyFractionReportedOnTick(t *testing.T) {
+	var fracs []float64
+	p := &tickRecorder{fifo: *newFIFO(), out: &fracs}
+	tasks := model.TaskSet{{ID: 1, Cycles: 10, Deadline: model.NoDeadline}} // 3.3 s at max
+	_, err := Run(Config{Platform: singleCorePlatform(), Policy: p, TickInterval: 1}, tasks, paperParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fracs) < 3 {
+		t.Fatalf("ticks observed: %d", len(fracs))
+	}
+	if math.Abs(fracs[0]-1.0) > 1e-9 || math.Abs(fracs[1]-1.0) > 1e-9 {
+		t.Errorf("first window fractions = %v, want 1.0", fracs[:2])
+	}
+}
+
+type tickRecorder struct {
+	fifo
+	out *[]float64
+}
+
+func (t *tickRecorder) Name() string { return "test-tickrecorder" }
+func (t *tickRecorder) OnTick(e *Engine) {
+	*t.out = append(*t.out, e.BusyFraction(0))
+}
+
+// stuck never starts anything.
+type stuck struct{}
+
+func (stuck) Name() string                          { return "test-stuck" }
+func (stuck) Init(*Engine)                          {}
+func (stuck) OnArrival(*Engine, *TaskState)         {}
+func (stuck) OnCompletion(*Engine, int, *TaskState) {}
+func (stuck) OnTick(*Engine)                        {}
+
+func TestDeadlockDetected(t *testing.T) {
+	tasks := model.TaskSet{{ID: 1, Cycles: 1, Deadline: model.NoDeadline}}
+	if _, err := Run(Config{Platform: singleCorePlatform(), Policy: stuck{}}, tasks, paperParams); err == nil {
+		t.Error("deadlock not detected")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	tasks := model.TaskSet{{ID: 1, Cycles: 1, Deadline: model.NoDeadline}}
+	if _, err := Run(Config{Policy: newFIFO()}, tasks, paperParams); err == nil {
+		t.Error("nil platform accepted")
+	}
+	if _, err := Run(Config{Platform: singleCorePlatform()}, tasks, paperParams); err == nil {
+		t.Error("nil policy accepted")
+	}
+	if _, err := Run(Config{Platform: singleCorePlatform(), Policy: newFIFO()}, nil, paperParams); err == nil {
+		t.Error("empty tasks accepted")
+	}
+	if _, err := Run(Config{Platform: singleCorePlatform(), Policy: newFIFO()}, tasks, model.CostParams{}); err == nil {
+		t.Error("invalid params accepted")
+	}
+	if _, err := Run(Config{Platform: singleCorePlatform(), Policy: newFIFO(), TickInterval: -1}, tasks, paperParams); err == nil {
+		t.Error("negative tick accepted")
+	}
+}
+
+func TestStartErrors(t *testing.T) {
+	// Exercise engine API misuse paths through a custom policy.
+	p := &apiAbuser{t: t}
+	tasks := model.TaskSet{
+		{ID: 1, Cycles: 1, Deadline: model.NoDeadline},
+		{ID: 2, Cycles: 1, Deadline: model.NoDeadline},
+	}
+	if _, err := Run(Config{Platform: singleCorePlatform(), Policy: p}, tasks, paperParams); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type apiAbuser struct {
+	t *testing.T
+	q []*TaskState
+}
+
+func (a *apiAbuser) Name() string   { return "test-apiabuser" }
+func (a *apiAbuser) Init(e *Engine) {}
+func (a *apiAbuser) OnArrival(e *Engine, ts *TaskState) {
+	if e.Idle(0) {
+		if _, err := e.Preempt(0); err == nil {
+			a.t.Error("Preempt on idle core succeeded")
+		}
+		if err := e.Start(0, ts, model.RateLevel{Rate: 99, Energy: 1, Time: 1}); err == nil {
+			a.t.Error("unsupported rate accepted")
+		}
+		if err := e.Start(0, ts, e.RateTable(0).Max()); err != nil {
+			panic(err)
+		}
+		// Core now busy: double-start must fail.
+		if err := e.Start(0, ts, e.RateTable(0).Max()); err == nil {
+			a.t.Error("double start accepted")
+		}
+		return
+	}
+	a.q = append(a.q, ts)
+}
+func (a *apiAbuser) OnCompletion(e *Engine, coreID int, done *TaskState) {
+	if err := e.Start(coreID, done, e.RateTable(coreID).Max()); err == nil {
+		a.t.Error("restarting a done task accepted")
+	}
+	if len(a.q) > 0 {
+		ts := a.q[0]
+		a.q = a.q[1:]
+		if err := e.Start(coreID, ts, e.RateTable(coreID).Max()); err != nil {
+			panic(err)
+		}
+	}
+}
+func (a *apiAbuser) OnTick(*Engine) {}
+
+func TestDeterminism(t *testing.T) {
+	tasks := make(model.TaskSet, 30)
+	for i := range tasks {
+		tasks[i] = model.Task{ID: i, Cycles: 1 + float64(i%7), Arrival: float64(i) * 0.1, Deadline: model.NoDeadline}
+	}
+	run := func() *Result {
+		res, err := Run(Config{Platform: platform.Homogeneous(3, table2(), platform.DefaultRealistic()), Policy: newFIFO(), TickInterval: 1}, tasks, paperParams)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.TotalCost != b.TotalCost || a.Makespan != b.Makespan || a.ActiveEnergy != b.ActiveEnergy {
+		t.Error("nondeterministic results")
+	}
+}

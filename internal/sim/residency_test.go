@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"dvfsched/internal/model"
+	"dvfsched/internal/platform"
+)
+
+func TestResidencyAccounting(t *testing.T) {
+	// One task at max, then one at min, on a single core.
+	p := &residencyPolicy{}
+	tasks := model.TaskSet{
+		{ID: 1, Cycles: 10, Deadline: model.NoDeadline}, // 3.3 s at 3.0 GHz
+		{ID: 2, Cycles: 8, Deadline: model.NoDeadline},  // 5.0 s at 1.6 GHz
+	}
+	res, err := Run(Config{Platform: singleCorePlatform(), Policy: p}, tasks, paperParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Residency) != 1 {
+		t.Fatalf("residency cores = %d", len(res.Residency))
+	}
+	r := res.Residency[0]
+	if math.Abs(r[3.0]-3.3) > 1e-9 {
+		t.Errorf("3.0 GHz residency = %v, want 3.3", r[3.0])
+	}
+	if math.Abs(r[1.6]-5.0) > 1e-9 {
+		t.Errorf("1.6 GHz residency = %v, want 5.0", r[1.6])
+	}
+	// Total residency equals total busy time equals makespan here.
+	var total float64
+	for _, v := range r {
+		total += v
+	}
+	if math.Abs(total-res.Makespan) > 1e-9 {
+		t.Errorf("residency total %v != makespan %v", total, res.Makespan)
+	}
+}
+
+// residencyPolicy runs task 1 at max then task 2 at min.
+type residencyPolicy struct {
+	pending *TaskState
+}
+
+func (p *residencyPolicy) Name() string   { return "test-residency" }
+func (p *residencyPolicy) Init(e *Engine) {}
+func (p *residencyPolicy) OnArrival(e *Engine, ts *TaskState) {
+	if ts.Task.ID == 1 {
+		if err := e.Start(0, ts, e.RateTable(0).Max()); err != nil {
+			panic(err)
+		}
+		return
+	}
+	p.pending = ts
+}
+func (p *residencyPolicy) OnCompletion(e *Engine, coreID int, _ *TaskState) {
+	if p.pending != nil {
+		ts := p.pending
+		p.pending = nil
+		if err := e.Start(coreID, ts, e.RateTable(coreID).Min()); err != nil {
+			panic(err)
+		}
+	}
+}
+func (p *residencyPolicy) OnTick(*Engine) {}
+
+func TestResidencyWithRealisticModel(t *testing.T) {
+	// Residency counts wall-clock time, so the realistic model's
+	// stretch shows up there too.
+	tasks := model.TaskSet{{ID: 1, Cycles: 10, Deadline: model.NoDeadline}}
+	plat := platform.Homogeneous(1, platform.TableII(), platform.DefaultRealistic())
+	res, err := Run(Config{Platform: plat, Policy: newFIFO()}, tasks, paperParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Residency[0][3.0] <= 10*0.33 {
+		t.Errorf("realistic residency %v not above nominal 3.3", res.Residency[0][3.0])
+	}
+}

@@ -1,0 +1,29 @@
+package speedscale_test
+
+import (
+	"fmt"
+
+	"dvfsched/internal/speedscale"
+)
+
+// YDS finds the minimum-energy speed function: the dense inner job
+// forms the first critical interval, the sparse outer job spreads
+// over what remains.
+func ExampleYDS() {
+	jobs := []speedscale.Job{
+		{ID: 1, Work: 8, Release: 0, Deadline: 10},
+		{ID: 2, Work: 6, Release: 4, Deadline: 6},
+	}
+	plan, err := speedscale.YDS(jobs)
+	if err != nil {
+		panic(err)
+	}
+	for _, ci := range plan {
+		fmt.Printf("speed %.1f for jobs %v over %.1f s\n", ci.Speed, ci.Jobs, ci.Duration())
+	}
+	fmt.Printf("energy at alpha=3: %.1f\n", speedscale.Energy(plan, 3))
+	// Output:
+	// speed 3.0 for jobs [2] over 2.0 s
+	// speed 1.0 for jobs [1] over 8.0 s
+	// energy at alpha=3: 62.0
+}

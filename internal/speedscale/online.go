@@ -1,0 +1,115 @@
+package speedscale
+
+import (
+	"math"
+	"sort"
+)
+
+// AVREnergy computes the energy of the Average Rate heuristic (Yao,
+// Demers & Shenker's online algorithm): each job adds its density
+// w/(d-r) to the processor speed throughout its window, and the
+// processor runs at the densities' sum. AVR is
+// 2^(alpha-1)*alpha^alpha-competitive against YDS.
+func AVREnergy(jobs []Job, alpha float64) (float64, error) {
+	if err := validateJobs(jobs); err != nil {
+		return 0, err
+	}
+	// Event points: all releases and deadlines.
+	points := make([]float64, 0, 2*len(jobs))
+	for _, j := range jobs {
+		points = append(points, j.Release, j.Deadline)
+	}
+	sort.Float64s(points)
+	var energy float64
+	for i := 0; i+1 < len(points); i++ {
+		a, b := points[i], points[i+1]
+		if b-a <= 1e-15 {
+			continue
+		}
+		mid := (a + b) / 2
+		var speed float64
+		for _, j := range jobs {
+			if j.Release <= mid && mid < j.Deadline {
+				speed += j.Work / (j.Deadline - j.Release)
+			}
+		}
+		energy += math.Pow(speed, alpha) * (b - a)
+	}
+	return energy, nil
+}
+
+// OAEnergy simulates Optimal Available (Bansal, Kim, Pruhs's analysis
+// of Yao et al.'s second heuristic): at every release the scheduler
+// recomputes the YDS-optimal plan over the remaining work, as if no
+// further jobs will arrive. OA is alpha^alpha-competitive. Returns the
+// total energy under power s^alpha.
+func OAEnergy(jobs []Job, alpha float64) (float64, error) {
+	if err := validateJobs(jobs); err != nil {
+		return 0, err
+	}
+	sorted := make([]Job, len(jobs))
+	copy(sorted, jobs)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Release < sorted[j].Release })
+
+	remaining := map[int]float64{}
+	for _, j := range sorted {
+		remaining[j.ID] = j.Work
+	}
+	deadlines := map[int]float64{}
+	for _, j := range sorted {
+		deadlines[j.ID] = j.Deadline
+	}
+
+	var energy float64
+	for k := 0; k < len(sorted); k++ {
+		now := sorted[k].Release
+		horizon := math.Inf(1)
+		if k+1 < len(sorted) {
+			horizon = sorted[k+1].Release
+		}
+		// Plan YDS over everything released so far that still has
+		// work; all of it is available now.
+		var pend []Job
+		for i := 0; i <= k; i++ {
+			id := sorted[i].ID
+			if remaining[id] > 1e-12 {
+				pend = append(pend, Job{ID: id, Work: remaining[id], Release: now, Deadline: deadlines[id]})
+			}
+		}
+		if len(pend) == 0 {
+			continue
+		}
+		plan, err := YDS(pend)
+		if err != nil {
+			return 0, err
+		}
+		// Execute the plan until the next release.
+		for _, ci := range plan {
+			for _, seg := range ci.Segments {
+				start := math.Max(seg.Start, now)
+				end := math.Min(seg.End, horizon)
+				if end <= start {
+					continue
+				}
+				dur := end - start
+				energy += math.Pow(ci.Speed, alpha) * dur
+				// Drain the interval's jobs in EDF order, the order
+				// the YDS schedule executes them.
+				edf := append([]int(nil), ci.Jobs...)
+				sort.SliceStable(edf, func(a, b int) bool {
+					return deadlines[edf[a]] < deadlines[edf[b]]
+				})
+				drain := ci.Speed * dur
+				for _, id := range edf {
+					if drain <= 0 {
+						break
+					}
+					take := math.Min(drain, remaining[id])
+					remaining[id] -= take
+					drain -= take
+				}
+			}
+		}
+	}
+	return energy, nil
+}

@@ -1,0 +1,327 @@
+// Package speedscale implements the classical continuous-speed
+// scaling algorithms the paper's related work builds on (Section VI
+// cites Yao, Demers & Shenker and Bansal et al.): jobs with release
+// times and deadlines on one processor whose power is s^alpha.
+//
+//   - YDS: the offline optimum, by repeatedly extracting the critical
+//     interval of maximum intensity;
+//   - AVR (average rate): each job contributes its density
+//     w/(d-r) to the processor speed throughout its window;
+//   - OA (optimal available): replans YDS over the remaining work at
+//     every release.
+//
+// DiscretizeYDS bridges to the paper's discrete-rate world by
+// rounding each critical interval's speed up to a hardware level.
+package speedscale
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dvfsched/internal/model"
+)
+
+// Job is one deadline-constrained job: Work Gcycles available from
+// Release and due by Deadline.
+type Job struct {
+	// ID identifies the job.
+	ID int
+	// Work is the demand in Gcycles.
+	Work float64
+	// Release and Deadline bound the window in seconds.
+	Release, Deadline float64
+}
+
+// Validate checks the job definition.
+func (j Job) Validate() error {
+	if j.Work <= 0 || math.IsNaN(j.Work) || math.IsInf(j.Work, 0) {
+		return fmt.Errorf("speedscale: job %d: work must be positive, got %v", j.ID, j.Work)
+	}
+	if j.Release < 0 || math.IsNaN(j.Release) {
+		return fmt.Errorf("speedscale: job %d: bad release %v", j.ID, j.Release)
+	}
+	if j.Deadline <= j.Release || math.IsNaN(j.Deadline) || math.IsInf(j.Deadline, 0) {
+		return fmt.Errorf("speedscale: job %d: deadline %v must exceed release %v", j.ID, j.Deadline, j.Release)
+	}
+	return nil
+}
+
+func validateJobs(jobs []Job) error {
+	if len(jobs) == 0 {
+		return fmt.Errorf("speedscale: no jobs")
+	}
+	seen := map[int]bool{}
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return err
+		}
+		if seen[j.ID] {
+			return fmt.Errorf("speedscale: duplicate job ID %d", j.ID)
+		}
+		seen[j.ID] = true
+	}
+	return nil
+}
+
+// Segment is a maximal original-time span during which the processor
+// runs at a constant speed on a fixed job set.
+type Segment struct {
+	// Start and End bound the span in seconds.
+	Start, End float64
+	// Speed is the processing rate in Gcycles per second.
+	Speed float64
+}
+
+// CriticalInterval is one extraction step of the YDS algorithm: a set
+// of jobs executed at a common speed inside a set of original-time
+// segments.
+type CriticalInterval struct {
+	// Speed is the interval's intensity, in Gcycles per second.
+	Speed float64
+	// Jobs lists the IDs scheduled in this interval.
+	Jobs []int
+	// Segments are the original-time spans the interval occupies
+	// (later extractions may be split by earlier, denser ones).
+	Segments []Segment
+}
+
+// Duration returns the interval's total length.
+func (ci CriticalInterval) Duration() float64 {
+	var d float64
+	for _, s := range ci.Segments {
+		d += s.End - s.Start
+	}
+	return d
+}
+
+// timeMap converts between collapsed and original coordinates as
+// critical intervals are carved out of the timeline.
+type timeMap struct {
+	occupied []Segment // disjoint, sorted original-time spans
+}
+
+// toOriginal maps a collapsed instant to original time by skipping
+// occupied spans.
+func (tm *timeMap) toOriginal(t float64) float64 {
+	orig := t
+	for _, s := range tm.occupied {
+		if s.Start <= orig+1e-12 {
+			orig += s.End - s.Start
+		} else {
+			break
+		}
+	}
+	return orig
+}
+
+// claim marks the collapsed span [a, b) occupied and returns its
+// original-time segments.
+func (tm *timeMap) claim(a, b float64) []Segment {
+	var out []Segment
+	remaining := b - a
+	cur := tm.toOriginal(a)
+	for remaining > 1e-12 {
+		// Find the free stretch starting at cur.
+		next := math.Inf(1)
+		for _, s := range tm.occupied {
+			if s.Start >= cur-1e-12 {
+				next = s.Start
+				break
+			}
+		}
+		length := math.Min(remaining, next-cur)
+		out = append(out, Segment{Start: cur, End: cur + length})
+		remaining -= length
+		cur = cur + length
+		if remaining > 1e-12 {
+			// Skip over the occupied span we ran into.
+			for _, s := range tm.occupied {
+				if math.Abs(s.Start-cur) < 1e-9 {
+					cur = s.End
+					break
+				}
+			}
+		}
+	}
+	tm.occupied = append(tm.occupied, out...)
+	sort.Slice(tm.occupied, func(i, j int) bool { return tm.occupied[i].Start < tm.occupied[j].Start })
+	tm.occupied = mergeSegments(tm.occupied)
+	return out
+}
+
+func mergeSegments(segs []Segment) []Segment {
+	if len(segs) == 0 {
+		return segs
+	}
+	out := segs[:1]
+	for _, s := range segs[1:] {
+		last := &out[len(out)-1]
+		if s.Start <= last.End+1e-12 {
+			if s.End > last.End {
+				last.End = s.End
+			}
+		} else {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// YDS computes the energy-optimal continuous-speed schedule by the
+// critical-interval algorithm of Yao, Demers and Shenker. It returns
+// the extracted intervals in decreasing speed order. O(n^3).
+func YDS(jobs []Job) ([]CriticalInterval, error) {
+	if err := validateJobs(jobs); err != nil {
+		return nil, err
+	}
+	type wj struct {
+		id      int
+		work    float64
+		rel, dl float64 // in current collapsed coordinates
+	}
+	pending := make([]wj, len(jobs))
+	for i, j := range jobs {
+		pending[i] = wj{id: j.ID, work: j.Work, rel: j.Release, dl: j.Deadline}
+	}
+	tm := &timeMap{}
+	var out []CriticalInterval
+
+	for len(pending) > 0 {
+		// Candidate endpoints are the releases and deadlines.
+		rels := make([]float64, 0, len(pending))
+		dls := make([]float64, 0, len(pending))
+		for _, j := range pending {
+			rels = append(rels, j.rel)
+			dls = append(dls, j.dl)
+		}
+		bestI, bestT1, bestT2 := -1.0, 0.0, 0.0
+		for _, t1 := range rels {
+			for _, t2 := range dls {
+				if t2 <= t1 {
+					continue
+				}
+				var work float64
+				for _, j := range pending {
+					if j.rel >= t1-1e-12 && j.dl <= t2+1e-12 {
+						work += j.work
+					}
+				}
+				if work == 0 {
+					continue
+				}
+				if in := work / (t2 - t1); in > bestI+1e-15 {
+					bestI, bestT1, bestT2 = in, t1, t2
+				}
+			}
+		}
+		if bestI <= 0 {
+			return nil, fmt.Errorf("speedscale: internal error: no critical interval found")
+		}
+
+		ci := CriticalInterval{Speed: bestI}
+		var rest []wj
+		for _, j := range pending {
+			if j.rel >= bestT1-1e-12 && j.dl <= bestT2+1e-12 {
+				ci.Jobs = append(ci.Jobs, j.id)
+			} else {
+				rest = append(rest, j)
+			}
+		}
+		sort.Ints(ci.Jobs)
+		ci.Segments = tm.claim(bestT1, bestT2)
+		out = append(out, ci)
+
+		// Collapse [t1, t2] out of the timeline for the remaining
+		// jobs.
+		width := bestT2 - bestT1
+		for i := range rest {
+			rest[i].rel = collapse(rest[i].rel, bestT1, bestT2, width)
+			rest[i].dl = collapse(rest[i].dl, bestT1, bestT2, width)
+		}
+		pending = rest
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Speed > out[j].Speed })
+	return out, nil
+}
+
+func collapse(t, t1, t2, width float64) float64 {
+	switch {
+	case t <= t1:
+		return t
+	case t >= t2:
+		return t - width
+	default:
+		return t1
+	}
+}
+
+// Energy integrates s(t)^alpha over the schedule: the energy of the
+// YDS plan under the classical power model, in (Gcyc/s)^alpha-second
+// units.
+func Energy(intervals []CriticalInterval, alpha float64) float64 {
+	var e float64
+	for _, ci := range intervals {
+		e += math.Pow(ci.Speed, alpha) * ci.Duration()
+	}
+	return e
+}
+
+// MaxSpeed returns the plan's top speed (the first interval's, by
+// construction).
+func MaxSpeed(intervals []CriticalInterval) float64 {
+	if len(intervals) == 0 {
+		return 0
+	}
+	return intervals[0].Speed
+}
+
+// SpeedOf returns the speed assigned to a job ID, or 0 if absent.
+func SpeedOf(intervals []CriticalInterval, id int) float64 {
+	for _, ci := range intervals {
+		for _, j := range ci.Jobs {
+			if j == id {
+				return ci.Speed
+			}
+		}
+	}
+	return 0
+}
+
+// DiscretizeYDS converts the continuous plan to the paper's discrete
+// rate model: every job runs at the lowest hardware level whose rate
+// (in Gcyc/s; rates in GHz equal Gcyc/s) is at least its YDS speed.
+// It returns per-job assignments and their total energy in joules
+// using the table's E(p), or an error if some speed exceeds the
+// fastest level.
+func DiscretizeYDS(jobs []Job, intervals []CriticalInterval, rates *model.RateTable) (map[int]model.RateLevel, float64, error) {
+	if err := rates.Validate(); err != nil {
+		return nil, 0, err
+	}
+	byID := map[int]Job{}
+	for _, j := range jobs {
+		byID[j.ID] = j
+	}
+	out := make(map[int]model.RateLevel, len(jobs))
+	var joules float64
+	for _, ci := range intervals {
+		var level model.RateLevel
+		found := false
+		for i := 0; i < rates.Len(); i++ {
+			if rates.Level(i).Rate >= ci.Speed-1e-9 {
+				level = rates.Level(i)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, 0, fmt.Errorf("speedscale: YDS speed %.3f exceeds the fastest level %.3f",
+				ci.Speed, rates.Max().Rate)
+		}
+		for _, id := range ci.Jobs {
+			out[id] = level
+			joules += model.TaskEnergy(byID[id].Work, level)
+		}
+	}
+	return out, joules, nil
+}

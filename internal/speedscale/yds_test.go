@@ -1,0 +1,441 @@
+package speedscale
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dvfsched/internal/deadline"
+	"dvfsched/internal/model"
+	"dvfsched/internal/platform"
+)
+
+const alpha = 3.0
+
+func TestJobValidation(t *testing.T) {
+	bad := []Job{
+		{ID: 1, Work: 0, Release: 0, Deadline: 1},
+		{ID: 1, Work: 1, Release: -1, Deadline: 1},
+		{ID: 1, Work: 1, Release: 2, Deadline: 1},
+		{ID: 1, Work: 1, Release: 0, Deadline: math.Inf(1)},
+	}
+	for _, j := range bad {
+		if err := j.Validate(); err == nil {
+			t.Errorf("accepted %+v", j)
+		}
+	}
+	dup := []Job{
+		{ID: 1, Work: 1, Release: 0, Deadline: 1},
+		{ID: 1, Work: 1, Release: 0, Deadline: 2},
+	}
+	if _, err := YDS(dup); err == nil {
+		t.Error("duplicate IDs accepted")
+	}
+	if _, err := YDS(nil); err == nil {
+		t.Error("empty set accepted")
+	}
+}
+
+func TestYDSSingleJob(t *testing.T) {
+	plan, err := YDS([]Job{{ID: 1, Work: 10, Release: 2, Deadline: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 1 {
+		t.Fatalf("intervals = %d", len(plan))
+	}
+	ci := plan[0]
+	if math.Abs(ci.Speed-2) > 1e-9 { // 10 Gcyc over 5 s
+		t.Errorf("speed = %v, want 2", ci.Speed)
+	}
+	if len(ci.Segments) != 1 || math.Abs(ci.Segments[0].Start-2) > 1e-9 || math.Abs(ci.Segments[0].End-7) > 1e-9 {
+		t.Errorf("segments = %v", ci.Segments)
+	}
+	// Energy = s^alpha * dur = 8 * 5 = 40.
+	if e := Energy(plan, alpha); math.Abs(e-40) > 1e-9 {
+		t.Errorf("energy = %v, want 40", e)
+	}
+}
+
+func TestYDSNestedJobsTextbook(t *testing.T) {
+	// A dense inner job inside a sparse outer one: the inner is the
+	// first critical interval; the outer spreads over the leftovers.
+	jobs := []Job{
+		{ID: 1, Work: 8, Release: 0, Deadline: 10}, // density 0.8
+		{ID: 2, Work: 6, Release: 4, Deadline: 6},  // density 3.0
+	}
+	plan, err := YDS(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 2 {
+		t.Fatalf("intervals = %d: %+v", len(plan), plan)
+	}
+	if math.Abs(plan[0].Speed-3) > 1e-9 || plan[0].Jobs[0] != 2 {
+		t.Errorf("first interval = %+v", plan[0])
+	}
+	// Job 1 then runs at 8/(10-2) = 1 over the remaining 8 seconds.
+	if math.Abs(plan[1].Speed-1) > 1e-9 || plan[1].Jobs[0] != 1 {
+		t.Errorf("second interval = %+v", plan[1])
+	}
+	// Its segments must avoid [4, 6].
+	for _, s := range plan[1].Segments {
+		if s.Start < 6-1e-9 && s.End > 4+1e-9 {
+			t.Errorf("outer job segment %v overlaps the inner interval", s)
+		}
+	}
+	if math.Abs(plan[1].Duration()-8) > 1e-9 {
+		t.Errorf("outer duration = %v, want 8", plan[1].Duration())
+	}
+}
+
+// checkStructure verifies the structural feasibility invariants of a
+// YDS plan: work conservation per interval, window containment, and
+// non-overlapping segments.
+func checkStructure(t *testing.T, jobs []Job, plan []CriticalInterval) {
+	t.Helper()
+	byID := map[int]Job{}
+	for _, j := range jobs {
+		byID[j.ID] = j
+	}
+	scheduled := map[int]bool{}
+	var all []Segment
+	for _, ci := range plan {
+		var work float64
+		for _, id := range ci.Jobs {
+			j, ok := byID[id]
+			if !ok {
+				t.Fatalf("unknown job %d in plan", id)
+			}
+			if scheduled[id] {
+				t.Fatalf("job %d scheduled twice", id)
+			}
+			scheduled[id] = true
+			work += j.Work
+		}
+		if math.Abs(work-ci.Speed*ci.Duration()) > 1e-6*math.Max(1, work) {
+			t.Errorf("work %v != speed*duration %v", work, ci.Speed*ci.Duration())
+		}
+		// Preemptive EDF within the interval's segments at the
+		// interval speed must meet every member deadline (the YDS
+		// feasibility theorem).
+		if !edfFeasibleWithin(ci, byID) {
+			t.Errorf("interval at speed %v not EDF-feasible: jobs %v segments %v", ci.Speed, ci.Jobs, ci.Segments)
+		}
+		all = append(all, ci.Segments...)
+	}
+	if len(scheduled) != len(jobs) {
+		t.Errorf("scheduled %d of %d jobs", len(scheduled), len(jobs))
+	}
+	// Segments must not overlap across intervals.
+	for i := range all {
+		for j := i + 1; j < len(all); j++ {
+			if all[i].Start < all[j].End-1e-9 && all[j].Start < all[i].End-1e-9 {
+				t.Errorf("segments overlap: %v and %v", all[i], all[j])
+			}
+		}
+	}
+	// Speeds are non-increasing across extractions.
+	for i := 1; i < len(plan); i++ {
+		if plan[i].Speed > plan[i-1].Speed+1e-9 {
+			t.Errorf("speeds increase: %v then %v", plan[i-1].Speed, plan[i].Speed)
+		}
+	}
+}
+
+// edfFeasibleWithin simulates preemptive EDF over the interval's
+// segments at its speed and reports whether every member job finishes
+// by its deadline.
+func edfFeasibleWithin(ci CriticalInterval, byID map[int]Job) bool {
+	remaining := map[int]float64{}
+	for _, id := range ci.Jobs {
+		remaining[id] = byID[id].Work
+	}
+	for _, seg := range ci.Segments {
+		now := seg.Start
+		for now < seg.End-1e-12 {
+			// Earliest-deadline released job with work left.
+			best, bestDl := -1, math.Inf(1)
+			nextRelease := math.Inf(1)
+			for _, id := range ci.Jobs {
+				if remaining[id] <= 1e-12 {
+					continue
+				}
+				j := byID[id]
+				if j.Release > now+1e-12 {
+					if j.Release < nextRelease {
+						nextRelease = j.Release
+					}
+					continue
+				}
+				if j.Deadline < bestDl {
+					best, bestDl = id, j.Deadline
+				}
+			}
+			if best < 0 {
+				if nextRelease >= seg.End {
+					break
+				}
+				now = nextRelease
+				continue
+			}
+			// Run until completion, the next release, or segment end.
+			runEnd := math.Min(seg.End, now+remaining[best]/ci.Speed)
+			if nextRelease < runEnd {
+				runEnd = nextRelease
+			}
+			remaining[best] -= (runEnd - now) * ci.Speed
+			now = runEnd
+			// Any unfinished job whose deadline passed is a miss.
+			for _, id := range ci.Jobs {
+				if remaining[id] > 1e-6 && byID[id].Deadline < now-1e-6 {
+					return false
+				}
+			}
+		}
+	}
+	for id, rem := range remaining {
+		if rem > 1e-6 {
+			_ = id
+			return false
+		}
+	}
+	return true
+}
+
+func randomJobs(rng *rand.Rand, n int) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		r := rng.Float64() * 10
+		jobs[i] = Job{
+			ID:       i,
+			Work:     0.1 + rng.Float64()*5,
+			Release:  r,
+			Deadline: r + 0.2 + rng.Float64()*8,
+		}
+	}
+	return jobs
+}
+
+func TestYDSStructureRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		jobs := randomJobs(rng, 1+rng.Intn(10))
+		plan, err := YDS(jobs)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		checkStructure(t, jobs, plan)
+		return !t.Failed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// YDS is optimal: it never exceeds the energy of the feasible
+// constant-speed schedule at the peak intensity, and the online
+// algorithms never beat it.
+func TestYDSOptimalityBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		jobs := randomJobs(rng, 1+rng.Intn(8))
+		plan, err := YDS(jobs)
+		if err != nil {
+			return false
+		}
+		opt := Energy(plan, alpha)
+
+		avr, err := AVREnergy(jobs, alpha)
+		if err != nil {
+			return false
+		}
+		oa, err := OAEnergy(jobs, alpha)
+		if err != nil {
+			return false
+		}
+		if avr < opt-1e-6*opt {
+			t.Logf("seed %d: AVR %v beat YDS %v", seed, avr, opt)
+			return false
+		}
+		if oa < opt-1e-6*opt {
+			t.Logf("seed %d: OA %v beat YDS %v", seed, oa, opt)
+			return false
+		}
+		// Competitive bounds (loose).
+		if oa > math.Pow(alpha, alpha)*opt+1e-6 {
+			t.Logf("seed %d: OA %v above alpha^alpha bound of %v", seed, oa, math.Pow(alpha, alpha)*opt)
+			return false
+		}
+		if avr > math.Pow(2, alpha-1)*math.Pow(alpha, alpha)*opt+1e-6 {
+			t.Logf("seed %d: AVR %v above its bound", seed, avr)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOAEqualsYDSWhenAllReleasedTogether(t *testing.T) {
+	// With a single release time OA sees the whole instance at once.
+	jobs := []Job{
+		{ID: 1, Work: 4, Release: 0, Deadline: 3},
+		{ID: 2, Work: 2, Release: 0, Deadline: 10},
+		{ID: 3, Work: 1, Release: 0, Deadline: 6},
+	}
+	plan, err := YDS(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Energy(plan, alpha)
+	oa, err := OAEnergy(jobs, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(oa-opt) > 1e-6*opt {
+		t.Errorf("OA %v != YDS %v on a clairvoyant instance", oa, opt)
+	}
+}
+
+func TestSpeedOfAndMaxSpeed(t *testing.T) {
+	jobs := []Job{
+		{ID: 1, Work: 8, Release: 0, Deadline: 10},
+		{ID: 2, Work: 6, Release: 4, Deadline: 6},
+	}
+	plan, _ := YDS(jobs)
+	if MaxSpeed(plan) != plan[0].Speed {
+		t.Error("MaxSpeed mismatch")
+	}
+	if SpeedOf(plan, 2) != 3 || SpeedOf(plan, 1) != 1 {
+		t.Errorf("SpeedOf: %v, %v", SpeedOf(plan, 2), SpeedOf(plan, 1))
+	}
+	if SpeedOf(plan, 99) != 0 {
+		t.Error("unknown job speed != 0")
+	}
+	if MaxSpeed(nil) != 0 {
+		t.Error("empty MaxSpeed != 0")
+	}
+}
+
+func TestDiscretizeYDS(t *testing.T) {
+	// Speeds in GHz range so Table II applies.
+	jobs := []Job{
+		{ID: 1, Work: 10, Release: 0, Deadline: 5},  // 2.0 Gcyc/s -> 2.0 GHz
+		{ID: 2, Work: 5, Release: 10, Deadline: 12}, // 2.5 Gcyc/s -> 2.8 GHz
+	}
+	plan, err := YDS(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels, joules, err := DiscretizeYDS(jobs, plan, platform.TableII())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if levels[1].Rate != 2.0 || levels[2].Rate != 2.8 {
+		t.Errorf("levels = %v", levels)
+	}
+	want := model.TaskEnergy(10, levels[1]) + model.TaskEnergy(5, levels[2])
+	if math.Abs(joules-want) > 1e-9 {
+		t.Errorf("joules = %v, want %v", joules, want)
+	}
+	// Overloaded: speed beyond the fastest level errors.
+	fast := []Job{{ID: 1, Work: 100, Release: 0, Deadline: 1}}
+	fplan, _ := YDS(fast)
+	if _, _, err := DiscretizeYDS(fast, fplan, platform.TableII()); err == nil {
+		t.Error("impossible discretization accepted")
+	}
+}
+
+// bruteMinEnergyEDF enumerates every rate assignment over the EDF
+// order and returns the minimum feasible energy (+Inf if none).
+func bruteMinEnergyEDF(order model.TaskSet, rates *model.RateTable) float64 {
+	n := len(order)
+	assign := make([]model.Assignment, n)
+	for i, t := range order {
+		assign[i] = model.Assignment{Task: t}
+	}
+	best := math.Inf(1)
+	var rec func(i int, energy float64)
+	rec = func(i int, energy float64) {
+		if energy >= best {
+			return
+		}
+		if i == n {
+			if ok, _ := deadline.Feasible(assign); ok {
+				best = energy
+			}
+			return
+		}
+		for li := 0; li < rates.Len(); li++ {
+			assign[i].Level = rates.Level(li)
+			rec(i+1, energy+model.TaskEnergy(order[i].Cycles, rates.Level(li)))
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+// Cross-package check: rounding YDS speeds up to hardware levels is
+// always feasible and never beats the exact discrete optimum.
+func TestDiscretizedYDSVsDeadlineDP(t *testing.T) {
+	rates := platform.TableII()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		tasks := make(model.TaskSet, n)
+		jobs := make([]Job, n)
+		elapsed := 0.0
+		for i := range tasks {
+			cyc := 1 + rng.Float64()*5
+			elapsed += cyc * rates.Max().Time
+			dl := elapsed * (1.5 + rng.Float64())
+			tasks[i] = model.Task{ID: i, Cycles: cyc, Deadline: dl}
+			jobs[i] = Job{ID: i, Work: cyc, Release: 0, Deadline: dl}
+		}
+		plan, err := YDS(jobs)
+		if err != nil {
+			return false
+		}
+		levels, roundedJ, err := DiscretizeYDS(jobs, plan, rates)
+		if err != nil {
+			return true // YDS speed above hardware: skip
+		}
+		// The rounded schedule must be deadline-feasible: rates only
+		// went up from the (feasible) continuous optimum.
+		order := make([]model.Assignment, 0, n)
+		for _, task := range deadline.EDFOrder(tasks) {
+			order = append(order, model.Assignment{Task: task, Level: levels[task.ID]})
+		}
+		if ok, _ := deadline.Feasible(order); !ok {
+			t.Logf("seed %d: rounded YDS schedule infeasible", seed)
+			return false
+		}
+		// Exact discrete optimum by brute force (no grid): the
+		// rounded YDS schedule is one feasible point, so it cannot
+		// beat it.
+		opt := bruteMinEnergyEDF(deadline.EDFOrder(tasks), rates)
+		if math.IsInf(opt, 1) {
+			return true // no feasible discrete schedule at all
+		}
+		if roundedJ < opt-1e-6 {
+			t.Logf("seed %d: rounded YDS %v below exact optimum %v", seed, roundedJ, opt)
+			return false
+		}
+		// And the grid DP stays within its conservatism of the exact
+		// optimum.
+		if dp, err := deadline.MinEnergyDP(tasks, rates, 0.01); err == nil {
+			if dp.EnergyJ < opt-1e-6 {
+				t.Logf("seed %d: DP %v below exact optimum %v", seed, dp.EnergyJ, opt)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,116 @@
+// Package stats provides the small numeric helpers the experiment
+// harness uses: means, percentiles, and normalization against a
+// reference (the paper reports every figure as cost normalized to its
+// own scheduler).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean; 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// Sum returns the sum of the slice.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Min returns the minimum; NaN for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum; NaN for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0..100) by linear
+// interpolation of the sorted data; NaN for an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 || p < 0 || p > 100 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Stddev returns the sample standard deviation; 0 for fewer than two
+// points.
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// Normalize divides every value by ref, reproducing the paper's
+// "normalized cost" presentation. It errors on a zero or non-finite
+// reference.
+func Normalize(xs []float64, ref float64) ([]float64, error) {
+	if ref == 0 || math.IsNaN(ref) || math.IsInf(ref, 0) {
+		return nil, fmt.Errorf("stats: bad normalization reference %v", ref)
+	}
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x / ref
+	}
+	return out, nil
+}
+
+// RelChange returns (b-a)/a: the relative change from a to b (e.g.
+// -0.46 means b is 46% below a).
+func RelChange(a, b float64) float64 {
+	if a == 0 {
+		return math.NaN()
+	}
+	return (b - a) / a
+}

@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBasics(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if Sum(xs) != 10 || Mean(xs) != 2.5 || Min(xs) != 1 || Max(xs) != 4 {
+		t.Errorf("basics wrong: sum=%v mean=%v min=%v max=%v", Sum(xs), Mean(xs), Min(xs), Max(xs))
+	}
+	if Mean(nil) != 0 {
+		t.Error("empty mean != 0")
+	}
+	if !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Error("empty min/max not NaN")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 100) != 4 {
+		t.Error("endpoints wrong")
+	}
+	if got := Percentile(xs, 50); got != 2.5 {
+		t.Errorf("median = %v, want 2.5", got)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) || !math.IsNaN(Percentile(xs, 101)) {
+		t.Error("invalid inputs not NaN")
+	}
+	if Percentile([]float64{7}, 50) != 7 {
+		t.Error("singleton percentile")
+	}
+}
+
+func TestStddev(t *testing.T) {
+	if Stddev([]float64{5}) != 0 {
+		t.Error("singleton stddev != 0")
+	}
+	got := Stddev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2.138) > 0.01 {
+		t.Errorf("stddev = %v", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	out, err := Normalize([]float64{2, 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 1 || out[1] != 2 {
+		t.Errorf("normalize = %v", out)
+	}
+	if _, err := Normalize([]float64{1}, 0); err == nil {
+		t.Error("zero reference accepted")
+	}
+	if _, err := Normalize([]float64{1}, math.NaN()); err == nil {
+		t.Error("NaN reference accepted")
+	}
+}
+
+func TestRelChange(t *testing.T) {
+	if got := RelChange(100, 54); math.Abs(got+0.46) > 1e-12 {
+		t.Errorf("RelChange = %v, want -0.46", got)
+	}
+	if !math.IsNaN(RelChange(0, 5)) {
+		t.Error("zero base not NaN")
+	}
+}

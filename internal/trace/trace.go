@@ -1,0 +1,99 @@
+// Package trace reads and writes task traces as JSON Lines, one task
+// per line. It is the interchange format between the workload
+// generators (cmd/tracegen), external traces, and the simulators.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"dvfsched/internal/model"
+)
+
+// Record is the JSONL wire format of one task. Deadline is omitted
+// (null) for tasks without one, since JSON cannot carry +Inf.
+type Record struct {
+	ID          int      `json:"id"`
+	Name        string   `json:"name,omitempty"`
+	Cycles      float64  `json:"cycles"`
+	Arrival     float64  `json:"arrival"`
+	Deadline    *float64 `json:"deadline,omitempty"`
+	Interactive bool     `json:"interactive,omitempty"`
+}
+
+// FromTask converts a model task to its wire form.
+func FromTask(t model.Task) Record {
+	r := Record{
+		ID:          t.ID,
+		Name:        t.Name,
+		Cycles:      t.Cycles,
+		Arrival:     t.Arrival,
+		Interactive: t.Interactive,
+	}
+	if t.HasDeadline() {
+		d := t.Deadline
+		r.Deadline = &d
+	}
+	return r
+}
+
+// Task converts the wire form back to a model task.
+func (r Record) Task() model.Task {
+	t := model.Task{
+		ID:          r.ID,
+		Name:        r.Name,
+		Cycles:      r.Cycles,
+		Arrival:     r.Arrival,
+		Deadline:    model.NoDeadline,
+		Interactive: r.Interactive,
+	}
+	if r.Deadline != nil {
+		t.Deadline = *r.Deadline
+	}
+	return t
+}
+
+// Write emits the task set as JSONL.
+func Write(w io.Writer, tasks model.TaskSet) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, t := range tasks {
+		if err := enc.Encode(FromTask(t)); err != nil {
+			return fmt.Errorf("trace: encoding task %d: %w", t.ID, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a JSONL trace and validates it.
+func Read(r io.Reader) (model.TaskSet, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var tasks model.TaskSet
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		if rec.Deadline != nil && (math.IsNaN(*rec.Deadline) || math.IsInf(*rec.Deadline, 0)) {
+			return nil, fmt.Errorf("trace: line %d: non-finite deadline", line)
+		}
+		tasks = append(tasks, rec.Task())
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if err := tasks.Validate(); err != nil {
+		return nil, err
+	}
+	return tasks, nil
+}

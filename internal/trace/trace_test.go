@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dvfsched/internal/model"
+	"dvfsched/internal/workload"
+)
+
+func TestRoundTrip(t *testing.T) {
+	cfg := workload.DefaultJudgeConfig()
+	cfg.Interactive, cfg.NonInteractive = 50, 10
+	tasks, err := cfg.Generate(rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, tasks); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(tasks) {
+		t.Fatalf("lengths: %d vs %d", len(back), len(tasks))
+	}
+	for i := range tasks {
+		if tasks[i] != back[i] {
+			t.Fatalf("task %d changed: %+v vs %+v", i, tasks[i], back[i])
+		}
+	}
+}
+
+func TestNoDeadlineEncodesAsNull(t *testing.T) {
+	tasks := model.TaskSet{{ID: 1, Cycles: 2, Deadline: model.NoDeadline}}
+	var buf bytes.Buffer
+	if err := Write(&buf, tasks); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "deadline") {
+		t.Errorf("NoDeadline leaked into JSON: %s", buf.String())
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back[0].HasDeadline() {
+		t.Error("deadline materialized from nothing")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json\n")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Read(strings.NewReader(`{"id":1,"cycles":-5,"arrival":0}` + "\n")); err == nil {
+		t.Error("invalid task accepted")
+	}
+	if _, err := Read(strings.NewReader("")); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestReadSkipsBlankLines(t *testing.T) {
+	in := `{"id":1,"cycles":2,"arrival":0}` + "\n\n" + `{"id":2,"cycles":3,"arrival":1}` + "\n"
+	tasks, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 2 {
+		t.Fatalf("tasks = %d", len(tasks))
+	}
+}

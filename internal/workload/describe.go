@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"dvfsched/internal/model"
+	"dvfsched/internal/stats"
+)
+
+// Summary describes a task trace statistically: the numbers needed to
+// judge whether a trace resembles the paper's (counts, demand
+// distribution, arrival span, offered load).
+type Summary struct {
+	// Tasks, Interactive and NonInteractive are counts.
+	Tasks, Interactive, NonInteractive int
+	// WithDeadline counts tasks carrying a finite deadline.
+	WithDeadline int
+	// TotalGcycles is the summed demand.
+	TotalGcycles float64
+	// CycleP50, CycleP99 and CycleMax describe the demand
+	// distribution in Gcycles.
+	CycleP50, CycleP99, CycleMax float64
+	// SpanS is the arrival span (last minus first arrival).
+	SpanS float64
+	// OfferedLoad is the demand rate over the span in Gcycles per
+	// second (0 when the span is 0, i.e. a batch).
+	OfferedLoad float64
+}
+
+// Describe computes a trace summary.
+func Describe(tasks model.TaskSet) (Summary, error) {
+	if err := tasks.Validate(); err != nil {
+		return Summary{}, err
+	}
+	s := Summary{Tasks: len(tasks)}
+	cycles := make([]float64, 0, len(tasks))
+	first, last := tasks[0].Arrival, tasks[0].Arrival
+	for _, t := range tasks {
+		if t.Interactive {
+			s.Interactive++
+		} else {
+			s.NonInteractive++
+		}
+		if t.HasDeadline() {
+			s.WithDeadline++
+		}
+		s.TotalGcycles += t.Cycles
+		cycles = append(cycles, t.Cycles)
+		if t.Arrival < first {
+			first = t.Arrival
+		}
+		if t.Arrival > last {
+			last = t.Arrival
+		}
+	}
+	s.CycleP50 = stats.Percentile(cycles, 50)
+	s.CycleP99 = stats.Percentile(cycles, 99)
+	s.CycleMax = stats.Max(cycles)
+	s.SpanS = last - first
+	if s.SpanS > 0 {
+		s.OfferedLoad = s.TotalGcycles / s.SpanS
+	}
+	return s, nil
+}
+
+// String renders the summary as an aligned block.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tasks:          %d (%d interactive, %d non-interactive, %d with deadlines)\n",
+		s.Tasks, s.Interactive, s.NonInteractive, s.WithDeadline)
+	fmt.Fprintf(&b, "demand:         %.1f Gcycles total; p50 %.4f, p99 %.3f, max %.3f\n",
+		s.TotalGcycles, s.CycleP50, s.CycleP99, s.CycleMax)
+	if s.SpanS > 0 {
+		fmt.Fprintf(&b, "arrivals:       %.1f s span, offered load %.2f Gcyc/s\n", s.SpanS, s.OfferedLoad)
+		fmt.Fprintf(&b, "cores needed:   %.1f at 3.0 GHz, %.1f at 1.6 GHz\n",
+			s.OfferedLoad/3.0, s.OfferedLoad/1.6)
+	} else {
+		fmt.Fprintf(&b, "arrivals:       batch (all at t=0)\n")
+	}
+	return b.String()
+}

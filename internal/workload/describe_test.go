@@ -1,0 +1,63 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dvfsched/internal/model"
+)
+
+func TestDescribeBatch(t *testing.T) {
+	tasks := model.TaskSet{
+		{ID: 1, Cycles: 1, Deadline: model.NoDeadline},
+		{ID: 2, Cycles: 3, Deadline: model.NoDeadline},
+	}
+	s, err := Describe(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Tasks != 2 || s.NonInteractive != 2 || s.TotalGcycles != 4 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.SpanS != 0 || s.OfferedLoad != 0 {
+		t.Errorf("batch should have zero span/load: %+v", s)
+	}
+	if !strings.Contains(s.String(), "batch (all at t=0)") {
+		t.Errorf("String:\n%s", s)
+	}
+}
+
+func TestDescribeOnline(t *testing.T) {
+	cfg := DefaultJudgeConfig()
+	cfg.Interactive, cfg.NonInteractive, cfg.Duration = 50, 10, 30
+	tasks, err := cfg.Generate(rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Describe(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Interactive != 50 || s.NonInteractive != 10 {
+		t.Errorf("counts: %+v", s)
+	}
+	if s.WithDeadline != 50 {
+		t.Errorf("deadlines: %d, want the interactive count", s.WithDeadline)
+	}
+	if s.SpanS <= 0 || s.OfferedLoad <= 0 {
+		t.Errorf("span/load: %+v", s)
+	}
+	if s.CycleP50 > s.CycleP99 || s.CycleP99 > s.CycleMax {
+		t.Errorf("percentiles out of order: %+v", s)
+	}
+	if !strings.Contains(s.String(), "offered load") {
+		t.Errorf("String:\n%s", s)
+	}
+}
+
+func TestDescribeInvalid(t *testing.T) {
+	if _, err := Describe(nil); err == nil {
+		t.Error("empty trace accepted")
+	}
+}

@@ -1,0 +1,37 @@
+package workload_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dvfsched/internal/workload"
+)
+
+// The paper's Table I workloads convert to batch tasks at the 1.6 GHz
+// characterization frequency.
+func ExampleSPECTasks() {
+	tasks := workload.SPECTasks()
+	fmt.Printf("%d tasks, first: %s with %.3f Gcycles\n",
+		len(tasks), tasks[0].Name, tasks[0].Cycles)
+	// Output:
+	// 24 tasks, first: perlbench/train with 69.626 Gcycles
+}
+
+// The Judgegirl synthesizer reproduces the published trace shape:
+// many tiny interactive queries, few heavy submissions, arrivals
+// bunching toward the exam deadline.
+func ExampleJudgeConfig_Generate() {
+	cfg := workload.DefaultJudgeConfig()
+	cfg.Interactive, cfg.NonInteractive, cfg.Duration = 1000, 100, 300
+	tasks, err := cfg.Generate(rand.New(rand.NewSource(1)))
+	if err != nil {
+		panic(err)
+	}
+	inter, non := tasks.Split()
+	fmt.Printf("%d queries, %d submissions\n", len(inter), len(non))
+	fmt.Printf("queries are lighter: %v\n",
+		inter.TotalCycles()/float64(len(inter)) < non.TotalCycles()/float64(len(non)))
+	// Output:
+	// 1000 queries, 100 submissions
+	// queries are lighter: true
+}

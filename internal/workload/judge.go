@@ -1,0 +1,149 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"dvfsched/internal/model"
+)
+
+// JudgeConfig parameterizes the online-judge trace synthesizer. The
+// paper's trace (Judgegirl, National Taiwan University) is private;
+// its published characteristics — 50525 interactive requests and 768
+// code submissions over a half-hour final exam with five problems —
+// are this generator's defaults, and arrival pressure rises toward the
+// end of the exam.
+type JudgeConfig struct {
+	// Interactive is the number of interactive tasks (score queries,
+	// problem choosing). Paper: 50525.
+	Interactive int
+	// NonInteractive is the number of code submissions. Paper: 768.
+	NonInteractive int
+	// Duration is the trace length in seconds. Paper: 1800 (half an
+	// hour).
+	Duration float64
+	// Problems is the number of exam problems; each has its own
+	// judging-time scale. Paper: 5.
+	Problems int
+	// InteractiveMedian is the median interactive request length in
+	// Gcycles (score lookups are milliseconds of work).
+	InteractiveMedian float64
+	// InteractiveSigma is the lognormal shape of interactive lengths.
+	InteractiveSigma float64
+	// SubmitMedianMin and SubmitMedianMax bound the per-problem
+	// median judging lengths in Gcycles; problems are spread evenly
+	// between them.
+	SubmitMedianMin, SubmitMedianMax float64
+	// SubmitSigma is the lognormal shape of submission lengths
+	// (submissions by different students vary a lot).
+	SubmitSigma float64
+	// EndRamp is how much denser arrivals are at the end of the exam
+	// than at the start (>= 0; 0 means uniform arrivals).
+	EndRamp float64
+	// InteractiveDeadline is the firm response deadline of
+	// interactive tasks, in seconds after arrival.
+	InteractiveDeadline float64
+}
+
+// DefaultJudgeConfig returns the published characteristics of the
+// paper's trace.
+func DefaultJudgeConfig() JudgeConfig {
+	return JudgeConfig{
+		Interactive:         50525,
+		NonInteractive:      768,
+		Duration:            1800,
+		Problems:            5,
+		InteractiveMedian:   0.002,
+		InteractiveSigma:    0.5,
+		SubmitMedianMin:     10,
+		SubmitMedianMax:     60,
+		SubmitSigma:         0.8,
+		EndRamp:             8.0,
+		InteractiveDeadline: 0.5,
+	}
+}
+
+// Validate checks the configuration.
+func (c JudgeConfig) Validate() error {
+	switch {
+	case c.Interactive < 0 || c.NonInteractive < 0 || c.Interactive+c.NonInteractive == 0:
+		return fmt.Errorf("workload: need at least one task")
+	case c.Duration <= 0:
+		return fmt.Errorf("workload: duration must be positive")
+	case c.Problems <= 0:
+		return fmt.Errorf("workload: need at least one problem")
+	case c.InteractiveMedian <= 0 || c.SubmitMedianMin <= 0 || c.SubmitMedianMax < c.SubmitMedianMin:
+		return fmt.Errorf("workload: bad length medians")
+	case c.InteractiveSigma < 0 || c.SubmitSigma < 0:
+		return fmt.Errorf("workload: negative sigma")
+	case c.EndRamp < 0:
+		return fmt.Errorf("workload: negative end ramp")
+	case c.InteractiveDeadline <= 0:
+		return fmt.Errorf("workload: interactive deadline must be positive")
+	}
+	return nil
+}
+
+// arrivalTime draws an arrival from the ramped density
+// f(t) ∝ 1 + EndRamp*(t/T) by inverting its CDF.
+func (c JudgeConfig) arrivalTime(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	if c.EndRamp == 0 {
+		return u * c.Duration
+	}
+	// CDF: F(x) = (x + r*x^2/2) / (1 + r/2) with x = t/T, r = EndRamp.
+	// Invert the quadratic r/2*x^2 + x - u*(1+r/2) = 0.
+	r := c.EndRamp
+	x := (-1 + math.Sqrt(1+2*r*u*(1+r/2))) / r
+	if x < 0 {
+		x = 0
+	}
+	if x > 1 {
+		x = 1
+	}
+	return x * c.Duration
+}
+
+// problemMedian returns the judging-length median of problem p.
+func (c JudgeConfig) problemMedian(p int) float64 {
+	if c.Problems == 1 {
+		return c.SubmitMedianMin
+	}
+	frac := float64(p) / float64(c.Problems-1)
+	return c.SubmitMedianMin + frac*(c.SubmitMedianMax-c.SubmitMedianMin)
+}
+
+// Generate synthesizes the trace. Tasks are returned sorted by
+// arrival time with sequential IDs; determinism follows from rng.
+func (c JudgeConfig) Generate(rng *rand.Rand) (model.TaskSet, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	tasks := make(model.TaskSet, 0, c.Interactive+c.NonInteractive)
+	for i := 0; i < c.Interactive; i++ {
+		at := c.arrivalTime(rng)
+		tasks = append(tasks, model.Task{
+			Name:        "query",
+			Cycles:      lognormal(rng, c.InteractiveMedian, c.InteractiveSigma),
+			Arrival:     at,
+			Deadline:    at + c.InteractiveDeadline,
+			Interactive: true,
+		})
+	}
+	for i := 0; i < c.NonInteractive; i++ {
+		p := rng.Intn(c.Problems)
+		tasks = append(tasks, model.Task{
+			Name:     fmt.Sprintf("submit-p%d", p+1),
+			Cycles:   lognormal(rng, c.problemMedian(p), c.SubmitSigma),
+			Arrival:  c.arrivalTime(rng),
+			Deadline: model.NoDeadline,
+		})
+	}
+	sort.SliceStable(tasks, func(i, j int) bool { return tasks[i].Arrival < tasks[j].Arrival })
+	for i := range tasks {
+		tasks[i].ID = i
+	}
+	return tasks, nil
+}

@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dvfsched/internal/model"
+)
+
+// Uniform generates n batch tasks with cycle counts uniform in
+// [lo, hi) Gcycles.
+func Uniform(rng *rand.Rand, n int, lo, hi float64) (model.TaskSet, error) {
+	if n <= 0 || lo <= 0 || hi <= lo {
+		return nil, fmt.Errorf("workload: bad uniform parameters n=%d lo=%v hi=%v", n, lo, hi)
+	}
+	ts := make(model.TaskSet, n)
+	for i := range ts {
+		ts[i] = model.Task{ID: i, Cycles: lo + rng.Float64()*(hi-lo), Deadline: model.NoDeadline}
+	}
+	return ts, nil
+}
+
+// Exponential generates n batch tasks with exponentially distributed
+// cycle counts of the given mean (Gcycles).
+func Exponential(rng *rand.Rand, n int, mean float64) (model.TaskSet, error) {
+	if n <= 0 || mean <= 0 {
+		return nil, fmt.Errorf("workload: bad exponential parameters n=%d mean=%v", n, mean)
+	}
+	ts := make(model.TaskSet, n)
+	for i := range ts {
+		ts[i] = model.Task{ID: i, Cycles: rng.ExpFloat64()*mean + 1e-6, Deadline: model.NoDeadline}
+	}
+	return ts, nil
+}
+
+// Bimodal generates n batch tasks: a fracLong share of long tasks
+// (mean longMean) and the rest short (mean shortMean), both
+// exponential. It models the short-interactive / long-batch mixes the
+// paper's introduction motivates.
+func Bimodal(rng *rand.Rand, n int, shortMean, longMean, fracLong float64) (model.TaskSet, error) {
+	if n <= 0 || shortMean <= 0 || longMean <= shortMean || fracLong < 0 || fracLong > 1 {
+		return nil, fmt.Errorf("workload: bad bimodal parameters")
+	}
+	ts := make(model.TaskSet, n)
+	for i := range ts {
+		mean := shortMean
+		if rng.Float64() < fracLong {
+			mean = longMean
+		}
+		ts[i] = model.Task{ID: i, Cycles: rng.ExpFloat64()*mean + 1e-6, Deadline: model.NoDeadline}
+	}
+	return ts, nil
+}
+
+// Pareto generates n batch tasks with heavy-tailed (Pareto) cycle
+// counts: minimum xm Gcycles, shape alpha (>1 for finite mean).
+func Pareto(rng *rand.Rand, n int, xm, alpha float64) (model.TaskSet, error) {
+	if n <= 0 || xm <= 0 || alpha <= 0 {
+		return nil, fmt.Errorf("workload: bad pareto parameters")
+	}
+	ts := make(model.TaskSet, n)
+	for i := range ts {
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		ts[i] = model.Task{ID: i, Cycles: xm / math.Pow(u, 1/alpha), Deadline: model.NoDeadline}
+	}
+	return ts, nil
+}
+
+// lognormal draws a lognormal variate with the given median and sigma
+// of the underlying normal.
+func lognormal(rng *rand.Rand, median, sigma float64) float64 {
+	return median * math.Exp(rng.NormFloat64()*sigma)
+}

@@ -1,0 +1,244 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSPECTableIContents(t *testing.T) {
+	ws := SPEC2006Int()
+	if len(ws) != 24 {
+		t.Fatalf("workloads = %d, want 24", len(ws))
+	}
+	byName := map[string]float64{}
+	for _, w := range ws {
+		byName[w.Name()] = w.Seconds
+	}
+	// Spot-check rows of Table I.
+	checks := map[string]float64{
+		"perlbench/train": 43.516,
+		"bzip/ref":        1297.587,
+		"gcc/train":       1.63,
+		"h264ref/ref":     1549.734,
+		"xalancbmk/ref":   453.463,
+	}
+	for name, want := range checks {
+		if got := byName[name]; got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	benchmarks := map[string]int{}
+	for _, w := range ws {
+		benchmarks[w.Benchmark]++
+	}
+	if len(benchmarks) != 12 {
+		t.Errorf("benchmarks = %d, want 12", len(benchmarks))
+	}
+	for b, n := range benchmarks {
+		if n != 2 {
+			t.Errorf("%s has %d inputs, want train+ref", b, n)
+		}
+	}
+}
+
+func TestSPECTasksCycleEstimate(t *testing.T) {
+	tasks := SPECTasks()
+	if err := tasks.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 24 {
+		t.Fatalf("tasks = %d", len(tasks))
+	}
+	// Cycles = seconds * 1.6 GHz, as the paper estimates.
+	for _, task := range tasks {
+		if task.Name == "gcc/train" {
+			if math.Abs(task.Cycles-1.63*1.6) > 1e-9 {
+				t.Errorf("gcc/train cycles = %v", task.Cycles)
+			}
+		}
+		if task.HasDeadline() {
+			t.Errorf("batch task %s has a deadline", task.Name)
+		}
+	}
+}
+
+func TestSPECSubset(t *testing.T) {
+	ts, err := SPECSubset("bzip/train", "mcf/ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 2 || ts[0].Name != "bzip/train" || ts[1].Name != "mcf/ref" {
+		t.Errorf("subset = %v", ts)
+	}
+	if _, err := SPECSubset("nope/zilch"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestSyntheticGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	u, err := Uniform(rng, 100, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range u {
+		if task.Cycles < 1 || task.Cycles >= 5 {
+			t.Fatalf("uniform out of range: %v", task.Cycles)
+		}
+	}
+	e, err := Exponential(rng, 2000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := e.TotalCycles() / float64(len(e)); math.Abs(m-3) > 0.5 {
+		t.Errorf("exponential mean = %v, want ~3", m)
+	}
+	b, err := Bimodal(rng, 2000, 1, 100, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Pareto(rng, 500, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range p {
+		if task.Cycles < 1 {
+			t.Fatalf("pareto below xm: %v", task.Cycles)
+		}
+	}
+}
+
+func TestSyntheticValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if _, err := Uniform(rng, 0, 1, 2); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := Uniform(rng, 5, 2, 1); err == nil {
+		t.Error("hi<lo accepted")
+	}
+	if _, err := Exponential(rng, 5, 0); err == nil {
+		t.Error("zero mean accepted")
+	}
+	if _, err := Bimodal(rng, 5, 2, 1, 0.5); err == nil {
+		t.Error("longMean<shortMean accepted")
+	}
+	if _, err := Pareto(rng, 5, 0, 1); err == nil {
+		t.Error("zero xm accepted")
+	}
+}
+
+func TestJudgeConfigValidate(t *testing.T) {
+	if err := DefaultJudgeConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultJudgeConfig()
+	bad.Duration = 0
+	if bad.Validate() == nil {
+		t.Error("zero duration accepted")
+	}
+	bad = DefaultJudgeConfig()
+	bad.SubmitMedianMax = bad.SubmitMedianMin - 1
+	if bad.Validate() == nil {
+		t.Error("inverted medians accepted")
+	}
+	bad = DefaultJudgeConfig()
+	bad.Interactive, bad.NonInteractive = 0, 0
+	if bad.Validate() == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestJudgeGenerateCountsAndKinds(t *testing.T) {
+	cfg := DefaultJudgeConfig()
+	cfg.Interactive = 500
+	cfg.NonInteractive = 50
+	rng := rand.New(rand.NewSource(3))
+	tasks, err := cfg.Generate(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tasks.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	inter, non := tasks.Split()
+	if len(inter) != 500 || len(non) != 50 {
+		t.Fatalf("split = %d/%d", len(inter), len(non))
+	}
+	for i := 1; i < len(tasks); i++ {
+		if tasks[i].Arrival < tasks[i-1].Arrival {
+			t.Fatal("not sorted by arrival")
+		}
+	}
+	for _, task := range tasks {
+		if task.Arrival < 0 || task.Arrival > cfg.Duration {
+			t.Fatalf("arrival %v outside [0, %v]", task.Arrival, cfg.Duration)
+		}
+		if task.Interactive && !task.HasDeadline() {
+			t.Error("interactive task without deadline")
+		}
+		if !task.Interactive && task.HasDeadline() {
+			t.Error("submission with deadline")
+		}
+	}
+	// Interactive work is much lighter than judging work.
+	if inter.TotalCycles()/float64(len(inter)) >= non.TotalCycles()/float64(len(non)) {
+		t.Error("interactive tasks not lighter than submissions")
+	}
+}
+
+func TestJudgeEndRampSkewsArrivals(t *testing.T) {
+	cfg := DefaultJudgeConfig()
+	cfg.Interactive = 20000
+	cfg.NonInteractive = 0
+	cfg.EndRamp = 3
+	rng := rand.New(rand.NewSource(4))
+	tasks, err := cfg.Generate(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstHalf := 0
+	for _, task := range tasks {
+		if task.Arrival < cfg.Duration/2 {
+			firstHalf++
+		}
+	}
+	frac := float64(firstHalf) / float64(len(tasks))
+	// With density 1 + 3t/T the first half holds (0.5+3/8)/(1+1.5) = 35%.
+	if frac > 0.40 || frac < 0.30 {
+		t.Errorf("first-half fraction = %v, want ~0.35", frac)
+	}
+}
+
+func TestJudgeDeterminism(t *testing.T) {
+	cfg := DefaultJudgeConfig()
+	cfg.Interactive, cfg.NonInteractive = 200, 20
+	a, _ := cfg.Generate(rand.New(rand.NewSource(9)))
+	b, _ := cfg.Generate(rand.New(rand.NewSource(9)))
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic generation")
+		}
+	}
+}
+
+func TestJudgeProblemMedians(t *testing.T) {
+	cfg := DefaultJudgeConfig()
+	if m := cfg.problemMedian(0); m != cfg.SubmitMedianMin {
+		t.Errorf("problem 0 median %v", m)
+	}
+	if m := cfg.problemMedian(cfg.Problems - 1); m != cfg.SubmitMedianMax {
+		t.Errorf("last problem median %v", m)
+	}
+	one := cfg
+	one.Problems = 1
+	if m := one.problemMedian(0); m != cfg.SubmitMedianMin {
+		t.Errorf("single problem median %v", m)
+	}
+}

@@ -1,0 +1,79 @@
+package dvfsched_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dvfsched/internal/experiments"
+	"dvfsched/internal/online"
+	"dvfsched/internal/platform"
+	"dvfsched/internal/sim"
+	"dvfsched/internal/workload"
+)
+
+// TestSoakOnlineScheduling runs many randomized online traces across
+// every policy and checks conservation invariants on each: all tasks
+// complete, energy stays within physical bounds, turnarounds are
+// non-negative, and the maintained LMC queue costs drain to zero.
+// Skipped with -short.
+func TestSoakOnlineScheduling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in short mode")
+	}
+	for trial := 0; trial < 12; trial++ {
+		seed := int64(1000 + trial)
+		rng := rand.New(rand.NewSource(seed))
+		judge := workload.DefaultJudgeConfig()
+		judge.Interactive = 200 + rng.Intn(1200)
+		judge.NonInteractive = 30 + rng.Intn(250)
+		judge.Duration = 60 + rng.Float64()*240
+		judge.SubmitSigma = 0.3 + rng.Float64()
+		judge.EndRamp = rng.Float64() * 10
+		tasks, err := judge.Generate(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cores := 1 + rng.Intn(8)
+		plat := platform.Homogeneous(cores, platform.TableII(), platform.Ideal{})
+
+		lmc, err := online.NewLMC(experiments.OnlineParams)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lmcEst, err := online.NewLMCEstimated(experiments.OnlineParams)
+		if err != nil {
+			t.Fatal(err)
+		}
+		policies := []sim.Policy{lmc, lmcEst, &online.Replan{Params: experiments.OnlineParams, MigrationCycles: 0.1}}
+		for _, p := range policies {
+			res, err := sim.Run(sim.Config{Platform: plat, Policy: p}, tasks, experiments.OnlineParams)
+			if err != nil {
+				t.Fatalf("seed %d cores %d policy %s: %v", seed, cores, p.Name(), err)
+			}
+			var minJ, maxJ float64
+			for _, ts := range res.Tasks {
+				if !ts.Done {
+					t.Fatalf("seed %d policy %s: task %d unfinished", seed, p.Name(), ts.Task.ID)
+				}
+				if ts.Turnaround() < -1e-9 {
+					t.Fatalf("seed %d policy %s: negative turnaround", seed, p.Name())
+				}
+				minJ += ts.Task.Cycles * platform.TableII().Min().Energy
+				maxJ += ts.Task.Cycles * platform.TableII().Max().Energy
+			}
+			if res.ActiveEnergy < minJ-1e-6 || res.ActiveEnergy > maxJ+1e-6 {
+				t.Fatalf("seed %d policy %s: energy %v outside [%v, %v]", seed, p.Name(), res.ActiveEnergy, minJ, maxJ)
+			}
+			if math.IsNaN(res.TotalCost) || res.TotalCost <= 0 {
+				t.Fatalf("seed %d policy %s: bad cost %v", seed, p.Name(), res.TotalCost)
+			}
+		}
+		// LMC's internal queues fully drained.
+		for j := 0; j < cores; j++ {
+			if c := lmc.QueuedCost(j); math.Abs(c) > 1e-4 {
+				t.Fatalf("seed %d: residual LMC queue cost %v on core %d", seed, c, j)
+			}
+		}
+	}
+}
