@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: check vet build test race bench-smoke fuzz-smoke golden
+
+check: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration per benchmark: catches bit-rot without timing anything.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Short fuzz sessions for the dynamic structures.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzInsertDelete -fuzztime=10s ./internal/rangetree
+	$(GO) test -fuzz=FuzzDynamicCost -fuzztime=10s ./internal/dynsched
+
+# Regenerate the report package's golden files.
+golden:
+	$(GO) test ./internal/report -update

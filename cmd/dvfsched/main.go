@@ -6,10 +6,16 @@
 //
 //	dvfsched [-trace tasks.jsonl] [-cores 4] [-platform table2|i7|exynos]
 //	         [-re 0.1] [-rt 0.4] [-spec]
+//	         [-trace-out events.jsonl] [-metrics-out metrics.json]
 //
 // With -spec the paper's 24 SPEC CPU2006 workloads are scheduled
 // instead of reading a trace (default when no trace is given). The
 // trace format is JSON Lines; see internal/trace.
+//
+// -trace-out and -metrics-out execute the computed plan on the
+// simulator and dump the run's event stream (JSONL) and metrics
+// snapshot (JSON); the report package replays the event stream into
+// Gantt/CSV artifacts.
 package main
 
 import (
@@ -22,7 +28,9 @@ import (
 	"dvfsched/internal/batch"
 	"dvfsched/internal/envelope"
 	"dvfsched/internal/model"
+	"dvfsched/internal/obs"
 	"dvfsched/internal/platform"
+	"dvfsched/internal/sim"
 	"dvfsched/internal/trace"
 	"dvfsched/internal/workload"
 )
@@ -46,6 +54,9 @@ func run(args []string, w io.Writer) error {
 		spec      = fs.Bool("spec", false, "schedule the paper's SPEC workloads")
 		asJSON    = fs.Bool("json", false, "emit the plan as self-contained JSON instead of text")
 		ranges    = fs.Bool("ranges", false, "print the platform's dominating position ranges and exit")
+
+		traceOut   = fs.String("trace-out", "", "simulate the plan and write its event stream as JSONL")
+		metricsOut = fs.String("metrics-out", "", "simulate the plan and write its metrics snapshot as JSON")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -99,10 +110,59 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *traceOut != "" || *metricsOut != "" {
+		if err := simulatePlan(plan, rates, *cores, tasks, params, *traceOut, *metricsOut); err != nil {
+			return err
+		}
+	}
 	if *asJSON {
 		return plan.WriteJSON(w)
 	}
 	printPlan(w, plan)
+	return nil
+}
+
+// simulatePlan executes the WBG plan on the ideal simulator and dumps
+// the observability artifacts the flags requested.
+func simulatePlan(plan *batch.Plan, rates *model.RateTable, cores int, tasks model.TaskSet, params model.CostParams, traceOut, metricsOut string) error {
+	fp, err := sim.NewFixedPlan(plan)
+	if err != nil {
+		return err
+	}
+	reg := obs.NewRegistry()
+	var sink obs.Sink = obs.NewMetricsSink(reg)
+	var jsonl *obs.JSONLWriter
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		jsonl = obs.NewJSONLWriter(f)
+		sink = obs.Multi(jsonl, sink)
+	}
+	plat := platform.Homogeneous(cores, rates, platform.Ideal{})
+	if _, err := sim.Run(sim.Config{Platform: plat, Policy: fp, Sink: sink}, tasks, params); err != nil {
+		return err
+	}
+	if jsonl != nil {
+		if err := jsonl.Close(); err != nil {
+			return fmt.Errorf("writing %s: %w", traceOut, err)
+		}
+	}
+	if metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			return err
+		}
+		werr := reg.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("writing %s: %w", metricsOut, werr)
+		}
+	}
 	return nil
 }
 

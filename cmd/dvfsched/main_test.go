@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,6 +10,8 @@ import (
 
 	"dvfsched/internal/batch"
 	"dvfsched/internal/model"
+	"dvfsched/internal/obs"
+	"dvfsched/internal/report"
 	"dvfsched/internal/trace"
 )
 
@@ -108,5 +111,53 @@ func TestRunRangesFlag(t *testing.T) {
 	if !strings.Contains(out.String(), "dominating position ranges") ||
 		!strings.Contains(out.String(), "GHz") {
 		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestTraceAndMetricsOut(t *testing.T) {
+	dir := t.TempDir()
+	eventsPath := filepath.Join(dir, "events.jsonl")
+	metricsPath := filepath.Join(dir, "metrics.json")
+	var out bytes.Buffer
+	if err := run([]string{"-cores", "2", "-trace-out", eventsPath, "-metrics-out", metricsPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(eventsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, rerr := obs.ReadJSONL(f)
+	f.Close()
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	timeline, err := report.TimelineFromEvents(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(timeline) == 0 {
+		t.Fatal("empty replayed timeline")
+	}
+	var gantt bytes.Buffer
+	if err := report.Gantt(&gantt, timeline); err != nil {
+		t.Fatal(err)
+	}
+	mb, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters map[string]float64 `json:"counters"`
+	}
+	if err := json.Unmarshal(mb, &snap); err != nil {
+		t.Fatal(err)
+	}
+	// The default workload is the paper's 24 SPEC programs; the plan
+	// execution must complete all of them.
+	if got := snap.Counters["sim.tasks.completed"]; got != 24 {
+		t.Errorf("sim.tasks.completed = %v, want 24", got)
+	}
+	if snap.Counters["sim.energy_j"] <= 0 {
+		t.Error("sim.energy_j missing from metrics snapshot")
 	}
 }

@@ -6,6 +6,12 @@
 //
 //	onlinesim [-cores 4] [-seed N] [-trace trace.jsonl]
 //	          [-re 0.4] [-rt 0.1] [-scale 1]
+//	          [-trace-out events.jsonl] [-metrics-out metrics.json]
+//
+// -trace-out dumps the LMC run's event stream as JSONL; the report
+// package replays such a dump into the same Gantt/CSV artifacts the
+// simulator produces directly. -metrics-out writes the run's counter,
+// gauge and histogram snapshot as JSON.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 
 	"dvfsched/internal/experiments"
 	"dvfsched/internal/model"
+	"dvfsched/internal/obs"
 	"dvfsched/internal/trace"
 	"dvfsched/internal/workload"
 )
@@ -33,12 +40,14 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("onlinesim", flag.ContinueOnError)
 	var (
-		cores     = fs.Int("cores", 4, "number of cores")
-		seed      = fs.Int64("seed", 0, "trace seed (0 = default)")
-		traceFile = fs.String("trace", "", "JSONL online trace (default: synthesized Judgegirl-like)")
-		re        = fs.Float64("re", 0.4, "Re, cents per joule")
-		rt        = fs.Float64("rt", 0.1, "Rt, cents per second")
-		scale     = fs.Float64("scale", 1, "synthesized-trace scale factor (0 < scale <= 1)")
+		cores      = fs.Int("cores", 4, "number of cores")
+		seed       = fs.Int64("seed", 0, "trace seed (0 = default)")
+		traceFile  = fs.String("trace", "", "JSONL online trace (default: synthesized Judgegirl-like)")
+		re         = fs.Float64("re", 0.4, "Re, cents per joule")
+		rt         = fs.Float64("rt", 0.1, "Rt, cents per second")
+		scale      = fs.Float64("scale", 1, "synthesized-trace scale factor (0 < scale <= 1)")
+		traceOut   = fs.String("trace-out", "", "write the LMC run's event stream as JSONL")
+		metricsOut = fs.String("metrics-out", "", "write the LMC run's metrics snapshot as JSON")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -51,6 +60,22 @@ func run(args []string, w io.Writer) error {
 		Cores:  *cores,
 		Seed:   *seed,
 		Params: model.CostParams{Re: *re, Rt: *rt},
+	}
+	var reg *obs.Registry
+	if *traceOut != "" || *metricsOut != "" {
+		reg = obs.NewRegistry()
+		cfg.Metrics = reg
+		cfg.Sink = obs.NewMetricsSink(reg)
+	}
+	var jsonl *obs.JSONLWriter
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		jsonl = obs.NewJSONLWriter(f)
+		cfg.Sink = obs.Multi(jsonl, cfg.Sink)
 	}
 	if *traceFile != "" {
 		f, err := os.Open(*traceFile)
@@ -74,6 +99,24 @@ func run(args []string, w io.Writer) error {
 	res, err := experiments.Fig3(cfg)
 	if err != nil {
 		return err
+	}
+	if jsonl != nil {
+		if err := jsonl.Close(); err != nil {
+			return fmt.Errorf("writing %s: %w", *traceOut, err)
+		}
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			return err
+		}
+		werr := reg.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("writing %s: %w", *metricsOut, werr)
+		}
 	}
 	fmt.Fprintln(w, "Fig. 3 — online-mode scheduler comparison:")
 	for _, o := range []experiments.Outcome{res.LMC, res.OLB, res.OD} {

@@ -2,12 +2,18 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"math/rand"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
+	"dvfsched/internal/experiments"
+	"dvfsched/internal/model"
+	"dvfsched/internal/obs"
+	"dvfsched/internal/report"
 	"dvfsched/internal/trace"
 	"dvfsched/internal/workload"
 )
@@ -60,5 +66,107 @@ func TestRunBadArgs(t *testing.T) {
 		if err := run(args, &bytes.Buffer{}); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
+	}
+}
+
+func TestTraceOutReplayMatchesDirect(t *testing.T) {
+	// The PR's acceptance path: the JSONL dump written by -trace-out
+	// must replay into the exact Gantt/CSV the simulator's own
+	// timeline recording produces.
+	judge := workload.DefaultJudgeConfig()
+	judge.Interactive, judge.NonInteractive, judge.Duration = 100, 20, 40
+	tasks, err := judge.Generate(rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, tasks); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "judge.jsonl")
+	if err := os.WriteFile(tracePath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	eventsPath := filepath.Join(dir, "events.jsonl")
+	metricsPath := filepath.Join(dir, "metrics.json")
+
+	var out bytes.Buffer
+	if err := run([]string{"-trace", tracePath, "-cores", "2",
+		"-trace-out", eventsPath, "-metrics-out", metricsPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(eventsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, rerr := obs.ReadJSONL(f)
+	f.Close()
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if len(events) == 0 {
+		t.Fatal("empty event stream")
+	}
+	replayed, err := report.TimelineFromEvents(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-run the same configuration with the engine's own recording.
+	res, err := experiments.Fig3(experiments.Fig3Config{
+		Tasks:          tasks,
+		Cores:          2,
+		Params:         model.CostParams{Re: 0.4, Rt: 0.1},
+		RecordTimeline: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := report.MergeTimeline(res.LMCTimeline)
+	if !reflect.DeepEqual(replayed, direct) {
+		t.Fatalf("replayed timeline differs from direct recording (%d vs %d segments)",
+			len(replayed), len(direct))
+	}
+	var gDirect, gTrace, cDirect, cTrace bytes.Buffer
+	if err := report.Gantt(&gDirect, direct); err != nil {
+		t.Fatal(err)
+	}
+	if err := report.TraceGantt(&gTrace, events); err != nil {
+		t.Fatal(err)
+	}
+	if gDirect.String() != gTrace.String() {
+		t.Error("gantt via trace differs from direct gantt")
+	}
+	if err := report.TimelineCSV(&cDirect, direct); err != nil {
+		t.Fatal(err)
+	}
+	if err := report.TraceCSV(&cTrace, events); err != nil {
+		t.Fatal(err)
+	}
+	if cDirect.String() != cTrace.String() {
+		t.Error("csv via trace differs from direct csv")
+	}
+
+	// The metrics snapshot must parse and carry the headline counters.
+	mb, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters map[string]float64 `json:"counters"`
+	}
+	if err := json.Unmarshal(mb, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Counters["sim.tasks.completed"]; got != float64(len(tasks)) {
+		t.Errorf("sim.tasks.completed = %v, want %d", got, len(tasks))
+	}
+	if snap.Counters["lmc.marginal_evals"] == 0 {
+		t.Error("lmc.marginal_evals missing from metrics snapshot")
+	}
+	if snap.Counters["sim.energy_j"] <= 0 {
+		t.Error("sim.energy_j missing from metrics snapshot")
 	}
 }

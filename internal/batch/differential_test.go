@@ -1,0 +1,103 @@
+package batch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dvfsched/internal/exact"
+	"dvfsched/internal/model"
+)
+
+// randomRates builds a valid random rate table for the differential
+// tests (rates and E strictly increasing, T strictly decreasing).
+func randomRates(rng *rand.Rand, n int) *model.RateTable {
+	levels := make([]model.RateLevel, n)
+	rate := 0.3 + rng.Float64()*0.4
+	energy := 0.2 + rng.Float64()
+	time := 3 + rng.Float64()*4
+	for i := range levels {
+		levels[i] = model.RateLevel{Rate: rate, Energy: energy, Time: time}
+		rate += 0.2 + rng.Float64()
+		energy += 0.1 + rng.Float64()*1.5
+		time *= 0.5 + rng.Float64()*0.4
+	}
+	return model.MustRateTable(levels)
+}
+
+func randomBatch(rng *rand.Rand, n int) model.TaskSet {
+	tasks := make(model.TaskSet, n)
+	for i := range tasks {
+		tasks[i] = model.Task{ID: i + 1, Cycles: 1 + rng.Float64()*40, Deadline: model.NoDeadline}
+	}
+	return tasks
+}
+
+// TestWBGMatchesExactHomogeneous is the paper's optimality claim
+// (Theorem 5) checked differentially: on random homogeneous instances
+// small enough for the exhaustive solver, Workload Based Greedy's cost
+// equals the optimum over all R^n assignments and n! per-core orders.
+func TestWBGMatchesExactHomogeneous(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 60; trial++ {
+		nCores := 1 + rng.Intn(3)
+		nTasks := 1 + rng.Intn(8)
+		rates := randomRates(rng, 1+rng.Intn(5))
+		params := model.CostParams{Re: 0.05 + rng.Float64(), Rt: 0.05 + rng.Float64()}
+		tasks := randomBatch(rng, nTasks)
+
+		plan, err := WBG(params, HomogeneousCores(nCores, rates), tasks)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		_, _, got := plan.Cost()
+
+		tables := make([]*model.RateTable, nCores)
+		for i := range tables {
+			tables[i] = rates
+		}
+		want, err := exact.OptimalMultiCoreCost(params, tables, tasks)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if math.Abs(got-want) > 1e-9*math.Max(1, want) {
+			t.Fatalf("trial %d: WBG cost %v != exact optimum %v (%d tasks, %d cores, %d levels)",
+				trial, got, want, nTasks, nCores, rates.Len())
+		}
+	}
+}
+
+// TestWBGNeverBeatsExactHeterogeneous checks soundness outside WBG's
+// optimality domain: with per-core rate tables the greedy result may
+// be suboptimal, but it must never cost less than the exhaustive
+// optimum (which would mean one of the two sides is miscounting).
+func TestWBGNeverBeatsExactHeterogeneous(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 40; trial++ {
+		nCores := 2 + rng.Intn(2)
+		nTasks := 1 + rng.Intn(7)
+		params := model.CostParams{Re: 0.05 + rng.Float64(), Rt: 0.05 + rng.Float64()}
+		tasks := randomBatch(rng, nTasks)
+
+		cores := make([]CoreSpec, nCores)
+		tables := make([]*model.RateTable, nCores)
+		for i := range cores {
+			rt := randomRates(rng, 1+rng.Intn(4))
+			cores[i] = CoreSpec{Rates: rt}
+			tables[i] = rt
+		}
+
+		plan, err := WBG(params, cores, tasks)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		_, _, got := plan.Cost()
+		want, err := exact.OptimalMultiCoreCost(params, tables, tasks)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got < want*(1-1e-9) {
+			t.Fatalf("trial %d: WBG cost %v beats the exhaustive optimum %v — impossible", trial, got, want)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"dvfsched/internal/batch"
 	"dvfsched/internal/envelope"
 	"dvfsched/internal/model"
+	"dvfsched/internal/obs"
 	"dvfsched/internal/online"
 	"dvfsched/internal/platform"
 	"dvfsched/internal/sim"
@@ -20,6 +21,15 @@ import (
 type Scheduler struct {
 	params model.CostParams
 	plat   *platform.Platform
+
+	// Sink, if set, receives the simulator's event stream (task
+	// lifecycle, DVFS changes, core transitions) during ExecuteBatch
+	// and RunOnline.
+	Sink obs.Sink
+	// Metrics, if set, collects scheduler-side counters and
+	// histograms (marginal-cost evaluations, dynamic-structure update
+	// latencies) during RunOnline.
+	Metrics *obs.Registry
 }
 
 // New builds a scheduler for the given cost constants and platform.
@@ -75,7 +85,7 @@ func (s *Scheduler) ExecuteBatch(tasks model.TaskSet) (*sim.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return sim.Run(sim.Config{Platform: s.plat, Policy: fp}, tasks, s.params)
+	return sim.Run(sim.Config{Platform: s.plat, Policy: fp, Sink: s.Sink}, tasks, s.params)
 }
 
 // RunOnline schedules an online trace (mixed interactive and
@@ -86,7 +96,8 @@ func (s *Scheduler) RunOnline(tasks model.TaskSet) (*sim.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return sim.Run(sim.Config{Platform: s.plat, Policy: lmc}, tasks, s.params)
+	lmc.Metrics = s.Metrics
+	return sim.Run(sim.Config{Platform: s.plat, Policy: lmc, Sink: s.Sink}, tasks, s.params)
 }
 
 // DominatingRanges returns the dominating position ranges of core i:

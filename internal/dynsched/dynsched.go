@@ -20,9 +20,11 @@ package dynsched
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"dvfsched/internal/envelope"
 	"dvfsched/internal/model"
+	"dvfsched/internal/obs"
 	"dvfsched/internal/rangetree"
 )
 
@@ -51,6 +53,28 @@ type Scheduler struct {
 	tree   *rangetree.Tree
 	ranges []rangeState
 	cost   float64
+
+	// metric handles; nil until Instrument is called.
+	insertCtr, deleteCtr *obs.Counter
+	updateNs             *obs.Histogram
+}
+
+// updateLatencyBuckets spans sub-microsecond range-tree updates
+// through pathological millisecond stalls, in nanoseconds.
+var updateLatencyBuckets = []float64{100, 250, 500, 1e3, 2.5e3, 5e3, 1e4, 1e5, 1e6}
+
+// Instrument attaches a metrics registry: Insert and Delete count into
+// "dynsched.inserts"/"dynsched.deletes" and observe their wall-clock
+// latency into the "rangetree.update_ns" histogram. Schedulers sharing
+// a registry (e.g. one per core) aggregate into the same metrics.
+func (s *Scheduler) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		s.insertCtr, s.deleteCtr, s.updateNs = nil, nil, nil
+		return
+	}
+	s.insertCtr = reg.Counter("dynsched.inserts")
+	s.deleteCtr = reg.Counter("dynsched.deletes")
+	s.updateNs = reg.Histogram("rangetree.update_ns", updateLatencyBuckets)
 }
 
 // New initializes the structure (Algorithm 4).
@@ -109,6 +133,10 @@ func (s *Scheduler) Insert(cycles float64) (*Handle, error) {
 	if cycles <= 0 || math.IsNaN(cycles) || math.IsInf(cycles, 0) {
 		return nil, fmt.Errorf("dynsched: cycles must be positive and finite, got %v", cycles)
 	}
+	if s.insertCtr != nil {
+		s.insertCtr.Inc()
+		defer func(t0 time.Time) { s.updateNs.Observe(float64(time.Since(t0))) }(time.Now())
+	}
 	node := s.tree.Insert(cycles)
 	kb := s.tree.Rank(node)
 	i := s.env.RangeIndexFor(kb)
@@ -158,6 +186,10 @@ func (s *Scheduler) Insert(cycles float64) (*Handle, error) {
 func (s *Scheduler) Delete(h *Handle) error {
 	if h == nil || h.node == nil {
 		return fmt.Errorf("dynsched: nil or already-deleted handle")
+	}
+	if s.deleteCtr != nil {
+		s.deleteCtr.Inc()
+		defer func(t0 time.Time) { s.updateNs.Observe(float64(time.Since(t0))) }(time.Now())
 	}
 	kb := s.tree.Rank(h.node)
 	// i starts at the last non-empty range (Algorithm 6 line 2).
@@ -257,6 +289,12 @@ func (s *Scheduler) CostNaive() float64 {
 // of the given length would cause, without changing the schedule
 // observably (it performs a trial insert and delete).
 func (s *Scheduler) MarginalInsertCost(cycles float64) (float64, error) {
+	// The probe insert/delete pair is not a real queue mutation; keep
+	// it out of the update metrics so they count structure changes.
+	ic, dc := s.insertCtr, s.deleteCtr
+	s.insertCtr, s.deleteCtr = nil, nil
+	defer func() { s.insertCtr, s.deleteCtr = ic, dc }()
+
 	before := s.cost
 	h, err := s.Insert(cycles)
 	if err != nil {

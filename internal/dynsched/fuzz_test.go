@@ -1,0 +1,53 @@
+package dynsched
+
+import (
+	"math"
+	"testing"
+
+	"dvfsched/internal/envelope"
+	"dvfsched/internal/model"
+	"dvfsched/internal/platform"
+)
+
+// FuzzDynamicCost drives the dynamic structure through a byte-derived
+// insert/delete sequence and checks after every operation that the
+// O(1) maintained cost matches both the O(|P-hat|·log N) query
+// recomputation and the O(N) brute force over Eq. 28-34, and that the
+// per-range aggregates stay consistent.
+func FuzzDynamicCost(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 60, 17, 90, 200, 5})
+	f.Add([]byte{10, 10, 10, 10, 140, 141, 142, 10, 10, 150})
+	f.Add([]byte{120, 7, 33, 210, 56, 180, 2, 99, 250, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env := envelope.MustCompute(model.CostParams{Re: 0.4, Rt: 0.1}, platform.TableII())
+		s := NewFromEnvelope(env)
+		var handles []*Handle
+		for _, b := range data {
+			if b < 128 || len(handles) == 0 {
+				h, err := s.Insert(float64(1 + b%32))
+				if err != nil {
+					t.Fatal(err)
+				}
+				handles = append(handles, h)
+			} else {
+				i := int(b-128) % len(handles)
+				if err := s.Delete(handles[i]); err != nil {
+					t.Fatal(err)
+				}
+				handles = append(handles[:i], handles[i+1:]...)
+			}
+			if err := s.checkInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			cost := s.Cost()
+			scale := math.Max(1, math.Abs(cost))
+			if naive := s.CostNaive(); math.Abs(cost-naive) > 1e-9*scale {
+				t.Fatalf("Cost %v != brute force %v with %d tasks", cost, naive, s.Len())
+			}
+			if byQ := s.CostByQueries(); math.Abs(cost-byQ) > 1e-9*scale {
+				t.Fatalf("Cost %v != query recomputation %v with %d tasks", cost, byQ, s.Len())
+			}
+		}
+	})
+}

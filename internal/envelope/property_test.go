@@ -1,0 +1,126 @@
+package envelope
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dvfsched/internal/model"
+)
+
+// randomTable builds a random rate table satisfying the paper's model
+// assumptions: rates and E(p) strictly increasing, T(p) strictly
+// decreasing, all positive.
+func randomTable(rng *rand.Rand, n int) *model.RateTable {
+	levels := make([]model.RateLevel, n)
+	rate := 0.2 + rng.Float64()*0.3
+	energy := 0.1 + rng.Float64()
+	time := 5 + rng.Float64()*5
+	for i := range levels {
+		levels[i] = model.RateLevel{Rate: rate, Energy: energy, Time: time}
+		rate += 0.1 + rng.Float64()
+		energy += 0.05 + rng.Float64()*2
+		time *= 0.5 + rng.Float64()*0.45
+	}
+	return model.MustRateTable(levels)
+}
+
+const propMaxK = 200
+
+// TestEnvelopeProperties drives Algorithm 1 against random rate tables
+// and checks, for every backward position up to propMaxK:
+//
+//   - the envelope's choice matches the O(|P|) per-position brute
+//     force (so the whole sweep matches the O(|P|^2) table build),
+//   - the envelope's cost dominates every raw level's line,
+//   - the ranges partition [1, inf) contiguously with strictly
+//     increasing rates, and
+//   - the resulting C^B(k) is increasing and concave (it is a lower
+//     envelope of increasing lines), the shape Theorem 2 relies on.
+func TestEnvelopeProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		rt := randomTable(rng, 1+rng.Intn(12))
+		cp := model.CostParams{Re: 0.05 + rng.Float64()*2, Rt: 0.05 + rng.Float64()*2}
+		env, err := Compute(cp, rt)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		checkRangeStructure(t, trial, env, rt)
+
+		prevCost := math.Inf(-1)
+		prevInc := math.Inf(1)
+		for k := 1; k <= propMaxK; k++ {
+			got := env.Cost(k)
+			_, want := cp.BestBackwardLevel(k, rt)
+			if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+				t.Fatalf("trial %d: k=%d envelope cost %v != brute force %v\nparams %+v table %v",
+					trial, k, got, want, cp, rt)
+			}
+			for i := 0; i < rt.Len(); i++ {
+				if raw := cp.BackwardPositionCost(k, rt.Level(i)); got > raw*(1+1e-12) {
+					t.Fatalf("trial %d: k=%d envelope cost %v beaten by level %d at %v",
+						trial, k, got, i, raw)
+				}
+			}
+			if got <= prevCost {
+				t.Fatalf("trial %d: C^B not increasing at k=%d: %v then %v", trial, k, prevCost, got)
+			}
+			if inc := got - prevCost; k > 1 {
+				if inc > prevInc*(1+1e-9) {
+					t.Fatalf("trial %d: C^B not concave at k=%d: increment %v after %v",
+						trial, k, inc, prevInc)
+				}
+				prevInc = inc
+			}
+			prevCost = got
+		}
+	}
+}
+
+func checkRangeStructure(t *testing.T, trial int, env *Envelope, rt *model.RateTable) {
+	t.Helper()
+	ranges := env.Ranges()
+	if len(ranges) == 0 || len(ranges) > rt.Len() {
+		t.Fatalf("trial %d: %d ranges for %d levels", trial, len(ranges), rt.Len())
+	}
+	if ranges[0].Lo != 1 {
+		t.Fatalf("trial %d: first range starts at %d", trial, ranges[0].Lo)
+	}
+	if ranges[len(ranges)-1].Hi != Unbounded {
+		t.Fatalf("trial %d: last range bounded at %d", trial, ranges[len(ranges)-1].Hi)
+	}
+	for i, r := range ranges {
+		if rt.Level(r.LevelIndex) != r.Level {
+			t.Fatalf("trial %d: range %d level/index mismatch", trial, i)
+		}
+		if i == 0 {
+			continue
+		}
+		prev := ranges[i-1]
+		if r.Lo != prev.Hi+1 {
+			t.Fatalf("trial %d: gap between ranges %d and %d: %s then %s", trial, i-1, i, prev, r)
+		}
+		// Larger backward positions delay more tasks, so time cost
+		// dominates and faster rates win: rates strictly increase
+		// across ranges.
+		if r.Level.Rate <= prev.Level.Rate {
+			t.Fatalf("trial %d: rates not increasing across ranges: %s then %s", trial, prev, r)
+		}
+	}
+}
+
+// TestEnvelopeSingleLevel pins the degenerate |P| = 1 case: one range
+// covering everything.
+func TestEnvelopeSingleLevel(t *testing.T) {
+	rt := model.MustRateTable([]model.RateLevel{{Rate: 1, Energy: 2, Time: 1}})
+	env := MustCompute(model.CostParams{Re: 1, Rt: 1}, rt)
+	if env.NumRanges() != 1 {
+		t.Fatalf("ranges = %d", env.NumRanges())
+	}
+	r := env.Range(0)
+	if r.Lo != 1 || r.Hi != Unbounded || r.Level.Rate != 1 {
+		t.Errorf("range = %+v", r)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"dvfsched/internal/model"
+	"dvfsched/internal/obs"
 	"dvfsched/internal/online"
 	"dvfsched/internal/platform"
 	"dvfsched/internal/sched"
@@ -34,6 +35,14 @@ type Fig3Config struct {
 	Params model.CostParams
 	// GovernorTick is the on-demand sampling period; defaults to 1 s.
 	GovernorTick float64
+	// Sink, if non-nil, receives the LMC run's event stream.
+	Sink obs.Sink
+	// Metrics, if non-nil, collects the LMC run's scheduler metrics
+	// (marginal-cost evaluations, queue depths, structure updates).
+	Metrics *obs.Registry
+	// RecordTimeline captures the LMC run's execution segments into
+	// Fig3Result.LMCTimeline.
+	RecordTimeline bool
 }
 
 func (c *Fig3Config) fillDefaults() error {
@@ -77,6 +86,9 @@ type Fig3Result struct {
 	// LMCResidency maps each rate (GHz) to the busy seconds LMC spent
 	// at it, summed over cores: where LMC's energy saving comes from.
 	LMCResidency map[float64]float64
+	// LMCTimeline holds the LMC run's execution segments when
+	// Fig3Config.RecordTimeline was set.
+	LMCTimeline []sim.TimelineSegment
 }
 
 // Fig3 runs the online-mode comparison. The trace-based simulation
@@ -92,7 +104,13 @@ func Fig3(cfg Fig3Config) (*Fig3Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	lmcRes, err := sim.Run(sim.Config{Platform: plat, Policy: lmcPolicy}, cfg.Tasks, cfg.Params)
+	lmcPolicy.Metrics = cfg.Metrics
+	lmcRes, err := sim.Run(sim.Config{
+		Platform:       plat,
+		Policy:         lmcPolicy,
+		Sink:           cfg.Sink,
+		RecordTimeline: cfg.RecordTimeline,
+	}, cfg.Tasks, cfg.Params)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: fig3 LMC: %w", err)
 	}
@@ -114,7 +132,7 @@ func Fig3(cfg Fig3Config) (*Fig3Result, error) {
 	}
 	od := FromSimResult(odRes)
 
-	out := &Fig3Result{LMC: lmc, OLB: olb, OD: od, LMCResidency: map[float64]float64{}}
+	out := &Fig3Result{LMC: lmc, OLB: olb, OD: od, LMCResidency: map[float64]float64{}, LMCTimeline: lmcRes.Timeline}
 	for _, core := range lmcRes.Residency {
 		for rate, secs := range core {
 			out.LMCResidency[rate] += secs

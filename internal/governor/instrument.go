@@ -1,0 +1,46 @@
+package governor
+
+import (
+	"fmt"
+
+	"dvfsched/internal/model"
+	"dvfsched/internal/obs"
+)
+
+// Instrumented wraps a Governor and counts its activity in an
+// obs.Registry: "governor.<name>.decisions" counts every Next call and
+// "governor.<name>.level_changes" counts the calls that picked a
+// different level than the current one. The wrapped governor's
+// decisions are returned unchanged.
+type Instrumented struct {
+	G Governor
+
+	decisions *obs.Counter
+	changes   *obs.Counter
+}
+
+// Instrument wraps g so its decisions are counted in reg. A nil
+// registry returns g unwrapped.
+func Instrument(g Governor, reg *obs.Registry) Governor {
+	if reg == nil {
+		return g
+	}
+	return &Instrumented{
+		G:         g,
+		decisions: reg.Counter(fmt.Sprintf("governor.%s.decisions", g.Name())),
+		changes:   reg.Counter(fmt.Sprintf("governor.%s.level_changes", g.Name())),
+	}
+}
+
+// Name implements Governor.
+func (i *Instrumented) Name() string { return i.G.Name() }
+
+// Next implements Governor.
+func (i *Instrumented) Next(rt *model.RateTable, currentIdx int, busy float64) int {
+	next := i.G.Next(rt, currentIdx, busy)
+	i.decisions.Inc()
+	if next != currentIdx {
+		i.changes.Inc()
+	}
+	return next
+}

@@ -1,0 +1,44 @@
+package governor
+
+import (
+	"testing"
+
+	"dvfsched/internal/obs"
+	"dvfsched/internal/platform"
+)
+
+func TestInstrumentCounts(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := Instrument(DefaultOnDemand(), reg)
+	if g.Name() != "ondemand" {
+		t.Fatalf("name = %q", g.Name())
+	}
+	rt := platform.TableII()
+	idx := 0
+	// Busy period jumps to max (a change), idle periods walk back down
+	// one level at a time until pinned at 0 (no change).
+	loads := []float64{0.9, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1}
+	for _, busy := range loads {
+		next := g.Next(rt, idx, busy)
+		want := DefaultOnDemand().Next(rt, idx, busy)
+		if next != want {
+			t.Fatalf("instrumented decision %d != bare decision %d", next, want)
+		}
+		idx = next
+	}
+	s := reg.Snapshot()
+	if got := s.Counters["governor.ondemand.decisions"]; got != float64(len(loads)) {
+		t.Errorf("decisions = %v, want %d", got, len(loads))
+	}
+	// 0->4, then 4->3->2->1->0, then two pinned-at-0 non-changes.
+	if got := s.Counters["governor.ondemand.level_changes"]; got != 5 {
+		t.Errorf("level_changes = %v, want 5", got)
+	}
+}
+
+func TestInstrumentNilRegistry(t *testing.T) {
+	g := Instrument(Powersave{}, nil)
+	if _, wrapped := g.(*Instrumented); wrapped {
+		t.Error("nil registry should return the governor unwrapped")
+	}
+}

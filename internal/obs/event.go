@@ -1,0 +1,244 @@
+// Package obs is the observability layer of the simulator and the
+// schedulers: a structured event stream describing a schedule as it
+// unfolds (task arrivals, starts, preemptions, completions, DVFS level
+// changes, core idle/active transitions), pluggable sinks consuming
+// that stream, a goroutine-safe metrics registry (counters, gauges,
+// histograms), and an invariant-checking sink that validates
+// conservation properties online.
+//
+// The package depends only on the standard library so every layer of
+// the system — the engine hot path, the schedulers, the CLIs — can
+// emit into it without import cycles. Events carry enough information
+// that a run's report (Gantt chart, per-segment CSV) is a pure
+// function of its trace: package report replays a JSONL event dump
+// into the same renderings it produces from a live simulation.
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Kind classifies an event.
+type Kind string
+
+// Event kinds. The schema is append-only: new kinds may be added, but
+// existing kinds and their field meanings stay stable so persisted
+// traces remain replayable.
+const (
+	// KindArrival: a task entered the system (Task, Cycles,
+	// Interactive set; Core is -1).
+	KindArrival Kind = "arrival"
+	// KindStart: a task started (or resumed) on Core at Rate. Eff is
+	// the instant execution effectively begins after any frequency-
+	// switch stall; Energy is the task's cumulative joules so far
+	// (non-zero when resuming) and Remaining its outstanding Gcycles.
+	KindStart Kind = "start"
+	// KindPreempt: the task running on Core was paused with Remaining
+	// Gcycles left; Energy is its cumulative joules.
+	KindPreempt Kind = "preempt"
+	// KindComplete: the task running on Core finished; Energy is its
+	// final joules.
+	KindComplete Kind = "complete"
+	// KindDVFS: Core's frequency changed from PrevRate to Rate. Eff is
+	// when the new rate takes effect (after the switch stall) for a
+	// running task; Task is the affected task or -1 if the core was
+	// idle.
+	KindDVFS Kind = "dvfs"
+	// KindCoreActive: Core transitioned idle -> busy.
+	KindCoreActive Kind = "core-active"
+	// KindCoreIdle: Core transitioned busy -> idle.
+	KindCoreIdle Kind = "core-idle"
+)
+
+// Event is one element of the structured event stream. Times are
+// virtual-simulation seconds. Core and Task use -1 when the event is
+// not scoped to a core or task.
+type Event struct {
+	// Seq is the 1-based emission index; strictly increasing within a
+	// run.
+	Seq uint64 `json:"seq"`
+	// T is the event time in seconds.
+	T float64 `json:"t"`
+	// Kind classifies the event.
+	Kind Kind `json:"kind"`
+	// Core is the core index, or -1.
+	Core int `json:"core"`
+	// Task is the task ID, or -1.
+	Task int `json:"task"`
+	// Rate is the (new) processing rate in GHz, for start/dvfs events.
+	Rate float64 `json:"rate,omitempty"`
+	// PrevRate is the rate before a dvfs event, in GHz.
+	PrevRate float64 `json:"prevRate,omitempty"`
+	// Eff is the instant the event's effect reaches execution (start
+	// of charged cycles after a switch stall); 0 means "equal to T".
+	Eff float64 `json:"eff,omitempty"`
+	// Cycles is the task's total length in Gcycles.
+	Cycles float64 `json:"cycles,omitempty"`
+	// Remaining is the task's outstanding Gcycles at the event.
+	Remaining float64 `json:"remaining,omitempty"`
+	// Energy is the task's cumulative consumed joules at the event.
+	Energy float64 `json:"energy,omitempty"`
+	// Interactive marks interactive (user-initiated) tasks.
+	Interactive bool `json:"interactive,omitempty"`
+}
+
+// EffectiveAt returns when the event's effect reaches execution: Eff
+// if set, else T (no stall).
+func (ev Event) EffectiveAt() float64 {
+	if ev.Eff > ev.T {
+		return ev.Eff
+	}
+	return ev.T
+}
+
+// Sink consumes an event stream. Emit is called from the simulator's
+// event loop at every instrumented transition; implementations must
+// not call back into the engine.
+type Sink interface {
+	Emit(Event)
+}
+
+// multiSink fans one stream out to several sinks.
+type multiSink []Sink
+
+func (m multiSink) Emit(ev Event) {
+	for _, s := range m {
+		s.Emit(ev)
+	}
+}
+
+// Multi combines sinks into one; nil entries are dropped. It returns
+// nil when no sink remains, and the sink itself when only one does.
+func Multi(sinks ...Sink) Sink {
+	var ms multiSink
+	for _, s := range sinks {
+		if s != nil {
+			ms = append(ms, s)
+		}
+	}
+	switch len(ms) {
+	case 0:
+		return nil
+	case 1:
+		return ms[0]
+	default:
+		return ms
+	}
+}
+
+// Recorder is a Sink that buffers every event in memory, for tests and
+// for replaying a run without serializing it. Safe for concurrent
+// Emit calls.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit implements Sink.
+func (r *Recorder) Emit(ev Event) {
+	r.mu.Lock()
+	r.events = append(r.events, ev)
+	r.mu.Unlock()
+}
+
+// Events returns a copy of the recorded stream in emission order.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// JSONLWriter is a Sink that streams events as JSON Lines. Errors are
+// sticky: the first write or marshal failure is retained and reported
+// by Close (and Err), and later events are dropped.
+type JSONLWriter struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	err error
+}
+
+// NewJSONLWriter wraps w in a buffered JSONL event sink. Call Close
+// (or Flush) before reading the destination.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{bw: bufio.NewWriter(w)}
+}
+
+// Emit implements Sink.
+func (j *JSONLWriter) Emit(ev Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		j.err = fmt.Errorf("obs: marshal event %d: %w", ev.Seq, err)
+		return
+	}
+	b = append(b, '\n')
+	if _, err := j.bw.Write(b); err != nil {
+		j.err = fmt.Errorf("obs: write event %d: %w", ev.Seq, err)
+	}
+}
+
+// Flush drains the buffer to the underlying writer.
+func (j *JSONLWriter) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	if err := j.bw.Flush(); err != nil {
+		j.err = fmt.Errorf("obs: flush: %w", err)
+	}
+	return j.err
+}
+
+// Close flushes and returns the first error encountered, if any. It
+// does not close the underlying writer.
+func (j *JSONLWriter) Close() error { return j.Flush() }
+
+// Err returns the sticky error, if any.
+func (j *JSONLWriter) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// ReadJSONL parses an event stream previously produced by JSONLWriter.
+// Blank lines are skipped; events are returned in file order.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var events []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(b, &ev); err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", line, err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: read: %w", err)
+	}
+	return events, nil
+}

@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// maxViolations bounds how many violations an InvariantSink retains,
+// so a systematically broken run doesn't accumulate unbounded errors.
+const maxViolations = 32
+
+// InvariantSink validates conservation properties of the event stream
+// online:
+//
+//   - sequence numbers strictly increase and event times never go
+//     backwards (time monotonicity);
+//   - at most one task runs on a core at any instant, and start/
+//     preempt/complete/idle/active transitions are mutually
+//     consistent;
+//   - a task must arrive before it starts, start at or after its
+//     arrival, and complete at or after its arrival (completion >=
+//     arrival);
+//   - a task completes at most once and never restarts afterwards;
+//   - a task's cumulative energy never decreases (energy
+//     monotonicity) and its remaining work never increases;
+//   - effect times (Eff) never precede their event (no retroactive
+//     frequency switches).
+//
+// Violations are collected (up to a cap) and reported by Err; an
+// optional OnViolation callback observes each one as it is detected,
+// which tests use to fail fast.
+type InvariantSink struct {
+	// OnViolation, if non-nil, is invoked synchronously with each
+	// detected violation. Set before the first Emit.
+	OnViolation func(error)
+
+	mu      sync.Mutex
+	lastSeq uint64
+	lastT   float64
+	cores   map[int]int       // core -> running task ID
+	tasks   map[int]*taskView // task ID -> observed state
+	errs    []error
+	dropped int
+}
+
+// taskView is the sink's model of one task.
+type taskView struct {
+	arrival   float64
+	arrived   bool
+	done      bool
+	runningOn int // core index, or -1
+	energy    float64
+	remaining float64
+	hasRem    bool
+}
+
+// NewInvariantSink returns an empty checker.
+func NewInvariantSink() *InvariantSink {
+	return &InvariantSink{
+		cores: map[int]int{},
+		tasks: map[int]*taskView{},
+	}
+}
+
+func (s *InvariantSink) violate(format string, args ...interface{}) {
+	err := fmt.Errorf("obs: invariant: "+format, args...)
+	if len(s.errs) < maxViolations {
+		s.errs = append(s.errs, err)
+	} else {
+		s.dropped++
+	}
+	if s.OnViolation != nil {
+		s.OnViolation(err)
+	}
+}
+
+// Err returns all recorded violations joined, or nil if the stream has
+// been consistent so far.
+func (s *InvariantSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.errs) == 0 {
+		return nil
+	}
+	errs := s.errs
+	if s.dropped > 0 {
+		errs = append(append([]error(nil), errs...),
+			fmt.Errorf("obs: invariant: %d further violations dropped", s.dropped))
+	}
+	return errors.Join(errs...)
+}
+
+// Violations returns the number of violations detected so far.
+func (s *InvariantSink) Violations() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.errs) + s.dropped
+}
+
+func (s *InvariantSink) task(id int) *taskView {
+	tv := s.tasks[id]
+	if tv == nil {
+		tv = &taskView{runningOn: -1}
+		s.tasks[id] = tv
+	}
+	return tv
+}
+
+// Emit implements Sink.
+func (s *InvariantSink) Emit(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	if ev.Seq <= s.lastSeq {
+		s.violate("event %v: seq %d not increasing (last %d)", ev.Kind, ev.Seq, s.lastSeq)
+	}
+	s.lastSeq = ev.Seq
+	if ev.T < s.lastT {
+		s.violate("event %v (seq %d): time went backwards (%v -> %v)", ev.Kind, ev.Seq, s.lastT, ev.T)
+	}
+	s.lastT = ev.T
+	if ev.Eff != 0 && ev.Eff < ev.T {
+		s.violate("%v of task %d: effect time %v precedes event time %v", ev.Kind, ev.Task, ev.Eff, ev.T)
+	}
+
+	switch ev.Kind {
+	case KindArrival:
+		tv := s.task(ev.Task)
+		if tv.arrived {
+			s.violate("task %d arrived twice (t=%v)", ev.Task, ev.T)
+		}
+		tv.arrived = true
+		tv.arrival = ev.T
+		tv.remaining = ev.Cycles
+		tv.hasRem = true
+
+	case KindStart:
+		tv := s.task(ev.Task)
+		if !tv.arrived {
+			s.violate("task %d started at %v before arriving", ev.Task, ev.T)
+		} else if ev.T < tv.arrival {
+			s.violate("task %d started at %v before its arrival %v", ev.Task, ev.T, tv.arrival)
+		}
+		if tv.done {
+			s.violate("task %d restarted at %v after completing", ev.Task, ev.T)
+		}
+		if tv.runningOn >= 0 {
+			s.violate("task %d started on core %d while running on core %d", ev.Task, ev.Core, tv.runningOn)
+		}
+		if other, busy := s.cores[ev.Core]; busy {
+			s.violate("two tasks on core %d at %v: %d started while %d runs", ev.Core, ev.T, ev.Task, other)
+		}
+		s.checkEnergy(ev, tv)
+		s.checkRemaining(ev, tv)
+		s.cores[ev.Core] = ev.Task
+		tv.runningOn = ev.Core
+
+	case KindPreempt:
+		tv := s.task(ev.Task)
+		s.checkRunning(ev, tv)
+		s.checkEnergy(ev, tv)
+		s.checkRemaining(ev, tv)
+		delete(s.cores, ev.Core)
+		tv.runningOn = -1
+
+	case KindComplete:
+		tv := s.task(ev.Task)
+		s.checkRunning(ev, tv)
+		if tv.done {
+			s.violate("task %d completed twice (t=%v)", ev.Task, ev.T)
+		}
+		if tv.arrived && ev.T < tv.arrival {
+			s.violate("task %d completed at %v before its arrival %v", ev.Task, ev.T, tv.arrival)
+		}
+		s.checkEnergy(ev, tv)
+		if ev.Remaining != 0 {
+			s.violate("task %d completed with %v Gcycles remaining", ev.Task, ev.Remaining)
+		}
+		tv.done = true
+		delete(s.cores, ev.Core)
+		tv.runningOn = -1
+
+	case KindDVFS:
+		if ev.Rate == ev.PrevRate {
+			s.violate("dvfs on core %d at %v: rate unchanged (%v GHz)", ev.Core, ev.T, ev.Rate)
+		}
+		if running, busy := s.cores[ev.Core]; busy && ev.Task >= 0 && running != ev.Task {
+			s.violate("dvfs on core %d names task %d but %d is running", ev.Core, ev.Task, running)
+		}
+
+	case KindCoreActive:
+		if _, busy := s.cores[ev.Core]; !busy {
+			s.violate("core %d reported active at %v with no running task", ev.Core, ev.T)
+		}
+
+	case KindCoreIdle:
+		if running, busy := s.cores[ev.Core]; busy {
+			s.violate("core %d reported idle at %v while task %d runs", ev.Core, ev.T, running)
+		}
+
+	default:
+		s.violate("unknown event kind %q (seq %d)", ev.Kind, ev.Seq)
+	}
+}
+
+// checkRunning validates that the event's task is the one occupying
+// its core.
+func (s *InvariantSink) checkRunning(ev Event, tv *taskView) {
+	if running, busy := s.cores[ev.Core]; !busy {
+		s.violate("%v of task %d on idle core %d at %v", ev.Kind, ev.Task, ev.Core, ev.T)
+	} else if running != ev.Task {
+		s.violate("%v of task %d on core %d, but task %d is running", ev.Kind, ev.Task, ev.Core, running)
+	}
+	if tv.runningOn != ev.Core {
+		s.violate("%v of task %d on core %d, but the task believes it runs on %d", ev.Kind, ev.Task, ev.Core, tv.runningOn)
+	}
+}
+
+// checkEnergy enforces per-task energy monotonicity.
+func (s *InvariantSink) checkEnergy(ev Event, tv *taskView) {
+	if ev.Energy < 0 {
+		s.violate("task %d has negative energy %v at %v", ev.Task, ev.Energy, ev.T)
+	}
+	if ev.Energy < tv.energy {
+		s.violate("task %d energy decreased %v -> %v at %v", ev.Task, tv.energy, ev.Energy, ev.T)
+	}
+	tv.energy = ev.Energy
+}
+
+// checkRemaining enforces that outstanding work never grows.
+func (s *InvariantSink) checkRemaining(ev Event, tv *taskView) {
+	const slack = 1e-9
+	if tv.hasRem && ev.Remaining > tv.remaining+slack {
+		s.violate("task %d remaining grew %v -> %v at %v", ev.Task, tv.remaining, ev.Remaining, ev.T)
+	}
+	tv.remaining = ev.Remaining
+	tv.hasRem = true
+}

@@ -23,6 +23,7 @@ import (
 	"dvfsched/internal/dynsched"
 	"dvfsched/internal/envelope"
 	"dvfsched/internal/model"
+	"dvfsched/internal/obs"
 	"dvfsched/internal/sim"
 )
 
@@ -68,6 +69,18 @@ type LMC struct {
 	// paper's behavior) never reorders — under sustained load the
 	// longest submissions can wait indefinitely behind shorter ones.
 	AgingThreshold float64
+
+	// Metrics, if set before the run, collects scheduler-side
+	// observability: "lmc.marginal_evals" counts Eq. 26/27 marginal-
+	// cost evaluations, "lmc.preempts_issued" counts interactive
+	// preemptions, per-core "lmc.core<j>.queue_depth" gauges track
+	// waiting work, and the shared dynsched/rangetree metrics record
+	// dynamic-structure updates and their latencies.
+	Metrics *obs.Registry
+
+	marginalEvals *obs.Counter
+	preemptsCtr   *obs.Counter
+	queueDepth    []*obs.Gauge
 }
 
 // NewLMC returns an LMC policy for the given cost constants. Task
@@ -126,6 +139,23 @@ func (l *LMC) Init(e *sim.Engine) {
 		}
 		l.cores[i] = &lmcCore{env: env, sched: dynsched.NewFromEnvelope(env)}
 	}
+	l.marginalEvals, l.preemptsCtr, l.queueDepth = nil, nil, nil
+	if l.Metrics != nil {
+		l.marginalEvals = l.Metrics.Counter("lmc.marginal_evals")
+		l.preemptsCtr = l.Metrics.Counter("lmc.preempts_issued")
+		l.queueDepth = make([]*obs.Gauge, e.NumCores())
+		for i := range l.cores {
+			l.cores[i].sched.Instrument(l.Metrics)
+			l.queueDepth[i] = l.Metrics.Gauge(fmt.Sprintf("lmc.core%d.queue_depth", i))
+		}
+	}
+}
+
+// noteQueueDepth refreshes core j's waiting-work gauge.
+func (l *LMC) noteQueueDepth(j int) {
+	if l.queueDepth != nil {
+		l.queueDepth[j].Set(float64(l.cores[j].waiting() + len(l.cores[j].interactive)))
+	}
 }
 
 // interactiveMarginalCost evaluates Eq. 27 for core j.
@@ -153,6 +183,9 @@ func (l *LMC) placeInteractive(e *sim.Engine, t *sim.TaskState) {
 		if r != nil && r.Task.Interactive {
 			continue
 		}
+		if l.marginalEvals != nil {
+			l.marginalEvals.Inc()
+		}
 		if c := l.interactiveMarginalCost(e, j, t.Task.Cycles); c < bestCost {
 			best, bestCost = j, c
 		}
@@ -167,6 +200,7 @@ func (l *LMC) placeInteractive(e *sim.Engine, t *sim.TaskState) {
 			}
 		}
 		l.cores[best].interactive = append(l.cores[best].interactive, t)
+		l.noteQueueDepth(best)
 		return
 	}
 	c := l.cores[best]
@@ -176,6 +210,10 @@ func (l *LMC) placeInteractive(e *sim.Engine, t *sim.TaskState) {
 			panic(err)
 		}
 		c.paused = append(c.paused, prev)
+		if l.preemptsCtr != nil {
+			l.preemptsCtr.Inc()
+		}
+		l.noteQueueDepth(best)
 	}
 	if err := e.Start(best, t, e.RateTable(best).Max()); err != nil {
 		panic(err)
@@ -186,6 +224,9 @@ func (l *LMC) placeNonInteractive(e *sim.Engine, t *sim.TaskState) {
 	est := l.estimateFor(t)
 	best, bestCost := -1, math.Inf(1)
 	for j := 0; j < e.NumCores(); j++ {
+		if l.marginalEvals != nil {
+			l.marginalEvals.Inc()
+		}
 		mc, err := l.cores[j].sched.MarginalInsertCost(est)
 		if err != nil {
 			panic(err)
@@ -208,6 +249,7 @@ func (l *LMC) placeNonInteractive(e *sim.Engine, t *sim.TaskState) {
 	c.queue = append(c.queue, queueEntry{})
 	copy(c.queue[pos+1:], c.queue[pos:])
 	c.queue[pos] = queueEntry{ts: t, h: h, est: est}
+	l.noteQueueDepth(best)
 
 	if e.Idle(best) {
 		l.dispatch(e, best)
@@ -281,6 +323,7 @@ func (l *LMC) dispatch(e *sim.Engine, j int) {
 			panic(err)
 		}
 	}
+	l.noteQueueDepth(j)
 }
 
 // OnCompletion implements sim.Policy.

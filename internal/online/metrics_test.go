@@ -1,0 +1,59 @@
+package online
+
+import (
+	"testing"
+
+	"dvfsched/internal/model"
+	"dvfsched/internal/obs"
+	"dvfsched/internal/sim"
+)
+
+func TestLMCMetrics(t *testing.T) {
+	tasks := model.TaskSet{
+		{ID: 1, Cycles: 500, Deadline: model.NoDeadline},
+		{ID: 2, Cycles: 400, Arrival: 0.5, Deadline: model.NoDeadline},
+		{ID: 3, Cycles: 2, Arrival: 3, Interactive: true, Deadline: model.NoDeadline},
+	}
+	l := mustLMC(t)
+	l.Metrics = obs.NewRegistry()
+	res, err := sim.Run(sim.Config{Platform: plat(2), Policy: l}, tasks, onlineParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := l.Metrics.Snapshot()
+	// Two non-interactive arrivals on 2 cores evaluate Eq. 26 twice
+	// each; the interactive arrival evaluates Eq. 27 on eligible cores.
+	if got := s.Counters["lmc.marginal_evals"]; got < 4 {
+		t.Errorf("marginal_evals = %v, want >= 4", got)
+	}
+	if got := s.Counters["lmc.preempts_issued"]; got != float64(res.Preemptions) {
+		t.Errorf("preempts_issued = %v, result says %d", got, res.Preemptions)
+	}
+	if got := s.Counters["dynsched.inserts"]; got != 2 {
+		t.Errorf("dynsched.inserts = %v, want 2", got)
+	}
+	if got := s.Counters["dynsched.deletes"]; got != 2 {
+		t.Errorf("dynsched.deletes = %v, want 2", got)
+	}
+	h, ok := s.Histograms["rangetree.update_ns"]
+	if !ok || h.Count != 4 {
+		t.Errorf("rangetree.update_ns count = %+v, want 4 observations", h)
+	}
+	// Both queues drained by the end of the run.
+	for _, name := range []string{"lmc.core0.queue_depth", "lmc.core1.queue_depth"} {
+		if g, ok := s.Gauges[name]; ok && g != 0 {
+			t.Errorf("%s = %v at end of run", name, g)
+		}
+	}
+}
+
+func TestLMCWithoutMetrics(t *testing.T) {
+	// The nil-registry path must stay allocation-light and safe.
+	tasks := model.TaskSet{
+		{ID: 1, Cycles: 10, Deadline: model.NoDeadline},
+		{ID: 2, Cycles: 5, Arrival: 0.1, Interactive: true, Deadline: model.NoDeadline},
+	}
+	if _, err := sim.Run(sim.Config{Platform: plat(1), Policy: mustLMC(t)}, tasks, onlineParams); err != nil {
+		t.Fatal(err)
+	}
+}

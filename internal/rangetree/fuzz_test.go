@@ -1,0 +1,145 @@
+package rangetree
+
+import (
+	"sort"
+	"testing"
+)
+
+// shadowTask mirrors one stored length in the naive reference model.
+type shadowTask struct {
+	cycles float64
+	seq    int // insertion order breaks ties, like Node.seq
+}
+
+// shadowSort orders the reference model the way the tree does:
+// descending length, ties by insertion order.
+func shadowSort(s []shadowTask) {
+	sort.SliceStable(s, func(i, j int) bool {
+		if s[i].cycles != s[j].cycles {
+			return s[i].cycles > s[j].cycles
+		}
+		return s[i].seq < s[j].seq
+	})
+}
+
+// FuzzInsertDelete drives a Tree and a naive shadow slice through the
+// same byte-derived insert/delete sequence and cross-checks every
+// aggregate the scheduler relies on (Eqs. 28-34) by brute-force
+// recomputation, plus the structural invariants. Lengths are small
+// integers so all float64 arithmetic is exact and comparisons need no
+// tolerance; repeated values exercise the tie-breaking.
+func FuzzInsertDelete(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x11, 0x25, 0x33, 0x80, 0x42})
+	f.Add([]byte{1, 1, 1, 1, 129, 130, 131, 132})
+	f.Add([]byte{9, 18, 27, 36, 45, 135, 144, 153, 54, 63, 162})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr := New()
+		var handles []*Node
+		var shadow []shadowTask
+		seq := 0
+		for _, b := range data {
+			if b < 128 || len(handles) == 0 {
+				cycles := float64(1 + b%16)
+				handles = append(handles, tr.Insert(cycles))
+				seq++
+				shadow = append(shadow, shadowTask{cycles: cycles, seq: seq})
+			} else {
+				i := int(b-128) % len(handles)
+				victim := handles[i]
+				tr.Delete(victim)
+				handles = append(handles[:i], handles[i+1:]...)
+				shadow = removeShadow(shadow, victim)
+			}
+			shadowSort(shadow)
+			checkAgainstShadow(t, tr, handles, shadow, int(b))
+		}
+	})
+}
+
+// removeShadow deletes the shadow entry matching the victim node. Both
+// sides assign insertion sequence numbers in lockstep (the test counter
+// mirrors Tree.seq), so the victim is the entry with the node's seq.
+func removeShadow(shadow []shadowTask, victim *Node) []shadowTask {
+	for j, s := range shadow {
+		if uint64(s.seq) == victim.seq {
+			return append(shadow[:j:j], shadow[j+1:]...)
+		}
+	}
+	panic("rangetree fuzz: victim not in shadow")
+}
+
+func checkAgainstShadow(t *testing.T, tr *Tree, handles []*Node, shadow []shadowTask, salt int) {
+	t.Helper()
+	n := len(shadow)
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, shadow has %d", tr.Len(), n)
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	var totalXi, totalGamma float64
+	for k, s := range shadow {
+		totalXi += s.cycles
+		totalGamma += float64(k+1) * s.cycles
+	}
+	if tr.TotalXi() != totalXi {
+		t.Fatalf("TotalXi = %v, naive %v", tr.TotalXi(), totalXi)
+	}
+	if tr.TotalGamma() != totalGamma {
+		t.Fatalf("TotalGamma = %v, naive %v", tr.TotalGamma(), totalGamma)
+	}
+
+	// Rank/Select must agree with the sorted shadow at every position.
+	for k := 1; k <= n; k++ {
+		node := tr.Select(k)
+		if node == nil || node.Cycles() != shadow[k-1].cycles {
+			t.Fatalf("Select(%d) = %v, shadow %v", k, node, shadow[k-1].cycles)
+		}
+		if got := tr.Rank(node); got != k {
+			t.Fatalf("Rank(Select(%d)) = %d", k, got)
+		}
+	}
+	if tr.Select(0) != nil || tr.Select(n+1) != nil {
+		t.Fatal("Select out of range returned a node")
+	}
+
+	// Range queries against brute-force sums over a salt-derived and a
+	// few fixed windows.
+	windows := [][2]int{{1, n}, {1, (n + 1) / 2}, {n/2 + 1, n}, {1 + salt%(n+1), n - salt%3}}
+	for _, w := range windows {
+		a, b := w[0], w[1]
+		var xiSum, gammaSum, deltaSum float64
+		for k := a; k <= b && k <= n; k++ {
+			if k < 1 {
+				continue
+			}
+			c := shadow[k-1].cycles
+			xiSum += c
+			gammaSum += float64(k) * c
+			deltaSum += float64(k-a+1) * c
+		}
+		if got := tr.RangeXi(a, b); got != xiSum {
+			t.Fatalf("RangeXi(%d,%d) = %v, naive %v (n=%d)", a, b, got, xiSum, n)
+		}
+		if got := tr.RangeGamma(a, b); got != gammaSum {
+			t.Fatalf("RangeGamma(%d,%d) = %v, naive %v (n=%d)", a, b, got, gammaSum, n)
+		}
+		if got := tr.RangeDelta(a, b); got != deltaSum {
+			t.Fatalf("RangeDelta(%d,%d) = %v, naive %v (n=%d)", a, b, got, deltaSum, n)
+		}
+	}
+
+	// The threaded list walks the same order.
+	k := 0
+	for cur := tr.First(); cur != nil; cur = cur.Next() {
+		if cur.Cycles() != shadow[k].cycles {
+			t.Fatalf("threading order diverges at %d", k)
+		}
+		k++
+	}
+	if k != n {
+		t.Fatalf("threading visited %d of %d", k, n)
+	}
+}

@@ -1,0 +1,80 @@
+package report
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// checkGolden compares got against testdata/<name>, rewriting the file
+// when the test runs with -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/report -update` to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s mismatch:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestGanttGolden(t *testing.T) {
+	res := runRecordedSim(t)
+	var buf strings.Builder
+	if err := Gantt(&buf, res.Timeline); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "gantt_batch.txt", buf.String())
+}
+
+func TestTimelineCSVGolden(t *testing.T) {
+	res := runRecordedSim(t)
+	var buf strings.Builder
+	if err := TimelineCSV(&buf, MergeTimeline(res.Timeline)); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "timeline_batch.csv", buf.String())
+}
+
+func TestTraceGoldens(t *testing.T) {
+	// The trace-driven path: both artifacts rendered purely from the
+	// event stream of the online LMC scenario.
+	_, events := runTracedLMC(t)
+	var gantt, csv strings.Builder
+	if err := TraceGantt(&gantt, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := TraceCSV(&csv, events); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "gantt_trace.txt", gantt.String())
+	checkGolden(t, "timeline_trace.csv", csv.String())
+}
+
+func TestBarsGolden(t *testing.T) {
+	var buf strings.Builder
+	err := Bars(&buf, "normalized cost", []Bar{
+		{Label: "lmc", Value: 1.0},
+		{Label: "ondemand", Value: 1.37},
+		{Label: "performance", Value: 1.61},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "bars.txt", buf.String())
+}

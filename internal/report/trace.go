@@ -1,0 +1,135 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"dvfsched/internal/obs"
+	"dvfsched/internal/sim"
+)
+
+// openRun tracks a core's in-flight execution while replaying a trace.
+type openRun struct {
+	task int
+	rate float64
+	at   float64 // effective execution start (after any switch stall)
+}
+
+// TimelineFromEvents reconstructs the per-core execution timeline from
+// a simulator event stream, making reports a pure function of the
+// trace. The result matches the engine's own recording after
+// MergeTimeline normalization: start events open a run at their
+// effective time (switch stalls excluded), DVFS changes split it, and
+// preempt/complete events close it. Empty intervals are dropped, like
+// the engine drops zero-length settles.
+func TimelineFromEvents(events []obs.Event) ([]sim.TimelineSegment, error) {
+	open := map[int]*openRun{}
+	var segs []sim.TimelineSegment
+	settle := func(core int, r *openRun, t float64) {
+		if t > r.at {
+			segs = append(segs, sim.TimelineSegment{
+				Core: core, TaskID: r.task, Start: r.at, End: t, Rate: r.rate,
+			})
+		}
+	}
+	for _, ev := range events {
+		switch ev.Kind {
+		case obs.KindStart:
+			if open[ev.Core] != nil {
+				return nil, fmt.Errorf("report: trace starts task %d on busy core %d at t=%v", ev.Task, ev.Core, ev.T)
+			}
+			open[ev.Core] = &openRun{task: ev.Task, rate: ev.Rate, at: ev.EffectiveAt()}
+		case obs.KindDVFS:
+			if ev.Task < 0 {
+				// Idle-core switch, or the pre-start stall already
+				// folded into the start event's effective time.
+				continue
+			}
+			r := open[ev.Core]
+			if r == nil || r.task != ev.Task {
+				return nil, fmt.Errorf("report: trace switches core %d for task %d which is not running there at t=%v", ev.Core, ev.Task, ev.T)
+			}
+			settle(ev.Core, r, ev.T)
+			r.rate = ev.Rate
+			r.at = ev.EffectiveAt()
+		case obs.KindPreempt, obs.KindComplete:
+			r := open[ev.Core]
+			if r == nil || r.task != ev.Task {
+				return nil, fmt.Errorf("report: trace ends task %d on core %d which is not running there at t=%v", ev.Task, ev.Core, ev.T)
+			}
+			settle(ev.Core, r, ev.T)
+			delete(open, ev.Core)
+		}
+	}
+	for core, r := range open {
+		return nil, fmt.Errorf("report: trace leaves task %d running on core %d", r.task, core)
+	}
+	return MergeTimeline(segs), nil
+}
+
+// MergeTimeline normalizes a timeline: segments are sorted by (core,
+// start) and adjacent segments of the same task at the same rate are
+// coalesced. The engine splits segments at every settle instant, so
+// two recordings of the same execution compare equal only after this
+// normalization.
+func MergeTimeline(timeline []sim.TimelineSegment) []sim.TimelineSegment {
+	segs := make([]sim.TimelineSegment, len(timeline))
+	copy(segs, timeline)
+	sort.SliceStable(segs, func(i, j int) bool {
+		if segs[i].Core != segs[j].Core {
+			return segs[i].Core < segs[j].Core
+		}
+		return segs[i].Start < segs[j].Start
+	})
+	out := segs[:0]
+	for _, s := range segs {
+		if n := len(out); n > 0 {
+			p := &out[n-1]
+			if p.Core == s.Core && p.TaskID == s.TaskID && p.Rate == s.Rate && p.End == s.Start {
+				p.End = s.End
+				continue
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// TraceGantt renders the Gantt chart of an event stream; the trace
+// replay makes it identical to Gantt over the engine's merged
+// recording of the same run.
+func TraceGantt(w io.Writer, events []obs.Event) error {
+	timeline, err := TimelineFromEvents(events)
+	if err != nil {
+		return err
+	}
+	return Gantt(w, timeline)
+}
+
+// TimelineCSV writes a timeline as core,task,start,end,rate_ghz rows
+// with full float64 precision.
+func TimelineCSV(w io.Writer, timeline []sim.TimelineSegment) error {
+	rows := make([][]string, len(timeline))
+	for i, s := range timeline {
+		rows[i] = []string{
+			strconv.Itoa(s.Core),
+			strconv.Itoa(s.TaskID),
+			strconv.FormatFloat(s.Start, 'g', -1, 64),
+			strconv.FormatFloat(s.End, 'g', -1, 64),
+			strconv.FormatFloat(s.Rate, 'g', -1, 64),
+		}
+	}
+	return CSV(w, []string{"core", "task", "start", "end", "rate_ghz"}, rows)
+}
+
+// TraceCSV writes the execution timeline reconstructed from an event
+// stream in TimelineCSV form.
+func TraceCSV(w io.Writer, events []obs.Event) error {
+	timeline, err := TimelineFromEvents(events)
+	if err != nil {
+		return err
+	}
+	return TimelineCSV(w, timeline)
+}

@@ -1,0 +1,161 @@
+package report
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"dvfsched/internal/model"
+	"dvfsched/internal/obs"
+	"dvfsched/internal/online"
+	"dvfsched/internal/platform"
+	"dvfsched/internal/sim"
+)
+
+// runTracedLMC executes an online LMC scenario with preemption and
+// switch stalls, capturing both the engine's own timeline and the
+// event stream so the two recordings can be compared.
+func runTracedLMC(t *testing.T) (*sim.Result, []obs.Event) {
+	t.Helper()
+	params := model.CostParams{Re: 0.4, Rt: 0.1}
+	lmc, err := online.NewLMC(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat := platform.Homogeneous(2, platform.TableII(), platform.Ideal{})
+	plat.SwitchLatency = 0.02
+	tasks := model.TaskSet{
+		{ID: 1, Cycles: 120, Deadline: model.NoDeadline},
+		{ID: 2, Cycles: 80, Arrival: 0.5, Deadline: model.NoDeadline},
+		{ID: 3, Cycles: 60, Arrival: 1, Deadline: model.NoDeadline},
+		{ID: 4, Cycles: 5, Arrival: 20, Interactive: true, Deadline: model.NoDeadline},
+		{ID: 5, Cycles: 90, Arrival: 25, Deadline: model.NoDeadline},
+	}
+	rec := &obs.Recorder{}
+	res, err := sim.Run(sim.Config{
+		Platform:       plat,
+		Policy:         lmc,
+		RecordTimeline: true,
+		Sink:           rec,
+	}, tasks, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Preemptions == 0 || res.Switches == 0 {
+		t.Fatalf("scenario too tame: %d preemptions, %d switches", res.Preemptions, res.Switches)
+	}
+	return res, rec.Events()
+}
+
+func TestTraceReplayMatchesRecordedTimeline(t *testing.T) {
+	res, events := runTracedLMC(t)
+
+	replayed, err := TimelineFromEvents(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := MergeTimeline(res.Timeline)
+	if !reflect.DeepEqual(replayed, direct) {
+		t.Fatalf("replayed timeline differs from recorded:\nreplayed: %+v\nrecorded: %+v", replayed, direct)
+	}
+
+	// The rendered artifacts must be byte-identical through both
+	// paths: reports are a pure function of the trace.
+	var gDirect, gTrace strings.Builder
+	if err := Gantt(&gDirect, direct); err != nil {
+		t.Fatal(err)
+	}
+	if err := TraceGantt(&gTrace, events); err != nil {
+		t.Fatal(err)
+	}
+	if gDirect.String() != gTrace.String() {
+		t.Errorf("gantt differs:\ndirect:\n%s\ntrace:\n%s", gDirect.String(), gTrace.String())
+	}
+
+	var cDirect, cTrace strings.Builder
+	if err := TimelineCSV(&cDirect, direct); err != nil {
+		t.Fatal(err)
+	}
+	if err := TraceCSV(&cTrace, events); err != nil {
+		t.Fatal(err)
+	}
+	if cDirect.String() != cTrace.String() {
+		t.Errorf("csv differs:\ndirect:\n%s\ntrace:\n%s", cDirect.String(), cTrace.String())
+	}
+}
+
+func TestTraceReplaySurvivesJSONLRoundTrip(t *testing.T) {
+	_, events := runTracedLMC(t)
+	var buf strings.Builder
+	jw := obs.NewJSONLWriter(&buf)
+	for _, ev := range events {
+		jw.Emit(ev)
+	}
+	if err := jw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := obs.ReadJSONL(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := TimelineFromEvents(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := TimelineFromEvents(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Go's JSON round-trips float64 exactly, so this holds bit-for-bit.
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("timeline changed across JSONL round trip")
+	}
+}
+
+func TestMergeTimelineCoalesces(t *testing.T) {
+	in := []sim.TimelineSegment{
+		{Core: 1, TaskID: 7, Start: 2, End: 3, Rate: 1.5},
+		{Core: 0, TaskID: 7, Start: 0, End: 1, Rate: 1.5},
+		{Core: 0, TaskID: 7, Start: 1, End: 2, Rate: 1.5}, // joins previous
+		{Core: 0, TaskID: 7, Start: 2, End: 3, Rate: 2.0}, // rate change splits
+		{Core: 0, TaskID: 8, Start: 3, End: 4, Rate: 2.0}, // task change splits
+		{Core: 0, TaskID: 8, Start: 5, End: 6, Rate: 2.0}, // gap splits
+	}
+	want := []sim.TimelineSegment{
+		{Core: 0, TaskID: 7, Start: 0, End: 2, Rate: 1.5},
+		{Core: 0, TaskID: 7, Start: 2, End: 3, Rate: 2.0},
+		{Core: 0, TaskID: 8, Start: 3, End: 4, Rate: 2.0},
+		{Core: 0, TaskID: 8, Start: 5, End: 6, Rate: 2.0},
+		{Core: 1, TaskID: 7, Start: 2, End: 3, Rate: 1.5},
+	}
+	if got := MergeTimeline(in); !reflect.DeepEqual(got, want) {
+		t.Errorf("MergeTimeline = %+v, want %+v", got, want)
+	}
+}
+
+func TestTimelineFromEventsRejectsCorruptStreams(t *testing.T) {
+	cases := []struct {
+		name   string
+		events []obs.Event
+	}{
+		{"start on busy core", []obs.Event{
+			{Seq: 1, T: 0, Kind: obs.KindStart, Core: 0, Task: 1, Rate: 1},
+			{Seq: 2, T: 1, Kind: obs.KindStart, Core: 0, Task: 2, Rate: 1},
+		}},
+		{"complete of absent task", []obs.Event{
+			{Seq: 1, T: 1, Kind: obs.KindComplete, Core: 0, Task: 1},
+		}},
+		{"dvfs for wrong task", []obs.Event{
+			{Seq: 1, T: 0, Kind: obs.KindStart, Core: 0, Task: 1, Rate: 1},
+			{Seq: 2, T: 1, Kind: obs.KindDVFS, Core: 0, Task: 2, PrevRate: 1, Rate: 2},
+		}},
+		{"unterminated run", []obs.Event{
+			{Seq: 1, T: 0, Kind: obs.KindStart, Core: 0, Task: 1, Rate: 1},
+		}},
+	}
+	for _, tc := range cases {
+		if _, err := TimelineFromEvents(tc.events); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

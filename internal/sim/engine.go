@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"dvfsched/internal/model"
+	"dvfsched/internal/obs"
 	"dvfsched/internal/platform"
 	"dvfsched/internal/power"
 )
@@ -81,6 +82,11 @@ type Config struct {
 	// RecordTimeline captures per-core execution segments into
 	// Result.Timeline (adds memory proportional to event count).
 	RecordTimeline bool
+	// Sink, if non-nil, receives the run's structured event stream
+	// (task arrival/start/preempt/complete, DVFS changes, core
+	// idle/active transitions) as it unfolds. Sinks run on the
+	// simulator goroutine and must not call back into the Engine.
+	Sink obs.Sink
 }
 
 // TimelineSegment is one recorded stretch of execution: task TaskID
@@ -177,7 +183,27 @@ type Engine struct {
 	tasks    []*TaskState
 	undone   int
 	timeline []TimelineSegment
+	sink     obs.Sink
+	evSeq    uint64
 	err      error
+}
+
+// testInvariants, when set (by this package's tests), attaches a
+// fail-fast obs.InvariantSink to every Run so all scenarios are
+// validated against the conservation properties of the event stream.
+var testInvariants bool
+
+// emit forwards an event to the configured sink, stamping the current
+// clock and the next sequence number. No-op without a sink, so the
+// hot path stays allocation-free when observability is off.
+func (e *Engine) emit(ev obs.Event) {
+	if e.sink == nil {
+		return
+	}
+	e.evSeq++
+	ev.Seq = e.evSeq
+	ev.T = e.clock
+	e.sink.Emit(ev)
 }
 
 // Clock returns the current virtual time in seconds.
@@ -291,6 +317,8 @@ func (e *Engine) Start(i int, ts *TaskState, level model.RateLevel) error {
 	if c.level.Rate != level.Rate {
 		stall = e.cfg.Platform.SwitchLatency
 		c.switches++
+		e.emit(obs.Event{Kind: obs.KindDVFS, Core: i, Task: -1,
+			PrevRate: c.level.Rate, Rate: level.Rate, Eff: e.clock + stall})
 	}
 	c.level = level
 	if !ts.Started {
@@ -306,6 +334,10 @@ func (e *Engine) Start(i int, ts *TaskState, level model.RateLevel) error {
 	c.accountBusy(e.clock)
 	c.isBusy = true
 	e.active++
+	e.emit(obs.Event{Kind: obs.KindStart, Core: i, Task: ts.Task.ID,
+		Rate: level.Rate, Eff: e.clock + stall, Cycles: ts.Task.Cycles,
+		Remaining: ts.Remaining, Energy: ts.Energy, Interactive: ts.Task.Interactive})
+	e.emit(obs.Event{Kind: obs.KindCoreActive, Core: i, Task: ts.Task.ID})
 	e.rescheduleAll()
 	return nil
 }
@@ -325,6 +357,9 @@ func (e *Engine) Preempt(i int) (*TaskState, error) {
 	c.accountBusy(e.clock)
 	c.isBusy = false
 	e.active--
+	e.emit(obs.Event{Kind: obs.KindPreempt, Core: i, Task: ts.Task.ID,
+		Cycles: ts.Task.Cycles, Remaining: ts.Remaining, Energy: ts.Energy})
+	e.emit(obs.Event{Kind: obs.KindCoreIdle, Core: i, Task: -1})
 	e.rescheduleAll()
 	return ts, nil
 }
@@ -339,9 +374,12 @@ func (e *Engine) SetLevel(i int, level model.RateLevel) error {
 	if c.level.Rate == level.Rate {
 		return nil
 	}
+	prev := c.level.Rate
 	c.switches++
 	c.level = level
 	if c.run == nil {
+		e.emit(obs.Event{Kind: obs.KindDVFS, Core: i, Task: -1,
+			PrevRate: prev, Rate: level.Rate, Eff: e.clock})
 		return nil
 	}
 	e.settleAll()
@@ -350,6 +388,8 @@ func (e *Engine) SetLevel(i int, level model.RateLevel) error {
 	if c.run.lastSettle < c.run.execStart {
 		c.run.lastSettle = c.run.execStart
 	}
+	e.emit(obs.Event{Kind: obs.KindDVFS, Core: i, Task: c.run.ts.Task.ID,
+		PrevRate: prev, Rate: level.Rate, Eff: c.run.lastSettle})
 	e.rescheduleAll()
 	return nil
 }
@@ -413,7 +453,12 @@ func Run(cfg Config, tasks model.TaskSet, params model.CostParams) (*Result, err
 		maxTime = 1e9
 	}
 
-	e := &Engine{cfg: cfg, exec: cfg.Platform.ExecModel()}
+	e := &Engine{cfg: cfg, exec: cfg.Platform.ExecModel(), sink: cfg.Sink}
+	var inv *obs.InvariantSink
+	if testInvariants {
+		inv = obs.NewInvariantSink()
+		e.sink = obs.Multi(e.sink, inv)
+	}
 	e.cores = make([]*coreState, cfg.Platform.NumCores())
 	for i, rt := range cfg.Platform.Cores {
 		e.cores[i] = &coreState{id: i, rates: rt, level: rt.Min(), residency: map[float64]float64{}}
@@ -463,6 +508,9 @@ func Run(cfg Config, tasks model.TaskSet, params model.CostParams) (*Result, err
 			c.isBusy = false
 			e.active--
 			e.undone--
+			e.emit(obs.Event{Kind: obs.KindComplete, Core: ev.core, Task: ts.Task.ID,
+				Cycles: ts.Task.Cycles, Energy: ts.Energy})
+			e.emit(obs.Event{Kind: obs.KindCoreIdle, Core: ev.core, Task: -1})
 			e.rescheduleAll()
 			cfg.Policy.OnCompletion(e, ev.core, ts)
 		case evTick:
@@ -477,6 +525,9 @@ func Run(cfg Config, tasks model.TaskSet, params model.CostParams) (*Result, err
 				heap.Push(&e.events, event{time: e.clock + cfg.TickInterval, kind: evTick, order: e.orderCtr})
 			}
 		case evArrival:
+			e.emit(obs.Event{Kind: obs.KindArrival, Core: -1, Task: ev.task.Task.ID,
+				Cycles: ev.task.Task.Cycles, Remaining: ev.task.Remaining,
+				Interactive: ev.task.Task.Interactive})
 			cfg.Policy.OnArrival(e, ev.task)
 		}
 		if e.err != nil {
@@ -517,6 +568,11 @@ func Run(cfg Config, tasks model.TaskSet, params model.CostParams) (*Result, err
 	res.TotalCost = res.EnergyCost + res.TimeCost
 	if math.IsNaN(res.TotalCost) || math.IsInf(res.TotalCost, 0) {
 		return nil, fmt.Errorf("sim: non-finite cost")
+	}
+	if inv != nil {
+		if err := inv.Err(); err != nil {
+			return nil, err
+		}
 	}
 	return res, nil
 }

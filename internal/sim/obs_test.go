@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"dvfsched/internal/model"
+	"dvfsched/internal/obs"
+	"dvfsched/internal/platform"
+)
+
+// Every sim.Run executed by this package's tests — including all
+// pre-existing engine scenarios — is validated by a fail-fast
+// obs.InvariantSink: a violation of the conservation properties
+// (single occupancy, time/energy monotonicity, completion >= arrival)
+// turns into a Run error and fails the test.
+func init() { testInvariants = true }
+
+// stackPreemptor starts every arrival immediately on core 0 at max rate,
+// preempting whatever runs there, and resumes paused tasks LIFO at the
+// minimum rate; it exercises start/preempt/resume/dvfs transitions.
+type stackPreemptor struct {
+	paused []*TaskState
+}
+
+func (p *stackPreemptor) Name() string   { return "test-stack-preemptor" }
+func (p *stackPreemptor) Init(e *Engine) {}
+func (p *stackPreemptor) OnArrival(e *Engine, t *TaskState) {
+	if !e.Idle(0) {
+		prev, err := e.Preempt(0)
+		if err != nil {
+			panic(err)
+		}
+		p.paused = append(p.paused, prev)
+	}
+	if err := e.Start(0, t, e.RateTable(0).Max()); err != nil {
+		panic(err)
+	}
+}
+func (p *stackPreemptor) OnCompletion(e *Engine, coreID int, _ *TaskState) {
+	if len(p.paused) == 0 || !e.Idle(0) {
+		return
+	}
+	t := p.paused[len(p.paused)-1]
+	p.paused = p.paused[:len(p.paused)-1]
+	if err := e.Start(0, t, e.RateTable(0).Min()); err != nil {
+		panic(err)
+	}
+}
+func (p *stackPreemptor) OnTick(e *Engine) {}
+
+// preemptionTasks is a three-task staircase that forces two
+// preemptions and two resumes on a single core.
+func preemptionTasks() model.TaskSet {
+	return model.TaskSet{
+		{ID: 1, Cycles: 100, Deadline: model.NoDeadline},
+		{ID: 2, Cycles: 50, Arrival: 5, Deadline: model.NoDeadline},
+		{ID: 3, Cycles: 10, Arrival: 8, Interactive: true, Deadline: model.NoDeadline},
+	}
+}
+
+func TestEventStreamShape(t *testing.T) {
+	rec := &obs.Recorder{}
+	plat := singleCorePlatform()
+	plat.SwitchLatency = 0.01
+	res, err := Run(Config{Platform: plat, Policy: &stackPreemptor{}, Sink: rec},
+		preemptionTasks(), paperParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := rec.Events()
+	if len(events) == 0 {
+		t.Fatal("no events emitted")
+	}
+
+	counts := map[obs.Kind]int{}
+	var lastSeq uint64
+	var lastT float64
+	for _, ev := range events {
+		if ev.Seq <= lastSeq {
+			t.Fatalf("seq not strictly increasing at %+v", ev)
+		}
+		if ev.T < lastT {
+			t.Fatalf("time reversed at %+v", ev)
+		}
+		lastSeq, lastT = ev.Seq, ev.T
+		counts[ev.Kind]++
+	}
+	if counts[obs.KindArrival] != 3 {
+		t.Errorf("arrivals = %d, want 3", counts[obs.KindArrival])
+	}
+	if counts[obs.KindComplete] != 3 {
+		t.Errorf("completions = %d, want 3", counts[obs.KindComplete])
+	}
+	if counts[obs.KindPreempt] != res.Preemptions || res.Preemptions == 0 {
+		t.Errorf("preempt events = %d, result says %d", counts[obs.KindPreempt], res.Preemptions)
+	}
+	// Every occupancy change pairs with a core transition event.
+	if got := counts[obs.KindCoreActive]; got != counts[obs.KindStart] {
+		t.Errorf("core-active = %d, starts = %d", got, counts[obs.KindStart])
+	}
+	if got := counts[obs.KindCoreIdle]; got != counts[obs.KindPreempt]+counts[obs.KindComplete] {
+		t.Errorf("core-idle = %d, preempts+completes = %d", got,
+			counts[obs.KindPreempt]+counts[obs.KindComplete])
+	}
+	// The platform has a switch stall, so dvfs effect times must lag
+	// their events whenever the affected core is running.
+	if counts[obs.KindDVFS] == 0 {
+		t.Error("no dvfs events despite rate changes")
+	}
+	for _, ev := range events {
+		if ev.Kind == obs.KindDVFS && ev.EffectiveAt() < ev.T {
+			t.Errorf("dvfs effect precedes event: %+v", ev)
+		}
+	}
+}
+
+func TestEventEnergyMatchesResult(t *testing.T) {
+	rec := &obs.Recorder{}
+	reg := obs.NewRegistry()
+	res, err := Run(Config{
+		Platform: platform.Homogeneous(2, table2(), platform.Ideal{}),
+		Policy:   newFIFO(),
+		Sink:     obs.Multi(rec, obs.NewMetricsSink(reg)),
+	}, preemptionTasks(), paperParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Summing the final per-task energies off the event stream must
+	// reproduce the engine's energy accounting.
+	var fromEvents float64
+	for _, ev := range rec.Events() {
+		if ev.Kind == obs.KindComplete {
+			fromEvents += ev.Energy
+		}
+	}
+	if math.Abs(fromEvents-res.ActiveEnergy) > 1e-9*math.Max(1, res.ActiveEnergy) {
+		t.Errorf("event energy %v != result energy %v", fromEvents, res.ActiveEnergy)
+	}
+	s := reg.Snapshot()
+	if got := s.Counters["sim.energy_j"]; math.Abs(got-res.ActiveEnergy) > 1e-9*math.Max(1, res.ActiveEnergy) {
+		t.Errorf("metrics energy %v != result energy %v", got, res.ActiveEnergy)
+	}
+	if got := s.Counters["sim.tasks.completed"]; got != 3 {
+		t.Errorf("completed = %v", got)
+	}
+}
+
+func TestInvariantHookCatchesViolations(t *testing.T) {
+	// Bypass the emit() clock stamping to prove the hook actually
+	// rejects a corrupted stream end to end.
+	inv := obs.NewInvariantSink()
+	inv.Emit(obs.Event{Seq: 1, T: 1, Kind: obs.KindStart, Core: 0, Task: 9, Rate: 3})
+	if inv.Err() == nil {
+		t.Fatal("invariant sink accepted a start without arrival")
+	}
+}
+
+func TestNoSinkStillRuns(t *testing.T) {
+	// Sink-less runs stay supported (and are what production perf
+	// paths use); testInvariants attaches a checker regardless.
+	tasks := model.TaskSet{{ID: 1, Cycles: 10, Deadline: model.NoDeadline}}
+	if _, err := Run(Config{Platform: singleCorePlatform(), Policy: newFIFO()}, tasks, paperParams); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,15 @@
+#!/bin/sh
+# Full local gate: vet, build, race-enabled tests, benchmark smoke.
+# Equivalent to `make check` for environments without make.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+echo "== go build =="
+go build ./...
+echo "== go test -race =="
+go test -race ./...
+echo "== benchmark smoke (1 iteration each) =="
+go test -run='^$' -bench=. -benchtime=1x ./...
+echo "OK"
