@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke fuzz-smoke golden
+.PHONY: check vet build test race bench-smoke fuzz-smoke bench serve-smoke golden
 
-check: vet build race bench-smoke
+check: vet build race bench-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -20,10 +20,20 @@ race:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
-# Short fuzz sessions for the dynamic structures.
+# Short fuzz sessions for the dynamic structures; cheap enough to run
+# in every `make check`.
 fuzz-smoke:
-	$(GO) test -fuzz=FuzzInsertDelete -fuzztime=10s ./internal/rangetree
-	$(GO) test -fuzz=FuzzDynamicCost -fuzztime=10s ./internal/dynsched
+	$(GO) test -fuzz=FuzzInsertDelete -fuzztime=5s ./internal/rangetree
+	$(GO) test -fuzz=FuzzDynamicCost -fuzztime=5s ./internal/dynsched
+
+# Benchmark the hot packages and write the machine-readable baseline.
+bench:
+	scripts/bench.sh
+
+# Boot dvfschedd on an ephemeral port, hit /healthz and /v1/plan once,
+# and shut it down cleanly.
+serve-smoke:
+	scripts/serve_smoke.sh
 
 # Regenerate the report package's golden files.
 golden:

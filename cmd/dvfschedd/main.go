@@ -1,0 +1,109 @@
+// Command dvfschedd serves the scheduler over HTTP: a stateless
+// planning plane (POST /v1/plan, Workload Based Greedy behind a worker
+// pool and an LRU cache) and a stateful session plane (online-mode
+// Least Marginal Cost shards that accept task arrivals and stream
+// their event trace). See internal/server for the API contract.
+//
+// Usage:
+//
+//	dvfschedd [-addr :8080] [-workers N] [-queue N] [-cache N]
+//	          [-max-sessions N] [-request-timeout 30s] [-drain-timeout 30s]
+//
+// The daemon prints "listening on http://HOST:PORT" once the socket is
+// bound (use -addr 127.0.0.1:0 for an ephemeral port and parse that
+// line). On SIGINT or SIGTERM it stops accepting requests, finishes
+// in-flight handlers, drains every live session to completion in
+// virtual time — no accepted task is ever dropped — and prints one
+// summary line per drained session before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dvfsched/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dvfschedd: ")
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	if err := run(os.Args[1:], os.Stdout, sigs); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run binds the listener, serves until a signal arrives, then drains.
+// It is main minus process concerns, so tests can drive it.
+func run(args []string, w io.Writer, sigs <-chan os.Signal) error {
+	fs := flag.NewFlagSet("dvfschedd", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", ":8080", "listen address (host:0 picks an ephemeral port)")
+		workers      = fs.Int("workers", 0, "planning worker pool size (0 = GOMAXPROCS)")
+		queue        = fs.Int("queue", 0, "planning queue depth (0 = 4x workers)")
+		cache        = fs.Int("cache", 0, "plan LRU cache entries (0 = 256, negative disables)")
+		maxSessions  = fs.Int("max-sessions", 0, "concurrent session cap (0 = 1024)")
+		reqTimeout   = fs.Duration("request-timeout", 0, "per-request deadline (0 = 30s)")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	s := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheSize:      *cache,
+		MaxSessions:    *maxSessions,
+		RequestTimeout: *reqTimeout,
+	})
+	defer s.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "listening on http://%s\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: s}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case sig := <-sigs:
+		fmt.Fprintf(w, "caught %v; draining\n", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		// In-flight handlers overran the budget; sessions still drain
+		// below so no accepted work is lost.
+		fmt.Fprintf(w, "http shutdown: %v\n", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	for _, sum := range s.DrainAll(ctx) {
+		if sum.Err != nil {
+			fmt.Fprintf(w, "drained session %s: error: %v\n", sum.ID, sum.Err)
+			continue
+		}
+		fmt.Fprintf(w, "drained session %s: %d tasks, cost %.4f cents\n", sum.ID, sum.Tasks, sum.Cost)
+	}
+	fmt.Fprintln(w, "shutdown complete")
+	return nil
+}

@@ -2,7 +2,9 @@
 // evaluation: the Rt/Re price sweep, the frequency-granularity sweep,
 // the length-estimator sweep, the core-count sweep, and the idle-power
 // (race-to-idle crossover) study. Each prints one series, as an
-// aligned table or as CSV for plotting.
+// aligned table or as CSV for plotting. Grid points are independent
+// and are evaluated on a GOMAXPROCS-sized worker pool; the output
+// order is deterministic regardless of completion order.
 //
 // Usage:
 //

@@ -1,0 +1,167 @@
+package dvfsched_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// buildServiceBinaries compiles dvfschedd and dvfsload into a temp dir.
+func buildServiceBinaries(t *testing.T) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	daemon := filepath.Join(dir, "dvfschedd")
+	load := filepath.Join(dir, "dvfsload")
+	for _, b := range []struct{ out, pkg string }{
+		{daemon, "./cmd/dvfschedd"},
+		{load, "./cmd/dvfsload"},
+	} {
+		cmd := exec.Command("go", "build", "-o", b.out, b.pkg)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("go build %s: %v\n%s", b.pkg, err, out)
+		}
+	}
+	return daemon, load
+}
+
+// startDaemon launches dvfschedd on an ephemeral port and returns its
+// base URL plus a line channel fed from its stdout.
+func startDaemon(t *testing.T, daemon string, args ...string) (*exec.Cmd, string, <-chan string) {
+	t.Helper()
+	cmd := exec.Command(daemon, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+		if t.Failed() && stderr.Len() > 0 {
+			t.Logf("dvfschedd stderr:\n%s", stderr.String())
+		}
+	})
+	lines := make(chan string, 64)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	select {
+	case line := <-lines:
+		const prefix = "listening on "
+		if !strings.HasPrefix(line, prefix) {
+			t.Fatalf("unexpected first line %q", line)
+		}
+		return cmd, strings.TrimPrefix(line, prefix), lines
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never reported its address")
+	}
+	panic("unreachable")
+}
+
+// TestServiceEndToEnd boots the real daemon binary on an ephemeral
+// port and drives it with the real load-generator binary: 8 concurrent
+// clients exercise both planes, asserting plan costs byte-identical to
+// a direct in-process scheduler run and session traces that replay to
+// the drained cost (the load generator exits non-zero on any
+// mismatch).
+func TestServiceEndToEnd(t *testing.T) {
+	daemon, load := buildServiceBinaries(t)
+	cmd, addr, _ := startDaemon(t, daemon)
+
+	out, err := exec.Command(load, "-addr", addr, "-clients", "8").CombinedOutput()
+	if err != nil {
+		t.Fatalf("dvfsload: %v\n%s", err, out)
+	}
+	if !bytes.Contains(out, []byte("all checks passed")) {
+		t.Fatalf("dvfsload did not pass:\n%s", out)
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("daemon exit after SIGTERM: %v", err)
+	}
+}
+
+// TestServiceGracefulDrain checks criterion (d): SIGTERM with pending
+// session work drains every accepted task before exit.
+func TestServiceGracefulDrain(t *testing.T) {
+	daemon, _ := buildServiceBinaries(t)
+	cmd, addr, lines := startDaemon(t, daemon)
+
+	var info struct {
+		ID string `json:"id"`
+	}
+	postJSON(t, addr+"/v1/sessions", `{"cores":2}`, &info)
+	// Far-apart arrivals: after submit the virtual clock sits at the
+	// last arrival with most work still pending.
+	var sub struct {
+		Accepted int `json:"accepted"`
+		Pending  int `json:"pending"`
+	}
+	postJSON(t, addr+"/v1/sessions/"+info.ID+"/tasks",
+		`{"tasks":[{"id":0,"cycles":400,"arrival":0},{"id":1,"cycles":400,"arrival":50},{"id":2,"cycles":400,"arrival":500}]}`,
+		&sub)
+	if sub.Accepted != 3 || sub.Pending == 0 {
+		t.Fatalf("submit: %+v, want 3 accepted with pending work", sub)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("daemon exit after SIGTERM: %v", err)
+	}
+	var drained, complete bool
+	for line := range lines {
+		if strings.Contains(line, "drained session "+info.ID) {
+			if !strings.Contains(line, "3 tasks") {
+				t.Fatalf("drain dropped tasks: %q", line)
+			}
+			drained = true
+		}
+		if line == "shutdown complete" {
+			complete = true
+		}
+	}
+	if !drained || !complete {
+		t.Fatalf("missing drain evidence: drained=%v complete=%v", drained, complete)
+	}
+}
+
+// postJSON is a minimal test client for the daemon's API.
+func postJSON(t *testing.T, url, body string, out any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		t.Fatalf("POST %s: status %d: %s", url, resp.StatusCode, buf.String())
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+
+	"dvfsched/internal/model"
+	"dvfsched/internal/online"
+	"dvfsched/internal/sim"
+)
+
+// OnlineSession is a long-lived online-mode scheduling session: a
+// Least Marginal Cost policy attached to an incrementally-driven
+// virtual-time engine. Unlike RunOnline, which needs the whole trace
+// up front, a session accepts arrivals as they become known — the
+// shape a network-facing scheduler daemon needs. Methods must be
+// called from a single goroutine.
+type OnlineSession struct {
+	sess *sim.Session
+	lmc  *online.LMC
+}
+
+// OpenOnline starts an online session on the scheduler's platform with
+// its cost constants. The scheduler's Sink and Metrics, if set, are
+// wired into the session exactly as RunOnline would wire them.
+func (s *Scheduler) OpenOnline() (*OnlineSession, error) {
+	lmc, err := online.NewLMC(s.params)
+	if err != nil {
+		return nil, err
+	}
+	lmc.Metrics = s.Metrics
+	sess, err := sim.OpenSession(sim.Config{Platform: s.plat, Policy: lmc, Sink: s.Sink}, s.params)
+	if err != nil {
+		return nil, err
+	}
+	return &OnlineSession{sess: sess, lmc: lmc}, nil
+}
+
+// Submit feeds a batch of arrivals into the session and advances
+// virtual time to the latest arrival in the batch: the session's "now"
+// is the newest arrival it has heard about, so earlier work may still
+// be queued or running when the next batch lands. Task IDs must be
+// unique across the session's lifetime and arrivals must not precede
+// the session clock.
+func (o *OnlineSession) Submit(tasks model.TaskSet) error {
+	if len(tasks) == 0 {
+		return fmt.Errorf("core: empty submission")
+	}
+	if err := o.sess.Inject(tasks); err != nil {
+		return err
+	}
+	latest := tasks[0].Arrival
+	for _, t := range tasks {
+		if t.Arrival > latest {
+			latest = t.Arrival
+		}
+	}
+	return o.sess.AdvanceTo(latest)
+}
+
+// Clock returns the session's virtual time in seconds.
+func (o *OnlineSession) Clock() float64 { return o.sess.Clock() }
+
+// Pending returns the number of submitted tasks not yet completed.
+func (o *OnlineSession) Pending() int { return o.sess.Pending() }
+
+// Drain runs every submitted task to completion and returns the final
+// measured result. The session cannot be used afterwards.
+func (o *OnlineSession) Drain() (*sim.Result, error) {
+	return o.sess.Finish()
+}

@@ -1,0 +1,111 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"dvfsched/internal/core"
+	"dvfsched/internal/model"
+	"dvfsched/internal/obs"
+	"dvfsched/internal/platform"
+	"dvfsched/internal/workload"
+)
+
+func onlineTrace(t *testing.T, seed int64) model.TaskSet {
+	t.Helper()
+	judge := workload.DefaultJudgeConfig()
+	judge.Interactive, judge.NonInteractive, judge.Duration = 200, 30, 60
+	tasks, err := judge.Generate(rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tasks
+}
+
+// TestOpenOnlineMatchesRunOnline submits a judge trace in arrival-time
+// batches and checks the drained result equals the one-shot RunOnline
+// on the same trace.
+func TestOpenOnlineMatchesRunOnline(t *testing.T) {
+	params := model.CostParams{Re: 0.1, Rt: 0.4}
+	plat := platform.Homogeneous(4, platform.TableII(), platform.Ideal{})
+	tasks := onlineTrace(t, 42)
+
+	ref, err := core.New(params, plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.RunOnline(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sched, err := core.New(params, plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.Metrics = obs.NewRegistry()
+	sess, err := sched.OpenOnline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ordered := tasks.Clone()
+	ordered.ByArrival()
+	for len(ordered) > 0 {
+		n := 7
+		if n > len(ordered) {
+			n = len(ordered)
+		}
+		if err := sess.Submit(ordered[:n]); err != nil {
+			t.Fatal(err)
+		}
+		ordered = ordered[n:]
+	}
+	if sess.Pending() == 0 {
+		t.Fatal("expected work still pending before drain (batches should interleave)")
+	}
+	got, err := sess.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalCost != want.TotalCost || got.TotalEnergy != want.TotalEnergy ||
+		got.Makespan != want.Makespan {
+		t.Fatalf("session diverged:\n got cost=%v energy=%v makespan=%v\nwant cost=%v energy=%v makespan=%v",
+			got.TotalCost, got.TotalEnergy, got.Makespan,
+			want.TotalCost, want.TotalEnergy, want.Makespan)
+	}
+	if sched.Metrics.Snapshot().Counters["lmc.marginal_evals"] == 0 {
+		t.Fatal("session did not feed scheduler metrics")
+	}
+}
+
+func TestOpenOnlineRejectsBadSubmissions(t *testing.T) {
+	params := model.CostParams{Re: 0.1, Rt: 0.4}
+	sched, err := core.New(params, platform.Homogeneous(2, platform.TableII(), platform.Ideal{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := sched.OpenOnline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Submit(nil); err == nil {
+		t.Fatal("empty submission accepted")
+	}
+	batch := model.TaskSet{{ID: 1, Cycles: 10, Arrival: 5, Deadline: model.NoDeadline}}
+	if err := sess.Submit(batch); err != nil {
+		t.Fatal(err)
+	}
+	if sess.Clock() != 5 {
+		t.Fatalf("clock %v != 5 (latest arrival)", sess.Clock())
+	}
+	stale := model.TaskSet{{ID: 2, Cycles: 10, Arrival: 1, Deadline: model.NoDeadline}}
+	if err := sess.Submit(stale); err == nil {
+		t.Fatal("stale arrival accepted")
+	}
+	if _, err := sess.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Drain(); err == nil {
+		t.Fatal("double drain accepted")
+	}
+}

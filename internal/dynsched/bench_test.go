@@ -1,0 +1,67 @@
+package dynsched_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"dvfsched/internal/dynsched"
+	"dvfsched/internal/model"
+	"dvfsched/internal/platform"
+)
+
+func benchScheduler(b *testing.B) *dynsched.Scheduler {
+	b.Helper()
+	s, err := dynsched.New(model.CostParams{Re: 0.1, Rt: 0.4}, platform.TableII())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkChurn measures one delete plus one insert against a
+// 512-task single-core queue — the incremental cost maintenance the
+// online planes lean on.
+func BenchmarkChurn(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	s := benchScheduler(b)
+	handles := make([]*dynsched.Handle, 0, 512)
+	for i := 0; i < 512; i++ {
+		h, err := s.Insert(1 + rng.Float64()*100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := rng.Intn(len(handles))
+		if err := s.Delete(handles[j]); err != nil {
+			b.Fatal(err)
+		}
+		h, err := s.Insert(1 + rng.Float64()*100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		handles[j] = h
+	}
+}
+
+// BenchmarkMarginalInsertCost measures the what-if query the Least
+// Marginal Cost policy issues per core per arrival.
+func BenchmarkMarginalInsertCost(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	s := benchScheduler(b)
+	for i := 0; i < 512; i++ {
+		if _, err := s.Insert(1 + rng.Float64()*100); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.MarginalInsertCost(1 + rng.Float64()*100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package envelope_test
+
+import (
+	"testing"
+
+	"dvfsched/internal/envelope"
+	"dvfsched/internal/model"
+	"dvfsched/internal/platform"
+)
+
+var benchParams = model.CostParams{Re: 0.1, Rt: 0.4}
+
+// BenchmarkCompute measures building the dominating-position envelope
+// from the 12-level i7 menu — the upper-hull sweep every scheduler
+// constructor pays once.
+func BenchmarkCompute(b *testing.B) {
+	rates := platform.IntelI7950()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := envelope.Compute(benchParams, rates); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLevelFor measures the per-position level lookup on the hot
+// scheduling path.
+func BenchmarkLevelFor(b *testing.B) {
+	env := envelope.MustCompute(benchParams, platform.IntelI7950())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.LevelFor(1 + i%1000)
+	}
+}

@@ -38,21 +38,22 @@ func IdlePowerStudy(idleWatts []float64, tasks model.TaskSet) ([]IdleRow, error)
 	if err != nil {
 		return nil, err
 	}
-	var rows []IdleRow
 	for _, w := range idleWatts {
 		if w < 0 {
 			return nil, fmt.Errorf("experiments: negative idle watts %v", w)
 		}
+	}
+	return parMap(idleWatts, func(w float64) (IdleRow, error) {
 		plat := platform.Homogeneous(4, platform.TableII(), platform.Ideal{})
 		plat.IdleWatts = w
 
 		fp, err := sim.NewFixedPlan(plan)
 		if err != nil {
-			return nil, err
+			return IdleRow{}, err
 		}
 		wbg, err := sim.Run(sim.Config{Platform: plat, Policy: fp}, tasks, BatchParams)
 		if err != nil {
-			return nil, err
+			return IdleRow{}, err
 		}
 		race, err := sim.Run(sim.Config{
 			Platform:     plat,
@@ -60,14 +61,13 @@ func IdlePowerStudy(idleWatts []float64, tasks model.TaskSet) ([]IdleRow, error)
 			TickInterval: 1,
 		}, tasks, BatchParams)
 		if err != nil {
-			return nil, err
+			return IdleRow{}, err
 		}
-		rows = append(rows, IdleRow{
+		return IdleRow{
 			IdleWatts:   w,
 			WBGEnergyJ:  wbg.TotalEnergy,
 			RaceEnergyJ: race.TotalEnergy,
 			WBGvsRace:   wbg.TotalEnergy / race.TotalEnergy,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parMap evaluates fn over every item on a GOMAXPROCS-sized worker
+// pool and returns the results in input order, so parallel sweeps
+// print identically to sequential ones. Grid points are independent
+// by construction (each builds its own platform, planner, and
+// simulator), which is what makes this safe.
+//
+// All items are evaluated even when some fail; the error reported is
+// the lowest-index one, again for determinism.
+func parMap[In, Out any](items []In, fn func(In) (Out, error)) ([]Out, error) {
+	out := make([]Out, len(items))
+	errs := make([]error, len(items))
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(items) {
+		workers = len(items)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i], errs[i] = fn(items[i])
+			}
+		}()
+	}
+	for i := range items {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestParMapPreservesOrder(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	rng := rand.New(rand.NewSource(7))
+	delays := make([]time.Duration, len(items))
+	for i := range delays {
+		delays[i] = time.Duration(rng.Intn(300)) * time.Microsecond
+	}
+	out, err := parMap(items, func(i int) (int, error) {
+		time.Sleep(delays[i]) // scramble completion order
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestParMapReportsLowestIndexError(t *testing.T) {
+	items := []int{0, 1, 2, 3, 4}
+	_, err := parMap(items, func(i int) (int, error) {
+		if i%2 == 1 {
+			return 0, fmt.Errorf("fail %d", i)
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "fail 1" {
+		t.Fatalf("err = %v, want fail 1", err)
+	}
+}
+
+func TestParMapEmpty(t *testing.T) {
+	out, err := parMap(nil, func(int) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}
+
+// TestSweepsDeterministicUnderParallelism reruns a trace-driven sweep
+// twice and requires bit-identical rows: the worker pool must not leak
+// scheduling nondeterminism into results.
+func TestSweepsDeterministicUnderParallelism(t *testing.T) {
+	a, err := EstimatorSweep([]float64{0.2, 0.6, 1.0}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EstimatorSweep([]float64{0.2, 0.6, 1.0}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

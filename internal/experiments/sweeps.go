@@ -37,26 +37,25 @@ func PriceSweep(ratios []float64, tasks model.TaskSet) ([]PriceSweepRow, error) 
 	if tasks == nil {
 		tasks = workload.SPECTasks()
 	}
-	rows := make([]PriceSweepRow, 0, len(ratios))
 	for _, r := range ratios {
 		if r <= 0 {
 			return nil, fmt.Errorf("experiments: non-positive ratio %v", r)
 		}
+	}
+	return parMap(ratios, func(r float64) (PriceSweepRow, error) {
 		params := model.CostParams{Re: 0.1, Rt: 0.1 * r}
 		res, err := Fig2(Fig2Config{Tasks: tasks, Params: params})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: price sweep at ratio %v: %w", r, err)
+			return PriceSweepRow{}, fmt.Errorf("experiments: price sweep at ratio %v: %w", r, err)
 		}
-		row := PriceSweepRow{
-			RtOverRe:       r,
-			OLBvsWBG:       res.OLBvsWBG[2],
-			PSvsWBG:        res.PSvsWBG[2],
-			WBGEnergyShare: res.WBG.EnergyCost / res.WBG.TotalCost,
-		}
-		row.WBGMinRateShare = minRateShare(params, tasks)
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return PriceSweepRow{
+			RtOverRe:        r,
+			OLBvsWBG:        res.OLBvsWBG[2],
+			PSvsWBG:         res.PSvsWBG[2],
+			WBGEnergyShare:  res.WBG.EnergyCost / res.WBG.TotalCost,
+			WBGMinRateShare: minRateShare(params, tasks),
+		}, nil
+	})
 }
 
 // minRateShare computes the fraction of cycles the WBG plan runs at
@@ -114,32 +113,30 @@ func GranularitySweep(tasks model.TaskSet) ([]GranularityRow, error) {
 	}
 	menus := []*model.RateTable{two, three, full, platform.IntelI7950()}
 
-	var rows []GranularityRow
-	for _, rt := range menus {
+	return parMap(menus, func(rt *model.RateTable) (GranularityRow, error) {
 		plan, err := planWBGWith(BatchParams, rt, tasks)
 		if err != nil {
-			return nil, err
+			return GranularityRow{}, err
 		}
 		joules, _, _ := plan.EnergyTime()
 		_, _, total := plan.Cost()
 
 		maxOnly, err := rt.Restrict(func(l model.RateLevel) bool { return l.Rate == rt.Max().Rate })
 		if err != nil {
-			return nil, err
+			return GranularityRow{}, err
 		}
 		base, err := planWBGWith(BatchParams, maxOnly, tasks)
 		if err != nil {
-			return nil, err
+			return GranularityRow{}, err
 		}
 		baseJ, _, _ := base.EnergyTime()
 		_, _, baseTotal := base.Cost()
-		rows = append(rows, GranularityRow{
+		return GranularityRow{
 			Levels:         rt.Len(),
 			EnergyVsAllMax: joules / baseJ,
 			TotalVsAllMax:  total / baseTotal,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // EstimatorRow is one point of the length-estimation sweep.
@@ -159,14 +156,13 @@ func EstimatorSweep(sigmas []float64, seed int64) ([]EstimatorRow, error) {
 	if len(sigmas) == 0 {
 		return nil, fmt.Errorf("experiments: empty sigma list")
 	}
-	var rows []EstimatorRow
-	for _, sigma := range sigmas {
+	return parMap(sigmas, func(sigma float64) (EstimatorRow, error) {
 		judge := workload.DefaultJudgeConfig()
 		judge.Interactive, judge.NonInteractive, judge.Duration = 2000, 300, 500
 		judge.SubmitSigma = sigma
 		tasks, err := judge.Generate(rand.New(rand.NewSource(seed)))
 		if err != nil {
-			return nil, err
+			return EstimatorRow{}, err
 		}
 		plat := platform.Homogeneous(4, platform.TableII(), platform.Ideal{})
 		run := func(p sim.Policy) (float64, error) {
@@ -178,23 +174,22 @@ func EstimatorSweep(sigmas []float64, seed int64) ([]EstimatorRow, error) {
 		}
 		oracle, err := online.NewLMC(OnlineParams)
 		if err != nil {
-			return nil, err
+			return EstimatorRow{}, err
 		}
 		oc, err := run(oracle)
 		if err != nil {
-			return nil, err
+			return EstimatorRow{}, err
 		}
 		estimated, err := online.NewLMCEstimated(OnlineParams)
 		if err != nil {
-			return nil, err
+			return EstimatorRow{}, err
 		}
 		ec, err := run(estimated)
 		if err != nil {
-			return nil, err
+			return EstimatorRow{}, err
 		}
-		rows = append(rows, EstimatorRow{Sigma: sigma, EstimatedVsOracle: ec / oc})
-	}
-	return rows, nil
+		return EstimatorRow{Sigma: sigma, EstimatedVsOracle: ec / oc}, nil
+	})
 }
 
 // CoreSweepRow is one point of the core-count scaling sweep.
@@ -212,24 +207,24 @@ func CoreSweep(cores []int, seed int64) ([]CoreSweepRow, error) {
 	if len(cores) == 0 {
 		return nil, fmt.Errorf("experiments: empty core list")
 	}
-	var rows []CoreSweepRow
 	for _, n := range cores {
 		if n <= 0 {
 			return nil, fmt.Errorf("experiments: bad core count %d", n)
 		}
+	}
+	return parMap(cores, func(n int) (CoreSweepRow, error) {
 		judge := workload.DefaultJudgeConfig()
 		judge.Interactive = 1500 * n
 		judge.NonInteractive = 130 * n
 		judge.Duration = 600
 		tasks, err := judge.Generate(rand.New(rand.NewSource(seed)))
 		if err != nil {
-			return nil, err
+			return CoreSweepRow{}, err
 		}
 		res, err := Fig3(Fig3Config{Tasks: tasks, Cores: n})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: core sweep at %d: %w", n, err)
+			return CoreSweepRow{}, fmt.Errorf("experiments: core sweep at %d: %w", n, err)
 		}
-		rows = append(rows, CoreSweepRow{Cores: n, OLBvsLMC: res.OLBvsLMC[2], ODvsLMC: res.ODvsLMC[2]})
-	}
-	return rows, nil
+		return CoreSweepRow{Cores: n, OLBvsLMC: res.OLBvsLMC[2], ODvsLMC: res.ODvsLMC[2]}, nil
+	})
 }

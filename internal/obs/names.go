@@ -1,0 +1,42 @@
+package obs
+
+// Canonical metric names of the serving layer (internal/server), kept
+// here so the emitting daemon and any dashboard or test consuming a
+// Registry snapshot agree on the schema. The simulator-side names
+// ("sim.*", "lmc.*", "dynsched.*") are documented on MetricsSink and
+// the policies that emit them.
+const (
+	// ServerRequests counts HTTP requests accepted by the daemon
+	// (anything that reached a handler, whatever the status).
+	ServerRequests = "server.requests"
+	// ServerFailures counts requests that ended in a 5xx, including
+	// recovered panics.
+	ServerFailures = "server.failures"
+	// ServerRejected counts requests shed with 429 by a full plan
+	// queue or session shard queue.
+	ServerRejected = "server.rejected"
+	// ServerPanics counts handler panics converted to 500s.
+	ServerPanics = "server.panics"
+	// ServerInFlight gauges requests currently inside a handler.
+	ServerInFlight = "server.inflight"
+	// ServerLatency is the per-request wall-time histogram, in seconds.
+	ServerLatency = "server.latency_s"
+
+	// ServerPlans counts batch plans computed by the planning plane
+	// (cache misses that ran the planner).
+	ServerPlans = "server.plans"
+	// ServerPlanQueueDepth gauges the planning plane's queued jobs.
+	ServerPlanQueueDepth = "server.plan.queue_depth"
+	// ServerPlanCacheHits / Misses count result-cache lookups; their
+	// ratio is the cache hit rate.
+	ServerPlanCacheHits   = "server.plan.cache.hits"
+	ServerPlanCacheMisses = "server.plan.cache.misses"
+
+	// ServerSessionsOpen gauges live (not yet drained) session shards.
+	ServerSessionsOpen = "server.sessions.open"
+	// ServerSessionsOpened / Drained count session lifecycle edges.
+	ServerSessionsOpened  = "server.sessions.opened"
+	ServerSessionsDrained = "server.sessions.drained"
+	// ServerSessionTasks counts tasks accepted across all sessions.
+	ServerSessionTasks = "server.sessions.tasks_accepted"
+)

@@ -1,0 +1,37 @@
+package online_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"dvfsched/internal/model"
+	"dvfsched/internal/online"
+	"dvfsched/internal/platform"
+	"dvfsched/internal/sim"
+	"dvfsched/internal/workload"
+)
+
+// BenchmarkLMCJudgeTrace measures a full online run of the Least
+// Marginal Cost policy over a scaled-down judge trace on four cores —
+// the session plane's hot loop end to end.
+func BenchmarkLMCJudgeTrace(b *testing.B) {
+	judge := workload.DefaultJudgeConfig()
+	judge.Interactive, judge.NonInteractive, judge.Duration = 600, 90, 150
+	tasks, err := judge.Generate(rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := model.CostParams{Re: 0.1, Rt: 0.4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lmc, err := online.NewLMC(params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plat := platform.Homogeneous(4, platform.TableII(), platform.Ideal{})
+		if _, err := sim.Run(sim.Config{Platform: plat, Policy: lmc}, tasks, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

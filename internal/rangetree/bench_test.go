@@ -1,0 +1,43 @@
+package rangetree_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"dvfsched/internal/rangetree"
+)
+
+// BenchmarkInsertDeleteChurn measures steady-state queue churn: one
+// random insert plus one random delete against a 1024-node tree.
+func BenchmarkInsertDeleteChurn(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	t := rangetree.NewSeeded(2)
+	nodes := make([]*rangetree.Node, 0, 1024)
+	for i := 0; i < 1024; i++ {
+		nodes = append(nodes, t.Insert(1+rng.Float64()*100))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := rng.Intn(len(nodes))
+		t.Delete(nodes[j])
+		nodes[j] = t.Insert(1 + rng.Float64()*100)
+	}
+}
+
+// BenchmarkPrefixQueries measures the order-statistic prefix sums the
+// dynamic cost evaluation is built on.
+func BenchmarkPrefixQueries(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	t := rangetree.NewSeeded(2)
+	for i := 0; i < 1024; i++ {
+		t.Insert(1 + rng.Float64()*100)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := 1 + i%1024
+		_ = t.PrefixXi(k)
+		_ = t.PrefixGamma(k)
+	}
+}

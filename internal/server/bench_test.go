@@ -1,0 +1,101 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"dvfsched/internal/trace"
+)
+
+func benchPost(b *testing.B, url string, body any) *http.Response {
+	b.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if resp.StatusCode/100 != 2 {
+		b.Fatalf("POST %s: status %d", url, resp.StatusCode)
+	}
+	return resp
+}
+
+func drainClose(resp *http.Response) {
+	var sink [4096]byte
+	for {
+		if _, err := resp.Body.Read(sink[:]); err != nil {
+			break
+		}
+	}
+	resp.Body.Close()
+}
+
+// BenchmarkPlanCacheHit measures the planning plane's fast path: a
+// repeated identical workload served from the LRU cache, full HTTP
+// round trip included.
+func BenchmarkPlanCacheHit(b *testing.B) {
+	s := New(Config{})
+	defer s.Close()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	req := PlanRequest{Tasks: benchTasks(32)}
+	drainClose(benchPost(b, ts.URL+"/v1/plan", req)) // warm the cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drainClose(benchPost(b, ts.URL+"/v1/plan", req))
+	}
+}
+
+// BenchmarkPlanCompute measures the planning plane with caching
+// disabled: queue, worker pool, WBG, and response shaping per request.
+func BenchmarkPlanCompute(b *testing.B) {
+	s := New(Config{CacheSize: -1})
+	defer s.Close()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	req := PlanRequest{Tasks: benchTasks(32)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drainClose(benchPost(b, ts.URL+"/v1/plan", req))
+	}
+}
+
+// BenchmarkSessionSubmit measures the session plane's arrival path:
+// one task submitted per request into a live shard.
+func BenchmarkSessionSubmit(b *testing.B) {
+	s := New(Config{})
+	defer s.Close()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	resp := benchPost(b, ts.URL+"/v1/sessions", PlatformSpec{Cores: 4})
+	var info SessionInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	url := fmt.Sprintf("%s/v1/sessions/%s/tasks", ts.URL, info.ID)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drainClose(benchPost(b, url, SubmitRequest{Tasks: []trace.Record{
+			{ID: i, Cycles: 2, Arrival: float64(i)},
+		}}))
+	}
+}
+
+func benchTasks(n int) []trace.Record {
+	recs := make([]trace.Record, n)
+	for i := range recs {
+		recs[i] = trace.Record{ID: i, Cycles: 5 + float64(i%17)}
+	}
+	return recs
+}

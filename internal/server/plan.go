@@ -1,0 +1,222 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+
+	"dvfsched/internal/core"
+	"dvfsched/internal/model"
+	"dvfsched/internal/obs"
+	"dvfsched/internal/platform"
+)
+
+// planJob is one queued planning request.
+type planJob struct {
+	ctx    context.Context
+	key    string
+	params model.CostParams
+	plat   *platform.Platform
+	tasks  model.TaskSet
+	reply  chan planReply
+}
+
+type planReply struct {
+	resp PlanResponse
+	err  error
+}
+
+// planner is the stateless planning plane: a bounded queue feeding a
+// fixed worker pool, fronted by an LRU result cache. Queue overflow is
+// surfaced to callers as backpressure (HTTP 429), never as unbounded
+// memory growth.
+type planner struct {
+	queue chan planJob
+	cache *lruCache
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	wg        sync.WaitGroup
+
+	plans      *obs.Counter
+	hits       *obs.Counter
+	misses     *obs.Counter
+	queueDepth *obs.Gauge
+}
+
+// newPlanner starts workers goroutines over a queue of the given
+// depth. A negative worker count starts none — jobs then queue until
+// they are shed, which tests use to exercise backpressure.
+func newPlanner(workers, queueDepth, cacheSize int, reg *obs.Registry) *planner {
+	if workers < 0 {
+		workers = 0
+	}
+	p := &planner{
+		queue:      make(chan planJob, queueDepth),
+		cache:      newLRUCache(cacheSize),
+		closed:     make(chan struct{}),
+		plans:      reg.Counter(obs.ServerPlans),
+		hits:       reg.Counter(obs.ServerPlanCacheHits),
+		misses:     reg.Counter(obs.ServerPlanCacheMisses),
+		queueDepth: reg.Gauge(obs.ServerPlanQueueDepth),
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// close stops accepting work and waits for in-flight plans to finish.
+func (p *planner) close() {
+	p.closeOnce.Do(func() { close(p.closed) })
+	p.wg.Wait()
+}
+
+func (p *planner) worker() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.closed:
+			return
+		case job := <-p.queue:
+			p.queueDepth.Set(float64(len(p.queue)))
+			resp, err := p.compute(job)
+			select {
+			case job.reply <- planReply{resp: resp, err: err}:
+			case <-job.ctx.Done():
+			}
+		}
+	}
+}
+
+// compute runs the batch planner through the core facade and shapes
+// the wire response.
+func (p *planner) compute(job planJob) (PlanResponse, error) {
+	sched, err := core.New(job.params, job.plat)
+	if err != nil {
+		return PlanResponse{}, err
+	}
+	plan, err := sched.PlanBatch(job.tasks)
+	if err != nil {
+		return PlanResponse{}, err
+	}
+	var buf bytes.Buffer
+	if err := plan.WriteJSON(&buf); err != nil {
+		return PlanResponse{}, err
+	}
+	eCost, tCost, total := plan.Cost()
+	joules, makespan, turnaround := plan.EnergyTime()
+	resp := PlanResponse{
+		Plan:           bytes.TrimSpace(buf.Bytes()),
+		EnergyCost:     eCost,
+		TimeCost:       tCost,
+		TotalCost:      total,
+		Joules:         joules,
+		MakespanS:      makespan,
+		TurnaroundSumS: turnaround,
+	}
+	p.plans.Inc()
+	p.cache.put(job.key, resp)
+	return resp, nil
+}
+
+// handlePlan is POST /v1/plan.
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	var req PlanRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	spec, params, plat, err := req.PlatformSpec.normalize()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	tasks, err := tasksFromRecords(req.Tasks)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Canonicalize: WBG is invariant to input order (it sorts by
+	// cycles), so hash and plan a by-ID ordering and identical
+	// workloads in any order share a cache slot.
+	tasks = tasks.Clone()
+	sort.SliceStable(tasks, func(i, j int) bool { return tasks[i].ID < tasks[j].ID })
+	key := planKey(spec, tasks)
+
+	if v, ok := s.planner.cache.get(key); ok {
+		s.planner.hits.Inc()
+		resp := v.(PlanResponse)
+		resp.Cached = true
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	s.planner.misses.Inc()
+
+	job := planJob{
+		ctx:    r.Context(),
+		key:    key,
+		params: params,
+		plat:   plat,
+		tasks:  tasks,
+		reply:  make(chan planReply, 1),
+	}
+	select {
+	case s.planner.queue <- job:
+		s.planner.queueDepth.Set(float64(len(s.planner.queue)))
+	case <-s.planner.closed:
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	default:
+		s.rejected.Inc()
+		writeError(w, http.StatusTooManyRequests, "plan queue full (%d queued); retry later", cap(s.planner.queue))
+		return
+	}
+	select {
+	case rep := <-job.reply:
+		if rep.err != nil {
+			writeError(w, http.StatusBadRequest, "%v", rep.err)
+			return
+		}
+		writeJSON(w, http.StatusOK, rep.resp)
+	case <-s.planner.closed:
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+	case <-r.Context().Done():
+		writeError(w, http.StatusServiceUnavailable, "request cancelled or timed out")
+	}
+}
+
+// planKey hashes the canonical workload: platform spec plus every task
+// field the planner reads, all floats as exact IEEE bits. Identical
+// requests — and only identical requests — share a key.
+func planKey(spec PlatformSpec, tasks model.TaskSet) string {
+	h := sha256.New()
+	var scratch [8]byte
+	writeF := func(f float64) {
+		binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(f))
+		h.Write(scratch[:])
+	}
+	writeI := func(i int) {
+		binary.LittleEndian.PutUint64(scratch[:], uint64(int64(i)))
+		h.Write(scratch[:])
+	}
+	h.Write([]byte(spec.Platform))
+	h.Write([]byte{0})
+	writeI(spec.Cores)
+	writeF(spec.Re)
+	writeF(spec.Rt)
+	for _, t := range tasks {
+		writeI(t.ID)
+		h.Write([]byte(t.Name))
+		h.Write([]byte{0})
+		writeF(t.Cycles)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,503 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dvfsched/internal/batch"
+	"dvfsched/internal/core"
+	"dvfsched/internal/model"
+	"dvfsched/internal/obs"
+	"dvfsched/internal/platform"
+	"dvfsched/internal/report"
+	"dvfsched/internal/trace"
+	"dvfsched/internal/workload"
+)
+
+// newTestServer starts an httptest server around a fresh Server.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// doJSON posts a JSON body and decodes a JSON reply.
+func doJSON(t *testing.T, method, url string, body, out any) int {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && len(raw) > 0 {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("%s %s: decoding %q: %v", method, url, raw, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func batchRecords(n int, seed int64) []trace.Record {
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]trace.Record, n)
+	for i := range recs {
+		recs[i] = trace.Record{ID: i, Cycles: 10 + rng.Float64()*500}
+	}
+	return recs
+}
+
+func TestPlanMatchesDirectScheduler(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	recs := batchRecords(24, 1)
+
+	var resp PlanResponse
+	code := doJSON(t, "POST", ts.URL+"/v1/plan", PlanRequest{
+		PlatformSpec: PlatformSpec{Cores: 4, Platform: "table2", Re: 0.1, Rt: 0.4},
+		Tasks:        recs,
+	}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+
+	// Direct in-process oracle.
+	tasks := make(model.TaskSet, len(recs))
+	for i, r := range recs {
+		tasks[i] = r.Task()
+	}
+	sched, err := core.New(model.CostParams{Re: 0.1, Rt: 0.4},
+		platform.Homogeneous(4, platform.TableII(), platform.Ideal{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := sched.PlanBatch(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, want := plan.Cost()
+	if resp.TotalCost != want {
+		t.Fatalf("service cost %v != direct cost %v", resp.TotalCost, want)
+	}
+	if resp.Cached {
+		t.Fatal("first request reported cached")
+	}
+
+	// The returned plan document must round-trip and re-cost
+	// identically.
+	got, err := readPlanDoc(resp.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("plan document cost %v != %v", got, want)
+	}
+}
+
+// readPlanDoc re-parses the self-contained plan JSON and evaluates its
+// cost.
+func readPlanDoc(raw json.RawMessage) (float64, error) {
+	plan, err := batch.ReadPlanJSON(bytes.NewReader(raw))
+	if err != nil {
+		return 0, err
+	}
+	_, _, total := plan.Cost()
+	return total, nil
+}
+
+func TestPlanCacheHit(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	req := PlanRequest{Tasks: batchRecords(10, 2)}
+
+	var first, second PlanResponse
+	if code := doJSON(t, "POST", ts.URL+"/v1/plan", req, &first); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if code := doJSON(t, "POST", ts.URL+"/v1/plan", req, &second); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if first.Cached || !second.Cached {
+		t.Fatalf("cached flags: first=%v second=%v", first.Cached, second.Cached)
+	}
+	if first.TotalCost != second.TotalCost {
+		t.Fatalf("cache changed the answer: %v vs %v", first.TotalCost, second.TotalCost)
+	}
+	// Same workload, different task order: still a hit.
+	perm := append([]trace.Record(nil), req.Tasks...)
+	perm[0], perm[len(perm)-1] = perm[len(perm)-1], perm[0]
+	var third PlanResponse
+	if code := doJSON(t, "POST", ts.URL+"/v1/plan", PlanRequest{Tasks: perm}, &third); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !third.Cached {
+		t.Fatal("permuted workload missed the cache")
+	}
+	snap := s.Registry().Snapshot()
+	if snap.Counters[obs.ServerPlanCacheHits] != 2 || snap.Counters[obs.ServerPlans] != 1 {
+		t.Fatalf("cache counters: %+v", snap.Counters)
+	}
+}
+
+func TestPlanRejectsBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		body any
+	}{
+		{"empty tasks", PlanRequest{}},
+		{"bad platform", PlanRequest{PlatformSpec: PlatformSpec{Platform: "zen4"}, Tasks: batchRecords(2, 3)}},
+		{"negative cycles", PlanRequest{Tasks: []trace.Record{{ID: 0, Cycles: -1}}}},
+		{"online task", PlanRequest{Tasks: []trace.Record{{ID: 0, Cycles: 5, Arrival: 3}}}},
+		{"duplicate ids", PlanRequest{Tasks: []trace.Record{{ID: 0, Cycles: 5}, {ID: 0, Cycles: 6}}}},
+		{"unknown field", map[string]any{"tasks": []trace.Record{{ID: 0, Cycles: 5}}, "bogus": 1}},
+	}
+	for _, tc := range cases {
+		var eresp errorResponse
+		if code := doJSON(t, "POST", ts.URL+"/v1/plan", tc.body, &eresp); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d (error %q)", tc.name, code, eresp.Error)
+		}
+	}
+}
+
+// TestPlanBackpressure fills the (worker-less) queue and checks the
+// overflow request is shed with 429.
+func TestPlanBackpressure(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: -1, QueueDepth: 1, RequestTimeout: 300 * time.Millisecond})
+
+	done := make(chan int, 1)
+	go func() {
+		done <- doJSON(t, "POST", ts.URL+"/v1/plan", PlanRequest{Tasks: batchRecords(2, 4)}, nil)
+	}()
+	// Wait until the first request occupies the only queue slot, then a
+	// second distinct workload must bounce with 429.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(s.planner.queue) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never reached the queue")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := doJSON(t, "POST", ts.URL+"/v1/plan", PlanRequest{Tasks: batchRecords(3, 5)}, nil); got != http.StatusTooManyRequests {
+		t.Fatalf("overflow request got %d, want 429", got)
+	}
+	if first := <-done; first != http.StatusServiceUnavailable {
+		t.Fatalf("queued request finished with %d, want 503 timeout", first)
+	}
+	if s.Registry().Snapshot().Counters[obs.ServerRejected] < 1 {
+		t.Fatal("rejected counter did not move")
+	}
+}
+
+func sessionTrace(t *testing.T, seed int64) model.TaskSet {
+	t.Helper()
+	judge := workload.DefaultJudgeConfig()
+	judge.Interactive, judge.NonInteractive, judge.Duration = 150, 25, 45
+	tasks, err := judge.Generate(rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks.ByArrival()
+	return tasks
+}
+
+// TestSessionLifecycle drives a full session: create, submit in
+// batches, stream events, drain via DELETE, and cross-check that the
+// streamed trace replays to the reported final cost.
+func TestSessionLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	var info SessionInfo
+	if code := doJSON(t, "POST", ts.URL+"/v1/sessions", PlatformSpec{Cores: 4}, &info); code != http.StatusCreated {
+		t.Fatalf("create status %d", code)
+	}
+	if info.ID == "" {
+		t.Fatal("no session ID")
+	}
+	base := ts.URL + "/v1/sessions/" + info.ID
+
+	tasks := sessionTrace(t, 99)
+	for start := 0; start < len(tasks); start += 20 {
+		end := start + 20
+		if end > len(tasks) {
+			end = len(tasks)
+		}
+		recs := make([]trace.Record, 0, end-start)
+		for _, task := range tasks[start:end] {
+			recs = append(recs, trace.FromTask(task))
+		}
+		var sub SubmitResponse
+		if code := doJSON(t, "POST", base+"/tasks", SubmitRequest{Tasks: recs}, &sub); code != http.StatusOK {
+			t.Fatalf("submit status %d", code)
+		}
+		if sub.Accepted != len(recs) {
+			t.Fatalf("accepted %d != %d", sub.Accepted, len(recs))
+		}
+	}
+
+	var status SessionInfo
+	if code := doJSON(t, "GET", base, nil, &status); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if status.Submitted != len(tasks) {
+		t.Fatalf("submitted %d != %d", status.Submitted, len(tasks))
+	}
+
+	var drain DrainResponse
+	if code := doJSON(t, "DELETE", base, nil, &drain); code != http.StatusOK {
+		t.Fatalf("delete status %d", code)
+	}
+	if drain.Tasks != len(tasks) {
+		t.Fatalf("drained %d tasks, submitted %d", drain.Tasks, len(tasks))
+	}
+	if drain.Policy != "lmc" {
+		t.Fatalf("policy %q", drain.Policy)
+	}
+
+	// The tombstone keeps the complete trace readable: replay it.
+	resp, err := http.Get(base + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	events, err := obs.ReadJSONL(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := report.TimelineFromEvents(events); err != nil {
+		t.Fatalf("trace does not replay: %v", err)
+	}
+	reg := obs.NewRegistry()
+	sink := obs.NewMetricsSink(reg)
+	for _, ev := range events {
+		sink.Emit(ev)
+	}
+	snap := reg.Snapshot()
+	energy := snap.Counters["sim.energy_j"]
+	turnaround := snap.Histograms["sim.turnaround_s"].Sum
+	replayCost := 0.1*energy + 0.4*turnaround
+	if math.Abs(replayCost-drain.TotalCost) > 1e-6*math.Abs(drain.TotalCost) {
+		t.Fatalf("replayed cost %v != reported %v", replayCost, drain.TotalCost)
+	}
+	if snap.Counters["sim.tasks.completed"] != float64(len(tasks)) {
+		t.Fatalf("trace completes %v tasks, want %d", snap.Counters["sim.tasks.completed"], len(tasks))
+	}
+
+	// Second DELETE purges; the session then 404s.
+	if code := doJSON(t, "DELETE", base, nil, nil); code != http.StatusNoContent {
+		t.Fatalf("purge status %d", code)
+	}
+	if code := doJSON(t, "GET", base, nil, nil); code != http.StatusNotFound {
+		t.Fatalf("status after purge %d", code)
+	}
+}
+
+func TestSessionRejectsStaleArrivalsAndDrainedSubmits(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var info SessionInfo
+	doJSON(t, "POST", ts.URL+"/v1/sessions", PlatformSpec{Cores: 1}, &info)
+	base := ts.URL + "/v1/sessions/" + info.ID
+
+	if code := doJSON(t, "POST", base+"/tasks", SubmitRequest{
+		Tasks: []trace.Record{{ID: 0, Cycles: 5, Arrival: 10}},
+	}, nil); code != http.StatusOK {
+		t.Fatalf("submit status %d", code)
+	}
+	var eresp errorResponse
+	if code := doJSON(t, "POST", base+"/tasks", SubmitRequest{
+		Tasks: []trace.Record{{ID: 1, Cycles: 5, Arrival: 3}},
+	}, &eresp); code != http.StatusBadRequest || !strings.Contains(eresp.Error, "before the session clock") {
+		t.Fatalf("stale arrival: status %d error %q", code, eresp.Error)
+	}
+	if code := doJSON(t, "DELETE", base, nil, nil); code != http.StatusOK {
+		t.Fatalf("drain status %d", code)
+	}
+	if code := doJSON(t, "POST", base+"/tasks", SubmitRequest{
+		Tasks: []trace.Record{{ID: 2, Cycles: 5, Arrival: 1e6}},
+	}, &eresp); code != http.StatusBadRequest || !strings.Contains(eresp.Error, "drained") {
+		t.Fatalf("submit after drain: status %d error %q", code, eresp.Error)
+	}
+}
+
+// TestConcurrentSessions hammers several sessions from several
+// goroutines; run under -race this is the shard-isolation proof.
+func TestConcurrentSessions(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	const nSessions = 4
+	const perSession = 3 // goroutines per session submitting disjoint ID ranges
+
+	var wg sync.WaitGroup
+	errs := make(chan error, nSessions*perSession)
+	for si := 0; si < nSessions; si++ {
+		var info SessionInfo
+		if code := doJSON(t, "POST", ts.URL+"/v1/sessions", PlatformSpec{Cores: 2}, &info); code != http.StatusCreated {
+			t.Fatalf("create status %d", code)
+		}
+		base := ts.URL + "/v1/sessions/" + info.ID
+		for g := 0; g < perSession; g++ {
+			wg.Add(1)
+			go func(base string, g int) {
+				defer wg.Done()
+				// Monotone arrivals per goroutine; the shard may bounce
+				// some as stale versus another goroutine's progress —
+				// that's expected, only transport errors fail the test.
+				for i := 0; i < 10; i++ {
+					recs := []trace.Record{{ID: g*1000 + i, Cycles: 1 + float64(i), Arrival: float64(i)}}
+					body, _ := json.Marshal(SubmitRequest{Tasks: recs})
+					resp, err := http.Post(base+"/tasks", "application/json", bytes.NewReader(body))
+					if err != nil {
+						errs <- err
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusBadRequest &&
+						resp.StatusCode != http.StatusTooManyRequests {
+						errs <- fmt.Errorf("submit status %d", resp.StatusCode)
+						return
+					}
+				}
+			}(base, g)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	summaries := s.DrainAll(context.Background())
+	if len(summaries) == 0 {
+		t.Fatal("DrainAll drained nothing")
+	}
+	for _, sum := range summaries {
+		if sum.Err != nil {
+			t.Fatalf("drain %s: %v", sum.ID, sum.Err)
+		}
+	}
+}
+
+// TestDrainAllCompletesPendingWork verifies shutdown drains without
+// dropping tasks.
+func TestDrainAllCompletesPendingWork(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	var info SessionInfo
+	doJSON(t, "POST", ts.URL+"/v1/sessions", PlatformSpec{Cores: 2}, &info)
+	base := ts.URL + "/v1/sessions/" + info.ID
+
+	// Tasks arriving far apart: after submit, most work is pending.
+	recs := make([]trace.Record, 10)
+	for i := range recs {
+		recs[i] = trace.Record{ID: i, Cycles: 100, Arrival: float64(i * 10)}
+	}
+	var sub SubmitResponse
+	if code := doJSON(t, "POST", base+"/tasks", SubmitRequest{Tasks: recs}, &sub); code != http.StatusOK {
+		t.Fatalf("submit status %d", code)
+	}
+	if sub.Pending == 0 {
+		t.Fatal("expected pending work before shutdown")
+	}
+	summaries := s.DrainAll(context.Background())
+	if len(summaries) != 1 || summaries[0].Err != nil {
+		t.Fatalf("summaries: %+v", summaries)
+	}
+	if summaries[0].Tasks != len(recs) {
+		t.Fatalf("drain completed %d tasks, submitted %d", summaries[0].Tasks, len(recs))
+	}
+	snap := s.Registry().Snapshot()
+	if snap.Gauges[obs.ServerSessionsOpen] != 0 {
+		t.Fatalf("open-sessions gauge %v after drain", snap.Gauges[obs.ServerSessionsOpen])
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var hz healthzResponse
+	if code := doJSON(t, "GET", ts.URL+"/healthz", nil, &hz); code != http.StatusOK || hz.Status != "ok" {
+		t.Fatalf("healthz: %d %+v", code, hz)
+	}
+	doJSON(t, "POST", ts.URL+"/v1/plan", PlanRequest{Tasks: batchRecords(4, 6)}, nil)
+	var snap obs.Snapshot
+	if code := doJSON(t, "GET", ts.URL+"/metrics", nil, &snap); code != http.StatusOK {
+		t.Fatalf("metrics status %d", code)
+	}
+	if snap.Counters[obs.ServerRequests] < 2 {
+		t.Fatalf("requests counter %v", snap.Counters[obs.ServerRequests])
+	}
+	if snap.Counters[obs.ServerPlans] != 1 {
+		t.Fatalf("plans counter %v", snap.Counters[obs.ServerPlans])
+	}
+}
+
+// TestPanicRecovery routes a panicking handler through the middleware.
+func TestPanicRecovery(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	h := s.instrument(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("boom")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if got := s.Registry().Snapshot().Counters[obs.ServerPanics]; got != 1 {
+		t.Fatalf("panics counter %v", got)
+	}
+}
+
+func TestLRUCache(t *testing.T) {
+	c := newLRUCache(2)
+	c.put("a", 1)
+	c.put("b", 2)
+	if v, ok := c.get("a"); !ok || v.(int) != 1 {
+		t.Fatal("a missing")
+	}
+	c.put("c", 3) // evicts b (a was refreshed)
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a evicted out of LRU order")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len %d", c.len())
+	}
+	c.put("a", 9)
+	if v, _ := c.get("a"); v.(int) != 9 {
+		t.Fatal("refresh did not update value")
+	}
+	disabled := newLRUCache(0)
+	disabled.put("x", 1)
+	if _, ok := disabled.get("x"); ok {
+		t.Fatal("disabled cache stored a value")
+	}
+}

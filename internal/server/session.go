@@ -1,0 +1,300 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"dvfsched/internal/core"
+	"dvfsched/internal/obs"
+)
+
+// sessions is the registry of live and drained (tombstoned) shards.
+type sessions struct {
+	mu         sync.Mutex
+	m          map[string]*shard
+	seq        int
+	maxOpen    int
+	queueDepth int
+
+	open    *obs.Gauge
+	opened  *obs.Counter
+	drained *obs.Counter
+	tasks   *obs.Counter
+}
+
+func newSessions(maxOpen, queueDepth int, reg *obs.Registry) *sessions {
+	return &sessions{
+		m:          map[string]*shard{},
+		maxOpen:    maxOpen,
+		queueDepth: queueDepth,
+		open:       reg.Gauge(obs.ServerSessionsOpen),
+		opened:     reg.Counter(obs.ServerSessionsOpened),
+		drained:    reg.Counter(obs.ServerSessionsDrained),
+		tasks:      reg.Counter(obs.ServerSessionTasks),
+	}
+}
+
+// create opens a new shard under a fresh ID.
+func (ss *sessions) create(spec PlatformSpec, sched *core.Scheduler) (*shard, error) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if len(ss.m) >= ss.maxOpen {
+		return nil, fmt.Errorf("session table full (%d); drain and delete old sessions", ss.maxOpen)
+	}
+	ss.seq++
+	id := fmt.Sprintf("s-%06d", ss.seq)
+	sh, err := newShard(id, spec, sched, ss.queueDepth)
+	if err != nil {
+		return nil, err
+	}
+	ss.m[id] = sh
+	ss.opened.Inc()
+	ss.open.Add(1)
+	return sh, nil
+}
+
+// get looks a shard up by ID.
+func (ss *sessions) get(id string) (*shard, bool) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	sh, ok := ss.m[id]
+	return sh, ok
+}
+
+// remove forgets a shard and stops its goroutine.
+func (ss *sessions) remove(id string) {
+	ss.mu.Lock()
+	sh, ok := ss.m[id]
+	delete(ss.m, id)
+	ss.mu.Unlock()
+	if ok {
+		sh.purge()
+	}
+}
+
+// all snapshots the registry in ID order.
+func (ss *sessions) all() []*shard {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	out := make([]*shard, 0, len(ss.m))
+	for _, sh := range ss.m {
+		out = append(out, sh)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// count returns the number of registered shards (live + tombstoned).
+func (ss *sessions) count() int {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return len(ss.m)
+}
+
+// handleSessionCreate is POST /v1/sessions.
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	var spec PlatformSpec
+	if err := decodeJSON(w, r, &spec); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	spec, params, plat, err := spec.normalize()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sched, err := core.New(params, plat)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sh, err := s.sessions.create(spec, sched)
+	if err != nil {
+		s.rejected.Inc()
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, SessionInfo{ID: sh.id, PlatformSpec: sh.spec})
+}
+
+// lookupShard resolves {id} or writes a 404.
+func (s *Server) lookupShard(w http.ResponseWriter, r *http.Request) (*shard, bool) {
+	id := r.PathValue("id")
+	sh, ok := s.sessions.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no session %q", id)
+		return nil, false
+	}
+	return sh, true
+}
+
+// handleSessionStatus is GET /v1/sessions/{id}.
+func (s *Server) handleSessionStatus(w http.ResponseWriter, r *http.Request) {
+	sh, ok := s.lookupShard(w, r)
+	if !ok {
+		return
+	}
+	resp, err := sh.do(r.Context(), shardReq{op: opStatus})
+	if err != nil {
+		s.writeShardError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SessionInfo{
+		ID:           sh.id,
+		PlatformSpec: sh.spec,
+		Clock:        resp.clock,
+		Pending:      resp.pending,
+		Submitted:    resp.submitted,
+		Drained:      resp.drained,
+	})
+}
+
+// handleSessionSubmit is POST /v1/sessions/{id}/tasks.
+func (s *Server) handleSessionSubmit(w http.ResponseWriter, r *http.Request) {
+	sh, ok := s.lookupShard(w, r)
+	if !ok {
+		return
+	}
+	var req SubmitRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	tasks, err := tasksFromRecords(req.Tasks)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp, err := sh.do(r.Context(), shardReq{op: opSubmit, tasks: tasks})
+	if err != nil {
+		s.writeShardError(w, err)
+		return
+	}
+	if resp.err != nil {
+		writeError(w, http.StatusBadRequest, "%v", resp.err)
+		return
+	}
+	s.sessions.tasks.Add(float64(len(tasks)))
+	writeJSON(w, http.StatusOK, SubmitResponse{
+		Accepted: len(tasks),
+		Clock:    resp.clock,
+		Pending:  resp.pending,
+	})
+}
+
+// handleSessionEvents is GET /v1/sessions/{id}/events: the shard's obs
+// event trace so far, as JSON Lines. After a drain it is the complete
+// trace of the session and replays through report.TimelineFromEvents.
+func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
+	sh, ok := s.lookupShard(w, r)
+	if !ok {
+		return
+	}
+	events := sh.rec.Events()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Event-Count", fmt.Sprint(len(events)))
+	enc := json.NewEncoder(w)
+	for _, ev := range events {
+		if err := enc.Encode(ev); err != nil {
+			return // client went away mid-stream
+		}
+	}
+}
+
+// handleSessionDelete is DELETE /v1/sessions/{id}: the first call
+// drains the session (completing all pending work in virtual time) and
+// reports the final measurements, keeping the trace readable; the
+// second call purges the tombstone.
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	sh, ok := s.lookupShard(w, r)
+	if !ok {
+		return
+	}
+	resp, err := sh.do(r.Context(), shardReq{op: opStatus})
+	if err != nil {
+		s.writeShardError(w, err)
+		return
+	}
+	if resp.drained {
+		s.sessions.remove(sh.id)
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	resp, err = sh.do(r.Context(), shardReq{op: opDrain})
+	if err != nil {
+		s.writeShardError(w, err)
+		return
+	}
+	if resp.first {
+		s.sessions.drained.Inc()
+		s.sessions.open.Add(-1)
+	}
+	if resp.err != nil {
+		// Nothing was ever submitted (or the drain failed): purge and
+		// report.
+		s.sessions.remove(sh.id)
+		writeError(w, http.StatusConflict, "drain %s: %v", sh.id, resp.err)
+		return
+	}
+	writeJSON(w, http.StatusOK, drainResponse(sh.id, resp.result))
+}
+
+// writeShardError maps shard transport errors to HTTP statuses.
+func (s *Server) writeShardError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errBusy):
+		s.rejected.Inc()
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, errGone):
+		writeError(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		writeError(w, http.StatusServiceUnavailable, "request cancelled or timed out")
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+// DrainSummary describes one session drained during shutdown.
+type DrainSummary struct {
+	ID    string
+	Tasks int
+	Cost  float64
+	Err   error
+}
+
+// DrainAll drains every live session, in ID order, and returns one
+// summary per session that had work. It is the graceful-shutdown path:
+// pending virtual-time work is completed (tasks are never dropped),
+// tombstones stay readable until the process exits.
+func (s *Server) DrainAll(ctx context.Context) []DrainSummary {
+	var out []DrainSummary
+	for _, sh := range s.sessions.all() {
+		st, err := sh.do(ctx, shardReq{op: opStatus})
+		if err == nil && st.drained {
+			continue
+		}
+		resp, err := sh.do(ctx, shardReq{op: opDrain})
+		if err != nil {
+			out = append(out, DrainSummary{ID: sh.id, Err: err})
+			continue
+		}
+		if resp.first {
+			s.sessions.drained.Inc()
+			s.sessions.open.Add(-1)
+		}
+		if resp.err != nil {
+			// An empty session has nothing to report.
+			if resp.submitted > 0 {
+				out = append(out, DrainSummary{ID: sh.id, Err: resp.err})
+			}
+			continue
+		}
+		out = append(out, DrainSummary{ID: sh.id, Tasks: len(resp.result.Tasks), Cost: resp.result.TotalCost})
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package server
+
+import (
+	"context"
+	"fmt"
+
+	"dvfsched/internal/core"
+	"dvfsched/internal/model"
+	"dvfsched/internal/obs"
+	"dvfsched/internal/sim"
+)
+
+// shardOp selects the operation a shardReq carries.
+type shardOp int
+
+const (
+	opSubmit shardOp = iota
+	opStatus
+	opDrain
+	opPurge
+)
+
+// shardReq is one message on a shard's request channel.
+type shardReq struct {
+	op    shardOp
+	tasks model.TaskSet
+	reply chan shardResp
+}
+
+// shardResp is the shard goroutine's answer.
+type shardResp struct {
+	err       error
+	clock     float64
+	pending   int
+	submitted int
+	drained   bool
+	// first marks the opDrain reply that actually performed the drain,
+	// so lifecycle counters fire exactly once per session.
+	first  bool
+	result *sim.Result
+}
+
+// shard is one online session: a core.OnlineSession owned by a single
+// goroutine, reachable only through a bounded request channel. The
+// channel is the shard's concurrency story — the virtual-time engine
+// itself never sees more than one caller.
+type shard struct {
+	id   string
+	spec PlatformSpec
+	// rec records the session's event stream; obs.Recorder is
+	// internally locked, so the events endpoint reads it without a
+	// round-trip through the goroutine.
+	rec  *obs.Recorder
+	reqs chan shardReq
+	// dead is closed when the goroutine exits (purge), so callers
+	// blocked on enqueue or reply fail fast instead of hanging.
+	dead chan struct{}
+}
+
+// newShard opens the session and starts its goroutine. queueDepth
+// bounds the number of in-flight requests; overflow is reported to the
+// caller as backpressure.
+func newShard(id string, spec PlatformSpec, sched *core.Scheduler, queueDepth int) (*shard, error) {
+	rec := &obs.Recorder{}
+	sched.Sink = rec
+	sess, err := sched.OpenOnline()
+	if err != nil {
+		return nil, err
+	}
+	sh := &shard{
+		id:   id,
+		spec: spec,
+		rec:  rec,
+		reqs: make(chan shardReq, queueDepth),
+		dead: make(chan struct{}),
+	}
+	go sh.loop(sess)
+	return sh, nil
+}
+
+// loop is the shard goroutine: it serializes every touch of the
+// session and retains the drained result as a tombstone so the trace
+// and final report stay readable until the shard is purged.
+func (sh *shard) loop(sess *core.OnlineSession) {
+	defer close(sh.dead)
+	var (
+		submitted int
+		final     *sim.Result
+		finalErr  error
+	)
+	for req := range sh.reqs {
+		var resp shardResp
+		switch req.op {
+		case opSubmit:
+			if final != nil || finalErr != nil {
+				resp.err = fmt.Errorf("session %s already drained", sh.id)
+				break
+			}
+			if err := sess.Submit(req.tasks); err != nil {
+				resp.err = err
+				break
+			}
+			submitted += len(req.tasks)
+			resp.clock, resp.pending, resp.submitted = sess.Clock(), sess.Pending(), submitted
+		case opStatus:
+			resp.submitted = submitted
+			if final != nil {
+				resp.drained = true
+				resp.clock, resp.pending = final.Makespan, 0
+			} else {
+				resp.clock, resp.pending = sess.Clock(), sess.Pending()
+			}
+		case opDrain:
+			if final == nil && finalErr == nil {
+				final, finalErr = sess.Drain()
+				resp.first = true
+			}
+			resp.result, resp.err, resp.drained = final, finalErr, true
+			resp.submitted = submitted
+			if final != nil {
+				resp.clock = final.Makespan
+			}
+		case opPurge:
+			req.reply <- shardResp{}
+			return
+		}
+		req.reply <- resp
+	}
+}
+
+// do sends a request to the shard goroutine and waits for its reply,
+// honoring context cancellation and shard death. A full request queue
+// returns errBusy immediately (429 backpressure at the HTTP layer).
+func (sh *shard) do(ctx context.Context, req shardReq) (shardResp, error) {
+	req.reply = make(chan shardResp, 1)
+	select {
+	case sh.reqs <- req:
+	case <-sh.dead:
+		return shardResp{}, errGone
+	case <-ctx.Done():
+		return shardResp{}, ctx.Err()
+	default:
+		return shardResp{}, errBusy
+	}
+	select {
+	case resp := <-req.reply:
+		return resp, nil
+	case <-sh.dead:
+		return shardResp{}, errGone
+	case <-ctx.Done():
+		return shardResp{}, ctx.Err()
+	}
+}
+
+// purge asks the goroutine to exit; pending callers observe dead.
+func (sh *shard) purge() {
+	select {
+	case sh.reqs <- shardReq{op: opPurge, reply: make(chan shardResp, 1)}:
+	case <-sh.dead:
+	}
+}
+
+var (
+	errBusy = fmt.Errorf("session queue full; retry later")
+	errGone = fmt.Errorf("session is gone")
+)

@@ -1,0 +1,199 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"dvfsched/internal/model"
+	"dvfsched/internal/platform"
+	"dvfsched/internal/sim"
+	"dvfsched/internal/trace"
+)
+
+// maxBodyBytes bounds request bodies; a 100k-task submission is a few
+// MB of JSONL, so 64 MiB is generous without being unbounded.
+const maxBodyBytes = 64 << 20
+
+// PlatformSpec is the platform slice of a request: a named rate table
+// replicated over identical cores. The zero value means "table2 on 4
+// cores".
+type PlatformSpec struct {
+	// Cores is the core count (default 4).
+	Cores int `json:"cores,omitempty"`
+	// Platform names the rate table: table2, i7, or exynos (default
+	// table2).
+	Platform string `json:"platform,omitempty"`
+	// Re and Rt are the cost constants (defaults 0.1 and 0.4, the
+	// paper's batch setting).
+	Re float64 `json:"re,omitempty"`
+	Rt float64 `json:"rt,omitempty"`
+}
+
+// normalize fills defaults and resolves the named rate table.
+func (p PlatformSpec) normalize() (PlatformSpec, model.CostParams, *platform.Platform, error) {
+	if p.Cores == 0 {
+		p.Cores = 4
+	}
+	if p.Platform == "" {
+		p.Platform = "table2"
+	}
+	if p.Re == 0 {
+		p.Re = 0.1
+	}
+	if p.Rt == 0 {
+		p.Rt = 0.4
+	}
+	if p.Cores < 0 || p.Cores > 4096 {
+		return p, model.CostParams{}, nil, fmt.Errorf("cores must be in 1..4096, got %d", p.Cores)
+	}
+	var rates *model.RateTable
+	switch p.Platform {
+	case "table2":
+		rates = platform.TableII()
+	case "i7":
+		rates = platform.IntelI7950()
+	case "exynos":
+		rates = platform.ExynosT4412()
+	default:
+		return p, model.CostParams{}, nil, fmt.Errorf("unknown platform %q (want table2, i7, or exynos)", p.Platform)
+	}
+	params := model.CostParams{Re: p.Re, Rt: p.Rt}
+	if err := params.Validate(); err != nil {
+		return p, model.CostParams{}, nil, err
+	}
+	return p, params, platform.Homogeneous(p.Cores, rates, platform.Ideal{}), nil
+}
+
+// PlanRequest is the body of POST /v1/plan: a batch workload (all
+// arrivals 0, no deadlines, non-interactive) to schedule with Workload
+// Based Greedy.
+type PlanRequest struct {
+	PlatformSpec
+	// Tasks is the workload in the trace wire format.
+	Tasks []trace.Record `json:"tasks"`
+}
+
+// PlanResponse is the planning plane's reply.
+type PlanResponse struct {
+	// Plan is the self-contained plan document (batch.Plan JSON form).
+	Plan json.RawMessage `json:"plan"`
+	// EnergyCost, TimeCost and TotalCost are the analytic model's
+	// predictions in cents (Eq. 8).
+	EnergyCost float64 `json:"energy_cost"`
+	TimeCost   float64 `json:"time_cost"`
+	TotalCost  float64 `json:"total_cost"`
+	// Joules, MakespanS and TurnaroundSumS are the physical totals.
+	Joules         float64 `json:"joules"`
+	MakespanS      float64 `json:"makespan_s"`
+	TurnaroundSumS float64 `json:"turnaround_sum_s"`
+	// Cached reports whether the result came from the LRU cache.
+	Cached bool `json:"cached"`
+}
+
+// SessionInfo describes one online session shard.
+type SessionInfo struct {
+	ID string `json:"id"`
+	PlatformSpec
+	// Clock is the session's virtual time in seconds.
+	Clock float64 `json:"clock"`
+	// Pending counts submitted-but-uncompleted tasks.
+	Pending int `json:"pending"`
+	// Submitted counts tasks accepted so far.
+	Submitted int `json:"submitted"`
+	// Drained reports whether the session has been drained and only
+	// its trace remains readable.
+	Drained bool `json:"drained"`
+}
+
+// SubmitRequest is the body of POST /v1/sessions/{id}/tasks.
+type SubmitRequest struct {
+	Tasks []trace.Record `json:"tasks"`
+}
+
+// SubmitResponse acknowledges accepted arrivals.
+type SubmitResponse struct {
+	Accepted int     `json:"accepted"`
+	Clock    float64 `json:"clock"`
+	Pending  int     `json:"pending"`
+}
+
+// DrainResponse reports a drained session's final measurements.
+type DrainResponse struct {
+	ID     string `json:"id"`
+	Policy string `json:"policy"`
+	Tasks  int    `json:"tasks"`
+	// Costs in cents, applied to the measured run.
+	EnergyCost float64 `json:"energy_cost"`
+	TimeCost   float64 `json:"time_cost"`
+	TotalCost  float64 `json:"total_cost"`
+	// Physical totals.
+	TotalEnergyJ   float64 `json:"total_energy_j"`
+	MakespanS      float64 `json:"makespan_s"`
+	TurnaroundSumS float64 `json:"turnaround_sum_s"`
+	Switches       int     `json:"switches"`
+	Preemptions    int     `json:"preemptions"`
+}
+
+// drainResponse converts a sim result into the wire form.
+func drainResponse(id string, res *sim.Result) DrainResponse {
+	return DrainResponse{
+		ID:             id,
+		Policy:         res.Policy,
+		Tasks:          len(res.Tasks),
+		EnergyCost:     res.EnergyCost,
+		TimeCost:       res.TimeCost,
+		TotalCost:      res.TotalCost,
+		TotalEnergyJ:   res.TotalEnergy,
+		MakespanS:      res.Makespan,
+		TurnaroundSumS: res.TurnaroundSum,
+		Switches:       res.Switches,
+		Preemptions:    res.Preemptions,
+	}
+}
+
+// errorResponse is the JSON body of every non-2xx reply.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// decodeJSON parses a request body strictly (unknown fields rejected,
+// size-capped) into dst.
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+// writeJSON serializes v with the given status code.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // header already sent; nothing useful to do on error
+}
+
+// writeError serializes a JSON error body.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// tasksFromRecords converts wire records into model tasks.
+func tasksFromRecords(recs []trace.Record) (model.TaskSet, error) {
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("empty task list")
+	}
+	tasks := make(model.TaskSet, len(recs))
+	for i, rec := range recs {
+		tasks[i] = rec.Task()
+	}
+	if err := tasks.Validate(); err != nil {
+		return nil, err
+	}
+	return tasks, nil
+}

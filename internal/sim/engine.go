@@ -428,117 +428,26 @@ type Result struct {
 }
 
 // Run simulates the tasks under the configured policy and returns the
-// outcome. It is deterministic for identical inputs.
+// outcome. It is deterministic for identical inputs. Run is the
+// one-shot form of a Session: open, inject everything, drain, finish.
 func Run(cfg Config, tasks model.TaskSet, params model.CostParams) (*Result, error) {
-	if cfg.Platform == nil {
-		return nil, fmt.Errorf("sim: nil platform")
-	}
-	if err := cfg.Platform.Validate(); err != nil {
-		return nil, err
-	}
-	if cfg.Policy == nil {
-		return nil, fmt.Errorf("sim: nil policy")
-	}
 	if err := tasks.Validate(); err != nil {
 		return nil, err
 	}
-	if err := params.Validate(); err != nil {
+	s, err := OpenSession(cfg, params)
+	if err != nil {
 		return nil, err
 	}
-	if cfg.TickInterval < 0 {
-		return nil, fmt.Errorf("sim: negative tick interval")
+	if err := s.Inject(tasks); err != nil {
+		return nil, err
 	}
-	maxTime := cfg.MaxTime
-	if maxTime == 0 {
-		maxTime = 1e9
-	}
+	return s.Finish()
+}
 
-	e := &Engine{cfg: cfg, exec: cfg.Platform.ExecModel(), sink: cfg.Sink}
-	var inv *obs.InvariantSink
-	if testInvariants {
-		inv = obs.NewInvariantSink()
-		e.sink = obs.Multi(e.sink, inv)
-	}
-	e.cores = make([]*coreState, cfg.Platform.NumCores())
-	for i, rt := range cfg.Platform.Cores {
-		e.cores[i] = &coreState{id: i, rates: rt, level: rt.Min(), residency: map[float64]float64{}}
-	}
-	e.tasks = make([]*TaskState, 0, len(tasks))
-	sorted := tasks.Clone()
-	sorted.ByArrival()
-	for _, t := range sorted {
-		ts := &TaskState{Task: t, Remaining: t.Cycles}
-		e.tasks = append(e.tasks, ts)
-		e.orderCtr++
-		heap.Push(&e.events, event{time: t.Arrival, kind: evArrival, order: e.orderCtr, task: ts})
-	}
-	e.undone = len(e.tasks)
-	if cfg.TickInterval > 0 {
-		e.orderCtr++
-		heap.Push(&e.events, event{time: cfg.TickInterval, kind: evTick, order: e.orderCtr})
-	}
-
-	cfg.Policy.Init(e)
-
-	for e.events.Len() > 0 && e.undone > 0 {
-		ev := heap.Pop(&e.events).(event)
-		if ev.time > maxTime {
-			return nil, fmt.Errorf("sim: exceeded max time %v (policy %q stuck?)", maxTime, cfg.Policy.Name())
-		}
-		if ev.time < e.clock {
-			return nil, fmt.Errorf("sim: time went backwards (%v -> %v)", e.clock, ev.time)
-		}
-		e.clock = ev.time
-		switch ev.kind {
-		case evCompletion:
-			c := e.cores[ev.core]
-			if c.run == nil || c.run.seq != ev.seq {
-				continue // superseded by a reschedule
-			}
-			e.settleAll()
-			ts := c.run.ts
-			if ts.Remaining > 1e-6 {
-				return nil, fmt.Errorf("sim: task %d completed with %v Gcycles left", ts.Task.ID, ts.Remaining)
-			}
-			ts.Remaining = 0
-			ts.Done = true
-			ts.Completion = e.clock
-			c.run = nil
-			c.accountBusy(e.clock)
-			c.isBusy = false
-			e.active--
-			e.undone--
-			e.emit(obs.Event{Kind: obs.KindComplete, Core: ev.core, Task: ts.Task.ID,
-				Cycles: ts.Task.Cycles, Energy: ts.Energy})
-			e.emit(obs.Event{Kind: obs.KindCoreIdle, Core: ev.core, Task: -1})
-			e.rescheduleAll()
-			cfg.Policy.OnCompletion(e, ev.core, ts)
-		case evTick:
-			for _, c := range e.cores {
-				c.accountBusy(e.clock)
-				c.lastFraction = c.busyInWindow / cfg.TickInterval
-				c.busyInWindow = 0
-			}
-			cfg.Policy.OnTick(e)
-			if e.undone > 0 {
-				e.orderCtr++
-				heap.Push(&e.events, event{time: e.clock + cfg.TickInterval, kind: evTick, order: e.orderCtr})
-			}
-		case evArrival:
-			e.emit(obs.Event{Kind: obs.KindArrival, Core: -1, Task: ev.task.Task.ID,
-				Cycles: ev.task.Task.Cycles, Remaining: ev.task.Remaining,
-				Interactive: ev.task.Task.Interactive})
-			cfg.Policy.OnArrival(e, ev.task)
-		}
-		if e.err != nil {
-			return nil, e.err
-		}
-	}
-	if e.undone > 0 {
-		return nil, fmt.Errorf("sim: %d tasks never completed under policy %q (deadlock?)", e.undone, cfg.Policy.Name())
-	}
-
-	res := &Result{Policy: cfg.Policy.Name(), Timeline: e.timeline}
+// finalize summarizes the engine state into a Result once every task
+// has completed.
+func (e *Engine) finalize(params model.CostParams) (*Result, error) {
+	res := &Result{Policy: e.cfg.Policy.Name(), Timeline: e.timeline}
 	res.Tasks = append(res.Tasks, e.tasks...)
 	sort.Slice(res.Tasks, func(i, j int) bool { return res.Tasks[i].Task.ID < res.Tasks[j].Task.ID })
 	var busyTotal float64
@@ -556,10 +465,10 @@ func Run(cfg Config, tasks model.TaskSet, params model.CostParams) (*Result, err
 			res.Makespan = ts.Completion
 		}
 	}
-	if cfg.Platform.IdleWatts > 0 {
+	if e.cfg.Platform.IdleWatts > 0 {
 		idleTime := float64(len(e.cores))*res.Makespan - busyTotal
 		if idleTime > 0 {
-			res.IdleEnergy = cfg.Platform.IdleWatts * idleTime
+			res.IdleEnergy = e.cfg.Platform.IdleWatts * idleTime
 		}
 	}
 	res.TotalEnergy = res.ActiveEnergy + res.IdleEnergy
@@ -568,11 +477,6 @@ func Run(cfg Config, tasks model.TaskSet, params model.CostParams) (*Result, err
 	res.TotalCost = res.EnergyCost + res.TimeCost
 	if math.IsNaN(res.TotalCost) || math.IsInf(res.TotalCost, 0) {
 		return nil, fmt.Errorf("sim: non-finite cost")
-	}
-	if inv != nil {
-		if err := inv.Err(); err != nil {
-			return nil, err
-		}
 	}
 	return res, nil
 }

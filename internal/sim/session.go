@@ -1,0 +1,257 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"dvfsched/internal/model"
+	"dvfsched/internal/obs"
+)
+
+// Session is an incrementally-driven simulation: tasks are injected as
+// they become known instead of all up front, and virtual time advances
+// only as far as the caller asks. It powers long-running online
+// shards (one session per serving shard) where arrivals come from the
+// network rather than from a pre-recorded trace; Run is a one-shot
+// wrapper around it.
+//
+// A session is single-owner: all methods must be called from one
+// goroutine (shards serialize access through a request channel).
+type Session struct {
+	e      *Engine
+	params model.CostParams
+	// maxTime mirrors Run's runaway guard.
+	maxTime float64
+	// ids tracks every task ID ever injected, for cross-batch
+	// uniqueness.
+	ids map[int]bool
+	// tickAt is the virtual time of the pending tick event, or NaN when
+	// no tick is scheduled.
+	tickAt float64
+	// finished is set once Finish has run; further mutation is an
+	// error.
+	finished bool
+	// inv is the fail-fast invariant checker attached under
+	// testInvariants.
+	inv *obs.InvariantSink
+}
+
+// OpenSession validates the configuration and returns an empty session
+// at virtual time 0. The policy's Init callback runs here, before any
+// task exists.
+func OpenSession(cfg Config, params model.CostParams) (*Session, error) {
+	if cfg.Platform == nil {
+		return nil, fmt.Errorf("sim: nil platform")
+	}
+	if err := cfg.Platform.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("sim: nil policy")
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.TickInterval < 0 {
+		return nil, fmt.Errorf("sim: negative tick interval")
+	}
+	maxTime := cfg.MaxTime
+	if maxTime == 0 {
+		maxTime = 1e9
+	}
+
+	e := &Engine{cfg: cfg, exec: cfg.Platform.ExecModel(), sink: cfg.Sink}
+	s := &Session{e: e, params: params, maxTime: maxTime, ids: map[int]bool{}, tickAt: math.NaN()}
+	if testInvariants {
+		s.inv = obs.NewInvariantSink()
+		e.sink = obs.Multi(e.sink, s.inv)
+	}
+	e.cores = make([]*coreState, cfg.Platform.NumCores())
+	for i, rt := range cfg.Platform.Cores {
+		e.cores[i] = &coreState{id: i, rates: rt, level: rt.Min(), residency: map[float64]float64{}}
+	}
+	cfg.Policy.Init(e)
+	return s, nil
+}
+
+// Clock returns the session's current virtual time in seconds.
+func (s *Session) Clock() float64 { return s.e.clock }
+
+// Pending returns the number of injected tasks that have not completed.
+func (s *Session) Pending() int { return s.e.undone }
+
+// Inject adds tasks to the session. Every task must validate, carry an
+// ID never seen by this session, and arrive at or after the current
+// virtual clock (a session cannot rewrite the past). Tasks become
+// visible to the policy when virtual time reaches their arrival.
+func (s *Session) Inject(tasks model.TaskSet) error {
+	if s.finished {
+		return fmt.Errorf("sim: session already finished")
+	}
+	for _, t := range tasks {
+		if err := t.Validate(); err != nil {
+			return err
+		}
+		if s.ids[t.ID] {
+			return fmt.Errorf("sim: duplicate task ID %d", t.ID)
+		}
+		if t.Arrival < s.e.clock {
+			return fmt.Errorf("sim: task %d arrives at %v, before the session clock %v", t.ID, t.Arrival, s.e.clock)
+		}
+	}
+	e := s.e
+	sorted := tasks.Clone()
+	sorted.ByArrival()
+	for _, t := range sorted {
+		s.ids[t.ID] = true
+		ts := &TaskState{Task: t, Remaining: t.Cycles}
+		e.tasks = append(e.tasks, ts)
+		e.orderCtr++
+		heap.Push(&e.events, event{time: t.Arrival, kind: evArrival, order: e.orderCtr, task: ts})
+	}
+	e.undone += len(sorted)
+	if e.cfg.TickInterval > 0 && math.IsNaN(s.tickAt) && len(sorted) > 0 {
+		s.tickAt = e.clock + e.cfg.TickInterval
+		e.orderCtr++
+		heap.Push(&e.events, event{time: s.tickAt, kind: evTick, order: e.orderCtr})
+	}
+	return nil
+}
+
+// step processes the earliest queued event if its time is at most
+// limit; it reports whether an event was consumed. Mirrors one
+// iteration of the original Run loop, including the undone>0 guard:
+// once every task has completed the session parks, leaving any future
+// tick in the queue.
+func (s *Session) step(limit float64) (bool, error) {
+	e := s.e
+	if e.events.Len() == 0 || e.undone == 0 {
+		return false, nil
+	}
+	if next := e.events[0].time; next > limit {
+		return false, nil
+	}
+	ev := heap.Pop(&e.events).(event)
+	if ev.time > s.maxTime {
+		return false, fmt.Errorf("sim: exceeded max time %v (policy %q stuck?)", s.maxTime, e.cfg.Policy.Name())
+	}
+	if ev.time < e.clock {
+		return false, fmt.Errorf("sim: time went backwards (%v -> %v)", e.clock, ev.time)
+	}
+	e.clock = ev.time
+	switch ev.kind {
+	case evCompletion:
+		c := e.cores[ev.core]
+		if c.run == nil || c.run.seq != ev.seq {
+			return true, e.err // superseded by a reschedule
+		}
+		e.settleAll()
+		ts := c.run.ts
+		if ts.Remaining > 1e-6 {
+			return false, fmt.Errorf("sim: task %d completed with %v Gcycles left", ts.Task.ID, ts.Remaining)
+		}
+		ts.Remaining = 0
+		ts.Done = true
+		ts.Completion = e.clock
+		c.run = nil
+		c.accountBusy(e.clock)
+		c.isBusy = false
+		e.active--
+		e.undone--
+		e.emit(obs.Event{Kind: obs.KindComplete, Core: ev.core, Task: ts.Task.ID,
+			Cycles: ts.Task.Cycles, Energy: ts.Energy})
+		e.emit(obs.Event{Kind: obs.KindCoreIdle, Core: ev.core, Task: -1})
+		e.rescheduleAll()
+		e.cfg.Policy.OnCompletion(e, ev.core, ts)
+	case evTick:
+		s.tickAt = math.NaN()
+		for _, c := range e.cores {
+			c.accountBusy(e.clock)
+			c.lastFraction = c.busyInWindow / e.cfg.TickInterval
+			c.busyInWindow = 0
+		}
+		e.cfg.Policy.OnTick(e)
+		if e.undone > 0 {
+			s.tickAt = e.clock + e.cfg.TickInterval
+			e.orderCtr++
+			heap.Push(&e.events, event{time: s.tickAt, kind: evTick, order: e.orderCtr})
+		}
+	case evArrival:
+		e.emit(obs.Event{Kind: obs.KindArrival, Core: -1, Task: ev.task.Task.ID,
+			Cycles: ev.task.Task.Cycles, Remaining: ev.task.Remaining,
+			Interactive: ev.task.Task.Interactive})
+		e.cfg.Policy.OnArrival(e, ev.task)
+	}
+	return true, e.err
+}
+
+// AdvanceTo processes every event up to and including virtual time t,
+// then sets the clock to t. It models "the wall says it is now t":
+// tasks arriving later stay pending, running work keeps running.
+func (s *Session) AdvanceTo(t float64) error {
+	if s.finished {
+		return fmt.Errorf("sim: session already finished")
+	}
+	if t < s.e.clock {
+		return fmt.Errorf("sim: cannot advance backwards (%v -> %v)", s.e.clock, t)
+	}
+	if t > s.maxTime {
+		return fmt.Errorf("sim: advance target %v exceeds max time %v", t, s.maxTime)
+	}
+	for {
+		ok, err := s.step(t)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+	}
+	if t > s.e.clock {
+		s.e.clock = t
+	}
+	return nil
+}
+
+// Drain runs the session until every injected task has completed.
+func (s *Session) Drain() error {
+	if s.finished {
+		return fmt.Errorf("sim: session already finished")
+	}
+	for s.e.undone > 0 {
+		ok, err := s.step(math.Inf(1))
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("sim: %d tasks never completed under policy %q (deadlock?)", s.e.undone, s.e.cfg.Policy.Name())
+		}
+	}
+	return nil
+}
+
+// Finish drains the session and summarizes it. The session cannot be
+// used afterwards.
+func (s *Session) Finish() (*Result, error) {
+	if s.finished {
+		return nil, fmt.Errorf("sim: session already finished")
+	}
+	if err := s.Drain(); err != nil {
+		return nil, err
+	}
+	s.finished = true
+	if len(s.e.tasks) == 0 {
+		return nil, fmt.Errorf("sim: session finished with no tasks")
+	}
+	res, err := s.e.finalize(s.params)
+	if err != nil {
+		return nil, err
+	}
+	if s.inv != nil {
+		if err := s.inv.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,253 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dvfsched/internal/model"
+	"dvfsched/internal/obs"
+	"dvfsched/internal/platform"
+)
+
+var sessionParams = model.CostParams{Re: 0.1, Rt: 0.4}
+
+func sessionTasks(n int, seed int64) model.TaskSet {
+	rng := rand.New(rand.NewSource(seed))
+	tasks := make(model.TaskSet, n)
+	at := 0.0
+	for i := range tasks {
+		at += rng.Float64() * 5
+		tasks[i] = model.Task{
+			ID:          i,
+			Cycles:      1 + rng.Float64()*50,
+			Arrival:     at,
+			Deadline:    model.NoDeadline,
+			Interactive: rng.Intn(3) == 0,
+		}
+	}
+	return tasks
+}
+
+// fifoSession is the engine_test fifo policy, re-declared to keep this
+// file self-contained with a preemption-free placement rule.
+type sessionFIFO struct{ queue []*TaskState }
+
+func (f *sessionFIFO) Name() string   { return "session-fifo" }
+func (f *sessionFIFO) Init(e *Engine) {}
+func (f *sessionFIFO) OnArrival(e *Engine, t *TaskState) {
+	f.queue = append(f.queue, t)
+	f.drain(e)
+}
+func (f *sessionFIFO) OnCompletion(e *Engine, coreID int, _ *TaskState) { f.drain(e) }
+func (f *sessionFIFO) OnTick(e *Engine)                                 {}
+func (f *sessionFIFO) drain(e *Engine) {
+	for len(f.queue) > 0 {
+		placed := false
+		for i := 0; i < e.NumCores(); i++ {
+			if e.Idle(i) {
+				t := f.queue[0]
+				f.queue = f.queue[1:]
+				if err := e.Start(i, t, e.RateTable(i).Max()); err != nil {
+					panic(err)
+				}
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return
+		}
+	}
+}
+
+// TestSessionMatchesRun injects the same trace in several batches
+// (always before each batch's earliest arrival) and checks the final
+// result is identical to a one-shot Run.
+func TestSessionMatchesRun(t *testing.T) {
+	tasks := sessionTasks(40, 7)
+	plat := platform.Homogeneous(2, platform.TableII(), platform.Ideal{})
+
+	want, err := Run(Config{Platform: plat, Policy: &sessionFIFO{}}, tasks, sessionParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := OpenSession(Config{Platform: plat, Policy: &sessionFIFO{}}, sessionParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inject in three chunks, advancing only to just before the next
+	// chunk's first arrival so later arrivals still interleave with
+	// running work.
+	chunks := []model.TaskSet{tasks[:15], tasks[15:30], tasks[30:]}
+	for i, chunk := range chunks {
+		if i > 0 {
+			first := chunk[0].Arrival
+			for _, task := range chunk {
+				if task.Arrival < first {
+					first = task.Arrival
+				}
+			}
+			if err := s.AdvanceTo(first * 0.999); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Inject(chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.TotalCost != want.TotalCost || got.TotalEnergy != want.TotalEnergy ||
+		got.Makespan != want.Makespan || got.TurnaroundSum != want.TurnaroundSum {
+		t.Fatalf("session diverged from Run:\n got %+v\nwant %+v", got, want)
+	}
+	for i := range want.Tasks {
+		if got.Tasks[i].Completion != want.Tasks[i].Completion {
+			t.Fatalf("task %d completion %v != %v", i, got.Tasks[i].Completion, want.Tasks[i].Completion)
+		}
+	}
+}
+
+func TestSessionRejectsPastArrivalsAndDuplicates(t *testing.T) {
+	plat := platform.Homogeneous(1, platform.TableII(), platform.Ideal{})
+	s, err := OpenSession(Config{Platform: plat, Policy: &sessionFIFO{}}, sessionParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Inject(model.TaskSet{{ID: 0, Cycles: 5, Deadline: model.NoDeadline}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Inject(model.TaskSet{{ID: 0, Cycles: 5, Deadline: model.NoDeadline}}); err == nil ||
+		!strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate ID accepted: %v", err)
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Clock() <= 0 {
+		t.Fatalf("clock did not advance: %v", s.Clock())
+	}
+	past := model.TaskSet{{ID: 1, Cycles: 5, Arrival: s.Clock() / 2, Deadline: model.NoDeadline}}
+	if err := s.Inject(past); err == nil || !strings.Contains(err.Error(), "before the session clock") {
+		t.Fatalf("past arrival accepted: %v", err)
+	}
+}
+
+func TestSessionAdvanceLeavesFutureWorkPending(t *testing.T) {
+	plat := platform.Homogeneous(1, platform.TableII(), platform.Ideal{})
+	s, err := OpenSession(Config{Platform: plat, Policy: &sessionFIFO{}}, sessionParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := model.TaskSet{
+		{ID: 0, Cycles: 1, Arrival: 0, Deadline: model.NoDeadline},
+		{ID: 1, Cycles: 1, Arrival: 1000, Deadline: model.NoDeadline},
+	}
+	if err := s.Inject(tasks); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AdvanceTo(500); err != nil {
+		t.Fatal(err)
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("want 1 pending after partial advance, got %d", s.Pending())
+	}
+	if s.Clock() != 500 {
+		t.Fatalf("clock %v != 500", s.Clock())
+	}
+	if err := s.AdvanceTo(499); err == nil {
+		t.Fatal("backwards advance accepted")
+	}
+	res, err := s.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 1000 {
+		t.Fatalf("second task should complete after its arrival: makespan %v", res.Makespan)
+	}
+	if _, err := s.Finish(); err == nil {
+		t.Fatal("double Finish accepted")
+	}
+	if err := s.Inject(tasks); err == nil {
+		t.Fatal("Inject after Finish accepted")
+	}
+}
+
+// TestSessionEmptyFinish checks that finishing a session that never
+// received tasks is an explicit error, not a zero Result.
+func TestSessionEmptyFinish(t *testing.T) {
+	plat := platform.Homogeneous(1, platform.TableII(), platform.Ideal{})
+	s, err := OpenSession(Config{Platform: plat, Policy: &sessionFIFO{}}, sessionParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Finish(); err == nil {
+		t.Fatal("empty Finish accepted")
+	}
+}
+
+// TestSessionEventStream checks the event trace of an incrementally
+// driven session stays well-formed (monotone Seq, balanced
+// start/complete pairs).
+func TestSessionEventStream(t *testing.T) {
+	rec := &obs.Recorder{}
+	plat := platform.Homogeneous(2, platform.TableII(), platform.Ideal{})
+	s, err := OpenSession(Config{Platform: plat, Policy: &sessionFIFO{}, Sink: rec}, sessionParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := sessionTasks(20, 11)
+	if err := s.Inject(tasks[:10]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AdvanceTo(tasks[10].Arrival - 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Inject(tasks[10:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	events := rec.Events()
+	var lastSeq uint64
+	starts, completes := 0, 0
+	for _, ev := range events {
+		if ev.Seq <= lastSeq {
+			t.Fatalf("non-monotone Seq %d after %d", ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+		switch ev.Kind {
+		case obs.KindStart:
+			starts++
+		case obs.KindComplete:
+			completes++
+		}
+	}
+	if completes != len(tasks) {
+		t.Fatalf("want %d completes, got %d", len(tasks), completes)
+	}
+	if starts < completes {
+		t.Fatalf("starts %d < completes %d", starts, completes)
+	}
+}
+
+func TestSessionMaxTimeGuard(t *testing.T) {
+	plat := platform.Homogeneous(1, platform.TableII(), platform.Ideal{})
+	s, err := OpenSession(Config{Platform: plat, Policy: &sessionFIFO{}, MaxTime: 10}, sessionParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AdvanceTo(11); err == nil {
+		t.Fatal("advance beyond MaxTime accepted")
+	}
+	if err := s.AdvanceTo(math.Inf(1)); err == nil {
+		t.Fatal("infinite advance accepted")
+	}
+}

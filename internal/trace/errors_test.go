@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// validLines renders n valid records, one per line.
+func validLines(n int) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, `{"id":%d,"cycles":%d,"arrival":%d}`+"\n", i, i+1, i)
+	}
+	return sb.String()
+}
+
+// TestReadTruncatedFile cuts a trace mid-record — the classic
+// interrupted download / partial write — and requires a parse error
+// naming the broken line, at every cut point inside the final record.
+func TestReadTruncatedFile(t *testing.T) {
+	full := validLines(3)
+	lastStart := strings.LastIndex(strings.TrimRight(full, "\n"), "\n") + 1
+	for cut := lastStart + 1; cut < len(full)-1; cut++ {
+		_, err := Read(strings.NewReader(full[:cut]))
+		if err == nil {
+			t.Fatalf("cut at %d accepted: %q", cut, full[:cut])
+		}
+		if !strings.Contains(err.Error(), "line 3") {
+			t.Fatalf("cut at %d: error %q does not name line 3", cut, err)
+		}
+	}
+	// A cut exactly on a line boundary is indistinguishable from a
+	// shorter valid trace: it must parse, with fewer tasks.
+	tasks, err := Read(strings.NewReader(full[:lastStart]))
+	if err != nil {
+		t.Fatalf("line-boundary cut rejected: %v", err)
+	}
+	if len(tasks) != 2 {
+		t.Fatalf("line-boundary cut has %d tasks, want 2", len(tasks))
+	}
+}
+
+// TestReadBadRecordMidStream corrupts one line in the middle of an
+// otherwise valid trace: the reader must reject the whole trace (no
+// partial task set) and name the offending line.
+func TestReadBadRecordMidStream(t *testing.T) {
+	cases := []struct {
+		name string
+		bad  string
+	}{
+		{"malformed json", `{"id":10,"cycles":`},
+		{"wrong json type", `["not","an","object"]`},
+		{"non-finite deadline", `{"id":10,"cycles":5,"arrival":1,"deadline":1e999}`},
+		{"binary garbage", "\x00\xff\xfe"},
+	}
+	for _, tc := range cases {
+		in := validLines(2) + tc.bad + "\n" + `{"id":11,"cycles":5,"arrival":2}` + "\n"
+		tasks, err := Read(strings.NewReader(in))
+		if err == nil {
+			t.Errorf("%s: accepted with %d tasks", tc.name, len(tasks))
+			continue
+		}
+		if tasks != nil {
+			t.Errorf("%s: returned a partial task set alongside the error", tc.name)
+		}
+		if !strings.Contains(err.Error(), "line 3") {
+			t.Errorf("%s: error %q does not name line 3", tc.name, err)
+		}
+	}
+}
+
+// TestReadSemanticErrorMidStream checks records that parse but fail
+// validation (the error then comes from the task set, not the line
+// scanner).
+func TestReadSemanticErrorMidStream(t *testing.T) {
+	in := validLines(2) + `{"id":0,"cycles":9,"arrival":5}` + "\n" // duplicate ID 0
+	if _, err := Read(strings.NewReader(in)); err == nil {
+		t.Error("duplicate ID mid-stream accepted")
+	}
+}
+
+// failingReader yields its payload, then a non-EOF error — a stand-in
+// for a dropped connection or failing disk.
+type failingReader struct {
+	data []byte
+	err  error
+}
+
+func (f *failingReader) Read(p []byte) (int, error) {
+	if len(f.data) == 0 {
+		return 0, f.err
+	}
+	n := copy(p, f.data)
+	f.data = f.data[n:]
+	return n, nil
+}
+
+// TestReadPropagatesIOError requires mid-stream transport errors to
+// surface (wrapped), not to be swallowed as a short valid trace.
+func TestReadPropagatesIOError(t *testing.T) {
+	sentinel := errors.New("connection reset")
+	_, err := Read(&failingReader{data: []byte(validLines(2)), err: sentinel})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped %v", err, sentinel)
+	}
+}
+
+// TestReadOversizedLine exceeds the scanner's 16 MiB line budget and
+// expects a clean bufio.ErrTooLong, not an OOM or silent truncation.
+func TestReadOversizedLine(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(`{"id":1,"cycles":2,"arrival":0,"name":"`)
+	buf.Write(bytes.Repeat([]byte("x"), 17*1024*1024))
+	buf.WriteString("\"}\n")
+	_, err := Read(&buf)
+	if !errors.Is(err, bufio.ErrTooLong) {
+		t.Fatalf("err = %v, want bufio.ErrTooLong", err)
+	}
+}
+
+// TestReadEOFWithoutNewline accepts a final record with no trailing
+// newline — the scanner treats EOF as a line end.
+func TestReadEOFWithoutNewline(t *testing.T) {
+	in := strings.TrimRight(validLines(2), "\n")
+	tasks, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 2 {
+		t.Fatalf("tasks = %d, want 2", len(tasks))
+	}
+}

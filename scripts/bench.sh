@@ -1,0 +1,45 @@
+#!/bin/sh
+# Benchmark the hot packages and write a machine-readable baseline.
+#
+# Usage: scripts/bench.sh [output.json]
+#
+# Runs `go test -bench` over the performance-sensitive packages
+# (envelope construction, the order-statistic tree, the dynamic
+# single-core scheduler, the LMC online policy, and the HTTP service)
+# and converts the results into a JSON array so successive PRs can
+# diff ns/op and allocs/op mechanically. BENCHTIME overrides the
+# per-benchmark budget (default 0.3s; use e.g. BENCHTIME=2s for a
+# lower-variance baseline).
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_PR2.json}
+BENCHTIME=${BENCHTIME:-0.3s}
+PKGS="./internal/envelope ./internal/rangetree ./internal/dynsched ./internal/online ./internal/server"
+
+TMP=$(mktemp)
+trap 'rm -f "$TMP"' EXIT
+
+go test -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" $PKGS | tee "$TMP"
+
+awk '
+BEGIN { print "["; first = 1 }
+/^pkg: / { pkg = $2 }
+/^Benchmark/ {
+    ns = ""; bpo = ""; apo = ""
+    for (i = 3; i <= NF; i++) {
+        if ($i == "ns/op") ns = $(i-1)
+        if ($i == "B/op") bpo = $(i-1)
+        if ($i == "allocs/op") apo = $(i-1)
+    }
+    if (ns == "") next
+    if (!first) printf(",\n")
+    first = 0
+    printf("  {\"package\": \"%s\", \"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", pkg, $1, $2, ns)
+    if (bpo != "") printf(", \"bytes_per_op\": %s, \"allocs_per_op\": %s", bpo, apo)
+    printf("}")
+}
+END { print "\n]" }
+' "$TMP" > "$OUT"
+
+echo "wrote $OUT"

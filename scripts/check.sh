@@ -12,4 +12,7 @@ echo "== go test -race =="
 go test -race ./...
 echo "== benchmark smoke (1 iteration each) =="
 go test -run='^$' -bench=. -benchtime=1x ./...
+echo "== fuzz smoke (5s each) =="
+go test -fuzz=FuzzInsertDelete -fuzztime=5s ./internal/rangetree
+go test -fuzz=FuzzDynamicCost -fuzztime=5s ./internal/dynsched
 echo "OK"

@@ -1,0 +1,37 @@
+#!/bin/sh
+# Smoke-test the service daemon: boot dvfschedd on an ephemeral port,
+# check /healthz, run one /v1/plan request, and verify a clean SIGTERM
+# shutdown. Exits non-zero on any failure.
+set -eu
+cd "$(dirname "$0")/.."
+
+TMP=$(mktemp -d)
+trap 'kill "$PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/dvfschedd" ./cmd/dvfschedd
+"$TMP/dvfschedd" -addr 127.0.0.1:0 > "$TMP/out" 2>&1 &
+PID=$!
+
+# The first stdout line is "listening on http://HOST:PORT".
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^listening on //p' "$TMP/out" | head -1)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "serve-smoke: daemon never reported its address"; cat "$TMP/out"; exit 1; }
+echo "serve-smoke: daemon at $ADDR"
+
+curl -fsS "$ADDR/healthz" | grep -q '"status": "ok"' || {
+    echo "serve-smoke: /healthz failed"; exit 1; }
+
+curl -fsS "$ADDR/v1/plan" -d '{
+  "cores": 4,
+  "tasks": [{"id": 0, "cycles": 120}, {"id": 1, "cycles": 40}, {"id": 2, "cycles": 7}]
+}' | grep -q '"total_cost"' || { echo "serve-smoke: /v1/plan failed"; exit 1; }
+
+kill -TERM "$PID"
+wait "$PID" || { echo "serve-smoke: daemon exited non-zero"; cat "$TMP/out"; exit 1; }
+grep -q '^shutdown complete$' "$TMP/out" || {
+    echo "serve-smoke: no clean shutdown"; cat "$TMP/out"; exit 1; }
+echo "serve-smoke: OK"
