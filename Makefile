@@ -1,11 +1,16 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke fuzz-smoke bench serve-smoke golden
+.PHONY: check vet lint build test race bench-smoke fuzz-smoke bench serve-smoke golden
 
-check: vet build race bench-smoke fuzz-smoke
+check: vet lint build race bench-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
+
+# Repo-specific invariants: float equality, nondeterminism in the
+# engine packages, blocking under locks, dropped hot-path write errors.
+lint:
+	$(GO) run ./cmd/dvfslint ./...
 
 build:
 	$(GO) build ./...

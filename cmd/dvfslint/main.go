@@ -1,0 +1,123 @@
+// Command dvfslint runs the scheduler's domain static-analysis suite
+// (internal/lint) over the module: floatcmp, nondeterminism,
+// mutexblock and errcheck-hot, plus directive hygiene. It is wired
+// into `make lint` and `make check`; CI consumes -json.
+//
+// Usage:
+//
+//	dvfslint [-json] [-list] [packages...]
+//
+// With no package arguments (or "./...") the whole module is checked.
+// Arguments select packages by module-relative directory, e.g.
+// "internal/model" or "./internal/server". Exit status is 0 when
+// clean, 1 when findings remain, 2 on load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dvfsched/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("dvfslint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	suite := lint.DefaultSuite()
+	if *list {
+		for _, a := range suite.Analyzers {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "dvfslint:", err)
+		return 2
+	}
+	root, err := lint.FindModuleRoot(wd)
+	if err != nil {
+		fmt.Fprintln(stderr, "dvfslint:", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "dvfslint:", err)
+		return 2
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintln(stderr, "dvfslint:", err)
+		return 2
+	}
+	pkgs = selectPackages(pkgs, fs.Args())
+	if len(pkgs) == 0 {
+		fmt.Fprintln(stderr, "dvfslint: no packages matched")
+		return 2
+	}
+
+	diags := suite.Run(pkgs)
+	if *jsonOut {
+		err = lint.WriteJSON(stdout, root, diags)
+	} else {
+		err = lint.WriteText(stdout, root, diags)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "dvfslint:", err)
+		return 2
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// selectPackages filters loaded packages by the command-line patterns:
+// "./..." (or no patterns) keeps everything, otherwise a pattern keeps
+// packages whose module-relative path equals it or lives under it.
+func selectPackages(pkgs []*lint.Package, patterns []string) []*lint.Package {
+	if len(patterns) == 0 {
+		return pkgs
+	}
+	keepAll := false
+	var prefixes []string
+	for _, p := range patterns {
+		p = filepath.ToSlash(p)
+		p = strings.TrimPrefix(p, "./")
+		if p == "..." || p == "" {
+			keepAll = true
+			continue
+		}
+		recursive := strings.HasSuffix(p, "/...")
+		p = strings.TrimSuffix(p, "/...")
+		prefixes = append(prefixes, p)
+		_ = recursive // a bare path already matches its whole subtree
+	}
+	if keepAll {
+		return pkgs
+	}
+	var out []*lint.Package
+	for _, pkg := range pkgs {
+		for _, pre := range prefixes {
+			if pkg.Rel == pre || strings.HasPrefix(pkg.Rel, pre+"/") {
+				out = append(out, pkg)
+				break
+			}
+		}
+	}
+	return out
+}

@@ -192,7 +192,7 @@ func checkPlanPlane(opts options, rng *rand.Rand, st *clientStats) error {
 	if !second.Cached {
 		return fmt.Errorf("identical repost was not served from cache")
 	}
-	if second.TotalCost != first.TotalCost {
+	if !model.ApproxEq(second.TotalCost, first.TotalCost, model.DefaultEps) {
 		return fmt.Errorf("cache changed the answer: %v vs %v", second.TotalCost, first.TotalCost)
 	}
 	st.cacheHits++
@@ -287,7 +287,7 @@ func replayMatchesDrain(spec server.PlatformSpec, events []obs.Event, drain serv
 		sink.Emit(ev)
 	}
 	snap := reg.Snapshot()
-	if got := snap.Counters["sim.tasks.completed"]; got != float64(drain.Tasks) {
+	if got := snap.Counters["sim.tasks.completed"]; !model.ApproxEq(got, float64(drain.Tasks), model.DefaultEps) {
 		return fmt.Errorf("trace completes %v tasks, drain reports %d", got, drain.Tasks)
 	}
 	cost := spec.Re*snap.Counters["sim.energy_j"] + spec.Rt*snap.Histograms["sim.turnaround_s"].Sum

@@ -65,7 +65,9 @@ func main() {
 		joules, makespan, total, eCost, tCost)
 
 	// Compare: everything at maximum frequency, same placement rule.
-	maxOnly, err := rates.Restrict(func(l model.RateLevel) bool { return l.Rate == rates.Max().Rate })
+	maxOnly, err := rates.Restrict(func(l model.RateLevel) bool {
+		return model.ApproxEq(l.Rate, rates.Max().Rate, model.DefaultEps)
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

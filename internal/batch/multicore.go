@@ -38,6 +38,7 @@ type slotHeap []slot
 
 func (h slotHeap) Len() int { return len(h) }
 func (h slotHeap) Less(i, j int) bool {
+	//dvfslint:allow floatcmp heap ordering needs a strict weak order; epsilon equality is intransitive
 	if h[i].cost != h[j].cost {
 		return h[i].cost < h[j].cost
 	}

@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"dvfsched/internal/batch"
 	"dvfsched/internal/envelope"
@@ -97,6 +98,7 @@ func (s *Scheduler) RunOnline(tasks model.TaskSet) (*sim.Result, error) {
 		return nil, err
 	}
 	lmc.Metrics = s.Metrics
+	lmc.Clock = time.Now
 	return sim.Run(sim.Config{Platform: s.plat, Policy: lmc, Sink: s.Sink}, tasks, s.params)
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"dvfsched/internal/model"
 	"dvfsched/internal/online"
@@ -28,6 +29,7 @@ func (s *Scheduler) OpenOnline() (*OnlineSession, error) {
 		return nil, err
 	}
 	lmc.Metrics = s.Metrics
+	lmc.Clock = time.Now
 	sess, err := sim.OpenSession(sim.Config{Platform: s.plat, Policy: lmc, Sink: s.Sink}, s.params)
 	if err != nil {
 		return nil, err

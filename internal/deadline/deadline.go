@@ -40,6 +40,7 @@ type Schedule struct {
 func EDFOrder(tasks model.TaskSet) model.TaskSet {
 	out := tasks.Clone()
 	sort.SliceStable(out, func(i, j int) bool {
+		//dvfslint:allow floatcmp sort tie-break needs a strict weak order; epsilon equality is intransitive
 		if out[i].Deadline != out[j].Deadline {
 			return out[i].Deadline < out[j].Deadline
 		}
@@ -151,7 +152,7 @@ func MinEnergyDP(tasks model.TaskSet, rates *model.RateTable, resolution float64
 			}
 			energy := model.TaskEnergy(t.Cycles, l)
 			for from := 0; from+durBuckets <= limit; from++ {
-				if cur[from] == inf {
+				if cur[from] >= inf {
 					continue
 				}
 				to := from + durBuckets

@@ -55,7 +55,7 @@ func MinTimeDP(tasks model.TaskSet, rates *model.RateTable, energyBudget, resolu
 				eBuckets = 1
 			}
 			for from := 0; from+eBuckets < buckets; from++ {
-				if cur[from] == inf {
+				if cur[from] >= inf {
 					continue
 				}
 				elapsed := cur[from] + dur
@@ -86,7 +86,7 @@ func MinTimeDP(tasks model.TaskSet, rates *model.RateTable, energyBudget, resolu
 		cur, next = next, cur
 	}
 
-	if cur[buckets-1] == inf {
+	if cur[buckets-1] >= inf {
 		return nil, fmt.Errorf("deadline: no schedule fits the %.3f J budget and the deadlines", energyBudget)
 	}
 

@@ -57,6 +57,7 @@ type Scheduler struct {
 	// metric handles; nil until Instrument is called.
 	insertCtr, deleteCtr *obs.Counter
 	updateNs             *obs.Histogram
+	clock                func() time.Time
 }
 
 // updateLatencyBuckets spans sub-microsecond range-tree updates
@@ -75,6 +76,24 @@ func (s *Scheduler) Instrument(reg *obs.Registry) {
 	s.insertCtr = reg.Counter("dynsched.inserts")
 	s.deleteCtr = reg.Counter("dynsched.deletes")
 	s.updateNs = reg.Histogram("rangetree.update_ns", updateLatencyBuckets)
+}
+
+// SetClock injects the wall clock used to time range-tree updates into
+// the "rangetree.update_ns" histogram. The scheduler itself is
+// deterministic, so it never reads time.Now on its own: callers that
+// want latency observations pass time.Now here (internal/core does),
+// while reproducible runs leave the clock nil and get counters only.
+func (s *Scheduler) SetClock(now func() time.Time) { s.clock = now }
+
+// observeUpdate starts timing one Insert/Delete; the returned func
+// records the elapsed nanoseconds. A nil clock or histogram makes both
+// halves no-ops.
+func (s *Scheduler) observeUpdate() func() {
+	if s.clock == nil || s.updateNs == nil {
+		return func() {}
+	}
+	t0 := s.clock()
+	return func() { s.updateNs.Observe(float64(s.clock().Sub(t0))) }
 }
 
 // New initializes the structure (Algorithm 4).
@@ -135,7 +154,7 @@ func (s *Scheduler) Insert(cycles float64) (*Handle, error) {
 	}
 	if s.insertCtr != nil {
 		s.insertCtr.Inc()
-		defer func(t0 time.Time) { s.updateNs.Observe(float64(time.Since(t0))) }(time.Now())
+		defer s.observeUpdate()()
 	}
 	node := s.tree.Insert(cycles)
 	kb := s.tree.Rank(node)
@@ -189,7 +208,7 @@ func (s *Scheduler) Delete(h *Handle) error {
 	}
 	if s.deleteCtr != nil {
 		s.deleteCtr.Inc()
-		defer func(t0 time.Time) { s.updateNs.Observe(float64(time.Since(t0))) }(time.Now())
+		defer s.observeUpdate()()
 	}
 	kb := s.tree.Rank(h.node)
 	// i starts at the last non-empty range (Algorithm 6 line 2).

@@ -41,7 +41,7 @@ func (c *Fig1Config) fillDefaults() error {
 	if c.Rates == nil {
 		full := platform.TableII()
 		two, err := full.Restrict(func(l model.RateLevel) bool {
-			return l.Rate == 1.6 || l.Rate == 3.0
+			return model.ApproxEq(l.Rate, 1.6, model.DefaultEps) || model.ApproxEq(l.Rate, 3.0, model.DefaultEps)
 		})
 		if err != nil {
 			return err

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"dvfsched/internal/model"
 	"dvfsched/internal/obs"
@@ -105,6 +106,7 @@ func Fig3(cfg Fig3Config) (*Fig3Result, error) {
 		return nil, err
 	}
 	lmcPolicy.Metrics = cfg.Metrics
+	lmcPolicy.Clock = time.Now
 	lmcRes, err := sim.Run(sim.Config{
 		Platform:       plat,
 		Policy:         lmcPolicy,

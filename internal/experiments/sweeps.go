@@ -69,7 +69,7 @@ func minRateShare(params model.CostParams, tasks model.TaskSet) float64 {
 	for _, cp := range plan.Cores {
 		for _, a := range cp.Sequence {
 			total += a.Task.Cycles
-			if a.Level.Rate == platform.TableII().Min().Rate {
+			if model.ApproxEq(a.Level.Rate, platform.TableII().Min().Rate, model.DefaultEps) {
 				min += a.Task.Cycles
 			}
 		}
@@ -100,13 +100,15 @@ func GranularitySweep(tasks model.TaskSet) ([]GranularityRow, error) {
 	}
 	full := platform.TableII()
 	three, err := full.Restrict(func(l model.RateLevel) bool {
-		return l.Rate == 1.6 || l.Rate == 2.4 || l.Rate == 3.0
+		return model.ApproxEq(l.Rate, 1.6, model.DefaultEps) ||
+			model.ApproxEq(l.Rate, 2.4, model.DefaultEps) ||
+			model.ApproxEq(l.Rate, 3.0, model.DefaultEps)
 	})
 	if err != nil {
 		return nil, err
 	}
 	two, err := full.Restrict(func(l model.RateLevel) bool {
-		return l.Rate == 1.6 || l.Rate == 3.0
+		return model.ApproxEq(l.Rate, 1.6, model.DefaultEps) || model.ApproxEq(l.Rate, 3.0, model.DefaultEps)
 	})
 	if err != nil {
 		return nil, err
@@ -121,7 +123,9 @@ func GranularitySweep(tasks model.TaskSet) ([]GranularityRow, error) {
 		joules, _, _ := plan.EnergyTime()
 		_, _, total := plan.Cost()
 
-		maxOnly, err := rt.Restrict(func(l model.RateLevel) bool { return l.Rate == rt.Max().Rate })
+		maxOnly, err := rt.Restrict(func(l model.RateLevel) bool {
+			return model.ApproxEq(l.Rate, rt.Max().Rate, model.DefaultEps)
+		})
 		if err != nil {
 			return GranularityRow{}, err
 		}

@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// directivePrefix introduces a suppression comment:
+//
+//	//dvfslint:allow <analyzer> <reason>
+//
+// The directive silences findings of the named analyzer on its own
+// line, or — when the comment stands alone — on the next line. A
+// reason is mandatory: suppressions document why the invariant is
+// safe to relax at that one site.
+const directivePrefix = "//dvfslint:"
+
+// directive is one parsed //dvfslint: comment.
+type directive struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	problem  string // non-empty for malformed directives
+	used     bool
+}
+
+// directiveSet indexes a package's directives by (file, line) for both
+// the directive's own line and the line below it.
+type directiveSet struct {
+	byLine map[string]map[int][]*directive
+	all    []*directive
+}
+
+// parseDirectives scans every comment in the package. known names the
+// valid analyzer identifiers; anything else is a malformed directive
+// (typos must not silently disable enforcement).
+func parseDirectives(pkg *Package, known map[string]bool) *directiveSet {
+	set := &directiveSet{byLine: map[string]map[int][]*directive{}}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				d := parseDirective(pkg.Position(c.Pos()), c.Text, known)
+				set.all = append(set.all, d)
+				if d.problem != "" {
+					continue
+				}
+				lines := set.byLine[d.pos.Filename]
+				if lines == nil {
+					lines = map[int][]*directive{}
+					set.byLine[d.pos.Filename] = lines
+				}
+				// A directive covers its own line (trailing comment)
+				// and the next line (standalone comment above).
+				lines[d.pos.Line] = append(lines[d.pos.Line], d)
+				lines[d.pos.Line+1] = append(lines[d.pos.Line+1], d)
+			}
+		}
+	}
+	return set
+}
+
+// parseDirective validates one //dvfslint: comment.
+func parseDirective(pos token.Position, text string, known map[string]bool) *directive {
+	d := &directive{pos: pos}
+	rest := strings.TrimPrefix(text, directivePrefix)
+	verb, args, _ := strings.Cut(rest, " ")
+	if verb != "allow" {
+		d.problem = "unknown dvfslint directive verb " + quote(verb) + " (want allow)"
+		return d
+	}
+	analyzer, reason, _ := strings.Cut(strings.TrimSpace(args), " ")
+	d.analyzer = analyzer
+	d.reason = strings.TrimSpace(reason)
+	switch {
+	case analyzer == "":
+		d.problem = "allow directive names no analyzer"
+	case !known[analyzer]:
+		d.problem = "allow directive names unknown analyzer " + quote(analyzer)
+	case d.reason == "":
+		d.problem = "allow directive for " + analyzer + " has no reason; justify the suppression"
+	}
+	return d
+}
+
+// quote wraps s in double quotes for error text.
+func quote(s string) string { return `"` + s + `"` }
+
+// filter drops diagnostics covered by a matching allow directive,
+// marking those directives used.
+func (s *directiveSet) filter(diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if s.suppresses(d) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func (s *directiveSet) suppresses(d Diagnostic) bool {
+	hit := false
+	for _, dir := range s.byLine[d.File][d.Line] {
+		if dir.analyzer == d.Analyzer {
+			dir.used = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// problems reports malformed and unused directives as diagnostics of
+// the pseudo-analyzer "directive", keeping every suppression in the
+// tree load-bearing.
+func (s *directiveSet) problems() []Diagnostic {
+	var out []Diagnostic
+	for _, d := range s.all {
+		msg := d.problem
+		if msg == "" && !d.used {
+			msg = "unused //dvfslint:allow " + d.analyzer + " directive (nothing to suppress here; delete it)"
+		}
+		if msg == "" {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Analyzer: "directive",
+			Pos:      d.pos,
+			File:     d.pos.Filename,
+			Line:     d.pos.Line,
+			Column:   d.pos.Column,
+			Message:  msg,
+		})
+	}
+	return out
+}

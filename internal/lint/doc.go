@@ -1,0 +1,31 @@
+// Package lint is dvfslint: a stdlib-only static-analysis suite that
+// mechanically enforces the scheduler's correctness invariants across
+// the whole module. The paper's guarantees (Thms 3-5, Eqs. 18-34) rely
+// on implementation discipline the compiler cannot check — monotone
+// rate/energy tables, reproducible event orderings, cost arithmetic
+// that never compares floats for equality — so the suite encodes them
+// as analyzers:
+//
+//   - floatcmp: no ==/!= on float-typed expressions; route through
+//     model.ApproxEq or suppress with a justified directive.
+//   - nondeterminism: the deterministic engine packages must not read
+//     wall-clock time, the global math/rand source, or iterate maps in
+//     an order-sensitive way.
+//   - mutexblock: no channel operations or blocking calls while a
+//     sync.Mutex/RWMutex is held (deadlock and tail-latency hazard in
+//     the serving planes).
+//   - errcheck-hot: writer/encoder error returns on the trace and wire
+//     hot paths must be checked.
+//
+// The suite is built purely on go/parser, go/ast, go/types and
+// go/token — no golang.org/x/tools — so the module stays
+// dependency-free. Findings can be suppressed, one line at a time,
+// with a justified directive:
+//
+//	//dvfslint:allow <analyzer> <reason>
+//
+// placed on the offending line or the line directly above it. Unused
+// and malformed directives are themselves reported, so every
+// suppression in the tree stays load-bearing: deleting one makes the
+// repo-wide run (and `make lint`) fail again.
+package lint

@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// errcheckHotPackages are the wire-format hot paths: the JSONL trace
+// codec and the HTTP serving plane. A swallowed write error there
+// silently truncates a trace or a response body, which downstream
+// replay (report.TimelineFromEvents) then misreads as a malformed
+// schedule.
+var errcheckHotPackages = map[string]bool{
+	"internal/trace":  true,
+	"internal/server": true,
+}
+
+// writerCallNames are the writer/encoder entry points whose error
+// returns must be checked in the hot packages.
+var writerCallNames = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"WriteJSON":   true,
+	"Encode":      true,
+	"Flush":       true,
+	"Close":       true,
+	"Fprint":      true,
+	"Fprintf":     true,
+	"Fprintln":    true,
+}
+
+// ErrcheckHotAnalyzer flags writer/encoder calls whose error result is
+// dropped — either as a bare expression statement or by assigning
+// every result to the blank identifier — inside the trace and server
+// packages. Deliberate discards (e.g. a response writer after the
+// header is committed) must carry a //dvfslint:allow errcheck-hot
+// directive stating why nothing can be done with the error.
+var ErrcheckHotAnalyzer = &Analyzer{
+	Name:    "errcheck-hot",
+	Doc:     "require checked errors on writer/encoder calls in the trace and wire hot paths",
+	Applies: func(rel string) bool { return errcheckHotPackages[rel] },
+	Run:     runErrcheckHot,
+}
+
+func runErrcheckHot(pass *Pass) {
+	pass.inspectFiles(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if name, ok := droppedWriterError(pass, n.X); ok {
+				pass.Report(n.Pos(), "unchecked error from %s: hot-path write failures must surface (check it or justify with //dvfslint:allow errcheck-hot)", name)
+			}
+		case *ast.AssignStmt:
+			if !allBlank(n.Lhs) || len(n.Rhs) != 1 {
+				return true
+			}
+			if name, ok := droppedWriterError(pass, n.Rhs[0]); ok {
+				pass.Report(n.Pos(), "error from %s discarded to _: hot-path write failures must surface (check it or justify with //dvfslint:allow errcheck-hot)", name)
+			}
+		}
+		return true
+	})
+}
+
+// allBlank reports whether every assignment target is the blank
+// identifier.
+func allBlank(lhs []ast.Expr) bool {
+	for _, e := range lhs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return len(lhs) > 0
+}
+
+// droppedWriterError reports whether e is a call to a writer/encoder
+// function that returns an error.
+func droppedWriterError(pass *Pass, e ast.Expr) (string, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	case *ast.Ident:
+		name = fun.Name
+	default:
+		return "", false
+	}
+	if !writerCallNames[name] {
+		return "", false
+	}
+	tv, ok := pass.Pkg.Info.Types[e]
+	if !ok || tv.Type == nil || !returnsError(tv.Type) {
+		return "", false
+	}
+	return callDisplayName(call), true
+}
+
+// returnsError reports whether a call result type is or ends in error.
+func returnsError(t types.Type) bool {
+	if tup, ok := t.(*types.Tuple); ok {
+		if tup.Len() == 0 {
+			return false
+		}
+		t = tup.At(tup.Len() - 1).Type()
+	}
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// callDisplayName renders the callee compactly, e.g. "enc.Encode".
+func callDisplayName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if x, ok := fun.X.(*ast.Ident); ok {
+			return x.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	case *ast.Ident:
+		return fun.Name
+	}
+	return "call"
+}

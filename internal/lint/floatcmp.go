@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmpAnalyzer flags == and != between float-typed expressions.
+// The cost model's guarantees (Eq. 8, Thms 3-5) evaporate when two
+// independently computed costs are compared for bit equality, so every
+// float comparison must either go through an epsilon helper
+// (model.ApproxEq) or carry a //dvfslint:allow floatcmp directive
+// explaining why bit equality is intended — table lookups of values
+// copied verbatim, sentinel encodings, exact-replay identities.
+//
+// Two comparison shapes are exempt by design:
+//
+//   - both operands are compile-time constants (the compiler folds
+//     them, so they cannot drift at run time);
+//   - one operand is the constant zero. Zero is exactly representable
+//     and `x == 0` tests "unset/empty/default", not equality of two
+//     computed values — the drift-prone shape always involves a
+//     computed operand on each side or a non-zero constant.
+var FloatCmpAnalyzer = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "forbid ==/!= on float-typed expressions outside epsilon helpers",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) {
+	info := pass.Pkg.Info
+	pass.inspectFiles(func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		xt, yt := info.Types[be.X], info.Types[be.Y]
+		if !isFloat(xt.Type) && !isFloat(yt.Type) {
+			return true
+		}
+		if xt.Value != nil && yt.Value != nil {
+			return true // constant-folded; cannot drift
+		}
+		if isZeroConst(xt) || isZeroConst(yt) {
+			return true // exact sentinel: zero means unset/empty
+		}
+		pass.Report(be.OpPos, "float comparison %s: use model.ApproxEq or justify exactness with a //dvfslint:allow floatcmp directive", be.Op)
+		return true
+	})
+}
+
+// isZeroConst reports whether the operand is a compile-time numeric
+// constant equal to zero.
+func isZeroConst(tv types.TypeAndValue) bool {
+	if tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}
+
+// isFloat reports whether t's core type is a floating-point or complex
+// basic type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// Diagnostic is one finding, positioned and attributed to an analyzer.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Column   int            `json:"column"`
+	Message  string         `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one invariant checker. Run inspects a package through
+// its Pass and reports findings; the suite applies directive
+// suppression afterwards.
+type Analyzer struct {
+	// Name is the identifier used in output and in allow directives.
+	Name string
+	// Doc is a one-line description for -list and the docs table.
+	Doc string
+	// Applies filters packages by module-relative path; nil means the
+	// analyzer runs everywhere.
+	Applies func(rel string) bool
+	// Run performs the analysis.
+	Run func(*Pass)
+}
+
+// Pass is one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	diags    *[]Diagnostic
+}
+
+// Report records a finding at pos.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Column:   position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Suite bundles analyzers and runs them with directive suppression.
+type Suite struct {
+	Analyzers []*Analyzer
+}
+
+// DefaultSuite returns the four domain analyzers in reporting order.
+func DefaultSuite() *Suite {
+	return &Suite{Analyzers: []*Analyzer{
+		FloatCmpAnalyzer,
+		NondeterminismAnalyzer,
+		MutexBlockAnalyzer,
+		ErrcheckHotAnalyzer,
+	}}
+}
+
+// Analyzer returns the suite analyzer with the given name, or nil.
+func (s *Suite) Analyzer(name string) *Analyzer {
+	for _, a := range s.Analyzers {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Run executes every applicable analyzer over every package, applies
+// //dvfslint:allow suppression, reports malformed and unused
+// directives, and returns the surviving diagnostics sorted by
+// position.
+func (s *Suite) Run(pkgs []*Package) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		out = append(out, s.RunPackage(pkg)...)
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+// RunPackage runs the suite over a single package.
+func (s *Suite) RunPackage(pkg *Package) []Diagnostic {
+	known := make(map[string]bool, len(s.Analyzers))
+	for _, a := range s.Analyzers {
+		known[a.Name] = true
+	}
+	dirs := parseDirectives(pkg, known)
+
+	var raw []Diagnostic
+	for _, a := range s.Analyzers {
+		if a.Applies != nil && !a.Applies(pkg.Rel) {
+			continue
+		}
+		pass := &Pass{Analyzer: a, Pkg: pkg, diags: &raw}
+		a.Run(pass)
+	}
+
+	out := dirs.filter(raw)
+	out = append(out, dirs.problems()...)
+	sortDiagnostics(out)
+	return out
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// inspectFiles walks every file of the pass's package.
+func (p *Pass) inspectFiles(visit func(ast.Node) bool) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, visit)
+	}
+}

@@ -1,0 +1,218 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantMarker extracts `want "regexp"` expectations from corpus
+// comments. A diagnostic is expected on the comment's own line.
+var wantMarker = regexp.MustCompile(`want "([^"]*)"`)
+
+// expectation is one parsed want marker.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// corpusCases maps each testdata corpus directory to the
+// module-relative path it poses as, which selects the analyzers that
+// apply to it.
+var corpusCases = map[string]string{
+	"floatcmp":    "internal/floatcmpcase",
+	"nondet":      "internal/sim",
+	"maporder":    "internal/obs",
+	"mutexblock":  "internal/mutexcase",
+	"errcheckhot": "internal/trace",
+	"directive":   "internal/directivecase",
+}
+
+func newTestLoader(t *testing.T) *Loader {
+	t.Helper()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// parseCorpus parses every .go file in testdata/src/<dir> into its own
+// FileSet and collects the want expectations from its comments.
+func parseCorpus(t *testing.T, dir string) (*token.FileSet, []*ast.File, []*expectation) {
+	t.Helper()
+	path := filepath.Join("testdata", "src", dir)
+	entries, err := os.ReadDir(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var wants []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(path, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing corpus %s: %v", e.Name(), err)
+		}
+		files = append(files, f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantMarker.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				wants = append(wants, &expectation{
+					file: pos.Filename,
+					line: pos.Line,
+					re:   regexp.MustCompile(m[1]),
+				})
+			}
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("no corpus files in %s", path)
+	}
+	return fset, files, wants
+}
+
+// TestCorpus runs the full suite over each corpus package and checks
+// its diagnostics against the want markers: every marker must be hit
+// and no diagnostic may appear without one. Deleting an analyzer makes
+// its positive cases fail; loosening one makes negatives fail.
+func TestCorpus(t *testing.T) {
+	loader := newTestLoader(t)
+	for dir, rel := range corpusCases {
+		t.Run(dir, func(t *testing.T) {
+			fset, files, wants := parseCorpus(t, dir)
+			pkg, err := loader.CheckPackage(rel, fset, files)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, terr := range pkg.TypeErrors {
+				t.Errorf("corpus does not type-check: %v", terr)
+			}
+			diags := DefaultSuite().RunPackage(pkg)
+			for _, d := range diags {
+				full := d.Analyzer + ": " + d.Message
+				found := false
+				for _, w := range wants {
+					if !w.matched && w.file == d.File && w.line == d.Line && w.re.MatchString(full) {
+						w.matched = true
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
+			}
+			for _, w := range wants {
+				if !w.matched {
+					t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+				}
+			}
+		})
+	}
+}
+
+// TestDirectiveMissingReason covers the one malformed-directive shape
+// the corpus cannot express inline (a want marker appended to the
+// directive would itself become the reason): a reasonless allow is a
+// finding and does not suppress.
+func TestDirectiveMissingReason(t *testing.T) {
+	const src = `package p
+
+func f(a, b float64) {
+	//dvfslint:allow floatcmp
+	_ = a == b
+}
+`
+	loader := newTestLoader(t)
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "reasonless.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.CheckPackage("internal/reasonless", fset, []*ast.File{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := DefaultSuite().RunPackage(pkg)
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (finding + malformed directive): %v", len(diags), diags)
+	}
+	if diags[0].Analyzer != "directive" || !strings.Contains(diags[0].Message, "no reason") {
+		t.Errorf("diag[0] = %s, want directive/no-reason", diags[0])
+	}
+	if diags[1].Analyzer != "floatcmp" {
+		t.Errorf("diag[1] = %s, want the unsuppressed floatcmp finding", diags[1])
+	}
+}
+
+// TestRepoIsLintClean is the acceptance gate: the suite over every
+// module package must report nothing. Each //dvfslint:allow in the
+// tree is load-bearing — removing one resurrects a finding or trips
+// the unused-directive check, so this test fails either way.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the stdlib closure from source")
+	}
+	loader := newTestLoader(t)
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; module discovery is broken", len(pkgs))
+	}
+	for _, d := range DefaultSuite().Run(pkgs) {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestWriteJSON pins the -json schema: findings array plus count, with
+// module-relative paths.
+func TestWriteJSON(t *testing.T) {
+	diags := []Diagnostic{{
+		Analyzer: "floatcmp",
+		File:     "/mod/internal/model/task.go",
+		Line:     12,
+		Column:   8,
+		Message:  "float comparison ==",
+	}}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, "/mod", diags); err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Findings []Diagnostic `json:"findings"`
+		Count    int          `json:"count"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &report); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if report.Count != 1 || len(report.Findings) != 1 {
+		t.Fatalf("report = %+v, want one finding", report)
+	}
+	got := report.Findings[0]
+	if got.File != "internal/model/task.go" || got.Line != 12 || got.Analyzer != "floatcmp" {
+		t.Errorf("finding = %+v, want relativized path and preserved fields", got)
+	}
+}

@@ -1,0 +1,307 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed and type-checked package of the module.
+type Package struct {
+	// Path is the full import path (module path + "/" + Rel).
+	Path string
+	// Rel is the directory relative to the module root, "" for the root
+	// package. Analyzers scope themselves by Rel.
+	Rel string
+	// Dir is the absolute directory.
+	Dir string
+	// Fset positions all Files.
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, in file-name order.
+	Files []*ast.File
+	// Types and Info hold the type-checker's results. Type checking is
+	// best-effort: stdlib import failures degrade to empty packages so
+	// analyzers still see local types.
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects non-fatal type-checker complaints.
+	TypeErrors []error
+}
+
+// Position resolves a token.Pos against the package's file set.
+func (p *Package) Position(pos token.Pos) token.Position { return p.Fset.Position(pos) }
+
+// Loader discovers, parses and type-checks module packages on demand.
+// It is built only on the standard library: repo-internal imports are
+// loaded recursively from source, and stdlib imports go through the
+// go/importer "source" importer (shared and cached across packages, so
+// the transitive stdlib closure is checked once per process).
+type Loader struct {
+	root    string
+	modPath string
+	fset    *token.FileSet
+	std     types.ImporterFrom
+	pkgs    map[string]*Package // keyed by Rel
+	loading map[string]bool     // import-cycle guard, keyed by Rel
+}
+
+func init() {
+	// The source importer honors build.Default; with cgo enabled it
+	// would try to invoke the cgo tool on packages like net. The pure-Go
+	// fallbacks are what the scheduler builds against anyway.
+	build.Default.CgoEnabled = false
+}
+
+// NewLoader returns a loader for the module rooted at root (the
+// directory containing go.mod).
+func NewLoader(root string) (*Loader, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		root:    root,
+		modPath: modPath,
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+	}, nil
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// modulePath reads the module directive from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	b, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: %w", err)
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// LoadAll discovers every package directory under the module root
+// (skipping testdata, vendor, hidden and underscore directories) and
+// loads each one, returning them sorted by Rel.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var rels []string
+	err := filepath.WalkDir(l.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			rel, err := filepath.Rel(l.root, path)
+			if err != nil {
+				return err
+			}
+			if rel == "." {
+				rel = ""
+			}
+			rels = append(rels, filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("lint: walking module: %w", err)
+	}
+	sort.Strings(rels)
+	pkgs := make([]*Package, 0, len(rels))
+	for _, rel := range rels {
+		pkg, err := l.Load(rel)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// hasGoFiles reports whether dir directly contains at least one
+// non-test .go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && isLintableFile(e.Name()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isLintableFile reports whether name is a non-test Go source file.
+func isLintableFile(name string) bool {
+	return strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go")
+}
+
+// Load parses and type-checks the package in the directory rel
+// (relative to the module root), reusing a previous load if present.
+func (l *Loader) Load(rel string) (*Package, error) {
+	if pkg, ok := l.pkgs[rel]; ok {
+		return pkg, nil
+	}
+	if l.loading[rel] {
+		return nil, fmt.Errorf("lint: import cycle through %q", rel)
+	}
+	l.loading[rel] = true
+	defer delete(l.loading, rel)
+
+	dir := filepath.Join(l.root, filepath.FromSlash(rel))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !isLintableFile(e.Name()) {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %w", e.Name(), err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+
+	path := l.modPath
+	if rel != "" {
+		path = l.modPath + "/" + rel
+	}
+	pkg := &Package{Path: path, Rel: rel, Dir: dir, Fset: l.fset}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{
+		Importer: &pkgImporter{l: l},
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, _ := conf.Check(path, l.fset, files, info)
+	pkg.Files, pkg.Types, pkg.Info = files, tpkg, info
+	l.pkgs[rel] = pkg
+	return pkg, nil
+}
+
+// CheckPackage type-checks an externally parsed file set as one
+// package, for the testdata corpus driver. rel poses as the package's
+// module-relative path so analyzers scope it like a real repo package.
+func (l *Loader) CheckPackage(rel string, fset *token.FileSet, files []*ast.File) (*Package, error) {
+	pkg := &Package{Path: l.modPath + "/" + rel, Rel: rel, Fset: fset}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{
+		Importer: &fsetImporter{l: l, fset: fset},
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, _ := conf.Check(pkg.Path, fset, files, info)
+	pkg.Files, pkg.Types, pkg.Info = files, tpkg, info
+	return pkg, nil
+}
+
+// pkgImporter resolves imports during module type-checking: module
+// paths recurse into the loader, everything else goes to the shared
+// source importer, degrading to an empty placeholder package when the
+// stdlib source is unavailable so analysis of local code continues.
+type pkgImporter struct {
+	l *Loader
+}
+
+func (im *pkgImporter) Import(path string) (*types.Package, error) {
+	return im.ImportFrom(path, "", 0)
+}
+
+func (im *pkgImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == im.l.modPath || strings.HasPrefix(path, im.l.modPath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, im.l.modPath), "/")
+		pkg, err := im.l.Load(rel)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return im.l.importStd(path)
+}
+
+// fsetImporter serves CheckPackage, which type-checks files positioned
+// in their own FileSet: module imports are refused (the corpus is
+// stdlib-only) and stdlib imports share the loader's cache.
+type fsetImporter struct {
+	l    *Loader
+	fset *token.FileSet
+}
+
+func (im *fsetImporter) Import(path string) (*types.Package, error) {
+	if path == im.l.modPath || strings.HasPrefix(path, im.l.modPath+"/") {
+		return nil, fmt.Errorf("lint: corpus packages must not import module packages (%s)", path)
+	}
+	return im.l.importStd(path)
+}
+
+// importStd imports a stdlib package through the shared source
+// importer, substituting an empty named package on failure.
+func (l *Loader) importStd(path string) (*types.Package, error) {
+	pkg, err := l.std.ImportFrom(path, l.root, 0)
+	if err == nil {
+		return pkg, nil
+	}
+	name := path
+	if i := strings.LastIndex(name, "/"); i >= 0 {
+		name = name[i+1:]
+	}
+	fake := types.NewPackage(path, name)
+	fake.MarkComplete()
+	return fake, nil
+}

@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// deterministicPackages are the engine packages whose runs must be
+// bit-reproducible: same workload in, same schedule, trace and cost
+// out. Wall-clock reads, the global math/rand source and
+// order-sensitive map iteration all break replayability (the report
+// package reconstructs Gantt charts and CSVs as a pure function of the
+// trace, and the service's plan cache keys on canonical hashes).
+var deterministicPackages = map[string]bool{
+	"internal/model":     true,
+	"internal/envelope":  true,
+	"internal/batch":     true,
+	"internal/online":    true,
+	"internal/dynsched":  true,
+	"internal/rangetree": true,
+	"internal/exact":     true,
+	"internal/sim":       true,
+}
+
+// mapOrderPackages additionally get the map-iteration check: they feed
+// output paths (metrics dumps, traces, goldens) whose bytes must be
+// deterministic even though the packages themselves may touch the
+// clock.
+var mapOrderPackages = map[string]bool{
+	"internal/obs": true,
+}
+
+// NondeterminismAnalyzer enforces reproducibility in the deterministic
+// engine packages: no time.Now, no global math/rand source, and no
+// order-sensitive map iteration. Map iteration is accepted when it is
+// provably order-insensitive (every statement only inserts into a map
+// or deletes from one) or follows the collect-then-sort idiom (the
+// statement after the loop is a sort/slices call).
+var NondeterminismAnalyzer = &Analyzer{
+	Name: "nondeterminism",
+	Doc:  "forbid time.Now, global math/rand and unsorted map iteration in deterministic packages",
+	Applies: func(rel string) bool {
+		return deterministicPackages[rel] || mapOrderPackages[rel]
+	},
+	Run: runNondeterminism,
+}
+
+func runNondeterminism(pass *Pass) {
+	full := deterministicPackages[pass.Pkg.Rel]
+	info := pass.Pkg.Info
+	pass.inspectFiles(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if !full {
+				return true
+			}
+			obj := info.Uses[n.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "time":
+				switch obj.Name() {
+				case "Now", "Since", "Until":
+					pass.Report(n.Pos(), "time.%s in deterministic package %s: inject a clock or move timing to the caller", obj.Name(), pass.Pkg.Rel)
+				}
+			case "math/rand", "math/rand/v2":
+				// Only package-level functions draw from the shared
+				// global source; methods run on an explicit generator.
+				fn, isFunc := obj.(*types.Func)
+				if isFunc && fn.Type().(*types.Signature).Recv() == nil && usesGlobalRandSource(obj.Name()) {
+					pass.Report(n.Pos(), "global math/rand source in deterministic package %s: thread a seeded *rand.Rand instead", pass.Pkg.Rel)
+				}
+			}
+		case *ast.BlockStmt:
+			checkMapRanges(pass, n.List)
+		case *ast.CaseClause:
+			checkMapRanges(pass, n.Body)
+		case *ast.CommClause:
+			checkMapRanges(pass, n.Body)
+		}
+		return true
+	})
+}
+
+// usesGlobalRandSource reports whether the math/rand package-level
+// function name draws from the shared global source. Constructors that
+// build explicit, seedable generators are the sanctioned alternative.
+func usesGlobalRandSource(name string) bool {
+	switch name {
+	case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+		return false
+	}
+	return true
+}
+
+// checkMapRanges flags order-sensitive map iteration inside a
+// statement list, where the following statement is visible so the
+// collect-then-sort idiom can be recognized.
+func checkMapRanges(pass *Pass, stmts []ast.Stmt) {
+	info := pass.Pkg.Info
+	for i, st := range stmts {
+		rs, ok := st.(*ast.RangeStmt)
+		if !ok {
+			continue
+		}
+		tv, ok := info.Types[rs.X]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			continue
+		}
+		if orderInsensitiveBody(pass, rs.Body.List) {
+			continue
+		}
+		if i+1 < len(stmts) && isSortStmt(stmts[i+1]) {
+			continue
+		}
+		pass.Report(rs.For, "map iteration order is randomized: sort the keys before ranging, or restructure into order-insensitive writes")
+	}
+}
+
+// orderInsensitiveBody reports whether every statement in a range body
+// is order-insensitive: an assignment whose targets are all map index
+// expressions, or a delete call. Anything else — appends, float
+// accumulation, I/O — can observe iteration order.
+func orderInsensitiveBody(pass *Pass, stmts []ast.Stmt) bool {
+	info := pass.Pkg.Info
+	for _, st := range stmts {
+		switch st := st.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				ix, ok := lhs.(*ast.IndexExpr)
+				if !ok {
+					return false
+				}
+				tv, ok := info.Types[ix.X]
+				if !ok || tv.Type == nil {
+					return false
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return false
+				}
+			}
+		case *ast.ExprStmt:
+			call, ok := st.X.(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "delete" {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return len(stmts) > 0
+}
+
+// isSortStmt reports whether st is a call into package sort or slices.
+func isSortStmt(st ast.Stmt) bool {
+	es, ok := st.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	return ok && (pkg.Name == "sort" || pkg.Name == "slices")
+}

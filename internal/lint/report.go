@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+)
+
+// WriteText renders diagnostics one per line in the conventional
+// file:line:col form, with paths relative to root when possible.
+func WriteText(w io.Writer, root string, diags []Diagnostic) error {
+	for _, d := range diags {
+		d = relativize(root, d)
+		if _, err := fmt.Fprintln(w, d.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonReport is the machine-readable output schema of dvfslint -json,
+// stable for CI annotation tooling.
+type jsonReport struct {
+	// Findings are the surviving diagnostics, sorted by position.
+	Findings []Diagnostic `json:"findings"`
+	// Count duplicates len(findings) for cheap consumption.
+	Count int `json:"count"`
+}
+
+// WriteJSON renders diagnostics as an indented JSON document.
+func WriteJSON(w io.Writer, root string, diags []Diagnostic) error {
+	rel := make([]Diagnostic, len(diags))
+	for i, d := range diags {
+		rel[i] = relativize(root, d)
+	}
+	b, err := json.MarshalIndent(jsonReport{Findings: rel, Count: len(rel)}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("lint: marshal report: %w", err)
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// relativize rewrites the diagnostic's file path relative to root.
+func relativize(root string, d Diagnostic) Diagnostic {
+	if root == "" {
+		return d
+	}
+	if rel, err := filepath.Rel(root, d.File); err == nil && !filepath.IsAbs(rel) && rel != "" && rel[0] != '.' {
+		d.File = filepath.ToSlash(rel)
+	}
+	return d
+}

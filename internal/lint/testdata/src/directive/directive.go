@@ -1,0 +1,21 @@
+// Corpus for //dvfslint:allow hygiene: a directive suppresses exactly
+// its own line and the line below, a reason is mandatory, and
+// malformed or unused directives are findings themselves — deleting a
+// load-bearing suppression or typoing one can never silently pass.
+package directivecase
+
+func compare(a, b float64) {
+	//dvfslint:allow floatcmp exact replay identity, verified by construction
+	_ = a == b // negative: suppressed by the standalone directive above
+
+	_ = a != b //dvfslint:allow floatcmp a trailing directive covers its own line
+
+	//dvfslint:allow floatcmp nothing on the next line compares floats // want "unused //dvfslint:allow floatcmp directive"
+	_ = a < b
+
+	//dvfslint:deny floatcmp no such verb // want "unknown dvfslint directive verb"
+
+	//dvfslint:allow flotcmp typo in the analyzer name // want "unknown analyzer"
+
+	_ = a == b // want "float comparison =="
+}

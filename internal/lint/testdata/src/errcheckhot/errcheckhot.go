@@ -1,0 +1,40 @@
+// Corpus for the errcheck-hot analyzer, posed as internal/trace:
+// writer/encoder calls whose error result is dropped, either as a
+// bare statement or by discarding every result to _.
+package errcheckcase
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// nopSink's Write returns nothing, so dropping its "result" is fine.
+type nopSink struct{}
+
+func (nopSink) Write(p []byte) {}
+
+func emit(w *bufio.Writer, enc *json.Encoder, buf *bytes.Buffer, out io.Writer, v any) error {
+	buf.WriteString("hdr")        // want "unchecked error from buf.WriteString"
+	enc.Encode(v)                 // want "unchecked error from enc.Encode"
+	fmt.Fprintf(out, "x=%d\n", 1) // want "unchecked error from fmt.Fprintf"
+	_ = w.Flush()                 // want "error from w.Flush discarded to _"
+
+	if err := enc.Encode(v); err != nil { // negative: checked
+		return err
+	}
+	if _, err := buf.WriteString("ok"); err != nil { // negative: checked
+		return err
+	}
+	n, err := out.Write([]byte("ok")) // negative: results bound to variables
+	_ = n
+	if err != nil {
+		return err
+	}
+	var s nopSink
+	s.Write(nil) // negative: this Write returns no error
+	buf.Reset()  // negative: not a writer entry point
+	return w.Flush()
+}

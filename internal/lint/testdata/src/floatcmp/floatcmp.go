@@ -1,0 +1,20 @@
+// Corpus for the floatcmp analyzer: every ==/!= between float-typed
+// expressions is flagged unless both sides are constants or one side
+// is the exact-by-representation zero sentinel.
+package floatcmpcase
+
+type rate float64
+
+func compare(a, b float64, f float32, c, d complex128, r1, r2 rate, n int) {
+	_ = a == b   // want "float comparison =="
+	_ = a != b   // want "float comparison !="
+	_ = f == 1.5 // want "float comparison =="
+	_ = c == d   // want "float comparison =="
+	_ = r1 == r2 // want "float comparison =="
+
+	_ = n == 3         // negative: integers compare exactly
+	_ = a == 0         // negative: zero sentinel means unset/empty
+	_ = 0.0 != b       // negative: zero sentinel, constant on the left
+	_ = 1.5 == 3.0/2.0 // negative: constant-folded at compile time
+	_ = a < b          // negative: ordered comparisons are fine
+}

@@ -1,0 +1,18 @@
+// Corpus posed as internal/obs, which is in mapOrderPackages only:
+// the clock is permitted (latency observation is its job) but map
+// iteration feeding output must still be deterministic.
+package mapordercase
+
+import "time"
+
+func stamp() time.Time {
+	return time.Now() // negative: obs gets only the map-order check
+}
+
+func dump(m map[string]float64) []float64 {
+	var out []float64
+	for _, v := range m { // want "map iteration order is randomized"
+		out = append(out, v)
+	}
+	return out
+}

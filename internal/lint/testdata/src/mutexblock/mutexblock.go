@@ -1,0 +1,97 @@
+// Corpus for the mutexblock analyzer: channel operations, blocking
+// selects and well-known blocking calls performed while a sync.Mutex
+// or RWMutex is held.
+package mutexcase
+
+import (
+	"sync"
+	"time"
+)
+
+type box struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+	wg sync.WaitGroup
+}
+
+func (b *box) sendLocked(v int) {
+	b.mu.Lock()
+	b.ch <- v // want "channel send while holding a mutex"
+	b.mu.Unlock()
+}
+
+func (b *box) recvDeferred() int {
+	b.mu.Lock()
+	defer b.mu.Unlock() // deferred Unlock keeps the lock held below
+	return <-b.ch       // want "channel receive while holding a mutex"
+}
+
+func (b *box) readLocked() int {
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+	return <-b.ch // want "channel receive while holding a mutex"
+}
+
+func (b *box) waitLocked() {
+	b.mu.Lock()
+	b.wg.Wait() // want "sync.WaitGroup.Wait while holding a mutex"
+	b.mu.Unlock()
+}
+
+func (b *box) sleepLocked() {
+	b.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding a mutex"
+	b.mu.Unlock()
+}
+
+func (b *box) selectLocked() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select { // want "blocking select while holding a mutex"
+	case v := <-b.ch:
+		_ = v
+	}
+}
+
+func (b *box) goroutineOwnLock() {
+	go func() {
+		b.mu.Lock()
+		b.ch <- 1 // want "channel send while holding a mutex"
+		b.mu.Unlock()
+	}()
+}
+
+func (b *box) sendAfterUnlock(v int) {
+	b.mu.Lock()
+	pending := len(b.ch)
+	b.mu.Unlock()
+	_ = pending
+	b.ch <- v // negative: lock released before the send
+}
+
+func (b *box) nonBlockingSelect() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select { // negative: a default case cannot block
+	case v := <-b.ch:
+		_ = v
+	default:
+	}
+}
+
+func (b *box) goroutineEscapesLock() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go func() {
+		b.ch <- 1 // negative: the goroutine does not hold the caller's lock
+	}()
+}
+
+func (b *box) closureDefinedNotRun() func() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return func() {
+		b.ch <- 1 // negative: defining a closure does not run it
+	}
+}

@@ -1,0 +1,66 @@
+// Corpus for the nondeterminism analyzer, posed as a deterministic
+// engine package (internal/sim): wall-clock reads, the global
+// math/rand source and order-sensitive map iteration are flagged;
+// seeded generators and the two sanctioned map idioms are not.
+package nondetcase
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func clock() int64 {
+	t := time.Now() // want "time.Now in deterministic package internal/sim"
+	return t.UnixNano()
+}
+
+func draw() float64 {
+	return rand.Float64() // want "global math/rand source in deterministic package internal/sim"
+}
+
+func seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed)) // negative: explicit seeded generator
+	return r.Float64()
+}
+
+func since(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since in deterministic package internal/sim"
+}
+
+func iterate(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "map iteration order is randomized"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // negative: collect-then-sort idiom
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func copyInto(dst, src map[string]int) {
+	for k, v := range src { // negative: map-to-map writes are order-insensitive
+		dst[k] = v
+	}
+}
+
+func purge(m map[string]int, dead map[string]bool) {
+	for k := range dead { // negative: deletes are order-insensitive
+		delete(m, k)
+	}
+}
+
+func overSlice(xs []int) int {
+	var sum int
+	for _, x := range xs { // negative: slice iteration is ordered
+		sum += x
+	}
+	return sum
+}

@@ -1,0 +1,36 @@
+package model
+
+import "math"
+
+// DefaultEps is the tolerance the schedulers use when testing two
+// computed costs, rates or instants for equality. Rate tables space
+// their levels orders of magnitude further apart than this, so
+// approximate identity on table-derived values coincides with exact
+// identity while staying robust to re-association of the arithmetic
+// that produced them.
+const DefaultEps = 1e-9
+
+// ApproxEq reports whether a and b are equal within eps, using a
+// hybrid absolute/relative tolerance: |a-b| <= eps*max(1, |a|, |b|).
+// Values below 1 compare with absolute tolerance eps, larger values
+// with relative tolerance, so the test is meaningful across the
+// model's scales (nJ/cycle energies up to multi-hour turnarounds).
+//
+// NaN is equal to nothing, including itself; infinities are equal only
+// to infinities of the same sign. eps must be non-negative.
+func ApproxEq(a, b, eps float64) bool {
+	if a == b { //dvfslint:allow floatcmp this is the epsilon helper's exact fast path (also catches equal infinities)
+		return true
+	}
+	if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return false
+	}
+	scale := 1.0
+	if aa := math.Abs(a); aa > scale {
+		scale = aa
+	}
+	if ab := math.Abs(b); ab > scale {
+		scale = ab
+	}
+	return math.Abs(a-b) <= eps*scale
+}

@@ -86,6 +86,7 @@ func (rt *RateTable) Validate() error {
 		}
 		if i > 0 {
 			prev := rt.levels[i-1]
+			//dvfslint:allow floatcmp level-table rates are literal hardware steps; duplicate detection must be exact
 			if l.Rate == prev.Rate {
 				return fmt.Errorf("model: duplicate rate %v", l.Rate)
 			}
@@ -125,6 +126,7 @@ func (rt *RateTable) Max() RateLevel { return rt.levels[len(rt.levels)-1] }
 // IndexOf returns the index of the level with the given rate, or -1.
 func (rt *RateTable) IndexOf(rate float64) int {
 	for i, l := range rt.levels {
+		//dvfslint:allow floatcmp exact table lookup: callers pass back rates copied verbatim from a level
 		if l.Rate == rate {
 			return i
 		}

@@ -104,6 +104,7 @@ func (ts TaskSet) Clone() TaskSet {
 // for determinism.
 func (ts TaskSet) SortByCyclesAsc() {
 	sort.SliceStable(ts, func(i, j int) bool {
+		//dvfslint:allow floatcmp sort tie-break needs a strict weak order; epsilon equality is intransitive
 		if ts[i].Cycles != ts[j].Cycles {
 			return ts[i].Cycles < ts[j].Cycles
 		}
@@ -115,6 +116,7 @@ func (ts TaskSet) SortByCyclesAsc() {
 // assignment order used by Workload Based Greedy), breaking ties by ID.
 func (ts TaskSet) SortByCyclesDesc() {
 	sort.SliceStable(ts, func(i, j int) bool {
+		//dvfslint:allow floatcmp sort tie-break needs a strict weak order; epsilon equality is intransitive
 		if ts[i].Cycles != ts[j].Cycles {
 			return ts[i].Cycles > ts[j].Cycles
 		}
@@ -126,6 +128,7 @@ func (ts TaskSet) SortByCyclesDesc() {
 // an online scheduler observes them.
 func (ts TaskSet) ByArrival() {
 	sort.SliceStable(ts, func(i, j int) bool {
+		//dvfslint:allow floatcmp sort tie-break needs a strict weak order; epsilon equality is intransitive
 		if ts[i].Arrival != ts[j].Arrival {
 			return ts[i].Arrival < ts[j].Arrival
 		}

@@ -182,6 +182,7 @@ func (s *InvariantSink) Emit(ev Event) {
 		tv.runningOn = -1
 
 	case KindDVFS:
+		//dvfslint:allow floatcmp both rates are verbatim table levels; an exact match is a genuinely redundant switch
 		if ev.Rate == ev.PrevRate {
 			s.violate("dvfs on core %d at %v: rate unchanged (%v GHz)", ev.Core, ev.T, ev.Rate)
 		}

@@ -221,7 +221,20 @@ type Snapshot struct {
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 }
 
-// Snapshot copies every metric's current value.
+// sortedKeys returns m's keys in ascending order, so dump paths visit
+// metrics deterministically regardless of map iteration order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for name := range m {
+		keys = append(keys, name)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Snapshot copies every metric's current value. Metrics are read in
+// sorted name order, so two snapshots of the same quiescent registry
+// are built identically.
 func (r *Registry) Snapshot() Snapshot {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -230,14 +243,14 @@ func (r *Registry) Snapshot() Snapshot {
 		Gauges:     make(map[string]float64, len(r.gauges)),
 		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
 	}
-	for name, c := range r.counters {
-		s.Counters[name] = c.Value()
+	for _, name := range sortedKeys(r.counters) {
+		s.Counters[name] = r.counters[name].Value()
 	}
-	for name, g := range r.gauges {
-		s.Gauges[name] = g.Value()
+	for _, name := range sortedKeys(r.gauges) {
+		s.Gauges[name] = r.gauges[name].Value()
 	}
-	for name, h := range r.histograms {
-		s.Histograms[name] = h.Snapshot()
+	for _, name := range sortedKeys(r.histograms) {
+		s.Histograms[name] = r.histograms[name].Snapshot()
 	}
 	return s
 }

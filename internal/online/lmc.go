@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"dvfsched/internal/dynsched"
 	"dvfsched/internal/envelope"
@@ -77,6 +78,13 @@ type LMC struct {
 	// waiting work, and the shared dynsched/rangetree metrics record
 	// dynamic-structure updates and their latencies.
 	Metrics *obs.Registry
+
+	// Clock, if set alongside Metrics, supplies the wall clock that
+	// times dynsched updates into "rangetree.update_ns". The policy
+	// never reads real time itself — callers that want latency
+	// observations pass time.Now (internal/core does); a nil Clock
+	// keeps the run fully deterministic and skips the histogram.
+	Clock func() time.Time
 
 	marginalEvals *obs.Counter
 	preemptsCtr   *obs.Counter
@@ -146,6 +154,7 @@ func (l *LMC) Init(e *sim.Engine) {
 		l.queueDepth = make([]*obs.Gauge, e.NumCores())
 		for i := range l.cores {
 			l.cores[i].sched.Instrument(l.Metrics)
+			l.cores[i].sched.SetClock(l.Clock)
 			l.queueDepth[i] = l.Metrics.Gauge(fmt.Sprintf("lmc.core%d.queue_depth", i))
 		}
 	}
@@ -267,7 +276,7 @@ func (l *LMC) adjustRunning(e *sim.Engine, j int) {
 	}
 	c := l.cores[j]
 	level := c.env.LevelFor(1 + c.waiting())
-	if e.CurrentLevel(j).Rate != level.Rate {
+	if !model.ApproxEq(e.CurrentLevel(j).Rate, level.Rate, model.DefaultEps) {
 		if err := e.SetLevel(j, level); err != nil {
 			panic(err)
 		}

@@ -2,6 +2,7 @@ package online
 
 import (
 	"testing"
+	"time"
 
 	"dvfsched/internal/model"
 	"dvfsched/internal/obs"
@@ -16,6 +17,7 @@ func TestLMCMetrics(t *testing.T) {
 	}
 	l := mustLMC(t)
 	l.Metrics = obs.NewRegistry()
+	l.Clock = time.Now
 	res, err := sim.Run(sim.Config{Platform: plat(2), Policy: l}, tasks, onlineParams)
 	if err != nil {
 		t.Fatal(err)

@@ -150,7 +150,7 @@ func (r *Replan) adjustRunning(e *sim.Engine, j int) {
 		return
 	}
 	level := r.envs[j].LevelFor(1 + len(r.queues[j]) + len(r.paused[j]))
-	if e.CurrentLevel(j).Rate != level.Rate {
+	if !model.ApproxEq(e.CurrentLevel(j).Rate, level.Rate, model.DefaultEps) {
 		if err := e.SetLevel(j, level); err != nil {
 			panic(err)
 		}

@@ -45,6 +45,7 @@ func (m *Meter) Record(start, end, watts float64) error {
 	if end < start || watts < 0 || math.IsNaN(start) || math.IsNaN(end) || math.IsNaN(watts) {
 		return fmt.Errorf("power: bad segment [%v, %v) @ %v W", start, end, watts)
 	}
+	//dvfslint:allow floatcmp zero-width segment guard; any non-zero width, however tiny, must still integrate
 	if end == start || watts == 0 {
 		return nil
 	}

@@ -74,6 +74,7 @@ func (n *Node) pull() {
 
 // before reports whether a precedes b in the descending-length order.
 func before(a, b *Node) bool {
+	//dvfslint:allow floatcmp tree ordering needs a strict weak order; epsilon equality is intransitive
 	if a.cycles != b.cycles {
 		return a.cycles > b.cycles
 	}

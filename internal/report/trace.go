@@ -87,6 +87,7 @@ func MergeTimeline(timeline []sim.TimelineSegment) []sim.TimelineSegment {
 	for _, s := range segs {
 		if n := len(out); n > 0 {
 			p := &out[n-1]
+			//dvfslint:allow floatcmp replay identity: adjacent segments share the same settle instant and table rate, exact by construction
 			if p.Core == s.Core && p.TaskID == s.TaskID && p.Rate == s.Rate && p.End == s.Start {
 				p.End = s.End
 				continue

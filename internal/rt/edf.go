@@ -103,7 +103,7 @@ func (p *edfPolicy) OnArrival(e *sim.Engine, ts *sim.TaskState) {
 		p.push(ts)
 		// A release can raise the cycle-conserving utilization; keep
 		// the running job at the refreshed level.
-		if e.CurrentLevel(0).Rate != level.Rate {
+		if !model.ApproxEq(e.CurrentLevel(0).Rate, level.Rate, model.DefaultEps) {
 			if err := e.SetLevel(0, level); err != nil {
 				panic(err)
 			}

@@ -194,6 +194,7 @@ func Expand(ts TaskSet, horizon float64, rng *rand.Rand) ([]Job, error) {
 		}
 	}
 	sort.SliceStable(jobs, func(i, j int) bool {
+		//dvfslint:allow floatcmp sort tie-break needs a strict weak order; epsilon equality is intransitive
 		if jobs[i].Release != jobs[j].Release {
 			return jobs[i].Release < jobs[j].Release
 		}

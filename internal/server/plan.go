@@ -198,24 +198,28 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 // requests — and only identical requests — share a key.
 func planKey(spec PlatformSpec, tasks model.TaskSet) string {
 	h := sha256.New()
+	put := func(b []byte) {
+		//dvfslint:allow errcheck-hot hash.Hash.Write is documented to never return an error
+		h.Write(b)
+	}
 	var scratch [8]byte
 	writeF := func(f float64) {
 		binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(f))
-		h.Write(scratch[:])
+		put(scratch[:])
 	}
 	writeI := func(i int) {
 		binary.LittleEndian.PutUint64(scratch[:], uint64(int64(i)))
-		h.Write(scratch[:])
+		put(scratch[:])
 	}
-	h.Write([]byte(spec.Platform))
-	h.Write([]byte{0})
+	put([]byte(spec.Platform))
+	put([]byte{0})
 	writeI(spec.Cores)
 	writeF(spec.Re)
 	writeF(spec.Rt)
 	for _, t := range tasks {
 		writeI(t.ID)
-		h.Write([]byte(t.Name))
-		h.Write([]byte{0})
+		put([]byte(t.Name))
+		put([]byte{0})
 		writeF(t.Cycles)
 	}
 	return hex.EncodeToString(h.Sum(nil))

@@ -159,5 +159,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // handleMetrics serves the registry snapshot as indented JSON.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
+	//dvfslint:allow errcheck-hot best-effort reply: the 200 header is already committed, only the client's read fails
 	_ = s.reg.WriteJSON(w)
 }

@@ -175,7 +175,8 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(v) // header already sent; nothing useful to do on error
+	//dvfslint:allow errcheck-hot header already sent; nothing useful to do on error
+	_ = enc.Encode(v)
 }
 
 // writeError serializes a JSON error body.

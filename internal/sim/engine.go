@@ -119,6 +119,7 @@ type eventHeap []event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
+	//dvfslint:allow floatcmp event-heap ordering needs a strict weak order; epsilon equality is intransitive
 	if h[i].time != h[j].time {
 		return h[i].time < h[j].time
 	}
@@ -314,7 +315,7 @@ func (e *Engine) Start(i int, ts *TaskState, level model.RateLevel) error {
 	}
 	e.settleAll()
 	stall := 0.0
-	if c.level.Rate != level.Rate {
+	if !model.ApproxEq(c.level.Rate, level.Rate, model.DefaultEps) {
 		stall = e.cfg.Platform.SwitchLatency
 		c.switches++
 		e.emit(obs.Event{Kind: obs.KindDVFS, Core: i, Task: -1,
@@ -371,7 +372,7 @@ func (e *Engine) SetLevel(i int, level model.RateLevel) error {
 	if c.rates.IndexOf(level.Rate) < 0 {
 		return fmt.Errorf("sim: core %d does not support rate %v", i, level.Rate)
 	}
-	if c.level.Rate == level.Rate {
+	if model.ApproxEq(c.level.Rate, level.Rate, model.DefaultEps) {
 		return nil
 	}
 	prev := c.level.Rate

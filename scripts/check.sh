@@ -1,11 +1,14 @@
 #!/bin/sh
-# Full local gate: vet, build, race-enabled tests, benchmark smoke.
+# Full local gate: vet, dvfslint, build, race-enabled tests, benchmark
+# smoke.
 # Equivalent to `make check` for environments without make.
 set -eu
 cd "$(dirname "$0")/.."
 
 echo "== go vet =="
 go vet ./...
+echo "== dvfslint =="
+go run ./cmd/dvfslint ./...
 echo "== go build =="
 go build ./...
 echo "== go test -race =="
