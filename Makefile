@@ -31,9 +31,10 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzInsertDelete -fuzztime=5s ./internal/rangetree
 	$(GO) test -fuzz=FuzzDynamicCost -fuzztime=5s ./internal/dynsched
 
-# Benchmark the hot packages and write the machine-readable baseline.
+# Benchmark the hot packages and write the machine-readable baseline
+# for this PR (diff against BENCH_PR2.json for the history).
 bench:
-	scripts/bench.sh
+	scripts/bench.sh BENCH_PR4.json
 
 # Boot dvfschedd on an ephemeral port, hit /healthz and /v1/plan once,
 # and shut it down cleanly.

@@ -54,6 +54,7 @@ func run(args []string, w io.Writer, sigs <-chan os.Signal) error {
 		queue        = fs.Int("queue", 0, "planning queue depth (0 = 4x workers)")
 		cache        = fs.Int("cache", 0, "plan LRU cache entries (0 = 256, negative disables)")
 		maxSessions  = fs.Int("max-sessions", 0, "concurrent session cap (0 = 1024)")
+		sessParallel = fs.Int("session-parallelism", 0, "per-session candidate-evaluation pool width (<2 = sequential)")
 		reqTimeout   = fs.Duration("request-timeout", 0, "per-request deadline (0 = 30s)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 	)
@@ -62,11 +63,12 @@ func run(args []string, w io.Writer, sigs <-chan os.Signal) error {
 	}
 
 	s := server.New(server.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheSize:      *cache,
-		MaxSessions:    *maxSessions,
-		RequestTimeout: *reqTimeout,
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		CacheSize:          *cache,
+		MaxSessions:        *maxSessions,
+		SessionParallelism: *sessParallel,
+		RequestTimeout:     *reqTimeout,
 	})
 	defer s.Close()
 
@@ -86,6 +88,10 @@ func run(args []string, w io.Writer, sigs <-chan os.Signal) error {
 	case sig := <-sigs:
 		fmt.Fprintf(w, "caught %v; draining\n", sig)
 	}
+
+	// Refuse new work with 503 before the listener closes, so a load
+	// balancer probing this replica fails over instead of retrying 429s.
+	s.BeginDrain()
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()

@@ -23,6 +23,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -215,7 +216,7 @@ func directPlanCost(spec server.PlatformSpec, recs []trace.Record) (string, erro
 	if err != nil {
 		return "", err
 	}
-	plan, err := sched.PlanBatch(tasks)
+	plan, err := sched.PlanBatch(context.Background(), tasks)
 	if err != nil {
 		return "", err
 	}

@@ -2,28 +2,37 @@
 // per-core DVFS and compare the optimal Workload Based Greedy schedule
 // against running everything at maximum frequency.
 //
+// This example uses the high-level core facade: construct a Scheduler
+// with functional options, then plan under a context.Context. The
+// lower-level packages (batch, envelope, sim) remain available when
+// you need their knobs directly.
+//
 // Run with:
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"dvfsched/internal/batch"
-	"dvfsched/internal/envelope"
+	"dvfsched/internal/core"
 	"dvfsched/internal/model"
 	"dvfsched/internal/platform"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// The cost model: Re cents per joule of energy, Rt cents per
 	// second a user waits.
 	params := model.CostParams{Re: 0.1, Rt: 0.4}
 
-	// The CPU: the paper's Table II frequency/energy ladder.
+	// The CPU: four identical cores on the paper's Table II
+	// frequency/energy ladder.
 	rates := platform.TableII()
+	plat := platform.Homogeneous(4, rates, platform.Ideal{})
 
 	// Some work: a mix of short and long jobs (lengths in Gcycles).
 	tasks := model.TaskSet{
@@ -37,13 +46,24 @@ func main() {
 		{ID: 8, Name: "report", Cycles: 60, Deadline: model.NoDeadline},
 	}
 
+	// A scheduler with the default options: shared envelope cache,
+	// sequential candidate evaluation. Add core.WithParallelism(4) to
+	// probe candidate cores concurrently — the schedule is identical.
+	sched, err := core.New(params, plat)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	// Which frequency is best for which queue position? (Algorithm 1)
-	env := envelope.MustCompute(params, rates)
+	env, err := sched.DominatingRanges(0)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("dominating position ranges (backward position -> rate):")
 	fmt.Println(" ", env)
 
 	// The optimal schedule across 4 cores (Algorithm 3).
-	plan, err := batch.WBG(params, batch.HomogeneousCores(4, rates), tasks)
+	plan, err := sched.PlanBatch(ctx, tasks)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,14 +84,19 @@ func main() {
 	fmt.Printf("\nWBG:      %8.1f J, makespan %6.1f s, cost %.1f cents (energy %.1f + time %.1f)\n",
 		joules, makespan, total, eCost, tCost)
 
-	// Compare: everything at maximum frequency, same placement rule.
+	// Compare: everything at maximum frequency, same placement rule —
+	// a second scheduler on a rate table restricted to the top level.
 	maxOnly, err := rates.Restrict(func(l model.RateLevel) bool {
 		return model.ApproxEq(l.Rate, rates.Max().Rate, model.DefaultEps)
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fast, err := batch.WBG(params, batch.HomogeneousCores(4, maxOnly), tasks)
+	fastSched, err := core.New(params, platform.Homogeneous(4, maxOnly, platform.Ideal{}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fast, err := fastSched.PlanBatch(ctx, tasks)
 	if err != nil {
 		log.Fatal(err)
 	}

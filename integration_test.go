@@ -2,6 +2,7 @@ package dvfsched_test
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"math/rand"
 	"os"
@@ -52,7 +53,7 @@ func TestEndToEndPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sched.RunOnline(loaded)
+	res, err := sched.RunOnline(context.Background(), loaded)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,12 +87,12 @@ func TestBatchPipelineAgainstAnalyticBound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan, err := ideal.PlanBatch(tasks)
+	plan, err := ideal.PlanBatch(context.Background(), tasks)
 	if err != nil {
 		t.Fatal(err)
 	}
 	_, _, analytic := plan.Cost()
-	res, err := ideal.ExecuteBatch(tasks)
+	res, err := ideal.ExecuteBatch(context.Background(), tasks)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestBatchPipelineAgainstAnalyticBound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res2, err := contended.ExecuteBatch(tasks)
+	res2, err := contended.ExecuteBatch(context.Background(), tasks)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,11 +2,18 @@ package batch
 
 import (
 	"container/heap"
+	"context"
+	"errors"
 	"fmt"
+	"sync"
 
 	"dvfsched/internal/envelope"
 	"dvfsched/internal/model"
 )
+
+// ErrNoCores is returned when planning is attempted with an empty core
+// set. Matchable via errors.Is.
+var ErrNoCores = errors.New("batch: no cores")
 
 // CoreSpec describes one core available to the scheduler. Cores may
 // differ in their rate tables (heterogeneous systems) but share the
@@ -64,19 +71,44 @@ func (h *slotHeap) Pop() interface{} {
 // the least per-cycle cost C_j(k), taken from a min-heap seeded with
 // C_j(1) for every core. It runs in O(|J| (log |J| + log R) + R|P|).
 func WBG(params model.CostParams, cores []CoreSpec, tasks model.TaskSet) (*Plan, error) {
+	return WBGContext(context.Background(), params, cores, tasks, Opts{})
+}
+
+// Opts tunes WBGContext without changing its results.
+type Opts struct {
+	// Cache, if non-nil, resolves per-core envelopes through the
+	// memoized cache instead of recomputing them.
+	Cache *envelope.Cache
+	// Workers, when >= 2 and the core set has at least
+	// MinParallelCores cores, resolves per-core envelopes with that
+	// many concurrent workers.
+	Workers int
+}
+
+// MinParallelCores is the smallest core count for which parallel
+// per-core evaluation is worth the handoff overhead; below it the
+// sequential path is used regardless of configured workers.
+const MinParallelCores = 4
+
+// ctxCheckInterval is how many greedy placements WBGContext performs
+// between context polls.
+const ctxCheckInterval = 1024
+
+// WBGContext is WBG with cancellation and optional envelope caching
+// and parallel per-core envelope resolution. The schedule is identical
+// to WBG's for identical inputs: the cache returns the same envelopes
+// Compute would, and parallelism only covers the per-core resolution,
+// never the (order-sensitive) greedy loop.
+func WBGContext(ctx context.Context, params model.CostParams, cores []CoreSpec, tasks model.TaskSet, opts Opts) (*Plan, error) {
 	if len(cores) == 0 {
-		return nil, fmt.Errorf("batch: no cores")
+		return nil, ErrNoCores
 	}
 	if err := tasks.Validate(); err != nil {
 		return nil, err
 	}
-	envs := make([]*envelope.Envelope, len(cores))
-	for i, c := range cores {
-		env, err := envelope.Compute(params, c.Rates)
-		if err != nil {
-			return nil, fmt.Errorf("batch: core %d: %w", i, err)
-		}
-		envs[i] = env
+	envs, err := resolveEnvelopes(params, cores, opts)
+	if err != nil {
+		return nil, err
 	}
 
 	sorted := tasks.Clone()
@@ -91,7 +123,12 @@ func WBG(params model.CostParams, cores []CoreSpec, tasks model.TaskSet) (*Plan,
 	// backward[j] collects core j's tasks in backward-position order
 	// (index 0 is backward position 1, i.e. the task that runs last).
 	backward := make([][]model.Assignment, len(cores))
-	for _, task := range sorted {
+	for n, task := range sorted {
+		if n%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("batch: plan canceled: %w", err)
+			}
+		}
 		s := heap.Pop(&h).(slot)
 		level := envs[s.core].LevelFor(s.k)
 		backward[s.core] = append(backward[s.core], model.Assignment{Task: task, Level: level})
@@ -107,6 +144,60 @@ func WBG(params model.CostParams, cores []CoreSpec, tasks model.TaskSet) (*Plan,
 		plan.Cores[j] = CorePlan{Core: j, Sequence: seq}
 	}
 	return plan, nil
+}
+
+// resolveEnvelopes materializes each core's dominating-range envelope,
+// through the cache when one is configured and across workers when the
+// core set is wide enough to amortize the goroutine handoffs.
+func resolveEnvelopes(params model.CostParams, cores []CoreSpec, opts Opts) ([]*envelope.Envelope, error) {
+	envs := make([]*envelope.Envelope, len(cores))
+	one := func(i int) error {
+		var env *envelope.Envelope
+		var err error
+		if opts.Cache != nil {
+			env, err = opts.Cache.Get(params, cores[i].Rates)
+		} else {
+			env, err = envelope.Compute(params, cores[i].Rates)
+		}
+		if err != nil {
+			return fmt.Errorf("batch: core %d: %w", i, err)
+		}
+		envs[i] = env
+		return nil
+	}
+	workers := opts.Workers
+	if workers > len(cores) {
+		workers = len(cores)
+	}
+	if workers < 2 || len(cores) < MinParallelCores {
+		for i := range cores {
+			if err := one(i); err != nil {
+				return nil, err
+			}
+		}
+		return envs, nil
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(cores); i += workers {
+				if err := one(i); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return envs, nil
 }
 
 // Homogeneous implements the round-robin technique of Theorem 4 for R

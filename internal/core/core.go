@@ -3,9 +3,20 @@
 // one for online-mode scheduling (Section IV), wired to the platform
 // models and the simulator. Examples and tools that don't need the
 // lower-level knobs use this API.
+//
+// Construct schedulers with New and functional options:
+//
+//	sched, err := core.New(params, plat,
+//		core.WithMetrics(reg),
+//		core.WithParallelism(4))
+//
+// Every entry point takes a context.Context; canceling it aborts
+// planning and simulation work with an error matching ErrCanceled.
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -18,33 +29,141 @@ import (
 	"dvfsched/internal/sim"
 )
 
-// Scheduler holds the pricing and platform a user schedules against.
+// Sentinel errors, matchable via errors.Is. Detailed messages wrap
+// these with %w.
+var (
+	// ErrNilPlatform is returned by New when the platform is nil.
+	ErrNilPlatform = errors.New("core: nil platform")
+	// ErrNotBatchable is returned by PlanBatch when a task cannot be
+	// scheduled in batch mode (non-zero arrival, deadline, or
+	// interactive).
+	ErrNotBatchable = errors.New("core: task not schedulable in batch mode")
+	// ErrEmptySubmission is returned by OnlineSession.Submit for an
+	// empty task batch.
+	ErrEmptySubmission = errors.New("core: empty submission")
+	// ErrCoreOutOfRange is returned for core indices outside the
+	// platform.
+	ErrCoreOutOfRange = errors.New("core: core index out of range")
+	// ErrCanceled is returned when an entry point is aborted by its
+	// context; the underlying context error is wrapped too, so
+	// errors.Is(err, context.Canceled) also holds for cancellations.
+	ErrCanceled = errors.New("core: canceled")
+	// ErrNoCores is planning's empty-core-set error, re-exported from
+	// package batch.
+	ErrNoCores = batch.ErrNoCores
+)
+
+// wrapCanceled tags context-caused failures with ErrCanceled so
+// callers (and the server's HTTP error mapping) can match them without
+// knowing which layer noticed the cancellation first.
+func wrapCanceled(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	return err
+}
+
+// Scheduler holds the pricing and platform a user schedules against,
+// plus the execution knobs set through Options.
 type Scheduler struct {
 	params model.CostParams
 	plat   *platform.Platform
 
-	// Sink, if set, receives the simulator's event stream (task
-	// lifecycle, DVFS changes, core transitions) during ExecuteBatch
-	// and RunOnline.
+	// Sink, if set, receives the simulator's event stream during
+	// ExecuteBatch and RunOnline.
+	//
+	// Deprecated: set WithSink at construction instead. A non-nil field
+	// takes precedence over the option, preserving the behavior of code
+	// written against the field API.
 	Sink obs.Sink
-	// Metrics, if set, collects scheduler-side counters and
-	// histograms (marginal-cost evaluations, dynamic-structure update
-	// latencies) during RunOnline.
+	// Metrics, if set, collects scheduler-side counters and histograms
+	// during RunOnline.
+	//
+	// Deprecated: set WithMetrics at construction instead. A non-nil
+	// field takes precedence over the option.
 	Metrics *obs.Registry
+
+	sink     obs.Sink
+	metrics  *obs.Registry
+	cache    *envelope.Cache
+	parallel int
+	clock    func() time.Time
+}
+
+// Option customizes a Scheduler at construction.
+type Option func(*Scheduler)
+
+// WithSink routes the simulator's structured event stream (task
+// lifecycle, DVFS changes, core transitions) to sink during
+// ExecuteBatch, RunOnline and online sessions.
+func WithSink(sink obs.Sink) Option {
+	return func(s *Scheduler) { s.sink = sink }
+}
+
+// WithMetrics collects scheduler-side counters and histograms
+// (marginal-cost evaluations, dynamic-structure update latencies) into
+// reg during online runs.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(s *Scheduler) { s.metrics = reg }
+}
+
+// WithEnvelopeCache uses c to memoize envelope.Compute results. The
+// default is the process-wide envelope.Shared() cache; passing nil
+// disables caching and recomputes envelopes on every use.
+func WithEnvelopeCache(c *envelope.Cache) Option {
+	return func(s *Scheduler) { s.cache = c }
+}
+
+// WithEnvelopeCacheSize gives the scheduler a private envelope cache
+// holding at most n entries (n <= 0 means envelope.DefaultCacheSize).
+func WithEnvelopeCacheSize(n int) Option {
+	return func(s *Scheduler) { s.cache = envelope.NewCache(n) }
+}
+
+// WithParallelism evaluates candidate cores with n-wide bounded worker
+// pools during planning and online placement whenever the platform has
+// at least 4 cores. n <= 1 (the default) keeps every evaluation on the
+// calling goroutine. Results are identical either way.
+func WithParallelism(n int) Option {
+	return func(s *Scheduler) { s.parallel = n }
+}
+
+// WithClock injects the wall clock used to time dynamic-structure
+// updates into the "rangetree.update_ns" histogram. The default is
+// time.Now; passing nil keeps runs free of real-time reads and skips
+// the histogram.
+func WithClock(now func() time.Time) Option {
+	return func(s *Scheduler) { s.clock = now }
 }
 
 // New builds a scheduler for the given cost constants and platform.
-func New(params model.CostParams, plat *platform.Platform) (*Scheduler, error) {
+// The positional two-argument form remains valid and is equivalent to
+// passing no options.
+func New(params model.CostParams, plat *platform.Platform, opts ...Option) (*Scheduler, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
 	if plat == nil {
-		return nil, fmt.Errorf("core: nil platform")
+		return nil, ErrNilPlatform
 	}
 	if err := plat.Validate(); err != nil {
 		return nil, err
 	}
-	return &Scheduler{params: params, plat: plat}, nil
+	s := &Scheduler{
+		params: params,
+		plat:   plat,
+		cache:  envelope.Shared(),
+		clock:  time.Now,
+	}
+	for _, o := range opts {
+		if o != nil {
+			o(s)
+		}
+	}
+	return s, nil
 }
 
 // Params returns the cost constants.
@@ -53,32 +172,54 @@ func (s *Scheduler) Params() model.CostParams { return s.params }
 // Platform returns the platform.
 func (s *Scheduler) Platform() *platform.Platform { return s.plat }
 
+// effSink resolves the event sink: the deprecated field wins when set.
+func (s *Scheduler) effSink() obs.Sink {
+	if s.Sink != nil {
+		return s.Sink
+	}
+	return s.sink
+}
+
+// effMetrics resolves the metrics registry: the deprecated field wins
+// when set.
+func (s *Scheduler) effMetrics() *obs.Registry {
+	if s.Metrics != nil {
+		return s.Metrics
+	}
+	return s.metrics
+}
+
 // PlanBatch computes the cost-optimal batch schedule for tasks without
 // deadlines (Workload Based Greedy, Theorem 5). All tasks must have
-// Arrival 0 and no deadline.
-func (s *Scheduler) PlanBatch(tasks model.TaskSet) (*batch.Plan, error) {
+// Arrival 0 and no deadline. Canceling ctx aborts planning with an
+// error matching ErrCanceled.
+func (s *Scheduler) PlanBatch(ctx context.Context, tasks model.TaskSet) (*batch.Plan, error) {
 	for _, t := range tasks {
 		if t.Arrival != 0 {
-			return nil, fmt.Errorf("core: task %d arrives at %v; batch tasks arrive at 0", t.ID, t.Arrival)
+			return nil, fmt.Errorf("%w: task %d arrives at %v; batch tasks arrive at 0", ErrNotBatchable, t.ID, t.Arrival)
 		}
 		if t.HasDeadline() {
-			return nil, fmt.Errorf("core: task %d has a deadline; use package deadline", t.ID)
+			return nil, fmt.Errorf("%w: task %d has a deadline; use package deadline", ErrNotBatchable, t.ID)
 		}
 		if t.Interactive {
-			return nil, fmt.Errorf("core: task %d is interactive; use RunOnline", t.ID)
+			return nil, fmt.Errorf("%w: task %d is interactive; use RunOnline", ErrNotBatchable, t.ID)
 		}
 	}
 	cores := make([]batch.CoreSpec, s.plat.NumCores())
 	for i, rt := range s.plat.Cores {
 		cores[i] = batch.CoreSpec{Rates: rt}
 	}
-	return batch.WBG(s.params, cores, tasks)
+	plan, err := batch.WBGContext(ctx, s.params, cores, tasks, batch.Opts{Cache: s.cache, Workers: s.parallel})
+	if err != nil {
+		return nil, wrapCanceled(err)
+	}
+	return plan, nil
 }
 
 // ExecuteBatch plans tasks with WBG and executes the plan on the
 // platform's simulator, returning the measured result.
-func (s *Scheduler) ExecuteBatch(tasks model.TaskSet) (*sim.Result, error) {
-	plan, err := s.PlanBatch(tasks)
+func (s *Scheduler) ExecuteBatch(ctx context.Context, tasks model.TaskSet) (*sim.Result, error) {
+	plan, err := s.PlanBatch(ctx, tasks)
 	if err != nil {
 		return nil, err
 	}
@@ -86,20 +227,48 @@ func (s *Scheduler) ExecuteBatch(tasks model.TaskSet) (*sim.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return sim.Run(sim.Config{Platform: s.plat, Policy: fp, Sink: s.Sink}, tasks, s.params)
+	res, err := sim.RunContext(ctx, sim.Config{Platform: s.plat, Policy: fp, Sink: s.effSink()}, tasks, s.params)
+	if err != nil {
+		return nil, wrapCanceled(err)
+	}
+	return res, nil
+}
+
+// newLMC builds the Least Marginal Cost policy wired to the
+// scheduler's observability and performance knobs, plus the probe pool
+// to close after the run (nil when parallelism is off).
+func (s *Scheduler) newLMC() (*online.LMC, *online.ProbePool, error) {
+	lmc, err := online.NewLMC(s.params)
+	if err != nil {
+		return nil, nil, err
+	}
+	lmc.Metrics = s.effMetrics()
+	lmc.Clock = s.clock
+	lmc.Cache = s.cache
+	var pool *online.ProbePool
+	if s.parallel >= 2 {
+		pool = online.NewProbePool(s.parallel)
+		lmc.Pool = pool
+	}
+	return lmc, pool, nil
 }
 
 // RunOnline schedules an online trace (mixed interactive and
 // non-interactive tasks with arbitrary arrivals) with Least Marginal
 // Cost on the platform's simulator.
-func (s *Scheduler) RunOnline(tasks model.TaskSet) (*sim.Result, error) {
-	lmc, err := online.NewLMC(s.params)
+func (s *Scheduler) RunOnline(ctx context.Context, tasks model.TaskSet) (*sim.Result, error) {
+	lmc, pool, err := s.newLMC()
 	if err != nil {
 		return nil, err
 	}
-	lmc.Metrics = s.Metrics
-	lmc.Clock = time.Now
-	return sim.Run(sim.Config{Platform: s.plat, Policy: lmc, Sink: s.Sink}, tasks, s.params)
+	if pool != nil {
+		defer pool.Close()
+	}
+	res, err := sim.RunContext(ctx, sim.Config{Platform: s.plat, Policy: lmc, Sink: s.effSink()}, tasks, s.params)
+	if err != nil {
+		return nil, wrapCanceled(err)
+	}
+	return res, nil
 }
 
 // DominatingRanges returns the dominating position ranges of core i:
@@ -107,7 +276,10 @@ func (s *Scheduler) RunOnline(tasks model.TaskSet) (*sim.Result, error) {
 // runs after it (Algorithm 1).
 func (s *Scheduler) DominatingRanges(i int) (*envelope.Envelope, error) {
 	if i < 0 || i >= s.plat.NumCores() {
-		return nil, fmt.Errorf("core: core %d out of range", i)
+		return nil, fmt.Errorf("%w: core %d", ErrCoreOutOfRange, i)
+	}
+	if s.cache != nil {
+		return s.cache.Get(s.params, s.plat.Cores[i])
 	}
 	return envelope.Compute(s.params, s.plat.Cores[i])
 }

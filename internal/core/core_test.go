@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -38,7 +39,7 @@ func TestPlanBatchRejectsNonBatchTasks(t *testing.T) {
 		"interactive":  {ID: 1, Cycles: 1, Interactive: true, Deadline: model.NoDeadline},
 	}
 	for name, task := range cases {
-		if _, err := s.PlanBatch(model.TaskSet{task}); err == nil {
+		if _, err := s.PlanBatch(context.Background(), model.TaskSet{task}); err == nil {
 			t.Errorf("%s accepted", name)
 		}
 	}
@@ -51,12 +52,12 @@ func TestExecuteBatchMatchesPlanUnderIdeal(t *testing.T) {
 		{ID: 2, Cycles: 100, Deadline: model.NoDeadline},
 		{ID: 3, Cycles: 40, Deadline: model.NoDeadline},
 	}
-	plan, err := s.PlanBatch(tasks)
+	plan, err := s.PlanBatch(context.Background(), tasks)
 	if err != nil {
 		t.Fatal(err)
 	}
 	_, _, want := plan.Cost()
-	res, err := s.ExecuteBatch(tasks)
+	res, err := s.ExecuteBatch(context.Background(), tasks)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestRunOnline(t *testing.T) {
 		{ID: 1, Cycles: 50, Deadline: model.NoDeadline},
 		{ID: 2, Cycles: 0.01, Arrival: 1, Interactive: true, Deadline: 2},
 	}
-	res, err := s.RunOnline(tasks)
+	res, err := s.RunOnline(context.Background(), tasks)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 
 	"dvfsched/internal/core"
@@ -19,7 +20,7 @@ func ExampleScheduler_ExecuteBatch() {
 		{ID: 1, Cycles: 8, Deadline: model.NoDeadline},
 		{ID: 2, Cycles: 80, Deadline: model.NoDeadline},
 	}
-	res, err := sched.ExecuteBatch(tasks)
+	res, err := sched.ExecuteBatch(context.Background(), tasks)
 	if err != nil {
 		panic(err)
 	}

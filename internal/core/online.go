@@ -1,8 +1,8 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"time"
 
 	"dvfsched/internal/model"
 	"dvfsched/internal/online"
@@ -18,23 +18,28 @@ import (
 type OnlineSession struct {
 	sess *sim.Session
 	lmc  *online.LMC
+	pool *online.ProbePool
 }
 
 // OpenOnline starts an online session on the scheduler's platform with
-// its cost constants. The scheduler's Sink and Metrics, if set, are
-// wired into the session exactly as RunOnline would wire them.
-func (s *Scheduler) OpenOnline() (*OnlineSession, error) {
-	lmc, err := online.NewLMC(s.params)
+// its cost constants, wiring in the scheduler's sink, metrics,
+// envelope cache and candidate-evaluation pool.
+func (s *Scheduler) OpenOnline(ctx context.Context) (*OnlineSession, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, wrapCanceled(err)
+	}
+	lmc, pool, err := s.newLMC()
 	if err != nil {
 		return nil, err
 	}
-	lmc.Metrics = s.Metrics
-	lmc.Clock = time.Now
-	sess, err := sim.OpenSession(sim.Config{Platform: s.plat, Policy: lmc, Sink: s.Sink}, s.params)
+	sess, err := sim.OpenSession(sim.Config{Platform: s.plat, Policy: lmc, Sink: s.effSink()}, s.params)
 	if err != nil {
+		if pool != nil {
+			pool.Close()
+		}
 		return nil, err
 	}
-	return &OnlineSession{sess: sess, lmc: lmc}, nil
+	return &OnlineSession{sess: sess, lmc: lmc, pool: pool}, nil
 }
 
 // Submit feeds a batch of arrivals into the session and advances
@@ -42,10 +47,11 @@ func (s *Scheduler) OpenOnline() (*OnlineSession, error) {
 // is the newest arrival it has heard about, so earlier work may still
 // be queued or running when the next batch lands. Task IDs must be
 // unique across the session's lifetime and arrivals must not precede
-// the session clock.
-func (o *OnlineSession) Submit(tasks model.TaskSet) error {
+// the session clock. Canceling ctx aborts the advance with an error
+// matching ErrCanceled.
+func (o *OnlineSession) Submit(ctx context.Context, tasks model.TaskSet) error {
 	if len(tasks) == 0 {
-		return fmt.Errorf("core: empty submission")
+		return ErrEmptySubmission
 	}
 	if err := o.sess.Inject(tasks); err != nil {
 		return err
@@ -56,7 +62,7 @@ func (o *OnlineSession) Submit(tasks model.TaskSet) error {
 			latest = t.Arrival
 		}
 	}
-	return o.sess.AdvanceTo(latest)
+	return wrapCanceled(o.sess.AdvanceTo(ctx, latest))
 }
 
 // Clock returns the session's virtual time in seconds.
@@ -66,7 +72,28 @@ func (o *OnlineSession) Clock() float64 { return o.sess.Clock() }
 func (o *OnlineSession) Pending() int { return o.sess.Pending() }
 
 // Drain runs every submitted task to completion and returns the final
-// measured result. The session cannot be used afterwards.
-func (o *OnlineSession) Drain() (*sim.Result, error) {
-	return o.sess.Finish()
+// measured result, releasing the session's worker pool. The session
+// cannot be used after a successful drain; after a canceled one it
+// remains usable (and Drain may be retried).
+func (o *OnlineSession) Drain(ctx context.Context) (*sim.Result, error) {
+	res, err := o.sess.Finish(ctx)
+	if err != nil {
+		return nil, wrapCanceled(err)
+	}
+	o.Close()
+	return res, nil
+}
+
+// Close releases the session's candidate-evaluation pool without
+// draining it. Idempotent; useful when a session is abandoned rather
+// than drained. A closed session must not receive further Submits.
+func (o *OnlineSession) Close() {
+	if o.pool != nil {
+		o.pool.Close()
+	}
+}
+
+// String identifies the session's policy, for logs.
+func (o *OnlineSession) String() string {
+	return fmt.Sprintf("online session (%s, pending %d)", o.lmc.Name(), o.Pending())
 }

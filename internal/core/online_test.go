@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -34,7 +35,7 @@ func TestOpenOnlineMatchesRunOnline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := ref.RunOnline(tasks)
+	want, err := ref.RunOnline(context.Background(), tasks)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestOpenOnlineMatchesRunOnline(t *testing.T) {
 		t.Fatal(err)
 	}
 	sched.Metrics = obs.NewRegistry()
-	sess, err := sched.OpenOnline()
+	sess, err := sched.OpenOnline(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestOpenOnlineMatchesRunOnline(t *testing.T) {
 		if n > len(ordered) {
 			n = len(ordered)
 		}
-		if err := sess.Submit(ordered[:n]); err != nil {
+		if err := sess.Submit(context.Background(), ordered[:n]); err != nil {
 			t.Fatal(err)
 		}
 		ordered = ordered[n:]
@@ -63,7 +64,7 @@ func TestOpenOnlineMatchesRunOnline(t *testing.T) {
 	if sess.Pending() == 0 {
 		t.Fatal("expected work still pending before drain (batches should interleave)")
 	}
-	got, err := sess.Drain()
+	got, err := sess.Drain(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,28 +85,28 @@ func TestOpenOnlineRejectsBadSubmissions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sess, err := sched.OpenOnline()
+	sess, err := sched.OpenOnline(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sess.Submit(nil); err == nil {
+	if err := sess.Submit(context.Background(), nil); err == nil {
 		t.Fatal("empty submission accepted")
 	}
 	batch := model.TaskSet{{ID: 1, Cycles: 10, Arrival: 5, Deadline: model.NoDeadline}}
-	if err := sess.Submit(batch); err != nil {
+	if err := sess.Submit(context.Background(), batch); err != nil {
 		t.Fatal(err)
 	}
 	if sess.Clock() != 5 {
 		t.Fatalf("clock %v != 5 (latest arrival)", sess.Clock())
 	}
 	stale := model.TaskSet{{ID: 2, Cycles: 10, Arrival: 1, Deadline: model.NoDeadline}}
-	if err := sess.Submit(stale); err == nil {
+	if err := sess.Submit(context.Background(), stale); err == nil {
 		t.Fatal("stale arrival accepted")
 	}
-	if _, err := sess.Drain(); err != nil {
+	if _, err := sess.Drain(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sess.Drain(); err == nil {
+	if _, err := sess.Drain(context.Background()); err == nil {
 		t.Fatal("double drain accepted")
 	}
 }

@@ -1,0 +1,45 @@
+package dynsched_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dvfsched/internal/dynsched"
+	"dvfsched/internal/model"
+	"dvfsched/internal/platform"
+)
+
+// TestMarginalInsertCostAllocs is the PR's allocation guard for the
+// marginal-cost query: once the node freelist is warm, probing "what
+// would inserting this task cost?" against a populated queue must not
+// allocate — the Least Marginal Cost policy issues one such probe per
+// core per arrival.
+func TestMarginalInsertCostAllocs(t *testing.T) {
+	s, err := dynsched.New(model.CostParams{Re: 0.1, Rt: 0.4}, platform.TableII())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 64; i++ {
+		if _, err := s.Insert(1 + rng.Float64()*100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One probe warms the freelist with the trial node.
+	if _, err := s.MarginalInsertCost(42); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Cost()
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := s.MarginalInsertCost(42); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("MarginalInsertCost allocated %.1f objects per run, want 0", allocs)
+	}
+	if got := s.Cost(); math.Float64bits(got) != math.Float64bits(before) {
+		t.Fatalf("probe mutated the queue cost: %v -> %v", before, got)
+	}
+}

@@ -18,6 +18,7 @@
 package dynsched
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -26,6 +27,16 @@ import (
 	"dvfsched/internal/model"
 	"dvfsched/internal/obs"
 	"dvfsched/internal/rangetree"
+)
+
+// Sentinel errors, matchable via errors.Is. Detailed messages wrap
+// these with %w.
+var (
+	// ErrBadCycles is returned when a task length is not positive and
+	// finite.
+	ErrBadCycles = errors.New("dynsched: cycles must be positive and finite")
+	// ErrBadHandle is returned when a handle is nil or already deleted.
+	ErrBadHandle = errors.New("dynsched: nil or already-deleted handle")
 )
 
 // Handle identifies a task inside a Scheduler.
@@ -149,8 +160,19 @@ func (s *Scheduler) refreshCost() {
 // Insert adds a task of the given length (Algorithm 5) and returns its
 // handle. O(|P-hat| + log N).
 func (s *Scheduler) Insert(cycles float64) (*Handle, error) {
+	node, err := s.insertNode(cycles)
+	if err != nil {
+		return nil, err
+	}
+	return &Handle{node: node, cycles: cycles}, nil
+}
+
+// insertNode is Insert without the Handle wrapper: the allocation-free
+// form used by MarginalInsertCost, whose trial insert would otherwise
+// allocate a Handle per candidate probe.
+func (s *Scheduler) insertNode(cycles float64) (*rangetree.Node, error) {
 	if cycles <= 0 || math.IsNaN(cycles) || math.IsInf(cycles, 0) {
-		return nil, fmt.Errorf("dynsched: cycles must be positive and finite, got %v", cycles)
+		return nil, fmt.Errorf("%w, got %v", ErrBadCycles, cycles)
 	}
 	if s.insertCtr != nil {
 		s.insertCtr.Inc()
@@ -197,20 +219,30 @@ func (s *Scheduler) Insert(cycles float64) (*Handle, error) {
 		r = nr
 	}
 	s.refreshCost()
-	return &Handle{node: node, cycles: cycles}, nil
+	return node, nil
 }
 
 // Delete removes a task previously inserted (Algorithm 6).
 // O(|P-hat| + log N). The handle must not be reused.
 func (s *Scheduler) Delete(h *Handle) error {
 	if h == nil || h.node == nil {
-		return fmt.Errorf("dynsched: nil or already-deleted handle")
+		return ErrBadHandle
 	}
+	if err := s.deleteNode(h.node, h.cycles); err != nil {
+		return err
+	}
+	h.node = nil
+	return nil
+}
+
+// deleteNode is Delete on a raw tree node; the node must have been
+// returned by insertNode on this scheduler and not deleted since.
+func (s *Scheduler) deleteNode(node *rangetree.Node, cycles float64) error {
 	if s.deleteCtr != nil {
 		s.deleteCtr.Inc()
 		defer s.observeUpdate()()
 	}
-	kb := s.tree.Rank(h.node)
+	kb := s.tree.Rank(node)
 	// i starts at the last non-empty range (Algorithm 6 line 2).
 	i := len(s.ranges) - 1
 	for i > 0 && s.ranges[i].b < s.ranges[i].a {
@@ -244,19 +276,18 @@ func (s *Scheduler) Delete(h *Handle) error {
 	r := &s.ranges[i]
 	// Remove the task's own contribution and the shift of everything
 	// after it inside the range (pre-deletion ranks kb+1..b).
-	r.d -= float64(kb-r.a+1)*h.cycles + s.tree.RangeXi(kb+1, r.b)
-	r.x -= h.cycles
+	r.d -= float64(kb-r.a+1)*cycles + s.tree.RangeXi(kb+1, r.b)
+	r.x -= cycles
 	r.b--
 	if r.a > r.b {
 		r.alpha, r.beta = nil, nil
-	} else if r.alpha == h.node {
-		r.alpha = h.node.Next()
-	} else if r.beta == h.node {
-		r.beta = h.node.Prev()
+	} else if r.alpha == node {
+		r.alpha = node.Next()
+	} else if r.beta == node {
+		r.beta = node.Prev()
 	}
 
-	s.tree.Delete(h.node)
-	h.node = nil
+	s.tree.Delete(node)
 	s.refreshCost()
 	return nil
 }
@@ -306,21 +337,24 @@ func (s *Scheduler) CostNaive() float64 {
 
 // MarginalInsertCost returns the cost increase that inserting a task
 // of the given length would cause, without changing the schedule
-// observably (it performs a trial insert and delete).
+// observably (it performs a trial insert and delete). The probe works
+// on raw tree nodes and the tree recycles them, so a steady-state
+// probe allocates nothing.
 func (s *Scheduler) MarginalInsertCost(cycles float64) (float64, error) {
 	// The probe insert/delete pair is not a real queue mutation; keep
 	// it out of the update metrics so they count structure changes.
 	ic, dc := s.insertCtr, s.deleteCtr
 	s.insertCtr, s.deleteCtr = nil, nil
-	defer func() { s.insertCtr, s.deleteCtr = ic, dc }()
-
 	before := s.cost
-	h, err := s.Insert(cycles)
+	node, err := s.insertNode(cycles)
 	if err != nil {
+		s.insertCtr, s.deleteCtr = ic, dc
 		return 0, err
 	}
 	after := s.cost
-	if err := s.Delete(h); err != nil {
+	err = s.deleteNode(node, cycles)
+	s.insertCtr, s.deleteCtr = ic, dc
+	if err != nil {
 		return 0, err
 	}
 	return after - before, nil

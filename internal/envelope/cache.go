@@ -1,0 +1,161 @@
+package envelope
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"dvfsched/internal/model"
+)
+
+// Cache memoizes Compute results, keyed by the *content* of the
+// (CostParams, RateTable) pair: platform presets construct a fresh
+// *model.RateTable per call, so pointer identity would never hit.
+// Envelopes are immutable, so one cached instance may be shared by any
+// number of cores, sessions and goroutines.
+//
+// Reads are RCU-style: the entry list is an immutable snapshot behind
+// an atomic.Value, so the hit path takes no locks and performs no
+// allocations. Misses serialize on a mutex, copy the snapshot, append
+// and swap. When the cache reaches capacity the next miss starts a
+// fresh epoch (drops every entry); with the handful of platform
+// configurations a process sees in practice, eviction never fires.
+type Cache struct {
+	max    int
+	cur    atomic.Value // []cacheEntry snapshot
+	mu     sync.Mutex   // serializes the miss path
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type cacheEntry struct {
+	hash   uint64
+	params model.CostParams
+	levels []model.RateLevel
+	env    *Envelope
+}
+
+// DefaultCacheSize bounds the shared cache: far above the number of
+// distinct (params, table) pairs a process is expected to see.
+const DefaultCacheSize = 64
+
+var shared = NewCache(DefaultCacheSize)
+
+// Shared returns the process-wide envelope cache used by default by
+// the high-level core API.
+func Shared() *Cache { return shared }
+
+// NewCache returns an empty cache holding at most max envelopes; max
+// <= 0 means DefaultCacheSize.
+func NewCache(max int) *Cache {
+	if max <= 0 {
+		max = DefaultCacheSize
+	}
+	return &Cache{max: max}
+}
+
+// keyHash is FNV-1a over the exact IEEE-754 bits of the cost constants
+// and every rate level, plus the level count. Exact bits, not epsilon
+// comparison: the cache must only unify inputs Compute itself would
+// treat identically.
+func keyHash(cp model.CostParams, rt *model.RateTable) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime
+			v >>= 8
+		}
+	}
+	mix(math.Float64bits(cp.Re))
+	mix(math.Float64bits(cp.Rt))
+	mix(uint64(rt.Len()))
+	for i := 0; i < rt.Len(); i++ {
+		l := rt.Level(i)
+		mix(math.Float64bits(l.Rate))
+		mix(math.Float64bits(l.Energy))
+		mix(math.Float64bits(l.Time))
+	}
+	return h
+}
+
+// match reports whether the entry was built from exactly these inputs.
+func (e *cacheEntry) match(cp model.CostParams, rt *model.RateTable) bool {
+	if math.Float64bits(e.params.Re) != math.Float64bits(cp.Re) ||
+		math.Float64bits(e.params.Rt) != math.Float64bits(cp.Rt) ||
+		len(e.levels) != rt.Len() {
+		return false
+	}
+	for i := range e.levels {
+		l := rt.Level(i)
+		if math.Float64bits(e.levels[i].Rate) != math.Float64bits(l.Rate) ||
+			math.Float64bits(e.levels[i].Energy) != math.Float64bits(l.Energy) ||
+			math.Float64bits(e.levels[i].Time) != math.Float64bits(l.Time) {
+			return false
+		}
+	}
+	return true
+}
+
+// Get returns the envelope for the pair, computing and caching it on
+// first sight. Concurrent callers may race to compute the same
+// envelope; exactly one result is published.
+func (c *Cache) Get(cp model.CostParams, rt *model.RateTable) (*Envelope, error) {
+	h := keyHash(cp, rt)
+	if env := c.lookup(h, cp, rt); env != nil {
+		c.hits.Add(1)
+		return env, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Re-check against the snapshot a concurrent miss may have
+	// published while we waited for the lock.
+	if env := c.lookup(h, cp, rt); env != nil {
+		c.hits.Add(1)
+		return env, nil
+	}
+	env, err := Compute(cp, rt)
+	if err != nil {
+		return nil, err
+	}
+	c.misses.Add(1)
+	old, _ := c.cur.Load().([]cacheEntry)
+	if len(old) >= c.max {
+		old = nil // new epoch: wholesale, deterministic eviction
+	}
+	next := make([]cacheEntry, len(old), len(old)+1)
+	copy(next, old)
+	levels := make([]model.RateLevel, rt.Len())
+	for i := range levels {
+		levels[i] = rt.Level(i)
+	}
+	next = append(next, cacheEntry{hash: h, params: cp, levels: levels, env: env})
+	c.cur.Store(next)
+	return env, nil
+}
+
+// lookup scans the current snapshot; nil on miss. Allocation-free.
+func (c *Cache) lookup(h uint64, cp model.CostParams, rt *model.RateTable) *Envelope {
+	cur, _ := c.cur.Load().([]cacheEntry)
+	for i := range cur {
+		if cur[i].hash == h && cur[i].match(cp, rt) {
+			return cur[i].env
+		}
+	}
+	return nil
+}
+
+// Len returns the number of cached envelopes.
+func (c *Cache) Len() int {
+	cur, _ := c.cur.Load().([]cacheEntry)
+	return len(cur)
+}
+
+// Stats returns cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}

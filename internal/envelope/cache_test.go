@@ -1,0 +1,131 @@
+package envelope
+
+import (
+	"sync"
+	"testing"
+
+	"dvfsched/internal/model"
+	"dvfsched/internal/platform"
+)
+
+func TestCacheReturnsSharedInstance(t *testing.T) {
+	c := NewCache(8)
+	params := model.CostParams{Re: 0.1, Rt: 0.4}
+
+	// Platform presets build a fresh *RateTable per call, so a hit here
+	// proves the cache keys on content, not pointer identity.
+	first, err := c.Get(params, platform.TableII())
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := c.Get(params, platform.TableII())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Fatal("content-identical inputs returned distinct envelopes")
+	}
+	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d hits, %d misses; want 1, 1", hits, misses)
+	}
+
+	want := MustCompute(params, platform.TableII())
+	if first.String() != want.String() {
+		t.Fatalf("cached envelope differs from direct Compute:\n  got  %v\n  want %v", first, want)
+	}
+}
+
+func TestCacheDistinguishesParamsAndTables(t *testing.T) {
+	c := NewCache(8)
+	a, err := c.Get(model.CostParams{Re: 0.1, Rt: 0.4}, platform.TableII())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Get(model.CostParams{Re: 0.2, Rt: 0.4}, platform.TableII())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.Get(model.CostParams{Re: 0.1, Rt: 0.4}, platform.IntelI7950())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b || a == d {
+		t.Fatal("distinct inputs were unified")
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+}
+
+func TestCacheEpochEviction(t *testing.T) {
+	c := NewCache(2)
+	tables := []*model.RateTable{platform.TableII(), platform.IntelI7950(), platform.ExynosT4412()}
+	params := model.CostParams{Re: 0.1, Rt: 0.4}
+	for _, rt := range tables {
+		if _, err := c.Get(params, rt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The third miss found the cache at capacity and started a new
+	// epoch holding only itself.
+	if c.Len() != 1 {
+		t.Fatalf("Len after epoch turnover = %d, want 1", c.Len())
+	}
+	// The evicted first entry is recomputed on demand.
+	if _, err := c.Get(params, platform.TableII()); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := c.Stats(); misses != 4 {
+		t.Fatalf("misses = %d, want 4", misses)
+	}
+}
+
+// TestCacheHitPathAllocs is the PR's allocation guard: a cache hit
+// must not allocate, or the memoization would leak garbage into the
+// per-arrival hot path it exists to clean up.
+func TestCacheHitPathAllocs(t *testing.T) {
+	c := NewCache(8)
+	params := model.CostParams{Re: 0.1, Rt: 0.4}
+	rt := platform.TableII()
+	if _, err := c.Get(params, rt); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := c.Get(params, rt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cache hit allocated %.1f objects per run, want 0", allocs)
+	}
+}
+
+// TestCacheConcurrentGet hammers one cache from many goroutines; under
+// -race this is the RCU snapshot's safety proof.
+func TestCacheConcurrentGet(t *testing.T) {
+	c := NewCache(8)
+	paramSets := []model.CostParams{
+		{Re: 0.1, Rt: 0.4},
+		{Re: 0.2, Rt: 0.4},
+		{Re: 0.1, Rt: 0.8},
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				p := paramSets[(g+i)%len(paramSets)]
+				env, err := c.Get(p, platform.TableII())
+				if err != nil || env == nil {
+					t.Errorf("Get: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() != len(paramSets) {
+		t.Fatalf("Len = %d, want %d", c.Len(), len(paramSets))
+	}
+}

@@ -1,0 +1,69 @@
+// Worker-pool shapes for the mutexblock analyzer, mirroring the
+// request/ack striped pool the online engine uses for candidate
+// evaluation: channel handoffs belong outside any lock, and the
+// analyzer must neither miss a handoff smuggled under a mutex nor
+// flag the lock-free steady state.
+package mutexcase
+
+import "sync"
+
+type pool struct {
+	mu     sync.Mutex
+	closed bool
+	reqs   []chan func(int)
+	acks   chan struct{}
+}
+
+func (p *pool) evalLockFree(n int, fn func(int)) {
+	// The hot path: fan out, run the caller's stripe, collect acks —
+	// no lock anywhere.
+	active := 0
+	for w := 1; w < len(p.reqs) && w < n; w++ {
+		p.reqs[w] <- fn // negative: no mutex held
+		active++
+	}
+	for j := 0; j < n; j += len(p.reqs) {
+		fn(j)
+	}
+	for i := 0; i < active; i++ {
+		<-p.acks // negative: no mutex held
+	}
+}
+
+func (p *pool) closeGuardedHandoff() {
+	// Bad shape: the shutdown handoff blocks every worker touching the
+	// same mutex. The state flip belongs under the lock, the channel
+	// operations after it.
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	for _, ch := range p.reqs {
+		ch <- nil // want "channel send while holding a mutex"
+	}
+	<-p.acks // want "channel receive while holding a mutex"
+}
+
+func (p *pool) closeThenDrain() {
+	// Good shape: flip the flag under the lock, hand off after.
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	for _, ch := range p.reqs {
+		close(ch)
+	}
+	<-p.acks // negative: lock released before the drain
+}
+
+func (p *pool) ackUnderAllow() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	//dvfslint:allow mutexblock the ack channel is buffered to pool width, so this send cannot block
+	p.acks <- struct{}{}
+}

@@ -25,6 +25,10 @@ const (
 	// ServerPlans counts batch plans computed by the planning plane
 	// (cache misses that ran the planner).
 	ServerPlans = "server.plans"
+	// ServerPlansAborted counts in-flight plans aborted by request
+	// cancellation or deadline (the context reached the planner and
+	// stopped it mid-computation).
+	ServerPlansAborted = "server.plans_aborted"
 	// ServerPlanQueueDepth gauges the planning plane's queued jobs.
 	ServerPlanQueueDepth = "server.plan.queue_depth"
 	// ServerPlanCacheHits / Misses count result-cache lookups; their

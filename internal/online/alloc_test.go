@@ -1,0 +1,63 @@
+package online_test
+
+import (
+	"context"
+	"testing"
+
+	"dvfsched/internal/envelope"
+	"dvfsched/internal/model"
+	"dvfsched/internal/online"
+	"dvfsched/internal/platform"
+	"dvfsched/internal/sim"
+)
+
+// TestLMCSingleArrivalAllocs is the PR's allocation guard for the
+// arrival hot path: with the envelope cache warm and the simulator's
+// event heap, run segments and dynamic-structure freelists in steady
+// state, placing one more non-interactive task — probe every core's
+// marginal cost, insert, dispatch — must stay within a small constant
+// allocation budget dominated by the injection bookkeeping (task
+// clone, state slab, map entry), with nothing per-core or per-probe.
+func TestLMCSingleArrivalAllocs(t *testing.T) {
+	params := model.CostParams{Re: 0.1, Rt: 0.4}
+	lmc, err := online.NewLMC(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lmc.Cache = envelope.NewCache(8)
+	plat := platform.Homogeneous(4, platform.TableII(), platform.Ideal{})
+	sess, err := sim.OpenSession(sim.Config{Platform: plat, Policy: lmc}, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Steady state: enough arrivals to size the heap, queues and
+	// freelists past their growth phase.
+	clock := 0.0
+	id := 0
+	inject := func(cycles float64) {
+		id++
+		clock += 0.25
+		task := model.TaskSet{{ID: id, Cycles: cycles, Arrival: clock, Deadline: model.NoDeadline}}
+		if err := sess.Inject(task); err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.AdvanceTo(ctx, clock); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 400; i++ {
+		inject(40)
+	}
+
+	allocs := testing.AllocsPerRun(200, func() { inject(40) })
+	// The observed steady state is ~5 objects per arrival (task clone,
+	// state slab, two queue/ID bookkeeping entries, timeline append);
+	// the bound leaves no room for the ~1 probe + 2 insert allocations
+	// per core the old path paid.
+	const budget = 8
+	if allocs > budget {
+		t.Fatalf("single arrival allocated %.1f objects, budget %d", allocs, budget)
+	}
+}

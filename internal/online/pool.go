@@ -1,0 +1,90 @@
+package online
+
+// minParallelCores is the smallest core count for which fanning probe
+// evaluation out to the pool beats running it inline: below it the
+// channel handoffs cost more than the probes.
+const minParallelCores = 4
+
+// ProbePool is a bounded worker pool for evaluating per-core candidate
+// probes (Eq. 27 preemption costs, Eq. 26 marginal insertion costs)
+// concurrently. Core j is always evaluated by the same worker (stripe
+// j mod width, with stripe 0 run by the calling goroutine), so each
+// core's dynamic structure is only ever touched by one goroutine per
+// evaluation, and the request/ack channel pair orders those touches
+// against the owner goroutine's own mutations.
+//
+// A pool is owned by whoever constructs it and must be Closed to
+// release its worker goroutines. Eval and Close must be called from a
+// single goroutine.
+type ProbePool struct {
+	width  int
+	reqs   []chan evalReq
+	acks   chan struct{}
+	closed bool
+}
+
+type evalReq struct {
+	n  int
+	fn func(j int)
+}
+
+// NewProbePool returns a pool of the given width (clamped to a minimum
+// of 2: width 1 would be the sequential path). The pool starts width-1
+// worker goroutines.
+func NewProbePool(width int) *ProbePool {
+	if width < 2 {
+		width = 2
+	}
+	p := &ProbePool{
+		width: width,
+		reqs:  make([]chan evalReq, width),
+		acks:  make(chan struct{}, width),
+	}
+	for w := 1; w < width; w++ {
+		p.reqs[w] = make(chan evalReq, 1)
+		go p.run(w)
+	}
+	return p
+}
+
+func (p *ProbePool) run(w int) {
+	for req := range p.reqs[w] {
+		for j := w; j < req.n; j += p.width {
+			req.fn(j)
+		}
+		p.acks <- struct{}{}
+	}
+}
+
+// Eval invokes fn(j) exactly once for every j in [0, n), striping the
+// indices across the pool, and returns once every invocation has
+// finished. fn must not call back into the pool.
+func (p *ProbePool) Eval(n int, fn func(j int)) {
+	active := 0
+	for w := 1; w < p.width && w < n; w++ {
+		p.reqs[w] <- evalReq{n: n, fn: fn}
+		active++
+	}
+	for j := 0; j < n; j += p.width {
+		fn(j)
+	}
+	for i := 0; i < active; i++ {
+		<-p.acks
+	}
+}
+
+// Width returns the pool's total evaluation width, including the
+// calling goroutine's stripe.
+func (p *ProbePool) Width() int { return p.width }
+
+// Close releases the worker goroutines. Idempotent; Eval must not be
+// called after Close.
+func (p *ProbePool) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	for w := 1; w < p.width; w++ {
+		close(p.reqs[w])
+	}
+}

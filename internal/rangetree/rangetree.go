@@ -86,6 +86,12 @@ type Tree struct {
 	root     *Node
 	seq      uint64
 	rngState uint64
+	// free heads the freelist of recycled nodes, linked through their
+	// right pointers. Delete pushes, Insert pops, so steady-state
+	// insert/delete churn (the LMC marginal-cost probes) allocates
+	// nothing. The priority stream is independent of recycling, so tree
+	// shapes are identical with or without it.
+	free *Node
 }
 
 // New returns an empty tree with the default priority seed.
@@ -147,9 +153,18 @@ func (t *Tree) rotateUp(c *Node) {
 }
 
 // Insert adds a task length and returns its handle. O(log N).
+// Handles returned by Insert are owned by the caller until passed to
+// Delete; after that the node may be recycled by a later Insert.
 func (t *Tree) Insert(cycles float64) *Node {
 	t.seq++
-	n := &Node{cycles: cycles, seq: t.seq, prio: t.nextPrio()}
+	n := t.free
+	if n != nil {
+		t.free = n.right
+		*n = Node{}
+	} else {
+		n = &Node{}
+	}
+	n.cycles, n.seq, n.prio = cycles, t.seq, t.nextPrio()
 	n.pull()
 	if t.root == nil {
 		t.root = n
@@ -229,6 +244,9 @@ func (t *Tree) Delete(n *Node) {
 	}
 	n.left, n.right, n.parent, n.prev, n.next = nil, nil, nil, nil, nil
 	n.size, n.xi, n.delta = 0, 0, 0
+	// Recycle: the handle is dead to the caller from here on.
+	n.right = t.free
+	t.free = n
 }
 
 // Rank returns the 1-based in-order rank of n (its backward position

@@ -1,0 +1,25 @@
+package server
+
+import "errors"
+
+// Sentinel errors for the service planes, matchable via errors.Is.
+// writeAPIError (wire.go) maps them — together with the core facade's
+// sentinels — to HTTP statuses.
+var (
+	// ErrBusy reports a full bounded queue (plan queue or shard request
+	// queue): backpressure. 429 in steady state, 503 once a drain has
+	// begun.
+	ErrBusy = errors.New("server: queue full; retry later")
+	// ErrSessionGone reports a purged session whose goroutine has
+	// exited: 404.
+	ErrSessionGone = errors.New("server: session is gone")
+	// ErrSessionDrained reports a submit against a session that has
+	// already been drained to its final result: 409.
+	ErrSessionDrained = errors.New("server: session already drained")
+	// ErrSessionTableFull reports the registry at MaxSessions: 429 in
+	// steady state, 503 once a drain has begun.
+	ErrSessionTableFull = errors.New("server: session table full")
+	// ErrDraining reports new work refused because graceful shutdown
+	// has begun: 503, so load balancers fail over instead of retrying.
+	ErrDraining = errors.New("server: draining; not accepting new work")
+)

@@ -6,6 +6,8 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"errors"
+	"fmt"
 	"math"
 	"net/http"
 	"sort"
@@ -45,9 +47,16 @@ type planner struct {
 	wg        sync.WaitGroup
 
 	plans      *obs.Counter
+	aborts     *obs.Counter
 	hits       *obs.Counter
 	misses     *obs.Counter
 	queueDepth *obs.Gauge
+
+	// onComputeStart, when set by a test, runs on the worker goroutine
+	// just before planning begins, receiving the job's context — the
+	// hook cancellation tests use to hold a plan verifiably in flight
+	// until the request is canceled.
+	onComputeStart func(ctx context.Context)
 }
 
 // newPlanner starts workers goroutines over a queue of the given
@@ -62,6 +71,7 @@ func newPlanner(workers, queueDepth, cacheSize int, reg *obs.Registry) *planner 
 		cache:      newLRUCache(cacheSize),
 		closed:     make(chan struct{}),
 		plans:      reg.Counter(obs.ServerPlans),
+		aborts:     reg.Counter(obs.ServerPlansAborted),
 		hits:       reg.Counter(obs.ServerPlanCacheHits),
 		misses:     reg.Counter(obs.ServerPlanCacheMisses),
 		queueDepth: reg.Gauge(obs.ServerPlanQueueDepth),
@@ -99,12 +109,18 @@ func (p *planner) worker() {
 // compute runs the batch planner through the core facade and shapes
 // the wire response.
 func (p *planner) compute(job planJob) (PlanResponse, error) {
+	if p.onComputeStart != nil {
+		p.onComputeStart(job.ctx)
+	}
 	sched, err := core.New(job.params, job.plat)
 	if err != nil {
 		return PlanResponse{}, err
 	}
-	plan, err := sched.PlanBatch(job.tasks)
+	plan, err := sched.PlanBatch(job.ctx, job.tasks)
 	if err != nil {
+		if errors.Is(err, core.ErrCanceled) {
+			p.aborts.Inc()
+		}
 		return PlanResponse{}, err
 	}
 	var buf bytes.Buffer
@@ -129,6 +145,10 @@ func (p *planner) compute(job planJob) (PlanResponse, error) {
 
 // handlePlan is POST /v1/plan.
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeAPIError(w, ErrDraining, http.StatusServiceUnavailable)
+		return
+	}
 	var req PlanRequest
 	if err := decodeJSON(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -175,14 +195,13 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
 		return
 	default:
-		s.rejected.Inc()
-		writeError(w, http.StatusTooManyRequests, "plan queue full (%d queued); retry later", cap(s.planner.queue))
+		s.writeAPIError(w, fmt.Errorf("%w: plan queue full (%d queued)", ErrBusy, cap(s.planner.queue)), http.StatusTooManyRequests)
 		return
 	}
 	select {
 	case rep := <-job.reply:
 		if rep.err != nil {
-			writeError(w, http.StatusBadRequest, "%v", rep.err)
+			s.writeAPIError(w, rep.err, http.StatusBadRequest)
 			return
 		}
 		writeJSON(w, http.StatusOK, rep.resp)

@@ -17,6 +17,7 @@ import (
 	"net/http"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dvfsched/internal/obs"
@@ -37,6 +38,11 @@ type Config struct {
 	MaxSessions int
 	// SessionQueueDepth bounds each shard's request queue; 0 means 64.
 	SessionQueueDepth int
+	// SessionParallelism, when >= 2, gives each online session a
+	// candidate-evaluation worker pool of that width
+	// (core.WithParallelism); 0 or 1 keeps placement sequential.
+	// Schedules are identical either way.
+	SessionParallelism int
 	// RequestTimeout bounds each request's handling time; 0 means 30s.
 	RequestTimeout time.Duration
 	// Registry receives the server's metrics; nil means a fresh one.
@@ -79,6 +85,7 @@ type Server struct {
 	started  time.Time
 
 	closeOnce sync.Once
+	draining  atomic.Bool
 
 	requests *obs.Counter
 	failures *obs.Counter
@@ -100,7 +107,7 @@ func New(cfg Config) *Server {
 		cfg:      cfg,
 		reg:      reg,
 		planner:  newPlanner(cfg.Workers, cfg.QueueDepth, cfg.CacheSize, reg),
-		sessions: newSessions(cfg.MaxSessions, cfg.SessionQueueDepth, reg),
+		sessions: newSessions(cfg.MaxSessions, cfg.SessionQueueDepth, cfg.SessionParallelism, reg),
 		started:  time.Now(),
 		requests: reg.Counter(obs.ServerRequests),
 		failures: reg.Counter(obs.ServerFailures),
@@ -134,6 +141,16 @@ func (s *Server) Registry() *obs.Registry { return s.reg }
 // Sessions returns the number of registered sessions (live plus
 // tombstoned), for health reporting.
 func (s *Server) Sessions() int { return s.sessions.count() }
+
+// BeginDrain flips the server into drain mode: both planes refuse new
+// work with 503 (ErrDraining) so load balancers fail over, while
+// in-flight requests, already-queued plans and DrainAll itself
+// proceed. Idempotent. cmd/dvfschedd calls it on SIGTERM before
+// shutting the listener down.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Close stops the planning workers. Call after the http.Server has
 // stopped serving and sessions are drained.

@@ -101,7 +101,7 @@ func TestPlanMatchesDirectScheduler(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan, err := sched.PlanBatch(tasks)
+	plan, err := sched.PlanBatch(context.Background(), tasks)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -343,7 +343,7 @@ func TestSessionRejectsStaleArrivalsAndDrainedSubmits(t *testing.T) {
 	}
 	if code := doJSON(t, "POST", base+"/tasks", SubmitRequest{
 		Tasks: []trace.Record{{ID: 2, Cycles: 5, Arrival: 1e6}},
-	}, &eresp); code != http.StatusBadRequest || !strings.Contains(eresp.Error, "drained") {
+	}, &eresp); code != http.StatusConflict || !strings.Contains(eresp.Error, "drained") {
 		t.Fatalf("submit after drain: status %d error %q", code, eresp.Error)
 	}
 }

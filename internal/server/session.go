@@ -10,7 +10,9 @@ import (
 	"sync"
 
 	"dvfsched/internal/core"
+	"dvfsched/internal/model"
 	"dvfsched/internal/obs"
+	"dvfsched/internal/platform"
 )
 
 // sessions is the registry of live and drained (tombstoned) shards.
@@ -20,6 +22,7 @@ type sessions struct {
 	seq        int
 	maxOpen    int
 	queueDepth int
+	parallel   int
 
 	open    *obs.Gauge
 	opened  *obs.Counter
@@ -27,11 +30,12 @@ type sessions struct {
 	tasks   *obs.Counter
 }
 
-func newSessions(maxOpen, queueDepth int, reg *obs.Registry) *sessions {
+func newSessions(maxOpen, queueDepth, parallel int, reg *obs.Registry) *sessions {
 	return &sessions{
 		m:          map[string]*shard{},
 		maxOpen:    maxOpen,
 		queueDepth: queueDepth,
+		parallel:   parallel,
 		open:       reg.Gauge(obs.ServerSessionsOpen),
 		opened:     reg.Counter(obs.ServerSessionsOpened),
 		drained:    reg.Counter(obs.ServerSessionsDrained),
@@ -40,15 +44,15 @@ func newSessions(maxOpen, queueDepth int, reg *obs.Registry) *sessions {
 }
 
 // create opens a new shard under a fresh ID.
-func (ss *sessions) create(spec PlatformSpec, sched *core.Scheduler) (*shard, error) {
+func (ss *sessions) create(spec PlatformSpec, params model.CostParams, plat *platform.Platform) (*shard, error) {
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
 	if len(ss.m) >= ss.maxOpen {
-		return nil, fmt.Errorf("session table full (%d); drain and delete old sessions", ss.maxOpen)
+		return nil, fmt.Errorf("%w (%d); drain and delete old sessions", ErrSessionTableFull, ss.maxOpen)
 	}
 	ss.seq++
 	id := fmt.Sprintf("s-%06d", ss.seq)
-	sh, err := newShard(id, spec, sched, ss.queueDepth)
+	sh, err := newShard(id, spec, params, plat, ss.queueDepth, ss.parallel)
 	if err != nil {
 		return nil, err
 	}
@@ -98,6 +102,10 @@ func (ss *sessions) count() int {
 
 // handleSessionCreate is POST /v1/sessions.
 func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeAPIError(w, ErrDraining, http.StatusServiceUnavailable)
+		return
+	}
 	var spec PlatformSpec
 	if err := decodeJSON(w, r, &spec); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -108,15 +116,9 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	sched, err := core.New(params, plat)
+	sh, err := s.sessions.create(spec, params, plat)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	sh, err := s.sessions.create(spec, sched)
-	if err != nil {
-		s.rejected.Inc()
-		writeError(w, http.StatusTooManyRequests, "%v", err)
+		s.writeAPIError(w, err, http.StatusBadRequest)
 		return
 	}
 	writeJSON(w, http.StatusCreated, SessionInfo{ID: sh.id, PlatformSpec: sh.spec})
@@ -141,7 +143,7 @@ func (s *Server) handleSessionStatus(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := sh.do(r.Context(), shardReq{op: opStatus})
 	if err != nil {
-		s.writeShardError(w, err)
+		s.writeAPIError(w, err, http.StatusInternalServerError)
 		return
 	}
 	writeJSON(w, http.StatusOK, SessionInfo{
@@ -156,6 +158,10 @@ func (s *Server) handleSessionStatus(w http.ResponseWriter, r *http.Request) {
 
 // handleSessionSubmit is POST /v1/sessions/{id}/tasks.
 func (s *Server) handleSessionSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeAPIError(w, ErrDraining, http.StatusServiceUnavailable)
+		return
+	}
 	sh, ok := s.lookupShard(w, r)
 	if !ok {
 		return
@@ -172,11 +178,13 @@ func (s *Server) handleSessionSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := sh.do(r.Context(), shardReq{op: opSubmit, tasks: tasks})
 	if err != nil {
-		s.writeShardError(w, err)
+		s.writeAPIError(w, err, http.StatusInternalServerError)
 		return
 	}
 	if resp.err != nil {
-		writeError(w, http.StatusBadRequest, "%v", resp.err)
+		// Session-level failures (duplicate IDs, stale arrivals) are the
+		// client's fault; sentinels (drained, canceled) map themselves.
+		s.writeAPIError(w, resp.err, http.StatusBadRequest)
 		return
 	}
 	s.sessions.tasks.Add(float64(len(tasks)))
@@ -217,7 +225,7 @@ func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := sh.do(r.Context(), shardReq{op: opStatus})
 	if err != nil {
-		s.writeShardError(w, err)
+		s.writeAPIError(w, err, http.StatusInternalServerError)
 		return
 	}
 	if resp.drained {
@@ -227,7 +235,7 @@ func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err = sh.do(r.Context(), shardReq{op: opDrain})
 	if err != nil {
-		s.writeShardError(w, err)
+		s.writeAPIError(w, err, http.StatusInternalServerError)
 		return
 	}
 	if resp.first {
@@ -235,6 +243,12 @@ func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 		s.sessions.open.Add(-1)
 	}
 	if resp.err != nil {
+		if errors.Is(resp.err, core.ErrCanceled) {
+			// The request deadline aborted the drain mid-flight; the
+			// session is still live and the drain can be retried.
+			s.writeAPIError(w, resp.err, http.StatusInternalServerError)
+			return
+		}
 		// Nothing was ever submitted (or the drain failed): purge and
 		// report.
 		s.sessions.remove(sh.id)
@@ -242,21 +256,6 @@ func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, drainResponse(sh.id, resp.result))
-}
-
-// writeShardError maps shard transport errors to HTTP statuses.
-func (s *Server) writeShardError(w http.ResponseWriter, err error) {
-	switch {
-	case errors.Is(err, errBusy):
-		s.rejected.Inc()
-		writeError(w, http.StatusTooManyRequests, "%v", err)
-	case errors.Is(err, errGone):
-		writeError(w, http.StatusNotFound, "%v", err)
-	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-		writeError(w, http.StatusServiceUnavailable, "request cancelled or timed out")
-	default:
-		writeError(w, http.StatusInternalServerError, "%v", err)
-	}
 }
 
 // DrainSummary describes one session drained during shutdown.
@@ -270,8 +269,10 @@ type DrainSummary struct {
 // DrainAll drains every live session, in ID order, and returns one
 // summary per session that had work. It is the graceful-shutdown path:
 // pending virtual-time work is completed (tasks are never dropped),
-// tombstones stay readable until the process exits.
+// tombstones stay readable until the process exits. It implies
+// BeginDrain, so the planes refuse new work with 503 while it runs.
 func (s *Server) DrainAll(ctx context.Context) []DrainSummary {
+	s.BeginDrain()
 	var out []DrainSummary
 	for _, sh := range s.sessions.all() {
 		st, err := sh.do(ctx, shardReq{op: opStatus})

@@ -2,11 +2,13 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"dvfsched/internal/core"
 	"dvfsched/internal/model"
 	"dvfsched/internal/obs"
+	"dvfsched/internal/platform"
 	"dvfsched/internal/sim"
 )
 
@@ -20,9 +22,13 @@ const (
 	opPurge
 )
 
-// shardReq is one message on a shard's request channel.
+// shardReq is one message on a shard's request channel. ctx is the
+// originating request's context: the shard goroutine threads it into
+// Submit and Drain so an HTTP deadline cancels the virtual-time
+// advance it is paying for.
 type shardReq struct {
 	op    shardOp
+	ctx   context.Context
 	tasks model.TaskSet
 	reply chan shardResp
 }
@@ -57,13 +63,22 @@ type shard struct {
 	dead chan struct{}
 }
 
-// newShard opens the session and starts its goroutine. queueDepth
-// bounds the number of in-flight requests; overflow is reported to the
-// caller as backpressure.
-func newShard(id string, spec PlatformSpec, sched *core.Scheduler, queueDepth int) (*shard, error) {
+// newShard builds the session's scheduler (sink and, when parallel >=
+// 2, a candidate-evaluation pool wired through options), opens the
+// session and starts its goroutine. queueDepth bounds the number of
+// in-flight requests; overflow is reported to the caller as
+// backpressure.
+func newShard(id string, spec PlatformSpec, params model.CostParams, plat *platform.Platform, queueDepth, parallel int) (*shard, error) {
 	rec := &obs.Recorder{}
-	sched.Sink = rec
-	sess, err := sched.OpenOnline()
+	opts := []core.Option{core.WithSink(rec)}
+	if parallel >= 2 {
+		opts = append(opts, core.WithParallelism(parallel))
+	}
+	sched, err := core.New(params, plat, opts...)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := sched.OpenOnline(context.Background())
 	if err != nil {
 		return nil, err
 	}
@@ -80,9 +95,12 @@ func newShard(id string, spec PlatformSpec, sched *core.Scheduler, queueDepth in
 
 // loop is the shard goroutine: it serializes every touch of the
 // session and retains the drained result as a tombstone so the trace
-// and final report stay readable until the shard is purged.
+// and final report stay readable until the shard is purged. On exit it
+// releases the session's evaluation pool (idempotent after a drain),
+// so purging an undrained shard never leaks pool goroutines.
 func (sh *shard) loop(sess *core.OnlineSession) {
 	defer close(sh.dead)
+	defer sess.Close()
 	var (
 		submitted int
 		final     *sim.Result
@@ -93,10 +111,10 @@ func (sh *shard) loop(sess *core.OnlineSession) {
 		switch req.op {
 		case opSubmit:
 			if final != nil || finalErr != nil {
-				resp.err = fmt.Errorf("session %s already drained", sh.id)
+				resp.err = fmt.Errorf("%w: %s", ErrSessionDrained, sh.id)
 				break
 			}
-			if err := sess.Submit(req.tasks); err != nil {
+			if err := sess.Submit(req.ctx, req.tasks); err != nil {
 				resp.err = err
 				break
 			}
@@ -112,7 +130,16 @@ func (sh *shard) loop(sess *core.OnlineSession) {
 			}
 		case opDrain:
 			if final == nil && finalErr == nil {
-				final, finalErr = sess.Drain()
+				res, err := sess.Drain(req.ctx)
+				if err != nil && errors.Is(err, core.ErrCanceled) {
+					// A canceled drain is retryable: the engine stopped at
+					// an event boundary and stays consistent, so don't
+					// tombstone the session.
+					resp.err = err
+					resp.submitted = submitted
+					break
+				}
+				final, finalErr = res, err
 				resp.first = true
 			}
 			resp.result, resp.err, resp.drained = final, finalErr, true
@@ -130,23 +157,24 @@ func (sh *shard) loop(sess *core.OnlineSession) {
 
 // do sends a request to the shard goroutine and waits for its reply,
 // honoring context cancellation and shard death. A full request queue
-// returns errBusy immediately (429 backpressure at the HTTP layer).
+// returns ErrBusy immediately (backpressure at the HTTP layer).
 func (sh *shard) do(ctx context.Context, req shardReq) (shardResp, error) {
+	req.ctx = ctx
 	req.reply = make(chan shardResp, 1)
 	select {
 	case sh.reqs <- req:
 	case <-sh.dead:
-		return shardResp{}, errGone
+		return shardResp{}, fmt.Errorf("%w: %s", ErrSessionGone, sh.id)
 	case <-ctx.Done():
 		return shardResp{}, ctx.Err()
 	default:
-		return shardResp{}, errBusy
+		return shardResp{}, fmt.Errorf("%w: session %s", ErrBusy, sh.id)
 	}
 	select {
 	case resp := <-req.reply:
 		return resp, nil
 	case <-sh.dead:
-		return shardResp{}, errGone
+		return shardResp{}, fmt.Errorf("%w: %s", ErrSessionGone, sh.id)
 	case <-ctx.Done():
 		return shardResp{}, ctx.Err()
 	}
@@ -159,8 +187,3 @@ func (sh *shard) purge() {
 	case <-sh.dead:
 	}
 }
-
-var (
-	errBusy = fmt.Errorf("session queue full; retry later")
-	errGone = fmt.Errorf("session is gone")
-)

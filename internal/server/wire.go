@@ -1,11 +1,14 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 
+	"dvfsched/internal/core"
 	"dvfsched/internal/model"
 	"dvfsched/internal/platform"
 	"dvfsched/internal/sim"
@@ -182,6 +185,40 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // writeError serializes a JSON error body.
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeAPIError maps typed errors to HTTP statuses: this package's
+// sentinels (errors.go) plus the core facade's. Backpressure (ErrBusy,
+// ErrSessionTableFull) is 429 in steady state and 503 once a drain has
+// begun, so load balancers stop retrying a terminating replica instead
+// of backing off against it. Errors matching none of the sentinels get
+// the caller's fallback status.
+func (s *Server) writeAPIError(w http.ResponseWriter, err error, fallback int) {
+	switch {
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, ErrBusy), errors.Is(err, ErrSessionTableFull):
+		if s.draining.Load() {
+			writeError(w, http.StatusServiceUnavailable, "%v (draining)", err)
+			return
+		}
+		s.rejected.Inc()
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, ErrSessionGone):
+		writeError(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, ErrSessionDrained):
+		writeError(w, http.StatusConflict, "%v", err)
+	case errors.Is(err, core.ErrCanceled),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusServiceUnavailable, "request cancelled or timed out: %v", err)
+	case errors.Is(err, core.ErrNotBatchable),
+		errors.Is(err, core.ErrNoCores),
+		errors.Is(err, core.ErrEmptySubmission):
+		writeError(w, http.StatusBadRequest, "%v", err)
+	default:
+		writeError(w, fallback, "%v", err)
+	}
 }
 
 // tasksFromRecords converts wire records into model tasks.

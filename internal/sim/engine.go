@@ -11,7 +11,8 @@
 package sim
 
 import (
-	"container/heap"
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -20,6 +21,17 @@ import (
 	"dvfsched/internal/obs"
 	"dvfsched/internal/platform"
 	"dvfsched/internal/power"
+)
+
+// Sentinel errors for session lifecycle and cancellation, matchable
+// via errors.Is. Detailed messages wrap these with %w.
+var (
+	// ErrSessionFinished is returned by every Session method once
+	// Finish has run.
+	ErrSessionFinished = errors.New("sim: session already finished")
+	// ErrCanceled is returned when a run is aborted by its context; the
+	// underlying context.Canceled / DeadlineExceeded is wrapped too.
+	ErrCanceled = errors.New("sim: run canceled")
 )
 
 // TaskState tracks one task through the simulation. Policies receive
@@ -106,36 +118,98 @@ const (
 	evArrival
 )
 
+// event is one queued simulator event. It is deliberately pointer-free
+// (tasks are referenced by index into Engine.tasks) so the event array
+// never incurs GC write barriers, and it lives in a typed d-ary heap
+// rather than container/heap: the interface boxing on every Push/Pop
+// used to dominate the LMC hot path's allocations.
 type event struct {
 	time  float64
 	kind  int
 	order uint64 // global arrival order for full determinism
 	core  int
 	seq   uint64 // completion validity check
-	task  *TaskState
+	task  int    // index into Engine.tasks for evArrival; -1 otherwise
 }
 
+// eventLess is the strict total order on events: time, then kind, then
+// the unique order counter (orderCtr increments before every push, so
+// no two queued events compare equal). Because the order breaks every
+// tie, any correct min-heap — whatever its arity or internal layout —
+// pops events in exactly this sequence; the typed heap below is
+// behavior-identical to the container/heap it replaced.
+func eventLess(a, b *event) bool {
+	//dvfslint:allow floatcmp event-heap ordering needs a strict weak order; epsilon equality is intransitive
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	if a.kind != b.kind {
+		return a.kind < b.kind
+	}
+	return a.order < b.order
+}
+
+// heapArity is the event heap's branching factor. 4-ary halves the
+// tree depth of the binary layout, trading a few extra comparisons per
+// level for far fewer cache-missing swap chains in down — the
+// simulator's single hottest loop. Pop order is unaffected (see
+// eventLess).
+const heapArity = 4
+
+// eventHeap is a typed d-ary min-heap of events.
 type eventHeap []event
 
 func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	//dvfslint:allow floatcmp event-heap ordering needs a strict weak order; epsilon equality is intransitive
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	if h[i].kind != h[j].kind {
-		return h[i].kind < h[j].kind
-	}
-	return h[i].order < h[j].order
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	h.up(len(*h) - 1)
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+func (h *eventHeap) pop() event {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	h.down(0, n)
+	ev := s[n]
+	s[n] = event{} // keep the dead slot zeroed
+	*h = s[:n]
+	return ev
+}
+
+func (h eventHeap) up(j int) {
+	for j > 0 {
+		i := (j - 1) / heapArity // parent
+		if !eventLess(&h[j], &h[i]) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (h eventHeap) down(i, n int) {
+	for {
+		first := heapArity*i + 1
+		if first >= n || first < 0 { // first < 0 after int overflow
+			break
+		}
+		j := first // least child
+		last := first + heapArity
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if eventLess(&h[c], &h[j]) {
+				j = c
+			}
+		}
+		if !eventLess(&h[j], &h[i]) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
 }
 
 // runSeg is the execution segment of the task currently on a core.
@@ -149,10 +223,15 @@ type runSeg struct {
 }
 
 type coreState struct {
-	id     int
-	rates  *model.RateTable
-	level  model.RateLevel
+	id    int
+	rates *model.RateTable
+	level model.RateLevel
+	// run points at seg while a task executes and is nil when idle;
+	// seg is the per-core scratch segment reused across starts so the
+	// steady-state arrival path never allocates. Nothing outside the
+	// engine may retain *runSeg across events.
 	run    *runSeg
+	seg    runSeg
 	isBusy bool
 	// busy accounting
 	busyMark     float64
@@ -295,7 +374,7 @@ func (e *Engine) rescheduleAll() {
 		}
 		end := start + seg.ts.Remaining*seg.tpc
 		e.orderCtr++
-		heap.Push(&e.events, event{time: end, kind: evCompletion, order: e.orderCtr, core: c.id, seq: seg.seq})
+		e.events.push(event{time: end, kind: evCompletion, order: e.orderCtr, core: c.id, seq: seg.seq, task: -1})
 	}
 }
 
@@ -326,12 +405,13 @@ func (e *Engine) Start(i int, ts *TaskState, level model.RateLevel) error {
 		ts.Started = true
 		ts.FirstStart = e.clock
 	}
-	c.run = &runSeg{
+	c.seg = runSeg{
 		ts:         ts,
 		level:      level,
 		execStart:  e.clock + stall,
 		lastSettle: e.clock + stall,
 	}
+	c.run = &c.seg
 	c.accountBusy(e.clock)
 	c.isBusy = true
 	e.active++
@@ -432,6 +512,13 @@ type Result struct {
 // outcome. It is deterministic for identical inputs. Run is the
 // one-shot form of a Session: open, inject everything, drain, finish.
 func Run(cfg Config, tasks model.TaskSet, params model.CostParams) (*Result, error) {
+	return RunContext(context.Background(), cfg, tasks, params)
+}
+
+// RunContext is Run with cancellation: the context is polled between
+// events, and a canceled run returns an error matching ErrCanceled and
+// the context's own error.
+func RunContext(ctx context.Context, cfg Config, tasks model.TaskSet, params model.CostParams) (*Result, error) {
 	if err := tasks.Validate(); err != nil {
 		return nil, err
 	}
@@ -442,7 +529,7 @@ func Run(cfg Config, tasks model.TaskSet, params model.CostParams) (*Result, err
 	if err := s.Inject(tasks); err != nil {
 		return nil, err
 	}
-	return s.Finish()
+	return s.Finish(ctx)
 }
 
 // finalize summarizes the engine state into a Result once every task

@@ -1,7 +1,7 @@
 package sim
 
 import (
-	"container/heap"
+	"context"
 	"fmt"
 	"math"
 
@@ -29,6 +29,10 @@ type Session struct {
 	// tickAt is the virtual time of the pending tick event, or NaN when
 	// no tick is scheduled.
 	tickAt float64
+	// steps counts processed events; the driving context is polled
+	// every ctxPollInterval of them so cancellation latency stays
+	// bounded without paying a context check per event.
+	steps uint64
 	// finished is set once Finish has run; further mutation is an
 	// error.
 	finished bool
@@ -36,6 +40,11 @@ type Session struct {
 	// testInvariants.
 	inv *obs.InvariantSink
 }
+
+// ctxPollInterval is how many events a session processes between
+// context checks. Events are sub-microsecond, so cancellation is still
+// observed within tens of microseconds.
+const ctxPollInterval = 256
 
 // OpenSession validates the configuration and returns an empty session
 // at virtual time 0. The policy's Init callback runs here, before any
@@ -87,7 +96,7 @@ func (s *Session) Pending() int { return s.e.undone }
 // visible to the policy when virtual time reaches their arrival.
 func (s *Session) Inject(tasks model.TaskSet) error {
 	if s.finished {
-		return fmt.Errorf("sim: session already finished")
+		return ErrSessionFinished
 	}
 	for _, t := range tasks {
 		if err := t.Validate(); err != nil {
@@ -103,18 +112,21 @@ func (s *Session) Inject(tasks model.TaskSet) error {
 	e := s.e
 	sorted := tasks.Clone()
 	sorted.ByArrival()
-	for _, t := range sorted {
+	// One TaskState slab per batch: e.tasks holds pointers into it, so
+	// injection costs O(1) allocations however large the batch is.
+	states := make([]TaskState, len(sorted))
+	for i, t := range sorted {
 		s.ids[t.ID] = true
-		ts := &TaskState{Task: t, Remaining: t.Cycles}
-		e.tasks = append(e.tasks, ts)
+		states[i] = TaskState{Task: t, Remaining: t.Cycles}
+		e.tasks = append(e.tasks, &states[i])
 		e.orderCtr++
-		heap.Push(&e.events, event{time: t.Arrival, kind: evArrival, order: e.orderCtr, task: ts})
+		e.events.push(event{time: t.Arrival, kind: evArrival, order: e.orderCtr, task: len(e.tasks) - 1})
 	}
 	e.undone += len(sorted)
 	if e.cfg.TickInterval > 0 && math.IsNaN(s.tickAt) && len(sorted) > 0 {
 		s.tickAt = e.clock + e.cfg.TickInterval
 		e.orderCtr++
-		heap.Push(&e.events, event{time: s.tickAt, kind: evTick, order: e.orderCtr})
+		e.events.push(event{time: s.tickAt, kind: evTick, order: e.orderCtr, task: -1})
 	}
 	return nil
 }
@@ -124,7 +136,7 @@ func (s *Session) Inject(tasks model.TaskSet) error {
 // iteration of the original Run loop, including the undone>0 guard:
 // once every task has completed the session parks, leaving any future
 // tick in the queue.
-func (s *Session) step(limit float64) (bool, error) {
+func (s *Session) step(ctx context.Context, limit float64) (bool, error) {
 	e := s.e
 	if e.events.Len() == 0 || e.undone == 0 {
 		return false, nil
@@ -132,7 +144,13 @@ func (s *Session) step(limit float64) (bool, error) {
 	if next := e.events[0].time; next > limit {
 		return false, nil
 	}
-	ev := heap.Pop(&e.events).(event)
+	if s.steps%ctxPollInterval == 0 {
+		if err := ctx.Err(); err != nil {
+			return false, fmt.Errorf("%w: %w", ErrCanceled, err)
+		}
+	}
+	s.steps++
+	ev := e.events.pop()
 	if ev.time > s.maxTime {
 		return false, fmt.Errorf("sim: exceeded max time %v (policy %q stuck?)", s.maxTime, e.cfg.Policy.Name())
 	}
@@ -175,23 +193,26 @@ func (s *Session) step(limit float64) (bool, error) {
 		if e.undone > 0 {
 			s.tickAt = e.clock + e.cfg.TickInterval
 			e.orderCtr++
-			heap.Push(&e.events, event{time: s.tickAt, kind: evTick, order: e.orderCtr})
+			e.events.push(event{time: s.tickAt, kind: evTick, order: e.orderCtr, task: -1})
 		}
 	case evArrival:
-		e.emit(obs.Event{Kind: obs.KindArrival, Core: -1, Task: ev.task.Task.ID,
-			Cycles: ev.task.Task.Cycles, Remaining: ev.task.Remaining,
-			Interactive: ev.task.Task.Interactive})
-		e.cfg.Policy.OnArrival(e, ev.task)
+		ts := e.tasks[ev.task]
+		e.emit(obs.Event{Kind: obs.KindArrival, Core: -1, Task: ts.Task.ID,
+			Cycles: ts.Task.Cycles, Remaining: ts.Remaining,
+			Interactive: ts.Task.Interactive})
+		e.cfg.Policy.OnArrival(e, ts)
 	}
 	return true, e.err
 }
 
 // AdvanceTo processes every event up to and including virtual time t,
 // then sets the clock to t. It models "the wall says it is now t":
-// tasks arriving later stay pending, running work keeps running.
-func (s *Session) AdvanceTo(t float64) error {
+// tasks arriving later stay pending, running work keeps running. The
+// context is polled between events; cancellation aborts with an error
+// matching ErrCanceled.
+func (s *Session) AdvanceTo(ctx context.Context, t float64) error {
 	if s.finished {
-		return fmt.Errorf("sim: session already finished")
+		return ErrSessionFinished
 	}
 	if t < s.e.clock {
 		return fmt.Errorf("sim: cannot advance backwards (%v -> %v)", s.e.clock, t)
@@ -200,7 +221,7 @@ func (s *Session) AdvanceTo(t float64) error {
 		return fmt.Errorf("sim: advance target %v exceeds max time %v", t, s.maxTime)
 	}
 	for {
-		ok, err := s.step(t)
+		ok, err := s.step(ctx, t)
 		if err != nil {
 			return err
 		}
@@ -214,13 +235,14 @@ func (s *Session) AdvanceTo(t float64) error {
 	return nil
 }
 
-// Drain runs the session until every injected task has completed.
-func (s *Session) Drain() error {
+// Drain runs the session until every injected task has completed or
+// the context is canceled.
+func (s *Session) Drain(ctx context.Context) error {
 	if s.finished {
-		return fmt.Errorf("sim: session already finished")
+		return ErrSessionFinished
 	}
 	for s.e.undone > 0 {
-		ok, err := s.step(math.Inf(1))
+		ok, err := s.step(ctx, math.Inf(1))
 		if err != nil {
 			return err
 		}
@@ -233,11 +255,11 @@ func (s *Session) Drain() error {
 
 // Finish drains the session and summarizes it. The session cannot be
 // used afterwards.
-func (s *Session) Finish() (*Result, error) {
+func (s *Session) Finish(ctx context.Context) (*Result, error) {
 	if s.finished {
-		return nil, fmt.Errorf("sim: session already finished")
+		return nil, ErrSessionFinished
 	}
-	if err := s.Drain(); err != nil {
+	if err := s.Drain(ctx); err != nil {
 		return nil, err
 	}
 	s.finished = true

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"strings"
@@ -90,7 +91,7 @@ func TestSessionMatchesRun(t *testing.T) {
 					first = task.Arrival
 				}
 			}
-			if err := s.AdvanceTo(first * 0.999); err != nil {
+			if err := s.AdvanceTo(context.Background(), first*0.999); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -98,7 +99,7 @@ func TestSessionMatchesRun(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	got, err := s.Finish()
+	got, err := s.Finish(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestSessionRejectsPastArrivalsAndDuplicates(t *testing.T) {
 		!strings.Contains(err.Error(), "duplicate") {
 		t.Fatalf("duplicate ID accepted: %v", err)
 	}
-	if err := s.Drain(); err != nil {
+	if err := s.Drain(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if s.Clock() <= 0 {
@@ -152,7 +153,7 @@ func TestSessionAdvanceLeavesFutureWorkPending(t *testing.T) {
 	if err := s.Inject(tasks); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.AdvanceTo(500); err != nil {
+	if err := s.AdvanceTo(context.Background(), 500); err != nil {
 		t.Fatal(err)
 	}
 	if s.Pending() != 1 {
@@ -161,17 +162,17 @@ func TestSessionAdvanceLeavesFutureWorkPending(t *testing.T) {
 	if s.Clock() != 500 {
 		t.Fatalf("clock %v != 500", s.Clock())
 	}
-	if err := s.AdvanceTo(499); err == nil {
+	if err := s.AdvanceTo(context.Background(), 499); err == nil {
 		t.Fatal("backwards advance accepted")
 	}
-	res, err := s.Finish()
+	res, err := s.Finish(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Makespan <= 1000 {
 		t.Fatalf("second task should complete after its arrival: makespan %v", res.Makespan)
 	}
-	if _, err := s.Finish(); err == nil {
+	if _, err := s.Finish(context.Background()); err == nil {
 		t.Fatal("double Finish accepted")
 	}
 	if err := s.Inject(tasks); err == nil {
@@ -187,7 +188,7 @@ func TestSessionEmptyFinish(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Finish(); err == nil {
+	if _, err := s.Finish(context.Background()); err == nil {
 		t.Fatal("empty Finish accepted")
 	}
 }
@@ -206,13 +207,13 @@ func TestSessionEventStream(t *testing.T) {
 	if err := s.Inject(tasks[:10]); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.AdvanceTo(tasks[10].Arrival - 1e-9); err != nil {
+	if err := s.AdvanceTo(context.Background(), tasks[10].Arrival-1e-9); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Inject(tasks[10:]); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Finish(); err != nil {
+	if _, err := s.Finish(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	events := rec.Events()
@@ -244,10 +245,10 @@ func TestSessionMaxTimeGuard(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.AdvanceTo(11); err == nil {
+	if err := s.AdvanceTo(context.Background(), 11); err == nil {
 		t.Fatal("advance beyond MaxTime accepted")
 	}
-	if err := s.AdvanceTo(math.Inf(1)); err == nil {
+	if err := s.AdvanceTo(context.Background(), math.Inf(1)); err == nil {
 		t.Fatal("infinite advance accepted")
 	}
 }
