@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check vet lint build test race bench-smoke fuzz-smoke bench serve-smoke golden
+.PHONY: check vet lint build test race bench-smoke fuzz-smoke bench benchdiff serve-smoke golden
 
-check: vet lint build race bench-smoke fuzz-smoke
+check: vet lint build race bench-smoke benchdiff fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -32,9 +32,14 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzDynamicCost -fuzztime=5s ./internal/dynsched
 
 # Benchmark the hot packages and write the machine-readable baseline
-# for this PR (diff against BENCH_PR2.json for the history).
+# for this PR (diff against the previous PR's with `make benchdiff`).
 bench:
-	scripts/bench.sh BENCH_PR4.json
+	scripts/bench.sh BENCH_PR5.json
+
+# Compare this PR's baseline against the previous one; fails on >20%
+# ns/op regressions in benchmarks both files share.
+benchdiff:
+	scripts/benchdiff.sh BENCH_PR4.json BENCH_PR5.json
 
 # Boot dvfschedd on an ephemeral port, hit /healthz and /v1/plan once,
 # and shut it down cleanly.

@@ -12,11 +12,21 @@
 //     requires the replayed energy/turnaround cost to match the
 //     drain report.
 //
+// Beyond the default oracle mode, -mode closed and -mode open turn it
+// into a latency harness for the session submit path: closed keeps
+// -clients requests in flight back to back (saturation throughput);
+// open offers a fixed -rate regardless of completions, so queueing
+// delay appears in the reported quantiles instead of slowing the
+// generator (coordinated omission). Both report throughput and
+// p50/p95/p99 and can write the result as JSON with -out.
+//
 // Usage:
 //
 //	dvfsload -addr http://127.0.0.1:8080 [-clients 8] [-plan-tasks 24]
 //	         [-session-tasks 40] [-batch 10] [-seed 1]
 //	         [-cores 4] [-platform table2] [-re 0.1] [-rt 0.4]
+//	         [-mode oracle|closed|open] [-duration 10s] [-rate 200]
+//	         [-sessions 1] [-out load.json]
 //
 // Exit status is non-zero if any check fails.
 package main
@@ -89,6 +99,11 @@ func run(args []string, w io.Writer) error {
 		platName     = fs.String("platform", "table2", "rate table: table2, i7, or exynos")
 		re           = fs.Float64("re", 0.1, "Re, cents per joule")
 		rt           = fs.Float64("rt", 0.4, "Rt, cents per second of waiting")
+		mode         = fs.String("mode", "oracle", "oracle (correctness cross-check), closed, or open (latency harness)")
+		duration     = fs.Duration("duration", 10*time.Second, "measurement window for closed/open loop")
+		rate         = fs.Float64("rate", 200, "offered requests/second in open loop")
+		sessions     = fs.Int("sessions", 1, "session shards to spread closed/open-loop load over")
+		out          = fs.String("out", "", "write the closed/open-loop report as JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -104,6 +119,15 @@ func run(args []string, w io.Writer) error {
 	}
 	if opts.clients <= 0 {
 		return fmt.Errorf("need at least one client")
+	}
+	if *mode != "oracle" {
+		return runLoadHarness(opts, loadOptions{
+			mode:     *mode,
+			duration: *duration,
+			rate:     *rate,
+			sessions: *sessions,
+			out:      *out,
+		}, w)
 	}
 
 	start := time.Now()

@@ -65,6 +65,37 @@ func (o *OnlineSession) Submit(ctx context.Context, tasks model.TaskSet) error {
 	return wrapCanceled(o.sess.AdvanceTo(ctx, latest))
 }
 
+// Admit feeds a batch of arrivals like Submit, but tolerates stale
+// timestamps: any arrival earlier than the session clock is clamped up
+// to the clock instead of rejected. Submit's strict check is right for
+// replaying a recorded trace, where a stale arrival is corrupt input;
+// Admit is the ingestion contract a serving daemon needs, where many
+// clients stamp arrivals concurrently and a submit that lost the race
+// into the shard queue would otherwise be bounced by time having moved
+// on — an error the client can do nothing useful with. Clamped tasks
+// are modified in place (the caller yields ownership of the slice, as
+// with Inject), and the batch is then applied exactly like Submit:
+// inject, then advance to the latest arrival.
+func (o *OnlineSession) Admit(ctx context.Context, tasks model.TaskSet) error {
+	if len(tasks) == 0 {
+		return ErrEmptySubmission
+	}
+	now := o.sess.Clock()
+	latest := now
+	for i := range tasks {
+		if tasks[i].Arrival < now {
+			tasks[i].Arrival = now
+		}
+		if tasks[i].Arrival > latest {
+			latest = tasks[i].Arrival
+		}
+	}
+	if err := o.sess.Inject(tasks); err != nil {
+		return err
+	}
+	return wrapCanceled(o.sess.AdvanceTo(ctx, latest))
+}
+
 // Clock returns the session's virtual time in seconds.
 func (o *OnlineSession) Clock() float64 { return o.sess.Clock() }
 

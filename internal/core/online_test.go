@@ -79,6 +79,58 @@ func TestOpenOnlineMatchesRunOnline(t *testing.T) {
 	}
 }
 
+// TestAdmitClampsStaleArrivals covers the serving-plane ingestion
+// contract: a batch stamped before the session clock is clamped to
+// "now" and admitted, where Submit would reject it.
+func TestAdmitClampsStaleArrivals(t *testing.T) {
+	params := model.CostParams{Re: 0.1, Rt: 0.4}
+	sched, err := core.New(params, platform.Homogeneous(2, platform.TableII(), platform.Ideal{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := sched.OpenOnline(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Admit(context.Background(), nil); err == nil {
+		t.Fatal("empty admission accepted")
+	}
+	first := model.TaskSet{{ID: 1, Cycles: 10, Arrival: 5, Deadline: model.NoDeadline}}
+	if err := sess.Admit(context.Background(), first); err != nil {
+		t.Fatal(err)
+	}
+	if sess.Clock() != 5 {
+		t.Fatalf("clock %v != 5", sess.Clock())
+	}
+	// One stale arrival, one in the future: the stale one moves to the
+	// clock, the future one advances it.
+	mixed := model.TaskSet{
+		{ID: 2, Cycles: 10, Arrival: 1, Deadline: model.NoDeadline},
+		{ID: 3, Cycles: 10, Arrival: 7, Deadline: model.NoDeadline},
+	}
+	if err := sess.Admit(context.Background(), mixed); err != nil {
+		t.Fatalf("stale arrival not clamped: %v", err)
+	}
+	if mixed[0].Arrival != 5 {
+		t.Fatalf("stale arrival = %v, want clamped to 5", mixed[0].Arrival)
+	}
+	if sess.Clock() != 7 {
+		t.Fatalf("clock %v != 7 (latest admitted arrival)", sess.Clock())
+	}
+	// Duplicate IDs are still rejected — clamping loosens time, not
+	// identity.
+	if err := sess.Admit(context.Background(), first.Clone()); err == nil {
+		t.Fatal("duplicate ID accepted")
+	}
+	res, err := sess.Drain(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tasks) != 3 {
+		t.Fatalf("completed %d tasks, want 3", len(res.Tasks))
+	}
+}
+
 func TestOpenOnlineRejectsBadSubmissions(t *testing.T) {
 	params := model.CostParams{Re: 0.1, Rt: 0.4}
 	sched, err := core.New(params, platform.Homogeneous(2, platform.TableII(), platform.Ideal{}))

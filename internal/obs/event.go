@@ -19,7 +19,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
+	"strconv"
 	"sync"
+	"unicode/utf8"
 )
 
 // Kind classifies an event.
@@ -95,6 +98,145 @@ func (ev Event) EffectiveAt() float64 {
 	return ev.T
 }
 
+// AppendJSON appends the event's JSON encoding to b and returns the
+// extended slice, producing bytes identical to encoding/json.Marshal
+// (same field order, omitempty semantics, float format and string
+// escaping) without allocating. It is the serving fast path for
+// streaming session traces: the HTTP events endpoint and JSONLWriter
+// frame thousands of events per response, and a pooled buffer plus
+// this appender keeps that loop allocation-free. Non-finite floats
+// (which the engine never emits) encode as null instead of failing.
+func (ev Event) AppendJSON(b []byte) []byte {
+	b = append(b, `{"seq":`...)
+	b = strconv.AppendUint(b, ev.Seq, 10)
+	b = append(b, `,"t":`...)
+	b = AppendJSONFloat(b, ev.T)
+	b = append(b, `,"kind":`...)
+	b = AppendJSONString(b, string(ev.Kind))
+	b = append(b, `,"core":`...)
+	b = strconv.AppendInt(b, int64(ev.Core), 10)
+	b = append(b, `,"task":`...)
+	b = strconv.AppendInt(b, int64(ev.Task), 10)
+	if ev.Rate != 0 {
+		b = append(b, `,"rate":`...)
+		b = AppendJSONFloat(b, ev.Rate)
+	}
+	if ev.PrevRate != 0 {
+		b = append(b, `,"prevRate":`...)
+		b = AppendJSONFloat(b, ev.PrevRate)
+	}
+	if ev.Eff != 0 {
+		b = append(b, `,"eff":`...)
+		b = AppendJSONFloat(b, ev.Eff)
+	}
+	if ev.Cycles != 0 {
+		b = append(b, `,"cycles":`...)
+		b = AppendJSONFloat(b, ev.Cycles)
+	}
+	if ev.Remaining != 0 {
+		b = append(b, `,"remaining":`...)
+		b = AppendJSONFloat(b, ev.Remaining)
+	}
+	if ev.Energy != 0 {
+		b = append(b, `,"energy":`...)
+		b = AppendJSONFloat(b, ev.Energy)
+	}
+	if ev.Interactive {
+		b = append(b, `,"interactive":true`...)
+	}
+	return append(b, '}')
+}
+
+// AppendJSONFloat appends f exactly as encoding/json encodes a
+// float64: shortest round-tripping decimal, 'f' form except for very
+// small or very large magnitudes, with the exponent's leading zero
+// stripped ("e+09" -> "e+9"). Non-finite values become null.
+func AppendJSONFloat(b []byte, f float64) []byte {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return append(b, "null"...)
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b
+}
+
+// jsonSafe marks the bytes that pass through encoding/json's string
+// encoder unescaped (with HTML escaping on, its default): printable
+// ASCII except ", \, <, >, &.
+var jsonSafe = func() (t [256]bool) {
+	for c := 0x20; c < 0x80; c++ {
+		t[c] = true
+	}
+	t['"'], t['\\'], t['<'], t['>'], t['&'] = false, false, false, false, false
+	return
+}()
+
+const hexDigits = "0123456789abcdef"
+
+// AppendJSONString appends s as a JSON string literal, byte-identical
+// to encoding/json (including its HTML-escaping of <, >, &). The fast
+// path copies safe runs; escapes fall back per byte. Invalid UTF-8 is
+// replaced with U+FFFD like the standard encoder.
+func AppendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c < utf8.RuneSelf {
+			if jsonSafe[c] {
+				i++
+				continue
+			}
+			b = append(b, s[start:i]...)
+			switch c {
+			case '"', '\\':
+				b = append(b, '\\', c)
+			case '\n':
+				b = append(b, '\\', 'n')
+			case '\r':
+				b = append(b, '\\', 'r')
+			case '\t':
+				b = append(b, '\\', 't')
+			default:
+				// Control characters and the HTML-sensitive <, >, &.
+				b = append(b, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
+			}
+			i++
+			start = i
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		// encoding/json escapes U+2028/U+2029 for JS embedding.
+		if r == '\u2028' || r == '\u2029' {
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', '2', '0', '2', hexDigits[r&0xf])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	b = append(b, s[start:]...)
+	return append(b, '"')
+}
+
 // Sink consumes an event stream. Emit is called from the simulator's
 // event loop at every instrumented transition; implementations must
 // not call back into the engine.
@@ -165,9 +307,10 @@ func (r *Recorder) Len() int {
 // sticky: the first write or marshal failure is retained and reported
 // by Close (and Err), and later events are dropped.
 type JSONLWriter struct {
-	mu  sync.Mutex
-	bw  *bufio.Writer
-	err error
+	mu      sync.Mutex
+	bw      *bufio.Writer
+	scratch []byte
+	err     error
 }
 
 // NewJSONLWriter wraps w in a buffered JSONL event sink. Call Close
@@ -183,13 +326,9 @@ func (j *JSONLWriter) Emit(ev Event) {
 	if j.err != nil {
 		return
 	}
-	b, err := json.Marshal(ev)
-	if err != nil {
-		j.err = fmt.Errorf("obs: marshal event %d: %w", ev.Seq, err)
-		return
-	}
-	b = append(b, '\n')
-	if _, err := j.bw.Write(b); err != nil {
+	j.scratch = ev.AppendJSON(j.scratch[:0])
+	j.scratch = append(j.scratch, '\n')
+	if _, err := j.bw.Write(j.scratch); err != nil {
 		j.err = fmt.Errorf("obs: write event %d: %w", ev.Seq, err)
 	}
 }

@@ -1,0 +1,324 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// appendCorpus exercises every branch of the appender: omitempty
+// combinations, negative sentinels, string escaping (quotes,
+// backslashes, control bytes, HTML-sensitive <>&, U+2028/U+2029,
+// invalid UTF-8), and the float-format cutoffs around 1e-6 and 1e21.
+var appendCorpus = []Event{
+	{},
+	{Seq: 1, T: 0, Kind: KindArrival, Core: -1, Task: 7, Cycles: 12.5, Interactive: true},
+	{Seq: 2, T: 0.001, Kind: KindStart, Core: 0, Task: 7, Rate: 3, Eff: 0.0015, Remaining: 12.5},
+	{Seq: 3, T: 1.25, Kind: KindDVFS, Core: 3, Task: -1, PrevRate: 3, Rate: 1.6},
+	{Seq: 4, T: 4.125, Kind: KindComplete, Core: 0, Task: 7, Energy: 88.75},
+	{Seq: 18446744073709551615, T: -1.5, Kind: "weird \"kind\"\\", Core: -42, Task: 1 << 40},
+	{Kind: "html <b>&amp;</b>"},
+	{Kind: "ctrl\x00\x01\x1f tab\t nl\n cr\r"},
+	{Kind: "unicode é 世界 \u2028\u2029"},
+	{Kind: "bad utf8 \xff\xfe end"},
+	{T: 1e-7, Rate: -1e-7, Eff: 1e-6, Cycles: 9.999999e-7},
+	{T: 1e21, Rate: -1e21, Eff: 9.99e20, Cycles: 1.2345e25},
+	{T: 1e-300, Rate: 1e300, Eff: math.MaxFloat64, Cycles: math.SmallestNonzeroFloat64},
+	{T: 0.1, Rate: 1.0 / 3.0, Eff: 2.718281828459045, Cycles: 6.02214076e23},
+}
+
+func TestEventAppendJSONMatchesMarshal(t *testing.T) {
+	for _, ev := range appendCorpus {
+		want, err := json.Marshal(ev)
+		if err != nil {
+			t.Fatalf("marshal %+v: %v", ev, err)
+		}
+		got := ev.AppendJSON(nil)
+		if !bytes.Equal(got, want) {
+			t.Errorf("AppendJSON mismatch for %+v:\n got %s\nwant %s", ev, got, want)
+		}
+	}
+}
+
+func TestEventAppendJSONMatchesMarshalRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(5)) // deterministic corpus, not randomness
+	randFloat := func() float64 {
+		// Span subnormal through huge magnitudes to cross both format cutoffs.
+		v := rng.NormFloat64() * math.Pow(10, float64(rng.Intn(50)-25))
+		if rng.Intn(2) == 0 {
+			v = -v
+		}
+		if rng.Intn(8) == 0 {
+			v = 0
+		}
+		return v
+	}
+	kinds := []Kind{KindArrival, KindStart, KindPreempt, KindComplete, KindDVFS, KindCoreActive, KindCoreIdle}
+	for i := 0; i < 2000; i++ {
+		ev := Event{
+			Seq:         rng.Uint64(),
+			T:           randFloat(),
+			Kind:        kinds[rng.Intn(len(kinds))],
+			Core:        rng.Intn(64) - 1,
+			Task:        rng.Intn(1 << 20),
+			Rate:        randFloat(),
+			PrevRate:    randFloat(),
+			Eff:         randFloat(),
+			Cycles:      randFloat(),
+			Remaining:   randFloat(),
+			Energy:      randFloat(),
+			Interactive: rng.Intn(2) == 0,
+		}
+		want, err := json.Marshal(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := ev.AppendJSON(nil)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("AppendJSON mismatch for %+v:\n got %s\nwant %s", ev, got, want)
+		}
+	}
+}
+
+func TestAppendJSONFloatNonFinite(t *testing.T) {
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if got := string(AppendJSONFloat(nil, v)); got != "null" {
+			t.Errorf("AppendJSONFloat(%v) = %q, want null", v, got)
+		}
+	}
+}
+
+func TestEventAppendJSONRoundTrips(t *testing.T) {
+	for _, ev := range appendCorpus {
+		if ev.Kind == "bad utf8 \xff\xfe end" {
+			continue // replacement chars don't round-trip by design
+		}
+		var back Event
+		if err := json.Unmarshal(ev.AppendJSON(nil), &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", ev.AppendJSON(nil), err)
+		}
+		if !reflect.DeepEqual(ev, back) {
+			t.Errorf("round trip mismatch:\n in: %+v\nout: %+v", ev, back)
+		}
+	}
+}
+
+func TestJSONLWriterEmitZeroAlloc(t *testing.T) {
+	w := NewJSONLWriter(io.Discard)
+	ev := Event{Seq: 42, T: 1.25, Kind: KindStart, Core: 3, Task: 9, Rate: 2.4, Eff: 1.251, Remaining: 7.5, Energy: 12.25}
+	w.Emit(ev) // warm the scratch buffer
+	allocs := testing.AllocsPerRun(200, func() {
+		ev.Seq++
+		w.Emit(ev)
+	})
+	// bufio flushes to io.Discard without allocating, so the steady
+	// state is zero; a regression here lands straight on the session
+	// event-streaming hot path.
+	if allocs != 0 {
+		t.Errorf("JSONLWriter.Emit allocates %v per event, want 0", allocs)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := newHistogram([]float64{0.5, 1.5, 3})
+	// Upper bounds are inclusive, Prometheus-style.
+	for _, v := range []float64{-1, 0, 0.5} {
+		h.Observe(v)
+	}
+	h.Observe(math.Nextafter(0.5, 1)) // just above the first bound
+	h.Observe(1.5)
+	h.Observe(3)
+	h.Observe(math.Nextafter(3, 4)) // overflow bucket
+	h.Observe(1e9)
+	h.Observe(math.NaN()) // dropped
+	s := h.Snapshot()
+	if want := []uint64{3, 2, 1, 2}; !reflect.DeepEqual(s.Counts, want) {
+		t.Errorf("counts = %v, want %v", s.Counts, want)
+	}
+	if s.Count != 8 {
+		t.Errorf("count = %d, want 8", s.Count)
+	}
+	if s.Min != -1 || s.Max != 1e9 {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+}
+
+func TestHistogramMergeUnderConcurrency(t *testing.T) {
+	bounds := []float64{1, 2, 4, 8}
+	shared := newHistogram(bounds)
+	const workers, each = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := newHistogram(bounds)
+			for i := 0; i < each; i++ {
+				// Integer-valued observations so the float sum is exact.
+				local.Observe(float64(i%10 + w))
+				if i%100 == 99 {
+					if err := shared.Merge(local.Snapshot()); err != nil {
+						t.Error(err)
+						return
+					}
+					local = newHistogram(bounds)
+				}
+			}
+			if err := shared.Merge(local.Snapshot()); err != nil {
+				t.Error(err)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Replay serially for the exact expected state.
+	want := newHistogram(bounds)
+	for w := 0; w < workers; w++ {
+		for i := 0; i < each; i++ {
+			want.Observe(float64(i%10 + w))
+		}
+	}
+	got, exp := shared.Snapshot(), want.Snapshot()
+	if !reflect.DeepEqual(got, exp) {
+		t.Errorf("merged snapshot = %+v, want %+v", got, exp)
+	}
+}
+
+func TestHistogramMergeRejectsMismatchedBounds(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	if err := h.Merge(newHistogram([]float64{1, 2, 3}).Snapshot()); err == nil {
+		t.Error("want error for different bound count")
+	}
+	if err := h.Merge(newHistogram([]float64{1, 2.5}).Snapshot()); err == nil {
+		t.Error("want error for different bound values")
+	}
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Errorf("rejected merges must not mutate: %+v", s)
+	}
+}
+
+func TestHistogramObserveZeroAlloc(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4, 8})
+	allocs := testing.AllocsPerRun(200, func() { h.Observe(3) })
+	if allocs != 0 {
+		t.Errorf("Observe allocates %v, want 0", allocs)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 3})
+	for _, v := range []float64{0.5, 1.5, 2.5, 3.5} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	cases := []struct{ q, want float64 }{
+		{0, 0.5},    // clamps to Min
+		{0.5, 2},    // rank 2 interpolates to the (1,2] bucket's top
+		{1, 3.5},    // overflow bucket bounded by Max
+		{-0.5, 0.5}, // out-of-range q clamps
+		{1.5, 3.5},
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %v, want 0", got)
+	}
+
+	// A single-bucket mass interpolates between the observed extremes.
+	h2 := newHistogram([]float64{100})
+	for i := 1; i <= 10; i++ {
+		h2.Observe(float64(i))
+	}
+	s2 := h2.Snapshot()
+	if got := s2.Quantile(0.5); got < 1 || got > 10 {
+		t.Errorf("single-bucket median = %v, want within [1,10]", got)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(0.001, 10, 4)
+	want := []float64{0.001, 0.01, 0.1, 1}
+	if len(got) != len(want) {
+		t.Fatalf("ExpBuckets = %v", got)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("bucket %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	for _, bad := range [][3]float64{{0, 2, 3}, {-1, 2, 3}, {1, 1, 3}, {1, 0.5, 3}, {1, 2, 0}} {
+		if b := ExpBuckets(bad[0], bad[1], int(bad[2])); b != nil {
+			t.Errorf("ExpBuckets(%v) = %v, want nil", bad, b)
+		}
+	}
+}
+
+func TestRegistryHistogramRenderingDeterministic(t *testing.T) {
+	// Build the same registry twice with different insertion orders;
+	// the rendered /metrics JSON must be byte-identical.
+	build := func(order []string) *Registry {
+		reg := NewRegistry()
+		for _, name := range order {
+			h := reg.Histogram(name, []float64{0.001, 0.01, 0.1, 1})
+			h.Observe(0.005)
+			h.Observe(0.05)
+			h.Observe(5)
+		}
+		reg.Counter("server.requests").Add(3)
+		return reg
+	}
+	var b1, b2 bytes.Buffer
+	if err := build([]string{"server.latency_s", "server.sessions.batch_size"}).WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build([]string{"server.sessions.batch_size", "server.latency_s"}).WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Errorf("histogram rendering depends on insertion order:\n%s\nvs\n%s", b1.String(), b2.String())
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(b1.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	hs, ok := snap.Histograms["server.latency_s"]
+	if !ok {
+		t.Fatalf("rendered snapshot missing histogram: %s", b1.String())
+	}
+	if hs.Count != 3 || len(hs.Counts) != 5 {
+		t.Errorf("rendered histogram = %+v", hs)
+	}
+}
+
+func BenchmarkEventAppendJSON(b *testing.B) {
+	ev := Event{Seq: 42, T: 1.25, Kind: KindStart, Core: 3, Task: 9, Rate: 2.4, Eff: 1.251, Remaining: 7.5, Energy: 12.25}
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = ev.AppendJSON(buf[:0])
+	}
+	_ = buf
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := newHistogram(ExpBuckets(1e-5, 2, 20))
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		v := 0.0001
+		for pb.Next() {
+			h.Observe(v)
+			v *= 1.0000001
+		}
+	})
+}

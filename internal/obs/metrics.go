@@ -61,15 +61,20 @@ func (g *Gauge) Add(d float64) {
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // Histogram accumulates observations into fixed buckets (upper-bound
-// inclusive, like Prometheus). Safe for concurrent use.
+// inclusive, like Prometheus). Safe for concurrent use: Observe is
+// lock-free (per-bucket atomic counters plus CAS-accumulated sum and
+// extremes), so it can sit on the serving hot path — every HTTP
+// request and every group-commit batch observes into one — without
+// serializing the observers. Snapshot reads each cell atomically;
+// cross-field consistency (count vs sum) is only guaranteed on a
+// quiescent histogram, which is when dumps and tests read it.
 type Histogram struct {
-	mu     sync.Mutex
-	bounds []float64 // ascending upper bounds; implicit +Inf last
-	counts []uint64  // len(bounds)+1
-	count  uint64
-	sum    float64
-	min    float64
-	max    float64
+	bounds  []float64       // ascending upper bounds; implicit +Inf last
+	counts  []atomic.Uint64 // len(bounds)+1
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+	minBits atomic.Uint64
+	maxBits atomic.Uint64
 }
 
 // newHistogram builds a histogram over the given ascending bucket
@@ -78,11 +83,48 @@ func newHistogram(bounds []float64) *Histogram {
 	b := make([]float64, len(bounds))
 	copy(b, bounds)
 	sort.Float64s(b)
-	return &Histogram{
+	h := &Histogram{
 		bounds: b,
-		counts: make([]uint64, len(b)+1),
-		min:    math.Inf(1),
-		max:    math.Inf(-1),
+		counts: make([]atomic.Uint64, len(b)+1),
+	}
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// casAdd accumulates d into a float64 stored as atomic bits.
+func casAdd(bits *atomic.Uint64, d float64) {
+	for {
+		old := bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// casMin / casMax lower / raise a float64 stored as atomic bits.
+func casMin(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if v >= math.Float64frombits(old) {
+			return
+		}
+		if bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+func casMax(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if v <= math.Float64frombits(old) {
+			return
+		}
+		if bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
 	}
 }
 
@@ -91,18 +133,41 @@ func (h *Histogram) Observe(v float64) {
 	if math.IsNaN(v) {
 		return
 	}
-	h.mu.Lock()
 	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
-	h.counts[i]++
-	h.count++
-	h.sum += v
-	if v < h.min {
-		h.min = v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	casAdd(&h.sumBits, v)
+	casMin(&h.minBits, v)
+	casMax(&h.maxBits, v)
+}
+
+// Merge folds a snapshot taken from another histogram with identical
+// bucket bounds into this one — the aggregation path for per-worker
+// local histograms (each goroutine observes into its own, then merges
+// once), which keeps even the CAS traffic of Observe off the hottest
+// loops. Safe to call concurrently with Observe and other Merges.
+func (h *Histogram) Merge(s HistogramSnapshot) error {
+	if len(s.Bounds) != len(h.bounds) {
+		return fmt.Errorf("obs: merge: %d bounds into %d", len(s.Bounds), len(h.bounds))
 	}
-	if v > h.max {
-		h.max = v
+	for i, b := range s.Bounds {
+		if b != h.bounds[i] { //dvfslint:allow floatcmp merge requires bit-identical bucket layouts, not approximate ones
+			return fmt.Errorf("obs: merge: bound %d is %v, want %v", i, b, h.bounds[i])
+		}
 	}
-	h.mu.Unlock()
+	for i, c := range s.Counts {
+		if c != 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	if s.Count == 0 {
+		return nil
+	}
+	h.count.Add(s.Count)
+	casAdd(&h.sumBits, s.Sum)
+	casMin(&h.minBits, s.Min)
+	casMax(&h.maxBits, s.Max)
+	return nil
 }
 
 // HistogramSnapshot is a point-in-time copy of a histogram's state.
@@ -122,18 +187,64 @@ type HistogramSnapshot struct {
 
 // Snapshot copies the histogram state.
 func (h *Histogram) Snapshot() HistogramSnapshot {
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	s := HistogramSnapshot{
 		Bounds: append([]float64(nil), h.bounds...),
-		Counts: append([]uint64(nil), h.counts...),
-		Count:  h.count,
-		Sum:    h.sum,
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sumBits.Load()),
 	}
-	if h.count > 0 {
-		s.Min, s.Max = h.min, h.max
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	if s.Count > 0 {
+		s.Min = math.Float64frombits(h.minBits.Load())
+		s.Max = math.Float64frombits(h.maxBits.Load())
 	}
 	return s
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) of the observed
+// distribution from the bucket counts, interpolating linearly inside
+// the covering bucket. The open-ended first and last buckets are
+// bounded by the observed Min and Max, so p99 of a histogram whose
+// tail lands in the +Inf bucket reports a finite value. Returns 0
+// when the snapshot is empty.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank > next {
+			cum = next
+			continue
+		}
+		// The rank falls inside bucket i: [lo, hi].
+		lo := s.Min
+		if i > 0 {
+			lo = math.Max(lo, s.Bounds[i-1])
+		}
+		hi := s.Max
+		if i < len(s.Bounds) {
+			hi = math.Min(hi, s.Bounds[i])
+		}
+		if hi <= lo {
+			return lo
+		}
+		return lo + (hi-lo)*(rank-cum)/float64(c)
+	}
+	return s.Max
 }
 
 // Registry is a named collection of counters, gauges and histograms.
@@ -276,6 +387,23 @@ func CoreMetric(core int, field string) string {
 // turnaroundBuckets spans interactive sub-second responses through
 // hour-long batch turnarounds, in seconds.
 var turnaroundBuckets = []float64{0.01, 0.05, 0.1, 0.5, 1, 5, 10, 50, 100, 500, 1000, 5000}
+
+// ExpBuckets returns n geometrically spaced histogram bounds starting
+// at start (start > 0, factor > 1): the standard layout for latency
+// distributions, whose interesting structure spans orders of
+// magnitude. The load harness uses it for client-side latencies.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n <= 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
 
 // MetricsSink derives the standard simulator metrics from the event
 // stream and feeds them into a Registry:

@@ -43,4 +43,9 @@ const (
 	ServerSessionsDrained = "server.sessions.drained"
 	// ServerSessionTasks counts tasks accepted across all sessions.
 	ServerSessionTasks = "server.sessions.tasks_accepted"
+	// ServerSessionBatchSize is the histogram of group-commit batch
+	// sizes: how many concurrent submits each shard-lock acquisition
+	// admitted. A mass at 1 means no coalescing (light traffic); mass
+	// in the higher buckets is the amortization working.
+	ServerSessionBatchSize = "server.sessions.batch_size"
 )

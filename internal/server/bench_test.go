@@ -3,9 +3,10 @@ package server
 import (
 	"bytes"
 	"encoding/json"
-	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
 	"testing"
 
 	"dvfsched/internal/trace"
@@ -69,26 +70,87 @@ func BenchmarkPlanCompute(b *testing.B) {
 	}
 }
 
-// BenchmarkSessionSubmit measures the session plane's arrival path:
-// one task submitted per request into a live shard.
+// newBenchSession opens a session in-process and returns its submit
+// path.
+func newBenchSession(b *testing.B, s *Server) string {
+	b.Helper()
+	raw, err := json.Marshal(PlatformSpec{Cores: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/v1/sessions", bytes.NewReader(raw)))
+	if w.Code != http.StatusCreated {
+		b.Fatalf("create session: %d %s", w.Code, w.Body)
+	}
+	var info SessionInfo
+	if err := json.Unmarshal(w.Body.Bytes(), &info); err != nil {
+		b.Fatal(err)
+	}
+	return "/v1/sessions/" + info.ID + "/tasks"
+}
+
+// BenchmarkSessionSubmit measures the session plane's arrival path
+// under parallel load, in-process (ServeHTTP, no sockets): concurrent
+// single-task submissions racing into one shard exercise group-commit
+// admission and the pooled response encoding. Arrivals advance one
+// virtual second per submission so the engine completes work at the
+// rate it arrives, as a live session would; clamp admits the
+// submissions that lose the race into the shard.
 func BenchmarkSessionSubmit(b *testing.B) {
 	s := New(Config{})
 	defer s.Close()
-	ts := httptest.NewServer(s)
-	defer ts.Close()
-	resp := benchPost(b, ts.URL+"/v1/sessions", PlatformSpec{Cores: 4})
-	var info SessionInfo
-	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
-		b.Fatal(err)
-	}
-	resp.Body.Close()
-	url := fmt.Sprintf("%s/v1/sessions/%s/tasks", ts.URL, info.ID)
+	path := newBenchSession(b, s)
+	var seq atomic.Int64
+	b.SetParallelism(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		w := newDiscardResponseWriter()
+		rd := bytes.NewReader(nil)
+		req := httptest.NewRequest(http.MethodPost, path, rd)
+		buf := make([]byte, 0, 128)
+		for pb.Next() {
+			n := seq.Add(1)
+			buf = append(buf[:0], `{"clamp":true,"tasks":[{"id":`...)
+			buf = strconv.AppendInt(buf, n, 10)
+			buf = append(buf, `,"cycles":2,"arrival":`...)
+			buf = strconv.AppendInt(buf, n, 10)
+			buf = append(buf, `}]}`...)
+			rd.Reset(buf)
+			s.ServeHTTP(w, req)
+			if w.status != http.StatusOK {
+				b.Errorf("submit %d: status %d", n, w.status)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkSessionSubmitSerial is the same path with one client: no
+// coalescing opportunity, so the gap between the two benchmarks is the
+// group-commit win.
+func BenchmarkSessionSubmitSerial(b *testing.B) {
+	s := New(Config{})
+	defer s.Close()
+	path := newBenchSession(b, s)
+	w := newDiscardResponseWriter()
+	rd := bytes.NewReader(nil)
+	req := httptest.NewRequest(http.MethodPost, path, rd)
+	buf := make([]byte, 0, 128)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		drainClose(benchPost(b, url, SubmitRequest{Tasks: []trace.Record{
-			{ID: i, Cycles: 2, Arrival: float64(i)},
-		}}))
+		buf = append(buf[:0], `{"tasks":[{"id":`...)
+		buf = strconv.AppendInt(buf, int64(i), 10)
+		buf = append(buf, `,"cycles":2,"arrival":`...)
+		buf = strconv.AppendInt(buf, int64(i), 10)
+		buf = append(buf, `}]}`...)
+		rd.Reset(buf)
+		s.ServeHTTP(w, req)
+		if w.status != http.StatusOK {
+			b.Fatalf("submit %d: status %d", i, w.status)
+		}
 	}
 }
 

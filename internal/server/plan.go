@@ -4,8 +4,8 @@ import (
 	"bytes"
 	"context"
 	"crypto/sha256"
-	"encoding/binary"
 	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -34,13 +34,22 @@ type planReply struct {
 	err  error
 }
 
+// planCacheEntry is one cached plan: the response struct (for the
+// compute path) plus the fully pre-encoded cache-hit HTTP body
+// ("cached":true, trailing newline included), so the hit path writes
+// stored bytes without touching an encoder.
+type planCacheEntry struct {
+	resp PlanResponse
+	hit  []byte
+}
+
 // planner is the stateless planning plane: a bounded queue feeding a
-// fixed worker pool, fronted by an LRU result cache. Queue overflow is
-// surfaced to callers as backpressure (HTTP 429), never as unbounded
-// memory growth.
+// fixed worker pool, fronted by a striped LRU result cache. Queue
+// overflow is surfaced to callers as backpressure (HTTP 429), never as
+// unbounded memory growth.
 type planner struct {
 	queue chan planJob
-	cache *lruCache
+	cache *stripedCache
 
 	closeOnce sync.Once
 	closed    chan struct{}
@@ -68,7 +77,7 @@ func newPlanner(workers, queueDepth, cacheSize int, reg *obs.Registry) *planner 
 	}
 	p := &planner{
 		queue:      make(chan planJob, queueDepth),
-		cache:      newLRUCache(cacheSize),
+		cache:      newStripedCache(cacheSize),
 		closed:     make(chan struct{}),
 		plans:      reg.Counter(obs.ServerPlans),
 		aborts:     reg.Counter(obs.ServerPlansAborted),
@@ -127,10 +136,17 @@ func (p *planner) compute(job planJob) (PlanResponse, error) {
 	if err := plan.WriteJSON(&buf); err != nil {
 		return PlanResponse{}, err
 	}
+	// Store the plan document compact: it is embedded verbatim by the
+	// append framing, and re-indenting it per response would undo the
+	// zero-alloc path.
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, buf.Bytes()); err != nil {
+		return PlanResponse{}, err
+	}
 	eCost, tCost, total := plan.Cost()
 	joules, makespan, turnaround := plan.EnergyTime()
 	resp := PlanResponse{
-		Plan:           bytes.TrimSpace(buf.Bytes()),
+		Plan:           compact.Bytes(),
 		EnergyCost:     eCost,
 		TimeCost:       tCost,
 		TotalCost:      total,
@@ -139,7 +155,12 @@ func (p *planner) compute(job planJob) (PlanResponse, error) {
 		TurnaroundSumS: turnaround,
 	}
 	p.plans.Inc()
-	p.cache.put(job.key, resp)
+	hit := resp
+	hit.Cached = true
+	p.cache.put(job.key, &planCacheEntry{
+		resp: resp,
+		hit:  append(appendPlanResponse(nil, hit), '\n'),
+	})
 	return resp, nil
 }
 
@@ -166,16 +187,19 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	}
 	// Canonicalize: WBG is invariant to input order (it sorts by
 	// cycles), so hash and plan a by-ID ordering and identical
-	// workloads in any order share a cache slot.
-	tasks = tasks.Clone()
+	// workloads in any order share a cache slot. tasksFromRecords built
+	// a fresh slice, so sorting in place clones nothing.
 	sort.SliceStable(tasks, func(i, j int) bool { return tasks[i].ID < tasks[j].ID })
 	key := planKey(spec, tasks)
 
 	if v, ok := s.planner.cache.get(key); ok {
 		s.planner.hits.Inc()
-		resp := v.(PlanResponse)
-		resp.Cached = true
-		writeJSON(w, http.StatusOK, resp)
+		// The entry carries its pre-encoded body: a cache hit performs
+		// zero JSON work.
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		//dvfslint:allow errcheck-hot header already sent; nothing useful to do on error
+		_, _ = w.Write(v.(*planCacheEntry).hit)
 		return
 	}
 	s.planner.misses.Inc()
@@ -204,7 +228,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 			s.writeAPIError(w, rep.err, http.StatusBadRequest)
 			return
 		}
-		writeJSON(w, http.StatusOK, rep.resp)
+		writePlanResponse(w, rep.resp)
 	case <-s.planner.closed:
 		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
 	case <-r.Context().Done():
@@ -212,34 +236,46 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// keyBufPool recycles the canonical-workload buffers planKey hashes.
+var keyBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 1<<10)
+		return &b
+	},
+}
+
 // planKey hashes the canonical workload: platform spec plus every task
 // field the planner reads, all floats as exact IEEE bits. Identical
-// requests — and only identical requests — share a key.
+// requests — and only identical requests — share a key. The canonical
+// bytes are assembled in a pooled buffer and digested with the
+// one-shot sha256.Sum256 (stack-allocated state), so the only
+// allocation left is the returned key string itself.
 func planKey(spec PlatformSpec, tasks model.TaskSet) string {
-	h := sha256.New()
-	put := func(b []byte) {
-		//dvfslint:allow errcheck-hot hash.Hash.Write is documented to never return an error
-		h.Write(b)
-	}
-	var scratch [8]byte
-	writeF := func(f float64) {
-		binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(f))
-		put(scratch[:])
-	}
-	writeI := func(i int) {
-		binary.LittleEndian.PutUint64(scratch[:], uint64(int64(i)))
-		put(scratch[:])
-	}
-	put([]byte(spec.Platform))
-	put([]byte{0})
-	writeI(spec.Cores)
-	writeF(spec.Re)
-	writeF(spec.Rt)
+	bp := keyBufPool.Get().(*[]byte)
+	b := (*bp)[:0]
+	b = append(b, spec.Platform...)
+	b = append(b, 0)
+	b = appendKeyU64(b, uint64(int64(spec.Cores)))
+	b = appendKeyU64(b, math.Float64bits(spec.Re))
+	b = appendKeyU64(b, math.Float64bits(spec.Rt))
 	for _, t := range tasks {
-		writeI(t.ID)
-		put([]byte(t.Name))
-		put([]byte{0})
-		writeF(t.Cycles)
+		b = appendKeyU64(b, uint64(int64(t.ID)))
+		b = append(b, t.Name...)
+		b = append(b, 0)
+		b = appendKeyU64(b, math.Float64bits(t.Cycles))
 	}
-	return hex.EncodeToString(h.Sum(nil))
+	sum := sha256.Sum256(b)
+	*bp = b[:0]
+	keyBufPool.Put(bp)
+	var dst [2 * sha256.Size]byte
+	hex.Encode(dst[:], sum[:])
+	return string(dst[:])
+}
+
+// appendKeyU64 appends v little-endian, matching the layout the
+// streaming hasher used so keys stay stable across the refactor.
+func appendKeyU64(b []byte, v uint64) []byte {
+	return append(b,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
 }

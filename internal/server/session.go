@@ -2,7 +2,6 @@ package server
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -28,7 +27,12 @@ type sessions struct {
 	opened  *obs.Counter
 	drained *obs.Counter
 	tasks   *obs.Counter
+	batch   *obs.Histogram
 }
+
+// batchSizeBuckets covers group-commit coalescing from "no concurrency"
+// (1) up to a full default intake ring (64).
+var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64}
 
 func newSessions(maxOpen, queueDepth, parallel int, reg *obs.Registry) *sessions {
 	return &sessions{
@@ -40,6 +44,7 @@ func newSessions(maxOpen, queueDepth, parallel int, reg *obs.Registry) *sessions
 		opened:     reg.Counter(obs.ServerSessionsOpened),
 		drained:    reg.Counter(obs.ServerSessionsDrained),
 		tasks:      reg.Counter(obs.ServerSessionTasks),
+		batch:      reg.Histogram(obs.ServerSessionBatchSize, batchSizeBuckets),
 	}
 }
 
@@ -52,7 +57,7 @@ func (ss *sessions) create(spec PlatformSpec, params model.CostParams, plat *pla
 	}
 	ss.seq++
 	id := fmt.Sprintf("s-%06d", ss.seq)
-	sh, err := newShard(id, spec, params, plat, ss.queueDepth, ss.parallel)
+	sh, err := newShard(id, spec, params, plat, ss.queueDepth, ss.parallel, ss.batch)
 	if err != nil {
 		return nil, err
 	}
@@ -176,7 +181,7 @@ func (s *Server) handleSessionSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	resp, err := sh.do(r.Context(), shardReq{op: opSubmit, tasks: tasks})
+	resp, err := sh.submit(r.Context(), tasks, req.Clamp)
 	if err != nil {
 		s.writeAPIError(w, err, http.StatusInternalServerError)
 		return
@@ -188,7 +193,7 @@ func (s *Server) handleSessionSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.sessions.tasks.Add(float64(len(tasks)))
-	writeJSON(w, http.StatusOK, SubmitResponse{
+	writeSubmitResponse(w, SubmitResponse{
 		Accepted: len(tasks),
 		Clock:    resp.clock,
 		Pending:  resp.pending,
@@ -206,12 +211,30 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 	events := sh.rec.Events()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Event-Count", fmt.Sprint(len(events)))
-	enc := json.NewEncoder(w)
+	// Append-frame the whole trace through one pooled buffer: the same
+	// bytes json.Encoder produced, without a marshal allocation per
+	// event (a drained session replays thousands of them).
+	bp := encBufPool.Get().(*[]byte)
+	buf := (*bp)[:0]
 	for _, ev := range events {
-		if err := enc.Encode(ev); err != nil {
-			return // client went away mid-stream
+		buf = ev.AppendJSON(buf)
+		buf = append(buf, '\n')
+		if len(buf) >= eventFlushBytes {
+			if _, err := w.Write(buf); err != nil {
+				*bp = buf
+				encBufPool.Put(bp)
+				return // client went away mid-stream
+			}
+			buf = buf[:0]
 		}
 	}
+	if len(buf) > 0 {
+		//dvfslint:allow errcheck-hot header already sent; nothing useful to do on error
+		_, _ = w.Write(buf)
+		buf = buf[:0]
+	}
+	*bp = buf
+	encBufPool.Put(bp)
 }
 
 // handleSessionDelete is DELETE /v1/sessions/{id}: the first call

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"dvfsched/internal/core"
 	"dvfsched/internal/model"
@@ -12,24 +13,24 @@ import (
 	"dvfsched/internal/sim"
 )
 
-// shardOp selects the operation a shardReq carries.
+// shardOp selects the operation a shardReq carries. Submissions do not
+// travel this channel: they go through the group-commit intake so
+// concurrent submitters coalesce (see shard.submit).
 type shardOp int
 
 const (
-	opSubmit shardOp = iota
-	opStatus
+	opStatus shardOp = iota
 	opDrain
 	opPurge
 )
 
-// shardReq is one message on a shard's request channel. ctx is the
-// originating request's context: the shard goroutine threads it into
-// Submit and Drain so an HTTP deadline cancels the virtual-time
+// shardReq is one control-plane message on a shard's request channel.
+// ctx is the originating request's context: the shard goroutine
+// threads it into Drain so an HTTP deadline cancels the virtual-time
 // advance it is paying for.
 type shardReq struct {
 	op    shardOp
 	ctx   context.Context
-	tasks model.TaskSet
 	reply chan shardResp
 }
 
@@ -46,10 +47,33 @@ type shardResp struct {
 	result *sim.Result
 }
 
+// submitReq is one submission waiting in a shard's intake ring. The
+// reply channel has capacity 1 so the leader never blocks answering.
+// Requests are pooled: ONLY the submitter that received its reply may
+// return a request to the pool — a submitter that gave up (context
+// canceled, shard died) must leave its request to the garbage
+// collector, because the leader may still be holding it.
+type submitReq struct {
+	ctx   context.Context
+	tasks model.TaskSet
+	clamp bool
+	reply chan shardResp
+}
+
+var submitReqPool = sync.Pool{
+	New: func() any { return &submitReq{reply: make(chan shardResp, 1)} },
+}
+
 // shard is one online session: a core.OnlineSession owned by a single
-// goroutine, reachable only through a bounded request channel. The
-// channel is the shard's concurrency story — the virtual-time engine
-// itself never sees more than one caller.
+// goroutine. Control operations (status, drain, purge) arrive on a
+// bounded request channel; submissions arrive through a mutex-guarded
+// intake slice that the goroutine drains a whole batch at a time —
+// group-commit admission. Concurrent submitters pay one lock
+// acquisition and one goroutine wakeup per *batch* instead of one
+// channel round trip per request, while the engine itself still sees
+// one caller: the leader applies each submission individually, in
+// intake order, so the schedule is byte-identical to the same
+// submissions arriving serially in that order.
 type shard struct {
 	id   string
 	spec PlatformSpec
@@ -61,14 +85,39 @@ type shard struct {
 	// dead is closed when the goroutine exits (purge), so callers
 	// blocked on enqueue or reply fail fast instead of hanging.
 	dead chan struct{}
+
+	// mu guards intake, the bounded submission ring. intakeCap bounds
+	// it; overflow is ErrBusy backpressure, exactly like a full request
+	// channel. kick (capacity 1) wakes the leader; one pending wakeup
+	// is enough because the leader always drains the whole intake.
+	mu        sync.Mutex
+	intake    []*submitReq
+	intakeCap int
+	kick      chan struct{}
+
+	// spare is the leader-owned second buffer: intake and spare
+	// ping-pong so steady-state admission never allocates. Only the
+	// shard goroutine touches spare.
+	spare []*submitReq
+
+	// batchSize observes how many submissions each flush admitted.
+	batchSize *obs.Histogram
+}
+
+// shardState is the loop-private session lifecycle: how many tasks
+// were accepted, and the drain tombstone.
+type shardState struct {
+	submitted int
+	final     *sim.Result
+	finalErr  error
 }
 
 // newShard builds the session's scheduler (sink and, when parallel >=
 // 2, a candidate-evaluation pool wired through options), opens the
-// session and starts its goroutine. queueDepth bounds the number of
-// in-flight requests; overflow is reported to the caller as
+// session and starts its goroutine. queueDepth bounds both the intake
+// ring and the control channel; overflow is reported to the caller as
 // backpressure.
-func newShard(id string, spec PlatformSpec, params model.CostParams, plat *platform.Platform, queueDepth, parallel int) (*shard, error) {
+func newShard(id string, spec PlatformSpec, params model.CostParams, plat *platform.Platform, queueDepth, parallel int, batchSize *obs.Histogram) (*shard, error) {
 	rec := &obs.Recorder{}
 	opts := []core.Option{core.WithSink(rec)}
 	if parallel >= 2 {
@@ -83,11 +132,16 @@ func newShard(id string, spec PlatformSpec, params model.CostParams, plat *platf
 		return nil, err
 	}
 	sh := &shard{
-		id:   id,
-		spec: spec,
-		rec:  rec,
-		reqs: make(chan shardReq, queueDepth),
-		dead: make(chan struct{}),
+		id:        id,
+		spec:      spec,
+		rec:       rec,
+		reqs:      make(chan shardReq, queueDepth),
+		dead:      make(chan struct{}),
+		intake:    make([]*submitReq, 0, queueDepth),
+		intakeCap: queueDepth,
+		kick:      make(chan struct{}, 1),
+		spare:     make([]*submitReq, 0, queueDepth),
+		batchSize: batchSize,
 	}
 	go sh.loop(sess)
 	return sh, nil
@@ -98,66 +152,145 @@ func newShard(id string, spec PlatformSpec, params model.CostParams, plat *platf
 // and final report stay readable until the shard is purged. On exit it
 // releases the session's evaluation pool (idempotent after a drain),
 // so purging an undrained shard never leaks pool goroutines.
+//
+// Submissions queued in the intake are flushed before any control
+// operation is answered, so a drain observes every submission that
+// beat it into the shard and a status reply reflects them.
 func (sh *shard) loop(sess *core.OnlineSession) {
 	defer close(sh.dead)
 	defer sess.Close()
-	var (
-		submitted int
-		final     *sim.Result
-		finalErr  error
-	)
-	for req := range sh.reqs {
-		var resp shardResp
-		switch req.op {
-		case opSubmit:
-			if final != nil || finalErr != nil {
-				resp.err = fmt.Errorf("%w: %s", ErrSessionDrained, sh.id)
-				break
-			}
-			if err := sess.Submit(req.ctx, req.tasks); err != nil {
-				resp.err = err
-				break
-			}
-			submitted += len(req.tasks)
-			resp.clock, resp.pending, resp.submitted = sess.Clock(), sess.Pending(), submitted
-		case opStatus:
-			resp.submitted = submitted
-			if final != nil {
-				resp.drained = true
-				resp.clock, resp.pending = final.Makespan, 0
-			} else {
-				resp.clock, resp.pending = sess.Clock(), sess.Pending()
-			}
-		case opDrain:
-			if final == nil && finalErr == nil {
-				res, err := sess.Drain(req.ctx)
-				if err != nil && errors.Is(err, core.ErrCanceled) {
-					// A canceled drain is retryable: the engine stopped at
-					// an event boundary and stays consistent, so don't
-					// tombstone the session.
-					resp.err = err
-					resp.submitted = submitted
-					break
+	var st shardState
+	for {
+		select {
+		case <-sh.kick:
+			sh.flushIntake(sess, &st)
+		case req := <-sh.reqs:
+			sh.flushIntake(sess, &st)
+			var resp shardResp
+			switch req.op {
+			case opStatus:
+				resp.submitted = st.submitted
+				if st.final != nil {
+					resp.drained = true
+					resp.clock, resp.pending = st.final.Makespan, 0
+				} else {
+					resp.clock, resp.pending = sess.Clock(), sess.Pending()
 				}
-				final, finalErr = res, err
-				resp.first = true
+			case opDrain:
+				if st.final == nil && st.finalErr == nil {
+					res, err := sess.Drain(req.ctx)
+					if err != nil && errors.Is(err, core.ErrCanceled) {
+						// A canceled drain is retryable: the engine stopped at
+						// an event boundary and stays consistent, so don't
+						// tombstone the session.
+						resp.err = err
+						resp.submitted = st.submitted
+						break
+					}
+					st.final, st.finalErr = res, err
+					resp.first = true
+				}
+				resp.result, resp.err, resp.drained = st.final, st.finalErr, true
+				resp.submitted = st.submitted
+				if st.final != nil {
+					resp.clock = st.final.Makespan
+				}
+			case opPurge:
+				req.reply <- shardResp{}
+				return
 			}
-			resp.result, resp.err, resp.drained = final, finalErr, true
-			resp.submitted = submitted
-			if final != nil {
-				resp.clock = final.Makespan
-			}
-		case opPurge:
-			req.reply <- shardResp{}
-			return
+			req.reply <- resp
 		}
-		req.reply <- resp
 	}
 }
 
-// do sends a request to the shard goroutine and waits for its reply,
-// honoring context cancellation and shard death. A full request queue
-// returns ErrBusy immediately (backpressure at the HTTP layer).
+// flushIntake is the group commit: swap the intake out under the lock,
+// then apply every queued submission in intake order — the order
+// submitters won the lock, which becomes the batch's definitive
+// arrival sequence — replying to each as it lands. Replies go to
+// capacity-1 channels, so a departed submitter never blocks the
+// leader.
+func (sh *shard) flushIntake(sess *core.OnlineSession, st *shardState) {
+	sh.mu.Lock()
+	batch := sh.intake
+	sh.intake = sh.spare[:0]
+	sh.mu.Unlock()
+	if len(batch) == 0 {
+		sh.spare = batch
+		return
+	}
+	if sh.batchSize != nil {
+		sh.batchSize.Observe(float64(len(batch)))
+	}
+	for _, req := range batch {
+		req.reply <- sh.admitOne(sess, st, req)
+	}
+	for i := range batch {
+		batch[i] = nil
+	}
+	sh.spare = batch[:0]
+}
+
+// admitOne applies a single submission to the session: the same
+// semantics a dedicated per-request channel round trip had, so
+// coalescing is invisible to correctness.
+func (sh *shard) admitOne(sess *core.OnlineSession, st *shardState, req *submitReq) shardResp {
+	var resp shardResp
+	if st.final != nil || st.finalErr != nil {
+		resp.err = fmt.Errorf("%w: %s", ErrSessionDrained, sh.id)
+		return resp
+	}
+	var err error
+	if req.clamp {
+		err = sess.Admit(req.ctx, req.tasks)
+	} else {
+		err = sess.Submit(req.ctx, req.tasks)
+	}
+	if err != nil {
+		resp.err = err
+		return resp
+	}
+	st.submitted += len(req.tasks)
+	resp.clock, resp.pending, resp.submitted = sess.Clock(), sess.Pending(), st.submitted
+	return resp
+}
+
+// submit enqueues a submission into the intake ring and waits for the
+// leader's reply, honoring context cancellation and shard death. A
+// full intake returns ErrBusy immediately (backpressure at the HTTP
+// layer). clamp selects Admit (stale arrivals clamped to the clock)
+// over Submit (stale arrivals rejected).
+func (sh *shard) submit(ctx context.Context, tasks model.TaskSet, clamp bool) (shardResp, error) {
+	req := submitReqPool.Get().(*submitReq)
+	req.ctx, req.tasks, req.clamp = ctx, tasks, clamp
+	sh.mu.Lock()
+	if len(sh.intake) >= sh.intakeCap {
+		sh.mu.Unlock()
+		req.ctx, req.tasks = nil, nil
+		submitReqPool.Put(req)
+		return shardResp{}, fmt.Errorf("%w: session %s", ErrBusy, sh.id)
+	}
+	sh.intake = append(sh.intake, req)
+	sh.mu.Unlock()
+	select {
+	case sh.kick <- struct{}{}:
+	default: // a wakeup is already pending; the leader drains everything
+	}
+	select {
+	case resp := <-req.reply:
+		req.ctx, req.tasks = nil, nil
+		submitReqPool.Put(req)
+		return resp, nil
+	case <-sh.dead:
+		return shardResp{}, fmt.Errorf("%w: %s", ErrSessionGone, sh.id)
+	case <-ctx.Done():
+		return shardResp{}, ctx.Err()
+	}
+}
+
+// do sends a control request to the shard goroutine and waits for its
+// reply, honoring context cancellation and shard death. A full request
+// queue returns ErrBusy immediately (backpressure at the HTTP layer).
 func (sh *shard) do(ctx context.Context, req shardReq) (shardResp, error) {
 	req.ctx = ctx
 	req.reply = make(chan shardResp, 1)

@@ -113,6 +113,12 @@ type SessionInfo struct {
 // SubmitRequest is the body of POST /v1/sessions/{id}/tasks.
 type SubmitRequest struct {
 	Tasks []trace.Record `json:"tasks"`
+	// Clamp admits arrivals stamped before the session clock by
+	// clamping them up to it (core.OnlineSession.Admit) instead of
+	// rejecting the batch with 400. Concurrent submitters to one
+	// session need it: whichever request loses the race into the shard
+	// sees virtual time already advanced past its timestamps.
+	Clamp bool `json:"clamp,omitempty"`
 }
 
 // SubmitResponse acknowledges accepted arrivals.

@@ -13,7 +13,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_PR4.json}
+OUT=${1:-BENCH_PR5.json}
 BENCHTIME=${BENCHTIME:-0.3s}
 PKGS="./internal/envelope ./internal/rangetree ./internal/dynsched ./internal/online ./internal/server"
 

@@ -1,0 +1,62 @@
+#!/bin/sh
+# Compare two bench.sh baselines and fail on ns/op regressions.
+#
+# Usage: scripts/benchdiff.sh [old.json] [new.json]
+#
+# Benchmarks present in both files are compared by ns_per_op; any
+# shared benchmark that slowed by more than THRESHOLD percent (default
+# 20) fails the script. Benchmarks present in only one file are
+# ignored — new benchmarks are not regressions and retired ones carry
+# no signal. Both files must exist: a missing baseline means `make
+# bench` has not been run for that PR, which should fail loudly rather
+# than vacuously pass.
+set -eu
+cd "$(dirname "$0")/.."
+
+OLD=${1:-BENCH_PR4.json}
+NEW=${2:-BENCH_PR5.json}
+THRESHOLD=${THRESHOLD:-20}
+
+for f in "$OLD" "$NEW"; do
+    if [ ! -f "$f" ]; then
+        echo "benchdiff: missing $f (run scripts/bench.sh $f first)" >&2
+        exit 1
+    fi
+done
+
+awk -v threshold="$THRESHOLD" -v oldfile="$OLD" -v newfile="$NEW" '
+# parse extracts package/name/ns_per_op from one bench.sh JSON line
+# into K and NS; bench.sh writes one object per line, so a line-wise
+# scan is exact for these files.
+function parse(line) {
+    if (line !~ /"name": "Benchmark/) return 0
+    match(line, /"package": "[^"]*"/)
+    pkg = substr(line, RSTART + 12, RLENGTH - 13)
+    match(line, /"name": "[^"]*"/)
+    nm = substr(line, RSTART + 9, RLENGTH - 10)
+    if (match(line, /"ns_per_op": [0-9.eE+-]+/) == 0) return 0
+    NS = substr(line, RSTART + 13, RLENGTH - 13) + 0
+    K = pkg "/" nm
+    return 1
+}
+NR == FNR { if (parse($0)) base[K] = NS; next }
+{
+    if (!parse($0)) next
+    if (!(K in base)) next
+    shared++
+    delta = (NS - base[K]) / base[K] * 100
+    printf("%-66s %11.1f -> %11.1f ns/op  %+7.1f%%\n", K, base[K], NS, delta)
+    if (delta > threshold) {
+        printf("REGRESSION: %s slowed %.1f%% (limit %d%%)\n", K, delta, threshold)
+        bad++
+    }
+}
+END {
+    if (shared == 0) {
+        print "benchdiff: no shared benchmarks between " oldfile " and " newfile > "/dev/stderr"
+        exit 1
+    }
+    if (bad > 0) exit 1
+    print "benchdiff: " shared " shared benchmarks within " threshold "% of " oldfile
+}
+' "$OLD" "$NEW"

@@ -15,6 +15,8 @@ echo "== go test -race =="
 go test -race ./...
 echo "== benchmark smoke (1 iteration each) =="
 go test -run='^$' -bench=. -benchtime=1x ./...
+echo "== benchdiff (vs previous PR baseline) =="
+scripts/benchdiff.sh
 echo "== fuzz smoke (5s each) =="
 go test -fuzz=FuzzInsertDelete -fuzztime=5s ./internal/rangetree
 go test -fuzz=FuzzDynamicCost -fuzztime=5s ./internal/dynsched

@@ -1,13 +1,22 @@
 package dvfsched_test
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
 	"math"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
 	"testing"
 
 	"dvfsched/internal/experiments"
+	"dvfsched/internal/obs"
 	"dvfsched/internal/online"
 	"dvfsched/internal/platform"
+	"dvfsched/internal/server"
 	"dvfsched/internal/sim"
 	"dvfsched/internal/workload"
 )
@@ -75,5 +84,147 @@ func TestSoakOnlineScheduling(t *testing.T) {
 				t.Fatalf("seed %d: residual LMC queue cost %v on core %d", seed, c, j)
 			}
 		}
+	}
+}
+
+// TestSoakConcurrentSessionDrain races submitters against a drain and
+// a server-wide BeginDrain on one session shard, then audits the event
+// trace: every accepted submission appears as exactly one arrival and
+// one completion, rejected submissions leave no trace, and sequence
+// numbers never go backwards — no event is lost or reordered across
+// the drain. Meaningful under -race (scripts/check.sh runs it so).
+// Skipped with -short.
+func TestSoakConcurrentSessionDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in short mode")
+	}
+	s := server.New(server.Config{})
+	defer s.Close()
+	do := func(method, path string, body []byte) *httptest.ResponseRecorder {
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, httptest.NewRequest(method, path, bytes.NewReader(body)))
+		return w
+	}
+
+	w := do(http.MethodPost, "/v1/sessions", []byte(`{"cores":4}`))
+	if w.Code != http.StatusCreated {
+		t.Fatalf("create session: %d %s", w.Code, w.Body)
+	}
+	var info server.SessionInfo
+	if err := json.Unmarshal(w.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	taskPath := "/v1/sessions/" + info.ID + "/tasks"
+
+	const goroutines, perG = 6, 40
+	accepted := make([][]bool, goroutines)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	// mid is closed once the first submitter is halfway through, so the
+	// drain and BeginDrain land mid-flight: enough submissions admitted
+	// beforehand that the audit is non-vacuous, enough still in flight
+	// that they race the tombstone.
+	mid := make(chan struct{})
+	var midOnce sync.Once
+	for g := 0; g < goroutines; g++ {
+		accepted[g] = make([]bool, perG)
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if g == 0 {
+				// Whatever happens, the drainers must not block forever.
+				defer midOnce.Do(func() { close(mid) })
+			}
+			<-start
+			for i := 0; i < perG; i++ {
+				if g == 0 && i == perG/2 {
+					midOnce.Do(func() { close(mid) })
+				}
+				id := g*perG + i + 1
+				body := fmt.Sprintf(`{"clamp":true,"tasks":[{"id":%d,"cycles":0.5,"arrival":%g}]}`, id, float64(i)*0.1)
+				w := do(http.MethodPost, taskPath, []byte(body))
+				switch w.Code {
+				case http.StatusOK:
+					accepted[g][i] = true
+				case http.StatusConflict, http.StatusServiceUnavailable, http.StatusTooManyRequests:
+					// Lost the race against the drain (409), BeginDrain
+					// (503), or backpressure (429): the submission must
+					// leave no trace.
+				default:
+					t.Errorf("submit %d: unexpected status %d: %s", id, w.Code, w.Body)
+				}
+			}
+		}(g)
+	}
+	// One goroutine drains the session mid-flight; another flips the
+	// whole server into draining mode.
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		<-mid
+		w := do(http.MethodDelete, "/v1/sessions/"+info.ID, nil)
+		if w.Code != http.StatusOK && w.Code != http.StatusConflict {
+			t.Errorf("drain: unexpected status %d: %s", w.Code, w.Body)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		<-mid
+		s.BeginDrain()
+	}()
+	close(start)
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	w = do(http.MethodGet, "/v1/sessions/"+info.ID+"/events", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("events: %d %s", w.Code, w.Body)
+	}
+	arrivals := map[int]int{}
+	completes := map[int]int{}
+	var lastSeq uint64
+	n := 0
+	sc := bufio.NewScanner(w.Body)
+	for sc.Scan() {
+		var ev obs.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("event line %d: %v", n, err)
+		}
+		if n > 0 && ev.Seq <= lastSeq {
+			t.Fatalf("event %d: seq %d after %d — reordered or duplicated", n, ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+		n++
+		switch ev.Kind {
+		case obs.KindArrival:
+			arrivals[ev.Task]++
+		case obs.KindComplete:
+			completes[ev.Task]++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	nAccepted := 0
+	for g := range accepted {
+		for i, ok := range accepted[g] {
+			id := g*perG + i + 1
+			if ok {
+				nAccepted++
+				if arrivals[id] != 1 || completes[id] != 1 {
+					t.Errorf("accepted task %d: %d arrivals, %d completions, want 1 and 1", id, arrivals[id], completes[id])
+				}
+			} else if arrivals[id] != 0 {
+				t.Errorf("rejected task %d has %d arrival events", id, arrivals[id])
+			}
+		}
+	}
+	if len(arrivals) != nAccepted {
+		t.Errorf("trace has %d arrivals, want %d (accepted submissions)", len(arrivals), nAccepted)
+	}
+	if nAccepted == 0 {
+		t.Error("no submission was accepted; the race never exercised admission")
 	}
 }
