@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check vet lint build test race bench-smoke fuzz-smoke bench benchdiff serve-smoke golden
+.PHONY: check vet lint build test race bench-smoke fuzz-smoke bench benchdiff benchdiff-test cover serve-smoke golden
 
-check: vet lint build race bench-smoke benchdiff fuzz-smoke
+check: vet lint build race bench-smoke benchdiff benchdiff-test cover fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -25,21 +25,33 @@ race:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
-# Short fuzz sessions for the dynamic structures; cheap enough to run
-# in every `make check`.
+# Short fuzz sessions for the dynamic structures and the binary trace
+# codec; cheap enough to run in every `make check`.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzInsertDelete -fuzztime=5s ./internal/rangetree
 	$(GO) test -fuzz=FuzzDynamicCost -fuzztime=5s ./internal/dynsched
+	$(GO) test -fuzz=FuzzBinaryRoundTrip -fuzztime=5s ./internal/obs
 
 # Benchmark the hot packages and write the machine-readable baseline
 # for this PR (diff against the previous PR's with `make benchdiff`).
 bench:
-	scripts/bench.sh BENCH_PR5.json
+	scripts/bench.sh BENCH_PR6.json
 
 # Compare this PR's baseline against the previous one; fails on >20%
-# ns/op regressions in benchmarks both files share.
+# ns/op regressions in benchmarks both files share and reports
+# benchmarks new in this PR.
 benchdiff:
-	scripts/benchdiff.sh BENCH_PR4.json BENCH_PR5.json
+	scripts/benchdiff.sh BENCH_PR5.json BENCH_PR6.json
+
+# Shell test for the benchdiff gate itself: missing/empty baselines
+# must fail, regressions must fail, new benchmarks must be reported.
+benchdiff-test:
+	scripts/benchdiff_test.sh
+
+# Race-enabled per-package coverage floors for the engine-critical
+# packages.
+cover:
+	scripts/cover.sh
 
 # Boot dvfschedd on an ephemeral port, hit /healthz and /v1/plan once,
 # and shut it down cleanly.

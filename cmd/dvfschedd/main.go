@@ -8,6 +8,7 @@
 //
 //	dvfschedd [-addr :8080] [-workers N] [-queue N] [-cache N]
 //	          [-max-sessions N] [-request-timeout 30s] [-drain-timeout 30s]
+//	          [-trace-format jsonl|binary]
 //
 // The daemon prints "listening on http://HOST:PORT" once the socket is
 // bound (use -addr 127.0.0.1:0 for an ephemeral port and parse that
@@ -57,9 +58,13 @@ func run(args []string, w io.Writer, sigs <-chan os.Signal) error {
 		sessParallel = fs.Int("session-parallelism", 0, "per-session candidate-evaluation pool width (<2 = sequential)")
 		reqTimeout   = fs.Duration("request-timeout", 0, "per-request deadline (0 = 30s)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+		traceFormat  = fs.String("trace-format", "jsonl", "default session events encoding: jsonl or binary (?format= overrides)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *traceFormat != "jsonl" && *traceFormat != "binary" {
+		return fmt.Errorf("unknown -trace-format %q (want jsonl or binary)", *traceFormat)
 	}
 
 	s := server.New(server.Config{
@@ -69,6 +74,7 @@ func run(args []string, w io.Writer, sigs <-chan os.Signal) error {
 		MaxSessions:        *maxSessions,
 		SessionParallelism: *sessParallel,
 		RequestTimeout:     *reqTimeout,
+		TraceFormat:        *traceFormat,
 	})
 	defer s.Close()
 

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"dvfsched/internal/obs"
+)
+
+// lineWriter captures the daemon's stdout and hands the "listening on"
+// line to the test as soon as it appears.
+type lineWriter struct {
+	mu    sync.Mutex
+	buf   bytes.Buffer
+	ready chan string
+}
+
+func (lw *lineWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	lw.buf.Write(p)
+	for {
+		line, err := lw.buf.ReadString('\n')
+		if err != nil {
+			lw.buf.WriteString(line) // partial line: put it back
+			break
+		}
+		if addr, ok := strings.CutPrefix(line, "listening on "); ok {
+			select {
+			case lw.ready <- strings.TrimSpace(addr):
+			default:
+			}
+		}
+	}
+	return len(p), nil
+}
+
+func TestRunBadTraceFormat(t *testing.T) {
+	sigs := make(chan os.Signal)
+	if err := run([]string{"-trace-format", "gob"}, io.Discard, sigs); err == nil {
+		t.Fatal("-trace-format gob accepted")
+	}
+}
+
+// TestDaemonBinaryTraceDefault boots the daemon with
+// -trace-format=binary and checks the events endpoint defaults to the
+// binary encoding while ?format=jsonl still overrides.
+func TestDaemonBinaryTraceDefault(t *testing.T) {
+	lw := &lineWriter{ready: make(chan string, 1)}
+	sigs := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-workers", "1", "-trace-format", "binary"}, lw, sigs)
+	}()
+	var base string
+	select {
+	case base = <-lw.ready:
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never reported its address")
+	}
+
+	var info struct {
+		ID string `json:"id"`
+	}
+	resp, err := http.Post(base+"/v1/sessions", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	body := `{"tasks":[{"id":1,"cycles":5},{"id":2,"cycles":3,"arrival":0.5}]}`
+	resp, err = http.Post(base+"/v1/sessions/"+info.ID+"/tasks", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+
+	get := func(url string) []byte {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+		}
+		return b
+	}
+	plain := get(base + "/v1/sessions/" + info.ID + "/events")
+	if !obs.DetectBinary(plain) {
+		t.Error("default events encoding is not binary despite -trace-format=binary")
+	}
+	jsonl := get(base + "/v1/sessions/" + info.ID + "/events?format=jsonl")
+	if obs.DetectBinary(jsonl) || (len(jsonl) > 0 && jsonl[0] != '{') {
+		t.Errorf("?format=jsonl did not override the daemon default: %.40q", jsonl)
+	}
+
+	sigs <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon shutdown: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never shut down")
+	}
+}

@@ -6,12 +6,15 @@
 //
 //	onlinesim [-cores 4] [-seed N] [-trace trace.jsonl]
 //	          [-re 0.4] [-rt 0.1] [-scale 1]
-//	          [-trace-out events.jsonl] [-metrics-out metrics.json]
+//	          [-trace-out events.jsonl] [-trace-format jsonl|binary]
+//	          [-metrics-out metrics.json]
 //
-// -trace-out dumps the LMC run's event stream as JSONL; the report
-// package replays such a dump into the same Gantt/CSV artifacts the
-// simulator produces directly. -metrics-out writes the run's counter,
-// gauge and histogram snapshot as JSON.
+// -trace-out dumps the LMC run's event stream, as JSONL by default or
+// in the compact framed binary encoding with -trace-format=binary
+// (cmd/traceinfo and the report replayer auto-detect either). The
+// report package replays such a dump into the same Gantt/CSV artifacts
+// the simulator produces directly. -metrics-out writes the run's
+// counter, gauge and histogram snapshot as JSON.
 package main
 
 import (
@@ -46,14 +49,18 @@ func run(args []string, w io.Writer) error {
 		re         = fs.Float64("re", 0.4, "Re, cents per joule")
 		rt         = fs.Float64("rt", 0.1, "Rt, cents per second")
 		scale      = fs.Float64("scale", 1, "synthesized-trace scale factor (0 < scale <= 1)")
-		traceOut   = fs.String("trace-out", "", "write the LMC run's event stream as JSONL")
-		metricsOut = fs.String("metrics-out", "", "write the LMC run's metrics snapshot as JSON")
+		traceOut    = fs.String("trace-out", "", "write the LMC run's event stream")
+		traceFormat = fs.String("trace-format", "jsonl", "event stream encoding for -trace-out: jsonl or binary")
+		metricsOut  = fs.String("metrics-out", "", "write the LMC run's metrics snapshot as JSON")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *scale <= 0 || *scale > 1 {
 		return fmt.Errorf("scale must be in (0, 1], got %v", *scale)
+	}
+	if *traceFormat != "jsonl" && *traceFormat != "binary" {
+		return fmt.Errorf("unknown -trace-format %q (want jsonl or binary)", *traceFormat)
 	}
 
 	cfg := experiments.Fig3Config{
@@ -67,15 +74,25 @@ func run(args []string, w io.Writer) error {
 		cfg.Metrics = reg
 		cfg.Sink = obs.NewMetricsSink(reg)
 	}
-	var jsonl *obs.JSONLWriter
+	// traceWriter is either encoding's sink: both seal buffered frames
+	// on Close and retain the first write error.
+	type traceWriter interface {
+		obs.Sink
+		Close() error
+	}
+	var tw traceWriter
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		jsonl = obs.NewJSONLWriter(f)
-		cfg.Sink = obs.Multi(jsonl, cfg.Sink)
+		if *traceFormat == "binary" {
+			tw = obs.NewBinaryWriter(f)
+		} else {
+			tw = obs.NewJSONLWriter(f)
+		}
+		cfg.Sink = obs.Multi(tw, cfg.Sink)
 	}
 	if *traceFile != "" {
 		f, err := os.Open(*traceFile)
@@ -100,8 +117,8 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if jsonl != nil {
-		if err := jsonl.Close(); err != nil {
+	if tw != nil {
+		if err := tw.Close(); err != nil {
 			return fmt.Errorf("writing %s: %w", *traceOut, err)
 		}
 	}

@@ -170,3 +170,54 @@ func TestTraceOutReplayMatchesDirect(t *testing.T) {
 		t.Error("sim.energy_j missing from metrics snapshot")
 	}
 }
+
+func TestTraceOutBinaryMatchesJSONL(t *testing.T) {
+	// The same deterministic run dumped in both encodings: the binary
+	// file must decode to the identical event stream (proven through
+	// the canonical JSON rendering) and be substantially smaller.
+	dir := t.TempDir()
+	jsonlPath := filepath.Join(dir, "events.jsonl")
+	binPath := filepath.Join(dir, "events.bintrace")
+	common := []string{"-scale", "0.1", "-cores", "2", "-seed", "3"}
+
+	var out bytes.Buffer
+	if err := run(append([]string{"-trace-out", jsonlPath}, common...), &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append([]string{"-trace-out", binPath, "-trace-format", "binary"}, common...), &out); err != nil {
+		t.Fatal(err)
+	}
+
+	jsonlBytes, err := os.ReadFile(jsonlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binBytes, err := os.ReadFile(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !obs.DetectBinary(binBytes) {
+		t.Fatal("binary dump does not start with the trace magic")
+	}
+	events, err := obs.ReadBinary(bytes.NewReader(binBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rejson []byte
+	for _, ev := range events {
+		rejson = ev.AppendJSON(rejson)
+		rejson = append(rejson, '\n')
+	}
+	if !bytes.Equal(rejson, jsonlBytes) {
+		t.Fatalf("binary dump decodes to different events (%d vs %d bytes of JSON)",
+			len(rejson), len(jsonlBytes))
+	}
+	if len(binBytes)*3 > len(jsonlBytes) {
+		t.Errorf("binary dump %d bytes, jsonl %d bytes: expected at least 3x smaller",
+			len(binBytes), len(jsonlBytes))
+	}
+
+	if err := run([]string{"-trace-format", "gob"}, &bytes.Buffer{}); err == nil {
+		t.Error("-trace-format gob accepted")
+	}
+}

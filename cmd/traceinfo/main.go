@@ -1,21 +1,31 @@
-// Command traceinfo summarizes a JSONL task trace: counts, demand
+// Command traceinfo summarizes a task trace: counts, demand
 // distribution, arrival span, and offered load — the quantities that
 // determine which scheduling regime (under-loaded vs saturated) an
 // experiment will exercise.
 //
+// It accepts either a JSONL task trace (tracegen's output) or a binary
+// event trace (onlinesim -trace-format=binary, or the daemon's
+// events?format=binary endpoint), auto-detected by the leading magic
+// bytes. For an event trace the task set is reconstructed from the
+// arrival events.
+//
 // Usage:
 //
 //	traceinfo trace.jsonl
+//	traceinfo events.bintrace
 //	tracegen -kind judge | traceinfo
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
 
+	"dvfsched/internal/model"
+	"dvfsched/internal/obs"
 	"dvfsched/internal/trace"
 	"dvfsched/internal/workload"
 )
@@ -44,7 +54,7 @@ func run(args []string, stdin io.Reader, w io.Writer) error {
 	default:
 		return fmt.Errorf("expected at most one trace file, got %d arguments", len(args))
 	}
-	tasks, err := trace.Read(r)
+	tasks, err := readTasks(r)
 	if err != nil {
 		return err
 	}
@@ -54,4 +64,46 @@ func run(args []string, stdin io.Reader, w io.Writer) error {
 	}
 	fmt.Fprint(w, summary)
 	return nil
+}
+
+// readTasks sniffs the stream's leading bytes: the binary event-trace
+// magic selects event decoding (tasks rebuilt from arrivals), anything
+// else parses as a JSONL task trace.
+func readTasks(r io.Reader) (model.TaskSet, error) {
+	br := bufio.NewReader(r)
+	prefix, err := br.Peek(len(obs.BinaryMagic()))
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	if !obs.DetectBinary(prefix) {
+		return trace.Read(br)
+	}
+	events, err := obs.ReadBinary(br)
+	if err != nil {
+		return nil, err
+	}
+	return tasksFromEvents(events)
+}
+
+// tasksFromEvents reconstructs the submitted task set from a session's
+// arrival events. Deadlines are not recorded in the event stream, so
+// reconstructed tasks carry none.
+func tasksFromEvents(events []obs.Event) (model.TaskSet, error) {
+	var tasks model.TaskSet
+	for _, ev := range events {
+		if ev.Kind != obs.KindArrival {
+			continue
+		}
+		tasks = append(tasks, model.Task{
+			ID:          ev.Task,
+			Cycles:      ev.Cycles,
+			Arrival:     ev.T,
+			Deadline:    model.NoDeadline,
+			Interactive: ev.Interactive,
+		})
+	}
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("binary event trace contains no arrival events")
+	}
+	return tasks, nil
 }

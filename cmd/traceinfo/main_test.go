@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 
+	"dvfsched/internal/model"
+	"dvfsched/internal/obs"
 	"dvfsched/internal/trace"
 	"dvfsched/internal/workload"
 )
@@ -63,5 +65,76 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run(nil, strings.NewReader("garbage"), &bytes.Buffer{}); err == nil {
 		t.Error("garbage trace accepted")
+	}
+}
+
+// binaryEventTrace encodes the sample task set as a binary event trace
+// the way a session would emit it: one arrival event per task.
+func binaryEventTrace(t *testing.T) ([]byte, model.TaskSet) {
+	t.Helper()
+	judge := workload.DefaultJudgeConfig()
+	judge.Interactive, judge.NonInteractive, judge.Duration = 100, 20, 60
+	tasks, err := judge.Generate(rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := make([]obs.Event, len(tasks))
+	for i, task := range tasks {
+		events[i] = obs.Event{
+			Seq: uint64(i + 1), T: task.Arrival, Kind: obs.KindArrival,
+			Core: -1, Task: task.ID, Cycles: task.Cycles, Interactive: task.Interactive,
+		}
+	}
+	return obs.AppendBinary(nil, events), tasks
+}
+
+func TestRunBinaryEventTrace(t *testing.T) {
+	bin, tasks := binaryEventTrace(t)
+	var out bytes.Buffer
+	if err := run(nil, bytes.NewReader(bin), &out); err != nil {
+		t.Fatal(err)
+	}
+
+	// The summary must match Describe over the reconstructed set: same
+	// tasks, but deadlines are not recorded in the event stream.
+	stripped := tasks.Clone()
+	for i := range stripped {
+		stripped[i].Name = ""
+		stripped[i].Deadline = model.NoDeadline
+	}
+	want, err := workload.Describe(stripped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != want.String() {
+		t.Errorf("binary summary:\n%swant:\n%s", out.String(), want.String())
+	}
+
+	// Same detection from a file argument.
+	path := filepath.Join(t.TempDir(), "events.bintrace")
+	if err := os.WriteFile(path, bin, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var fromFile bytes.Buffer
+	if err := run([]string{path}, nil, &fromFile); err != nil {
+		t.Fatal(err)
+	}
+	if fromFile.String() != out.String() {
+		t.Error("file and stdin summaries differ")
+	}
+}
+
+func TestRunBinaryTraceErrors(t *testing.T) {
+	// A valid stream with no arrivals reconstructs nothing.
+	onlyIdle := obs.AppendBinary(nil, []obs.Event{
+		{Seq: 1, T: 0, Kind: obs.KindCoreIdle, Core: 0, Task: -1},
+	})
+	if err := run(nil, bytes.NewReader(onlyIdle), &bytes.Buffer{}); err == nil {
+		t.Error("arrival-free event trace accepted")
+	}
+	// A truncated binary stream must fail, not silently summarize.
+	bin, _ := binaryEventTrace(t)
+	if err := run(nil, bytes.NewReader(bin[:len(bin)-3]), &bytes.Buffer{}); err == nil {
+		t.Error("truncated binary trace accepted")
 	}
 }

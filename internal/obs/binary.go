@@ -1,0 +1,593 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sync"
+)
+
+// This file is the compact binary form of the event stream — the
+// storage and replication format the JSONL encoding is too fat for at
+// production event rates. The layout trades generality for exactness
+// and speed:
+//
+//	stream  = magic version frame*
+//	magic   = "DVFB" (4 bytes)
+//	version = 1 byte (currently 1; readers accept any version <= theirs)
+//	frame   = payloadLen:u32le crc:u32le payload
+//	payload = record*                       (crc = CRC-32/IEEE of payload)
+//
+// Each frame is fully self-contained: the kind-interning dictionary,
+// the delta baselines and the per-field XOR predictors all reset at
+// frame boundaries, so a reader can skip a damaged frame and keep
+// decoding, and frames can be decoded independently (the shape a
+// replicated log needs). One record is:
+//
+//	kindIdx:uvarint [kindLen:uvarint kindBytes]   (bytes present iff
+//	                                               kindIdx == dict size:
+//	                                               inline interning)
+//	flags:1 byte      bit0 Rate, bit1 PrevRate, bit2 Eff, bit3 Cycles,
+//	                  bit4 Remaining, bit5 Energy, bit6 Interactive
+//	seqDelta:uvarint  Seq minus the frame's previous Seq (wrapping)
+//	tBits:uvarint     Float64bits(T) XOR the previous record's T bits
+//	core:varint task:varint
+//	field:uvarint     for each flag bit 0..5 set, in that order:
+//	                  Float64bits(v) XOR that field's previous bits
+//
+// Every float travels as exact IEEE-754 bits (XOR prediction, never
+// subtraction), so decode is the exact inverse of encode: NaN, ±Inf
+// and subnormals round-trip, and re-encoding a decoded stream with the
+// same frame boundaries reproduces the input byte for byte. A field
+// equal to 0 is omitted (flag clear), mirroring AppendJSON's omitempty
+// semantics — note -0 compares equal to 0 and is therefore normalized
+// to +0 by a round trip, exactly as the JSONL path drops it.
+const (
+	// binaryVersion is the current wire version. Bump only for layout
+	// changes; readers keep decoding every older version forever (the
+	// golden-file tests pin version 1).
+	binaryVersion = 1
+
+	// binaryHeaderLen is the stream header: magic plus version byte.
+	binaryHeaderLen = 5
+
+	// binaryFrameTarget is the payload size at which the encoder seals
+	// a frame. Small enough to bound the blast radius of a corrupt
+	// frame, large enough that the 8-byte frame header is noise.
+	binaryFrameTarget = 32 << 10
+
+	// maxFramePayload bounds a frame a reader will buffer; beyond it
+	// the length field itself is presumed corrupt and resynchronization
+	// is impossible.
+	maxFramePayload = 1 << 26
+)
+
+// binaryMagic starts every binary trace stream.
+var binaryMagic = [4]byte{'D', 'V', 'F', 'B'}
+
+// BinaryMagic returns the 4 magic bytes that start every binary trace
+// stream, for format sniffing (cmd/traceinfo peeks at these).
+func BinaryMagic() []byte { return append([]byte(nil), binaryMagic[:]...) }
+
+// DetectBinary reports whether prefix begins a binary trace stream.
+// Callers peek at least BinaryMagicLen bytes; shorter prefixes report
+// false.
+func DetectBinary(prefix []byte) bool {
+	return len(prefix) >= len(binaryMagic) &&
+		prefix[0] == binaryMagic[0] && prefix[1] == binaryMagic[1] &&
+		prefix[2] == binaryMagic[2] && prefix[3] == binaryMagic[3]
+}
+
+// Typed binary-format errors, matchable via errors.Is.
+var (
+	// ErrBadMagic is returned when a stream does not start with the
+	// binary trace magic.
+	ErrBadMagic = errors.New("obs: not a binary trace (bad magic)")
+	// ErrBadVersion is returned for stream versions newer than this
+	// reader understands.
+	ErrBadVersion = errors.New("obs: unsupported binary trace version")
+	// ErrFrameChecksum marks a frame whose payload fails its CRC.
+	ErrFrameChecksum = errors.New("obs: frame checksum mismatch")
+	// ErrFrameTruncated marks a frame cut off mid-header or mid-payload.
+	ErrFrameTruncated = errors.New("obs: truncated frame")
+	// ErrFrameCorrupt marks a CRC-valid frame whose records do not
+	// parse (an encoder bug or a deliberate corruption that kept the
+	// CRC consistent).
+	ErrFrameCorrupt = errors.New("obs: malformed frame payload")
+	// ErrFrameTooLarge marks a frame whose declared payload length
+	// exceeds the reader's bound; the stream cannot be resynchronized.
+	ErrFrameTooLarge = errors.New("obs: frame length exceeds limit")
+)
+
+// FrameError reports one damaged frame. A *FrameError always means the
+// reader has moved past the damage: the next call continues with the
+// following frame (or io.EOF after a truncated tail), so a recovery
+// loop can treat every FrameError as "count the loss and keep reading".
+// Unrecoverable states (ErrFrameTooLarge, where the length field
+// itself is untrusted) surface as plain sticky errors instead.
+type FrameError struct {
+	// Frame is the 0-based index of the damaged frame in the stream.
+	Frame int
+	// Offset is the byte offset of the frame's header.
+	Offset int64
+	// Err classifies the damage (ErrFrameChecksum, ErrFrameTruncated,
+	// ErrFrameCorrupt, ErrFrameTooLarge).
+	Err error
+}
+
+func (e *FrameError) Error() string {
+	return fmt.Sprintf("obs: frame %d at offset %d: %v", e.Frame, e.Offset, e.Err)
+}
+
+// Unwrap exposes the classification sentinel.
+func (e *FrameError) Unwrap() error { return e.Err }
+
+// optional-field order shared by encoder and decoder: flag bit i
+// corresponds to optFields index i.
+const numOptFields = 6
+
+// BinaryEncoder appends events in the binary trace format. It is the
+// append-style twin of Event.AppendJSON: the caller owns the
+// destination slice, the encoder owns only its frame scratch, and a
+// steady-state append allocates nothing. Not safe for concurrent use;
+// wrap it in BinaryWriter for a locked io.Writer sink.
+//
+// Call Flush after the last event to seal the trailing partial frame —
+// an unflushed encoder has buffered, unframed bytes.
+type BinaryEncoder struct {
+	frame   []byte
+	dict    []string
+	prevSeq uint64
+	prevT   uint64
+	prevF   [numOptFields]uint64
+	started bool
+}
+
+// resetFrame clears the per-frame prediction state.
+func (e *BinaryEncoder) resetFrame() {
+	e.frame = e.frame[:0]
+	e.dict = e.dict[:0]
+	e.prevSeq, e.prevT = 0, 0
+	e.prevF = [numOptFields]uint64{}
+}
+
+// Reset returns the encoder to the empty-stream state, keeping its
+// buffers for reuse.
+func (e *BinaryEncoder) Reset() {
+	e.resetFrame()
+	e.started = false
+}
+
+// header appends the stream header once per encoder lifetime.
+func (e *BinaryEncoder) header(dst []byte) []byte {
+	if e.started {
+		return dst
+	}
+	e.started = true
+	dst = append(dst, binaryMagic[:]...)
+	return append(dst, binaryVersion)
+}
+
+// seal frames the buffered payload onto dst: length, CRC, bytes.
+func (e *BinaryEncoder) seal(dst []byte) []byte {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(e.frame)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(e.frame))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, e.frame...)
+	e.resetFrame()
+	return dst
+}
+
+// AppendEvent encodes ev, appending any completed output (the stream
+// header on first use, a sealed frame when the buffer reaches its
+// target) to dst, and returns the extended slice. Bytes for the event
+// itself may stay buffered until a later AppendEvent or Flush seals
+// the frame.
+func (e *BinaryEncoder) AppendEvent(dst []byte, ev Event) []byte {
+	dst = e.header(dst)
+	e.appendRecord(ev)
+	if len(e.frame) >= binaryFrameTarget {
+		dst = e.seal(dst)
+	}
+	return dst
+}
+
+// Flush seals the pending partial frame (and emits the stream header
+// if no event was ever appended, so even an empty trace identifies its
+// format) and returns the extended slice.
+func (e *BinaryEncoder) Flush(dst []byte) []byte {
+	dst = e.header(dst)
+	if len(e.frame) > 0 {
+		dst = e.seal(dst)
+	}
+	return dst
+}
+
+// appendRecord encodes one event into the frame buffer.
+func (e *BinaryEncoder) appendRecord(ev Event) {
+	b := e.frame
+	// Inline kind interning: an index equal to the dictionary size
+	// introduces the string it is about to mean.
+	kind := string(ev.Kind)
+	idx := -1
+	for i, s := range e.dict {
+		if s == kind {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		b = binary.AppendUvarint(b, uint64(len(e.dict)))
+		b = binary.AppendUvarint(b, uint64(len(kind)))
+		b = append(b, kind...)
+		e.dict = append(e.dict, kind)
+	} else {
+		b = binary.AppendUvarint(b, uint64(idx))
+	}
+
+	var flags byte
+	opt := [numOptFields]float64{ev.Rate, ev.PrevRate, ev.Eff, ev.Cycles, ev.Remaining, ev.Energy}
+	for i, v := range opt {
+		if v != 0 {
+			flags |= 1 << i
+		}
+	}
+	if ev.Interactive {
+		flags |= 1 << 6
+	}
+	b = append(b, flags)
+
+	b = binary.AppendUvarint(b, ev.Seq-e.prevSeq)
+	e.prevSeq = ev.Seq
+	tb := math.Float64bits(ev.T)
+	b = binary.AppendUvarint(b, tb^e.prevT)
+	e.prevT = tb
+	b = binary.AppendVarint(b, int64(ev.Core))
+	b = binary.AppendVarint(b, int64(ev.Task))
+	for i, v := range opt {
+		if flags&(1<<i) == 0 {
+			continue
+		}
+		fb := math.Float64bits(v)
+		b = binary.AppendUvarint(b, fb^e.prevF[i])
+		e.prevF[i] = fb
+	}
+	e.frame = b
+}
+
+// BinaryWriter is a Sink that streams events in the binary trace
+// format. Like JSONLWriter, errors are sticky: the first write failure
+// is retained and reported by Close (and Err), and later events are
+// dropped. Close (or Flush) seals the trailing frame; an unclosed
+// writer loses buffered events.
+type BinaryWriter struct {
+	mu      sync.Mutex
+	bw      *bufio.Writer
+	enc     BinaryEncoder
+	scratch []byte
+	err     error
+}
+
+// NewBinaryWriter wraps w in a buffered binary-trace event sink. Call
+// Close (or Flush) before reading the destination.
+func NewBinaryWriter(w io.Writer) *BinaryWriter {
+	return &BinaryWriter{bw: bufio.NewWriter(w)}
+}
+
+// Emit implements Sink.
+func (b *BinaryWriter) Emit(ev Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.err != nil {
+		return
+	}
+	b.scratch = b.enc.AppendEvent(b.scratch[:0], ev)
+	if len(b.scratch) == 0 {
+		return
+	}
+	if _, err := b.bw.Write(b.scratch); err != nil {
+		b.err = fmt.Errorf("obs: write event %d: %w", ev.Seq, err)
+	}
+}
+
+// Flush seals the pending frame and drains the buffer to the
+// underlying writer. The stream stays appendable: later events open a
+// new frame.
+func (b *BinaryWriter) Flush() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.err != nil {
+		return b.err
+	}
+	b.scratch = b.enc.Flush(b.scratch[:0])
+	if len(b.scratch) > 0 {
+		if _, err := b.bw.Write(b.scratch); err != nil {
+			b.err = fmt.Errorf("obs: flush: %w", err)
+			return b.err
+		}
+	}
+	if err := b.bw.Flush(); err != nil {
+		b.err = fmt.Errorf("obs: flush: %w", err)
+	}
+	return b.err
+}
+
+// Close flushes and returns the first error encountered, if any. It
+// does not close the underlying writer.
+func (b *BinaryWriter) Close() error { return b.Flush() }
+
+// Err returns the sticky error, if any.
+func (b *BinaryWriter) Err() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.err
+}
+
+// BinaryReader decodes a binary trace stream one event at a time.
+// Damaged frames surface as *FrameError and are skipped: the next call
+// to Next continues with the following frame. Terminal conditions
+// (clean end of stream, unrecoverable corruption) are sticky.
+type BinaryReader struct {
+	r        *bufio.Reader
+	frame    []byte
+	pos      int
+	dict     []string
+	prevSeq  uint64
+	prevT    uint64
+	prevF    [numOptFields]uint64
+	started  bool
+	frameIdx int
+	off      int64
+	sticky   error
+}
+
+// NewBinaryReader wraps r for streaming decode.
+func NewBinaryReader(r io.Reader) *BinaryReader {
+	if br, ok := r.(*bufio.Reader); ok {
+		return &BinaryReader{r: br}
+	}
+	return &BinaryReader{r: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// Next returns the next decoded event. It returns io.EOF at a clean
+// end of stream, a *FrameError for each damaged frame it skipped (call
+// again to keep reading), and other errors for unrecoverable states.
+func (r *BinaryReader) Next() (Event, error) {
+	if r.sticky != nil {
+		return Event{}, r.sticky
+	}
+	if !r.started {
+		if err := r.readHeader(); err != nil {
+			r.sticky = err
+			return Event{}, err
+		}
+		r.started = true
+	}
+	for r.pos >= len(r.frame) {
+		if err := r.loadFrame(); err != nil {
+			return Event{}, err
+		}
+	}
+	ev, err := r.decodeRecord()
+	if err != nil {
+		// A CRC-valid frame that does not parse: drop its remainder.
+		ferr := &FrameError{Frame: r.frameIdx - 1, Offset: r.off - int64(len(r.frame)) - 8, Err: ErrFrameCorrupt}
+		r.frame = r.frame[:0]
+		r.pos = 0
+		return Event{}, ferr
+	}
+	return ev, nil
+}
+
+// readHeader consumes and validates the stream magic and version.
+func (r *BinaryReader) readHeader() error {
+	var hdr [binaryHeaderLen]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return ErrBadMagic
+		}
+		return err
+	}
+	r.off += binaryHeaderLen
+	if !DetectBinary(hdr[:4]) {
+		return ErrBadMagic
+	}
+	if v := hdr[4]; v == 0 || v > binaryVersion {
+		return fmt.Errorf("%w: %d (reader supports <= %d)", ErrBadVersion, hdr[4], binaryVersion)
+	}
+	return nil
+}
+
+// loadFrame reads and verifies the next frame into r.frame. On CRC
+// mismatch the frame is skipped and a *FrameError returned; the caller
+// may call Next again.
+func (r *BinaryReader) loadFrame() error {
+	frameOff := r.off
+	var hdr [8]byte
+	n, err := io.ReadFull(r.r, hdr[:])
+	if err != nil {
+		if errors.Is(err, io.EOF) && n == 0 {
+			r.sticky = io.EOF
+			return io.EOF
+		}
+		// A partial header is a truncated tail; nothing follows it.
+		r.sticky = io.EOF
+		return &FrameError{Frame: r.frameIdx, Offset: frameOff, Err: ErrFrameTruncated}
+	}
+	r.off += 8
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	wantCRC := binary.LittleEndian.Uint32(hdr[4:8])
+	if length > maxFramePayload {
+		// Deliberately NOT a *FrameError: the length field itself is
+		// untrustworthy, so the stream cannot be resynchronized and a
+		// skip-and-continue loop must stop here, not spin on it.
+		err := fmt.Errorf("obs: frame %d at offset %d (declared %d bytes): %w",
+			r.frameIdx, frameOff, length, ErrFrameTooLarge)
+		r.sticky = err
+		return err
+	}
+	if cap(r.frame) < int(length) {
+		r.frame = make([]byte, length)
+	}
+	r.frame = r.frame[:length]
+	if _, err := io.ReadFull(r.r, r.frame); err != nil {
+		r.frame = r.frame[:0]
+		r.pos = 0
+		r.sticky = io.EOF
+		return &FrameError{Frame: r.frameIdx, Offset: frameOff, Err: ErrFrameTruncated}
+	}
+	r.off += int64(length)
+	r.frameIdx++
+	if crc32.ChecksumIEEE(r.frame) != wantCRC {
+		r.frame = r.frame[:0]
+		r.pos = 0
+		return &FrameError{Frame: r.frameIdx - 1, Offset: frameOff, Err: ErrFrameChecksum}
+	}
+	// Fresh frame: reset the prediction state.
+	r.pos = 0
+	r.dict = r.dict[:0]
+	r.prevSeq, r.prevT = 0, 0
+	r.prevF = [numOptFields]uint64{}
+	return nil
+}
+
+// uvarint decodes one uvarint at the cursor.
+func (r *BinaryReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.frame[r.pos:])
+	if n <= 0 {
+		return 0, ErrFrameCorrupt
+	}
+	r.pos += n
+	return v, nil
+}
+
+// varint decodes one zigzag varint at the cursor.
+func (r *BinaryReader) varint() (int64, error) {
+	v, n := binary.Varint(r.frame[r.pos:])
+	if n <= 0 {
+		return 0, ErrFrameCorrupt
+	}
+	r.pos += n
+	return v, nil
+}
+
+// decodeRecord parses one event at the cursor.
+func (r *BinaryReader) decodeRecord() (Event, error) {
+	var ev Event
+	kindIdx, err := r.uvarint()
+	if err != nil {
+		return ev, err
+	}
+	switch {
+	case kindIdx < uint64(len(r.dict)):
+		ev.Kind = Kind(r.dict[kindIdx])
+	case kindIdx == uint64(len(r.dict)):
+		n, err := r.uvarint()
+		if err != nil {
+			return ev, err
+		}
+		if n > uint64(len(r.frame)-r.pos) {
+			return ev, ErrFrameCorrupt
+		}
+		s := string(r.frame[r.pos : r.pos+int(n)])
+		r.pos += int(n)
+		r.dict = append(r.dict, s)
+		ev.Kind = Kind(s)
+	default:
+		return ev, ErrFrameCorrupt
+	}
+	if r.pos >= len(r.frame) {
+		return ev, ErrFrameCorrupt
+	}
+	flags := r.frame[r.pos]
+	r.pos++
+	if flags&(1<<7) != 0 {
+		return ev, ErrFrameCorrupt
+	}
+
+	d, err := r.uvarint()
+	if err != nil {
+		return ev, err
+	}
+	r.prevSeq += d
+	ev.Seq = r.prevSeq
+	tx, err := r.uvarint()
+	if err != nil {
+		return ev, err
+	}
+	r.prevT ^= tx
+	ev.T = math.Float64frombits(r.prevT)
+	core, err := r.varint()
+	if err != nil {
+		return ev, err
+	}
+	task, err := r.varint()
+	if err != nil {
+		return ev, err
+	}
+	ev.Core, ev.Task = int(core), int(task)
+	var opt [numOptFields]float64
+	for i := 0; i < numOptFields; i++ {
+		if flags&(1<<i) == 0 {
+			continue
+		}
+		fx, err := r.uvarint()
+		if err != nil {
+			return ev, err
+		}
+		r.prevF[i] ^= fx
+		opt[i] = math.Float64frombits(r.prevF[i])
+	}
+	ev.Rate, ev.PrevRate, ev.Eff, ev.Cycles, ev.Remaining, ev.Energy =
+		opt[0], opt[1], opt[2], opt[3], opt[4], opt[5]
+	ev.Interactive = flags&(1<<6) != 0
+	return ev, nil
+}
+
+// ReadBinary decodes a complete binary trace strictly: any damaged
+// frame fails the read. Use BinaryReader directly to tolerate damage.
+func ReadBinary(r io.Reader) ([]Event, error) {
+	br := NewBinaryReader(r)
+	var events []Event
+	for {
+		ev, err := br.Next()
+		if errors.Is(err, io.EOF) {
+			return events, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, ev)
+	}
+}
+
+// AppendBinary encodes events as one complete binary trace (header,
+// frames, sealed tail) appended to b. It is the one-shot form of
+// BinaryEncoder for whole in-memory traces.
+func AppendBinary(b []byte, events []Event) []byte {
+	var enc BinaryEncoder
+	for _, ev := range events {
+		b = enc.AppendEvent(b, ev)
+	}
+	return enc.Flush(b)
+}
+
+// ReadEvents reads an event trace in either format, sniffing the
+// binary magic: binary streams decode strictly via ReadBinary,
+// anything else parses as the JSONL event format.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	br := bufio.NewReaderSize(r, 64<<10)
+	prefix, err := br.Peek(len(binaryMagic))
+	if err != nil && len(prefix) == 0 && !errors.Is(err, io.EOF) {
+		return nil, fmt.Errorf("obs: read: %w", err)
+	}
+	if DetectBinary(prefix) {
+		return ReadBinary(br)
+	}
+	return ReadJSONL(br)
+}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden .bintrace files")
+
+// goldenEvents is the fixed sequence behind the wire-format goldens.
+// It covers every record feature: kind interning (repeats and first
+// uses), every optional field, negative core/task sentinels, the
+// interactive flag, and non-monotonic seq deltas. Do not reorder or
+// extend casually — the point is that the bytes never change.
+func goldenEvents() []Event {
+	return []Event{
+		{Seq: 1, T: 0, Kind: KindArrival, Core: -1, Task: 1, Cycles: 12.5, Interactive: true},
+		{Seq: 2, T: 0, Kind: KindCoreActive, Core: 0, Task: -1},
+		{Seq: 3, T: 0, Kind: KindStart, Core: 0, Task: 1, Rate: 2.4, Eff: 0.001, Remaining: 12.5},
+		{Seq: 4, T: 1.5, Kind: KindArrival, Core: -1, Task: 2, Cycles: 3.25},
+		{Seq: 5, T: 1.5, Kind: KindDVFS, Core: 0, Task: 1, PrevRate: 2.4, Rate: 3, Eff: 1.501},
+		{Seq: 6, T: 2.25, Kind: KindPreempt, Core: 0, Task: 1, Remaining: 6.75, Energy: 8.125},
+		{Seq: 7, T: 2.25, Kind: KindStart, Core: 0, Task: 2, Rate: 3, Remaining: 3.25},
+		{Seq: 8, T: 3.5, Kind: KindComplete, Core: 0, Task: 2, Energy: 4.5},
+		{Seq: 9, T: 3.5, Kind: KindStart, Core: 0, Task: 1, Rate: 3, Remaining: 6.75, Energy: 8.125},
+		{Seq: 10, T: 6, Kind: KindComplete, Core: 0, Task: 1, Energy: 21.375},
+		{Seq: 11, T: 6, Kind: KindCoreIdle, Core: 0, Task: -1},
+	}
+}
+
+// checkGoldenBytes compares got against testdata/<name>, rewriting the
+// file under -update (mirroring the report package's golden idiom).
+func checkGoldenBytes(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/obs -update` to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: encoded bytes differ from golden (%d vs %d bytes).\n"+
+			"If the wire format changed intentionally, bump binaryVersion, keep decoding "+
+			"the old version, and regenerate with -update.", name, len(got), len(want))
+	}
+}
+
+// TestBinaryGoldenSingleFrame pins the exact bytes of a one-frame
+// stream: any codec change that moves a single bit fails here.
+func TestBinaryGoldenSingleFrame(t *testing.T) {
+	checkGoldenBytes(t, "single_frame.bintrace", AppendBinary(nil, goldenEvents()))
+}
+
+// TestBinaryGoldenMultiFrame pins a stream with explicit frame seams
+// (per-frame dictionary and baseline resets included).
+func TestBinaryGoldenMultiFrame(t *testing.T) {
+	events := goldenEvents()
+	var enc BinaryEncoder
+	var out []byte
+	for i, ev := range events {
+		out = enc.AppendEvent(out, ev)
+		if i%4 == 3 {
+			out = enc.Flush(out)
+		}
+	}
+	out = enc.Flush(out)
+	checkGoldenBytes(t, "multi_frame.bintrace", out)
+}
+
+// TestBinaryGoldenDecodes proves the committed goldens decode back to
+// the source events — the reader side of the wire-format pin.
+func TestBinaryGoldenDecodes(t *testing.T) {
+	want := goldenEvents()
+	for _, name := range []string{"single_frame.bintrace", "multi_frame.bintrace"} {
+		raw, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			t.Fatalf("%v (run `go test ./internal/obs -update` to create)", err)
+		}
+		got, err := ReadBinary(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !eventsBitEqual(got, want) {
+			t.Errorf("%s: decode differs from source events", name)
+		}
+	}
+}
+
+// TestBinaryGoldenVersion1Frozen is the version-compatibility contract:
+// testdata/v1_frozen.bintrace was written by the version-1 encoder and
+// is NEVER regenerated — -update creates it only if absent. When
+// binaryVersion is bumped, this test keeps proving the reader still
+// decodes version-1 streams; deleting or rewriting the file to make
+// the test pass defeats its purpose.
+func TestBinaryGoldenVersion1Frozen(t *testing.T) {
+	path := filepath.Join("testdata", "v1_frozen.bintrace")
+	if _, err := os.Stat(path); os.IsNotExist(err) && *update {
+		var enc BinaryEncoder
+		var out []byte
+		for i, ev := range goldenEvents() {
+			out = enc.AppendEvent(out, ev)
+			if i%5 == 4 {
+				out = enc.Flush(out)
+			}
+		}
+		out = enc.Flush(out)
+		if out[4] != 1 {
+			t.Fatalf("refusing to freeze a version-%d stream as the v1 artifact", out[4])
+		}
+		if err := os.WriteFile(path, out, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (frozen golden missing; create once with -update)", err)
+	}
+	if raw[4] != 1 {
+		t.Fatalf("frozen artifact claims version %d, want 1 — it must never be regenerated", raw[4])
+	}
+	got, err := ReadBinary(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("version-1 stream no longer decodes: %v", err)
+	}
+	if !eventsBitEqual(got, goldenEvents()) {
+		t.Error("version-1 stream decodes to different events")
+	}
+}

@@ -1,0 +1,122 @@
+package rangetree
+
+import "fmt"
+
+// Snapshot/Restore give the tree an exact-state checkpoint. The
+// subtlety they exist for: the xi/delta aggregates are floating-point
+// sums whose rounding depends on accumulation history, and that
+// history is NOT a pure function of the current shape — rotateUp
+// re-pulls only the two rotated nodes, so an ancestor's stored
+// aggregate keeps the rounding of the pre-rotation partition of its
+// subtree (within epsilon of, but not bit-identical to, a fresh
+// bottom-up recomputation). A restore that re-derived aggregates
+// would therefore drift off the original run one ULP at a time, and
+// with it every downstream cost comparison. So Snapshot captures the
+// aggregates verbatim alongside the three values the shape is a pure
+// function of (cycles, insertion seq, treap priority) plus the
+// generator counters; Restore rebuilds the unique treap the
+// priorities determine (SplitMix64 is a bijection of the counter, so
+// priorities are distinct), recomputes only the integer sizes, and
+// installs the recorded aggregate bits untouched.
+
+// NodeState is the persisted form of one stored task length.
+type NodeState struct {
+	// Cycles is the stored task length.
+	Cycles float64 `json:"cycles"`
+	// Seq is the node's insertion sequence number (the BST tie-break).
+	Seq uint64 `json:"seq"`
+	// Prio is the node's treap priority.
+	Prio uint64 `json:"prio"`
+	// Xi is the node's subtree ξ aggregate, bit-exact as maintained.
+	Xi float64 `json:"xi"`
+	// Delta is the node's subtree Δ aggregate, bit-exact as maintained.
+	Delta float64 `json:"delta"`
+}
+
+// TreeState is a complete checkpoint of a Tree.
+type TreeState struct {
+	// Nodes lists the stored tasks in rank order (descending length).
+	Nodes []NodeState `json:"nodes"`
+	// Seq is the tree's insertion counter.
+	Seq uint64 `json:"seq"`
+	// Rng is the SplitMix64 state the next priority derives from.
+	Rng uint64 `json:"rng"`
+}
+
+// Snapshot captures the tree's complete state. The freelist is not
+// part of the state: it only affects allocation, never shape (the
+// priority stream is independent of node recycling).
+func (t *Tree) Snapshot() TreeState {
+	st := TreeState{Seq: t.seq, Rng: t.rngState}
+	if n := t.Len(); n > 0 {
+		st.Nodes = make([]NodeState, 0, n)
+		for cur := t.First(); cur != nil; cur = cur.next {
+			st.Nodes = append(st.Nodes, NodeState{
+				Cycles: cur.cycles, Seq: cur.seq, Prio: cur.prio,
+				Xi: cur.xi, Delta: cur.delta,
+			})
+		}
+	}
+	return st
+}
+
+// Restore rebuilds the tree a Snapshot captured, returning it together
+// with the node handles in rank order (handles[k-1] has rank k) so
+// callers can re-link their own references. O(N) via a right-spine
+// build. The input must be rank-ordered as Snapshot wrote it; a
+// violation returns an error rather than a corrupt tree.
+func Restore(st TreeState) (*Tree, []*Node, error) {
+	t := &Tree{seq: st.Seq, rngState: st.Rng}
+	if len(st.Nodes) == 0 {
+		return t, nil, nil
+	}
+	nodes := make([]*Node, len(st.Nodes))
+	backing := make([]Node, len(st.Nodes)) // one allocation for all nodes
+	// spine holds the right spine of the partial tree, root first.
+	spine := make([]*Node, 0, 64)
+	var prev *Node
+	// fixSize finalizes a node whose subtrees are complete: sizes are
+	// shape-determined integers and safe to recompute; xi/delta were
+	// installed verbatim from the snapshot and must not be re-derived.
+	fixSize := func(n *Node) { n.size = size(n.left) + size(n.right) + 1 }
+	for i, ns := range st.Nodes {
+		n := &backing[i]
+		n.cycles, n.seq, n.prio = ns.Cycles, ns.Seq, ns.Prio
+		n.xi, n.delta = ns.Xi, ns.Delta
+		nodes[i] = n
+		if prev != nil && !before(prev, n) {
+			return nil, nil, fmt.Errorf("rangetree: restore: nodes %d and %d out of rank order", i-1, i)
+		}
+		// Thread the in-order list as we go.
+		n.prev = prev
+		if prev != nil {
+			prev.next = n
+		}
+		prev = n
+		// Pop spine entries the new node dominates; the last popped
+		// subtree becomes its left child. A popped node's subtrees are
+		// final, so sizing at pop time sees finalized children.
+		var popped *Node
+		for len(spine) > 0 && spine[len(spine)-1].prio < n.prio {
+			popped = spine[len(spine)-1]
+			spine = spine[:len(spine)-1]
+			fixSize(popped)
+		}
+		if popped != nil {
+			n.left = popped
+			popped.parent = n
+		}
+		if len(spine) > 0 {
+			top := spine[len(spine)-1]
+			top.right = n
+			n.parent = top
+		}
+		spine = append(spine, n)
+	}
+	// The remaining spine is finalized bottom-up.
+	for i := len(spine) - 1; i >= 0; i-- {
+		fixSize(spine[i])
+	}
+	t.root = spine[0]
+	return t, nodes, nil
+}

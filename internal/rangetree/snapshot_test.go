@@ -1,0 +1,132 @@
+package rangetree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// sameTree compares two trees node by node: shape, per-node values,
+// and bit-exact aggregates. This is the restore contract — not "equal
+// within epsilon" but "the same rounding history".
+func sameTree(t *testing.T, a, b *Tree) {
+	t.Helper()
+	if a.seq != b.seq || a.rngState != b.rngState {
+		t.Fatalf("generator state differs: seq %d/%d rng %#x/%#x", a.seq, b.seq, a.rngState, b.rngState)
+	}
+	var walk func(path string, x, y *Node)
+	walk = func(path string, x, y *Node) {
+		if (x == nil) != (y == nil) {
+			t.Fatalf("shape differs at %s", path)
+		}
+		if x == nil {
+			return
+		}
+		if x.cycles != y.cycles || x.seq != y.seq || x.prio != y.prio {
+			t.Fatalf("node values differ at %s", path)
+		}
+		if x.size != y.size ||
+			math.Float64bits(x.xi) != math.Float64bits(y.xi) ||
+			math.Float64bits(x.delta) != math.Float64bits(y.delta) {
+			t.Fatalf("aggregates differ at %s: size %d/%d xi %v/%v delta %v/%v",
+				path, x.size, y.size, x.xi, y.xi, x.delta, y.delta)
+		}
+		walk(path+"L", x.left, y.left)
+		walk(path+"R", x.right, y.right)
+	}
+	walk("root", a.root, b.root)
+}
+
+// churn applies a deterministic insert/delete sequence, returning live
+// handles keyed by insertion order.
+func churn(t *testing.T, tr *Tree, rng *rand.Rand, ops int, live []*Node) []*Node {
+	t.Helper()
+	for i := 0; i < ops; i++ {
+		if len(live) > 0 && rng.Intn(3) == 0 {
+			j := rng.Intn(len(live))
+			tr.Delete(live[j])
+			live = append(live[:j], live[j+1:]...)
+		} else {
+			live = append(live, tr.Insert(rng.Float64()*100+0.001))
+		}
+	}
+	return live
+}
+
+func TestSnapshotRestoreExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(11)) // deterministic churn, not randomness
+	tr := New()
+	live := churn(t, tr, rng, 500, nil)
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	_ = live
+	st := tr.Snapshot()
+	restored, handles, err := Restore(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(handles) != tr.Len() {
+		t.Fatalf("restore returned %d handles, tree has %d nodes", len(handles), tr.Len())
+	}
+	if err := restored.checkInvariants(); err != nil {
+		t.Fatalf("restored tree invalid: %v", err)
+	}
+	sameTree(t, tr, restored)
+	for k, h := range handles {
+		if restored.Rank(h) != k+1 {
+			t.Fatalf("handle %d has rank %d", k, restored.Rank(h))
+		}
+	}
+
+	// The decisive property: identical FUTURE behavior. Apply the same
+	// operation stream to both trees; shapes, aggregates, and priority
+	// draws must stay bit-identical.
+	futureA := rand.New(rand.NewSource(12))
+	futureB := rand.New(rand.NewSource(12))
+	// live is insertion-ordered; walk the original in rank order so
+	// both sides delete the same logical task at every step.
+	var liveA []*Node
+	for n := tr.First(); n != nil; n = n.Next() {
+		liveA = append(liveA, n)
+	}
+	liveB := append([]*Node(nil), handles...)
+	churn(t, tr, futureA, 300, liveA)
+	churn(t, restored, futureB, 300, liveB)
+	sameTree(t, tr, restored)
+}
+
+func TestSnapshotEmptyTree(t *testing.T) {
+	tr := NewSeeded(42)
+	tr.Delete(tr.Insert(5)) // advance the generators past their seed state
+	st := tr.Snapshot()
+	restored, handles, err := Restore(st)
+	if err != nil || handles != nil {
+		t.Fatalf("restore empty: %v, %v", err, handles)
+	}
+	sameTree(t, tr, restored)
+	// Both must draw the same next priority.
+	a, b := tr.Insert(3), restored.Insert(3)
+	if a.prio != b.prio || a.seq != b.seq {
+		t.Fatalf("post-restore insert differs: prio %#x/%#x seq %d/%d", a.prio, b.prio, a.seq, b.seq)
+	}
+}
+
+func TestRestoreRejectsOutOfOrder(t *testing.T) {
+	st := TreeState{Nodes: []NodeState{
+		{Cycles: 1, Seq: 1, Prio: 10},
+		{Cycles: 2, Seq: 2, Prio: 20}, // larger cycles must come first
+	}}
+	if _, _, err := Restore(st); err == nil {
+		t.Fatal("want error for rank-order violation")
+	}
+	// Equal cycles with decreasing seq is also out of order.
+	st = TreeState{Nodes: []NodeState{
+		{Cycles: 1, Seq: 5, Prio: 10},
+		{Cycles: 1, Seq: 2, Prio: 20},
+	}}
+	if _, _, err := Restore(st); err == nil {
+		t.Fatal("want error for seq tie-break violation")
+	}
+}

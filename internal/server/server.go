@@ -45,6 +45,10 @@ type Config struct {
 	SessionParallelism int
 	// RequestTimeout bounds each request's handling time; 0 means 30s.
 	RequestTimeout time.Duration
+	// TraceFormat is the events endpoint's encoding when the request
+	// has no ?format= query: "jsonl" (default) or "binary". A request's
+	// explicit ?format= always wins.
+	TraceFormat string
 	// Registry receives the server's metrics; nil means a fresh one.
 	Registry *obs.Registry
 }
@@ -67,6 +71,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RequestTimeout == 0 {
 		c.RequestTimeout = 30 * time.Second
+	}
+	if c.TraceFormat == "" {
+		c.TraceFormat = "jsonl"
 	}
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
@@ -125,6 +132,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionStatus)
 	mux.HandleFunc("POST /v1/sessions/{id}/tasks", s.handleSessionSubmit)
 	mux.HandleFunc("GET /v1/sessions/{id}/events", s.handleSessionEvents)
+	mux.HandleFunc("GET /v1/sessions/{id}/snapshot", s.handleSessionSnapshot)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 	s.handler = s.instrument(mux)
 	return s

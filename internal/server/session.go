@@ -201,31 +201,64 @@ func (s *Server) handleSessionSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleSessionEvents is GET /v1/sessions/{id}/events: the shard's obs
-// event trace so far, as JSON Lines. After a drain it is the complete
-// trace of the session and replays through report.TimelineFromEvents.
+// event trace so far. The default (format=jsonl) is JSON Lines; with
+// ?format=binary the same events stream in the compact framed binary
+// trace encoding (decode with obs.BinaryReader or cmd/traceinfo, which
+// auto-detects the magic). After a drain it is the complete trace of
+// the session and replays through report.TimelineFromEvents.
 func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 	sh, ok := s.lookupShard(w, r)
 	if !ok {
 		return
 	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = s.cfg.TraceFormat
+	}
+	switch format {
+	case "jsonl", "binary":
+	default:
+		writeError(w, http.StatusBadRequest, "unknown trace format %q (want jsonl or binary)", format)
+		return
+	}
 	events := sh.rec.Events()
-	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Event-Count", fmt.Sprint(len(events)))
 	// Append-frame the whole trace through one pooled buffer: the same
-	// bytes json.Encoder produced, without a marshal allocation per
-	// event (a drained session replays thousands of them).
+	// bytes the serializers produce, without a marshal allocation per
+	// event (a drained session replays thousands of them). Both
+	// encoders emit self-contained append-only bytes, so the buffer can
+	// flush to the wire at any point.
 	bp := encBufPool.Get().(*[]byte)
 	buf := (*bp)[:0]
-	for _, ev := range events {
-		buf = ev.AppendJSON(buf)
-		buf = append(buf, '\n')
-		if len(buf) >= eventFlushBytes {
-			if _, err := w.Write(buf); err != nil {
-				*bp = buf
+	flush := func() bool {
+		if _, err := w.Write(buf); err != nil {
+			return false // client went away mid-stream
+		}
+		buf = buf[:0]
+		return true
+	}
+	if format == "binary" {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		var enc obs.BinaryEncoder
+		for _, ev := range events {
+			buf = enc.AppendEvent(buf, ev)
+			if len(buf) >= eventFlushBytes && !flush() {
+				*bp = buf[:0]
 				encBufPool.Put(bp)
-				return // client went away mid-stream
+				return
 			}
-			buf = buf[:0]
+		}
+		buf = enc.Flush(buf)
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		for _, ev := range events {
+			buf = ev.AppendJSON(buf)
+			buf = append(buf, '\n')
+			if len(buf) >= eventFlushBytes && !flush() {
+				*bp = buf[:0]
+				encBufPool.Put(bp)
+				return
+			}
 		}
 	}
 	if len(buf) > 0 {
@@ -235,6 +268,35 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	*bp = buf
 	encBufPool.Put(bp)
+}
+
+// handleSessionSnapshot is GET /v1/sessions/{id}/snapshot: a binary
+// checkpoint of the live session (sim checkpoint format, "DVSC"
+// magic). The snapshot is taken on the shard goroutine after flushing
+// the group-commit intake, so it always lands on a batch boundary —
+// never between the submissions of one coalesced admission. Restore it
+// with core.Scheduler.RestoreOnline on a scheduler configured with the
+// same platform and cost constants; recovering a traced session is
+// "restore the snapshot, replay the events-endpoint suffix".
+func (s *Server) handleSessionSnapshot(w http.ResponseWriter, r *http.Request) {
+	sh, ok := s.lookupShard(w, r)
+	if !ok {
+		return
+	}
+	resp, err := sh.do(r.Context(), shardReq{op: opSnapshot})
+	if err != nil {
+		s.writeAPIError(w, err, http.StatusInternalServerError)
+		return
+	}
+	if resp.err != nil {
+		s.writeAPIError(w, resp.err, http.StatusConflict)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Checkpoint-Clock", fmt.Sprint(resp.clock))
+	w.Header().Set("X-Checkpoint-Pending", fmt.Sprint(resp.pending))
+	//dvfslint:allow errcheck-hot header already sent; nothing useful to do on error
+	_, _ = w.Write(resp.snapshot)
 }
 
 // handleSessionDelete is DELETE /v1/sessions/{id}: the first call

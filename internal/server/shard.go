@@ -21,6 +21,7 @@ type shardOp int
 const (
 	opStatus shardOp = iota
 	opDrain
+	opSnapshot
 	opPurge
 )
 
@@ -45,6 +46,9 @@ type shardResp struct {
 	// so lifecycle counters fire exactly once per session.
 	first  bool
 	result *sim.Result
+	// snapshot is the opSnapshot reply payload: a serialized session
+	// checkpoint.
+	snapshot []byte
 }
 
 // submitReq is one submission waiting in a shard's intake ring. The
@@ -195,6 +199,16 @@ func (sh *shard) loop(sess *core.OnlineSession) {
 				if st.final != nil {
 					resp.clock = st.final.Makespan
 				}
+			case opSnapshot:
+				// Landing here means the intake was flushed: a snapshot
+				// can observe a whole group-committed batch or none of it,
+				// never a prefix.
+				if st.final != nil || st.finalErr != nil {
+					resp.err = fmt.Errorf("%w: %s", ErrSessionDrained, sh.id)
+					break
+				}
+				resp.snapshot, resp.err = sess.Snapshot()
+				resp.clock, resp.pending, resp.submitted = sess.Clock(), sess.Pending(), st.submitted
 			case opPurge:
 				req.reply <- shardResp{}
 				return

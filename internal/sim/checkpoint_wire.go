@@ -1,0 +1,357 @@
+package sim
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Checkpoint serialization. JSON is not an option here: checkpoints
+// legitimately contain +Inf (Task.Deadline = model.NoDeadline) and NaN
+// (TickAt with no tick scheduled), which encoding/json rejects. The
+// format is a small versioned binary envelope in the same spirit as
+// the obs trace frames:
+//
+//	"DVSC" magic | version byte | payload | u32le CRC-32 (IEEE)
+//
+// The CRC covers everything before it. All floats are stored as their
+// exact IEEE-754 bits (8-byte little-endian), so restore is bit-exact
+// by construction; integers are varints; strings and byte slices are
+// length-prefixed.
+
+// checkpointMagic identifies a serialized checkpoint.
+var checkpointMagic = [4]byte{'D', 'V', 'S', 'C'}
+
+// checkpointVersion is the current serialization version. Decoders
+// reject versions they do not know.
+const checkpointVersion = 1
+
+// Typed errors for checkpoint decoding, matchable via errors.Is.
+var (
+	ErrCheckpointMagic    = errors.New("sim: not a checkpoint (bad magic)")
+	ErrCheckpointVersion  = errors.New("sim: unsupported checkpoint version")
+	ErrCheckpointChecksum = errors.New("sim: checkpoint checksum mismatch")
+	ErrCheckpointCorrupt  = errors.New("sim: corrupt checkpoint payload")
+)
+
+func appendF64(b []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+}
+
+func appendStr(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// MarshalBinary serializes the checkpoint.
+func (cp *Checkpoint) MarshalBinary() ([]byte, error) {
+	b := append([]byte(nil), checkpointMagic[:]...)
+	b = append(b, checkpointVersion)
+
+	b = appendStr(b, cp.PolicyName)
+	b = appendF64(b, cp.Clock)
+	b = appendF64(b, cp.TickAt)
+	b = binary.AppendUvarint(b, cp.Steps)
+	b = binary.AppendUvarint(b, cp.OrderCtr)
+	b = binary.AppendUvarint(b, cp.SeqCtr)
+	b = binary.AppendUvarint(b, cp.EvSeq)
+	b = binary.AppendVarint(b, int64(cp.Active))
+	b = binary.AppendVarint(b, int64(cp.Undone))
+
+	b = binary.AppendUvarint(b, uint64(len(cp.IDs)))
+	for _, id := range cp.IDs {
+		b = binary.AppendVarint(b, int64(id))
+	}
+
+	b = binary.AppendUvarint(b, uint64(len(cp.Tasks)))
+	for i := range cp.Tasks {
+		ts := &cp.Tasks[i]
+		b = binary.AppendVarint(b, int64(ts.Task.ID))
+		b = appendStr(b, ts.Task.Name)
+		b = appendF64(b, ts.Task.Cycles)
+		b = appendF64(b, ts.Task.Arrival)
+		b = appendF64(b, ts.Task.Deadline)
+		b = appendBool(b, ts.Task.Interactive)
+		b = appendF64(b, ts.Remaining)
+		b = appendF64(b, ts.Energy)
+		b = appendBool(b, ts.Started)
+		b = appendF64(b, ts.FirstStart)
+		b = appendBool(b, ts.Done)
+		b = appendF64(b, ts.Completion)
+		b = binary.AppendVarint(b, int64(ts.Preemptions))
+	}
+
+	b = binary.AppendUvarint(b, uint64(len(cp.Events)))
+	for _, ev := range cp.Events {
+		b = appendF64(b, ev.Time)
+		b = binary.AppendVarint(b, int64(ev.Kind))
+		b = binary.AppendUvarint(b, ev.Order)
+		b = binary.AppendVarint(b, int64(ev.Core))
+		b = binary.AppendUvarint(b, ev.Seq)
+		b = binary.AppendVarint(b, int64(ev.Task))
+	}
+
+	b = binary.AppendUvarint(b, uint64(len(cp.Cores)))
+	for i := range cp.Cores {
+		cc := &cp.Cores[i]
+		b = binary.AppendVarint(b, int64(cc.LevelIdx))
+		b = binary.AppendVarint(b, int64(cc.RunTask))
+		b = binary.AppendVarint(b, int64(cc.RunLevelIdx))
+		b = appendF64(b, cc.RunExecStart)
+		b = appendF64(b, cc.RunLastSettle)
+		b = binary.AppendUvarint(b, cc.RunSeq)
+		b = appendBool(b, cc.IsBusy)
+		b = appendF64(b, cc.BusyMark)
+		b = appendF64(b, cc.BusyInWindow)
+		b = appendF64(b, cc.BusyTotal)
+		b = appendF64(b, cc.LastFraction)
+		b = binary.AppendVarint(b, int64(cc.Switches))
+		b = binary.AppendUvarint(b, uint64(len(cc.Residency)))
+		for _, rs := range cc.Residency {
+			b = appendF64(b, rs.Rate)
+			b = appendF64(b, rs.Seconds)
+		}
+	}
+
+	b = binary.AppendUvarint(b, uint64(len(cp.Policy)))
+	b = append(b, cp.Policy...)
+
+	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b)), nil
+}
+
+// cpReader decodes checkpoint payload fields with a sticky error, so
+// call sites stay linear and the final err check catches truncation.
+type cpReader struct {
+	b   []byte
+	pos int
+	err error
+}
+
+func (r *cpReader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: truncated at byte %d", ErrCheckpointCorrupt, r.pos)
+	}
+}
+
+func (r *cpReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.pos:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *cpReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.pos:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *cpReader) f64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.pos+8 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.b[r.pos:]))
+	r.pos += 8
+	return v
+}
+
+func (r *cpReader) str() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.b)-r.pos) {
+		r.fail()
+		return ""
+	}
+	s := string(r.b[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	return s
+}
+
+func (r *cpReader) bytes() []byte {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.b)-r.pos) {
+		r.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.b[r.pos:])
+	r.pos += int(n)
+	return out
+}
+
+func (r *cpReader) boolean() bool {
+	if r.err != nil {
+		return false
+	}
+	if r.pos >= len(r.b) {
+		r.fail()
+		return false
+	}
+	v := r.b[r.pos]
+	r.pos++
+	if v > 1 {
+		r.err = fmt.Errorf("%w: bad bool byte %#x at %d", ErrCheckpointCorrupt, v, r.pos-1)
+		return false
+	}
+	return v == 1
+}
+
+// count validates a decoded element count against the bytes actually
+// remaining (every element costs at least min bytes), so a corrupted
+// length cannot drive a huge allocation.
+func (r *cpReader) count(min int) int {
+	n := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if min < 1 {
+		min = 1
+	}
+	if n > uint64((len(r.b)-r.pos)/min) {
+		r.err = fmt.Errorf("%w: element count %d exceeds remaining payload", ErrCheckpointCorrupt, n)
+		return 0
+	}
+	return int(n)
+}
+
+// UnmarshalCheckpoint decodes a checkpoint produced by MarshalBinary.
+// The magic, version and trailing CRC are all verified before any
+// field is trusted.
+func UnmarshalCheckpoint(data []byte) (*Checkpoint, error) {
+	if len(data) < len(checkpointMagic)+1+4 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrCheckpointMagic, len(data))
+	}
+	if [4]byte(data[:4]) != checkpointMagic {
+		return nil, ErrCheckpointMagic
+	}
+	if v := data[4]; v != checkpointVersion {
+		return nil, fmt.Errorf("%w: %d (decoder knows %d)", ErrCheckpointVersion, v, checkpointVersion)
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(trailer) {
+		return nil, ErrCheckpointChecksum
+	}
+
+	r := &cpReader{b: body, pos: 5}
+	cp := &Checkpoint{
+		PolicyName: r.str(),
+		Clock:      r.f64(),
+		TickAt:     r.f64(),
+		Steps:      r.uvarint(),
+		OrderCtr:   r.uvarint(),
+		SeqCtr:     r.uvarint(),
+		EvSeq:      r.uvarint(),
+		Active:     int(r.varint()),
+		Undone:     int(r.varint()),
+	}
+
+	if n := r.count(1); n > 0 {
+		cp.IDs = make([]int, n)
+		for i := range cp.IDs {
+			cp.IDs[i] = int(r.varint())
+		}
+	}
+
+	if n := r.count(8); n > 0 {
+		cp.Tasks = make([]TaskState, n)
+		for i := range cp.Tasks {
+			ts := &cp.Tasks[i]
+			ts.Task.ID = int(r.varint())
+			ts.Task.Name = r.str()
+			ts.Task.Cycles = r.f64()
+			ts.Task.Arrival = r.f64()
+			ts.Task.Deadline = r.f64()
+			ts.Task.Interactive = r.boolean()
+			ts.Remaining = r.f64()
+			ts.Energy = r.f64()
+			ts.Started = r.boolean()
+			ts.FirstStart = r.f64()
+			ts.Done = r.boolean()
+			ts.Completion = r.f64()
+			ts.Preemptions = int(r.varint())
+		}
+	}
+
+	if n := r.count(8); n > 0 {
+		cp.Events = make([]EventState, n)
+		for i := range cp.Events {
+			ev := &cp.Events[i]
+			ev.Time = r.f64()
+			ev.Kind = int(r.varint())
+			ev.Order = r.uvarint()
+			ev.Core = int(r.varint())
+			ev.Seq = r.uvarint()
+			ev.Task = int(r.varint())
+		}
+	}
+
+	if n := r.count(8); n > 0 {
+		cp.Cores = make([]CoreCheckpoint, n)
+		for i := range cp.Cores {
+			cc := &cp.Cores[i]
+			cc.LevelIdx = int(r.varint())
+			cc.RunTask = int(r.varint())
+			cc.RunLevelIdx = int(r.varint())
+			cc.RunExecStart = r.f64()
+			cc.RunLastSettle = r.f64()
+			cc.RunSeq = r.uvarint()
+			cc.IsBusy = r.boolean()
+			cc.BusyMark = r.f64()
+			cc.BusyInWindow = r.f64()
+			cc.BusyTotal = r.f64()
+			cc.LastFraction = r.f64()
+			cc.Switches = int(r.varint())
+			if m := r.count(16); m > 0 {
+				cc.Residency = make([]RateSeconds, m)
+				for j := range cc.Residency {
+					cc.Residency[j].Rate = r.f64()
+					cc.Residency[j].Seconds = r.f64()
+				}
+			}
+		}
+	}
+
+	cp.Policy = r.bytes()
+
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.pos != len(body) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCheckpointCorrupt, len(body)-r.pos)
+	}
+	return cp, nil
+}

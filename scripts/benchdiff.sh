@@ -5,16 +5,18 @@
 #
 # Benchmarks present in both files are compared by ns_per_op; any
 # shared benchmark that slowed by more than THRESHOLD percent (default
-# 20) fails the script. Benchmarks present in only one file are
-# ignored — new benchmarks are not regressions and retired ones carry
-# no signal. Both files must exist: a missing baseline means `make
-# bench` has not been run for that PR, which should fail loudly rather
-# than vacuously pass.
+# 20) fails the script. Benchmarks present only in the new file are
+# reported as "new benchmark" — not a regression, but visible, so a
+# rename that silently drops a benchmark from comparison is noticed.
+# Retired benchmarks carry no signal and are ignored. Both files must
+# exist and contain benchmarks: a missing or empty baseline means
+# `make bench` has not been run for that PR, which should fail loudly
+# rather than vacuously pass.
 set -eu
 cd "$(dirname "$0")/.."
 
-OLD=${1:-BENCH_PR4.json}
-NEW=${2:-BENCH_PR5.json}
+OLD=${1:-BENCH_PR5.json}
+NEW=${2:-BENCH_PR6.json}
 THRESHOLD=${THRESHOLD:-20}
 
 for f in "$OLD" "$NEW"; do
@@ -42,7 +44,11 @@ function parse(line) {
 NR == FNR { if (parse($0)) base[K] = NS; next }
 {
     if (!parse($0)) next
-    if (!(K in base)) next
+    if (!(K in base)) {
+        printf("%-66s %26s %11.1f ns/op  new benchmark\n", K, "", NS)
+        fresh++
+        next
+    }
     shared++
     delta = (NS - base[K]) / base[K] * 100
     printf("%-66s %11.1f -> %11.1f ns/op  %+7.1f%%\n", K, base[K], NS, delta)
@@ -57,6 +63,8 @@ END {
         exit 1
     }
     if (bad > 0) exit 1
-    print "benchdiff: " shared " shared benchmarks within " threshold "% of " oldfile
+    msg = "benchdiff: " shared " shared benchmarks within " threshold "% of " oldfile
+    if (fresh > 0) msg = msg ", " fresh " new in " newfile
+    print msg
 }
 ' "$OLD" "$NEW"

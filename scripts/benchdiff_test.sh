@@ -1,0 +1,86 @@
+#!/bin/sh
+# Shell test for scripts/benchdiff.sh: the failure modes that must not
+# pass vacuously (missing or empty baselines), the regression gate, and
+# the "new benchmark" report.
+#
+# Usage: scripts/benchdiff_test.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+DIR=$(mktemp -d)
+trap 'rm -rf "$DIR"' EXIT
+
+line() {
+    printf '  {"package": "%s", "name": "%s", "iterations": 100, "ns_per_op": %s}' "$1" "$2" "$3"
+}
+
+fails=0
+fail() {
+    echo "FAIL: $1" >&2
+    fails=$((fails + 1))
+}
+
+# expect <status> <needle> <label> [args...]: run benchdiff.sh with the
+# given baselines, require the exit status and an output substring.
+expect() {
+    want=$1; needle=$2; label=$3; shift 3
+    got=0
+    out=$(scripts/benchdiff.sh "$@" 2>&1) || got=$?
+    if [ "$got" != "$want" ]; then
+        fail "$label: exit $got, want $want
+$out"
+        return
+    fi
+    case $out in
+    *"$needle"*) ;;
+    *) fail "$label: output missing \"$needle\"
+$out" ;;
+    esac
+}
+
+# Two healthy baselines sharing one benchmark; the new file also adds
+# one and speeds the shared one up slightly.
+{
+    echo '['
+    line pkg/a BenchmarkShared 100.0
+    echo ''
+    echo ']'
+} > "$DIR/old.json"
+{
+    echo '['
+    line pkg/a BenchmarkShared 90.0
+    echo ','
+    line pkg/a BenchmarkAdded 42.0
+    echo ''
+    echo ']'
+} > "$DIR/new.json"
+
+expect 0 "new benchmark" "new benchmark reported" "$DIR/old.json" "$DIR/new.json"
+expect 0 "1 shared benchmarks" "shared count reported" "$DIR/old.json" "$DIR/new.json"
+
+# A >20% slowdown on the shared benchmark must fail.
+{
+    echo '['
+    line pkg/a BenchmarkShared 130.0
+    echo ''
+    echo ']'
+} > "$DIR/slow.json"
+expect 1 "REGRESSION" "regression gate" "$DIR/old.json" "$DIR/slow.json"
+
+# Missing baselines must fail loudly, not vacuously pass.
+expect 1 "missing" "missing old baseline" "$DIR/absent.json" "$DIR/new.json"
+expect 1 "missing" "missing new baseline" "$DIR/old.json" "$DIR/absent.json"
+
+# Baselines with no benchmarks at all (empty array, or garbage) share
+# nothing; that is a setup error, not a pass.
+printf '[\n]\n' > "$DIR/empty.json"
+expect 1 "no shared benchmarks" "empty old baseline" "$DIR/empty.json" "$DIR/new.json"
+expect 1 "no shared benchmarks" "empty new baseline" "$DIR/old.json" "$DIR/empty.json"
+: > "$DIR/blank.json"
+expect 1 "no shared benchmarks" "zero-byte baseline" "$DIR/blank.json" "$DIR/new.json"
+
+if [ "$fails" -gt 0 ]; then
+    echo "benchdiff_test: $fails failures" >&2
+    exit 1
+fi
+echo "benchdiff_test: ok"

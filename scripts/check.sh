@@ -17,7 +17,12 @@ echo "== benchmark smoke (1 iteration each) =="
 go test -run='^$' -bench=. -benchtime=1x ./...
 echo "== benchdiff (vs previous PR baseline) =="
 scripts/benchdiff.sh
+echo "== benchdiff self-test =="
+scripts/benchdiff_test.sh
+echo "== coverage floors (race-enabled) =="
+scripts/cover.sh
 echo "== fuzz smoke (5s each) =="
 go test -fuzz=FuzzInsertDelete -fuzztime=5s ./internal/rangetree
 go test -fuzz=FuzzDynamicCost -fuzztime=5s ./internal/dynsched
+go test -fuzz=FuzzBinaryRoundTrip -fuzztime=5s ./internal/obs
 echo "OK"
