@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check vet lint build test race bench-smoke fuzz-smoke bench benchdiff benchdiff-test cover serve-smoke golden
+.PHONY: check vet lint build test race bench-smoke fuzz-smoke bench benchdiff benchdiff-test cover serve-smoke cluster-smoke golden
 
-check: vet lint build race bench-smoke benchdiff benchdiff-test cover fuzz-smoke
+check: vet lint build race bench-smoke benchdiff benchdiff-test cover fuzz-smoke cluster-smoke
 
 vet:
 	$(GO) vet ./...
@@ -57,6 +57,12 @@ cover:
 # and shut it down cleanly.
 serve-smoke:
 	scripts/serve_smoke.sh
+
+# Boot a 3-node in-process cluster, kill one session's owner node
+# mid-run, and verify zero accepted-task loss plus byte-identical
+# oracle parity on every surviving trace. Well under 30s.
+cluster-smoke:
+	$(GO) run ./cmd/dvfsload -mode cluster -clients 6 -session-tasks 30 -batch 6
 
 # Regenerate the report package's golden files.
 golden:

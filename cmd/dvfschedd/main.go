@@ -9,6 +9,15 @@
 //	dvfschedd [-addr :8080] [-workers N] [-queue N] [-cache N]
 //	          [-max-sessions N] [-request-timeout 30s] [-drain-timeout 30s]
 //	          [-trace-format jsonl|binary]
+//	          [-node-id ID -peers "id1=http://h1:p1,id2=http://h2:p2,..."]
+//
+// With -node-id and -peers the daemon joins a static cluster
+// (internal/cluster): a consistent-hash ring places each session on an
+// owner node, any node fronts any session by forwarding, and owners
+// replicate their sessions by log shipping so a killed node's sessions
+// fail over to the next ring candidate without losing accepted tasks.
+// The node's own ID must appear in the peer list, pointing at the
+// address other nodes reach this daemon on.
 //
 // The daemon prints "listening on http://HOST:PORT" once the socket is
 // bound (use -addr 127.0.0.1:0 for an ephemeral port and parse that
@@ -27,11 +36,14 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"dvfsched/internal/cluster"
 	"dvfsched/internal/server"
 )
 
@@ -59,12 +71,33 @@ func run(args []string, w io.Writer, sigs <-chan os.Signal) error {
 		reqTimeout   = fs.Duration("request-timeout", 0, "per-request deadline (0 = 30s)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 		traceFormat  = fs.String("trace-format", "jsonl", "default session events encoding: jsonl or binary (?format= overrides)")
+		nodeID       = fs.String("node-id", "", "this node's cluster ID (requires -peers)")
+		peersFlag    = fs.String("peers", "", `static cluster membership as "id=http://host:port,..." including this node`)
+		probeEvery   = fs.Duration("probe-interval", 2*time.Second, "cluster peer health-probe interval")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Enum and cluster flags are validated before any socket binds: a
+	// misconfigured daemon must die at startup with a usage error, not
+	// serve with a silently wrong setting.
 	if *traceFormat != "jsonl" && *traceFormat != "binary" {
 		return fmt.Errorf("unknown -trace-format %q (want jsonl or binary)", *traceFormat)
+	}
+	peers, err := parsePeers(*peersFlag)
+	if err != nil {
+		return err
+	}
+	if (*nodeID == "") != (peers == nil) {
+		return fmt.Errorf("-node-id and -peers must be set together")
+	}
+	if peers != nil {
+		if _, ok := peers[*nodeID]; !ok {
+			return fmt.Errorf("-node-id %q is not in -peers", *nodeID)
+		}
+	}
+	if *probeEvery <= 0 {
+		return fmt.Errorf("-probe-interval must be positive, got %v", *probeEvery)
 	}
 
 	s := server.New(server.Config{
@@ -78,13 +111,28 @@ func run(args []string, w io.Writer, sigs <-chan os.Signal) error {
 	})
 	defer s.Close()
 
+	handler := http.Handler(s)
+	if peers != nil {
+		node, err := cluster.NewNode(cluster.Config{ID: *nodeID, Peers: peers}, s)
+		if err != nil {
+			return err
+		}
+		handler = node.Handler()
+		stopProber := node.StartProber(*probeEvery)
+		defer stopProber()
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
+	// The listening line stays first on stdout — harnesses parse it.
 	fmt.Fprintf(w, "listening on http://%s\n", ln.Addr())
+	if peers != nil {
+		fmt.Fprintf(w, "cluster node %s, %d peers\n", *nodeID, len(peers))
+	}
 
-	httpSrv := &http.Server{Handler: s}
+	httpSrv := &http.Server{Handler: handler}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 
@@ -118,4 +166,37 @@ func run(args []string, w io.Writer, sigs <-chan os.Signal) error {
 	}
 	fmt.Fprintln(w, "shutdown complete")
 	return nil
+}
+
+// parsePeers decodes the -peers flag: comma-separated id=URL pairs.
+// Empty input means no cluster (nil map). Every ID must be unique and
+// every address an absolute http(s) URL — catching a typo here beats
+// debugging a node that silently ships its replicas nowhere.
+func parsePeers(s string) (map[string]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	peers := map[string]string{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf(`-peers entry %q: want "id=http://host:port"`, part)
+		}
+		if _, dup := peers[id]; dup {
+			return nil, fmt.Errorf("-peers: duplicate node ID %q", id)
+		}
+		u, err := url.Parse(addr)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return nil, fmt.Errorf("-peers entry %q: address must be an absolute http(s) URL", part)
+		}
+		peers[id] = strings.TrimRight(addr, "/")
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("-peers: no entries in %q", s)
+	}
+	return peers, nil
 }

@@ -50,6 +50,53 @@ func TestRunBadTraceFormat(t *testing.T) {
 	}
 }
 
+// TestRunRejectsBadClusterFlags: every malformed cluster flag combo
+// must fail at startup with a usage error naming the flag — a daemon
+// that binds its socket first would look healthy to an operator while
+// misrouting every session.
+func TestRunRejectsBadClusterFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"node-id without peers", []string{"-node-id", "a"}, "-node-id and -peers"},
+		{"peers without node-id", []string{"-peers", "a=http://h:1"}, "-node-id and -peers"},
+		{"node-id not a peer", []string{"-node-id", "c", "-peers", "a=http://h:1,b=http://h:2"}, "not in -peers"},
+		{"malformed entry", []string{"-node-id", "a", "-peers", "a:http://h:1"}, "-peers entry"},
+		{"missing address", []string{"-node-id", "a", "-peers", "a="}, "-peers entry"},
+		{"duplicate peer ID", []string{"-node-id", "a", "-peers", "a=http://h:1,a=http://h:2"}, "duplicate node ID"},
+		{"relative address", []string{"-node-id", "a", "-peers", "a=h:1"}, "http(s) URL"},
+		{"empty peer list", []string{"-node-id", "a", "-peers", ","}, "no entries"},
+		{"bad probe interval", []string{"-probe-interval", "-1s"}, "-probe-interval"},
+	}
+	sigs := make(chan os.Signal)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args, io.Discard, sigs)
+			if err == nil {
+				t.Fatalf("args %v accepted", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("args %v: error %q does not name the problem (want %q)", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	peers, err := parsePeers("a=http://h:1, b=https://h:2/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peers["a"] != "http://h:1" || peers["b"] != "https://h:2" {
+		t.Fatalf("parsed peers %v", peers)
+	}
+	if p, err := parsePeers(""); p != nil || err != nil {
+		t.Fatalf("empty -peers: %v, %v", p, err)
+	}
+}
+
 // TestDaemonBinaryTraceDefault boots the daemon with
 // -trace-format=binary and checks the events endpoint defaults to the
 // binary encoding while ?format=jsonl still overrides.

@@ -1,0 +1,370 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dvfsched/internal/cluster"
+	"dvfsched/internal/obs"
+	"dvfsched/internal/server"
+	"dvfsched/internal/trace"
+)
+
+// clusterNode is one member of the in-process cluster the harness
+// boots: a full dvfschedd stack (server + cluster node + HTTP server)
+// on a real loopback socket, so killing it produces the refused
+// connections a crashed process would.
+type clusterNode struct {
+	id   string
+	srv  *server.Server
+	node *cluster.Node
+	http *http.Server
+	addr string
+}
+
+// runClusterHarness is -mode cluster: boot a 3-node cluster in
+// process, drive -clients concurrent sessions through it with the
+// cluster client protocol (retry on transport/5xx, duplicate-ID 400 on
+// a retry means the lost ack was real), kill one session's owner node
+// mid-run, and then hold the survivors to the single-node standard:
+// every acknowledged task must appear exactly once in a gapless event
+// trace, and a serial in-process rebuild of each trace must regenerate
+// it byte-identically and reproduce the drain cost. Any mismatch is a
+// non-zero exit.
+func runClusterHarness(opts options, w io.Writer) error {
+	const nNodes = 3
+	nodes, ids, err := bootCluster(nNodes)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		for _, n := range nodes {
+			_ = n.http.Close()
+			n.srv.Close()
+		}
+	}()
+	fmt.Fprintf(w, "cluster: %d in-process nodes (%s), %d clients, %d tasks/session\n",
+		nNodes, strings.Join(ids, " "), opts.clients, opts.sessionTasks)
+
+	// One session per client, created round-robin through every front.
+	sessions := make([]server.SessionInfo, opts.clients)
+	for i := range sessions {
+		front := nodes[ids[i%len(ids)]]
+		if err := postJSON(front.addr+"/v1/sessions", opts.spec, &sessions[i]); err != nil {
+			return fmt.Errorf("create session %d: %w", i, err)
+		}
+	}
+
+	// The victim is session 0's owner; clients front through the
+	// survivors so their entry point never dies with it — forwarding
+	// and failover are what is under test, not client reconnect logic.
+	victim := nodes[ids[0]].node.Route(sessions[0].ID)[0]
+	fronts := make([]string, 0, nNodes-1)
+	for _, id := range ids {
+		if id != victim {
+			fronts = append(fronts, nodes[id].addr)
+		}
+	}
+
+	lat := obs.NewRegistry().Histogram("cluster.submit_latency_s", latencyBuckets)
+	var ackedBatches atomic.Int64
+	totalBatches := 0
+	for range sessions {
+		totalBatches += (opts.sessionTasks + opts.batch - 1) / opts.batch
+	}
+	var killOnce sync.Once
+	killedAt := atomic.Int64{}
+	kill := func() {
+		killOnce.Do(func() {
+			_ = nodes[victim].http.Close()
+			killedAt.Store(ackedBatches.Load())
+		})
+	}
+
+	type sessionAudit struct {
+		acked map[int]bool
+		err   error
+	}
+	audits := make([]sessionAudit, len(sessions))
+	var wg sync.WaitGroup
+	for i := range sessions {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			audits[i] = sessionAudit{acked: map[int]bool{}}
+			rng := rand.New(rand.NewSource(opts.seed + int64(i)))
+			recs := make([]trace.Record, opts.sessionTasks)
+			clock := 0.0
+			for j := range recs {
+				clock += rng.Float64() * 2
+				recs[j] = trace.Record{ID: j + 1, Cycles: 0.5 + rng.Float64()*40, Arrival: clock}
+			}
+			path := "/v1/sessions/" + sessions[i].ID + "/tasks"
+			for lo := 0; lo < len(recs); lo += opts.batch {
+				hi := min(lo+opts.batch, len(recs))
+				ok, err := clusterSubmit(fronts, path, server.SubmitRequest{Tasks: recs[lo:hi], Clamp: true}, lat)
+				if err != nil {
+					audits[i].err = err
+					return
+				}
+				if ok {
+					for _, r := range recs[lo:hi] {
+						audits[i].acked[r.ID] = true
+					}
+				}
+				if ackedBatches.Add(1) == int64(totalBatches/2) {
+					kill() // the owner dies with every client mid-flight
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	kill()
+	for i := range audits {
+		if audits[i].err != nil {
+			return fmt.Errorf("session %d (%s): %w", i, sessions[i].ID, audits[i].err)
+		}
+	}
+
+	// Drain and audit every session through the survivors.
+	totalTasks, totalEvents, failovers := 0, 0, 0
+	for i, info := range sessions {
+		drain, events, err := clusterDrainAndFetch(fronts, "/v1/sessions/"+info.ID)
+		if err != nil {
+			return fmt.Errorf("session %d (%s): %w", i, info.ID, err)
+		}
+		if err := auditClusterTrace(opts.spec, events, drain, audits[i].acked); err != nil {
+			return fmt.Errorf("session %d (%s): %w", i, info.ID, err)
+		}
+		totalEvents += len(events)
+		if drain != nil {
+			totalTasks += drain.Tasks
+		}
+	}
+
+	// Per-node scorecard, read straight off the in-process registries.
+	for _, id := range ids {
+		reg := nodes[id].srv.Registry().Snapshot()
+		mark := ""
+		if id == victim {
+			mark = "  (killed mid-run)"
+		}
+		promotions := reg.Counters[obs.ClusterPromotions]
+		if promotions > 0 {
+			failovers += int(promotions)
+		}
+		fmt.Fprintf(w, "node %s: %.0f requests, %.0f forwards, %.0f ships, %.0f promotions%s\n",
+			id, reg.Counters[obs.ServerRequests], reg.Counters[obs.ClusterForwards],
+			reg.Counters[obs.ClusterShips], promotions, mark)
+	}
+	snap := lat.Snapshot()
+	fmt.Fprintf(w, "killed %s after %d/%d acked batches; %d sessions failed over\n",
+		victim, killedAt.Load(), totalBatches, failovers)
+	fmt.Fprintf(w, "submit latency p50 %.3fms  p99 %.3fms over %d acked submits\n",
+		snap.Quantile(0.50)*1000, snap.Quantile(0.99)*1000, int(snap.Count))
+	fmt.Fprintf(w, "oracle parity: %d sessions, %d tasks, %d events — all byte-identical\n",
+		len(sessions), totalTasks, totalEvents)
+	if failovers == 0 {
+		return fmt.Errorf("owner was killed but no session promoted — failover never exercised")
+	}
+	fmt.Fprintln(w, "all checks passed")
+	return nil
+}
+
+// bootCluster starts n cluster nodes on ephemeral loopback ports.
+func bootCluster(n int) (map[string]*clusterNode, []string, error) {
+	lns := make([]net.Listener, n)
+	ids := make([]string, n)
+	peers := make(map[string]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, err
+		}
+		lns[i] = ln
+		ids[i] = fmt.Sprintf("n%d", i+1)
+		peers[ids[i]] = "http://" + ln.Addr().String()
+	}
+	nodes := make(map[string]*clusterNode, n)
+	for i, id := range ids {
+		srv := server.New(server.Config{})
+		node, err := cluster.NewNode(cluster.Config{ID: id, Peers: peers}, srv)
+		if err != nil {
+			return nil, nil, err
+		}
+		hs := &http.Server{Handler: node.Handler()}
+		nodes[id] = &clusterNode{id: id, srv: srv, node: node, http: hs, addr: peers[id]}
+		go func(hs *http.Server, ln net.Listener) { _ = hs.Serve(ln) }(hs, lns[i])
+	}
+	return nodes, ids, nil
+}
+
+// clusterSubmit pushes one batch with the cluster retry protocol and
+// reports whether it is known accepted. Transport errors, 5xx and 429
+// rotate fronts and retry; a duplicate-task 400 on a retry means an
+// earlier attempt was accepted but its ack was lost in the kill.
+func clusterSubmit(fronts []string, path string, body server.SubmitRequest, lat *obs.Histogram) (bool, error) {
+	raw, err := jsonBody(body)
+	if err != nil {
+		return false, err
+	}
+	for attempt := 0; attempt < 50; attempt++ {
+		front := fronts[attempt%len(fronts)]
+		t0 := time.Now()
+		code, respBody, err := rawDo(http.MethodPost, front+path, raw)
+		switch {
+		case err != nil, code >= 500, code == http.StatusTooManyRequests:
+			time.Sleep(time.Duration(10*(attempt+1)) * time.Millisecond)
+		case code == http.StatusOK:
+			lat.Observe(time.Since(t0).Seconds())
+			return true, nil
+		case code == http.StatusBadRequest && attempt > 0 && bytes.Contains(respBody, []byte("duplicate")):
+			return true, nil
+		default:
+			return false, fmt.Errorf("submit: status %d: %s", code, respBody)
+		}
+	}
+	return false, fmt.Errorf("submit: retries exhausted")
+}
+
+// clusterDrainAndFetch drains a session through any surviving front
+// and fetches its final trace. A 204 on a drain retry means an earlier
+// attempt drained but the ack was lost; the trace is still served.
+func clusterDrainAndFetch(fronts []string, path string) (*server.DrainResponse, []obs.Event, error) {
+	var drain *server.DrainResponse
+	drained := false
+	for attempt := 0; attempt < 50 && !drained; attempt++ {
+		front := fronts[attempt%len(fronts)]
+		code, body, err := rawDo(http.MethodDelete, front+path, nil)
+		switch {
+		case err != nil || code >= 500 || code == http.StatusTooManyRequests:
+			time.Sleep(time.Duration(10*(attempt+1)) * time.Millisecond)
+		case code == http.StatusOK:
+			var dr server.DrainResponse
+			if err := jsonDecode(body, &dr); err != nil {
+				return nil, nil, err
+			}
+			drain, drained = &dr, true
+		case code == http.StatusNoContent:
+			drained = true
+		default:
+			return nil, nil, fmt.Errorf("drain: status %d: %s", code, body)
+		}
+	}
+	if !drained {
+		return nil, nil, fmt.Errorf("drain: retries exhausted")
+	}
+	var events []obs.Event
+	var lastErr error
+	for attempt := 0; attempt < 20; attempt++ {
+		front := fronts[attempt%len(fronts)]
+		code, body, err := rawDo(http.MethodGet, front+path+"/events", nil)
+		if err != nil || code != http.StatusOK {
+			lastErr = fmt.Errorf("events: status %d, err %v", code, err)
+			time.Sleep(20 * time.Millisecond)
+			continue
+		}
+		events, err = obs.ReadJSONL(bytes.NewReader(body))
+		if err != nil {
+			return nil, nil, err
+		}
+		return drain, events, nil
+	}
+	return nil, nil, lastErr
+}
+
+// jsonBody marshals a request body once so retries reuse the bytes.
+func jsonBody(v any) ([]byte, error) { return json.Marshal(v) }
+
+func jsonDecode(b []byte, v any) error { return json.Unmarshal(b, v) }
+
+// rawDo issues one HTTP request and returns status + body; transport
+// errors come back for the caller's retry loop, never fatal.
+func rawDo(method, url string, body []byte) (int, []byte, error) {
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(body) > 0 {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, data, err
+}
+
+// formatCost renders a cost for exact comparison: the shortest decimal
+// that round-trips the float64, so equal bits compare equal and
+// nothing else does.
+func formatCost(c float64) string { return strconv.FormatFloat(c, 'g', -1, 64) }
+
+// auditClusterTrace holds one surviving trace to the durability
+// contract: gapless sequence numbers, every acknowledged task exactly
+// once, and a serial oracle rebuild (server.ReplaySession over the
+// trace alone, then drain) that regenerates the trace byte-for-byte
+// and reproduces the acked drain cost.
+func auditClusterTrace(spec server.PlatformSpec, events []obs.Event, drain *server.DrainResponse, acked map[int]bool) error {
+	arrivals := map[int]int{}
+	completes := map[int]int{}
+	for i, ev := range events {
+		if ev.Seq != uint64(i+1) {
+			return fmt.Errorf("event %d has seq %d: trace gap or reorder", i, ev.Seq)
+		}
+		switch ev.Kind {
+		case obs.KindArrival:
+			arrivals[ev.Task]++
+		case obs.KindComplete:
+			completes[ev.Task]++
+		}
+	}
+	ids := make([]int, 0, len(acked))
+	for id := range acked {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if arrivals[id] != 1 || completes[id] != 1 {
+			return fmt.Errorf("acked task %d: %d arrivals, %d completions in the surviving trace",
+				id, arrivals[id], completes[id])
+		}
+	}
+	if drain != nil && drain.Tasks != len(arrivals) {
+		return fmt.Errorf("drain acked %d tasks, trace holds %d", drain.Tasks, len(arrivals))
+	}
+
+	rb, err := server.ReplaySession(context.Background(), spec, 0, nil, events)
+	if err != nil {
+		return fmt.Errorf("oracle rebuild: %w", err)
+	}
+	res, err := rb.Sess.Drain(context.Background())
+	if err != nil {
+		return fmt.Errorf("oracle drain: %w", err)
+	}
+	got := obs.AppendBinary(nil, rb.Rec.Events())
+	want := obs.AppendBinary(nil, events)
+	if !bytes.Equal(got, want) {
+		return fmt.Errorf("oracle rebuild diverges from surviving trace (%d vs %d encoded bytes)", len(got), len(want))
+	}
+	if drain != nil {
+		if g, w := formatCost(res.TotalCost), formatCost(drain.TotalCost); g != w {
+			return fmt.Errorf("oracle cost %s != acked drain cost %s", g, w)
+		}
+	}
+	return nil
+}

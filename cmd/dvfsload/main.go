@@ -25,8 +25,14 @@
 //	dvfsload -addr http://127.0.0.1:8080 [-clients 8] [-plan-tasks 24]
 //	         [-session-tasks 40] [-batch 10] [-seed 1]
 //	         [-cores 4] [-platform table2] [-re 0.1] [-rt 0.4]
-//	         [-mode oracle|closed|open] [-duration 10s] [-rate 200]
+//	         [-mode oracle|closed|open|cluster] [-duration 10s] [-rate 200]
 //	         [-sessions 1] [-out load.json]
+//
+// -mode cluster needs no daemon: it boots a 3-node cluster in process
+// (internal/cluster), drives concurrent sessions through it, kills one
+// session's owner node mid-run, and verifies the failover contract —
+// every acknowledged task survives in a gapless trace that a serial
+// oracle rebuild reproduces byte-identically.
 //
 // Exit status is non-zero if any check fails.
 package main
@@ -99,7 +105,7 @@ func run(args []string, w io.Writer) error {
 		platName     = fs.String("platform", "table2", "rate table: table2, i7, or exynos")
 		re           = fs.Float64("re", 0.1, "Re, cents per joule")
 		rt           = fs.Float64("rt", 0.4, "Rt, cents per second of waiting")
-		mode         = fs.String("mode", "oracle", "oracle (correctness cross-check), closed, or open (latency harness)")
+		mode         = fs.String("mode", "oracle", "oracle (correctness cross-check), closed/open (latency harness), or cluster (in-process failover harness)")
 		duration     = fs.Duration("duration", 10*time.Second, "measurement window for closed/open loop")
 		rate         = fs.Float64("rate", 200, "offered requests/second in open loop")
 		sessions     = fs.Int("sessions", 1, "session shards to spread closed/open-loop load over")
@@ -119,6 +125,11 @@ func run(args []string, w io.Writer) error {
 	}
 	if opts.clients <= 0 {
 		return fmt.Errorf("need at least one client")
+	}
+	if *mode == "cluster" {
+		// The cluster harness boots its own 3-node in-process cluster;
+		// -addr is ignored.
+		return runClusterHarness(opts, w)
 	}
 	if *mode != "oracle" {
 		return runLoadHarness(opts, loadOptions{

@@ -1,0 +1,459 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dvfsched/internal/obs"
+	"dvfsched/internal/server"
+)
+
+// maxReplicaBody bounds internal replication request bodies; matches
+// the public API's cap.
+const maxReplicaBody = 64 << 20
+
+// Config wires a Node.
+type Config struct {
+	// ID is this node's name; must be a key of Peers and consist of
+	// [A-Za-z0-9._-] (it is embedded in minted session IDs).
+	ID string
+	// Peers maps node ID -> base URL (http://host:port) for every
+	// cluster member, including this node. Membership is static.
+	Peers map[string]string
+	// VNodes is the ring's virtual-node count per peer (0 =
+	// DefaultVNodes).
+	VNodes int
+	// CheckpointEvery ships a fresh checkpoint to the replica once
+	// this many log events accumulated since the last one (0 = 256).
+	// Smaller means faster promotion replay, more snapshot traffic.
+	CheckpointEvery int
+	// ShipTimeout bounds each replication RPC (0 = 5s).
+	ShipTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 256
+	}
+	if c.ShipTimeout == 0 {
+		c.ShipTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// Node is one cluster member: it fronts a server.Server through a
+// server.Router (any node serves any session), owns the sessions the
+// ring places on it, replicates them to the next live node, and holds
+// cold replica state for sessions owned elsewhere, promoting them when
+// their owner dies. Safe for concurrent use by the HTTP stack.
+type Node struct {
+	cfg     Config
+	ring    *Ring
+	srv     *server.Server
+	router  *server.Router
+	handler http.Handler
+	client  *http.Client
+
+	// mu guards down, the liveness view. Peers are marked down by
+	// failed forwards/ships (or the background prober) and up again by
+	// any successful exchange.
+	mu   sync.Mutex
+	down map[string]bool
+
+	replicas replicaStore
+
+	// shipsMu guards ships, the per-owned-session replication cursors.
+	shipsMu sync.Mutex
+	ships   map[string]*shipState
+
+	seq atomic.Uint64
+
+	shipsTotal *obs.Counter
+	promotions *obs.Counter
+	peersDown  *obs.Gauge
+}
+
+// NewNode builds a node over its server. The server must be fronted
+// exclusively through Node.Handler — bypassing the router would serve
+// sessions without placement or replication.
+func NewNode(cfg Config, srv *server.Server) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Peers) == 0 {
+		return nil, fmt.Errorf("cluster: no peers configured")
+	}
+	ids := make([]string, 0, len(cfg.Peers))
+	for id, addr := range cfg.Peers {
+		if addr == "" {
+			return nil, fmt.Errorf("cluster: peer %q has no address", id)
+		}
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	if _, ok := cfg.Peers[cfg.ID]; !ok {
+		return nil, fmt.Errorf("cluster: node ID %q is not in the peer list %v", cfg.ID, ids)
+	}
+	ring, err := NewRing(ids, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	reg := srv.Registry()
+	n := &Node{
+		cfg:        cfg,
+		ring:       ring,
+		srv:        srv,
+		client:     &http.Client{Timeout: cfg.ShipTimeout},
+		down:       map[string]bool{},
+		replicas:   replicaStore{m: map[string]*replica{}},
+		ships:      map[string]*shipState{},
+		shipsTotal: reg.Counter(obs.ClusterShips),
+		promotions: reg.Counter(obs.ClusterPromotions),
+		peersDown:  reg.Gauge(obs.ClusterPeersDown),
+	}
+	n.router = server.NewRouter(srv, n)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/cluster/replica/{id}/open", n.handleReplicaOpen)
+	mux.HandleFunc("POST /v1/cluster/replica/{id}/log", n.handleReplicaLog)
+	mux.HandleFunc("POST /v1/cluster/replica/{id}/checkpoint", n.handleReplicaCheckpoint)
+	mux.HandleFunc("POST /v1/cluster/replica/{id}/drop", n.handleReplicaDrop)
+	mux.HandleFunc("GET /v1/cluster/route", n.handleRoute)
+	mux.HandleFunc("GET /v1/cluster/info", n.handleInfo)
+	mux.Handle("/", n.router)
+	n.handler = mux
+	return n, nil
+}
+
+// Handler returns the node's HTTP surface: the public scheduler API
+// routed by session placement, plus the internal /v1/cluster/*
+// replication endpoints.
+func (n *Node) Handler() http.Handler { return n.handler }
+
+// Self implements server.Cluster.
+func (n *Node) Self() string { return n.cfg.ID }
+
+// Addr implements server.Cluster.
+func (n *Node) Addr(node string) string { return n.cfg.Peers[node] }
+
+// Route implements server.Cluster: the session's full live failover
+// chain, owner first.
+func (n *Node) Route(sessionID string) []string {
+	return n.ring.Candidates(sessionID, len(n.cfg.Peers), n.alive)
+}
+
+// NewSessionID implements server.Cluster. IDs carry the minting node
+// and a local counter, so concurrent fronts never collide.
+func (n *Node) NewSessionID() string {
+	return fmt.Sprintf("s-%s-%06d", n.cfg.ID, n.seq.Add(1))
+}
+
+// Observe implements server.Cluster: transport failures mark a peer
+// down, successful exchanges mark it up.
+func (n *Node) Observe(node string, err error) {
+	if node == n.cfg.ID {
+		return
+	}
+	if _, ok := n.cfg.Peers[node]; !ok {
+		return
+	}
+	n.mu.Lock()
+	if err != nil {
+		n.down[node] = true
+	} else {
+		delete(n.down, node)
+	}
+	n.peersDown.Set(float64(len(n.down)))
+	n.mu.Unlock()
+}
+
+func (n *Node) alive(node string) bool {
+	if node == n.cfg.ID {
+		return true
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return !n.down[node]
+}
+
+// StartProber launches a background goroutine probing every peer's
+// /healthz each interval, so dead peers are discovered (and revived
+// peers welcomed back) without waiting for a request to fail against
+// them. The returned stop function blocks until the prober exits.
+func (n *Node) StartProber(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				n.probeOnce(interval)
+			}
+		}
+	}()
+	return func() { close(done); wg.Wait() }
+}
+
+func (n *Node) probeOnce(timeout time.Duration) {
+	for _, id := range n.ring.Nodes() {
+		if id == n.cfg.ID {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.cfg.Peers[id]+"/healthz", nil)
+		if err != nil {
+			cancel()
+			continue
+		}
+		resp, err := n.client.Do(req)
+		if err == nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		cancel()
+		n.Observe(id, err)
+	}
+}
+
+// EnsureLocal implements server.Cluster: the promotion path. If this
+// node holds replica state for id but no live shard, the session is
+// rebuilt (checkpoint restore + log suffix replay) and adopted; the
+// next Replicate call re-ships the full log to a new replica.
+func (n *Node) EnsureLocal(ctx context.Context, id string) error {
+	if n.srv.HasSession(id) {
+		return nil
+	}
+	rep, ok := n.replicas.get(id)
+	if !ok {
+		return nil // no state here: the operation sees the local 404
+	}
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	if n.srv.HasSession(id) {
+		return nil // lost the promotion race; the winner's shard serves
+	}
+	if _, err := n.srv.AdoptSession(ctx, id, rep.spec, rep.checkpoint, rep.events); err != nil {
+		return fmt.Errorf("cluster: promote session %s: %w", id, err)
+	}
+	n.promotions.Inc()
+	// The shard's recorder now carries the full trace; the replica
+	// copy is dead weight.
+	n.replicas.drop(id)
+	return nil
+}
+
+// shipState is the replication cursor of one locally owned session.
+type shipState struct {
+	mu      sync.Mutex
+	target  string // replica node ID; "" when none is live
+	opened  bool   // replica acknowledged the open
+	shipped uint64 // last event Seq the replica's log covers
+	sinceCP int    // events shipped since the last checkpoint
+}
+
+func (n *Node) shipFor(id string) *shipState {
+	n.shipsMu.Lock()
+	defer n.shipsMu.Unlock()
+	st, ok := n.ships[id]
+	if !ok {
+		st = &shipState{}
+		n.ships[id] = st
+	}
+	return st
+}
+
+func (n *Node) dropShip(id string) {
+	n.shipsMu.Lock()
+	delete(n.ships, id)
+	n.shipsMu.Unlock()
+}
+
+// replicaTarget picks the session's replica: the first live candidate
+// on the ring that is not this node. "" means the cluster has no other
+// live node and the session runs unreplicated until one returns.
+func (n *Node) replicaTarget(id string) string {
+	for _, cand := range n.Route(id) {
+		if cand != n.cfg.ID {
+			return cand
+		}
+	}
+	return ""
+}
+
+// Replicate implements server.Cluster: synchronously bring the
+// session's replica up to date with the local recorder. Shipping
+// happens before the mutation's response is released — for submits the
+// router fails the request if this fails, which is what makes "acked
+// implies replicated" (and therefore kill-tolerance) hold. If the
+// current replica died, the next live candidate is adopted and the
+// full log re-shipped once, within this call.
+func (n *Node) Replicate(ctx context.Context, id string, m server.Mutation) error {
+	if len(n.cfg.Peers) == 1 {
+		return nil // solo "cluster": nothing to replicate to
+	}
+	st := n.shipFor(id)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+
+	if m == server.MutationPurge {
+		target := st.target
+		st.target, st.opened, st.shipped, st.sinceCP = "", false, 0, 0
+		n.dropShip(id)
+		if target != "" {
+			// Best effort: a leaked tombstone on the replica is dropped
+			// the next time the session ID is reused or the node
+			// restarts.
+			_ = n.post(ctx, target, "/v1/cluster/replica/"+id+"/drop", "", nil)
+		}
+		return nil
+	}
+
+	target := n.replicaTarget(id)
+	if target == "" {
+		return nil // degrade: no live replica candidate
+	}
+	if target != st.target {
+		st.target, st.opened, st.shipped, st.sinceCP = target, false, 0, 0
+	}
+	err := n.shipLocked(ctx, id, st, m)
+	if err == nil {
+		n.shipsTotal.Inc()
+		return nil
+	}
+	if !isStatusError(err) {
+		// Transport failure: the replica is gone. Mark it down, adopt
+		// the next candidate and re-ship the full log, once.
+		n.Observe(st.target, err)
+		next := n.replicaTarget(id)
+		if next == "" {
+			return nil // degrade: last other node just died
+		}
+		if next != st.target {
+			st.target, st.opened, st.shipped, st.sinceCP = next, false, 0, 0
+			if retryErr := n.shipLocked(ctx, id, st, m); retryErr == nil {
+				n.shipsTotal.Inc()
+				return nil
+			}
+		}
+	}
+	return fmt.Errorf("cluster: replicate session %s to %s: %w", id, st.target, err)
+}
+
+// shipLocked pushes the unshipped log tail (and, when due, a fresh
+// checkpoint) to st.target. Caller holds st.mu. The order is
+// snapshot-then-events-then-checkpoint: the snapshot is taken first so
+// the events shipped alongside are guaranteed to cover its sequence
+// number — the replica rejects a checkpoint ahead of its log, which
+// would leave a trace gap at promotion.
+func (n *Node) shipLocked(ctx context.Context, id string, st *shipState, m server.Mutation) error {
+	var checkpoint []byte
+	if m == server.MutationSubmit && st.sinceCP >= n.cfg.CheckpointEvery {
+		blob, err := n.srv.SnapshotSession(ctx, id)
+		if err == nil {
+			checkpoint = blob
+		}
+		// A failed snapshot (busy shard, drained session) skips this
+		// round's checkpoint; the log alone still makes the replica
+		// complete, just slower to promote.
+	}
+	events, err := n.srv.SessionEventsSince(id, st.shipped)
+	if err != nil {
+		return err
+	}
+	if !st.opened {
+		spec, ok := n.srv.SessionSpec(id)
+		if !ok {
+			return fmt.Errorf("session %s vanished mid-ship", id)
+		}
+		body, err := json.Marshal(spec)
+		if err != nil {
+			return err
+		}
+		if err := n.post(ctx, st.target, "/v1/cluster/replica/"+id+"/open", "application/json", body); err != nil {
+			return err
+		}
+		st.opened = true
+	}
+	if len(events) > 0 {
+		err := n.post(ctx, st.target, "/v1/cluster/replica/"+id+"/log", "application/octet-stream", obs.AppendBinary(nil, events))
+		if isStatusError(err) {
+			// The replica found a gap (it lost state we thought it
+			// had, e.g. it restarted). Re-ship the full log once.
+			st.shipped = 0
+			full, ferr := n.srv.SessionEventsSince(id, 0)
+			if ferr != nil {
+				return ferr
+			}
+			err = n.post(ctx, st.target, "/v1/cluster/replica/"+id+"/log", "application/octet-stream", obs.AppendBinary(nil, full))
+			events = full
+		}
+		if err != nil {
+			return err
+		}
+		st.shipped = events[len(events)-1].Seq
+		st.sinceCP += len(events)
+	}
+	if len(checkpoint) > 0 {
+		if err := n.post(ctx, st.target, "/v1/cluster/replica/"+id+"/checkpoint", "application/octet-stream", checkpoint); err != nil {
+			return err
+		}
+		st.sinceCP = 0
+	}
+	return nil
+}
+
+// statusError is a non-2xx reply from a replication endpoint — the
+// peer is alive but refused, so it must not be marked down.
+type statusError struct {
+	code int
+	body string
+}
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("status %d: %s", e.code, e.body)
+}
+
+func isStatusError(err error) bool {
+	var se *statusError
+	return errors.As(err, &se)
+}
+
+// post sends one replication RPC to a peer. It returns nil on 2xx, a
+// *statusError on any other reply, and the raw transport error when
+// the peer was unreachable.
+func (n *Node) post(ctx context.Context, node, path, contentType string, body []byte) error {
+	ctx, cancel := context.WithTimeout(ctx, n.cfg.ShipTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, n.cfg.Peers[node]+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	n.Observe(node, nil)
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return &statusError{code: resp.StatusCode, body: string(bytes.TrimSpace(msg))}
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return nil
+}

@@ -1,0 +1,243 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+
+	"dvfsched/internal/obs"
+	"dvfsched/internal/server"
+	"dvfsched/internal/sim"
+)
+
+// replica is the cold standby state of one session owned elsewhere:
+// the platform spec, the shipped event log, and the latest checkpoint.
+// Nothing here is a live scheduler — promotion (Node.EnsureLocal)
+// turns it into one only when the owner dies.
+type replica struct {
+	mu         sync.Mutex
+	spec       server.PlatformSpec
+	events     []obs.Event
+	lastSeq    uint64 // Seq of the last appended event
+	checkpoint []byte
+	cpSeq      uint64 // EvSeq of the stored checkpoint
+}
+
+// replicaStore holds the node's replicas, keyed by session ID.
+type replicaStore struct {
+	mu sync.Mutex
+	m  map[string]*replica
+}
+
+func (rs *replicaStore) get(id string) (*replica, bool) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rep, ok := rs.m[id]
+	return rep, ok
+}
+
+// open returns the session's replica, creating it if absent. A
+// re-open (owner reconnecting, or re-shipping after a gap) keeps the
+// existing log and refreshes the spec.
+func (rs *replicaStore) open(id string, spec server.PlatformSpec) *replica {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rep, ok := rs.m[id]
+	if !ok {
+		rep = &replica{}
+		rs.m[id] = rep
+	}
+	rep.mu.Lock()
+	rep.spec = spec
+	rep.mu.Unlock()
+	return rep
+}
+
+func (rs *replicaStore) drop(id string) {
+	rs.mu.Lock()
+	delete(rs.m, id)
+	rs.mu.Unlock()
+}
+
+func (rs *replicaStore) ids() []string {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	out := make([]string, 0, len(rs.m))
+	for id := range rs.m {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// appendLog applies a shipped event batch. Events at or below lastSeq
+// are duplicates of state already held (a full re-ship after target
+// reselection) and are skipped; past that, the batch must continue the
+// log exactly — a gap means the owner and replica disagree about what
+// was shipped, and accepting it would leave a hole the promotion
+// replay cannot cross. The owner heals a reported gap by re-shipping
+// from zero.
+func (rep *replica) appendLog(events []obs.Event) error {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	for _, ev := range events {
+		if ev.Seq <= rep.lastSeq {
+			continue
+		}
+		if rep.lastSeq != 0 || len(rep.events) > 0 {
+			if ev.Seq != rep.lastSeq+1 {
+				return fmt.Errorf("log gap: have seq %d, got %d", rep.lastSeq, ev.Seq)
+			}
+		}
+		rep.events = append(rep.events, ev)
+		rep.lastSeq = ev.Seq
+	}
+	return nil
+}
+
+// setCheckpoint installs a shipped checkpoint. The log must already
+// cover the checkpoint's sequence number: promotion replays the log
+// suffix after cp.EvSeq, so a checkpoint ahead of the log would drop
+// the events in between from the reconstructed trace.
+func (rep *replica) setCheckpoint(blob []byte, evSeq uint64) error {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	if evSeq > rep.lastSeq {
+		return fmt.Errorf("checkpoint at seq %d ahead of log tail %d", evSeq, rep.lastSeq)
+	}
+	rep.checkpoint = blob
+	rep.cpSeq = evSeq
+	return nil
+}
+
+// --- internal HTTP endpoints (owner -> replica) ---
+
+func (n *Node) handleReplicaOpen(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var spec server.PlatformSpec
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxReplicaBody))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	if err := json.Unmarshal(body, &spec); err != nil {
+		httpError(w, http.StatusBadRequest, "decode spec: %v", err)
+		return
+	}
+	n.replicas.open(id, spec)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (n *Node) handleReplicaLog(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rep, ok := n.replicas.get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no replica for session %q", id)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxReplicaBody))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	events, err := obs.ReadBinary(bytes.NewReader(body))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "decode log: %v", err)
+		return
+	}
+	if err := rep.appendLog(events); err != nil {
+		// 409 tells the owner to re-ship the full log.
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (n *Node) handleReplicaCheckpoint(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rep, ok := n.replicas.get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no replica for session %q", id)
+		return
+	}
+	blob, err := io.ReadAll(io.LimitReader(r.Body, maxReplicaBody))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	// Decode to learn the checkpoint's event sequence number — and to
+	// refuse storing bytes a promotion could not restore from.
+	cp, err := sim.UnmarshalCheckpoint(blob)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "decode checkpoint: %v", err)
+		return
+	}
+	if err := rep.setCheckpoint(blob, cp.EvSeq); err != nil {
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (n *Node) handleReplicaDrop(w http.ResponseWriter, r *http.Request) {
+	n.replicas.drop(r.PathValue("id"))
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// --- introspection endpoints ---
+
+// RouteInfo is the reply of GET /v1/cluster/route?session=ID.
+type RouteInfo struct {
+	Session    string   `json:"session"`
+	Owner      string   `json:"owner"`
+	Candidates []string `json:"candidates"`
+}
+
+func (n *Node) handleRoute(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("session")
+	if id == "" {
+		httpError(w, http.StatusBadRequest, "missing session query parameter")
+		return
+	}
+	cands := n.Route(id)
+	info := RouteInfo{Session: id, Candidates: cands}
+	if len(cands) > 0 {
+		info.Owner = cands[0]
+	}
+	writeClusterJSON(w, info)
+}
+
+// NodeInfo is the reply of GET /v1/cluster/info.
+type NodeInfo struct {
+	ID       string   `json:"id"`
+	Peers    []string `json:"peers"`
+	Down     []string `json:"down"`
+	Replicas []string `json:"replicas"`
+}
+
+func (n *Node) handleInfo(w http.ResponseWriter, r *http.Request) {
+	info := NodeInfo{ID: n.cfg.ID, Peers: n.ring.Nodes(), Replicas: n.replicas.ids()}
+	n.mu.Lock()
+	for id := range n.down {
+		info.Down = append(info.Down, id)
+	}
+	n.mu.Unlock()
+	sort.Strings(info.Down)
+	writeClusterJSON(w, info)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeClusterJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("s-n1-%06d", i)
+	}
+	return keys
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty membership accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Error("empty node ID accepted")
+	}
+	if _, err := NewRing([]string{"a", "b", "a"}, 0); err == nil {
+		t.Error("duplicate node ID accepted")
+	}
+}
+
+// TestRingDeterminism: the ring is a pure function of its membership —
+// same nodes (in any order) map every key identically.
+func TestRingDeterminism(t *testing.T) {
+	r1, err := NewRing([]string{"n1", "n2", "n3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing([]string{"n3", "n1", "n2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range testKeys(1000) {
+		c1 := r1.Candidates(k, 3, nil)
+		c2 := r2.Candidates(k, 3, nil)
+		if len(c1) != 3 || len(c2) != 3 {
+			t.Fatalf("key %s: candidate counts %d, %d", k, len(c1), len(c2))
+		}
+		for i := range c1 {
+			if c1[i] != c2[i] {
+				t.Fatalf("key %s: rings disagree: %v vs %v", k, c1, c2)
+			}
+		}
+		if r1.Owner(k) != c1[0] {
+			t.Fatalf("key %s: Owner %s != first candidate %s", k, r1.Owner(k), c1[0])
+		}
+	}
+}
+
+// TestRingBalance: with virtual nodes, no node's share of a large
+// keyspace collapses or explodes. The bound is deliberately loose —
+// FNV over 64 vnodes is not a perfect spreader, we only need "no node
+// is starved or doubled".
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3"}
+	r, err := NewRing(nodes, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	keys := testKeys(9000)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	for _, n := range nodes {
+		share := float64(counts[n]) / float64(len(keys))
+		if share < 0.15 || share > 0.55 {
+			t.Errorf("node %s owns %.1f%% of keys (counts: %v)", n, 100*share, counts)
+		}
+	}
+}
+
+// TestRingBoundedMovement: growing the membership by one node moves
+// keys only TO the new node (no key shuffles between surviving nodes),
+// and roughly its fair share of them — the consistent-hashing
+// property that makes rebalances cheap.
+func TestRingBoundedMovement(t *testing.T) {
+	before, err := NewRing([]string{"n1", "n2", "n3"}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewRing([]string{"n1", "n2", "n3", "n4"}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := testKeys(9000)
+	moved := 0
+	for _, k := range keys {
+		was, is := before.Owner(k), after.Owner(k)
+		if was == is {
+			continue
+		}
+		moved++
+		if is != "n4" {
+			t.Fatalf("key %s moved %s -> %s, not to the new node", k, was, is)
+		}
+	}
+	frac := float64(moved) / float64(len(keys))
+	if frac < 0.10 || frac > 0.45 {
+		t.Errorf("adding 1 of 4 nodes moved %.1f%% of keys, want roughly 25%%", 100*frac)
+	}
+}
+
+// TestRingCandidatesSkipDead: a dead owner is skipped and the failover
+// chain keeps its relative order; reviving the node restores the
+// original placement exactly (the ring itself never changes).
+func TestRingCandidatesSkipDead(t *testing.T) {
+	r, err := NewRing([]string{"n1", "n2", "n3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range testKeys(200) {
+		full := r.Candidates(k, 3, nil)
+		dead := full[0]
+		live := r.Candidates(k, 3, func(n string) bool { return n != dead })
+		if len(live) != 2 {
+			t.Fatalf("key %s: %d live candidates, want 2", k, len(live))
+		}
+		if live[0] != full[1] || live[1] != full[2] {
+			t.Fatalf("key %s: failover order changed: full %v, live %v", k, full, live)
+		}
+	}
+}

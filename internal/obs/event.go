@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"strconv"
 	"sync"
 	"unicode/utf8"
@@ -293,6 +294,20 @@ func (r *Recorder) Events() []Event {
 	defer r.mu.Unlock()
 	out := make([]Event, len(r.events))
 	copy(out, r.events)
+	return out
+}
+
+// Since returns a copy of the recorded events with Seq > after, in
+// emission order. Engine sequence numbers are nondecreasing in
+// emission order, so the suffix is found by binary search; Since(0) is
+// Events(). It is the replication fast path: a log shipper tracking
+// the last shipped sequence number pulls only the unshipped tail.
+func (r *Recorder) Since(after uint64) []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i := sort.Search(len(r.events), func(i int) bool { return r.events[i].Seq > after })
+	out := make([]Event, len(r.events)-i)
+	copy(out, r.events[i:])
 	return out
 }
 

@@ -213,7 +213,9 @@ func (s HistogramSnapshot) Quantile(q float64) float64 {
 	if s.Count == 0 {
 		return 0
 	}
-	if q < 0 {
+	// A NaN q compares false against every bound below and would fall
+	// through to Max; treat it like the q<0 clamp instead.
+	if math.IsNaN(q) || q < 0 {
 		q = 0
 	}
 	if q > 1 {

@@ -48,4 +48,25 @@ const (
 	// admitted. A mass at 1 means no coalescing (light traffic); mass
 	// in the higher buckets is the amortization working.
 	ServerSessionBatchSize = "server.sessions.batch_size"
+
+	// ClusterForwards counts session operations this node proxied to
+	// another node because the consistent-hash ring placed the session
+	// elsewhere.
+	ClusterForwards = "cluster.forwards"
+	// ClusterForwardErrors counts forwards that failed at the transport
+	// layer (the peer was marked down and the request failed over or
+	// surfaced as a 502).
+	ClusterForwardErrors = "cluster.forward_errors"
+	// ClusterReplicationErrors counts replication attempts (log ship,
+	// checkpoint ship, replica open) that failed after retry.
+	ClusterReplicationErrors = "cluster.replication_errors"
+	// ClusterShips counts successful replication rounds: each one left
+	// the replica's log covering every event the owner had emitted.
+	ClusterShips = "cluster.ships"
+	// ClusterPromotions counts sessions this node rebuilt from a
+	// replicated checkpoint + log and adopted as owner after the
+	// previous owner died.
+	ClusterPromotions = "cluster.promotions"
+	// ClusterPeersDown gauges peers currently considered dead.
+	ClusterPeersDown = "cluster.peers_down"
 )

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestQuantileEmpty: an empty histogram answers 0 for every q,
+// including degenerate ones.
+func TestQuantileEmpty(t *testing.T) {
+	s := newHistogram([]float64{1, 2, 4}).Snapshot()
+	for _, q := range []float64{-1, 0, 0.5, 1, 2, math.NaN()} {
+		if got := s.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+}
+
+// TestQuantileSinglePopulatedBucket: with all mass in one interior
+// bucket the quantile interpolates between the observed Min and Max,
+// never the raw bucket bounds.
+func TestQuantileSinglePopulatedBucket(t *testing.T) {
+	h := newHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{3, 5, 7} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	cases := []struct{ q, want float64 }{
+		{0, 3},   // Min, not the bucket's lower bound 1
+		{0.5, 5}, // linear midpoint of [Min, Max]
+		{1, 7},   // Max, not the bucket's upper bound 10
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+// TestQuantileExtremes: q=0 is the observed minimum and q=1 the
+// observed maximum even when the extremes land in the open-ended
+// underflow/overflow buckets.
+func TestQuantileExtremes(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	for _, v := range []float64{0.25, 1.5, 9} { // under, interior, over
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("Quantile(0) = %v, want Min 0.25", got)
+	}
+	if got := s.Quantile(1); math.Abs(got-9) > 1e-12 {
+		t.Errorf("Quantile(1) = %v, want Max 9", got)
+	}
+}
+
+// TestQuantileNaNGuard: a NaN q clamps to 0 (the Min) instead of
+// propagating NaN or falling through to Max, and NaN observations are
+// dropped by Observe so they can never poison the counts.
+func TestQuantileNaNGuard(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	h.Observe(math.NaN()) // ignored
+	h.Observe(1.5)
+	s := h.Snapshot()
+	if s.Count != 1 {
+		t.Fatalf("NaN observation was counted: Count = %d", s.Count)
+	}
+	got := s.Quantile(math.NaN())
+	if math.IsNaN(got) {
+		t.Fatal("Quantile(NaN) propagated NaN")
+	}
+	if math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("Quantile(NaN) = %v, want the Min 1.5", got)
+	}
+}

@@ -1,0 +1,195 @@
+package server
+
+import (
+	"context"
+	"fmt"
+
+	"dvfsched/internal/core"
+	"dvfsched/internal/obs"
+	"dvfsched/internal/sim"
+)
+
+// SessionIDHeader carries a caller-chosen session ID on POST
+// /v1/sessions. The cluster router mints the ID before routing the
+// create, so placement on the consistent-hash ring is decided from the
+// ID the client will be handed back.
+const SessionIDHeader = "X-Dvfs-Session-Id"
+
+// validSessionID accepts 1-64 characters of [A-Za-z0-9._-]: safe in
+// URL paths, ring keys and log lines without escaping.
+func validSessionID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// RebuiltSession is the product of ReplaySession: a live online
+// session whose recorder already holds the complete reconstructed
+// trace, plus the accepted-task count carried over from the original
+// owner.
+type RebuiltSession struct {
+	Spec      PlatformSpec
+	Rec       *obs.Recorder
+	Sess      *core.OnlineSession
+	Submitted int
+}
+
+// ReplaySession rebuilds a live session from replicated state: an
+// optional checkpoint (core.OnlineSession.Snapshot bytes; nil means
+// start fresh) and the session's event log. The checkpoint restores
+// the engine exactly; the log supplies both the pre-checkpoint trace
+// prefix (pre-loaded into the recorder so the full history stays
+// readable) and the post-checkpoint arrival suffix, which is replayed
+// through core.OnlineSession.ReplayTrace so the engine re-derives the
+// post-checkpoint schedule it had already committed to. The log must
+// cover every event up to the checkpoint's sequence number — the
+// replication protocol ships events before checkpoints to guarantee
+// it.
+//
+// parallel >= 2 wires in a candidate-evaluation pool of that width
+// (schedules are identical either way). The caller owns the returned
+// session and must Close or Drain it.
+func ReplaySession(ctx context.Context, spec PlatformSpec, parallel int, checkpoint []byte, log []obs.Event) (*RebuiltSession, error) {
+	spec, params, plat, err := spec.normalize()
+	if err != nil {
+		return nil, err
+	}
+	rec := &obs.Recorder{}
+	opts := []core.Option{core.WithSink(rec)}
+	if parallel >= 2 {
+		opts = append(opts, core.WithParallelism(parallel))
+	}
+	sched, err := core.New(params, plat, opts...)
+	if err != nil {
+		return nil, err
+	}
+
+	var sess *core.OnlineSession
+	var afterSeq uint64
+	var known func(int) bool
+	submitted := 0
+	if len(checkpoint) > 0 {
+		cp, err := sim.UnmarshalCheckpoint(checkpoint)
+		if err != nil {
+			return nil, fmt.Errorf("decode checkpoint: %w", err)
+		}
+		// Events at or before the checkpoint were emitted by the run
+		// being restored; pre-load them so the restored engine's events
+		// (which continue at EvSeq+1) append seamlessly and the
+		// reconstructed trace is byte-identical to the owner's.
+		for _, ev := range log {
+			if ev.Seq <= cp.EvSeq {
+				rec.Emit(ev)
+			}
+		}
+		sess, err = sched.RestoreOnline(ctx, checkpoint)
+		if err != nil {
+			return nil, err
+		}
+		afterSeq = cp.EvSeq
+		ids := make(map[int]bool, len(cp.IDs))
+		for _, id := range cp.IDs {
+			ids[id] = true
+		}
+		// Tasks injected before the checkpoint live in the restored
+		// state; only genuinely new post-checkpoint arrivals replay.
+		known = func(id int) bool { return ids[id] }
+		submitted = len(cp.Tasks)
+	} else {
+		sess, err = sched.OpenOnline(ctx)
+		if err != nil {
+			return nil, err
+		}
+	}
+	n, err := sess.ReplayTrace(ctx, log, afterSeq, known)
+	if err != nil {
+		sess.Close()
+		return nil, err
+	}
+	return &RebuiltSession{Spec: spec, Rec: rec, Sess: sess, Submitted: submitted + n}, nil
+}
+
+// HasSession reports whether id is registered (live or tombstoned).
+func (s *Server) HasSession(id string) bool {
+	_, ok := s.sessions.get(id)
+	return ok
+}
+
+// SessionSpec returns the platform spec a session was created with.
+func (s *Server) SessionSpec(id string) (PlatformSpec, bool) {
+	sh, ok := s.sessions.get(id)
+	if !ok {
+		return PlatformSpec{}, false
+	}
+	return sh.spec, true
+}
+
+// SessionEventsSince returns the session's recorded events with
+// Seq > after, in emission order. It reads the shard's recorder
+// directly (internally locked), so it never blocks on the shard
+// goroutine — the replication shipper calls it on every mutation.
+func (s *Server) SessionEventsSince(id string, after uint64) ([]obs.Event, error) {
+	sh, ok := s.sessions.get(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrSessionGone, id)
+	}
+	return sh.rec.Since(after), nil
+}
+
+// SnapshotSession takes a checkpoint of a live session on its shard
+// goroutine, after the group-commit intake is flushed — the same
+// batch-boundary guarantee the HTTP snapshot endpoint has. A drained
+// session returns ErrSessionDrained.
+func (s *Server) SnapshotSession(ctx context.Context, id string) ([]byte, error) {
+	sh, ok := s.sessions.get(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrSessionGone, id)
+	}
+	resp, err := sh.do(ctx, shardReq{op: opSnapshot})
+	if err != nil {
+		return nil, err
+	}
+	if resp.err != nil {
+		return nil, resp.err
+	}
+	return resp.snapshot, nil
+}
+
+// AdoptSession rebuilds a session from replicated state (ReplaySession)
+// and installs it as a live shard under the dead owner's ID: the
+// cluster failover path. The adopted shard serves exactly like a
+// locally created one — submits, snapshots, drain, events.
+func (s *Server) AdoptSession(ctx context.Context, id string, spec PlatformSpec, checkpoint []byte, log []obs.Event) (SessionInfo, error) {
+	if !validSessionID(id) {
+		return SessionInfo{}, fmt.Errorf("invalid session ID %q", id)
+	}
+	rb, err := ReplaySession(ctx, spec, s.cfg.SessionParallelism, checkpoint, log)
+	if err != nil {
+		return SessionInfo{}, err
+	}
+	// Read the session before adopt hands ownership to the shard
+	// goroutine; afterwards only the shard may touch it.
+	clock, pending := rb.Sess.Clock(), rb.Sess.Pending()
+	sh, err := s.sessions.adopt(id, rb)
+	if err != nil {
+		rb.Sess.Close()
+		return SessionInfo{}, err
+	}
+	return SessionInfo{
+		ID:           sh.id,
+		PlatformSpec: sh.spec,
+		Clock:        clock,
+		Pending:      pending,
+		Submitted:    rb.Submitted,
+	}, nil
+}

@@ -22,4 +22,9 @@ var (
 	// ErrDraining reports new work refused because graceful shutdown
 	// has begun: 503, so load balancers fail over instead of retrying.
 	ErrDraining = errors.New("server: draining; not accepting new work")
+	// ErrSessionExists reports a create or adopt under an ID that is
+	// already registered: 409. Only reachable with caller-chosen IDs
+	// (the cluster router's placement header); generated IDs are fresh
+	// by construction.
+	ErrSessionExists = errors.New("server: session already exists")
 )

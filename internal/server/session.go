@@ -48,19 +48,44 @@ func newSessions(maxOpen, queueDepth, parallel int, reg *obs.Registry) *sessions
 	}
 }
 
-// create opens a new shard under a fresh ID.
-func (ss *sessions) create(spec PlatformSpec, params model.CostParams, plat *platform.Platform) (*shard, error) {
+// create opens a new shard. An empty id generates a fresh sequential
+// one; a non-empty id (the cluster router's placement header) is used
+// verbatim and must not collide with a registered session.
+func (ss *sessions) create(id string, spec PlatformSpec, params model.CostParams, plat *platform.Platform) (*shard, error) {
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
 	if len(ss.m) >= ss.maxOpen {
 		return nil, fmt.Errorf("%w (%d); drain and delete old sessions", ErrSessionTableFull, ss.maxOpen)
 	}
-	ss.seq++
-	id := fmt.Sprintf("s-%06d", ss.seq)
+	if id == "" {
+		ss.seq++
+		id = fmt.Sprintf("s-%06d", ss.seq)
+	} else if _, ok := ss.m[id]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrSessionExists, id)
+	}
 	sh, err := newShard(id, spec, params, plat, ss.queueDepth, ss.parallel, ss.batch)
 	if err != nil {
 		return nil, err
 	}
+	ss.m[id] = sh
+	ss.opened.Inc()
+	ss.open.Add(1)
+	return sh, nil
+}
+
+// adopt registers a shard around a session rebuilt from replicated
+// state (Server.AdoptSession). The ID is the dead owner's, so clients
+// keep addressing the session they created.
+func (ss *sessions) adopt(id string, rb *RebuiltSession) (*shard, error) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if _, ok := ss.m[id]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrSessionExists, id)
+	}
+	if len(ss.m) >= ss.maxOpen {
+		return nil, fmt.Errorf("%w (%d); drain and delete old sessions", ErrSessionTableFull, ss.maxOpen)
+	}
+	sh := startShard(id, rb.Spec, rb.Rec, rb.Sess, ss.queueDepth, ss.batch, rb.Submitted)
 	ss.m[id] = sh
 	ss.opened.Inc()
 	ss.open.Add(1)
@@ -121,7 +146,15 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	sh, err := s.sessions.create(spec, params, plat)
+	// The cluster router pre-places sessions on the hash ring by
+	// minting the ID before the create reaches the owning node; honor
+	// its choice when the header is present.
+	id := r.Header.Get(SessionIDHeader)
+	if id != "" && !validSessionID(id) {
+		writeError(w, http.StatusBadRequest, "invalid %s %q: want 1-64 chars of [A-Za-z0-9._-]", SessionIDHeader, id)
+		return
+	}
+	sh, err := s.sessions.create(id, spec, params, plat)
 	if err != nil {
 		s.writeAPIError(w, err, http.StatusBadRequest)
 		return
@@ -279,6 +312,13 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 // same platform and cost constants; recovering a traced session is
 // "restore the snapshot, replay the events-endpoint suffix".
 func (s *Server) handleSessionSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		// Shutdown is draining every shard to its final result; a
+		// checkpoint taken mid-drain would race the tombstone, and a
+		// drained session cannot be snapshotted anyway. Fail over.
+		s.writeAPIError(w, ErrDraining, http.StatusServiceUnavailable)
+		return
+	}
 	sh, ok := s.lookupShard(w, r)
 	if !ok {
 		return

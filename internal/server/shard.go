@@ -135,6 +135,15 @@ func newShard(id string, spec PlatformSpec, params model.CostParams, plat *platf
 	if err != nil {
 		return nil, err
 	}
+	return startShard(id, spec, rec, sess, queueDepth, batchSize, 0), nil
+}
+
+// startShard wires an already-open session into a shard and starts its
+// goroutine. newShard uses it for fresh sessions; the cluster adoption
+// path (Server.AdoptSession) uses it directly with a session rebuilt
+// from a replicated checkpoint + log, carrying the task count the dead
+// owner had already accepted.
+func startShard(id string, spec PlatformSpec, rec *obs.Recorder, sess *core.OnlineSession, queueDepth int, batchSize *obs.Histogram, submitted int) *shard {
 	sh := &shard{
 		id:        id,
 		spec:      spec,
@@ -147,8 +156,8 @@ func newShard(id string, spec PlatformSpec, params model.CostParams, plat *platf
 		spare:     make([]*submitReq, 0, queueDepth),
 		batchSize: batchSize,
 	}
-	go sh.loop(sess)
-	return sh, nil
+	go sh.loop(sess, shardState{submitted: submitted})
+	return sh
 }
 
 // loop is the shard goroutine: it serializes every touch of the
@@ -160,10 +169,9 @@ func newShard(id string, spec PlatformSpec, params model.CostParams, plat *platf
 // Submissions queued in the intake are flushed before any control
 // operation is answered, so a drain observes every submission that
 // beat it into the shard and a status reply reflects them.
-func (sh *shard) loop(sess *core.OnlineSession) {
+func (sh *shard) loop(sess *core.OnlineSession, st shardState) {
 	defer close(sh.dead)
 	defer sess.Close()
-	var st shardState
 	for {
 		select {
 		case <-sh.kick:

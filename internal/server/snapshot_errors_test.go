@@ -1,0 +1,115 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+
+	"dvfsched/internal/sim"
+	"dvfsched/internal/trace"
+)
+
+// TestSnapshotUnknownSession: a snapshot of a session that never
+// existed is a clean 404, not a hang or a 500.
+func TestSnapshotUnknownSession(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, body, _ := getRaw(t, ts.URL+"/v1/sessions/no-such-session/snapshot")
+	if code != http.StatusNotFound {
+		t.Fatalf("snapshot of unknown session: status %d, body %s", code, body)
+	}
+}
+
+// TestSnapshotWhileServerDraining: once BeginDrain flips the server
+// into shutdown, snapshots shed with 503 before touching the shard —
+// they would otherwise race the drain loop's tombstones.
+func TestSnapshotWhileServerDraining(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	id := createSession(t, ts.URL)
+	submitOver(t, ts.URL, id, []trace.Record{{ID: 1, Cycles: 1, Arrival: 0}}, false)
+	srv.BeginDrain()
+	code, body, _ := getRaw(t, ts.URL+"/v1/sessions/"+id+"/snapshot")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("snapshot while draining: status %d, body %s", code, body)
+	}
+}
+
+// TestSnapshotDrainedSession: a drained session keeps its trace but
+// has no live engine to checkpoint; the snapshot endpoint must say so
+// with 409, and a purged session with 404.
+func TestSnapshotDrainedSession(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	id := createSession(t, ts.URL)
+	submitOver(t, ts.URL, id, []trace.Record{{ID: 1, Cycles: 1, Arrival: 0}}, false)
+	if code := doJSON(t, "DELETE", ts.URL+"/v1/sessions/"+id, nil, nil); code != http.StatusOK {
+		t.Fatalf("drain: status %d", code)
+	}
+	code, body, _ := getRaw(t, ts.URL+"/v1/sessions/"+id+"/snapshot")
+	if code != http.StatusConflict {
+		t.Fatalf("snapshot of drained session: status %d, body %s", code, body)
+	}
+	if code := doJSON(t, "DELETE", ts.URL+"/v1/sessions/"+id, nil, nil); code != http.StatusNoContent {
+		t.Fatalf("purge: status %d", code)
+	}
+	code, body, _ = getRaw(t, ts.URL+"/v1/sessions/"+id+"/snapshot")
+	if code != http.StatusNotFound {
+		t.Fatalf("snapshot of purged session: status %d, body %s", code, body)
+	}
+}
+
+// TestSnapshotRacesDelete hammers the snapshot endpoint while a DELETE
+// drains the same shard. Every response must be clean: a 200 carrying
+// a decodable checkpoint (taken before the drain won), or 409/404 once
+// the tombstone landed — never a 5xx, never a torn blob. Meaningful
+// under -race.
+func TestSnapshotRacesDelete(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	id := createSession(t, ts.URL)
+	recs := make([]trace.Record, 40)
+	for i := range recs {
+		recs[i] = trace.Record{ID: i + 1, Cycles: 3, Arrival: float64(i) * 0.1}
+	}
+	submitOver(t, ts.URL, id, recs, false)
+
+	const snapshotters = 4
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	errs := make(chan error, snapshotters*16)
+	for g := 0; g < snapshotters; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			sawDrained := false
+			for i := 0; i < 16 && !sawDrained; i++ {
+				code, body, _ := getRaw(t, ts.URL+"/v1/sessions/"+id+"/snapshot")
+				switch code {
+				case http.StatusOK:
+					if _, err := sim.UnmarshalCheckpoint(body); err != nil {
+						errs <- fmt.Errorf("200 snapshot does not decode: %v", err)
+						return
+					}
+				case http.StatusConflict, http.StatusNotFound:
+					sawDrained = true // drain won; all later calls agree
+				default:
+					errs <- fmt.Errorf("snapshot racing delete: status %d, body %s", code, body)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		if code := doJSON(t, "DELETE", ts.URL+"/v1/sessions/"+id, nil, nil); code != http.StatusOK {
+			errs <- fmt.Errorf("drain racing snapshots: status %d", code)
+		}
+	}()
+	close(start)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -212,7 +212,7 @@ func (s *Server) writeAPIError(w http.ResponseWriter, err error, fallback int) {
 		writeError(w, http.StatusTooManyRequests, "%v", err)
 	case errors.Is(err, ErrSessionGone):
 		writeError(w, http.StatusNotFound, "%v", err)
-	case errors.Is(err, ErrSessionDrained):
+	case errors.Is(err, ErrSessionDrained), errors.Is(err, ErrSessionExists):
 		writeError(w, http.StatusConflict, "%v", err)
 	case errors.Is(err, core.ErrCanceled),
 		errors.Is(err, context.Canceled),
