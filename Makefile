@@ -8,9 +8,13 @@ vet:
 	$(GO) vet ./...
 
 # Repo-specific invariants: float equality, nondeterminism in the
-# engine packages, blocking under locks, dropped hot-path write errors.
+# engine packages, blocking under locks, dropped hot-path write errors,
+# sync.Pool ownership, goroutine stop signals, atomic/plain access
+# mixing, and mutex acquisition order. Fails on findings AND on
+# malformed or unused //dvfslint:allow directives, so stale exceptions
+# cannot accumulate; -count prints the per-analyzer tally.
 lint:
-	$(GO) run ./cmd/dvfslint ./...
+	$(GO) run ./cmd/dvfslint -count ./...
 
 build:
 	$(GO) build ./...

@@ -134,6 +134,7 @@ func run(args []string, w io.Writer, sigs <-chan os.Signal) error {
 
 	httpSrv := &http.Server{Handler: handler}
 	serveErr := make(chan error, 1)
+	//dvfslint:allow goroleak Serve returns when the listener closes (shutdown path below), unblocking this send
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 
 	select {

@@ -1,21 +1,27 @@
 // Command dvfslint runs the scheduler's domain static-analysis suite
 // (internal/lint) over the module: floatcmp, nondeterminism,
-// mutexblock and errcheck-hot, plus directive hygiene. It is wired
-// into `make lint` and `make check`; CI consumes -json.
+// mutexblock, errcheck-hot, poolcheck, goroleak, atomicmix and
+// lockorder, plus directive hygiene. It is wired into `make lint` and
+// `make check`; CI consumes -json.
 //
 // Usage:
 //
-//	dvfslint [-json] [-list] [packages...]
+//	dvfslint [-json] [-list] [-only=a,b] [-count] [packages...]
 //
 // With no package arguments (or "./...") the whole module is checked.
 // Arguments select packages by module-relative directory, e.g.
-// "internal/model" or "./internal/server". Exit status is 0 when
-// clean, 1 when findings remain, 2 on load errors.
+// "internal/model" or "./internal/server". -only restricts the run to
+// a comma-separated subset of analyzers (other analyzers' allow
+// directives are left alone); -count appends a per-analyzer findings
+// summary to the text report and is incompatible with -json, whose
+// schema is pinned. Exit status is 0 when clean, 1 when findings
+// remain, 2 on load or usage errors.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -27,16 +33,34 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr *os.File) int {
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("dvfslint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as JSON")
 	list := fs.Bool("list", false, "list analyzers and exit")
+	only := fs.String("only", "", "comma-separated analyzers to run (default: all)")
+	count := fs.Bool("count", false, "append a per-analyzer findings summary (text mode)")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *count && *jsonOut {
+		fmt.Fprintln(stderr, "dvfslint: -count is incompatible with -json (the JSON schema already carries a count)")
 		return 2
 	}
 
 	suite := lint.DefaultSuite()
+	if *only != "" {
+		var names []string
+		for _, n := range strings.Split(*only, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+		if err := suite.Restrict(names...); err != nil {
+			fmt.Fprintln(stderr, "dvfslint:", err)
+			return 2
+		}
+	}
 	if *list {
 		for _, a := range suite.Analyzers {
 			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
@@ -75,6 +99,9 @@ func run(args []string, stdout, stderr *os.File) int {
 		err = lint.WriteJSON(stdout, root, diags)
 	} else {
 		err = lint.WriteText(stdout, root, diags)
+		if err == nil && *count {
+			err = writeCounts(stdout, suite, diags)
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(stderr, "dvfslint:", err)
@@ -84,6 +111,30 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 1
 	}
 	return 0
+}
+
+// writeCounts prints a per-analyzer findings tally in roster order,
+// with the directive pseudo-analyzer last and a total line. Analyzers
+// skipped by -only are omitted: a zero must mean "ran and found
+// nothing", never "did not run".
+func writeCounts(w io.Writer, suite *lint.Suite, diags []lint.Diagnostic) error {
+	counts := map[string]int{}
+	for _, d := range diags {
+		counts[d.Analyzer]++
+	}
+	for _, a := range suite.Analyzers {
+		if !suite.Active(a.Name) {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%-16s %d\n", a.Name, counts[a.Name]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%-16s %d\n", "directive", counts["directive"]); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%-16s %d\n", "total", len(diags))
+	return err
 }
 
 // selectPackages filters loaded packages by the command-line patterns:

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunFlagValidation: malformed invocations must fail with exit
+// status 2 and a message naming the problem, before any package is
+// loaded — a linter that silently runs nothing (typoed -only) or an
+// unexpected subset would let findings through CI.
+func TestRunFlagValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"unknown flag", []string{"-frobnicate"}, "flag provided but not defined"},
+		{"unknown analyzer", []string{"-only", "poolchek"}, "unknown analyzer"},
+		{"empty only list", []string{"-only", " , "}, "no analyzers selected"},
+		{"count with json", []string{"-count", "-json"}, "-count is incompatible with -json"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr); code != 2 {
+				t.Fatalf("run(%v) = %d, want 2\nstderr: %s", tc.args, code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.wantErr) {
+				t.Errorf("stderr = %q, want it to mention %q", stderr.String(), tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestRunList pins -list output: every analyzer appears with its doc
+// line, and -only restricts the roster the same way it restricts a
+// run.
+func TestRunList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(-list) = %d, stderr: %s", code, stderr.String())
+	}
+	for _, name := range []string{
+		"floatcmp", "nondeterminism", "mutexblock", "errcheck-hot",
+		"poolcheck", "goroleak", "atomicmix", "lockorder",
+	} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output is missing analyzer %q:\n%s", name, stdout.String())
+		}
+	}
+}

@@ -206,6 +206,7 @@ func bootCluster(n int) (map[string]*clusterNode, []string, error) {
 		}
 		hs := &http.Server{Handler: node.Handler()}
 		nodes[id] = &clusterNode{id: id, srv: srv, node: node, http: hs, addr: peers[id]}
+		//dvfslint:allow goroleak Serve returns when the harness closes the node's server at teardown
 		go func(hs *http.Server, ln net.Listener) { _ = hs.Serve(ln) }(hs, lns[i])
 	}
 	return nodes, ids, nil

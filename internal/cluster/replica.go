@@ -43,14 +43,19 @@ func (rs *replicaStore) get(id string) (*replica, bool) {
 // open returns the session's replica, creating it if absent. A
 // re-open (owner reconnecting, or re-shipping after a gap) keeps the
 // existing log and refreshes the spec.
+//
+// The store lock is released before the replica lock is taken: holding
+// both nests store->replica, the reverse of EnsureLocal's
+// replica->store (it drops the entry while holding rep.mu), and a
+// re-open racing a promotion of the same session would deadlock.
 func (rs *replicaStore) open(id string, spec server.PlatformSpec) *replica {
 	rs.mu.Lock()
-	defer rs.mu.Unlock()
 	rep, ok := rs.m[id]
 	if !ok {
 		rep = &replica{}
 		rs.m[id] = rep
 	}
+	rs.mu.Unlock()
 	rep.mu.Lock()
 	rep.spec = spec
 	rep.mu.Unlock()

@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMixAnalyzer enforces the obs.Histogram / metrics-registry
+// memory-model invariant: once any access to a variable goes through
+// sync/atomic, every access must. A field or package variable that is
+// passed by address to a sync/atomic function anywhere in the package
+// and is also read or written plainly elsewhere is a data race the
+// race detector only catches when both sides happen to run under
+// -race at the same instant — the analyzer catches it structurally.
+//
+// The typed atomics (atomic.Uint64, atomic.Bool, ...) make mixing
+// impossible through their method set and need no analysis; this
+// check covers the pointer-based functions (atomic.AddUint64(&x, 1)
+// and friends), where nothing stops a plain `x++` three lines later.
+var AtomicMixAnalyzer = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "forbid plain reads/writes of variables that are accessed through sync/atomic elsewhere",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) {
+	// Pass 1: collect every variable whose address reaches a
+	// sync/atomic call, and remember the exact AST nodes of those
+	// sanctioned accesses.
+	atomicVars := map[types.Object]ast.Node{} // object -> first atomic site
+	sanctioned := map[ast.Node]bool{}         // ident/selector nodes inside atomic args
+	pass.inspectFiles(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isAtomicCall(pass, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				continue
+			}
+			target := ast.Unparen(un.X)
+			obj := accessedObject(pass, target)
+			if obj == nil {
+				continue
+			}
+			if _, seen := atomicVars[obj]; !seen {
+				atomicVars[obj] = target
+			}
+			sanctioned[target] = true
+		}
+		return true
+	})
+	if len(atomicVars) == 0 {
+		return
+	}
+
+	// Pass 2: any other mention of those variables is a plain access.
+	pass.inspectFiles(func(n ast.Node) bool {
+		var obj types.Object
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if sanctioned[n] {
+				return false
+			}
+			obj = pass.Pkg.Info.Uses[n.Sel]
+		case *ast.Ident:
+			if sanctioned[n] {
+				return true
+			}
+			obj = pass.Pkg.Info.Uses[n]
+		default:
+			return true
+		}
+		if obj == nil {
+			return true
+		}
+		if site, isAtomic := atomicVars[obj]; isAtomic {
+			line := pass.Pkg.Position(site.Pos()).Line
+			pass.Report(n.Pos(), "plain access to %s, which is accessed through sync/atomic elsewhere (line %d): use the atomic API on every access or neither", obj.Name(), line)
+			if _, isSel := n.(*ast.SelectorExpr); isSel {
+				return false // don't re-report via the nested Sel ident
+			}
+		}
+		return true
+	})
+}
+
+// isAtomicCall reports whether call is a package-level function of
+// sync/atomic (Add*, Load*, Store*, Swap*, CompareAndSwap*).
+func isAtomicCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	return fn.Type().(*types.Signature).Recv() == nil
+}
+
+// accessedObject resolves the variable object behind an addressed
+// expression: a plain identifier or the field of a selector.
+func accessedObject(pass *Pass, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if v, ok := pass.Pkg.Info.Uses[e].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if v, ok := pass.Pkg.Info.Uses[e.Sel].(*types.Var); ok && v.IsField() {
+			return v
+		}
+	}
+	return nil
+}

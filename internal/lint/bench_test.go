@@ -1,0 +1,64 @@
+package lint
+
+import "testing"
+
+// BenchmarkLintRepo measures the production path: parallel parse, a
+// dependency-leveled concurrent type-check, and per-package concurrent
+// analysis. Each iteration builds a fresh loader, so the dominant cost
+// — type-checking the stdlib closure from source — is paid every time,
+// exactly as one `make lint` run pays it.
+func BenchmarkLintRepo(b *testing.B) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l, err := NewLoader(root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pkgs, err := l.LoadAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if diags := DefaultSuite().Run(pkgs); len(diags) != 0 {
+			b.Fatalf("repo not lint-clean during benchmark: %v", diags[0])
+		}
+	}
+}
+
+// BenchmarkLintRepoSerial is the pre-parallel baseline: the same
+// discovery, but every package parsed, type-checked and analyzed one
+// after another on one goroutine. The delta against BenchmarkLintRepo
+// is what the pipelined loader buys (bounded by GOMAXPROCS — on a
+// single-core runner the two converge).
+func BenchmarkLintRepoSerial(b *testing.B) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l, err := NewLoader(root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rels, err := l.discover()
+		if err != nil {
+			b.Fatal(err)
+		}
+		suite := DefaultSuite()
+		var diags []Diagnostic
+		for _, rel := range rels {
+			pkg, err := l.Load(rel)
+			if err != nil {
+				b.Fatal(err)
+			}
+			diags = append(diags, suite.RunPackage(pkg)...)
+		}
+		if len(diags) != 0 {
+			b.Fatalf("repo not lint-clean during benchmark: %v", diags[0])
+		}
+	}
+}

@@ -114,12 +114,14 @@ func (s *directiveSet) suppresses(d Diagnostic) bool {
 
 // problems reports malformed and unused directives as diagnostics of
 // the pseudo-analyzer "directive", keeping every suppression in the
-// tree load-bearing.
-func (s *directiveSet) problems() []Diagnostic {
+// tree load-bearing. active filters the unused check: a directive for
+// an analyzer that did not run this invocation (-only) cannot be
+// judged unused.
+func (s *directiveSet) problems(active func(name string) bool) []Diagnostic {
 	var out []Diagnostic
 	for _, d := range s.all {
 		msg := d.problem
-		if msg == "" && !d.used {
+		if msg == "" && !d.used && active(d.analyzer) {
 			msg = "unused //dvfslint:allow " + d.analyzer + " directive (nothing to suppress here; delete it)"
 		}
 		if msg == "" {

@@ -16,11 +16,24 @@
 //     the serving planes).
 //   - errcheck-hot: writer/encoder error returns on the trace and wire
 //     hot paths must be checked.
+//   - poolcheck: sync.Pool values obey DESIGN §9.2's ownership rules —
+//     one Get, at most one Put, no use after Put, no Put of a value
+//     that escaped, no returning memory a deferred Put recycles.
+//   - goroleak: every go statement's body must observe a stop signal
+//     (ctx.Done(), a done/stop channel, a close-ranged channel, or a
+//     tracked WaitGroup), and locally owned tickers must be stopped.
+//   - atomicmix: a variable accessed through sync/atomic anywhere must
+//     never be read or written plainly elsewhere.
+//   - lockorder: the named-mutex acquisition graph (direct nesting and
+//     same-package call chains) must be acyclic.
 //
 // The suite is built purely on go/parser, go/ast, go/types and
 // go/token — no golang.org/x/tools — so the module stays
-// dependency-free. Findings can be suppressed, one line at a time,
-// with a justified directive:
+// dependency-free. Loading is pipelined: packages parse concurrently
+// and type-check in dependency order across a bounded worker pool, and
+// Suite.Run analyzes packages in parallel with deterministic,
+// position-sorted output. Findings can be suppressed, one line at a
+// time, with a justified directive:
 //
 //	//dvfslint:allow <analyzer> <reason>
 //

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"runtime"
 	"sort"
+	"sync"
 )
 
 // Diagnostic is one finding, positioned and attributed to an analyzer.
@@ -59,16 +61,48 @@ func (p *Pass) Report(pos token.Pos, format string, args ...any) {
 // Suite bundles analyzers and runs them with directive suppression.
 type Suite struct {
 	Analyzers []*Analyzer
+	// only, when non-nil, restricts which analyzers run (-only flag).
+	// The full roster still defines the valid directive names, so a
+	// restricted run neither rejects other analyzers' allow directives
+	// as unknown nor reports them unused.
+	only map[string]bool
 }
 
-// DefaultSuite returns the four domain analyzers in reporting order.
+// DefaultSuite returns the eight domain analyzers in reporting order.
 func DefaultSuite() *Suite {
 	return &Suite{Analyzers: []*Analyzer{
 		FloatCmpAnalyzer,
 		NondeterminismAnalyzer,
 		MutexBlockAnalyzer,
 		ErrcheckHotAnalyzer,
+		PoolCheckAnalyzer,
+		GoroLeakAnalyzer,
+		AtomicMixAnalyzer,
+		LockOrderAnalyzer,
 	}}
+}
+
+// Restrict limits subsequent runs to the named analyzers; unknown
+// names are an error (a typo must not silently run nothing).
+func (s *Suite) Restrict(names ...string) error {
+	if len(names) == 0 {
+		return fmt.Errorf("no analyzers selected (use -list for the roster)")
+	}
+	only := make(map[string]bool, len(names))
+	for _, n := range names {
+		if s.Analyzer(n) == nil {
+			return fmt.Errorf("unknown analyzer %q (use -list for the roster)", n)
+		}
+		only[n] = true
+	}
+	s.only = only
+	return nil
+}
+
+// Active reports whether an analyzer runs under the current
+// restriction.
+func (s *Suite) Active(name string) bool {
+	return s.only == nil || s.only[name]
 }
 
 // Analyzer returns the suite analyzer with the given name, or nil.
@@ -85,10 +119,25 @@ func (s *Suite) Analyzer(name string) *Analyzer {
 // //dvfslint:allow suppression, reports malformed and unused
 // directives, and returns the surviving diagnostics sorted by
 // position.
+// Packages are independent once type-checked, so they are analyzed in
+// parallel; the merged result is position-sorted and deterministic.
 func (s *Suite) Run(pkgs []*Package) []Diagnostic {
+	results := make([][]Diagnostic, len(pkgs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		go func(i int, pkg *Package) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = s.RunPackage(pkg)
+		}(i, pkg)
+	}
+	wg.Wait()
 	var out []Diagnostic
-	for _, pkg := range pkgs {
-		out = append(out, s.RunPackage(pkg)...)
+	for _, r := range results {
+		out = append(out, r...)
 	}
 	sortDiagnostics(out)
 	return out
@@ -104,6 +153,9 @@ func (s *Suite) RunPackage(pkg *Package) []Diagnostic {
 
 	var raw []Diagnostic
 	for _, a := range s.Analyzers {
+		if !s.Active(a.Name) {
+			continue
+		}
 		if a.Applies != nil && !a.Applies(pkg.Rel) {
 			continue
 		}
@@ -112,7 +164,7 @@ func (s *Suite) RunPackage(pkg *Package) []Diagnostic {
 	}
 
 	out := dirs.filter(raw)
-	out = append(out, dirs.problems()...)
+	out = append(out, dirs.problems(s.Active)...)
 	sortDiagnostics(out)
 	return out
 }

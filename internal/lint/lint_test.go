@@ -35,6 +35,10 @@ var corpusCases = map[string]string{
 	"mutexblock":  "internal/mutexcase",
 	"errcheckhot": "internal/trace",
 	"directive":   "internal/directivecase",
+	"poolcheck":   "internal/poolcase",
+	"goroleak":    "internal/gorocase",
+	"atomicmix":   "internal/atomiccase",
+	"lockorder":   "internal/lockcase",
 }
 
 func newTestLoader(t *testing.T) *Loader {

@@ -10,8 +10,11 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, parsed and type-checked package of the module.
@@ -49,6 +52,8 @@ type Loader struct {
 	modPath string
 	fset    *token.FileSet
 	std     types.ImporterFrom
+	stdMu   sync.Mutex          // the source importer is not concurrency-safe
+	mu      sync.Mutex          // guards pkgs
 	pkgs    map[string]*Package // keyed by Rel
 	loading map[string]bool     // import-cycle guard, keyed by Rel
 }
@@ -115,7 +120,122 @@ func modulePath(gomod string) (string, error) {
 // LoadAll discovers every package directory under the module root
 // (skipping testdata, vendor, hidden and underscore directories) and
 // loads each one, returning them sorted by Rel.
+//
+// Loading is pipelined: all package directories are parsed
+// concurrently (token.FileSet is safe for concurrent use), the
+// module-internal import graph is built from the parsed files, and
+// packages are then type-checked level by level in dependency order
+// with a bounded worker pool, so independent subtrees check in
+// parallel. Cycles in the module graph are reported here instead of by
+// Load's recursion guard.
 func (l *Loader) LoadAll() ([]*Package, error) {
+	rels, err := l.discover()
+	if err != nil {
+		return nil, err
+	}
+
+	// Parse every package concurrently.
+	type parsedPkg struct {
+		rel   string
+		dir   string
+		files []*ast.File
+	}
+	parsed := make([]*parsedPkg, len(rels))
+	errs := make([]error, len(rels))
+	workers := runtime.GOMAXPROCS(0)
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, rel := range rels {
+		wg.Add(1)
+		go func(i int, rel string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			dir, files, err := l.parseDir(rel)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			parsed[i] = &parsedPkg{rel: rel, dir: dir, files: files}
+		}(i, rel)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Build the module-internal dependency graph from the parsed
+	// imports and order it (Kahn's algorithm, by level).
+	idx := make(map[string]int, len(rels))
+	for i, rel := range rels {
+		idx[rel] = i
+	}
+	dependents := make([][]int, len(rels))
+	indegree := make([]int, len(rels))
+	for i, p := range parsed {
+		for _, dep := range l.moduleImports(p.files) {
+			if j, ok := idx[dep]; ok && j != i {
+				dependents[j] = append(dependents[j], i)
+				indegree[i]++
+			}
+		}
+	}
+	var level []int
+	for i, deg := range indegree {
+		if deg == 0 {
+			level = append(level, i)
+		}
+	}
+	checked := 0
+	for len(level) > 0 {
+		// Type-check one dependency level concurrently: everything a
+		// package imports was checked in an earlier level.
+		var cwg sync.WaitGroup
+		for _, i := range level {
+			cwg.Add(1)
+			go func(p *parsedPkg) {
+				defer cwg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				l.checkParsed(p.rel, p.dir, p.files)
+			}(parsed[i])
+		}
+		cwg.Wait()
+		checked += len(level)
+		var next []int
+		for _, i := range level {
+			for _, j := range dependents[i] {
+				if indegree[j]--; indegree[j] == 0 {
+					next = append(next, j)
+				}
+			}
+		}
+		level = next
+	}
+	if checked < len(rels) {
+		var stuck []string
+		for i, deg := range indegree {
+			if deg > 0 {
+				stuck = append(stuck, strconv.Quote(rels[i]))
+			}
+		}
+		return nil, fmt.Errorf("lint: import cycle among %s", strings.Join(stuck, ", "))
+	}
+
+	pkgs := make([]*Package, 0, len(rels))
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, rel := range rels {
+		pkgs = append(pkgs, l.pkgs[rel])
+	}
+	return pkgs, nil
+}
+
+// discover walks the module tree for package directories, sorted by
+// Rel.
+func (l *Loader) discover() ([]string, error) {
 	var rels []string
 	err := filepath.WalkDir(l.root, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
@@ -145,15 +265,27 @@ func (l *Loader) LoadAll() ([]*Package, error) {
 		return nil, fmt.Errorf("lint: walking module: %w", err)
 	}
 	sort.Strings(rels)
-	pkgs := make([]*Package, 0, len(rels))
-	for _, rel := range rels {
-		pkg, err := l.Load(rel)
-		if err != nil {
-			return nil, err
+	return rels, nil
+}
+
+// moduleImports extracts the module-relative paths of the module
+// packages imported by files.
+func (l *Loader) moduleImports(files []*ast.File) []string {
+	var deps []string
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == l.modPath {
+				deps = append(deps, "")
+			} else if rest, ok := strings.CutPrefix(path, l.modPath+"/"); ok {
+				deps = append(deps, rest)
+			}
 		}
-		pkgs = append(pkgs, pkg)
 	}
-	return pkgs, nil
+	return deps
 }
 
 // hasGoFiles reports whether dir directly contains at least one
@@ -178,8 +310,14 @@ func isLintableFile(name string) bool {
 
 // Load parses and type-checks the package in the directory rel
 // (relative to the module root), reusing a previous load if present.
+// This sequential path serves single-package loads and the importer's
+// recursion; LoadAll type-checks its discovered set through
+// checkParsed directly.
 func (l *Loader) Load(rel string) (*Package, error) {
-	if pkg, ok := l.pkgs[rel]; ok {
+	l.mu.Lock()
+	pkg, ok := l.pkgs[rel]
+	l.mu.Unlock()
+	if ok {
 		return pkg, nil
 	}
 	if l.loading[rel] {
@@ -188,10 +326,21 @@ func (l *Loader) Load(rel string) (*Package, error) {
 	l.loading[rel] = true
 	defer delete(l.loading, rel)
 
+	dir, files, err := l.parseDir(rel)
+	if err != nil {
+		return nil, err
+	}
+	return l.checkParsed(rel, dir, files), nil
+}
+
+// parseDir reads and parses the non-test sources of one package
+// directory. Safe for concurrent use: the shared FileSet synchronizes
+// internally.
+func (l *Loader) parseDir(rel string) (string, []*ast.File, error) {
 	dir := filepath.Join(l.root, filepath.FromSlash(rel))
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, fmt.Errorf("lint: %w", err)
+		return "", nil, fmt.Errorf("lint: %w", err)
 	}
 	var files []*ast.File
 	for _, e := range entries {
@@ -200,14 +349,21 @@ func (l *Loader) Load(rel string) (*Package, error) {
 		}
 		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
 		if err != nil {
-			return nil, fmt.Errorf("lint: parsing %s: %w", e.Name(), err)
+			return "", nil, fmt.Errorf("lint: parsing %s: %w", e.Name(), err)
 		}
 		files = append(files, f)
 	}
 	if len(files) == 0 {
-		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+		return "", nil, fmt.Errorf("lint: no Go files in %s", dir)
 	}
+	return dir, files, nil
+}
 
+// checkParsed type-checks one parsed package and publishes it in the
+// cache. Callers must ensure the package's module dependencies are
+// already loaded (LoadAll's level order) or loadable (Load's
+// recursion).
+func (l *Loader) checkParsed(rel, dir string, files []*ast.File) *Package {
 	path := l.modPath
 	if rel != "" {
 		path = l.modPath + "/" + rel
@@ -226,8 +382,10 @@ func (l *Loader) Load(rel string) (*Package, error) {
 	}
 	tpkg, _ := conf.Check(path, l.fset, files, info)
 	pkg.Files, pkg.Types, pkg.Info = files, tpkg, info
+	l.mu.Lock()
 	l.pkgs[rel] = pkg
-	return pkg, nil
+	l.mu.Unlock()
+	return pkg
 }
 
 // CheckPackage type-checks an externally parsed file set as one
@@ -291,9 +449,14 @@ func (im *fsetImporter) Import(path string) (*types.Package, error) {
 }
 
 // importStd imports a stdlib package through the shared source
-// importer, substituting an empty named package on failure.
+// importer, substituting an empty named package on failure. The
+// importer's internal cache is not safe for concurrent use, so calls
+// are serialized; after the first LoadAll level warms the cache this
+// is cheap.
 func (l *Loader) importStd(path string) (*types.Package, error) {
+	l.stdMu.Lock()
 	pkg, err := l.std.ImportFrom(path, l.root, 0)
+	l.stdMu.Unlock()
 	if err == nil {
 		return pkg, nil
 	}

@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+const restrictSrc = `package p
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (b *box) f(x, y float64) bool {
+	b.mu.Lock()
+	//dvfslint:allow mutexblock the channel is buffered by protocol
+	b.ch <- 1
+	b.mu.Unlock()
+	//dvfslint:allow floatcmp exact replay identity comparison
+	return x == y
+}
+`
+
+func restrictPkg(t *testing.T) *Package {
+	t.Helper()
+	loader := newTestLoader(t)
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "restrict.go", restrictSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.CheckPackage("internal/restrictcase", fset, []*ast.File{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+// TestRestrictedRunKeepsForeignDirectives: running one analyzer must
+// not turn the others' allow directives into findings. A -only run
+// that reported "unused directive" for every analyzer it skipped (or
+// "unknown analyzer" for their names) would make the flag useless on a
+// swept repo.
+func TestRestrictedRunKeepsForeignDirectives(t *testing.T) {
+	pkg := restrictPkg(t)
+	for _, only := range []string{"mutexblock", "floatcmp"} {
+		suite := DefaultSuite()
+		if err := suite.Restrict(only); err != nil {
+			t.Fatal(err)
+		}
+		if diags := suite.RunPackage(pkg); len(diags) != 0 {
+			t.Errorf("-only=%s over a swept package: got %v, want none", only, diags)
+		}
+	}
+}
+
+// TestRestrictedRunStillFlagsOwnUnused: restriction narrows the unused
+// check, it does not disable it — a stale directive for an analyzer
+// that DID run is still a finding.
+func TestRestrictedRunStillFlagsOwnUnused(t *testing.T) {
+	const src = `package p
+
+//dvfslint:allow floatcmp nothing compares floats below
+func g() {}
+`
+	loader := newTestLoader(t)
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "stale.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.CheckPackage("internal/stalecase", fset, []*ast.File{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := DefaultSuite()
+	if err := suite.Restrict("floatcmp"); err != nil {
+		t.Fatal(err)
+	}
+	diags := suite.RunPackage(pkg)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "unused") {
+		t.Fatalf("got %v, want exactly the unused-directive finding", diags)
+	}
+}
+
+// TestRestrictUnknownAnalyzer: a typoed -only must error out, never
+// silently run nothing.
+func TestRestrictUnknownAnalyzer(t *testing.T) {
+	if err := DefaultSuite().Restrict("poolchek"); err == nil {
+		t.Fatal("Restrict accepted an unknown analyzer name")
+	}
+	if err := DefaultSuite().Restrict(); err == nil {
+		t.Fatal("Restrict accepted an empty selection")
+	}
+}

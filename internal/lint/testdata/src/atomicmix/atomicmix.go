@@ -1,0 +1,55 @@
+// Corpus for the atomicmix analyzer: a variable whose address reaches
+// any sync/atomic function must be accessed through sync/atomic
+// everywhere — one plain read or write makes every "atomic" access a
+// data race.
+package atomiccase
+
+import "sync/atomic"
+
+type counter struct {
+	hits   uint64
+	misses uint64
+}
+
+func (c *counter) hit() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func (c *counter) load() uint64 {
+	return atomic.LoadUint64(&c.hits) // negative: atomic API on every access
+}
+
+func (c *counter) read() uint64 {
+	return c.hits // want "plain access to hits"
+}
+
+func (c *counter) miss() {
+	c.misses++ // negative: misses never goes through sync/atomic
+}
+
+var total uint64
+
+func bump() {
+	atomic.AddUint64(&total, 1)
+}
+
+func reset() {
+	total = 0 // want "plain access to total"
+}
+
+var enabled atomic.Bool
+
+func enable() {
+	enabled.Store(true) // negative: typed atomics cannot be mixed
+}
+
+func seed(c *counter) {
+	//dvfslint:allow atomicmix the constructor runs before any goroutine can observe c
+	c.hits = 0
+}
+
+//dvfslint:allow atomicmix no atomics here // want "unused //dvfslint:allow atomicmix directive"
+func plainOnly() {}
+
+//dvfslint:allow atomicmux typo in the analyzer name // want "unknown analyzer"
+func typoed() {}

@@ -1,0 +1,134 @@
+// Corpus for the goroleak analyzer: every goroutine the package spawns
+// must observe a stop signal — ctx.Done(), a conventionally named
+// done/stop channel, a close-ranged channel, or a tracked WaitGroup —
+// and every locally owned time.Ticker/Timer must be stopped.
+package gorocase
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+func compute() {}
+
+func spin() {
+	for {
+		compute()
+	}
+}
+
+func launchSpin() {
+	go spin() // want "fire-and-forget goroutine"
+}
+
+func launchLit(events chan int) {
+	go func() { // want "fire-and-forget goroutine"
+		for {
+			select {
+			case e := <-events:
+				_ = e
+			default:
+			}
+		}
+	}()
+}
+
+type worker struct {
+	stop chan struct{}
+}
+
+func (w *worker) runForever() {
+	for {
+		compute()
+	}
+}
+
+func (w *worker) startForever() {
+	go w.runForever() // want "fire-and-forget goroutine"
+}
+
+func (w *worker) run() {
+	<-w.stop
+}
+
+func (w *worker) start() {
+	go w.run() // negative: run receives from the stop channel
+}
+
+func watch(ctx context.Context, events chan int) {
+	go func() { // negative: the select observes ctx.Done
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case e := <-events:
+				_ = e
+			}
+		}
+	}()
+}
+
+func drain(events chan int) {
+	go func() { // negative: closing events ends the range
+		for e := range events {
+			_ = e
+		}
+		compute()
+	}()
+}
+
+func fanOut(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() { // negative: the WaitGroup tracks completion
+		defer wg.Done()
+		compute()
+	}()
+}
+
+func tickerLeak(d time.Duration) {
+	t := time.NewTicker(d) // want "time.Ticker is never stopped"
+	go func() {
+		for range t.C {
+			compute()
+		}
+	}()
+}
+
+func timerLeak(d time.Duration) bool {
+	t := time.NewTimer(d) // want "time.Timer is never stopped"
+	select {
+	case <-t.C:
+		return true
+	default:
+		return false
+	}
+}
+
+func tickerStopped(d time.Duration) {
+	t := time.NewTicker(d) // negative: deferred Stop releases it
+	defer t.Stop()
+	<-t.C
+}
+
+func tickerHandedOff(d time.Duration) *time.Ticker {
+	t := time.NewTicker(d)
+	return t // negative: ownership transfers to the caller
+}
+
+func serveLoop() {
+	for {
+		compute()
+	}
+}
+
+func acceptLoop() {
+	//dvfslint:allow goroleak the loop exits when the listener underneath it closes
+	go serveLoop()
+}
+
+//dvfslint:allow goroleak nothing spawns here // want "unused //dvfslint:allow goroleak directive"
+func nothingSpawns() {}
+
+//dvfslint:allow goroleek typo in the analyzer name // want "unknown analyzer"
+func typoed() {}

@@ -1,0 +1,110 @@
+// Corpus for the lockorder analyzer: the lexical acquisition graph
+// over named mutexes (identified by their declaring field or variable)
+// must be acyclic. Opposite nesting orders, call chains that close a
+// cycle, and re-acquiring a held mutex are findings.
+package lockcase
+
+import "sync"
+
+type shards struct {
+	mapMu  sync.Mutex
+	ringMu sync.Mutex
+}
+
+func (s *shards) mapThenRing() {
+	s.mapMu.Lock()
+	s.ringMu.Lock() // want "completes a lock-order cycle"
+	s.ringMu.Unlock()
+	s.mapMu.Unlock()
+}
+
+func (s *shards) ringThenMap() {
+	s.ringMu.Lock()
+	s.mapMu.Lock() // want "completes a lock-order cycle"
+	s.mapMu.Unlock()
+	s.ringMu.Unlock()
+}
+
+type once struct{ mu sync.Mutex }
+
+func (o *once) relock() {
+	o.mu.Lock()
+	o.mu.Lock() // want "self-deadlock"
+	o.mu.Unlock()
+	o.mu.Unlock()
+}
+
+type store struct {
+	idxMu  sync.Mutex
+	dataMu sync.Mutex
+}
+
+func (s *store) rebuild() {
+	s.idxMu.Lock()
+	defer s.idxMu.Unlock()
+	s.flush() // want "completing a lock-order cycle"
+}
+
+func (s *store) flush() {
+	s.dataMu.Lock()
+	defer s.dataMu.Unlock()
+}
+
+func (s *store) merge() {
+	s.dataMu.Lock()
+	s.idxMu.Lock() // want "completes a lock-order cycle"
+	s.idxMu.Unlock()
+	s.dataMu.Unlock()
+}
+
+type consistent struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (c *consistent) first() {
+	c.a.Lock()
+	c.b.Lock() // negative: a is taken before b on every path
+	c.b.Unlock()
+	c.a.Unlock()
+}
+
+func (c *consistent) second() {
+	c.a.Lock()
+	defer c.a.Unlock()
+	c.b.Lock()
+	defer c.b.Unlock()
+}
+
+func (c *consistent) handoff() {
+	c.b.Lock()
+	c.b.Unlock()
+	c.a.Lock() // negative: b was released before a is taken
+	c.a.Unlock()
+}
+
+func (c *consistent) spawn(done chan struct{}) {
+	c.b.Lock()
+	defer c.b.Unlock()
+	go func() {
+		c.a.Lock() // negative: the goroutine does not hold b
+		c.a.Unlock()
+		<-done
+	}()
+}
+
+type pair struct{ mu sync.Mutex }
+
+func mergePair(a, b *pair) {
+	a.mu.Lock()
+	//dvfslint:allow lockorder callers pass a and b in address order, so instances nest consistently
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+//dvfslint:allow lockorder no locks here // want "unused //dvfslint:allow lockorder directive"
+func lockless() {}
+
+//dvfslint:allow lokorder typo in the analyzer name // want "unknown analyzer"
+func typoed() {}

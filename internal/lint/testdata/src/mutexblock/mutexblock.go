@@ -9,10 +9,11 @@ import (
 )
 
 type box struct {
-	mu sync.Mutex
-	rw sync.RWMutex
-	ch chan int
-	wg sync.WaitGroup
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	ch   chan int
+	wg   sync.WaitGroup
+	done chan struct{}
 }
 
 func (b *box) sendLocked(v int) {
@@ -59,6 +60,7 @@ func (b *box) goroutineOwnLock() {
 		b.mu.Lock()
 		b.ch <- 1 // want "channel send while holding a mutex"
 		b.mu.Unlock()
+		<-b.done // stop signal keeps goroleak out of this corpus
 	}()
 }
 
@@ -85,6 +87,7 @@ func (b *box) goroutineEscapesLock() {
 	defer b.mu.Unlock()
 	go func() {
 		b.ch <- 1 // negative: the goroutine does not hold the caller's lock
+		<-b.done  // stop signal keeps goroleak out of this corpus
 	}()
 }
 

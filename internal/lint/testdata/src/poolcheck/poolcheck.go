@@ -1,0 +1,95 @@
+// Corpus for the poolcheck analyzer: sync.Pool values live between
+// exactly one Get and at most one Put, owned by one function frame.
+// Use-after-Put, double-Put, Put of a value that escaped, and returning
+// memory a deferred Put is about to recycle are findings.
+package poolcase
+
+import "sync"
+
+type request struct {
+	id   int
+	next *request
+}
+
+var reqPool = sync.Pool{New: func() any { return new(request) }}
+
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+var lastReq *request
+
+type holder struct{ req *request }
+
+func useAfterPut() int {
+	req := reqPool.Get().(*request)
+	req.id = 7
+	reqPool.Put(req)
+	return req.id // want "use of pooled value req after it was returned to the pool"
+}
+
+func doublePut() {
+	req := reqPool.Get().(*request)
+	reqPool.Put(req)
+	reqPool.Put(req) // want "returned to the pool twice"
+}
+
+func putAfterGlobalStore() {
+	req := reqPool.Get().(*request)
+	lastReq = req
+	reqPool.Put(req) // want "escaped before this Put"
+}
+
+func putAfterFieldStore(h *holder) {
+	req := reqPool.Get().(*request)
+	h.req = req
+	reqPool.Put(req) // want "escaped before this Put"
+}
+
+func putAfterSend(ch chan *request) {
+	req := reqPool.Get().(*request)
+	ch <- req
+	reqPool.Put(req) // want "escaped before this Put"
+}
+
+func returnWhileDeferredPut() []byte {
+	bp := bufPool.Get().(*[]byte)
+	defer bufPool.Put(bp)
+	out := *bp
+	return out // want "returned while a deferred Put releases it"
+}
+
+func aliasUseAfterPut() int {
+	bp := bufPool.Get().(*[]byte)
+	data := *bp // the slice aliases the pooled buffer and joins its group
+	bufPool.Put(bp)
+	return len(data) // want "use of pooled value bp after it was returned to the pool"
+}
+
+func cleanLifecycle() {
+	req := reqPool.Get().(*request)
+	req.id = 1 // negative: writing the pooled value's own field keeps ownership
+	req.next = nil
+	reqPool.Put(req)
+}
+
+func branchPut(flush bool) {
+	req := reqPool.Get().(*request)
+	if flush {
+		reqPool.Put(req)
+		return
+	}
+	req.id = 2 // negative: the Put above is on the other path
+	reqPool.Put(req)
+}
+
+func handBack(ch chan *request) {
+	req := reqPool.Get().(*request)
+	ch <- req
+	//dvfslint:allow poolcheck the intake protocol hands the request back before Put
+	reqPool.Put(req)
+}
+
+//dvfslint:allow poolcheck nothing pooled here // want "unused //dvfslint:allow poolcheck directive"
+func nothingPooled() {}
+
+//dvfslint:allow poolchek typo in the analyzer name // want "unknown analyzer"
+func typoed() {}

@@ -5,10 +5,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"strings"
 	"sync"
+	"syscall"
 	"testing"
 
 	"dvfsched/internal/obs"
@@ -424,4 +428,87 @@ func TestReplaySessionErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	rb.Sess.Close()
+}
+
+// closeBody is a response body that records Close, so tests can pin
+// the forwarding path's cleanup contract.
+type closeBody struct {
+	io.Reader
+	closed bool
+}
+
+func (b *closeBody) Close() error { b.closed = true; return nil }
+
+// scriptedTransport returns canned responses or errors without a
+// network, in call order.
+type scriptedTransport struct {
+	mu    sync.Mutex
+	calls int
+	round func(call int, r *http.Request) (*http.Response, error)
+}
+
+func (st *scriptedTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	st.mu.Lock()
+	call := st.calls
+	st.calls++
+	st.mu.Unlock()
+	return st.round(call, r)
+}
+
+// TestRouterForwardClosesBody: a forwarded response body must be
+// closed after the relay, or sustained forwarding pins every upstream
+// connection the transport ever opened.
+func TestRouterForwardClosesBody(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	fc := &fakeCluster{self: "a", routes: []string{"b"}, addrs: map[string]string{"b": "http://peer-b"}}
+	rt := NewRouter(s, fc)
+
+	body := &closeBody{Reader: strings.NewReader(`{"id":"x"}`)}
+	rt.client.Transport = &scriptedTransport{round: func(int, *http.Request) (*http.Response, error) {
+		return &http.Response{
+			StatusCode: http.StatusOK,
+			Header:     http.Header{"Content-Type": []string{"application/json"}},
+			Body:       body,
+		}, nil
+	}}
+
+	rec := httptest.NewRecorder()
+	rt.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/sessions/x/result", nil))
+	if rec.Code != http.StatusOK || rec.Body.String() != `{"id":"x"}` {
+		t.Fatalf("relay = %d %q, want 200 with the peer's body", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("Content-Type") != "application/json" {
+		t.Fatal("relay dropped Content-Type")
+	}
+	if !body.closed {
+		t.Fatal("forwarded response body was not closed")
+	}
+}
+
+// TestRouterFailoverClosesNothing: a refused connection fails over to
+// the next candidate (here: local), marks the dead peer down, and the
+// request still succeeds; any body a later candidate returns is still
+// closed.
+func TestRouterFailoverRefusedConn(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	fc := &fakeCluster{self: "a", routes: []string{"b", "a"}, addrs: map[string]string{"b": "http://peer-b"}}
+	rt := NewRouter(s, fc)
+	refused := &net.OpError{Op: "dial", Err: &os.SyscallError{Syscall: "connect", Err: syscall.ECONNREFUSED}}
+	rt.client.Transport = &scriptedTransport{round: func(int, *http.Request) (*http.Response, error) {
+		return nil, refused
+	}}
+
+	rec := httptest.NewRecorder()
+	rt.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/sessions/nope/result", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("failover to local = %d, want the local 404", rec.Code)
+	}
+	fc.mu.Lock()
+	obsErr := fc.observed["b"]
+	fc.mu.Unlock()
+	if obsErr == nil {
+		t.Fatal("refused peer was not observed down")
+	}
 }

@@ -156,6 +156,7 @@ func startShard(id string, spec PlatformSpec, rec *obs.Recorder, sess *core.Onli
 		spare:     make([]*submitReq, 0, queueDepth),
 		batchSize: batchSize,
 	}
+	//dvfslint:allow goroleak the loop exits on the opPurge control op, delivered over reqs by the registry
 	go sh.loop(sess, shardState{submitted: submitted})
 	return sh
 }
@@ -301,6 +302,7 @@ func (sh *shard) submit(ctx context.Context, tasks model.TaskSet, clamp bool) (s
 	select {
 	case resp := <-req.reply:
 		req.ctx, req.tasks = nil, nil
+		//dvfslint:allow poolcheck the reply above hands the req back: the loop never touches it after replying (receiver-only Put)
 		submitReqPool.Put(req)
 		return resp, nil
 	case <-sh.dead:
