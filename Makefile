@@ -39,13 +39,13 @@ fuzz-smoke:
 # Benchmark the hot packages and write the machine-readable baseline
 # for this PR (diff against the previous PR's with `make benchdiff`).
 bench:
-	scripts/bench.sh BENCH_PR6.json
+	scripts/bench.sh BENCH_PR9.json
 
-# Compare this PR's baseline against the previous one; fails on >20%
-# ns/op regressions in benchmarks both files share and reports
-# benchmarks new in this PR.
+# Compare the two newest BENCH_PR<N>.json baselines (numeric order);
+# fails on >20% ns/op regressions in benchmarks both files share and
+# reports benchmarks new in this PR.
 benchdiff:
-	scripts/benchdiff.sh BENCH_PR5.json BENCH_PR6.json
+	scripts/benchdiff.sh
 
 # Shell test for the benchdiff gate itself: missing/empty baselines
 # must fail, regressions must fail, new benchmarks must be reported.
@@ -62,9 +62,12 @@ cover:
 serve-smoke:
 	scripts/serve_smoke.sh
 
-# Boot a 3-node in-process cluster, kill one session's owner node
-# mid-run, and verify zero accepted-task loss plus byte-identical
-# oracle parity on every surviving trace. Well under 30s.
+# Membership-churn smoke: boot a 3-node in-process cluster and, while
+# client traffic is in flight, join a 4th node (asserting the rebalance
+# matches the ring diff), migrate a session to a pinned target, drain a
+# node out of the ring, then kill a member — verifying zero
+# accepted-task loss plus byte-identical oracle parity on every
+# surviving trace. Well under 30s.
 cluster-smoke:
 	$(GO) run ./cmd/dvfsload -mode cluster -clients 6 -session-tasks 30 -batch 6
 

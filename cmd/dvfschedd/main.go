@@ -10,14 +10,24 @@
 //	          [-max-sessions N] [-request-timeout 30s] [-drain-timeout 30s]
 //	          [-trace-format jsonl|binary]
 //	          [-node-id ID -peers "id1=http://h1:p1,id2=http://h2:p2,..."]
+//	          [-node-id ID -advertise http://h:p -join http://seed:p]
 //
-// With -node-id and -peers the daemon joins a static cluster
+// With -node-id and -peers the daemon seeds a cluster
 // (internal/cluster): a consistent-hash ring places each session on an
 // owner node, any node fronts any session by forwarding, and owners
 // replicate their sessions by log shipping so a killed node's sessions
 // fail over to the next ring candidate without losing accepted tasks.
 // The node's own ID must appear in the peer list, pointing at the
-// address other nodes reach this daemon on.
+// address other nodes reach this daemon on. The -peers list only seeds
+// epoch 1 — membership is dynamic afterwards, via the cluster admin API
+// (POST/DELETE /v1/cluster/nodes/{id}).
+//
+// With -node-id, -advertise and -join instead, the daemon boots as a
+// solo node reachable at the -advertise URL and, once listening, asks
+// the member at the -join URL to admit it: the seed pushes the grown
+// view, rebalances the bounded set of sessions the new ring assigns to
+// this node, and flips the epoch cluster-wide. A failed join is fatal
+// at startup. -join and -peers are mutually exclusive.
 //
 // The daemon prints "listening on http://HOST:PORT" once the socket is
 // bound (use -addr 127.0.0.1:0 for an ephemeral port and parse that
@@ -28,7 +38,9 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -71,8 +83,10 @@ func run(args []string, w io.Writer, sigs <-chan os.Signal) error {
 		reqTimeout   = fs.Duration("request-timeout", 0, "per-request deadline (0 = 30s)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 		traceFormat  = fs.String("trace-format", "jsonl", "default session events encoding: jsonl or binary (?format= overrides)")
-		nodeID       = fs.String("node-id", "", "this node's cluster ID (requires -peers)")
-		peersFlag    = fs.String("peers", "", `static cluster membership as "id=http://host:port,..." including this node`)
+		nodeID       = fs.String("node-id", "", "this node's cluster ID (requires -peers or -join)")
+		peersFlag    = fs.String("peers", "", `seed cluster membership as "id=http://host:port,..." including this node`)
+		joinURL      = fs.String("join", "", "base URL of an existing member to join at startup (requires -node-id and -advertise)")
+		advertise    = fs.String("advertise", "", "base URL other nodes reach this daemon on (required with -join)")
 		probeEvery   = fs.Duration("probe-interval", 2*time.Second, "cluster peer health-probe interval")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -88,12 +102,33 @@ func run(args []string, w io.Writer, sigs <-chan os.Signal) error {
 	if err != nil {
 		return err
 	}
-	if (*nodeID == "") != (peers == nil) {
-		return fmt.Errorf("-node-id and -peers must be set together")
-	}
-	if peers != nil {
-		if _, ok := peers[*nodeID]; !ok {
-			return fmt.Errorf("-node-id %q is not in -peers", *nodeID)
+	if *joinURL != "" {
+		if peers != nil {
+			return fmt.Errorf("-join and -peers are mutually exclusive")
+		}
+		if *nodeID == "" || *advertise == "" {
+			return fmt.Errorf("-join requires -node-id and -advertise")
+		}
+		for flagName, v := range map[string]*string{"-join": joinURL, "-advertise": advertise} {
+			u, err := url.Parse(*v)
+			if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+				return fmt.Errorf("%s %q: want an absolute http(s) URL", flagName, *v)
+			}
+			*v = strings.TrimRight(*v, "/")
+		}
+		// Boot solo; the join below grows the seed's view to include us.
+		peers = map[string]string{*nodeID: *advertise}
+	} else {
+		if *advertise != "" {
+			return fmt.Errorf("-advertise requires -join")
+		}
+		if (*nodeID == "") != (peers == nil) {
+			return fmt.Errorf("-node-id and -peers must be set together")
+		}
+		if peers != nil {
+			if _, ok := peers[*nodeID]; !ok {
+				return fmt.Errorf("-node-id %q is not in -peers", *nodeID)
+			}
 		}
 	}
 	if *probeEvery <= 0 {
@@ -137,6 +172,18 @@ func run(args []string, w io.Writer, sigs <-chan os.Signal) error {
 	//dvfslint:allow goroleak Serve returns when the listener closes (shutdown path below), unblocking this send
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 
+	if *joinURL != "" {
+		// The daemon must be serving before it joins: the seed pushes the
+		// grown membership view (and possibly rebalanced sessions) back at
+		// this node as part of admitting it.
+		if err := joinCluster(*joinURL, *nodeID, *advertise); err != nil {
+			ln.Close()
+			<-serveErr
+			return fmt.Errorf("join %s: %w", *joinURL, err)
+		}
+		fmt.Fprintf(w, "joined cluster via %s\n", *joinURL)
+	}
+
 	select {
 	case err := <-serveErr:
 		return err
@@ -166,6 +213,37 @@ func run(args []string, w io.Writer, sigs <-chan os.Signal) error {
 		fmt.Fprintf(w, "drained session %s: %d tasks, cost %.4f cents\n", sum.ID, sum.Tasks, sum.Cost)
 	}
 	fmt.Fprintln(w, "shutdown complete")
+	return nil
+}
+
+// joinCluster asks the member at joinURL to admit this node (POST
+// /v1/cluster/nodes/{id} with this node's advertise address). The call
+// returns once the seed has pushed the grown view, rebalanced, and
+// flipped the epoch — or with the admission error.
+func joinCluster(joinURL, nodeID, advertise string) error {
+	body, err := json.Marshal(struct {
+		Addr string `json:"addr"`
+	}{Addr: advertise})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		joinURL+"/v1/cluster/nodes/"+nodeID, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	reply, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(reply)))
+	}
 	return nil
 }
 

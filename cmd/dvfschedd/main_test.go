@@ -69,6 +69,12 @@ func TestRunRejectsBadClusterFlags(t *testing.T) {
 		{"relative address", []string{"-node-id", "a", "-peers", "a=h:1"}, "http(s) URL"},
 		{"empty peer list", []string{"-node-id", "a", "-peers", ","}, "no entries"},
 		{"bad probe interval", []string{"-probe-interval", "-1s"}, "-probe-interval"},
+		{"join with peers", []string{"-node-id", "a", "-peers", "a=http://h:1", "-join", "http://h:2"}, "mutually exclusive"},
+		{"join without node-id", []string{"-join", "http://h:2", "-advertise", "http://h:1"}, "-join requires"},
+		{"join without advertise", []string{"-node-id", "a", "-join", "http://h:2"}, "-join requires"},
+		{"advertise without join", []string{"-node-id", "a", "-peers", "a=http://h:1", "-advertise", "http://h:1"}, "-advertise requires -join"},
+		{"relative join URL", []string{"-node-id", "a", "-join", "h:2", "-advertise", "http://h:1"}, "http(s) URL"},
+		{"relative advertise URL", []string{"-node-id", "a", "-join", "http://h:2", "-advertise", "h:1"}, "http(s) URL"},
 	}
 	sigs := make(chan os.Signal)
 	for _, tc := range cases {

@@ -34,18 +34,37 @@ type clusterNode struct {
 	addr string
 }
 
-// runClusterHarness is -mode cluster: boot a 3-node cluster in
-// process, drive -clients concurrent sessions through it with the
-// cluster client protocol (retry on transport/5xx, duplicate-ID 400 on
-// a retry means the lost ack was real), kill one session's owner node
-// mid-run, and then hold the survivors to the single-node standard:
-// every acknowledged task must appear exactly once in a gapless event
-// trace, and a serial in-process rebuild of each trace must regenerate
-// it byte-identically and reproduce the drain cost. Any mismatch is a
-// non-zero exit.
+// churnReport is what the churn orchestrator learned, for the final
+// scorecard and the post-run invariant checks.
+type churnReport struct {
+	join        cluster.MembershipChange
+	wantMoved   int
+	mig         cluster.MigrateInfo
+	leave       cluster.MembershipChange
+	evacuated   int
+	victim      string
+	victimOwned int
+	killedAt    int64
+}
+
+// runClusterHarness is -mode cluster: a full membership-churn smoke.
+// It boots a 3-node cluster in process plus a solo 4th node, drives
+// -clients concurrent sessions through it with the cluster client
+// protocol (retry on transport/5xx, duplicate-ID 400 on a retry means
+// the lost ack was real), and while submits are in flight walks the
+// whole admin surface: join the 4th node (asserting the rebalance
+// moved exactly the sessions the consistent-hash ring diff predicts),
+// migrate one session to an explicit pinned target, drain a node out
+// of the ring (it must evacuate everything it owns yet keep serving as
+// the clients' forwarding front), and finally kill a member outright.
+// The survivors are then held to the single-node standard: every
+// acknowledged task appears exactly once in a gapless event trace, and
+// a serial in-process rebuild of each trace regenerates it
+// byte-identically and reproduces the drain cost. Any accepted-task
+// loss or oracle mismatch is a non-zero exit.
 func runClusterHarness(opts options, w io.Writer) error {
-	const nNodes = 3
-	nodes, ids, err := bootCluster(nNodes)
+	const nSeed = 3
+	nodes, seedIDs, err := bootCluster(nSeed)
 	if err != nil {
 		return err
 	}
@@ -55,28 +74,33 @@ func runClusterHarness(opts options, w io.Writer) error {
 			n.srv.Close()
 		}
 	}()
-	fmt.Fprintf(w, "cluster: %d in-process nodes (%s), %d clients, %d tasks/session\n",
-		nNodes, strings.Join(ids, " "), opts.clients, opts.sessionTasks)
+	// The joiner boots solo before traffic starts; it enters the ring
+	// mid-run via the admin API, not via its boot config.
+	joiner, err := bootNode("n4")
+	if err != nil {
+		return err
+	}
+	nodes["n4"] = joiner
+	allIDs := append(append([]string(nil), seedIDs...), "n4")
+	fmt.Fprintf(w, "cluster: %d in-process nodes (%s) + joiner n4, %d clients, %d tasks/session\n",
+		nSeed, strings.Join(seedIDs, " "), opts.clients, opts.sessionTasks)
 
-	// One session per client, created round-robin through every front.
+	// One session per client, created round-robin through the seed
+	// members.
 	sessions := make([]server.SessionInfo, opts.clients)
 	for i := range sessions {
-		front := nodes[ids[i%len(ids)]]
+		front := nodes[seedIDs[i%len(seedIDs)]]
 		if err := postJSON(front.addr+"/v1/sessions", opts.spec, &sessions[i]); err != nil {
 			return fmt.Errorf("create session %d: %w", i, err)
 		}
 	}
 
-	// The victim is session 0's owner; clients front through the
-	// survivors so their entry point never dies with it — forwarding
-	// and failover are what is under test, not client reconnect logic.
-	victim := nodes[ids[0]].node.Route(sessions[0].ID)[0]
-	fronts := make([]string, 0, nNodes-1)
-	for _, id := range ids {
-		if id != victim {
-			fronts = append(fronts, nodes[id].addr)
-		}
-	}
+	// All clients front through n3: it is the node the churn later
+	// drains out of the ring, and a departed node keeping its fronts
+	// alive — forwarding into a ring it no longer belongs to — is
+	// exactly the contract worth smoking. The kill victim is chosen
+	// among n1/n2, so n3 is guaranteed alive end to end.
+	fronts := []string{nodes["n3"].addr}
 
 	lat := obs.NewRegistry().Histogram("cluster.submit_latency_s", latencyBuckets)
 	var ackedBatches atomic.Int64
@@ -84,14 +108,11 @@ func runClusterHarness(opts options, w io.Writer) error {
 	for range sessions {
 		totalBatches += (opts.sessionTasks + opts.batch - 1) / opts.batch
 	}
-	var killOnce sync.Once
-	killedAt := atomic.Int64{}
-	kill := func() {
-		killOnce.Do(func() {
-			_ = nodes[victim].http.Close()
-			killedAt.Store(ackedBatches.Load())
-		})
-	}
+	trafficDone := make(chan struct{})
+	rep := &churnReport{}
+	churnErr := make(chan error, 1)
+	//dvfslint:allow goroleak the churn goroutine is joined via churnErr below
+	go func() { churnErr <- runChurn(nodes, seedIDs, allIDs, sessions, rep, &ackedBatches, totalBatches, trafficDone) }()
 
 	type sessionAudit struct {
 		acked map[int]bool
@@ -124,21 +145,44 @@ func runClusterHarness(opts options, w io.Writer) error {
 						audits[i].acked[r.ID] = true
 					}
 				}
-				if ackedBatches.Add(1) == int64(totalBatches/2) {
-					kill() // the owner dies with every client mid-flight
-				}
+				ackedBatches.Add(1)
+				// A small gap per batch keeps traffic in flight across
+				// the churn steps instead of finishing before them.
+				time.Sleep(2 * time.Millisecond)
 			}
 		}(i)
 	}
 	wg.Wait()
-	kill()
+	close(trafficDone)
+	if err := <-churnErr; err != nil {
+		return err
+	}
 	for i := range audits {
 		if audits[i].err != nil {
 			return fmt.Errorf("session %d (%s): %w", i, sessions[i].ID, audits[i].err)
 		}
 	}
 
-	// Drain and audit every session through the survivors.
+	// Every survivor must hold the post-leave epoch-3 three-member view;
+	// the departed n3 must no longer count itself a member.
+	for _, id := range allIDs {
+		if id == rep.victim {
+			continue
+		}
+		var info cluster.NodeInfo
+		if err := adminJSON(http.MethodGet, nodes[id].addr+"/v1/cluster/info", nil, &info); err != nil {
+			return fmt.Errorf("final view of %s: %w", id, err)
+		}
+		if id == "n3" {
+			if info.Member {
+				return fmt.Errorf("departed n3 still lists itself as a member: %+v", info)
+			}
+		} else if info.Epoch != 3 || !info.Member || len(info.Peers) != 3 {
+			return fmt.Errorf("node %s final view: %+v (want epoch 3, member, 3 peers)", id, info)
+		}
+	}
+
+	// Drain and audit every session through the departed front.
 	totalTasks, totalEvents, failovers := 0, 0, 0
 	for i, info := range sessions {
 		drain, events, err := clusterDrainAndFetch(fronts, "/v1/sessions/"+info.ID)
@@ -155,31 +199,162 @@ func runClusterHarness(opts options, w io.Writer) error {
 	}
 
 	// Per-node scorecard, read straight off the in-process registries.
-	for _, id := range ids {
+	for _, id := range allIDs {
 		reg := nodes[id].srv.Registry().Snapshot()
 		mark := ""
-		if id == victim {
+		switch id {
+		case rep.victim:
 			mark = "  (killed mid-run)"
+		case "n3":
+			mark = "  (left the ring, kept forwarding)"
+		case "n4":
+			mark = "  (joined mid-run)"
 		}
 		promotions := reg.Counters[obs.ClusterPromotions]
-		if promotions > 0 {
-			failovers += int(promotions)
-		}
-		fmt.Fprintf(w, "node %s: %.0f requests, %.0f forwards, %.0f ships, %.0f promotions%s\n",
+		failovers += int(promotions)
+		fmt.Fprintf(w, "node %s: %.0f requests, %.0f forwards, %.0f ships, %.0f migrations, %.0f promotions%s\n",
 			id, reg.Counters[obs.ServerRequests], reg.Counters[obs.ClusterForwards],
-			reg.Counters[obs.ClusterShips], promotions, mark)
+			reg.Counters[obs.ClusterShips], reg.Counters[obs.ClusterMigrations], promotions, mark)
 	}
 	snap := lat.Snapshot()
-	fmt.Fprintf(w, "killed %s after %d/%d acked batches; %d sessions failed over\n",
-		victim, killedAt.Load(), totalBatches, failovers)
+	fmt.Fprintf(w, "join n4: epoch %d, moved %d sessions (ring diff predicted %d)\n",
+		rep.join.Epoch, rep.join.Moved, rep.wantMoved)
+	fmt.Fprintf(w, "migrate %s -> %s (pinned)\n", rep.mig.Session, rep.mig.To)
+	fmt.Fprintf(w, "leave n3: epoch %d, evacuated %d sessions\n", rep.leave.Epoch, rep.evacuated)
+	fmt.Fprintf(w, "killed %s (owning %d sessions) after %d/%d acked batches; %d promotions\n",
+		rep.victim, rep.victimOwned, rep.killedAt, totalBatches, failovers)
 	fmt.Fprintf(w, "submit latency p50 %.3fms  p99 %.3fms over %d acked submits\n",
 		snap.Quantile(0.50)*1000, snap.Quantile(0.99)*1000, int(snap.Count))
 	fmt.Fprintf(w, "oracle parity: %d sessions, %d tasks, %d events — all byte-identical\n",
 		len(sessions), totalTasks, totalEvents)
-	if failovers == 0 {
-		return fmt.Errorf("owner was killed but no session promoted — failover never exercised")
+	if rep.victimOwned > 0 && failovers == 0 {
+		return fmt.Errorf("a session owner was killed but nothing promoted — failover never exercised")
 	}
 	fmt.Fprintln(w, "all checks passed")
+	return nil
+}
+
+// runChurn is the admin-plane side of the smoke, sequenced against the
+// client traffic by acked-batch thresholds: join at 1/4 of the run,
+// migrate at 1/2, leave at 5/8, kill at 3/4. If traffic outruns a
+// threshold the step still executes — the churn sequence always
+// completes, it just loses its concurrency.
+func runChurn(nodes map[string]*clusterNode, seedIDs, allIDs []string, sessions []server.SessionInfo,
+	rep *churnReport, ackedBatches *atomic.Int64, totalBatches int, trafficDone <-chan struct{}) error {
+	waitBatches := func(frac float64) {
+		goal := int64(frac * float64(totalBatches))
+		for ackedBatches.Load() < goal {
+			select {
+			case <-trafficDone:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+		}
+	}
+	admin := nodes["n1"].addr
+
+	// Join n4. The ring's bounded-movement property is checkable from
+	// outside: the only sessions allowed to move are exactly those whose
+	// owner differs between the 3-node and 4-node rings.
+	waitBatches(0.25)
+	oldRing, err := cluster.NewRing(seedIDs, 0)
+	if err != nil {
+		return err
+	}
+	newRing, err := cluster.NewRing(allIDs, 0)
+	if err != nil {
+		return err
+	}
+	for _, s := range sessions {
+		if oldRing.Owner(s.ID) != newRing.Owner(s.ID) {
+			rep.wantMoved++
+		}
+	}
+	err = adminJSON(http.MethodPost, admin+"/v1/cluster/nodes/n4",
+		map[string]string{"addr": nodes["n4"].addr}, &rep.join)
+	if err != nil {
+		return fmt.Errorf("join n4: %w", err)
+	}
+	if rep.join.Failed != 0 || rep.join.Epoch != 2 || len(rep.join.Nodes) != 4 {
+		return fmt.Errorf("join n4: %+v (want epoch 2, 4 nodes, 0 failed)", rep.join)
+	}
+	if rep.join.Moved != rep.wantMoved {
+		return fmt.Errorf("join n4 moved %d sessions, ring diff predicts %d", rep.join.Moved, rep.wantMoved)
+	}
+	for _, s := range sessions {
+		if o := newRing.Owner(s.ID); !nodes[o].srv.HasSession(s.ID) {
+			return fmt.Errorf("after join: session %s is not on its ring owner %s", s.ID, o)
+		}
+	}
+
+	// Migrate session 0 to an explicit off-ring target; the placement
+	// must pin it there.
+	waitBatches(0.5)
+	mover := sessions[0].ID
+	target := "n4"
+	if newRing.Owner(mover) == "n4" {
+		target = "n1"
+	}
+	err = adminJSON(http.MethodPost, admin+"/v1/cluster/sessions/"+mover+"/migrate",
+		map[string]string{"target": target}, &rep.mig)
+	if err != nil {
+		return fmt.Errorf("migrate %s to %s: %w", mover, target, err)
+	}
+	if rep.mig.To != target || !rep.mig.Pinned {
+		return fmt.Errorf("migrate %s: %+v (want pinned move to %s)", mover, rep.mig, target)
+	}
+	if !nodes[target].srv.HasSession(mover) {
+		return fmt.Errorf("migrate %s: target %s has no live shard", mover, target)
+	}
+
+	// Drain n3 out of the ring: it must evacuate every session it owns
+	// to that session's post-leave ring owner, then keep forwarding.
+	waitBatches(0.625)
+	ring3, err := cluster.NewRing([]string{"n1", "n2", "n4"}, 0)
+	if err != nil {
+		return err
+	}
+	var evacuated []string
+	for _, s := range sessions {
+		if nodes["n3"].srv.HasSession(s.ID) {
+			evacuated = append(evacuated, s.ID)
+		}
+	}
+	rep.evacuated = len(evacuated)
+	if err := adminJSON(http.MethodDelete, admin+"/v1/cluster/nodes/n3", nil, &rep.leave); err != nil {
+		return fmt.Errorf("leave n3: %w", err)
+	}
+	if rep.leave.Failed != 0 || rep.leave.Epoch != 3 || len(rep.leave.Nodes) != 3 || rep.leave.Moved != len(evacuated) {
+		return fmt.Errorf("leave n3: %+v (want epoch 3, 3 nodes, 0 failed, %d moved)", rep.leave, len(evacuated))
+	}
+	for _, id := range evacuated {
+		if nodes["n3"].srv.HasSession(id) {
+			return fmt.Errorf("after leave: departed n3 still holds %s", id)
+		}
+		if o := ring3.Owner(id); !nodes[o].srv.HasSession(id) {
+			return fmt.Errorf("after leave: evacuated session %s is not on its ring owner %s", id, o)
+		}
+	}
+
+	// Kill the remaining member owning the most sessions — never the
+	// migrate target, whose pinned shard the final checks reference.
+	waitBatches(0.75)
+	for _, cand := range []string{"n1", "n2"} {
+		if cand == rep.mig.To {
+			continue
+		}
+		owned := 0
+		for _, s := range sessions {
+			if nodes[cand].srv.HasSession(s.ID) {
+				owned++
+			}
+		}
+		if rep.victim == "" || owned > rep.victimOwned {
+			rep.victim, rep.victimOwned = cand, owned
+		}
+	}
+	_ = nodes[rep.victim].http.Close()
+	rep.killedAt = ackedBatches.Load()
 	return nil
 }
 
@@ -210,6 +385,49 @@ func bootCluster(n int) (map[string]*clusterNode, []string, error) {
 		go func(hs *http.Server, ln net.Listener) { _ = hs.Serve(ln) }(hs, lns[i])
 	}
 	return nodes, ids, nil
+}
+
+// bootNode starts one solo node on an ephemeral loopback port; it
+// becomes a member only when the admin API joins it to the ring.
+func bootNode(id string) (*clusterNode, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	addr := "http://" + ln.Addr().String()
+	srv := server.New(server.Config{})
+	node, err := cluster.NewNode(cluster.Config{ID: id, Peers: map[string]string{id: addr}}, srv)
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: node.Handler()}
+	//dvfslint:allow goroleak Serve returns when the harness closes the node's server at teardown
+	go func() { _ = hs.Serve(ln) }()
+	return &clusterNode{id: id, srv: srv, node: node, http: hs, addr: addr}, nil
+}
+
+// adminJSON issues one cluster-admin call and decodes the response.
+// The admin plane is expected to answer first time — any transport
+// error or non-200 is a smoke failure, not a retry.
+func adminJSON(method, url string, body, out any) error {
+	var raw []byte
+	if body != nil {
+		var err error
+		if raw, err = json.Marshal(body); err != nil {
+			return err
+		}
+	}
+	code, respBody, err := rawDo(method, url, raw)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("%s %s: status %d: %s", method, url, code, respBody)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(respBody, out)
 }
 
 // clusterSubmit pushes one batch with the cluster retry protocol and

@@ -26,8 +26,10 @@ type Config struct {
 	// ID is this node's name; must be a key of Peers and consist of
 	// [A-Za-z0-9._-] (it is embedded in minted session IDs).
 	ID string
-	// Peers maps node ID -> base URL (http://host:port) for every
-	// cluster member, including this node. Membership is static.
+	// Peers maps node ID -> base URL (http://host:port) for the seed
+	// membership, including this node. It is only the epoch-1 view:
+	// joins and leaves (POST/DELETE /v1/cluster/nodes/{id}) replace the
+	// membership at runtime.
 	Peers map[string]string
 	// VNodes is the ring's virtual-node count per peer (0 =
 	// DefaultVNodes).
@@ -57,11 +59,27 @@ func (c Config) withDefaults() Config {
 // their owner dies. Safe for concurrent use by the HTTP stack.
 type Node struct {
 	cfg     Config
-	ring    *Ring
 	srv     *server.Server
 	router  *server.Router
 	handler http.Handler
 	client  *http.Client
+
+	// membership is the current epoch'd view (peers + ring), swapped
+	// atomically by joins/leaves; viewMu serializes the writers.
+	membership atomic.Pointer[membership]
+	viewMu     sync.Mutex
+
+	// placeMu guards placements, the per-session routing overrides
+	// installed by migrations (admin.go).
+	placeMu    sync.Mutex
+	placements map[string]Placement
+
+	// migrating serializes migrations per session; adminBusy serializes
+	// whole-membership operations (join/leave) on this coordinator.
+	migrating sessionGuard
+	adminBusy atomic.Bool
+	// syncing single-flights the epoch-triggered anti-entropy pull.
+	syncing atomic.Bool
 
 	// mu guards down, the liveness view. Peers are marked down by
 	// failed forwards/ships (or the background prober) and up again by
@@ -77,9 +95,12 @@ type Node struct {
 
 	seq atomic.Uint64
 
-	shipsTotal *obs.Counter
-	promotions *obs.Counter
-	peersDown  *obs.Gauge
+	shipsTotal      *obs.Counter
+	promotions      *obs.Counter
+	peersDown       *obs.Gauge
+	epochGauge      *obs.Gauge
+	migrations      *obs.Counter
+	membershipSyncs *obs.Counter
 }
 
 // NewNode builds a node over its server. The server must be fronted
@@ -91,33 +112,39 @@ func NewNode(cfg Config, srv *server.Server) (*Node, error) {
 		return nil, fmt.Errorf("cluster: no peers configured")
 	}
 	ids := make([]string, 0, len(cfg.Peers))
-	for id, addr := range cfg.Peers {
-		if addr == "" {
-			return nil, fmt.Errorf("cluster: peer %q has no address", id)
-		}
+	for id := range cfg.Peers {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
 	if _, ok := cfg.Peers[cfg.ID]; !ok {
 		return nil, fmt.Errorf("cluster: node ID %q is not in the peer list %v", cfg.ID, ids)
 	}
-	ring, err := NewRing(ids, cfg.VNodes)
+	seed, err := newMembership(Membership{Epoch: 1, Peers: cfg.Peers}, cfg.VNodes)
 	if err != nil {
 		return nil, err
 	}
 	reg := srv.Registry()
 	n := &Node{
-		cfg:        cfg,
-		ring:       ring,
-		srv:        srv,
-		client:     &http.Client{Timeout: cfg.ShipTimeout},
-		down:       map[string]bool{},
-		replicas:   replicaStore{m: map[string]*replica{}},
-		ships:      map[string]*shipState{},
-		shipsTotal: reg.Counter(obs.ClusterShips),
-		promotions: reg.Counter(obs.ClusterPromotions),
-		peersDown:  reg.Gauge(obs.ClusterPeersDown),
+		cfg:             cfg,
+		srv:             srv,
+		// No client-level timeout: every call site bounds itself with a
+		// context deadline (ShipTimeout for replication, adminTimeout
+		// for fan-out admin RPCs).
+		client:          &http.Client{},
+		placements:      map[string]Placement{},
+		migrating:       sessionGuard{m: map[string]bool{}},
+		down:            map[string]bool{},
+		replicas:        replicaStore{m: map[string]*replica{}},
+		ships:           map[string]*shipState{},
+		shipsTotal:      reg.Counter(obs.ClusterShips),
+		promotions:      reg.Counter(obs.ClusterPromotions),
+		peersDown:       reg.Gauge(obs.ClusterPeersDown),
+		epochGauge:      reg.Gauge(obs.ClusterEpoch),
+		migrations:      reg.Counter(obs.ClusterMigrations),
+		membershipSyncs: reg.Counter(obs.ClusterMembershipSyncs),
 	}
+	n.membership.Store(seed)
+	n.epochGauge.Set(1)
 	n.router = server.NewRouter(srv, n)
 
 	mux := http.NewServeMux()
@@ -125,10 +152,20 @@ func NewNode(cfg Config, srv *server.Server) (*Node, error) {
 	mux.HandleFunc("POST /v1/cluster/replica/{id}/log", n.handleReplicaLog)
 	mux.HandleFunc("POST /v1/cluster/replica/{id}/checkpoint", n.handleReplicaCheckpoint)
 	mux.HandleFunc("POST /v1/cluster/replica/{id}/drop", n.handleReplicaDrop)
+	mux.HandleFunc("GET /v1/cluster/membership", n.handleMembershipGet)
+	mux.HandleFunc("POST /v1/cluster/membership", n.handleMembershipPost)
+	mux.HandleFunc("POST /v1/cluster/nodes/{id}", n.handleNodeJoin)
+	mux.HandleFunc("DELETE /v1/cluster/nodes/{id}", n.handleNodeLeave)
+	mux.HandleFunc("POST /v1/cluster/sessions/{id}/migrate", n.handleMigrate)
+	mux.HandleFunc("POST /v1/cluster/handoff/{id}", n.handleHandoff)
+	mux.HandleFunc("POST /v1/cluster/rebalance", n.handleRebalance)
+	mux.HandleFunc("POST /v1/cluster/evacuate", n.handleEvacuate)
+	mux.HandleFunc("POST /v1/cluster/placement/{id}", n.handlePlacementPut)
+	mux.HandleFunc("DELETE /v1/cluster/placement/{id}", n.handlePlacementDel)
 	mux.HandleFunc("GET /v1/cluster/route", n.handleRoute)
 	mux.HandleFunc("GET /v1/cluster/info", n.handleInfo)
 	mux.Handle("/", n.router)
-	n.handler = mux
+	n.handler = n.epochAware(mux)
 	return n, nil
 }
 
@@ -140,13 +177,33 @@ func (n *Node) Handler() http.Handler { return n.handler }
 // Self implements server.Cluster.
 func (n *Node) Self() string { return n.cfg.ID }
 
-// Addr implements server.Cluster.
-func (n *Node) Addr(node string) string { return n.cfg.Peers[node] }
+// Addr implements server.Cluster, resolving against the current view.
+func (n *Node) Addr(node string) string { return n.view().peers[node] }
 
 // Route implements server.Cluster: the session's full live failover
-// chain, owner first.
+// chain, owner first. A live placement owner (a migrated session's
+// home) outranks the ring; the ring chain follows as failover, because
+// that is where the placement owner ships its replicas.
 func (n *Node) Route(sessionID string) []string {
-	return n.ring.Candidates(sessionID, len(n.cfg.Peers), n.alive)
+	v := n.view()
+	cands := v.ring.Candidates(sessionID, len(v.peers), n.alive)
+	p, ok := n.placementOf(sessionID)
+	if !ok || p.Owner == "" {
+		return cands
+	}
+	if _, member := v.peers[p.Owner]; !member || !n.alive(p.Owner) {
+		// The placed owner is gone; fall back to the ring chain, where
+		// its replica lives and promotes lazily.
+		return cands
+	}
+	out := make([]string, 0, len(cands)+1)
+	out = append(out, p.Owner)
+	for _, c := range cands {
+		if c != p.Owner {
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
 // NewSessionID implements server.Cluster. IDs carry the minting node
@@ -161,7 +218,7 @@ func (n *Node) Observe(node string, err error) {
 	if node == n.cfg.ID {
 		return
 	}
-	if _, ok := n.cfg.Peers[node]; !ok {
+	if _, ok := n.view().peers[node]; !ok {
 		return
 	}
 	n.mu.Lock()
@@ -208,12 +265,15 @@ func (n *Node) StartProber(interval time.Duration) (stop func()) {
 }
 
 func (n *Node) probeOnce(timeout time.Duration) {
-	for _, id := range n.ring.Nodes() {
+	// The prober follows the current view each tick, so members that
+	// joined after boot are probed and departed ones are not.
+	v := n.view()
+	for _, id := range v.nodeIDs() {
 		if id == n.cfg.ID {
 			continue
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), timeout)
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.cfg.Peers[id]+"/healthz", nil)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, v.peers[id]+"/healthz", nil)
 		if err != nil {
 			cancel()
 			continue
@@ -232,7 +292,34 @@ func (n *Node) probeOnce(timeout time.Duration) {
 // node holds replica state for id but no live shard, the session is
 // rebuilt (checkpoint restore + log suffix replay) and adopted; the
 // next Replicate call re-ships the full log to a new replica.
+//
+// The migration fence lives here too: while a placement names another
+// live node as the session's owner, this node must neither serve nor
+// promote it — a request that raced past the ownership flip gets a
+// retryable ErrSessionMoved instead of resurrecting pre-migration
+// state (split brain). Only when the placed owner is dead does the
+// normal lazy promotion take over, returning the session to the ring.
 func (n *Node) EnsureLocal(ctx context.Context, id string) error {
+	if p, ok := n.placementOf(id); ok && p.Owner != n.cfg.ID && n.alive(p.Owner) {
+		if _, member := n.view().peers[p.Owner]; member {
+			return fmt.Errorf("cluster: %w: session %s is on %s", server.ErrSessionMoved, id, p.Owner)
+		}
+	}
+	// The moved marker is the second fence, and the only one that holds
+	// on the node that migrated the session away itself. During a join,
+	// the old owner hands sessions to the joiner BEFORE the epoch flips,
+	// so for a moment its view does not contain the new owner at all:
+	// the placement fence above cannot see it (not a member), old-ring
+	// routing still points here, and the new owner's first replication
+	// ship may already have deposited a replica of the session on this
+	// node. Promoting that replica would fork acknowledged state. Refuse
+	// unless the moved-target is a member this node has observed down —
+	// the one case where promotion is genuine failover.
+	if target, ok := n.srv.SessionMovedTo(id); ok && target != n.cfg.ID {
+		if _, member := n.view().peers[target]; !member || n.alive(target) {
+			return fmt.Errorf("cluster: %w: session %s is on %s", server.ErrSessionMoved, id, target)
+		}
+	}
 	if n.srv.HasSession(id) {
 		return nil
 	}
@@ -249,6 +336,9 @@ func (n *Node) EnsureLocal(ctx context.Context, id string) error {
 		return fmt.Errorf("cluster: promote session %s: %w", id, err)
 	}
 	n.promotions.Inc()
+	// Promotion returns the session to ring placement: a stale
+	// placement record pointing at the dead owner must not outrank us.
+	n.dropPlacement(id)
 	// The shard's recorder now carries the full trace; the replica
 	// copy is dead weight.
 	n.replicas.drop(id)
@@ -301,7 +391,7 @@ func (n *Node) replicaTarget(id string) string {
 // current replica died, the next live candidate is adopted and the
 // full log re-shipped once, within this call.
 func (n *Node) Replicate(ctx context.Context, id string, m server.Mutation) error {
-	if len(n.cfg.Peers) == 1 {
+	if len(n.view().peers) == 1 {
 		return nil // solo "cluster": nothing to replicate to
 	}
 	st := n.shipFor(id)
@@ -352,6 +442,25 @@ func (n *Node) Replicate(ctx context.Context, id string, m server.Mutation) erro
 	return fmt.Errorf("cluster: replicate session %s to %s: %w", id, st.target, err)
 }
 
+// openReplica (re)announces the session to st.target's replica store
+// and marks the cursor open. Opens are idempotent: an existing replica
+// keeps its log and only refreshes the spec.
+func (n *Node) openReplica(ctx context.Context, id string, st *shipState) error {
+	spec, ok := n.srv.SessionSpec(id)
+	if !ok {
+		return fmt.Errorf("session %s vanished mid-ship", id)
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	if err := n.post(ctx, st.target, "/v1/cluster/replica/"+id+"/open", "application/json", body); err != nil {
+		return err
+	}
+	st.opened = true
+	return nil
+}
+
 // shipLocked pushes the unshipped log tail (and, when due, a fresh
 // checkpoint) to st.target. Caller holds st.mu. The order is
 // snapshot-then-events-then-checkpoint: the snapshot is taken first so
@@ -374,31 +483,30 @@ func (n *Node) shipLocked(ctx context.Context, id string, st *shipState, m serve
 		return err
 	}
 	if !st.opened {
-		spec, ok := n.srv.SessionSpec(id)
-		if !ok {
-			return fmt.Errorf("session %s vanished mid-ship", id)
-		}
-		body, err := json.Marshal(spec)
-		if err != nil {
+		if err := n.openReplica(ctx, id, st); err != nil {
 			return err
 		}
-		if err := n.post(ctx, st.target, "/v1/cluster/replica/"+id+"/open", "application/json", body); err != nil {
-			return err
-		}
-		st.opened = true
 	}
 	if len(events) > 0 {
 		err := n.post(ctx, st.target, "/v1/cluster/replica/"+id+"/log", "application/octet-stream", obs.AppendBinary(nil, events))
 		if isStatusError(err) {
-			// The replica found a gap (it lost state we thought it
-			// had, e.g. it restarted). Re-ship the full log once.
-			st.shipped = 0
+			// The replica lost state we thought it had: it found a log
+			// gap (409 — it restarted and kept nothing), or the replica
+			// itself is gone (404 — dropped out from under an open ship
+			// cursor, e.g. by an old owner's post-migration cleanup
+			// racing the new owner's first ship after a handoff). Both
+			// heal the same way: re-open — idempotent, an existing
+			// replica keeps its log — and re-ship the full log once;
+			// the replica skips duplicates below its tail.
+			st.opened, st.shipped = false, 0
 			full, ferr := n.srv.SessionEventsSince(id, 0)
 			if ferr != nil {
 				return ferr
 			}
-			err = n.post(ctx, st.target, "/v1/cluster/replica/"+id+"/log", "application/octet-stream", obs.AppendBinary(nil, full))
-			events = full
+			if err = n.openReplica(ctx, id, st); err == nil {
+				err = n.post(ctx, st.target, "/v1/cluster/replica/"+id+"/log", "application/octet-stream", obs.AppendBinary(nil, full))
+				events = full
+			}
 		}
 		if err != nil {
 			return err
@@ -431,29 +539,81 @@ func isStatusError(err error) bool {
 	return errors.As(err, &se)
 }
 
-// post sends one replication RPC to a peer. It returns nil on 2xx, a
+// post sends one replication RPC to a peer by node ID, resolving its
+// address against the current view. It returns nil on 2xx, a
 // *statusError on any other reply, and the raw transport error when
-// the peer was unreachable.
+// the peer was unreachable. Any HTTP-level response (even an error
+// status) marks the peer up: it is alive, just refusing.
 func (n *Node) post(ctx context.Context, node, path, contentType string, body []byte) error {
-	ctx, cancel := context.WithTimeout(ctx, n.cfg.ShipTimeout)
-	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, n.cfg.Peers[node]+path, bytes.NewReader(body))
+	addr := n.Addr(node)
+	if addr == "" {
+		return &statusError{code: http.StatusGone, body: fmt.Sprintf("node %s is not in the current view", node)}
+	}
+	err := n.doAddr(ctx, http.MethodPost, addr, path, contentType, body, n.cfg.ShipTimeout)
+	if err == nil || isStatusError(err) {
+		n.Observe(node, nil)
+	}
+	return err
+}
+
+// doAddr sends one RPC to an explicit base URL (which need not be in
+// the view yet — joiners aren't) and discards the reply body. Non-2xx
+// replies become *statusError; transport failures pass through raw.
+func (n *Node) doAddr(ctx context.Context, method, addr, path, contentType string, body []byte, timeout time.Duration) error {
+	status, msg, err := n.roundTrip(ctx, method, addr, path, contentType, body, timeout)
 	if err != nil {
 		return err
+	}
+	if status < 200 || status >= 300 {
+		if len(msg) > 1024 {
+			msg = msg[:1024]
+		}
+		return &statusError{code: status, body: string(bytes.TrimSpace(msg))}
+	}
+	return nil
+}
+
+// doAddrJSON is doAddr plus decoding a 2xx reply body into out.
+func (n *Node) doAddrJSON(ctx context.Context, method, addr, path string, body []byte, timeout time.Duration, out any) error {
+	status, msg, err := n.roundTrip(ctx, method, addr, path, "application/json", body, timeout)
+	if err != nil {
+		return err
+	}
+	if status < 200 || status >= 300 {
+		if len(msg) > 1024 {
+			msg = msg[:1024]
+		}
+		return &statusError{code: status, body: string(bytes.TrimSpace(msg))}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(msg, out); err != nil {
+		return fmt.Errorf("decode reply from %s%s: %w", addr, path, err)
+	}
+	return nil
+}
+
+// roundTrip is the transport primitive under post/doAddr/doAddrJSON:
+// one bounded request, whole reply body read. The context deadline is
+// the only timeout — the shared client carries none, so admin RPCs
+// (which fan out into per-session migrations) can run longer than one
+// ship budget.
+func (n *Node) roundTrip(ctx context.Context, method, addr, path, contentType string, body []byte, timeout time.Duration) (int, []byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, method, addr+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
 	}
 	resp, err := n.client.Do(req)
 	if err != nil {
-		return err
+		return 0, nil, err
 	}
 	defer resp.Body.Close()
-	n.Observe(node, nil)
-	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
-		return &statusError{code: resp.StatusCode, body: string(bytes.TrimSpace(msg))}
-	}
-	_, _ = io.Copy(io.Discard, resp.Body)
-	return nil
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, maxReplicaBody))
+	return resp.StatusCode, msg, nil
 }

@@ -218,14 +218,29 @@ func (n *Node) handleRoute(w http.ResponseWriter, r *http.Request) {
 
 // NodeInfo is the reply of GET /v1/cluster/info.
 type NodeInfo struct {
-	ID       string   `json:"id"`
-	Peers    []string `json:"peers"`
-	Down     []string `json:"down"`
-	Replicas []string `json:"replicas"`
+	ID    string `json:"id"`
+	Epoch uint64 `json:"epoch"`
+	// Member reports whether this node is part of its own view; a
+	// drained-out node keeps serving as a forwarding front with
+	// Member=false.
+	Member     bool     `json:"member"`
+	Peers      []string `json:"peers"`
+	Down       []string `json:"down"`
+	Replicas   []string `json:"replicas"`
+	Placements []string `json:"placements,omitempty"`
 }
 
 func (n *Node) handleInfo(w http.ResponseWriter, r *http.Request) {
-	info := NodeInfo{ID: n.cfg.ID, Peers: n.ring.Nodes(), Replicas: n.replicas.ids()}
+	v := n.view()
+	_, member := v.peers[n.cfg.ID]
+	info := NodeInfo{
+		ID:         n.cfg.ID,
+		Epoch:      v.epoch,
+		Member:     member,
+		Peers:      v.nodeIDs(),
+		Replicas:   n.replicas.ids(),
+		Placements: n.placementIDs(),
+	}
 	n.mu.Lock()
 	for id := range n.down {
 		info.Down = append(info.Down, id)
@@ -235,10 +250,12 @@ func (n *Node) handleInfo(w http.ResponseWriter, r *http.Request) {
 	writeClusterJSON(w, info)
 }
 
+// httpError emits the unified error envelope on the cluster planes:
+// the same `{"error":{"code":"...","message":"..."}}` shape the
+// session and plan planes produce, so a client (or the router's
+// verbatim forward) sees one error format everywhere.
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	server.WriteErrorEnvelope(w, code, "", format, args...)
 }
 
 func writeClusterJSON(w http.ResponseWriter, v any) {

@@ -9,10 +9,16 @@
 // suffix, and resumes admission — no accepted task is lost, because a
 // submit is only acknowledged after its events reached the replica.
 //
-// The membership is static (the -peers flag) and the failure model is
-// fail-stop with one replica per session: the cluster serves through
-// any single node death; losing a session's owner and replica together
-// loses that session's unreplicated tail.
+// Membership is dynamic: the -peers flag only seeds epoch 1, and the
+// versioned admin API (POST/DELETE /v1/cluster/nodes/{id}) grows or
+// shrinks the ring at runtime. Each change installs a whole new
+// immutable view at epoch+1, rebalancing only the bounded fraction of
+// sessions whose owner changes — by planned drain-and-handoff
+// migration (POST /v1/cluster/sessions/{id}/migrate), not by killing
+// anything. The failure model is fail-stop with one replica per
+// session: the cluster serves through any single node death; losing a
+// session's owner and replica together loses that session's
+// unreplicated tail.
 package cluster
 
 import (

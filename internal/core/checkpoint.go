@@ -38,7 +38,7 @@ func (s *Scheduler) RestoreOnline(ctx context.Context, snapshot []byte) (*Online
 	if err != nil {
 		return nil, err
 	}
-	sess, err := sim.RestoreSession(sim.Config{Platform: s.plat, Policy: lmc, Sink: s.effSink()}, s.params, cp)
+	sess, err := sim.RestoreSession(sim.Config{Platform: s.plat, Policy: lmc, Sink: s.sink}, s.params, cp)
 	if err != nil {
 		if pool != nil {
 			pool.Close()

@@ -72,20 +72,6 @@ type Scheduler struct {
 	params model.CostParams
 	plat   *platform.Platform
 
-	// Sink, if set, receives the simulator's event stream during
-	// ExecuteBatch and RunOnline.
-	//
-	// Deprecated: set WithSink at construction instead. A non-nil field
-	// takes precedence over the option, preserving the behavior of code
-	// written against the field API.
-	Sink obs.Sink
-	// Metrics, if set, collects scheduler-side counters and histograms
-	// during RunOnline.
-	//
-	// Deprecated: set WithMetrics at construction instead. A non-nil
-	// field takes precedence over the option.
-	Metrics *obs.Registry
-
 	sink     obs.Sink
 	metrics  *obs.Registry
 	cache    *envelope.Cache
@@ -172,23 +158,6 @@ func (s *Scheduler) Params() model.CostParams { return s.params }
 // Platform returns the platform.
 func (s *Scheduler) Platform() *platform.Platform { return s.plat }
 
-// effSink resolves the event sink: the deprecated field wins when set.
-func (s *Scheduler) effSink() obs.Sink {
-	if s.Sink != nil {
-		return s.Sink
-	}
-	return s.sink
-}
-
-// effMetrics resolves the metrics registry: the deprecated field wins
-// when set.
-func (s *Scheduler) effMetrics() *obs.Registry {
-	if s.Metrics != nil {
-		return s.Metrics
-	}
-	return s.metrics
-}
-
 // PlanBatch computes the cost-optimal batch schedule for tasks without
 // deadlines (Workload Based Greedy, Theorem 5). All tasks must have
 // Arrival 0 and no deadline. Canceling ctx aborts planning with an
@@ -227,7 +196,7 @@ func (s *Scheduler) ExecuteBatch(ctx context.Context, tasks model.TaskSet) (*sim
 	if err != nil {
 		return nil, err
 	}
-	res, err := sim.RunContext(ctx, sim.Config{Platform: s.plat, Policy: fp, Sink: s.effSink()}, tasks, s.params)
+	res, err := sim.RunContext(ctx, sim.Config{Platform: s.plat, Policy: fp, Sink: s.sink}, tasks, s.params)
 	if err != nil {
 		return nil, wrapCanceled(err)
 	}
@@ -242,7 +211,7 @@ func (s *Scheduler) newLMC() (*online.LMC, *online.ProbePool, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	lmc.Metrics = s.effMetrics()
+	lmc.Metrics = s.metrics
 	lmc.Clock = s.clock
 	lmc.Cache = s.cache
 	var pool *online.ProbePool
@@ -264,7 +233,7 @@ func (s *Scheduler) RunOnline(ctx context.Context, tasks model.TaskSet) (*sim.Re
 	if pool != nil {
 		defer pool.Close()
 	}
-	res, err := sim.RunContext(ctx, sim.Config{Platform: s.plat, Policy: lmc, Sink: s.effSink()}, tasks, s.params)
+	res, err := sim.RunContext(ctx, sim.Config{Platform: s.plat, Policy: lmc, Sink: s.sink}, tasks, s.params)
 	if err != nil {
 		return nil, wrapCanceled(err)
 	}

@@ -32,7 +32,7 @@ func (s *Scheduler) OpenOnline(ctx context.Context) (*OnlineSession, error) {
 	if err != nil {
 		return nil, err
 	}
-	sess, err := sim.OpenSession(sim.Config{Platform: s.plat, Policy: lmc, Sink: s.effSink()}, s.params)
+	sess, err := sim.OpenSession(sim.Config{Platform: s.plat, Policy: lmc, Sink: s.sink}, s.params)
 	if err != nil {
 		if pool != nil {
 			pool.Close()

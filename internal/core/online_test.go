@@ -40,11 +40,11 @@ func TestOpenOnlineMatchesRunOnline(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	sched, err := core.New(params, plat)
+	reg := obs.NewRegistry()
+	sched, err := core.New(params, plat, core.WithMetrics(reg))
 	if err != nil {
 		t.Fatal(err)
 	}
-	sched.Metrics = obs.NewRegistry()
 	sess, err := sched.OpenOnline(context.Background())
 	if err != nil {
 		t.Fatal(err)
@@ -74,7 +74,7 @@ func TestOpenOnlineMatchesRunOnline(t *testing.T) {
 			got.TotalCost, got.TotalEnergy, got.Makespan,
 			want.TotalCost, want.TotalEnergy, want.Makespan)
 	}
-	if sched.Metrics.Snapshot().Counters["lmc.marginal_evals"] == 0 {
+	if reg.Snapshot().Counters["lmc.marginal_evals"] == 0 {
 		t.Fatal("session did not feed scheduler metrics")
 	}
 }

@@ -69,4 +69,15 @@ const (
 	ClusterPromotions = "cluster.promotions"
 	// ClusterPeersDown gauges peers currently considered dead.
 	ClusterPeersDown = "cluster.peers_down"
+	// ClusterEpoch gauges this node's membership epoch: it bumps by one
+	// on every accepted join or leave, so divergence between nodes'
+	// epochs is visible from any two /metrics scrapes.
+	ClusterEpoch = "cluster.epoch"
+	// ClusterMigrations counts planned session migrations this node
+	// completed as the outgoing owner (drain-and-handoff, not failover
+	// promotions — those are ClusterPromotions).
+	ClusterMigrations = "cluster.migrations"
+	// ClusterMembershipSyncs counts membership views this node adopted
+	// from a peer (push broadcast or epoch-triggered anti-entropy pull).
+	ClusterMembershipSyncs = "cluster.membership_syncs"
 )

@@ -15,6 +15,22 @@ import (
 // ID the client will be handed back.
 const SessionIDHeader = "X-Dvfs-Session-Id"
 
+// EpochHeader stamps forwarded requests with the sender's membership
+// epoch; a receiver holding an older view uses it (plus
+// SenderAddrHeader) to pull the newer membership — anti-entropy
+// without a gossip subsystem.
+const EpochHeader = "X-Dvfs-Epoch"
+
+// SenderAddrHeader carries the forwarding node's own base URL, so a
+// receiver that doesn't know the sender yet (it may have joined after
+// the receiver's view was built) can still sync membership from it.
+const SenderAddrHeader = "X-Dvfs-Sender-Addr"
+
+// forwardHopsHeader counts router-to-router forwards; requests at the
+// limit are refused instead of orbiting a transiently inconsistent
+// placement or ring view.
+const forwardHopsHeader = "X-Dvfs-Forward-Hops"
+
 // validSessionID accepts 1-64 characters of [A-Za-z0-9._-]: safe in
 // URL paths, ring keys and log lines without escaping.
 func validSessionID(id string) bool {
@@ -165,10 +181,98 @@ func (s *Server) SnapshotSession(ctx context.Context, id string) ([]byte, error)
 	return resp.snapshot, nil
 }
 
+// HandoffState is the payload of a planned migration: everything the
+// target node needs to adopt the session and everything the trace
+// guarantee needs — the full event log, not just the post-checkpoint
+// suffix, so the rebuilt recorder holds the complete byte-identical
+// history.
+type HandoffState struct {
+	Spec       PlatformSpec
+	Submitted  int
+	Checkpoint []byte
+	Events     []obs.Event
+}
+
+// HandoffSession freezes a live session for migration and returns its
+// handoff state. The freeze happens on the shard goroutine after the
+// group-commit intake is flushed, so the checkpoint lands on a batch
+// boundary; from that moment every mutation against the shard is
+// fenced with ErrSessionMigrating until AbortHandoff or FinishHandoff.
+// A drained session returns ErrSessionDrained (tombstones don't
+// migrate); a session already frozen returns ErrSessionMigrating.
+func (s *Server) HandoffSession(ctx context.Context, id string) (*HandoffState, error) {
+	sh, ok := s.sessions.get(id)
+	if !ok {
+		return nil, s.sessionErr(id, fmt.Errorf("%w: %s", ErrSessionGone, id))
+	}
+	resp, err := sh.do(ctx, shardReq{op: opHandoff})
+	if err != nil {
+		return nil, s.sessionErr(id, err)
+	}
+	if resp.err != nil {
+		return nil, resp.err
+	}
+	// The engine is frozen: the recorder is quiescent, so this read
+	// observes exactly the events the checkpoint covers.
+	return &HandoffState{
+		Spec:       sh.spec,
+		Submitted:  resp.submitted,
+		Checkpoint: resp.snapshot,
+		Events:     sh.rec.Events(),
+	}, nil
+}
+
+// AbortHandoff lifts a migration freeze after a failed ship: the shard
+// resumes serving here, still authoritative, nothing lost.
+func (s *Server) AbortHandoff(ctx context.Context, id string) error {
+	sh, ok := s.sessions.get(id)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrSessionGone, id)
+	}
+	_, err := sh.do(ctx, shardReq{op: opUnfreeze})
+	return err
+}
+
+// FinishHandoff retires the local shard after a successful migration
+// flip: the shard is purged and a moved marker (target node) is left
+// behind, so requests racing the flip get a retryable 503
+// (ErrSessionMoved) instead of a terminal 404.
+func (s *Server) FinishHandoff(id, target string) {
+	s.sessions.markMoved(id, target)
+}
+
+// DropSession removes a session shard without draining it — the
+// cluster uses it to discard a partially adopted handoff whose
+// integrity check failed. Not for general use: tasks pending in the
+// dropped engine are abandoned.
+func (s *Server) DropSession(id string) {
+	s.sessions.remove(id)
+}
+
+// SessionMovedTo reports where a migrated-away session went, if a
+// moved marker exists for id.
+func (s *Server) SessionMovedTo(id string) (string, bool) {
+	return s.sessions.movedTo(id)
+}
+
+// LiveSessionIDs returns the IDs of every live (not drained) local
+// session, in ID order — the rebalance/evacuate work list.
+func (s *Server) LiveSessionIDs(ctx context.Context) []string {
+	var out []string
+	for _, sh := range s.sessions.all() {
+		resp, err := sh.do(ctx, shardReq{op: opStatus})
+		if err == nil && resp.err == nil && !resp.drained {
+			out = append(out, sh.id)
+		}
+	}
+	return out
+}
+
 // AdoptSession rebuilds a session from replicated state (ReplaySession)
 // and installs it as a live shard under the dead owner's ID: the
-// cluster failover path. The adopted shard serves exactly like a
-// locally created one — submits, snapshots, drain, events.
+// cluster failover path, and (via the handoff endpoint) the planned
+// migration path. The adopted shard serves exactly like a locally
+// created one — submits, snapshots, drain, events.
 func (s *Server) AdoptSession(ctx context.Context, id string, spec PlatformSpec, checkpoint []byte, log []obs.Event) (SessionInfo, error) {
 	if !validSessionID(id) {
 		return SessionInfo{}, fmt.Errorf("invalid session ID %q", id)

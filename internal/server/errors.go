@@ -27,4 +27,14 @@ var (
 	// (the cluster router's placement header); generated IDs are fresh
 	// by construction.
 	ErrSessionExists = errors.New("server: session already exists")
+	// ErrSessionMigrating reports a request fenced out while the
+	// session is frozen for a planned migration: 503, retryable. The
+	// freeze window covers ship + ownership flip, typically well under
+	// a client retry backoff.
+	ErrSessionMigrating = errors.New("server: session migrating; retry")
+	// ErrSessionMoved reports a request that raced past an ownership
+	// flip and landed on the old owner after handoff: 503, retryable.
+	// The retry re-routes through the cluster placement table to the
+	// new owner.
+	ErrSessionMoved = errors.New("server: session moved to another node; retry")
 )

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"syscall"
 
@@ -56,6 +57,10 @@ type Cluster interface {
 	// here after the owner died. No local state is not an error: the
 	// operation then sees the server's own 404.
 	EnsureLocal(ctx context.Context, id string) error
+	// Epoch is the membership epoch of the routing view in use; the
+	// router stamps it (EpochHeader) on every forward so a peer with an
+	// older view pulls the newer membership.
+	Epoch() uint64
 	// Replicate ships the session's unshipped log suffix (and
 	// periodically a checkpoint) to its replica. Called after a
 	// mutation was served locally, before the response is released.
@@ -99,6 +104,12 @@ func NewRouter(srv *Server, cl Cluster) *Router {
 var forwardedHeaders = []string{
 	"Content-Type", "X-Event-Count", "X-Checkpoint-Clock", "X-Checkpoint-Pending",
 }
+
+// maxForwardHops bounds router-to-router forwarding chains. Normal
+// routing is one hop; a couple more can happen transiently while
+// membership views converge after a join/leave. Past the limit the
+// request is refused (503, retryable) rather than orbiting the ring.
+const maxForwardHops = 8
 
 // ServeHTTP implements http.Handler.
 func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -149,6 +160,15 @@ func sessionIDFromPath(path string) (string, bool) {
 // connection fails over to the next candidate — the node died without
 // seeing the request, so retrying it elsewhere is safe for any method.
 func (rt *Router) route(w http.ResponseWriter, r *http.Request, id string) {
+	hops := 0
+	if hv := r.Header.Get(forwardHopsHeader); hv != "" {
+		hops, _ = strconv.Atoi(hv)
+	}
+	if hops >= maxForwardHops {
+		writeError(w, http.StatusServiceUnavailable,
+			"cluster: session %q forwarded %d times without an owner; membership views still converging, retry", id, hops)
+		return
+	}
 	cands := rt.cl.Route(id)
 	if len(cands) == 0 {
 		writeError(w, http.StatusServiceUnavailable, "cluster: no live node for session %q", id)
@@ -252,6 +272,16 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, node string, b
 	if sid := r.Header.Get(SessionIDHeader); sid != "" {
 		req.Header.Set(SessionIDHeader, sid)
 	}
+	// Stamp the forward with this node's view epoch and address (the
+	// receiver's anti-entropy pull) and the incremented hop count (the
+	// receiver's loop guard).
+	req.Header.Set(EpochHeader, strconv.FormatUint(rt.cl.Epoch(), 10))
+	req.Header.Set(SenderAddrHeader, rt.cl.Addr(rt.cl.Self()))
+	hops := 0
+	if hv := r.Header.Get(forwardHopsHeader); hv != "" {
+		hops, _ = strconv.Atoi(hv)
+	}
+	req.Header.Set(forwardHopsHeader, strconv.Itoa(hops+1))
 	resp, err := rt.client.Do(req)
 	if err != nil {
 		return err

@@ -37,6 +37,8 @@ type fakeCluster struct {
 
 func (f *fakeCluster) Self() string { return f.self }
 
+func (f *fakeCluster) Epoch() uint64 { return 1 }
+
 func (f *fakeCluster) Route(string) []string {
 	f.mu.Lock()
 	defer f.mu.Unlock()

@@ -335,16 +335,16 @@ func TestSessionRejectsStaleArrivalsAndDrainedSubmits(t *testing.T) {
 	var eresp errorResponse
 	if code := doJSON(t, "POST", base+"/tasks", SubmitRequest{
 		Tasks: []trace.Record{{ID: 1, Cycles: 5, Arrival: 3}},
-	}, &eresp); code != http.StatusBadRequest || !strings.Contains(eresp.Error, "before the session clock") {
-		t.Fatalf("stale arrival: status %d error %q", code, eresp.Error)
+	}, &eresp); code != http.StatusBadRequest || !strings.Contains(eresp.Error.Message, "before the session clock") {
+		t.Fatalf("stale arrival: status %d error %+v", code, eresp.Error)
 	}
 	if code := doJSON(t, "DELETE", base, nil, nil); code != http.StatusOK {
 		t.Fatalf("drain status %d", code)
 	}
 	if code := doJSON(t, "POST", base+"/tasks", SubmitRequest{
 		Tasks: []trace.Record{{ID: 2, Cycles: 5, Arrival: 1e6}},
-	}, &eresp); code != http.StatusConflict || !strings.Contains(eresp.Error, "drained") {
-		t.Fatalf("submit after drain: status %d error %q", code, eresp.Error)
+	}, &eresp); code != http.StatusConflict || eresp.Error.Code != "session_drained" {
+		t.Fatalf("submit after drain: status %d error %+v", code, eresp.Error)
 	}
 }
 

@@ -14,10 +14,16 @@ import (
 	"dvfsched/internal/platform"
 )
 
+// maxMovedMarkers caps the moved-marker map; past it the markers reset
+// wholesale. Markers only upgrade a 404 into a retryable 503 for
+// requests racing a migration flip, so losing old ones is harmless.
+const maxMovedMarkers = 65536
+
 // sessions is the registry of live and drained (tombstoned) shards.
 type sessions struct {
 	mu         sync.Mutex
 	m          map[string]*shard
+	moved      map[string]string // migrated-away session -> target node
 	seq        int
 	maxOpen    int
 	queueDepth int
@@ -37,6 +43,7 @@ var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64}
 func newSessions(maxOpen, queueDepth, parallel int, reg *obs.Registry) *sessions {
 	return &sessions{
 		m:          map[string]*shard{},
+		moved:      map[string]string{},
 		maxOpen:    maxOpen,
 		queueDepth: queueDepth,
 		parallel:   parallel,
@@ -68,6 +75,7 @@ func (ss *sessions) create(id string, spec PlatformSpec, params model.CostParams
 		return nil, err
 	}
 	ss.m[id] = sh
+	delete(ss.moved, id) // the session lives here again
 	ss.opened.Inc()
 	ss.open.Add(1)
 	return sh, nil
@@ -87,6 +95,7 @@ func (ss *sessions) adopt(id string, rb *RebuiltSession) (*shard, error) {
 	}
 	sh := startShard(id, rb.Spec, rb.Rec, rb.Sess, ss.queueDepth, ss.batch, rb.Submitted)
 	ss.m[id] = sh
+	delete(ss.moved, id) // adopted back: the marker no longer applies
 	ss.opened.Inc()
 	ss.open.Add(1)
 	return sh, nil
@@ -109,6 +118,34 @@ func (ss *sessions) remove(id string) {
 	if ok {
 		sh.purge()
 	}
+}
+
+// markMoved retires a shard after a migration flip, leaving a marker
+// naming the new owner. The marker turns what would be a 404 (session
+// unknown here) into a retryable ErrSessionMoved 503 for any request
+// that raced past routing before the flip. The live-session gauge
+// drops — the session still exists, just not here.
+func (ss *sessions) markMoved(id, target string) {
+	ss.mu.Lock()
+	sh, ok := ss.m[id]
+	delete(ss.m, id)
+	if len(ss.moved) >= maxMovedMarkers {
+		ss.moved = map[string]string{}
+	}
+	ss.moved[id] = target
+	ss.mu.Unlock()
+	if ok {
+		ss.open.Add(-1)
+		sh.purge()
+	}
+}
+
+// movedTo reports a moved marker's target, if one exists.
+func (ss *sessions) movedTo(id string) (string, bool) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	target, ok := ss.moved[id]
+	return target, ok
 }
 
 // all snapshots the registry in ID order.
@@ -162,15 +199,32 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, SessionInfo{ID: sh.id, PlatformSpec: sh.spec})
 }
 
-// lookupShard resolves {id} or writes a 404.
+// lookupShard resolves {id} or writes a 404 — unless the session was
+// migrated away, in which case the reply is the retryable moved 503.
 func (s *Server) lookupShard(w http.ResponseWriter, r *http.Request) (*shard, bool) {
 	id := r.PathValue("id")
 	sh, ok := s.sessions.get(id)
 	if !ok {
+		if target, moved := s.sessions.movedTo(id); moved {
+			s.writeAPIError(w, fmt.Errorf("%w: %s (now on %s)", ErrSessionMoved, id, target), http.StatusServiceUnavailable)
+			return nil, false
+		}
 		writeError(w, http.StatusNotFound, "no session %q", id)
 		return nil, false
 	}
 	return sh, true
+}
+
+// sessionErr upgrades a raced shard-death error: if the shard vanished
+// because the session migrated away mid-request, the caller should see
+// the retryable moved sentinel, not a terminal "gone".
+func (s *Server) sessionErr(id string, err error) error {
+	if err != nil && errors.Is(err, ErrSessionGone) {
+		if target, ok := s.sessions.movedTo(id); ok {
+			return fmt.Errorf("%w: %s (now on %s)", ErrSessionMoved, id, target)
+		}
+	}
+	return err
 }
 
 // handleSessionStatus is GET /v1/sessions/{id}.
@@ -181,7 +235,7 @@ func (s *Server) handleSessionStatus(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := sh.do(r.Context(), shardReq{op: opStatus})
 	if err != nil {
-		s.writeAPIError(w, err, http.StatusInternalServerError)
+		s.writeAPIError(w, s.sessionErr(sh.id, err), http.StatusInternalServerError)
 		return
 	}
 	writeJSON(w, http.StatusOK, SessionInfo{
@@ -216,7 +270,7 @@ func (s *Server) handleSessionSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := sh.submit(r.Context(), tasks, req.Clamp)
 	if err != nil {
-		s.writeAPIError(w, err, http.StatusInternalServerError)
+		s.writeAPIError(w, s.sessionErr(sh.id, err), http.StatusInternalServerError)
 		return
 	}
 	if resp.err != nil {
@@ -325,7 +379,7 @@ func (s *Server) handleSessionSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := sh.do(r.Context(), shardReq{op: opSnapshot})
 	if err != nil {
-		s.writeAPIError(w, err, http.StatusInternalServerError)
+		s.writeAPIError(w, s.sessionErr(sh.id, err), http.StatusInternalServerError)
 		return
 	}
 	if resp.err != nil {
@@ -350,7 +404,7 @@ func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := sh.do(r.Context(), shardReq{op: opStatus})
 	if err != nil {
-		s.writeAPIError(w, err, http.StatusInternalServerError)
+		s.writeAPIError(w, s.sessionErr(sh.id, err), http.StatusInternalServerError)
 		return
 	}
 	if resp.drained {
@@ -360,7 +414,7 @@ func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err = sh.do(r.Context(), shardReq{op: opDrain})
 	if err != nil {
-		s.writeAPIError(w, err, http.StatusInternalServerError)
+		s.writeAPIError(w, s.sessionErr(sh.id, err), http.StatusInternalServerError)
 		return
 	}
 	if resp.first {
@@ -368,9 +422,12 @@ func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 		s.sessions.open.Add(-1)
 	}
 	if resp.err != nil {
-		if errors.Is(resp.err, core.ErrCanceled) {
-			// The request deadline aborted the drain mid-flight; the
-			// session is still live and the drain can be retried.
+		if errors.Is(resp.err, core.ErrCanceled) || errors.Is(resp.err, ErrSessionMigrating) {
+			// The request deadline aborted the drain mid-flight, or the
+			// drain raced a migration freeze. Either way the session is
+			// still live (here or, after the flip, on the new owner) and
+			// the drain can be retried — purging it would drop a shard a
+			// migration still references.
 			s.writeAPIError(w, resp.err, http.StatusInternalServerError)
 			return
 		}

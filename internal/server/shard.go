@@ -23,6 +23,14 @@ const (
 	opDrain
 	opSnapshot
 	opPurge
+	// opHandoff freezes the shard for a planned migration: it snapshots
+	// the session at the group-commit boundary the flush just closed and
+	// fences every subsequent mutation (submit, drain, snapshot) with
+	// ErrSessionMigrating until opUnfreeze or opPurge.
+	opHandoff
+	// opUnfreeze lifts a handoff freeze after a failed ship, resuming
+	// normal service on the still-authoritative owner.
+	opUnfreeze
 )
 
 // shardReq is one control-plane message on a shard's request channel.
@@ -114,6 +122,12 @@ type shardState struct {
 	submitted int
 	final     *sim.Result
 	finalErr  error
+	// frozen marks a handoff in progress: mutations are fenced with
+	// ErrSessionMigrating so a submit racing the migration cannot land
+	// on a state that has already been shipped (exactly-once across the
+	// ownership flip). Only opUnfreeze clears it; opPurge retires the
+	// shard without clearing.
+	frozen bool
 }
 
 // newShard builds the session's scheduler (sink and, when parallel >=
@@ -190,6 +204,10 @@ func (sh *shard) loop(sess *core.OnlineSession, st shardState) {
 					resp.clock, resp.pending = sess.Clock(), sess.Pending()
 				}
 			case opDrain:
+				if st.frozen {
+					resp.err = fmt.Errorf("%w: %s", ErrSessionMigrating, sh.id)
+					break
+				}
 				if st.final == nil && st.finalErr == nil {
 					res, err := sess.Drain(req.ctx)
 					if err != nil && errors.Is(err, core.ErrCanceled) {
@@ -212,12 +230,38 @@ func (sh *shard) loop(sess *core.OnlineSession, st shardState) {
 				// Landing here means the intake was flushed: a snapshot
 				// can observe a whole group-committed batch or none of it,
 				// never a prefix.
+				if st.frozen {
+					resp.err = fmt.Errorf("%w: %s", ErrSessionMigrating, sh.id)
+					break
+				}
 				if st.final != nil || st.finalErr != nil {
 					resp.err = fmt.Errorf("%w: %s", ErrSessionDrained, sh.id)
 					break
 				}
 				resp.snapshot, resp.err = sess.Snapshot()
 				resp.clock, resp.pending, resp.submitted = sess.Clock(), sess.Pending(), st.submitted
+			case opHandoff:
+				// The flush above closed a group-commit batch, so the
+				// handoff checkpoint observes whole batches only; any
+				// submission arriving after this point is fenced by the
+				// frozen flag and retried by the client against the new
+				// owner.
+				if st.frozen {
+					resp.err = fmt.Errorf("%w: %s", ErrSessionMigrating, sh.id)
+					break
+				}
+				if st.final != nil || st.finalErr != nil {
+					resp.err = fmt.Errorf("%w: %s", ErrSessionDrained, sh.id)
+					break
+				}
+				resp.snapshot, resp.err = sess.Snapshot()
+				if resp.err == nil {
+					st.frozen = true
+				}
+				resp.clock, resp.pending, resp.submitted = sess.Clock(), sess.Pending(), st.submitted
+			case opUnfreeze:
+				st.frozen = false
+				resp.submitted = st.submitted
 			case opPurge:
 				req.reply <- shardResp{}
 				return
@@ -259,6 +303,10 @@ func (sh *shard) flushIntake(sess *core.OnlineSession, st *shardState) {
 // coalescing is invisible to correctness.
 func (sh *shard) admitOne(sess *core.OnlineSession, st *shardState, req *submitReq) shardResp {
 	var resp shardResp
+	if st.frozen {
+		resp.err = fmt.Errorf("%w: %s", ErrSessionMigrating, sh.id)
+		return resp
+	}
 	if st.final != nil || st.finalErr != nil {
 		resp.err = fmt.Errorf("%w: %s", ErrSessionDrained, sh.id)
 		return resp

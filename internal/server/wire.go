@@ -162,9 +162,22 @@ func drainResponse(id string, res *sim.Result) DrainResponse {
 	}
 }
 
-// errorResponse is the JSON body of every non-2xx reply.
+// apiError is the machine-readable error payload carried by every
+// non-2xx reply on every plane (plan, session, cluster replica, cluster
+// admin). Code is a stable snake_case identifier clients can switch on;
+// Message is human-readable detail. The code↔status table lives in
+// DESIGN §13.4.
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// errorResponse is the JSON body of every non-2xx reply: one envelope,
+// `{"error":{"code":"...","message":"..."}}`, across all planes. The
+// Router forwards these bodies verbatim, so a client sees the same
+// shape whether the answering node owned the session or proxied it.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error apiError `json:"error"`
 }
 
 // decodeJSON parses a request body strictly (unknown fields rejected,
@@ -188,40 +201,95 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-// writeError serializes a JSON error body.
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+// codeForStatus derives the envelope code for call sites that only
+// know an HTTP status (parse errors, validation failures). Sentinel
+// mappings in writeAPIError carry more specific codes.
+func codeForStatus(status int) string {
+	switch {
+	case status == http.StatusNotFound:
+		return "not_found"
+	case status == http.StatusMethodNotAllowed:
+		return "method_not_allowed"
+	case status == http.StatusConflict:
+		return "conflict"
+	case status == http.StatusTooManyRequests:
+		return "busy"
+	case status == http.StatusServiceUnavailable:
+		return "unavailable"
+	case status == http.StatusBadGateway:
+		return "bad_gateway"
+	case status >= 500:
+		return "internal"
+	default:
+		return "bad_request"
+	}
 }
 
-// writeAPIError maps typed errors to HTTP statuses: this package's
-// sentinels (errors.go) plus the core facade's. Backpressure (ErrBusy,
-// ErrSessionTableFull) is 429 in steady state and 503 once a drain has
-// begun, so load balancers stop retrying a terminating replica instead
-// of backing off against it. Errors matching none of the sentinels get
-// the caller's fallback status.
+// writeError serializes the error envelope with a code derived from
+// the status alone; use writeCodedError when a more specific code is
+// known.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeCodedError(w, status, codeForStatus(status), format, args...)
+}
+
+// writeCodedError serializes the one error envelope every plane emits.
+func writeCodedError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: apiError{Code: code, Message: fmt.Sprintf(format, args...)}})
+}
+
+// WriteErrorEnvelope is the exported face of the unified error
+// envelope, for the cluster planes (internal/cluster) — every non-2xx
+// body in the system goes through this one shape. An empty code is
+// derived from the status.
+func WriteErrorEnvelope(w http.ResponseWriter, status int, code, format string, args ...any) {
+	if code == "" {
+		code = codeForStatus(status)
+	}
+	writeCodedError(w, status, code, format, args...)
+}
+
+// writeAPIError maps typed errors to HTTP statuses and envelope codes:
+// this package's sentinels (errors.go) plus the core facade's.
+// Backpressure (ErrBusy, ErrSessionTableFull) is 429 in steady state
+// and 503 once a drain has begun, so load balancers stop retrying a
+// terminating replica instead of backing off against it. Migration
+// fencing (ErrSessionMigrating, ErrSessionMoved) is 503: the condition
+// clears in milliseconds and a retry re-routes to the new owner.
+// Errors matching none of the sentinels get the caller's fallback
+// status.
 func (s *Server) writeAPIError(w http.ResponseWriter, err error, fallback int) {
 	switch {
 	case errors.Is(err, ErrDraining):
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		writeCodedError(w, http.StatusServiceUnavailable, "draining", "%v", err)
 	case errors.Is(err, ErrBusy), errors.Is(err, ErrSessionTableFull):
+		code := "busy"
+		if errors.Is(err, ErrSessionTableFull) {
+			code = "session_table_full"
+		}
 		if s.draining.Load() {
-			writeError(w, http.StatusServiceUnavailable, "%v (draining)", err)
+			writeCodedError(w, http.StatusServiceUnavailable, "draining", "%v (draining)", err)
 			return
 		}
 		s.rejected.Inc()
-		writeError(w, http.StatusTooManyRequests, "%v", err)
+		writeCodedError(w, http.StatusTooManyRequests, code, "%v", err)
 	case errors.Is(err, ErrSessionGone):
-		writeError(w, http.StatusNotFound, "%v", err)
-	case errors.Is(err, ErrSessionDrained), errors.Is(err, ErrSessionExists):
-		writeError(w, http.StatusConflict, "%v", err)
+		writeCodedError(w, http.StatusNotFound, "session_not_found", "%v", err)
+	case errors.Is(err, ErrSessionDrained):
+		writeCodedError(w, http.StatusConflict, "session_drained", "%v", err)
+	case errors.Is(err, ErrSessionExists):
+		writeCodedError(w, http.StatusConflict, "session_exists", "%v", err)
+	case errors.Is(err, ErrSessionMigrating):
+		writeCodedError(w, http.StatusServiceUnavailable, "session_migrating", "%v", err)
+	case errors.Is(err, ErrSessionMoved):
+		writeCodedError(w, http.StatusServiceUnavailable, "session_moved", "%v", err)
 	case errors.Is(err, core.ErrCanceled),
 		errors.Is(err, context.Canceled),
 		errors.Is(err, context.DeadlineExceeded):
-		writeError(w, http.StatusServiceUnavailable, "request cancelled or timed out: %v", err)
+		writeCodedError(w, http.StatusServiceUnavailable, "canceled", "request cancelled or timed out: %v", err)
 	case errors.Is(err, core.ErrNotBatchable),
 		errors.Is(err, core.ErrNoCores),
 		errors.Is(err, core.ErrEmptySubmission):
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeCodedError(w, http.StatusBadRequest, "invalid_workload", "%v", err)
 	default:
 		writeError(w, fallback, "%v", err)
 	}

@@ -1,7 +1,13 @@
 #!/bin/sh
 # Compare two bench.sh baselines and fail on ns/op regressions.
 #
-# Usage: scripts/benchdiff.sh [old.json] [new.json]
+# Usage: scripts/benchdiff.sh [old.json new.json]
+#
+# With no arguments the two most recent BENCH_PR<N>.json baselines in
+# the repo root (override with BENCH_DIR) are compared, newest as NEW.
+# "Most recent" is by the PR number N compared numerically — a
+# lexicographic glob would sort BENCH_PR10.json before BENCH_PR9.json
+# and silently diff against the wrong PR once numbers reach two digits.
 #
 # Benchmarks present in both files are compared by ns_per_op; any
 # shared benchmark that slowed by more than THRESHOLD percent (default
@@ -15,9 +21,22 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-OLD=${1:-BENCH_PR5.json}
-NEW=${2:-BENCH_PR6.json}
+BENCH_DIR=${BENCH_DIR:-.}
 THRESHOLD=${THRESHOLD:-20}
+
+if [ "$#" -ge 2 ]; then
+    OLD=$1
+    NEW=$2
+else
+    nums=$(find "$BENCH_DIR" -maxdepth 1 -name 'BENCH_PR*.json' 2>/dev/null \
+        | sed -n 's/.*BENCH_PR\([0-9][0-9]*\)\.json$/\1/p' | sort -n | tail -2)
+    if [ "$(printf '%s\n' "$nums" | grep -c '[0-9]')" -lt 2 ]; then
+        echo "benchdiff: need at least two BENCH_PR<N>.json baselines in $BENCH_DIR (run scripts/bench.sh BENCH_PR<N>.json)" >&2
+        exit 1
+    fi
+    OLD="$BENCH_DIR/BENCH_PR$(printf '%s\n' "$nums" | head -1).json"
+    NEW="$BENCH_DIR/BENCH_PR$(printf '%s\n' "$nums" | tail -1).json"
+fi
 
 for f in "$OLD" "$NEW"; do
     if [ ! -f "$f" ]; then

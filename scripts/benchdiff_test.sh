@@ -79,6 +79,47 @@ expect 1 "no shared benchmarks" "empty new baseline" "$DIR/old.json" "$DIR/empty
 : > "$DIR/blank.json"
 expect 1 "no shared benchmarks" "zero-byte baseline" "$DIR/blank.json" "$DIR/new.json"
 
+# Argument-less discovery must order PR numbers numerically: with PR2,
+# PR9 and PR10 baselines present, the diff is 9 -> 10 — a lexicographic
+# glob would pick 10 -> 9 (or drag PR2 in) and gate against the wrong
+# PR. The PR9 baseline regresses vs PR2 but PR10 matches PR9, so the
+# outcome also proves which pair was compared.
+DISC="$DIR/disc"
+mkdir -p "$DISC"
+{
+    echo '['
+    line pkg/a BenchmarkShared 50.0
+    echo ''
+    echo ']'
+} > "$DISC/BENCH_PR2.json"
+cp "$DIR/old.json" "$DISC/BENCH_PR9.json"
+cp "$DIR/old.json" "$DISC/BENCH_PR10.json"
+got=0
+out=$(BENCH_DIR="$DISC" scripts/benchdiff.sh 2>&1) || got=$?
+if [ "$got" != 0 ]; then
+    fail "numeric discovery: exit $got
+$out"
+fi
+case $out in
+*BENCH_PR9.json*) ;;
+*) fail "numeric discovery: did not pick BENCH_PR9.json as the old baseline
+$out" ;;
+esac
+
+# One lone baseline is not a diffable pair.
+rm -f "$DISC/BENCH_PR2.json" "$DISC/BENCH_PR9.json"
+got=0
+out=$(BENCH_DIR="$DISC" scripts/benchdiff.sh 2>&1) || got=$?
+if [ "$got" = 0 ]; then
+    fail "single-baseline discovery passed vacuously
+$out"
+fi
+case $out in
+*"at least two"*) ;;
+*) fail "single-baseline discovery: unhelpful error
+$out" ;;
+esac
+
 if [ "$fails" -gt 0 ]; then
     echo "benchdiff_test: $fails failures" >&2
     exit 1
