@@ -39,7 +39,7 @@ fuzz-smoke:
 # Benchmark the hot packages and write the machine-readable baseline
 # for this PR (diff against the previous PR's with `make benchdiff`).
 bench:
-	scripts/bench.sh BENCH_PR9.json
+	scripts/bench.sh BENCH_PR10.json
 
 # Compare the two newest BENCH_PR<N>.json baselines (numeric order);
 # fails on >20% ns/op regressions in benchmarks both files share and

@@ -8,9 +8,10 @@
 //
 //	dvfschedd [-addr :8080] [-workers N] [-queue N] [-cache N]
 //	          [-max-sessions N] [-request-timeout 30s] [-drain-timeout 30s]
-//	          [-trace-format jsonl|binary]
+//	          [-trace-format jsonl|binary] [-pprof-addr 127.0.0.1:6060]
 //	          [-node-id ID -peers "id1=http://h1:p1,id2=http://h2:p2,..."]
 //	          [-node-id ID -advertise http://h:p -join http://seed:p]
+//	          [-ship-window N] [-ship-flush-interval D]
 //
 // With -node-id and -peers the daemon seeds a cluster
 // (internal/cluster): a consistent-hash ring places each session on an
@@ -48,6 +49,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"net/url"
 	"os"
 	"os/signal"
@@ -88,6 +90,9 @@ func run(args []string, w io.Writer, sigs <-chan os.Signal) error {
 		joinURL      = fs.String("join", "", "base URL of an existing member to join at startup (requires -node-id and -advertise)")
 		advertise    = fs.String("advertise", "", "base URL other nodes reach this daemon on (required with -join)")
 		probeEvery   = fs.Duration("probe-interval", 2*time.Second, "cluster peer health-probe interval")
+		shipWindow   = fs.Int("ship-window", 0, "in-flight replication frames per peer stream (0 = default 4, negative = synchronous per-mutation ships)")
+		shipFlush    = fs.Duration("ship-flush-interval", 0, "how long a replication shipper lingers to coalesce mutations into one frame (0 = ship immediately)")
+		pprofAddr    = fs.String("pprof-addr", "", "expose net/http/pprof on this side listener (empty = off; keep it loopback-only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -134,6 +139,9 @@ func run(args []string, w io.Writer, sigs <-chan os.Signal) error {
 	if *probeEvery <= 0 {
 		return fmt.Errorf("-probe-interval must be positive, got %v", *probeEvery)
 	}
+	if *shipFlush < 0 {
+		return fmt.Errorf("-ship-flush-interval must not be negative, got %v", *shipFlush)
+	}
 
 	s := server.New(server.Config{
 		Workers:            *workers,
@@ -148,13 +156,21 @@ func run(args []string, w io.Writer, sigs <-chan os.Signal) error {
 
 	handler := http.Handler(s)
 	if peers != nil {
-		node, err := cluster.NewNode(cluster.Config{ID: *nodeID, Peers: peers}, s)
+		node, err := cluster.NewNode(cluster.Config{
+			ID:                *nodeID,
+			Peers:             peers,
+			ShipWindow:        *shipWindow,
+			ShipFlushInterval: *shipFlush,
+		}, s)
 		if err != nil {
 			return err
 		}
 		handler = node.Handler()
 		stopProber := node.StartProber(*probeEvery)
 		defer stopProber()
+		// Stop the replication streams only after the HTTP server below
+		// has stopped serving mutations (defers run LIFO).
+		defer node.Close()
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -165,6 +181,17 @@ func run(args []string, w io.Writer, sigs <-chan os.Signal) error {
 	fmt.Fprintf(w, "listening on http://%s\n", ln.Addr())
 	if peers != nil {
 		fmt.Fprintf(w, "cluster node %s, %d peers\n", *nodeID, len(peers))
+	}
+
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("-pprof-addr %q: %w", *pprofAddr, err)
+		}
+		defer pln.Close()
+		fmt.Fprintf(w, "pprof listening on http://%s/debug/pprof/\n", pln.Addr())
+		//dvfslint:allow goroleak Serve returns when the deferred listener close runs at shutdown
+		go func() { _ = http.Serve(pln, pprofMux()) }()
 	}
 
 	httpSrv := &http.Server{Handler: handler}
@@ -214,6 +241,20 @@ func run(args []string, w io.Writer, sigs <-chan os.Signal) error {
 	}
 	fmt.Fprintln(w, "shutdown complete")
 	return nil
+}
+
+// pprofMux exposes net/http/pprof on its own mux, so the profiling
+// surface lives only on the -pprof-addr side listener — importing the
+// package for side effects would bolt it onto http.DefaultServeMux,
+// which the main listener must never serve.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // joinCluster asks the member at joinURL to admit this node (POST

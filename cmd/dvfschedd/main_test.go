@@ -16,11 +16,13 @@ import (
 )
 
 // lineWriter captures the daemon's stdout and hands the "listening on"
-// line to the test as soon as it appears.
+// (and, when watched, "pprof listening on") lines to the test as soon
+// as they appear.
 type lineWriter struct {
 	mu    sync.Mutex
 	buf   bytes.Buffer
 	ready chan string
+	pprof chan string
 }
 
 func (lw *lineWriter) Write(p []byte) (int, error) {
@@ -32,6 +34,15 @@ func (lw *lineWriter) Write(p []byte) (int, error) {
 		if err != nil {
 			lw.buf.WriteString(line) // partial line: put it back
 			break
+		}
+		if url, ok := strings.CutPrefix(line, "pprof listening on "); ok {
+			if lw.pprof != nil {
+				select {
+				case lw.pprof <- strings.TrimSpace(url):
+				default:
+				}
+			}
+			continue
 		}
 		if addr, ok := strings.CutPrefix(line, "listening on "); ok {
 			select {
@@ -69,6 +80,7 @@ func TestRunRejectsBadClusterFlags(t *testing.T) {
 		{"relative address", []string{"-node-id", "a", "-peers", "a=h:1"}, "http(s) URL"},
 		{"empty peer list", []string{"-node-id", "a", "-peers", ","}, "no entries"},
 		{"bad probe interval", []string{"-probe-interval", "-1s"}, "-probe-interval"},
+		{"negative ship flush", []string{"-ship-flush-interval", "-1ms"}, "-ship-flush-interval"},
 		{"join with peers", []string{"-node-id", "a", "-peers", "a=http://h:1", "-join", "http://h:2"}, "mutually exclusive"},
 		{"join without node-id", []string{"-join", "http://h:2", "-advertise", "http://h:1"}, "-join requires"},
 		{"join without advertise", []string{"-node-id", "a", "-join", "http://h:2"}, "-join requires"},
@@ -168,6 +180,60 @@ func TestDaemonBinaryTraceDefault(t *testing.T) {
 	jsonl := get(base + "/v1/sessions/" + info.ID + "/events?format=jsonl")
 	if obs.DetectBinary(jsonl) || (len(jsonl) > 0 && jsonl[0] != '{') {
 		t.Errorf("?format=jsonl did not override the daemon default: %.40q", jsonl)
+	}
+
+	sigs <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon shutdown: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never shut down")
+	}
+}
+
+// TestDaemonPprofSideListener boots the daemon with -pprof-addr and
+// checks the profiling surface comes up on its own socket — reachable
+// there, absent from the API listener (operators point tooling at a
+// loopback side port without exposing pprof to API clients).
+func TestDaemonPprofSideListener(t *testing.T) {
+	lw := &lineWriter{ready: make(chan string, 1), pprof: make(chan string, 1)}
+	sigs := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-workers", "1", "-pprof-addr", "127.0.0.1:0"}, lw, sigs)
+	}()
+	var base, pprofURL string
+	for base == "" || pprofURL == "" {
+		select {
+		case base = <-lw.ready:
+		case pprofURL = <-lw.pprof:
+		case err := <-done:
+			t.Fatalf("daemon exited early: %v", err)
+		case <-time.After(10 * time.Second):
+			t.Fatalf("daemon never reported its addresses (api %q, pprof %q)", base, pprofURL)
+		}
+	}
+
+	resp, err := http.Get(pprofURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(b, []byte("goroutine")) {
+		t.Fatalf("pprof index at %s: status %d, body %.80q", pprofURL, resp.StatusCode, b)
+	}
+
+	resp, err = http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("API listener serves /debug/pprof/ — the profiling surface must stay on the side listener")
 	}
 
 	sigs <- syscall.SIGTERM

@@ -71,6 +71,7 @@ func runClusterHarness(opts options, w io.Writer) error {
 	defer func() {
 		for _, n := range nodes {
 			_ = n.http.Close()
+			n.node.Close()
 			n.srv.Close()
 		}
 	}()

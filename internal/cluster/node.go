@@ -40,6 +40,16 @@ type Config struct {
 	CheckpointEvery int
 	// ShipTimeout bounds each replication RPC (0 = 5s).
 	ShipTimeout time.Duration
+	// ShipWindow bounds in-flight replication frames per peer stream
+	// (0 = DefaultShipWindow). Negative selects the synchronous
+	// per-mutation ship path — the pre-stream baseline, kept for
+	// benchmarking and emergency rollback.
+	ShipWindow int
+	// ShipFlushInterval makes a woken shipper linger this long before
+	// building a frame, trading ack latency for larger coalesced
+	// frames (0 = ship immediately; pipelining already coalesces
+	// whatever commits while the previous frame is on the wire).
+	ShipFlushInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -48,6 +58,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ShipTimeout == 0 {
 		c.ShipTimeout = 5 * time.Second
+	}
+	if c.ShipWindow == 0 {
+		c.ShipWindow = DefaultShipWindow
 	}
 	return c
 }
@@ -89,9 +102,18 @@ type Node struct {
 
 	replicas replicaStore
 
-	// shipsMu guards ships, the per-owned-session replication cursors.
-	shipsMu sync.Mutex
-	ships   map[string]*shipState
+	// shipsMu guards the whole streaming plane: ships (per-owned-
+	// session replication cursors), the per-peer shippers with their
+	// queues and in-flight counts, and the closed flag. In the legacy
+	// synchronous mode (ShipWindow < 0) it only guards the serialShips
+	// map. Never held across I/O; channel sends to released waiters
+	// happen after unlock (collected as shipRelease values).
+	shipsMu     sync.Mutex
+	ships       map[string]*shipCursor
+	shippers    map[string]*shipper
+	shipsClosed bool
+	shipWG      sync.WaitGroup
+	serialShips map[string]*shipState
 
 	seq atomic.Uint64
 
@@ -101,6 +123,12 @@ type Node struct {
 	epochGauge      *obs.Gauge
 	migrations      *obs.Counter
 	membershipSyncs *obs.Counter
+	shipFrames      *obs.Counter
+	shipHeals       *obs.Counter
+	shipInflight    *obs.Gauge
+	frameSessions   *obs.Histogram
+	frameEvents     *obs.Histogram
+	shipAckWait     *obs.Histogram
 }
 
 // NewNode builds a node over its server. The server must be fronted
@@ -124,30 +152,42 @@ func NewNode(cfg Config, srv *server.Server) (*Node, error) {
 		return nil, err
 	}
 	reg := srv.Registry()
+	transport := newClusterTransport()
 	n := &Node{
-		cfg:             cfg,
-		srv:             srv,
+		cfg: cfg,
+		srv: srv,
 		// No client-level timeout: every call site bounds itself with a
 		// context deadline (ShipTimeout for replication, adminTimeout
-		// for fan-out admin RPCs).
-		client:          &http.Client{},
+		// for fan-out admin RPCs). The transport is the node-wide tuned
+		// keep-alive pool, shared with the router's forwards below.
+		client:          &http.Client{Transport: transport},
 		placements:      map[string]Placement{},
 		migrating:       sessionGuard{m: map[string]bool{}},
 		down:            map[string]bool{},
 		replicas:        replicaStore{m: map[string]*replica{}},
-		ships:           map[string]*shipState{},
+		ships:           map[string]*shipCursor{},
+		shippers:        map[string]*shipper{},
+		serialShips:     map[string]*shipState{},
 		shipsTotal:      reg.Counter(obs.ClusterShips),
 		promotions:      reg.Counter(obs.ClusterPromotions),
 		peersDown:       reg.Gauge(obs.ClusterPeersDown),
 		epochGauge:      reg.Gauge(obs.ClusterEpoch),
 		migrations:      reg.Counter(obs.ClusterMigrations),
 		membershipSyncs: reg.Counter(obs.ClusterMembershipSyncs),
+		shipFrames:      reg.Counter(obs.ClusterShipFrames),
+		shipHeals:       reg.Counter(obs.ClusterShipHeals),
+		shipInflight:    reg.Gauge(obs.ClusterShipInflight),
+		frameSessions:   reg.Histogram(obs.ClusterShipFrameSessions, obs.ExpBuckets(1, 2, 10)),
+		frameEvents:     reg.Histogram(obs.ClusterShipFrameEvents, obs.ExpBuckets(1, 4, 10)),
+		shipAckWait:     reg.Histogram(obs.ClusterShipAckWait, obs.ExpBuckets(1e-4, 4, 10)),
 	}
 	n.membership.Store(seed)
 	n.epochGauge.Set(1)
 	n.router = server.NewRouter(srv, n)
+	n.router.SetTransport(transport)
 
 	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/cluster/replica/frame", n.handleReplicaFrame)
 	mux.HandleFunc("POST /v1/cluster/replica/{id}/open", n.handleReplicaOpen)
 	mux.HandleFunc("POST /v1/cluster/replica/{id}/log", n.handleReplicaLog)
 	mux.HandleFunc("POST /v1/cluster/replica/{id}/checkpoint", n.handleReplicaCheckpoint)
@@ -332,7 +372,7 @@ func (n *Node) EnsureLocal(ctx context.Context, id string) error {
 	if n.srv.HasSession(id) {
 		return nil // lost the promotion race; the winner's shard serves
 	}
-	if _, err := n.srv.AdoptSession(ctx, id, rep.spec, rep.checkpoint, rep.events); err != nil {
+	if _, err := n.srv.AdoptSession(ctx, id, rep.spec, rep.checkpoint, rep.log.snapshot()); err != nil {
 		return fmt.Errorf("cluster: promote session %s: %w", id, err)
 	}
 	n.promotions.Inc()
@@ -345,7 +385,11 @@ func (n *Node) EnsureLocal(ctx context.Context, id string) error {
 	return nil
 }
 
-// shipState is the replication cursor of one locally owned session.
+// shipState is the replication cursor of one locally owned session on
+// the legacy synchronous path (ShipWindow < 0): one HTTP POST per
+// mutation, serialized per session by st.mu. It is kept as the
+// benchmark baseline the stream is measured against and as an
+// emergency rollback; the streaming cursors live in shipper.go.
 type shipState struct {
 	mu      sync.Mutex
 	target  string // replica node ID; "" when none is live
@@ -357,17 +401,17 @@ type shipState struct {
 func (n *Node) shipFor(id string) *shipState {
 	n.shipsMu.Lock()
 	defer n.shipsMu.Unlock()
-	st, ok := n.ships[id]
+	st, ok := n.serialShips[id]
 	if !ok {
 		st = &shipState{}
-		n.ships[id] = st
+		n.serialShips[id] = st
 	}
 	return st
 }
 
 func (n *Node) dropShip(id string) {
 	n.shipsMu.Lock()
-	delete(n.ships, id)
+	delete(n.serialShips, id)
 	n.shipsMu.Unlock()
 }
 
@@ -383,17 +427,29 @@ func (n *Node) replicaTarget(id string) string {
 	return ""
 }
 
-// Replicate implements server.Cluster: synchronously bring the
-// session's replica up to date with the local recorder. Shipping
-// happens before the mutation's response is released — for submits the
-// router fails the request if this fails, which is what makes "acked
-// implies replicated" (and therefore kill-tolerance) hold. If the
-// current replica died, the next live candidate is adopted and the
-// full log re-shipped once, within this call.
+// Replicate implements server.Cluster: bring the session's replica up
+// to date with the local recorder before the mutation's response is
+// released — for submits the router fails the request if this fails,
+// which is what makes "acked implies replicated" (and therefore
+// kill-tolerance) hold. On the default streamed path the call blocks
+// on the per-peer stream's ack covering the session's current log
+// tail (shipper.go); with ShipWindow < 0 it ships synchronously, one
+// POST per mutation. Either way the completion guarantee is the same,
+// which is what rehomeReplicas and the handoff path rely on.
 func (n *Node) Replicate(ctx context.Context, id string, m server.Mutation) error {
 	if len(n.view().peers) == 1 {
 		return nil // solo "cluster": nothing to replicate to
 	}
+	if n.cfg.ShipWindow >= 0 {
+		return n.replicateStream(ctx, id, m)
+	}
+	return n.replicateSerial(ctx, id, m)
+}
+
+// replicateSerial is the per-request baseline: synchronously ship the
+// unshipped log tail within this call. If the current replica died,
+// the next live candidate is adopted and the full log re-shipped once.
+func (n *Node) replicateSerial(ctx context.Context, id string, m server.Mutation) error {
 	st := n.shipFor(id)
 	st.mu.Lock()
 	defer st.mu.Unlock()

@@ -31,7 +31,7 @@ type testNode struct {
 }
 
 type testCluster struct {
-	t      *testing.T
+	t      testing.TB
 	ids    []string
 	byID   map[string]*testNode
 	client *http.Client
@@ -39,8 +39,16 @@ type testCluster struct {
 
 // startCluster boots n nodes named n1..nN on ephemeral ports. The
 // listeners are bound before any node starts so every peer URL is
-// known up front (static membership).
-func startCluster(t *testing.T, n int, tweak func(*Config)) *testCluster {
+// known up front (static membership). testing.TB so benchmarks boot
+// the same harness.
+func startCluster(t testing.TB, n int, tweak func(*Config)) *testCluster {
+	return startClusterWrapped(t, n, tweak, nil)
+}
+
+// startClusterWrapped is startCluster with a per-node listener wrap
+// hook, so tests can observe raw connection traffic (wrap may return
+// the listener unchanged; its Addr must stay that of the wrapped one).
+func startClusterWrapped(t testing.TB, n int, tweak func(*Config), wrap func(id string, ln net.Listener) net.Listener) *testCluster {
 	t.Helper()
 	lns := make([]net.Listener, n)
 	ids := make([]string, n)
@@ -50,8 +58,11 @@ func startCluster(t *testing.T, n int, tweak func(*Config)) *testCluster {
 		if err != nil {
 			t.Fatal(err)
 		}
-		lns[i] = ln
 		ids[i] = fmt.Sprintf("n%d", i+1)
+		if wrap != nil {
+			ln = wrap(ids[i], ln)
+		}
+		lns[i] = ln
 		peers[ids[i]] = "http://" + ln.Addr().String()
 	}
 	tc := &testCluster{
@@ -77,6 +88,7 @@ func startCluster(t *testing.T, n int, tweak func(*Config)) *testCluster {
 	t.Cleanup(func() {
 		for _, tn := range tc.byID {
 			_ = tn.http.Close()
+			tn.node.Close()
 			tn.srv.Close()
 		}
 	})
@@ -146,7 +158,7 @@ func taskBatch(ids []int, clamp bool) []byte {
 	return []byte(sb.String())
 }
 
-func parseJSONL(t *testing.T, b []byte) []obs.Event {
+func parseJSONL(t testing.TB, b []byte) []obs.Event {
 	t.Helper()
 	var events []obs.Event
 	sc := bufio.NewScanner(bytes.NewReader(b))
@@ -289,7 +301,7 @@ func TestClusterReplicationParity(t *testing.T) {
 	rep.mu.Lock()
 	spec := rep.spec
 	checkpoint := append([]byte(nil), rep.checkpoint...)
-	log := append([]obs.Event(nil), rep.events...)
+	log := rep.log.snapshot()
 	rep.mu.Unlock()
 
 	if len(checkpoint) == 0 {

@@ -21,10 +21,46 @@ import (
 type replica struct {
 	mu         sync.Mutex
 	spec       server.PlatformSpec
-	events     []obs.Event
+	log        replicaLog
 	lastSeq    uint64 // Seq of the last appended event
 	checkpoint []byte
 	cpSeq      uint64 // EvSeq of the stored checkpoint
+}
+
+// replicaLogChunk is the event count per replica log chunk.
+const replicaLogChunk = 1024
+
+// replicaLog is the shipped event log, stored as fixed-size chunks.
+// One flat slice would re-copy — and the allocator re-zero — the
+// entire history on every doubling step, a pause that grows with
+// session length and briefly doubles the log's memory; appends land on
+// the replication ack path, so they must stay O(1) with no spikes.
+// Reads that want one contiguous slice (promotion, test oracles) are
+// rare and pay the copy instead.
+type replicaLog struct {
+	chunks [][]obs.Event
+	n      int
+}
+
+func (l *replicaLog) len() int { return l.n }
+
+func (l *replicaLog) append(ev obs.Event) {
+	if len(l.chunks) == 0 || len(l.chunks[len(l.chunks)-1]) == replicaLogChunk {
+		l.chunks = append(l.chunks, make([]obs.Event, 0, replicaLogChunk))
+	}
+	last := len(l.chunks) - 1
+	l.chunks[last] = append(l.chunks[last], ev)
+	l.n++
+}
+
+// snapshot materializes the log as one freshly allocated contiguous
+// slice, in append order.
+func (l *replicaLog) snapshot() []obs.Event {
+	out := make([]obs.Event, 0, l.n)
+	for _, c := range l.chunks {
+		out = append(out, c...)
+	}
+	return out
 }
 
 // replicaStore holds the node's replicas, keyed by session ID.
@@ -93,12 +129,12 @@ func (rep *replica) appendLog(events []obs.Event) error {
 		if ev.Seq <= rep.lastSeq {
 			continue
 		}
-		if rep.lastSeq != 0 || len(rep.events) > 0 {
+		if rep.lastSeq != 0 || rep.log.len() > 0 {
 			if ev.Seq != rep.lastSeq+1 {
 				return fmt.Errorf("log gap: have seq %d, got %d", rep.lastSeq, ev.Seq)
 			}
 		}
-		rep.events = append(rep.events, ev)
+		rep.log.append(ev)
 		rep.lastSeq = ev.Seq
 	}
 	return nil

@@ -354,6 +354,30 @@ func NewBinaryReader(r io.Reader) *BinaryReader {
 	return &BinaryReader{r: bufio.NewReaderSize(r, 64<<10)}
 }
 
+// Reset rearms the reader to decode a fresh stream from src, reusing
+// the frame buffer, dictionary capacity, and (when src is not itself
+// a *bufio.Reader) the buffered layer of the previous stream. It lets
+// hot decode paths keep one BinaryReader per worker instead of
+// allocating reader + 64 KiB buffer per trace.
+func (r *BinaryReader) Reset(src io.Reader) {
+	if br, ok := src.(*bufio.Reader); ok {
+		r.r = br
+	} else if r.r != nil {
+		r.r.Reset(src)
+	} else {
+		r.r = bufio.NewReaderSize(src, 64<<10)
+	}
+	r.frame = r.frame[:0]
+	r.pos = 0
+	r.dict = r.dict[:0]
+	r.prevSeq, r.prevT = 0, 0
+	r.prevF = [numOptFields]uint64{}
+	r.started = false
+	r.frameIdx = 0
+	r.off = 0
+	r.sticky = nil
+}
+
 // Next returns the next decoded event. It returns io.EOF at a clean
 // end of stream, a *FrameError for each damaged frame it skipped (call
 // again to keep reading), and other errors for unrecoverable states.

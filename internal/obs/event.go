@@ -273,49 +273,120 @@ func Multi(sinks ...Sink) Sink {
 	}
 }
 
+// recorderChunk is the event count per Recorder chunk.
+const recorderChunk = 1024
+
 // Recorder is a Sink that buffers every event in memory, for tests and
 // for replaying a run without serializing it. Safe for concurrent
-// Emit calls.
+// Emit calls. The buffer is chunked rather than one flat slice: a
+// session trace only grows, and a flat slice's doubling steps re-copy
+// (and the allocator re-zeroes) the entire history — a pause on the
+// emit hot path that scales with trace length and briefly doubles the
+// trace's memory. Chunks keep Emit O(1); contiguous reads are rare and
+// pay the copy instead.
 type Recorder struct {
 	mu     sync.Mutex
-	events []Event
+	chunks [][]Event
+	n      int
 }
 
 // Emit implements Sink.
 func (r *Recorder) Emit(ev Event) {
 	r.mu.Lock()
-	r.events = append(r.events, ev)
+	if len(r.chunks) == 0 || len(r.chunks[len(r.chunks)-1]) == recorderChunk {
+		r.chunks = append(r.chunks, make([]Event, 0, recorderChunk))
+	}
+	last := len(r.chunks) - 1
+	r.chunks[last] = append(r.chunks[last], ev)
+	r.n++
 	r.mu.Unlock()
+}
+
+// suffixLocked locates the first recorded event with Seq > after,
+// returning its chunk index and offset (len(r.chunks), 0 when no such
+// event exists). Engine sequence numbers are nondecreasing in emission
+// order, so the chunk is found by binary search on each chunk's last
+// sequence number and the offset by binary search within it; every
+// later chunk then lies entirely past `after`. Caller holds r.mu.
+func (r *Recorder) suffixLocked(after uint64) (int, int) {
+	ci := sort.Search(len(r.chunks), func(i int) bool {
+		c := r.chunks[i]
+		return c[len(c)-1].Seq > after
+	})
+	if ci == len(r.chunks) {
+		return ci, 0
+	}
+	c := r.chunks[ci]
+	return ci, sort.Search(len(c), func(i int) bool { return c[i].Seq > after })
+}
+
+// appendSinceLocked appends every recorded event with Seq > after to
+// dst. Caller holds r.mu.
+func (r *Recorder) appendSinceLocked(dst []Event, after uint64) []Event {
+	ci, i := r.suffixLocked(after)
+	if ci == len(r.chunks) {
+		return dst
+	}
+	dst = append(dst, r.chunks[ci][i:]...)
+	for _, c := range r.chunks[ci+1:] {
+		dst = append(dst, c...)
+	}
+	return dst
 }
 
 // Events returns a copy of the recorded stream in emission order.
 func (r *Recorder) Events() []Event {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]Event, len(r.events))
-	copy(out, r.events)
-	return out
+	return r.appendSinceLocked(make([]Event, 0, r.n), 0)
 }
 
 // Since returns a copy of the recorded events with Seq > after, in
-// emission order. Engine sequence numbers are nondecreasing in
-// emission order, so the suffix is found by binary search; Since(0) is
-// Events(). It is the replication fast path: a log shipper tracking
-// the last shipped sequence number pulls only the unshipped tail.
+// emission order; Since(0) is Events(). It is the replication fast
+// path: a log shipper tracking the last shipped sequence number pulls
+// only the unshipped tail.
 func (r *Recorder) Since(after uint64) []Event {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	i := sort.Search(len(r.events), func(i int) bool { return r.events[i].Seq > after })
-	out := make([]Event, len(r.events)-i)
-	copy(out, r.events[i:])
-	return out
+	ci, i := r.suffixLocked(after)
+	if ci == len(r.chunks) {
+		return []Event{}
+	}
+	// Every chunk but the last is full, so the suffix length is exact.
+	out := make([]Event, 0, r.n-(ci*recorderChunk+i))
+	return r.appendSinceLocked(out, after)
+}
+
+// AppendSince appends the recorded events with Seq > after to dst and
+// returns the extended slice. It is Since without the forced
+// allocation: the replication shipper passes a reused scratch slice,
+// so building a coalesced frame costs no per-ship event copy beyond
+// the append itself.
+func (r *Recorder) AppendSince(dst []Event, after uint64) []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.appendSinceLocked(dst, after)
+}
+
+// LastSeq returns the sequence number of the last recorded event, or 0
+// when nothing was recorded. Engine sequence numbers are nondecreasing
+// in emission order, so this is the log tail a replication ack must
+// cover for every recorded event to be replicated.
+func (r *Recorder) LastSeq() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.chunks) == 0 {
+		return 0
+	}
+	c := r.chunks[len(r.chunks)-1]
+	return c[len(c)-1].Seq
 }
 
 // Len returns the number of recorded events.
 func (r *Recorder) Len() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.events)
+	return r.n
 }
 
 // JSONLWriter is a Sink that streams events as JSON Lines. Errors are

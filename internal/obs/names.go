@@ -80,4 +80,29 @@ const (
 	// ClusterMembershipSyncs counts membership views this node adopted
 	// from a peer (push broadcast or epoch-triggered anti-entropy pull).
 	ClusterMembershipSyncs = "cluster.membership_syncs"
+
+	// ClusterShipFrames counts coalesced replication frames sent by the
+	// per-peer shipper streams. ClusterShips counts acked per-session
+	// entries, so ships/frames is the average coalescing factor.
+	ClusterShipFrames = "cluster.ship.frames"
+	// ClusterShipFrameSessions is the histogram of sessions coalesced
+	// into each frame. Mass at 1 means no coalescing (light traffic);
+	// mass in higher buckets is the stream amortization working —
+	// the replication-plane analogue of ServerSessionBatchSize.
+	ClusterShipFrameSessions = "cluster.ship.frame_sessions"
+	// ClusterShipFrameEvents is the histogram of log events carried per
+	// frame across all its sessions.
+	ClusterShipFrameEvents = "cluster.ship.frame_events"
+	// ClusterShipInflight gauges replication frames currently in flight
+	// across all peer streams (bounded per peer by the ship window).
+	ClusterShipInflight = "cluster.ship.inflight"
+	// ClusterShipAckWait is the histogram of replication-ack wait time
+	// in seconds: how long a mutation's response was held between its
+	// local commit and the stream ack covering its event sequence. This
+	// is the replication lag a client-visible submit pays.
+	ClusterShipAckWait = "cluster.ship.ack_wait_s"
+	// ClusterShipHeals counts stream heal rounds: the replica reported
+	// a log gap (or vanished) and the owner reset the cursor to re-ship
+	// the full log.
+	ClusterShipHeals = "cluster.ship.heals"
 )

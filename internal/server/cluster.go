@@ -162,6 +162,29 @@ func (s *Server) SessionEventsSince(id string, after uint64) ([]obs.Event, error
 	return sh.rec.Since(after), nil
 }
 
+// AppendSessionEventsSince is SessionEventsSince appending into a
+// caller-owned slice instead of allocating: the stream shipper reuses
+// one scratch slice per frame build, so coalescing many sessions into
+// a frame costs no per-session event-slice allocation.
+func (s *Server) AppendSessionEventsSince(id string, after uint64, dst []obs.Event) ([]obs.Event, error) {
+	sh, ok := s.sessions.get(id)
+	if !ok {
+		return dst, fmt.Errorf("%w: %s", ErrSessionGone, id)
+	}
+	return sh.rec.AppendSince(dst, after), nil
+}
+
+// SessionLastSeq returns the sequence number of the session's last
+// recorded event (0 when none). A mutation that just committed reads
+// it to learn which replication ack covers its own events.
+func (s *Server) SessionLastSeq(id string) (uint64, error) {
+	sh, ok := s.sessions.get(id)
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrSessionGone, id)
+	}
+	return sh.rec.LastSeq(), nil
+}
+
 // SnapshotSession takes a checkpoint of a live session on its shard
 // goroutine, after the group-commit intake is flushed — the same
 // batch-boundary guarantee the HTTP snapshot endpoint has. A drained

@@ -1,0 +1,134 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"dvfsched/internal/obs"
+	"dvfsched/internal/trace"
+)
+
+// TestSessionEventHooks pins the recorder-backed cluster hooks the
+// replication shipper lives on: AppendSessionEventsSince must be
+// Since-into-a-caller-slice (same events, prefix preserved, suffix
+// selected by Seq), and SessionLastSeq must name exactly the tail the
+// covering ack has to reach.
+func TestSessionEventHooks(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	var info SessionInfo
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/sessions", map[string]any{"cores": 2}, &info); code != http.StatusCreated {
+		t.Fatalf("create: %d", code)
+	}
+	path := ts.URL + "/v1/sessions/" + info.ID + "/tasks"
+	for i, batch := range [][]trace.Record{
+		{{ID: 1, Cycles: 30, Arrival: 0}, {ID: 2, Cycles: 10, Arrival: 0.5}},
+		{{ID: 3, Cycles: 5, Arrival: 1.0}},
+	} {
+		if code := doJSON(t, http.MethodPost, path, SubmitRequest{Tasks: batch}, nil); code != http.StatusOK {
+			t.Fatalf("submit %d: %d", i, code)
+		}
+	}
+
+	evs, err := s.SessionEventsSince(info.ID, 0)
+	if err != nil || len(evs) == 0 {
+		t.Fatalf("SessionEventsSince: %d events, err %v", len(evs), err)
+	}
+	last, err := s.SessionLastSeq(info.ID)
+	if err != nil {
+		t.Fatalf("SessionLastSeq: %v", err)
+	}
+	if want := evs[len(evs)-1].Seq; last != want || last == 0 {
+		t.Fatalf("SessionLastSeq %d, want trace tail %d", last, want)
+	}
+
+	// Append-into-scratch is Since, byte for byte.
+	got, err := s.AppendSessionEventsSince(info.ID, 0, make([]obs.Event, 0, 4))
+	if err != nil {
+		t.Fatalf("AppendSessionEventsSince: %v", err)
+	}
+	if !reflect.DeepEqual(got, evs) {
+		t.Fatalf("AppendSessionEventsSince(0) diverges from SessionEventsSince: %d vs %d events", len(got), len(evs))
+	}
+
+	// A mid-trace cursor selects exactly the suffix past it.
+	mid := evs[len(evs)/2].Seq
+	wantTail, err := s.SessionEventsSince(info.ID, mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail, err := s.AppendSessionEventsSince(info.ID, mid, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tail, wantTail) {
+		t.Fatalf("suffix after %d diverges: %d vs %d events", mid, len(tail), len(wantTail))
+	}
+	for _, ev := range tail {
+		if ev.Seq <= mid {
+			t.Fatalf("suffix after %d contains Seq %d", mid, ev.Seq)
+		}
+	}
+
+	// The caller's prefix survives, and a fully-covered cursor appends
+	// nothing.
+	dst := []obs.Event{evs[0]}
+	dst, err = s.AppendSessionEventsSince(info.ID, last, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dst) != 1 || dst[0].Seq != evs[0].Seq {
+		t.Fatalf("covered cursor mutated dst: %d events", len(dst))
+	}
+
+	// Unknown sessions fail with the typed gone error on every hook.
+	if _, err := s.AppendSessionEventsSince("nope", 0, nil); !errors.Is(err, ErrSessionGone) {
+		t.Fatalf("AppendSessionEventsSince(unknown): %v", err)
+	}
+	if _, err := s.SessionLastSeq("nope"); !errors.Is(err, ErrSessionGone) {
+		t.Fatalf("SessionLastSeq(unknown): %v", err)
+	}
+}
+
+// countingTransport counts round trips on their way to the default
+// transport.
+type countingTransport struct {
+	calls atomic.Int64
+}
+
+func (c *countingTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	c.calls.Add(1)
+	return http.DefaultTransport.RoundTrip(r)
+}
+
+// TestRouterSetTransport proves an installed transport carries the
+// router's forwards — the seam the cluster node uses to pool forwards,
+// ships and probes on one shared connection pool.
+func TestRouterSetTransport(t *testing.T) {
+	owner, _, ownerTS := newRouterNode(t, "b")
+	front := New(Config{})
+	fc := &fakeCluster{self: "a", routes: []string{"b"}, addrs: map[string]string{"b": ownerTS.URL}}
+	rt := NewRouter(front, fc)
+	ct := &countingTransport{}
+	rt.SetTransport(ct)
+	frontTS := httptest.NewServer(rt)
+	t.Cleanup(func() {
+		frontTS.Close()
+		front.Close()
+	})
+
+	var info SessionInfo
+	if code := doJSON(t, http.MethodPost, frontTS.URL+"/v1/sessions", map[string]any{"cores": 2}, &info); code != http.StatusCreated {
+		t.Fatalf("forwarded create: %d", code)
+	}
+	if !owner.HasSession(info.ID) {
+		t.Fatal("session did not land on the owner")
+	}
+	if ct.calls.Load() == 0 {
+		t.Fatal("forward bypassed the installed transport")
+	}
+}

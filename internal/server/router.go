@@ -100,6 +100,12 @@ func NewRouter(srv *Server, cl Cluster) *Router {
 	}
 }
 
+// SetTransport replaces the forwarding client's transport. The cluster
+// node installs its shared tuned transport here so forwards, ships and
+// probes draw from one keep-alive connection pool per peer instead of
+// three. Call before serving; the router does not lock the client.
+func (rt *Router) SetTransport(t http.RoundTripper) { rt.client.Transport = t }
+
 // forwardedHeaders are the response headers a forward relays.
 var forwardedHeaders = []string{
 	"Content-Type", "X-Event-Count", "X-Checkpoint-Clock", "X-Checkpoint-Pending",

@@ -5,8 +5,8 @@
 #
 # Runs `go test -bench` over the performance-sensitive packages
 # (envelope construction, the order-statistic tree, the dynamic
-# single-core scheduler, the LMC online policy, the trace codecs, and
-# the HTTP service)
+# single-core scheduler, the LMC online policy, the trace codecs, the
+# HTTP service, and the cluster replication planes)
 # and converts the results into a JSON array so successive PRs can
 # diff ns/op and allocs/op mechanically. BENCHTIME overrides the
 # per-benchmark budget (default 0.3s; use e.g. BENCHTIME=2s for a
@@ -16,7 +16,7 @@ cd "$(dirname "$0")/.."
 
 OUT=${1:-BENCH_PR6.json}
 BENCHTIME=${BENCHTIME:-0.3s}
-PKGS="./internal/envelope ./internal/rangetree ./internal/dynsched ./internal/online ./internal/obs ./internal/server"
+PKGS="./internal/envelope ./internal/rangetree ./internal/dynsched ./internal/online ./internal/obs ./internal/server ./internal/cluster"
 
 TMP=$(mktemp)
 trap 'rm -f "$TMP"' EXIT

@@ -9,9 +9,13 @@
 # lexicographic glob would sort BENCH_PR10.json before BENCH_PR9.json
 # and silently diff against the wrong PR once numbers reach two digits.
 #
-# Benchmarks present in both files are compared by ns_per_op; any
-# shared benchmark that slowed by more than THRESHOLD percent (default
-# 20) fails the script. Benchmarks present only in the new file are
+# Benchmarks present in both files are compared by ns_per_op and, when
+# both sides carry it, allocs_per_op; any shared benchmark that slowed
+# — or grew its allocations — by more than THRESHOLD percent (default
+# 20) fails the script. A benchmark that was allocation-free in the old
+# baseline and allocates at all in the new one fails too: 0 -> N has no
+# finite percentage and is exactly the hot-path regression the gate
+# exists to catch. Benchmarks present only in the new file are
 # reported as "new benchmark" — not a regression, but visible, so a
 # rename that silently drops a benchmark from comparison is noticed.
 # Retired benchmarks carry no signal and are ignored. Both files must
@@ -46,9 +50,10 @@ for f in "$OLD" "$NEW"; do
 done
 
 awk -v threshold="$THRESHOLD" -v oldfile="$OLD" -v newfile="$NEW" '
-# parse extracts package/name/ns_per_op from one bench.sh JSON line
-# into K and NS; bench.sh writes one object per line, so a line-wise
-# scan is exact for these files.
+# parse extracts package/name/ns_per_op (and allocs_per_op when the
+# line carries one — benchmarks run without -benchmem do not) from one
+# bench.sh JSON line into K, NS, APO/HASA; bench.sh writes one object
+# per line, so a line-wise scan is exact for these files.
 function parse(line) {
     if (line !~ /"name": "Benchmark/) return 0
     match(line, /"package": "[^"]*"/)
@@ -57,10 +62,22 @@ function parse(line) {
     nm = substr(line, RSTART + 9, RLENGTH - 10)
     if (match(line, /"ns_per_op": [0-9.eE+-]+/) == 0) return 0
     NS = substr(line, RSTART + 13, RLENGTH - 13) + 0
+    HASA = 0
+    APO = 0
+    if (match(line, /"allocs_per_op": [0-9.eE+-]+/)) {
+        APO = substr(line, RSTART + 17, RLENGTH - 17) + 0
+        HASA = 1
+    }
     K = pkg "/" nm
     return 1
 }
-NR == FNR { if (parse($0)) base[K] = NS; next }
+NR == FNR {
+    if (parse($0)) {
+        base[K] = NS
+        if (HASA) { basea[K] = APO; baseha[K] = 1 }
+    }
+    next
+}
 {
     if (!parse($0)) next
     if (!(K in base)) {
@@ -70,10 +87,29 @@ NR == FNR { if (parse($0)) base[K] = NS; next }
     }
     shared++
     delta = (NS - base[K]) / base[K] * 100
-    printf("%-66s %11.1f -> %11.1f ns/op  %+7.1f%%\n", K, base[K], NS, delta)
+    printf("%-66s %11.1f -> %11.1f ns/op  %+7.1f%%", K, base[K], NS, delta)
+    if (baseha[K] && HASA) printf("  %6d -> %6d allocs/op", basea[K], APO)
+    printf("\n")
     if (delta > threshold) {
         printf("REGRESSION: %s slowed %.1f%% (limit %d%%)\n", K, delta, threshold)
         bad++
+    }
+    # The allocation gate only engages when both baselines measured
+    # allocs: a baseline recorded before -benchmem coverage carries no
+    # signal to regress against.
+    if (baseha[K] && HASA) {
+        if (basea[K] == 0) {
+            if (APO > 0) {
+                printf("REGRESSION: %s was allocation-free, now %d allocs/op\n", K, APO)
+                bad++
+            }
+        } else {
+            adelta = (APO - basea[K]) / basea[K] * 100
+            if (adelta > threshold) {
+                printf("REGRESSION: %s allocs/op grew %.1f%% (%d -> %d, limit %d%%)\n", K, adelta, basea[K], APO, threshold)
+                bad++
+            }
+        }
     }
 }
 END {

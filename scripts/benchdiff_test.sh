@@ -14,6 +14,11 @@ line() {
     printf '  {"package": "%s", "name": "%s", "iterations": 100, "ns_per_op": %s}' "$1" "$2" "$3"
 }
 
+# linea is line with bytes/allocs fields, as bench.sh emits under -benchmem.
+linea() {
+    printf '  {"package": "%s", "name": "%s", "iterations": 100, "ns_per_op": %s, "bytes_per_op": 64, "allocs_per_op": %s}' "$1" "$2" "$3" "$4"
+}
+
 fails=0
 fail() {
     echo "FAIL: $1" >&2
@@ -66,6 +71,55 @@ expect 0 "1 shared benchmarks" "shared count reported" "$DIR/old.json" "$DIR/new
     echo ']'
 } > "$DIR/slow.json"
 expect 1 "REGRESSION" "regression gate" "$DIR/old.json" "$DIR/slow.json"
+
+# The allocation gate: >20% allocs/op growth fails even with ns/op
+# flat, growth within the threshold passes, an allocation-free
+# benchmark that starts allocating fails, and a pairing where only one
+# side measured allocs is not gated.
+{
+    echo '['
+    linea pkg/a BenchmarkAlloc 100.0 100
+    echo ','
+    linea pkg/a BenchmarkZero 100.0 0
+    echo ''
+    echo ']'
+} > "$DIR/alloc_old.json"
+{
+    echo '['
+    linea pkg/a BenchmarkAlloc 100.0 130
+    echo ','
+    linea pkg/a BenchmarkZero 100.0 0
+    echo ''
+    echo ']'
+} > "$DIR/alloc_grew.json"
+expect 1 "allocs/op grew" "allocs regression gate" "$DIR/alloc_old.json" "$DIR/alloc_grew.json"
+{
+    echo '['
+    linea pkg/a BenchmarkAlloc 100.0 110
+    echo ','
+    linea pkg/a BenchmarkZero 100.0 0
+    echo ''
+    echo ']'
+} > "$DIR/alloc_ok.json"
+expect 0 "2 shared benchmarks" "allocs within threshold" "$DIR/alloc_old.json" "$DIR/alloc_ok.json"
+{
+    echo '['
+    linea pkg/a BenchmarkAlloc 100.0 100
+    echo ','
+    linea pkg/a BenchmarkZero 100.0 3
+    echo ''
+    echo ']'
+} > "$DIR/alloc_zero_broken.json"
+expect 1 "allocation-free" "zero-to-nonzero allocs gate" "$DIR/alloc_old.json" "$DIR/alloc_zero_broken.json"
+{
+    echo '['
+    line pkg/a BenchmarkAlloc 100.0
+    echo ','
+    line pkg/a BenchmarkZero 100.0
+    echo ''
+    echo ']'
+} > "$DIR/alloc_none.json"
+expect 0 "2 shared benchmarks" "old baseline without allocs is not gated" "$DIR/alloc_none.json" "$DIR/alloc_grew.json"
 
 # Missing baselines must fail loudly, not vacuously pass.
 expect 1 "missing" "missing old baseline" "$DIR/absent.json" "$DIR/new.json"
